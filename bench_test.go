@@ -1,0 +1,403 @@
+package repro_test
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/layout"
+	"repro/internal/regularity"
+	"repro/internal/wafer"
+	"repro/internal/yield"
+)
+
+// The benchmarks below regenerate every table and figure of the paper
+// (T-A1, F-1…F-4) and every extension study from DESIGN.md's experiment
+// index (X-1…X-8). Run `go test -bench=. -benchmem` to execute the full
+// harness; `cmd/figures` prints the same artifacts in readable form.
+
+func BenchmarkTableA1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, _, err := experiments.TableA1()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rows) != 49 {
+			b.Fatalf("rows = %d", len(rows))
+		}
+	}
+}
+
+func BenchmarkFigure1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, _, err := experiments.Figure1()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.IndustryTrend.Slope <= 0 {
+			b.Fatal("industry trend not positive")
+		}
+	}
+}
+
+func BenchmarkFigure2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, _, err := experiments.Figure2()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rows) == 0 {
+			b.Fatal("no rows")
+		}
+	}
+}
+
+func BenchmarkFigure3(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, _, err := experiments.Figure3()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rows[len(rows)-1].Ratio <= rows[0].Ratio {
+			b.Fatal("ratio not rising")
+		}
+	}
+}
+
+func BenchmarkFigure4a(b *testing.B) {
+	benchFigure4(b, experiments.Figure4Cases()[0])
+}
+
+func BenchmarkFigure4b(b *testing.B) {
+	benchFigure4(b, experiments.Figure4Cases()[1])
+}
+
+func benchFigure4(b *testing.B, c experiments.Figure4Case) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		curves, _, err := experiments.Figure4(c, 60)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(curves) == 0 {
+			b.Fatal("no curves")
+		}
+	}
+}
+
+func BenchmarkOptimalSd(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, _, err := experiments.OptimalSdVsVolume(500, 1e6, 12)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rows[0].OptimalSd <= rows[len(rows)-1].OptimalSd {
+			b.Fatal("optimum did not move with volume")
+		}
+	}
+}
+
+func BenchmarkYieldModels(b *testing.B) {
+	lambdas := []float64{0.2, 0.6, 1.2}
+	for i := 0; i < b.N; i++ {
+		_, _, err := experiments.YieldModelComparison(lambdas, 1.0,
+			yield.SimConfig{DiePerWafer: 200, Wafers: 60, Seed: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkUtilization(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, _, err := experiments.UtilizationCrossover(0.4, 10, 1e6, 24)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Crossover <= 0 {
+			b.Fatal("no crossover")
+		}
+	}
+}
+
+func BenchmarkRegularity(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, _, err := experiments.RegularityStudy(uint64(i + 1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rows) != 4 {
+			b.Fatal("styles missing")
+		}
+	}
+}
+
+func BenchmarkGrossDie(b *testing.B) {
+	areas := []float64{0.5, 1, 2, 4}
+	for i := 0; i < b.N; i++ {
+		_, _, err := experiments.GrossDieStudy(areas)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkWaferCost(b *testing.B) {
+	months := []float64{0, 6, 12, 24, 48}
+	vols := []float64{1000, 10000, 100000}
+	for i := 0; i < b.N; i++ {
+		_, _, err := experiments.WaferCostStudy(0.18, months, vols)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMaskAmortization(b *testing.B) {
+	nodes := []float64{0.25, 0.18, 0.13, 0.1}
+	for i := 0; i < b.N; i++ {
+		_, _, err := experiments.MaskAmortization(nodes, 100, 1e6, 16)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkLayoutDensity(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, _, err := experiments.LayoutDensityStudy(uint64(i + 1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rows) != 4 {
+			b.Fatal("styles missing")
+		}
+	}
+}
+
+func BenchmarkFigure3Stress(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, _, err := experiments.Figure3Stress(0.15, 0.05)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rows) == 0 {
+			b.Fatal("no rows")
+		}
+	}
+}
+
+func BenchmarkLayoutYield(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, _, err := experiments.LayoutYieldStudy(3.0, 1500, uint64(i+1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rows) != 3 {
+			b.Fatal("styles missing")
+		}
+	}
+}
+
+func BenchmarkTestCost(b *testing.B) {
+	sizes := []float64{1e6, 10e6, 100e6}
+	yields := []float64{0.4, 0.8}
+	for i := 0; i < b.N; i++ {
+		if _, _, err := experiments.TestCostStudy(sizes, yields); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMPW(b *testing.B) {
+	nodes := []float64{0.25, 0.18, 0.13, 0.1}
+	for i := 0; i < b.N; i++ {
+		if _, _, err := experiments.MPWStudy(nodes, 10); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRoutability(b *testing.B) {
+	fanouts := []float64{1.5, 2.5, 4}
+	for i := 0; i < b.N; i++ {
+		if _, _, err := experiments.RoutabilityStudy(fanouts, 144, 4, 60, uint64(i+1)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDeviceCost(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, _, err := experiments.DeviceCostStudy()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.K6OverPentium <= 1 {
+			b.Fatal("K6 comparison inverted")
+		}
+	}
+}
+
+func BenchmarkUncertainty(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, _, err := experiments.UncertaintyStudy(2000, uint64(i+1)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkWaferMap(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, _, err := experiments.WaferMapStudy(4, 100, uint64(i+1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Sites == 0 {
+			b.Fatal("no sites")
+		}
+	}
+}
+
+func BenchmarkTTM(b *testing.B) {
+	taus := []float64{36, 12, 6}
+	for i := 0; i < b.N; i++ {
+		if _, _, err := experiments.TTMStudy(taus); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMPUvsDRAM(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, _, err := experiments.MPUvsDRAM()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rows) == 0 {
+			b.Fatal("no rows")
+		}
+	}
+}
+
+func BenchmarkSoC(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, _, err := experiments.SoCStudy(300, uint64(i+1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.SdChip <= 0 {
+			b.Fatal("bad decomposition")
+		}
+	}
+}
+
+func BenchmarkRepair(b *testing.B) {
+	lambdas := []float64{0.5, 1.5, 3}
+	for i := 0; i < b.N; i++ {
+		if _, _, err := experiments.RepairStudy(lambdas, 0.01); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFamily(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, _, err := experiments.FamilyStudy(8)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rows) != 8 {
+			b.Fatal("rows missing")
+		}
+	}
+}
+
+func BenchmarkTestEconomics(b *testing.B) {
+	yields := []float64{0.9, 0.7, 0.5, 0.3}
+	for i := 0; i < b.N; i++ {
+		if _, _, err := experiments.TestEconomicsStudy(yields, 50); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Micro-benchmarks for the hot substrate paths, so regressions in the
+// underlying algorithms are visible independently of the experiment
+// harness.
+
+func BenchmarkScenarioTransistorCost(b *testing.B) {
+	s, err := experiments.Figure4Scenario(experiments.Figure4Cases()[0], 0.18)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.TransistorCost(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkOptimalSdSingle(b *testing.B) {
+	s, err := experiments.Figure4Scenario(experiments.Figure4Cases()[0], 0.18)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.OptimalSd(s, 2000); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGrossDieExact(b *testing.B) {
+	d := wafer.SquareDie(1.0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := wafer.GrossDie(wafer.Wafer300, d); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMonteCarloYield(b *testing.B) {
+	cfg := yield.SimConfig{DiePerWafer: 400, Wafers: 50, Lambda: 0.8, ClusterAlpha: 1, Seed: 1}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := yield.Simulate(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRegularityScan(b *testing.B) {
+	l, err := layout.GenerateRandomLogic(layout.RandomLogicConfig{
+		Cells: 400, RowUtil: 0.7, RouteTracks: 4, Seed: 2,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := regularity.Analyze(l, 60); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCriticalArea(b *testing.B) {
+	l, err := layout.GenerateRandomLogic(layout.RandomLogicConfig{
+		Cells: 200, RowUtil: 0.7, RouteTracks: 4, Seed: 3,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := layout.CriticalArea(l, layout.Metal1, 4); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,271 @@
+// Command figures regenerates every table and figure of the paper and the
+// extension studies from DESIGN.md's experiment index, printing ASCII
+// renderings (or CSV with -csv) to stdout.
+//
+// Usage:
+//
+//	figures [-only id] [-csv]
+//
+// where id is one of: tablea1, fig1, fig2, fig3, fig4, x1…x22 (see -list).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/experiments"
+	"repro/internal/report"
+	"repro/internal/yield"
+)
+
+func main() {
+	only := flag.String("only", "", "regenerate a single artifact (tablea1, fig1…fig4, x1…x22)")
+	csv := flag.Bool("csv", false, "emit CSV instead of rendered tables/figures")
+	list := flag.Bool("list", false, "list every artifact with its title and exit")
+	flag.Parse()
+
+	if *list {
+		for _, a := range experiments.Manifest() {
+			fmt.Printf("%-8s %s\n", a.ID, a.Title)
+		}
+		return
+	}
+	if err := run(*only, *csv); err != nil {
+		fmt.Fprintf(os.Stderr, "figures: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+type artifact struct {
+	id  string
+	run func(csv bool) error
+}
+
+func run(only string, csv bool) error {
+	arts := []artifact{
+		{"tablea1", func(csv bool) error {
+			_, tbl, err := experiments.TableA1()
+			return emitTable(tbl, csv, err)
+		}},
+		{"fig1", func(csv bool) error {
+			res, fig, err := experiments.Figure1()
+			if err != nil {
+				return err
+			}
+			if err := emitFigure(fig, csv); err != nil {
+				return err
+			}
+			if !csv {
+				fmt.Printf("industry s_d trend: %+.2f squares/year (R²=%.2f)\n", res.IndustryTrend.Slope, res.IndustryTrend.R2)
+				fmt.Printf("Intel trend: %+.2f /yr; AMD pre-K7 mean %.0f vs Intel %.0f; K7 s_d %.0f\n\n",
+					res.IntelTrend.Slope, res.AMDMeanPreK7, res.IntelMeanPre, res.K7Sd)
+			}
+			return nil
+		}},
+		{"fig2", func(csv bool) error {
+			_, fig, err := experiments.Figure2()
+			return emitFigure(fig, csv, err)
+		}},
+		{"fig3", func(csv bool) error {
+			rows, fig, err := experiments.Figure3()
+			if err != nil {
+				return err
+			}
+			if err := emitFigure(fig, csv); err != nil {
+				return err
+			}
+			if !csv {
+				tbl := report.NewTable("Figure 3 rows", "year", "λ µm", "implied s_d", "required s_d", "ratio", "roadmap die $")
+				for _, r := range rows {
+					tbl.AddRow(r.Year, r.LambdaUM, r.ImpliedSd, r.RequiredSd, r.Ratio, r.DieCost)
+				}
+				fmt.Println(tbl.String())
+			}
+			return nil
+		}},
+		{"fig4", func(csv bool) error {
+			for _, c := range experiments.Figure4Cases() {
+				_, fig, err := experiments.Figure4(c, 48)
+				if err != nil {
+					return err
+				}
+				if err := emitFigure(fig, csv); err != nil {
+					return err
+				}
+			}
+			return nil
+		}},
+		{"x1", func(csv bool) error {
+			_, fig, err := experiments.OptimalSdVsVolume(500, 1e6, 16)
+			return emitFigure(fig, csv, err)
+		}},
+		{"x2", func(csv bool) error {
+			_, fig, err := experiments.YieldModelComparison(
+				[]float64{0.1, 0.2, 0.4, 0.8, 1.2, 1.6, 2.4},
+				1.0,
+				yield.SimConfig{DiePerWafer: 400, Wafers: 200, Seed: 7})
+			return emitFigure(fig, csv, err)
+		}},
+		{"x3", func(csv bool) error {
+			res, fig, err := experiments.UtilizationCrossover(0.4, 10, 1e6, 32)
+			if err != nil {
+				return err
+			}
+			if err := emitFigure(fig, csv); err != nil {
+				return err
+			}
+			if !csv {
+				fmt.Printf("crossover volume: %.0f wafers at u=%.2f\n\n", res.Crossover, res.U)
+			}
+			return nil
+		}},
+		{"x4", func(csv bool) error {
+			_, tbl, err := experiments.RegularityStudy(42)
+			return emitTable(tbl, csv, err)
+		}},
+		{"x5", func(csv bool) error {
+			_, tbl, err := experiments.GrossDieStudy([]float64{0.25, 0.5, 1, 2, 4})
+			return emitTable(tbl, csv, err)
+		}},
+		{"x6", func(csv bool) error {
+			_, fig, err := experiments.WaferCostStudy(0.18,
+				[]float64{0, 3, 6, 12, 24, 48},
+				[]float64{1000, 10000, 100000})
+			return emitFigure(fig, csv, err)
+		}},
+		{"x7", func(csv bool) error {
+			_, fig, err := experiments.MaskAmortization([]float64{0.25, 0.18, 0.13, 0.1}, 100, 1e6, 16)
+			return emitFigure(fig, csv, err)
+		}},
+		{"x8", func(csv bool) error {
+			_, tbl, err := experiments.LayoutDensityStudy(42)
+			return emitTable(tbl, csv, err)
+		}},
+		{"x9", func(csv bool) error {
+			_, fig, err := experiments.Figure3Stress(0.15, 0.05)
+			return emitFigure(fig, csv, err)
+		}},
+		{"x10", func(csv bool) error {
+			_, tbl, err := experiments.LayoutYieldStudy(3.0, 4000, 7)
+			return emitTable(tbl, csv, err)
+		}},
+		{"x11", func(csv bool) error {
+			_, tbl, err := experiments.TestCostStudy(
+				[]float64{1e6, 10e6, 100e6},
+				[]float64{0.4, 0.8})
+			return emitTable(tbl, csv, err)
+		}},
+		{"x12", func(csv bool) error {
+			_, tbl, err := experiments.MPWStudy([]float64{0.25, 0.18, 0.13, 0.1}, 10)
+			return emitTable(tbl, csv, err)
+		}},
+		{"x13", func(csv bool) error {
+			_, tbl, err := experiments.RoutabilityStudy([]float64{1.5, 2, 2.5, 3, 4}, 196, 4, 60, 11)
+			return emitTable(tbl, csv, err)
+		}},
+		{"x14", func(csv bool) error {
+			res, tbl, err := experiments.DeviceCostStudy()
+			if err != nil {
+				return err
+			}
+			if err := emitTable(tbl, csv); err != nil {
+				return err
+			}
+			if !csv {
+				fmt.Printf("same-node (0.25 µm) Pentium II / K6 transistor-cost ratio: %.2f\n\n", res.K6OverPentium)
+			}
+			return nil
+		}},
+		{"x15", func(csv bool) error {
+			_, tbl, err := experiments.UncertaintyStudy(20000, 17)
+			return emitTable(tbl, csv, err)
+		}},
+		{"x16", func(csv bool) error {
+			res, tbl, err := experiments.WaferMapStudy(4, 300, 3)
+			if err != nil {
+				return err
+			}
+			if err := emitTable(tbl, csv); err != nil {
+				return err
+			}
+			if !csv {
+				fmt.Println(res.Rendered)
+			}
+			return nil
+		}},
+		{"x17", func(csv bool) error {
+			_, tbl, err := experiments.TTMStudy([]float64{36, 18, 12, 6})
+			return emitTable(tbl, csv, err)
+		}},
+		{"x18", func(csv bool) error {
+			_, fig, err := experiments.MPUvsDRAM()
+			return emitFigure(fig, csv, err)
+		}},
+		{"x19", func(csv bool) error {
+			_, tbl, err := experiments.SoCStudy(300, 21)
+			return emitTable(tbl, csv, err)
+		}},
+		{"x20", func(csv bool) error {
+			_, tbl, err := experiments.RepairStudy([]float64{0.5, 1, 1.5, 2, 3}, 0.01)
+			return emitTable(tbl, csv, err)
+		}},
+		{"x21", func(csv bool) error {
+			_, fig, err := experiments.FamilyStudy(8)
+			return emitFigure(fig, csv, err)
+		}},
+		{"x22", func(csv bool) error {
+			_, tbl, err := experiments.TestEconomicsStudy([]float64{0.9, 0.7, 0.5, 0.3}, 50)
+			return emitTable(tbl, csv, err)
+		}},
+	}
+	matched := false
+	for _, a := range arts {
+		if only != "" && !strings.EqualFold(only, a.id) {
+			continue
+		}
+		matched = true
+		if !csv {
+			fmt.Printf("=== %s ===\n", a.id)
+		}
+		if err := a.run(csv); err != nil {
+			return fmt.Errorf("%s: %w", a.id, err)
+		}
+	}
+	if !matched {
+		return fmt.Errorf("unknown artifact %q", only)
+	}
+	return nil
+}
+
+func emitTable(tbl *report.Table, csv bool, errs ...error) error {
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	if csv {
+		fmt.Print(tbl.CSV())
+		return nil
+	}
+	fmt.Println(tbl.String())
+	return nil
+}
+
+func emitFigure(fig *report.Figure, csv bool, errs ...error) error {
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	if csv {
+		fmt.Print(fig.Table().CSV())
+		return nil
+	}
+	if err := fig.Render(os.Stdout); err != nil {
+		return err
+	}
+	fmt.Println()
+	return nil
+}

@@ -1,0 +1,32 @@
+package main
+
+import "testing"
+
+func TestRunSingleArtifacts(t *testing.T) {
+	// The cheap artifacts exercise every emit path (table, figure, both).
+	for _, id := range []string{"tablea1", "fig2", "fig3", "x1", "x5", "x7", "x12"} {
+		if err := run(id, false); err != nil {
+			t.Errorf("run(%q): %v", id, err)
+		}
+	}
+}
+
+func TestRunCSVMode(t *testing.T) {
+	for _, id := range []string{"tablea1", "fig2", "x5"} {
+		if err := run(id, true); err != nil {
+			t.Errorf("run(%q, csv): %v", id, err)
+		}
+	}
+}
+
+func TestRunUnknownArtifact(t *testing.T) {
+	if err := run("nope", false); err == nil {
+		t.Fatal("accepted unknown artifact")
+	}
+}
+
+func TestRunCaseInsensitive(t *testing.T) {
+	if err := run("FIG2", false); err != nil {
+		t.Fatalf("case-insensitive match failed: %v", err)
+	}
+}

@@ -1,0 +1,155 @@
+// Command nanocost evaluates the paper's transistor cost model (eq 4) at
+// one operating point or over a sweep, from flags.
+//
+// Examples:
+//
+//	nanocost -lambda 0.18 -sd 300 -ntr 10e6 -wafers 5000 -yield 0.4
+//	nanocost -lambda 0.13 -ntr 10e6 -wafers 50000 -yield 0.9 -optimize
+//	nanocost -lambda 0.18 -ntr 10e6 -wafers 5000 -yield 0.4 -sweep-sd 120:2000:40
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/maskcost"
+	"repro/internal/report"
+)
+
+func main() {
+	var (
+		lambda  = flag.Float64("lambda", 0.18, "minimum feature size λ, µm")
+		sd      = flag.Float64("sd", 300, "design decompression index s_d")
+		ntr     = flag.Float64("ntr", 10e6, "transistors per chip N_tr")
+		wafers  = flag.Float64("wafers", 5000, "production volume N_w, wafers")
+		yld     = flag.Float64("yield", 0.8, "manufacturing yield Y")
+		cmsq    = flag.Float64("cmsq", 8.0, "manufacturing cost Cm_sq, $/cm²")
+		util    = flag.Float64("u", 1.0, "hardware utilization u (FPGA < 1)")
+		mask    = flag.Float64("mask", -1, "mask-set cost C_MA, $ (-1 = node-dependent model)")
+		optimiz = flag.Bool("optimize", false, "locate the cost-optimal s_d instead of evaluating -sd")
+		sweep   = flag.String("sweep-sd", "", "sweep s_d as lo:hi:points and print the curve")
+		withTst = flag.Bool("testcost", false, "include the §2.5 cost of test in the breakdown")
+		mc      = flag.Int("mc", 0, "run N Monte Carlo samples with default input uncertainty")
+	)
+	flag.Parse()
+
+	if err := run(*lambda, *sd, *ntr, *wafers, *yld, *cmsq, *util, *mask, *optimiz, *sweep, *withTst, *mc); err != nil {
+		fmt.Fprintf(os.Stderr, "nanocost: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(lambda, sd, ntr, wafers, yld, cmsq, util, mask float64, optimize bool, sweep string, withTest bool, mcSamples int) error {
+	if mask < 0 {
+		var err error
+		mask, err = maskcost.DefaultModel().SetCost(lambda)
+		if err != nil {
+			return err
+		}
+	}
+	s := core.Scenario{
+		Process: core.Process{
+			Name:         "cli",
+			LambdaUM:     lambda,
+			CostPerCM2:   cmsq,
+			Yield:        yld,
+			WaferAreaCM2: 300,
+		},
+		Design:      core.Design{Name: "cli", Transistors: ntr, Sd: sd},
+		DesignCost:  core.DefaultDesignCostModel(),
+		MaskCost:    mask,
+		Wafers:      wafers,
+		Utilization: util,
+	}
+
+	switch {
+	case mcSamples > 0:
+		u := core.UncertainScenario{
+			Base:  s,
+			Yield: core.Uniform(math.Max(0.05, yld*0.7), math.Min(1, yld*1.2)),
+			CmSq:  core.LogNormal(cmsq, 1.3),
+			Sd:    core.Uniform(math.Max(s.DesignCost.Sd0*1.05, sd*0.8), sd*1.4),
+		}
+		q, err := u.MonteCarlo(mcSamples, 1)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("Monte Carlo (%d samples): p5 $%s  p50 $%s  p95 $%s per transistor\n",
+			q.N, report.Num(q.P5), report.Num(q.P50), report.Num(q.P95))
+		return nil
+
+	case sweep != "":
+		lo, hi, n, err := parseSweep(sweep)
+		if err != nil {
+			return err
+		}
+		pts, err := core.SweepSd(s, lo, hi, n)
+		if err != nil {
+			return err
+		}
+		tbl := report.NewTable("transistor cost vs s_d", "s_d", "C_tr $", "mfg $", "design $", "die $", "die cm²")
+		for _, p := range pts {
+			b := p.Breakdown
+			tbl.AddRow(p.X, b.Total, b.Manufacturing, b.DesignAndMask, b.DieCost, b.DieArea)
+		}
+		fmt.Println(tbl.String())
+		return nil
+
+	case optimize:
+		opt, err := core.OptimalSd(s, 5000)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("optimal s_d = %.1f\n", opt.Sd)
+		printBreakdown(opt.Breakdown, s)
+		return nil
+
+	default:
+		b, err := s.TransistorCost()
+		if err != nil {
+			return err
+		}
+		printBreakdown(b, s)
+		if withTest {
+			withB, perTx, err := core.TransistorCostWithTest(s, core.DefaultTestCostModel())
+			if err != nil {
+				return err
+			}
+			fmt.Printf("with test (§2.5):     $%s/transistor ($%s test per die)\n",
+				report.Num(withB.Total), report.Num(perTx*ntr))
+		}
+		return nil
+	}
+}
+
+func printBreakdown(b core.Breakdown, s core.Scenario) {
+	fmt.Printf("transistor cost C_tr  = $%s\n", report.Num(b.Total))
+	fmt.Printf("  manufacturing share = $%s  (Cm_sq %s $/cm²)\n", report.Num(b.Manufacturing), report.Num(b.CmSq))
+	fmt.Printf("  design+mask share   = $%s  (Cd_sq %s $/cm², C_DE $%s)\n",
+		report.Num(b.DesignAndMask), report.Num(b.CdSq), report.Num(b.DesignDE))
+	fmt.Printf("die: %s cm², $%s at N_tr = %s\n",
+		report.Num(b.DieArea), report.Num(b.DieCost), report.Num(s.Design.Transistors))
+}
+
+// parseSweep parses "lo:hi:points".
+func parseSweep(s string) (lo, hi float64, n int, err error) {
+	parts := strings.Split(s, ":")
+	if len(parts) != 3 {
+		return 0, 0, 0, fmt.Errorf("sweep spec %q must be lo:hi:points", s)
+	}
+	if lo, err = strconv.ParseFloat(parts[0], 64); err != nil {
+		return 0, 0, 0, fmt.Errorf("sweep lo: %w", err)
+	}
+	if hi, err = strconv.ParseFloat(parts[1], 64); err != nil {
+		return 0, 0, 0, fmt.Errorf("sweep hi: %w", err)
+	}
+	if n, err = strconv.Atoi(parts[2]); err != nil {
+		return 0, 0, 0, fmt.Errorf("sweep points: %w", err)
+	}
+	return lo, hi, n, nil
+}

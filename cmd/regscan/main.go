@@ -1,0 +1,131 @@
+// Command regscan generates a layout in one of the built-in styles (or
+// reads one from a text-interchange file), scans it for repetitive
+// patterns, and reports the regularity metrics plus their design-cost
+// implication via the §3.2 pipeline. With -out it also dumps the layout
+// for other tools.
+//
+// Examples:
+//
+//	regscan -style asic -cells 600 -util 0.5 -pitch 60
+//	regscan -style sram -out sram.lay
+//	regscan -in sram.lay -pitch 60
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/designflow"
+	"repro/internal/layout"
+	"repro/internal/regularity"
+	"repro/internal/report"
+)
+
+func main() {
+	var (
+		style = flag.String("style", "asic", "layout style: sram, datapath, asic")
+		cells = flag.Int("cells", 400, "standard cells (asic style)")
+		util  = flag.Float64("util", 0.7, "row utilization (asic style)")
+		pitch = flag.Int("pitch", 60, "pattern window pitch, λ")
+		seed  = flag.Uint64("seed", 1, "RNG seed")
+		in    = flag.String("in", "", "read the layout from a text-interchange file instead of generating")
+		out   = flag.String("out", "", "write the layout to a text-interchange file")
+	)
+	flag.Parse()
+
+	if err := runIO(*style, *cells, *util, *pitch, *seed, *in, *out); err != nil {
+		fmt.Fprintf(os.Stderr, "regscan: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// runIO resolves the layout source (file or generator) and optional dump,
+// then analyzes it.
+func runIO(style string, cells int, util float64, pitch int, seed uint64, in, out string) error {
+	var (
+		l   *layout.Layout
+		err error
+	)
+	if in != "" {
+		f, err := os.Open(in)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		l, err = layout.Read(f)
+		if err != nil {
+			return err
+		}
+		return analyze(l, pitch, seed, out)
+	}
+	l, err = generate(style, cells, util, seed)
+	if err != nil {
+		return err
+	}
+	return analyze(l, pitch, seed, out)
+}
+
+// generate builds a layout in one of the built-in styles.
+func generate(style string, cells int, util float64, seed uint64) (*layout.Layout, error) {
+	switch style {
+	case "sram":
+		return layout.GenerateSRAMArray(32, 32)
+	case "datapath":
+		return layout.GenerateDatapath(32, 8, 12)
+	case "asic":
+		return layout.GenerateRandomLogic(layout.RandomLogicConfig{
+			Cells: cells, RowUtil: util, RouteTracks: 6, Seed: seed,
+		})
+	default:
+		return nil, fmt.Errorf("unknown style %q (want sram, datapath, asic)", style)
+	}
+}
+
+// analyze scans the layout, prints the report, and optionally dumps the
+// layout to a file.
+func analyze(l *layout.Layout, pitch int, seed uint64, out string) error {
+	if out != "" {
+		f, err := os.Create(out)
+		if err != nil {
+			return err
+		}
+		if err := layout.Write(f, l); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("wrote layout to %s\n", out)
+	}
+	sd, err := l.Sd()
+	if err != nil {
+		return err
+	}
+	rep, err := regularity.Analyze(l, pitch)
+	if err != nil {
+		return err
+	}
+	sigma, err := regularity.DefaultPredictionErrorModel().Error(rep.Regularity)
+	if err != nil {
+		return err
+	}
+	iters, cost, err := designflow.RegularityDesignCost(10e6, sigma, designflow.ClosureConfig{
+		InitialOvershoot: 0.5, Tolerance: 0.02, ResidualFloor: 0.08, Seed: seed,
+	}, designflow.DefaultIterationCostModel(), 300)
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("layout %q: %d×%d λ, %d transistors, %d rects\n",
+		l.Name, l.Width, l.Height, l.Transistors, len(l.Rects))
+	fmt.Printf("measured s_d: %s λ²/transistor\n\n", report.Num(sd))
+	tbl := report.NewTable("pattern scan @ pitch "+fmt.Sprint(rep.Pitch),
+		"windows", "non-empty", "unique", "regularity", "top-8 coverage", "max repeat")
+	tbl.AddRow(rep.Windows, rep.NonEmpty, rep.UniquePatterns, rep.Regularity, rep.TopCoverage, rep.MaxRepeat)
+	fmt.Println(tbl.String())
+	fmt.Printf("§3.2 implication at 10M transistors: σ_pred = %s → %.1f closure iterations → C_DE ≈ $%s\n",
+		report.Num(sigma), iters, report.Num(cost))
+	return nil
+}

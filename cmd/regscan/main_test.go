@@ -1,0 +1,72 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestRunStyles(t *testing.T) {
+	for _, style := range []string{"sram", "datapath", "asic"} {
+		if err := runIO(style, 100, 0.7, 60, 1, "", ""); err != nil {
+			t.Errorf("style %q: %v", style, err)
+		}
+	}
+}
+
+func TestRunUnknownStyle(t *testing.T) {
+	if err := runIO("mystery", 100, 0.7, 60, 1, "", ""); err == nil {
+		t.Fatal("accepted unknown style")
+	}
+}
+
+func TestRunRejectsBadParams(t *testing.T) {
+	if err := runIO("asic", 0, 0.7, 60, 1, "", ""); err == nil {
+		t.Fatal("accepted zero cells")
+	}
+	if err := runIO("asic", 100, 1.5, 60, 1, "", ""); err == nil {
+		t.Fatal("accepted utilization > 1")
+	}
+	if err := runIO("asic", 100, 0.7, 0, 1, "", ""); err == nil {
+		t.Fatal("accepted zero pitch")
+	}
+}
+
+func TestRunFileRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "sram.lay")
+	// Generate + dump.
+	if err := runIO("sram", 0, 0, 60, 1, "", path); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(path); err != nil {
+		t.Fatalf("dump not written: %v", err)
+	}
+	// Read back and analyze.
+	if err := runIO("", 0, 0, 60, 1, path, ""); err != nil {
+		t.Fatalf("scan of dumped layout failed: %v", err)
+	}
+}
+
+func TestRunMissingInputFile(t *testing.T) {
+	if err := runIO("", 0, 0, 60, 1, "/nonexistent/file.lay", ""); err == nil {
+		t.Fatal("accepted missing input file")
+	}
+}
+
+func TestRunMalformedInputFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "bad.lay")
+	if err := os.WriteFile(path, []byte("GARBAGE\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := runIO("", 0, 0, 60, 1, path, ""); err == nil {
+		t.Fatal("accepted malformed layout file")
+	}
+}
+
+func TestRunUnwritableOutput(t *testing.T) {
+	if err := runIO("sram", 0, 0, 60, 1, "", "/nonexistent/dir/out.lay"); err == nil {
+		t.Fatal("accepted unwritable output path")
+	}
+}

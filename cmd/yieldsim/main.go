@@ -1,0 +1,64 @@
+// Command yieldsim runs Monte Carlo yield experiments and compares the
+// measurement with the analytic models, from flags.
+//
+// Example:
+//
+//	yieldsim -d0 0.5 -area 1.5 -alpha 0.8 -die 400 -wafers 300
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/report"
+	"repro/internal/yield"
+)
+
+func main() {
+	var (
+		d0     = flag.Float64("d0", 0.5, "defect density, defects/cm²")
+		area   = flag.Float64("area", 1.0, "critical area per die, cm²")
+		alpha  = flag.Float64("alpha", 0, "clustering α (0 = unclustered)")
+		die    = flag.Int("die", 400, "die per wafer")
+		wafers = flag.Int("wafers", 200, "wafers to simulate")
+		seed   = flag.Uint64("seed", 1, "RNG seed")
+	)
+	flag.Parse()
+
+	if err := run(*d0, *area, *alpha, *die, *wafers, *seed); err != nil {
+		fmt.Fprintf(os.Stderr, "yieldsim: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(d0, area, alpha float64, die, wafers int, seed uint64) error {
+	lambda, err := yield.Lambda(d0, area)
+	if err != nil {
+		return err
+	}
+	res, err := yield.Simulate(yield.SimConfig{
+		DiePerWafer:  die,
+		Wafers:       wafers,
+		Lambda:       lambda,
+		ClusterAlpha: alpha,
+		Seed:         seed,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("λ = D0·A = %s fatal defects/die\n", report.Num(lambda))
+	fmt.Printf("measured yield: %s ± %s  (%d/%d good die)\n\n",
+		report.Num(res.Yield), report.Num(res.StdErr), res.GoodDie, res.TotalDie)
+	tbl := report.NewTable("analytic models", "model", "yield", "Δ vs measured")
+	models := []yield.Model{yield.Poisson{}, yield.Murphy{}, yield.Seeds{}}
+	if alpha > 0 {
+		models = append(models, yield.NegBinomial{Alpha: alpha})
+	}
+	for _, m := range models {
+		y := m.Yield(lambda)
+		tbl.AddRow(m.Name(), y, y-res.Yield)
+	}
+	fmt.Println(tbl.String())
+	return nil
+}

@@ -1,0 +1,15 @@
+// Package repro is a reproduction of Wojciech Maly, "IC Design in
+// High-Cost Nanometer-Technologies Era" (DAC 2001): the transistor cost
+// models of eqs (1)–(7), the Table A1 industrial design-density study, the
+// ITRS-1999 derivations of Figures 2–3, the cost-optimization analysis of
+// Figure 4, and executable substrates for every system the paper leans on
+// (wafer geometry, fab economics, yield models with Monte Carlo
+// validation, a layout generator with measured s_d, repetitive-pattern
+// regularity analysis, and a simulated design flow whose timing-closure
+// iteration count drives design cost).
+//
+// The library lives under internal/; see README.md for the package map,
+// DESIGN.md for the system inventory and per-experiment index, and
+// EXPERIMENTS.md for paper-vs-measured results. The bench harness in
+// bench_test.go regenerates every table and figure.
+package repro

@@ -1,0 +1,70 @@
+// FPGA vs ASIC: the §2.5 utilization parameter in action.
+//
+// An FPGA fabricates transistors the product never uses — the paper
+// models this by substituting Y with u·Y in eq (4). In exchange, the FPGA
+// carries essentially no per-product mask or design cost. This example
+// sweeps production volume for several utilizations, prints the crossover
+// volume for each, and shows it moving: the better the FPGA's utilization,
+// the longer it stays competitive.
+//
+// Run: go run ./examples/fpgautilization
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/report"
+)
+
+func main() {
+	tbl := report.NewTable("ASIC-beats-FPGA crossover volume vs utilization",
+		"u", "crossover wafers", "FPGA C_tr at 100 wafers", "ASIC C_tr at 100 wafers")
+	for _, u := range []float64{0.2, 0.4, 0.6, 0.8} {
+		res, _, err := experiments.UtilizationCrossover(u, 10, 1e6, 8)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fpga100, asic100, err := costsAt(u, 100)
+		if err != nil {
+			log.Fatal(err)
+		}
+		tbl.AddRow(u, res.Crossover, fpga100, asic100)
+	}
+	fmt.Println(tbl.String())
+
+	// Render the full curve for u = 0.4, the paper-era FPGA regime.
+	_, fig, err := experiments.UtilizationCrossover(0.4, 10, 1e6, 48)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := fig.Render(log.Writer()); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nBelow the crossover the amortized NRE dominates and the FPGA's wasted")
+	fmt.Println("transistors are cheaper than an ASIC mask set; above it silicon wins.")
+}
+
+// costsAt evaluates both scenarios at one volume.
+func costsAt(u, wafers float64) (fpgaCost, asicCost float64, err error) {
+	asic, err := experiments.Figure4Scenario(experiments.Figure4Case{Wafers: wafers, Yield: 0.8}, 0.18)
+	if err != nil {
+		return 0, 0, err
+	}
+	fpga := asic
+	fpga.Utilization = u
+	fpga.Design.Sd = 2000
+	fpga.MaskCost = 0
+	fpga.DesignCost = core.DesignCostModel{A0: 1, P1: 1, P2: 1.2, Sd0: 100}
+	fb, err := fpga.TransistorCost()
+	if err != nil {
+		return 0, 0, err
+	}
+	ab, err := asic.TransistorCost()
+	if err != nil {
+		return 0, 0, err
+	}
+	return fb.Total, ab.Total, nil
+}

@@ -1,0 +1,119 @@
+// Paper walkthrough: the DAC 2001 argument, regenerated start to finish.
+//
+// This example replays the paper's reasoning in its own order, printing
+// the evidence at each step from the experiment harness:
+//
+//  1. §2.2.2 — industry data (Table A1 / Figure 1): design density is
+//     worsening, and the market followers run denser until they compete
+//     on performance (K7).
+//  2. §2.2.3 — the roadmap (Figures 2–3): the ITRS silently assumes the
+//     opposite trend, and holding die cost constant demands full-custom
+//     density no flow delivers: the cost contradiction.
+//  3. §2.3–2.4 — eq (4)–(6): adding design cost to the model creates an
+//     interior optimum s_d* that moves with volume and yield (Figure 4).
+//  4. §3.2 — the prescription: regular, precharacterized, repairable
+//     structures contain design cost (X-4) and yield (X-20), which is
+//     why memory tracks the roadmap (X-18).
+//
+// Run: go run ./examples/paperwalkthrough
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	step1Industry()
+	step2Roadmap()
+	step3Optimum()
+	step4Prescription()
+}
+
+func step1Industry() {
+	fmt.Println("== 1. What industry was doing (Table A1, Figure 1) ==")
+	res, _, err := experiments.Figure1()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Across %d published designs, logic s_d drifts +%.1f squares/year.\n",
+		len(res.Points), res.IndustryTrend.Slope)
+	fmt.Printf("Intel drifts +%.1f/yr; AMD ran denser (mean %.0f vs %.0f) until the\n",
+		res.IntelTrend.Slope, res.AMDMeanPreK7, res.IntelMeanPre)
+	fmt.Printf("K7 joined the performance war at s_d = %.0f — 'well above 300'.\n\n", res.K7Sd)
+}
+
+func step2Roadmap() {
+	fmt.Println("== 2. What the roadmap assumed (Figures 2–3) ==")
+	rows, _, err := experiments.Figure3()
+	if err != nil {
+		log.Fatal(err)
+	}
+	first, last := rows[0], rows[len(rows)-1]
+	fmt.Printf("ITRS-implied s_d falls %.0f (%d) → %.0f (%d): the roadmap needs\n",
+		first.ImpliedSd, first.Year, last.ImpliedSd, last.Year)
+	fmt.Printf("designs to get DENSER while industry gets sparser.\n")
+	fmt.Printf("Holding the $34 die: required s_d falls %.0f → %.0f — at the\n",
+		first.RequiredSd, last.RequiredSd)
+	fmt.Printf("full-custom limit (s_d0 ≈ 100) while industry ships 300+. That is\n")
+	fmt.Printf("the cost contradiction; the budget ratio climbs %.2f → %.2f.\n\n",
+		first.Ratio, last.Ratio)
+}
+
+func step3Optimum() {
+	fmt.Println("== 3. The model's answer (eq 4, Figure 4) ==")
+	cases := experiments.Figure4Cases()
+	for _, c := range cases {
+		curves, _, err := experiments.Figure4(c, 40)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, cv := range curves {
+			if cv.LambdaUM != 0.18 {
+				continue
+			}
+			fmt.Printf("panel %s at 0.18 µm: optimal s_d = %.0f, C_tr = $%.2g\n",
+				c.Label, cv.Optimum.Sd, cv.Optimum.Breakdown.Total)
+		}
+	}
+	fmt.Printf("Neither minimum die size nor maximum density: the optimum moves\n")
+	fmt.Printf("with volume and yield — §3.1's conclusion, located numerically.\n\n")
+}
+
+func step4Prescription() {
+	fmt.Println("== 4. The prescription: regularity pays three times ==")
+	reg, _, err := experiments.RegularityStudy(7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	byStyle := map[string]experiments.RegularityRow{}
+	for _, r := range reg {
+		byStyle[r.Style] = r
+	}
+	sram, sparse := byStyle["sram-array"], byStyle["asic-sparse"]
+	fmt.Printf("design cost: regular SRAM closes timing in %.1f iterations ($%.1fM),\n",
+		sram.Iterations, sram.DesignCost/1e6)
+	fmt.Printf("             sparse random logic needs %.1f ($%.1fM).\n",
+		sparse.Iterations, sparse.DesignCost/1e6)
+
+	repair, _, err := experiments.RepairStudy([]float64{3}, 0.01)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("yield:       at 3 defects/die, %d spares lift yield %.2f → %.2f\n",
+		repair[0].Spares, repair[0].RawYield, repair[0].RepairedYield)
+	fmt.Printf("             (cost multiplier %.2f — repair pays %.0fx over).\n",
+		repair[0].CostMultiplier, 1/repair[0].CostMultiplier)
+
+	dram, _, err := experiments.MPUvsDRAM()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("the proof:   DRAM (one 8F² pattern) holds implied s_d at %.1f for\n",
+		dram[0].DRAMSd)
+	fmt.Printf("             every roadmap generation; custom logic cannot.\n")
+	fmt.Println("\nConclusion: design for cost, with regular precharacterized blocks —")
+	fmt.Println("the paper's 2001 agenda, executable.")
+}

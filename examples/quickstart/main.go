@@ -1,0 +1,77 @@
+// Quickstart: price a transistor with the paper's cost model.
+//
+// This walks the core API end to end: define a process and a design,
+// evaluate the eq (3) manufacturing cost, extend it with design and mask
+// cost per eq (4)–(6), and locate the cost-optimal design density per
+// §3.1.
+//
+// Run: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+)
+
+func main() {
+	// A 0.18 µm process at the paper's stated economics: 8 $/cm², 80%
+	// yield, 200 mm wafers (≈300 cm² usable).
+	process := core.Process{
+		Name:         "cmos-180nm",
+		LambdaUM:     0.18,
+		CostPerCM2:   8.0,
+		Yield:        0.8,
+		WaferAreaCM2: 300,
+	}
+	// A 10-million-transistor design at s_d = 300 squares/transistor —
+	// the industrial median of Table A1.
+	design := core.Design{Name: "mpu", Transistors: 10e6, Sd: 300}
+
+	// Eq (3): manufacturing cost only.
+	ctr, err := core.ManufacturingCostPerTransistor(process, design)
+	if err != nil {
+		log.Fatal(err)
+	}
+	area, err := design.AreaCM2(process.LambdaUM)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("eq (3): %.3g $/transistor, %.2f cm² die, $%.2f die cost\n",
+		ctr, area, ctr*design.Transistors)
+
+	// Eq (4): add design cost (eq 6 with the paper's constants) and a
+	// $1M mask set, amortized over 5000 wafers.
+	scenario := core.Scenario{
+		Process:    process,
+		Design:     design,
+		DesignCost: core.DefaultDesignCostModel(),
+		MaskCost:   1e6,
+		Wafers:     5000,
+	}
+	b, err := scenario.TransistorCost()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("eq (4): %.3g $/transistor (manufacturing %.3g + design/mask %.3g)\n",
+		b.Total, b.Manufacturing, b.DesignAndMask)
+	fmt.Printf("        design effort C_DE = $%.2fM for s_d=300\n", b.DesignDE/1e6)
+
+	// §3.1: neither the densest nor the cheapest-to-design point wins —
+	// find the argmin.
+	opt, err := core.OptimalSd(scenario, 2000)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("optimal s_d at 5000 wafers: %.0f (%.3g $/transistor)\n",
+		opt.Sd, opt.Breakdown.Total)
+
+	// The optimum moves with volume: at 20x the volume, density pays.
+	opt2, err := core.OptimalSd(scenario.WithWafers(100000), 2000)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("optimal s_d at 100000 wafers: %.0f (%.3g $/transistor)\n",
+		opt2.Sd, opt2.Breakdown.Total)
+}

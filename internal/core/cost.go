@@ -1,0 +1,129 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Process bundles the process-dependent characteristics of eq (3): minimum
+// feature size λ, the manufacturing cost per cm² of fabricated wafer
+// Cm_sq, and a default line yield Y. WaferAreaCM2 is the usable wafer area
+// A_w that amortizes mask and design cost in eq (5).
+type Process struct {
+	Name         string
+	LambdaUM     float64 // minimum feature size λ, µm
+	CostPerCM2   float64 // Cm_sq, $/cm² of fabricated wafer
+	Yield        float64 // default manufacturing yield Y in (0, 1]
+	WaferAreaCM2 float64 // usable wafer area A_w, cm²
+	MetalLayers  int     // informational; drives mask-count defaults elsewhere
+}
+
+// Validate reports the first invalid field of p, or nil.
+func (p Process) Validate() error {
+	switch {
+	case p.LambdaUM <= 0:
+		return fmt.Errorf("core: process %q: feature size must be positive, got %v µm", p.Name, p.LambdaUM)
+	case p.CostPerCM2 <= 0:
+		return fmt.Errorf("core: process %q: cost per cm² must be positive, got %v", p.Name, p.CostPerCM2)
+	case !validYield(p.Yield):
+		return fmt.Errorf("core: process %q: yield must be in (0,1], got %v", p.Name, p.Yield)
+	case p.WaferAreaCM2 <= 0:
+		return fmt.Errorf("core: process %q: wafer area must be positive, got %v cm²", p.Name, p.WaferAreaCM2)
+	}
+	return nil
+}
+
+// Design bundles the process-independent design attributes of eq (2)–(3):
+// transistor count and design decompression index.
+type Design struct {
+	Name        string
+	Transistors float64 // N_tr
+	Sd          float64 // s_d, λ² squares per transistor
+}
+
+// Validate reports the first invalid field of d, or nil.
+func (d Design) Validate() error {
+	switch {
+	case d.Transistors <= 0:
+		return fmt.Errorf("core: design %q: transistor count must be positive, got %v", d.Name, d.Transistors)
+	case d.Sd <= 0:
+		return fmt.Errorf("core: design %q: s_d must be positive, got %v", d.Name, d.Sd)
+	}
+	return nil
+}
+
+// AreaCM2 returns the die area A_ch implied by the design on process
+// feature size lambdaUM, per eq (2).
+func (d Design) AreaCM2(lambdaUM float64) (float64, error) {
+	return DieArea(d.Transistors, lambdaUM, d.Sd)
+}
+
+// ManufacturingCostPerTransistor evaluates eq (3):
+//
+//	C_tr = Cm_sq · λ² · s_d / Y
+//
+// with λ taken from the process and s_d from the design. The result is
+// dollars per functioning transistor, counting manufacturing only.
+func ManufacturingCostPerTransistor(p Process, d Design) (float64, error) {
+	if err := p.Validate(); err != nil {
+		return 0, err
+	}
+	if err := d.Validate(); err != nil {
+		return 0, err
+	}
+	return p.CostPerCM2 * LambdaSquaredCM2(p.LambdaUM) * d.Sd / p.Yield, nil
+}
+
+// CostPerTransistorFromWafer evaluates eq (1) directly:
+//
+//	C_tr = C_w / (N_tr · N_ch · Y)
+//
+// where waferCost is the fabrication cost of a wafer C_w, transistors is
+// N_tr per chip, chipsPerWafer is N_ch, and yield is Y. It exists so that
+// the wafer-geometry substrate (internal/wafer) and the fab-cost substrate
+// (internal/fab) can feed the cost model without going through the per-cm²
+// abstraction.
+func CostPerTransistorFromWafer(waferCost, transistors float64, chipsPerWafer int, yield float64) (float64, error) {
+	if waferCost <= 0 {
+		return 0, fmt.Errorf("core: wafer cost must be positive, got %v", waferCost)
+	}
+	if transistors <= 0 {
+		return 0, fmt.Errorf("core: transistor count must be positive, got %v", transistors)
+	}
+	if chipsPerWafer <= 0 {
+		return 0, fmt.Errorf("core: chips per wafer must be positive, got %d", chipsPerWafer)
+	}
+	if !validYield(yield) {
+		return 0, fmt.Errorf("core: yield must be in (0,1], got %v", yield)
+	}
+	return waferCost / (transistors * float64(chipsPerWafer) * yield), nil
+}
+
+// DieManufacturingCost returns the manufacturing cost of one functioning
+// die: C_ch = C_tr · N_tr with C_tr from eq (3).
+func DieManufacturingCost(p Process, d Design) (float64, error) {
+	ctr, err := ManufacturingCostPerTransistor(p, d)
+	if err != nil {
+		return 0, err
+	}
+	return ctr * d.Transistors, nil
+}
+
+// RequiredSdForDieCost inverts eq (3) at the die level: it returns the
+// s_d needed so that the manufacturing cost of a die with the given
+// transistor count equals targetDieCost on the given process. This is the
+// Figure 3 computation (constant $34 MPU die).
+//
+//	s_d = targetDieCost · Y / (Cm_sq · λ² · N_tr)
+func RequiredSdForDieCost(targetDieCost float64, p Process, transistors float64) (float64, error) {
+	if targetDieCost <= 0 {
+		return 0, fmt.Errorf("core: target die cost must be positive, got %v", targetDieCost)
+	}
+	if err := p.Validate(); err != nil {
+		return 0, err
+	}
+	if transistors <= 0 {
+		return 0, errors.New("core: transistor count must be positive")
+	}
+	return targetDieCost * p.Yield / (p.CostPerCM2 * LambdaSquaredCM2(p.LambdaUM) * transistors), nil
+}

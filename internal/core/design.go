@@ -1,0 +1,100 @@
+package core
+
+import (
+	"fmt"
+	"math"
+)
+
+// DesignCostModel is the "first approximation design cost model" of eq (6):
+//
+//	C_DE = A0 · N_tr^p1 / (s_d − s_d0)^p2
+//
+// The paper writes the denominator as (s_d0 − s_d)^p2 while defining it as
+// the distance between the achieved s_d and the best possible s_d0 ≈ 100;
+// since achievable designs satisfy s_d > s_d0, this implementation uses the
+// distance s_d − s_d0 and requires s_d > s_d0. The closer a design pushes
+// toward full-custom density, the more unsuccessful iterations it suffers
+// and the faster C_DE diverges.
+//
+// The default parameters are the paper's published calibration
+// (A0 = 1000, p1 = 1.0, p2 = 1.2, s_d0 = 100); the paper stresses they are
+// illustrative, which is why they are plain exported fields.
+type DesignCostModel struct {
+	A0  float64 // scale, dollars
+	P1  float64 // transistor-count exponent
+	P2  float64 // density-distance exponent
+	Sd0 float64 // best achievable s_d (full-custom limit)
+}
+
+// DefaultDesignCostModel returns eq (6) with the paper's constants.
+func DefaultDesignCostModel() DesignCostModel {
+	return DesignCostModel{A0: 1000, P1: 1.0, P2: 1.2, Sd0: 100}
+}
+
+// Validate reports the first invalid parameter of m, or nil.
+func (m DesignCostModel) Validate() error {
+	switch {
+	case m.A0 <= 0:
+		return fmt.Errorf("core: design cost model: A0 must be positive, got %v", m.A0)
+	case m.P1 < 0:
+		return fmt.Errorf("core: design cost model: p1 must be non-negative, got %v", m.P1)
+	case m.P2 < 0:
+		return fmt.Errorf("core: design cost model: p2 must be non-negative, got %v", m.P2)
+	case m.Sd0 <= 0:
+		return fmt.Errorf("core: design cost model: s_d0 must be positive, got %v", m.Sd0)
+	}
+	return nil
+}
+
+// Cost evaluates eq (6) for a design with the given transistor count and
+// decompression index. It returns an error when sd does not exceed the
+// full-custom limit Sd0, where the model diverges: no amount of design
+// effort reaches beyond the best-possible density.
+func (m DesignCostModel) Cost(transistors, sd float64) (float64, error) {
+	if err := m.Validate(); err != nil {
+		return 0, err
+	}
+	if transistors <= 0 {
+		return 0, fmt.Errorf("core: design cost: transistor count must be positive, got %v", transistors)
+	}
+	if sd <= m.Sd0 {
+		return 0, fmt.Errorf("core: design cost: s_d = %v must exceed the full-custom limit s_d0 = %v", sd, m.Sd0)
+	}
+	return m.A0 * math.Pow(transistors, m.P1) / math.Pow(sd-m.Sd0, m.P2), nil
+}
+
+// MarginalCost returns ∂C_DE/∂s_d, the (negative) rate at which design
+// cost falls as the design is allowed to be sparser. Optimizers use it to
+// reason about the eq (4) trade-off analytically in tests.
+func (m DesignCostModel) MarginalCost(transistors, sd float64) (float64, error) {
+	c, err := m.Cost(transistors, sd)
+	if err != nil {
+		return 0, err
+	}
+	return -m.P2 * c / (sd - m.Sd0), nil
+}
+
+// DesignCostPerCM2 evaluates eq (5):
+//
+//	Cd_sq = (C_MA + C_DE) / (N_w · A_w)
+//
+// maskCost is the lithography mask-set cost C_MA, designCost the total
+// design activity cost C_DE, wafers the production volume N_w, and
+// waferAreaCM2 the usable wafer area A_w. For high-volume products the
+// result vanishes and eq (4) degenerates to eq (3), exactly as the paper
+// notes.
+func DesignCostPerCM2(maskCost, designCost, wafers, waferAreaCM2 float64) (float64, error) {
+	if maskCost < 0 {
+		return 0, fmt.Errorf("core: mask cost must be non-negative, got %v", maskCost)
+	}
+	if designCost < 0 {
+		return 0, fmt.Errorf("core: design cost must be non-negative, got %v", designCost)
+	}
+	if wafers <= 0 {
+		return 0, fmt.Errorf("core: wafer volume must be positive, got %v", wafers)
+	}
+	if waferAreaCM2 <= 0 {
+		return 0, fmt.Errorf("core: wafer area must be positive, got %v", waferAreaCM2)
+	}
+	return (maskCost + designCost) / (wafers * waferAreaCM2), nil
+}

@@ -1,0 +1,160 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDefaultDesignCostModelConstants(t *testing.T) {
+	m := DefaultDesignCostModel()
+	if m.A0 != 1000 || m.P1 != 1.0 || m.P2 != 1.2 || m.Sd0 != 100 {
+		t.Fatalf("defaults = %+v, want the paper's A0=1000 p1=1 p2=1.2 s_d0=100", m)
+	}
+}
+
+func TestDesignCostEq6(t *testing.T) {
+	m := DefaultDesignCostModel()
+	// C_DE = 1000 · (1e7)^1 / (300-100)^1.2
+	want := 1000 * 1e7 / math.Pow(200, 1.2)
+	got, err := m.Cost(1e7, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(got, want, 1e-12) {
+		t.Fatalf("C_DE = %v, want %v", got, want)
+	}
+	// Order of magnitude: tens of millions of dollars for a 10M-transistor
+	// design at s_d = 300 — the paper's implied scale.
+	if got < 1e6 || got > 1e9 {
+		t.Fatalf("C_DE = %v out of plausible dollar scale", got)
+	}
+}
+
+func TestDesignCostDivergesNearSd0(t *testing.T) {
+	m := DefaultDesignCostModel()
+	far, err := m.Cost(1e7, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	near, err := m.Cost(1e7, 101)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if near <= far {
+		t.Fatalf("cost near s_d0 (%v) not above cost far away (%v)", near, far)
+	}
+	if _, err := m.Cost(1e7, 100); err == nil {
+		t.Fatal("accepted s_d = s_d0")
+	}
+	if _, err := m.Cost(1e7, 50); err == nil {
+		t.Fatal("accepted s_d < s_d0")
+	}
+}
+
+func TestDesignCostScalesWithTransistors(t *testing.T) {
+	m := DefaultDesignCostModel()
+	small, err := m.Cost(1e6, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := m.Cost(1e7, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// p1 = 1: cost is linear in N_tr.
+	if !almost(big, 10*small, 1e-9) {
+		t.Fatalf("10x transistors scaled cost by %v, want 10 (p1=1)", big/small)
+	}
+}
+
+func TestDesignCostModelValidate(t *testing.T) {
+	cases := []DesignCostModel{
+		{A0: 0, P1: 1, P2: 1, Sd0: 100},
+		{A0: 1, P1: -1, P2: 1, Sd0: 100},
+		{A0: 1, P1: 1, P2: -1, Sd0: 100},
+		{A0: 1, P1: 1, P2: 1, Sd0: 0},
+	}
+	for i, m := range cases {
+		if err := m.Validate(); err == nil {
+			t.Errorf("case %d: invalid model %+v accepted", i, m)
+		}
+	}
+	if err := DefaultDesignCostModel().Validate(); err != nil {
+		t.Fatalf("default model rejected: %v", err)
+	}
+}
+
+func TestMarginalCostNegativeAndConsistent(t *testing.T) {
+	m := DefaultDesignCostModel()
+	sd := 250.0
+	grad, err := m.MarginalCost(1e7, sd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if grad >= 0 {
+		t.Fatalf("marginal design cost = %v, want negative (sparser is cheaper)", grad)
+	}
+	// Compare with central difference.
+	h := 1e-4
+	up, _ := m.Cost(1e7, sd+h)
+	dn, _ := m.Cost(1e7, sd-h)
+	fd := (up - dn) / (2 * h)
+	if !almost(grad, fd, 1e-5) {
+		t.Fatalf("marginal = %v, finite difference = %v", grad, fd)
+	}
+}
+
+func TestDesignCostPerCM2Eq5(t *testing.T) {
+	// Cd_sq = (1e6 + 4e7)/(5000·300)
+	got, err := DesignCostPerCM2(1e6, 4e7, 5000, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := (1e6 + 4e7) / (5000 * 300)
+	if !almost(got, want, 1e-12) {
+		t.Fatalf("Cd_sq = %v, want %v", got, want)
+	}
+}
+
+func TestDesignCostPerCM2VanishesAtVolume(t *testing.T) {
+	// The paper: for high-volume products eq (4) → eq (3).
+	lo, err := DesignCostPerCM2(1e6, 4e7, 1e9, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lo > 1e-3 {
+		t.Fatalf("Cd_sq at huge volume = %v, want ≈0", lo)
+	}
+}
+
+func TestDesignCostPerCM2Validation(t *testing.T) {
+	if _, err := DesignCostPerCM2(-1, 0, 100, 300); err == nil {
+		t.Fatal("accepted negative mask cost")
+	}
+	if _, err := DesignCostPerCM2(0, -1, 100, 300); err == nil {
+		t.Fatal("accepted negative design cost")
+	}
+	if _, err := DesignCostPerCM2(0, 0, 0, 300); err == nil {
+		t.Fatal("accepted zero volume")
+	}
+	if _, err := DesignCostPerCM2(0, 0, 100, 0); err == nil {
+		t.Fatal("accepted zero wafer area")
+	}
+}
+
+// Property: eq (6) is strictly decreasing in s_d on (s_d0, ∞) — pushing a
+// design denser always costs more.
+func TestDesignCostMonotoneProperty(t *testing.T) {
+	m := DefaultDesignCostModel()
+	f := func(a uint32, b uint16) bool {
+		sd := 101 + float64(a%100000)/100 // [101, 1101)
+		step := 1 + float64(b%1000)/100   // [1, 11)
+		c1, err1 := m.Cost(1e7, sd)
+		c2, err2 := m.Cost(1e7, sd+step)
+		return err1 == nil && err2 == nil && c2 < c1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}

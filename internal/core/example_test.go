@@ -1,0 +1,91 @@
+package core_test
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+)
+
+// The paper's eq (3): manufacturing cost of one functioning transistor.
+func ExampleManufacturingCostPerTransistor() {
+	process := core.Process{
+		Name:         "cmos-180nm",
+		LambdaUM:     0.18,
+		CostPerCM2:   8.0,
+		Yield:        0.8,
+		WaferAreaCM2: 300,
+	}
+	design := core.Design{Name: "mpu", Transistors: 10e6, Sd: 300}
+	ctr, err := core.ManufacturingCostPerTransistor(process, design)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("C_tr = $%.3g, die = $%.2f\n", ctr, ctr*design.Transistors)
+	// Output:
+	// C_tr = $9.72e-07, die = $9.72
+}
+
+// Eq (2) inverted: extract s_d from a published die, exactly as Table A1
+// was built (row 4, the Pentium P54C).
+func ExampleSdFromLayout() {
+	sd, err := core.SdFromLayout(1.48, 3.1e6, 0.6)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("s_d = %.1f squares/transistor\n", sd)
+	// Output:
+	// s_d = 132.6 squares/transistor
+}
+
+// Eq (6) with the paper's published constants.
+func ExampleDesignCostModel_Cost() {
+	m := core.DefaultDesignCostModel()
+	cde, err := m.Cost(10e6, 300)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("C_DE = $%.1fM at s_d = 300\n", cde/1e6)
+	// Output:
+	// C_DE = $17.3M at s_d = 300
+}
+
+// §3.1: the cost-optimal density moves with volume.
+func ExampleOptimalSd() {
+	s := core.Scenario{
+		Process: core.Process{
+			Name: "node", LambdaUM: 0.18, CostPerCM2: 8, Yield: 0.8, WaferAreaCM2: 300,
+		},
+		Design:     core.Design{Name: "d", Transistors: 10e6, Sd: 300},
+		DesignCost: core.DefaultDesignCostModel(),
+		MaskCost:   1e6,
+		Wafers:     5000,
+	}
+	low, err := core.OptimalSd(s, 2000)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	high, err := core.OptimalSd(s.WithWafers(100000), 2000)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("optimal s_d: %.0f at 5k wafers, %.0f at 100k wafers\n", low.Sd, high.Sd)
+	// Output:
+	// optimal s_d: 307 at 5k wafers, 150 at 100k wafers
+}
+
+// The Williams–Brown shipped-defect level behind X-22.
+func ExampleDefectLevel() {
+	dl, err := core.DefectLevel(0.5, 0.99)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("%.0f DPM at 99%% coverage, 50%% yield\n", dl*1e6)
+	// Output:
+	// 6908 DPM at 99% coverage, 50% yield
+}

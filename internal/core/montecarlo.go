@@ -1,0 +1,246 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/stats"
+)
+
+// Dist is a one-dimensional input distribution for uncertainty analysis.
+// The zero value is invalid; construct with Fixed, Uniform or LogNormal.
+type Dist struct {
+	kind distKind
+	a, b float64
+}
+
+type distKind int
+
+const (
+	distInvalid distKind = iota
+	distFixed
+	distUniform
+	distLogNormal
+)
+
+// Fixed returns a degenerate distribution pinned at v.
+func Fixed(v float64) Dist { return Dist{kind: distFixed, a: v} }
+
+// Uniform returns a uniform distribution on [lo, hi].
+func Uniform(lo, hi float64) Dist { return Dist{kind: distUniform, a: lo, b: hi} }
+
+// LogNormal returns a log-normal distribution with the given median and
+// multiplicative sigma (e.g. sigma = 1.3 means one standard deviation
+// spans ×1.3 / ÷1.3) — the natural shape for costs and yields' odds.
+func LogNormal(median, sigma float64) Dist { return Dist{kind: distLogNormal, a: median, b: sigma} }
+
+// Validate reports whether the distribution is well-formed.
+func (d Dist) Validate() error {
+	switch d.kind {
+	case distFixed:
+		return nil
+	case distUniform:
+		if !(d.a <= d.b) {
+			return fmt.Errorf("core: uniform distribution requires lo <= hi, got [%v, %v]", d.a, d.b)
+		}
+		return nil
+	case distLogNormal:
+		if d.a <= 0 {
+			return fmt.Errorf("core: log-normal median must be positive, got %v", d.a)
+		}
+		if d.b < 1 {
+			return fmt.Errorf("core: log-normal sigma must be >= 1, got %v", d.b)
+		}
+		return nil
+	default:
+		return fmt.Errorf("core: uninitialized distribution")
+	}
+}
+
+// Sample draws one value.
+func (d Dist) Sample(r *stats.RNG) float64 {
+	switch d.kind {
+	case distFixed:
+		return d.a
+	case distUniform:
+		return r.Range(d.a, d.b)
+	case distLogNormal:
+		return d.a * math.Exp(r.Norm(0, math.Log(d.b)))
+	default:
+		panic("core: Sample on uninitialized Dist")
+	}
+}
+
+// UncertainScenario wraps a base scenario with input distributions; any
+// nil-kind (unset) field falls back to the base scenario's point value.
+// Yield samples are clamped into (0, 1]; s_d samples below the design
+// cost model's domain are rejected and redrawn.
+type UncertainScenario struct {
+	Base     Scenario
+	Yield    Dist
+	CmSq     Dist
+	Sd       Dist
+	Wafers   Dist
+	MaskCost Dist
+}
+
+// dist returns d when set, else a Fixed at fallback.
+func orFixed(d Dist, fallback float64) Dist {
+	if d.kind == distInvalid {
+		return Fixed(fallback)
+	}
+	return d
+}
+
+// CostQuantiles summarizes a Monte Carlo cost study.
+type CostQuantiles struct {
+	Mean float64
+	P5   float64
+	P50  float64
+	P95  float64
+	N    int
+}
+
+// MonteCarlo propagates the input distributions through eq (4) and
+// returns quantiles of the transistor cost. Samples that land outside the
+// model's domain (yield ≤ 0, s_d ≤ s_d0, …) are redrawn, up to a bounded
+// number of attempts per sample.
+func (u UncertainScenario) MonteCarlo(n int, seed uint64) (CostQuantiles, error) {
+	costs, err := u.MonteCarloSamples(n, seed)
+	if err != nil {
+		return CostQuantiles{}, err
+	}
+	var sum float64
+	for _, c := range costs {
+		sum += c
+	}
+	return CostQuantiles{
+		Mean: sum / float64(n),
+		P5:   stats.Quantile(costs, 0.05),
+		P50:  stats.Quantile(costs, 0.50),
+		P95:  stats.Quantile(costs, 0.95),
+		N:    n,
+	}, nil
+}
+
+// MonteCarloSamples runs the same propagation and returns the raw cost
+// samples in ascending order, for histogramming and custom risk metrics.
+func (u UncertainScenario) MonteCarloSamples(n int, seed uint64) ([]float64, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("core: MonteCarlo requires positive sample count, got %d", n)
+	}
+	if err := u.Base.Validate(); err != nil {
+		return nil, err
+	}
+	dists := []Dist{
+		orFixed(u.Yield, u.Base.Process.Yield),
+		orFixed(u.CmSq, u.Base.Process.CostPerCM2),
+		orFixed(u.Sd, u.Base.Design.Sd),
+		orFixed(u.Wafers, u.Base.Wafers),
+		orFixed(u.MaskCost, u.Base.MaskCost),
+	}
+	for _, d := range dists {
+		if err := d.Validate(); err != nil {
+			return nil, err
+		}
+	}
+	r := stats.NewRNG(seed)
+	costs := make([]float64, 0, n)
+	for i := 0; i < n; i++ {
+		var total float64
+		ok := false
+		for attempt := 0; attempt < 64; attempt++ {
+			s := u.Base
+			y := dists[0].Sample(r)
+			if y > 1 {
+				y = 1
+			}
+			s.Process.Yield = y
+			s.Process.CostPerCM2 = dists[1].Sample(r)
+			s.Design.Sd = dists[2].Sample(r)
+			s.Wafers = dists[3].Sample(r)
+			s.MaskCost = dists[4].Sample(r)
+			b, err := s.TransistorCost()
+			if err != nil {
+				continue
+			}
+			total = b.Total
+			ok = true
+			break
+		}
+		if !ok {
+			return nil, fmt.Errorf("core: MonteCarlo could not draw a valid sample (distributions mostly outside the model domain)")
+		}
+		costs = append(costs, total)
+	}
+	sort.Float64s(costs)
+	return costs, nil
+}
+
+// TornadoBar is one input's leverage on the transistor cost: the cost at
+// the input's low and high excursion with every other input at its base
+// value.
+type TornadoBar struct {
+	Name     string
+	LowCost  float64
+	HighCost float64
+}
+
+// Swing returns the absolute cost range the input commands.
+func (b TornadoBar) Swing() float64 { return math.Abs(b.HighCost - b.LowCost) }
+
+// Tornado performs one-at-a-time sensitivity: each parameter is moved to
+// (1−rel) and (1+rel) of its base value (yield clamped to 1) and the cost
+// re-evaluated. Bars are returned sorted by descending swing — the
+// tornado chart that tells a cost engineer which input to nail down
+// first.
+func Tornado(s Scenario, rel float64) ([]TornadoBar, error) {
+	if !(rel > 0 && rel < 1) {
+		return nil, fmt.Errorf("core: Tornado excursion must be in (0,1), got %v", rel)
+	}
+	if _, err := s.TransistorCost(); err != nil {
+		return nil, err
+	}
+	evalWith := func(apply func(*Scenario, float64), v float64) (float64, error) {
+		sc := s
+		apply(&sc, v)
+		b, err := sc.TransistorCost()
+		if err != nil {
+			return 0, err
+		}
+		return b.Total, nil
+	}
+	params := []struct {
+		name  string
+		base  float64
+		apply func(*Scenario, float64)
+		clamp func(float64) float64
+	}{
+		{"yield", s.Process.Yield, func(sc *Scenario, v float64) { sc.Process.Yield = v },
+			func(v float64) float64 { return math.Min(v, 1) }},
+		{"cm_sq", s.Process.CostPerCM2, func(sc *Scenario, v float64) { sc.Process.CostPerCM2 = v }, nil},
+		{"s_d", s.Design.Sd, func(sc *Scenario, v float64) { sc.Design.Sd = v }, nil},
+		{"wafers", s.Wafers, func(sc *Scenario, v float64) { sc.Wafers = v }, nil},
+		{"mask", s.MaskCost, func(sc *Scenario, v float64) { sc.MaskCost = v }, nil},
+		{"lambda", s.Process.LambdaUM, func(sc *Scenario, v float64) { sc.Process.LambdaUM = v }, nil},
+	}
+	bars := make([]TornadoBar, 0, len(params))
+	for _, p := range params {
+		lo, hi := p.base*(1-rel), p.base*(1+rel)
+		if p.clamp != nil {
+			lo, hi = p.clamp(lo), p.clamp(hi)
+		}
+		lc, err := evalWith(p.apply, lo)
+		if err != nil {
+			return nil, fmt.Errorf("core: tornado %s low: %w", p.name, err)
+		}
+		hc, err := evalWith(p.apply, hi)
+		if err != nil {
+			return nil, fmt.Errorf("core: tornado %s high: %w", p.name, err)
+		}
+		bars = append(bars, TornadoBar{Name: p.name, LowCost: lc, HighCost: hc})
+	}
+	sort.Slice(bars, func(i, j int) bool { return bars[i].Swing() > bars[j].Swing() })
+	return bars, nil
+}

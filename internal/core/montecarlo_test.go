@@ -1,0 +1,220 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/stats"
+)
+
+func TestDistValidate(t *testing.T) {
+	if err := Fixed(3).Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := Uniform(1, 2).Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := Uniform(2, 1).Validate(); err == nil {
+		t.Fatal("accepted inverted uniform")
+	}
+	if err := LogNormal(1, 1.3).Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := LogNormal(0, 1.3).Validate(); err == nil {
+		t.Fatal("accepted zero median")
+	}
+	if err := LogNormal(1, 0.9).Validate(); err == nil {
+		t.Fatal("accepted sigma < 1")
+	}
+	if err := (Dist{}).Validate(); err == nil {
+		t.Fatal("accepted zero-value Dist")
+	}
+}
+
+func TestDistSampling(t *testing.T) {
+	r := stats.NewRNG(3)
+	if v := Fixed(7).Sample(r); v != 7 {
+		t.Fatalf("Fixed sample = %v", v)
+	}
+	for i := 0; i < 1000; i++ {
+		v := Uniform(2, 5).Sample(r)
+		if v < 2 || v >= 5 {
+			t.Fatalf("uniform sample %v outside [2,5)", v)
+		}
+	}
+	// Log-normal median ≈ the declared median.
+	var vals []float64
+	ln := LogNormal(10, 1.5)
+	for i := 0; i < 20000; i++ {
+		v := ln.Sample(r)
+		if v <= 0 {
+			t.Fatalf("log-normal sample %v", v)
+		}
+		vals = append(vals, v)
+	}
+	s, err := stats.Summarize(vals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(s.Median-10) > 0.3 {
+		t.Fatalf("log-normal median = %v, want ≈10", s.Median)
+	}
+}
+
+func TestDistSamplePanicsUninitialized(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Sample on zero Dist did not panic")
+		}
+	}()
+	(Dist{}).Sample(stats.NewRNG(1))
+}
+
+func TestMonteCarloDegenerateMatchesPoint(t *testing.T) {
+	s := figure4Scenario(5000, 0.8)
+	point, err := s.TransistorCost()
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := UncertainScenario{Base: s}.MonteCarlo(200, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range []float64{q.Mean, q.P5, q.P50, q.P95} {
+		if math.Abs(v-point.Total) > 1e-15 {
+			t.Fatalf("degenerate Monte Carlo %v != point %v", v, point.Total)
+		}
+	}
+	if q.N != 200 {
+		t.Fatalf("N = %d", q.N)
+	}
+}
+
+func TestMonteCarloQuantileOrderingAndSpread(t *testing.T) {
+	s := figure4Scenario(5000, 0.8)
+	u := UncertainScenario{
+		Base:  s,
+		Yield: Uniform(0.3, 0.9),
+		CmSq:  LogNormal(8, 1.4),
+		Sd:    Uniform(150, 600),
+	}
+	q, err := u.MonteCarlo(5000, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(q.P5 < q.P50 && q.P50 < q.P95) {
+		t.Fatalf("quantiles not ordered: %+v", q)
+	}
+	if q.P95/q.P5 < 1.5 {
+		t.Fatalf("spread too tight for these inputs: %+v", q)
+	}
+	if q.Mean < q.P5 || q.Mean > q.P95 {
+		t.Fatalf("mean %v outside central 90%%", q.Mean)
+	}
+}
+
+func TestMonteCarloDeterministic(t *testing.T) {
+	s := figure4Scenario(5000, 0.8)
+	u := UncertainScenario{Base: s, Yield: Uniform(0.3, 0.9)}
+	a, err := u.MonteCarlo(500, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := u.MonteCarlo(500, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatal("same seed, different quantiles")
+	}
+}
+
+func TestMonteCarloRedrawsInvalidSamples(t *testing.T) {
+	s := figure4Scenario(5000, 0.8)
+	// Half the s_d mass is below s_d0: those draws must be redrawn, not
+	// crash or bias toward failure.
+	u := UncertainScenario{Base: s, Sd: Uniform(50, 400)}
+	q, err := u.MonteCarlo(500, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.P5 <= 0 {
+		t.Fatalf("quantiles corrupted: %+v", q)
+	}
+}
+
+func TestMonteCarloHopelessDomainErrors(t *testing.T) {
+	s := figure4Scenario(5000, 0.8)
+	u := UncertainScenario{Base: s, Sd: Uniform(10, 50)} // entirely below s_d0
+	if _, err := u.MonteCarlo(10, 1); err == nil {
+		t.Fatal("accepted distributions entirely outside the domain")
+	}
+}
+
+func TestMonteCarloValidation(t *testing.T) {
+	s := figure4Scenario(5000, 0.8)
+	if _, err := (UncertainScenario{Base: s}).MonteCarlo(0, 1); err == nil {
+		t.Fatal("accepted zero samples")
+	}
+	bad := UncertainScenario{Base: s, Yield: Uniform(2, 1)}
+	if _, err := bad.MonteCarlo(10, 1); err == nil {
+		t.Fatal("accepted invalid distribution")
+	}
+	badBase := figure4Scenario(0, 0.8)
+	if _, err := (UncertainScenario{Base: badBase}).MonteCarlo(10, 1); err == nil {
+		t.Fatal("accepted invalid base scenario")
+	}
+}
+
+func TestTornadoOrderingAndDirections(t *testing.T) {
+	s := figure4Scenario(5000, 0.4)
+	bars, err := Tornado(s, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bars) != 6 {
+		t.Fatalf("bars = %d, want 6", len(bars))
+	}
+	for i := 1; i < len(bars); i++ {
+		if bars[i].Swing() > bars[i-1].Swing() {
+			t.Fatal("bars not sorted by swing")
+		}
+	}
+	byName := map[string]TornadoBar{}
+	for _, b := range bars {
+		byName[b.Name] = b
+	}
+	// Directions: more yield → cheaper; more λ → dearer; more wafers →
+	// cheaper (design amortization); more cm_sq → dearer.
+	if byName["yield"].HighCost >= byName["yield"].LowCost {
+		t.Fatal("yield direction wrong")
+	}
+	if byName["lambda"].HighCost <= byName["lambda"].LowCost {
+		t.Fatal("lambda direction wrong")
+	}
+	if byName["wafers"].HighCost >= byName["wafers"].LowCost {
+		t.Fatal("wafers direction wrong")
+	}
+	if byName["cm_sq"].HighCost <= byName["cm_sq"].LowCost {
+		t.Fatal("cm_sq direction wrong")
+	}
+	// λ commands the largest swing: cost is quadratic in it while every
+	// other bar moves the cost at most linearly at 20% excursions.
+	if bars[0].Name != "lambda" {
+		t.Fatalf("largest swing = %q, want lambda", bars[0].Name)
+	}
+}
+
+func TestTornadoValidation(t *testing.T) {
+	s := figure4Scenario(5000, 0.4)
+	if _, err := Tornado(s, 0); err == nil {
+		t.Fatal("accepted zero excursion")
+	}
+	if _, err := Tornado(s, 1); err == nil {
+		t.Fatal("accepted unit excursion")
+	}
+	bad := figure4Scenario(0, 0.4)
+	if _, err := Tornado(bad, 0.2); err == nil {
+		t.Fatal("accepted invalid scenario")
+	}
+}

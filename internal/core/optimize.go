@@ -1,0 +1,218 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/stats"
+)
+
+// Optimum describes a cost-optimal operating point located by OptimalSd.
+type Optimum struct {
+	Sd        float64   // argmin s_d
+	Breakdown Breakdown // full cost itemization at the optimum
+}
+
+// OptimalSd finds the design decompression index minimizing the eq (4)
+// transistor cost for the scenario, searching s_d in (Sd0, sdMax]. This is
+// the §3.1 design objective: neither the smallest die (small s_d) nor the
+// cheapest design effort (large s_d), but the argmin of C_tr.
+//
+// The objective is smooth and unimodal on the domain (a positive power of
+// 1/(s_d−s_d0) plus a linear term), so a coarse grid pre-pass followed by
+// Brent refinement is exact to the tolerance.
+func OptimalSd(s Scenario, sdMax float64) (Optimum, error) {
+	if err := s.Validate(); err != nil {
+		return Optimum{}, err
+	}
+	lo := s.DesignCost.Sd0 * (1 + 1e-6)
+	if sdMax <= lo {
+		return Optimum{}, fmt.Errorf("core: OptimalSd: sdMax = %v must exceed s_d0 = %v", sdMax, s.DesignCost.Sd0)
+	}
+	obj := func(sd float64) float64 {
+		b, err := s.WithSd(sd).TransistorCost()
+		if err != nil {
+			return math.Inf(1)
+		}
+		return b.Total
+	}
+	// Grid pre-pass guards against the steep wall at s_d0 confusing the
+	// bracketing, then Brent refines.
+	gx, _ := stats.ArgminGrid(obj, lo, sdMax, 512)
+	span := (sdMax - lo) / 511
+	blo, bhi := math.Max(lo, gx-2*span), math.Min(sdMax, gx+2*span)
+	res, err := stats.Minimize(obj, blo, bhi, 1e-6*(sdMax-lo))
+	if err != nil {
+		return Optimum{}, err
+	}
+	b, err := s.WithSd(res.X).TransistorCost()
+	if err != nil {
+		return Optimum{}, err
+	}
+	return Optimum{Sd: res.X, Breakdown: b}, nil
+}
+
+// SweepPoint is one sample of a cost sweep.
+type SweepPoint struct {
+	X         float64 // swept variable (s_d, N_w, u, ...)
+	Breakdown Breakdown
+}
+
+// SweepSd evaluates the scenario cost on n logarithmically spaced s_d
+// values in [lo, hi]. It is the Figure 4 workload. lo must exceed the
+// model's Sd0.
+func SweepSd(s Scenario, lo, hi float64, n int) ([]SweepPoint, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	if lo <= s.DesignCost.Sd0 {
+		return nil, fmt.Errorf("core: SweepSd: lo = %v must exceed s_d0 = %v", lo, s.DesignCost.Sd0)
+	}
+	return sweepLog(lo, hi, n, func(sd float64) (Breakdown, error) {
+		return s.WithSd(sd).TransistorCost()
+	})
+}
+
+// SweepVolume evaluates the scenario cost on n logarithmically spaced
+// wafer volumes in [lo, hi].
+func SweepVolume(s Scenario, lo, hi float64, n int) ([]SweepPoint, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	if lo <= 0 {
+		return nil, fmt.Errorf("core: SweepVolume: lo must be positive, got %v", lo)
+	}
+	return sweepLog(lo, hi, n, func(w float64) (Breakdown, error) {
+		return s.WithWafers(w).TransistorCost()
+	})
+}
+
+func sweepLog(lo, hi float64, n int, eval func(float64) (Breakdown, error)) ([]SweepPoint, error) {
+	if !(lo < hi) {
+		return nil, fmt.Errorf("core: sweep requires lo < hi, got [%v, %v]", lo, hi)
+	}
+	if n < 2 {
+		return nil, fmt.Errorf("core: sweep requires at least 2 points, got %d", n)
+	}
+	pts := make([]SweepPoint, 0, n)
+	ratio := math.Pow(hi/lo, 1/float64(n-1))
+	x := lo
+	for i := 0; i < n; i++ {
+		if i == n-1 {
+			x = hi // avoid drift on the terminal point
+		}
+		b, err := eval(x)
+		if err != nil {
+			return nil, err
+		}
+		pts = append(pts, SweepPoint{X: x, Breakdown: b})
+		x *= ratio
+	}
+	return pts, nil
+}
+
+// CrossoverVolume finds the production volume N_w (wafers) at which two
+// scenarios cost the same per transistor, searching volumes in
+// [loWafers, hiWafers]. The canonical use is the §2.5 FPGA-vs-ASIC
+// question: scenario a is the ASIC (u = 1, heavy design cost), scenario b
+// the FPGA (u < 1, amortized design). It returns ErrNoCrossover when the
+// difference does not change sign on the interval.
+func CrossoverVolume(a, b Scenario, loWafers, hiWafers float64) (float64, error) {
+	if err := a.Validate(); err != nil {
+		return 0, err
+	}
+	if err := b.Validate(); err != nil {
+		return 0, err
+	}
+	if !(loWafers > 0 && loWafers < hiWafers) {
+		return 0, fmt.Errorf("core: CrossoverVolume requires 0 < lo < hi, got [%v, %v]", loWafers, hiWafers)
+	}
+	diff := func(logW float64) float64 {
+		w := math.Exp(logW)
+		ba, errA := a.WithWafers(w).TransistorCost()
+		bb, errB := b.WithWafers(w).TransistorCost()
+		if errA != nil || errB != nil {
+			return math.NaN()
+		}
+		return ba.Total - bb.Total
+	}
+	lo, hi := math.Log(loWafers), math.Log(hiWafers)
+	dlo, dhi := diff(lo), diff(hi)
+	if math.IsNaN(dlo) || math.IsNaN(dhi) {
+		return 0, fmt.Errorf("core: CrossoverVolume: cost undefined at interval endpoint")
+	}
+	if dlo == 0 {
+		return loWafers, nil
+	}
+	if dhi == 0 {
+		return hiWafers, nil
+	}
+	if (dlo > 0) == (dhi > 0) {
+		return 0, ErrNoCrossover
+	}
+	logW, err := stats.Bisect(diff, lo, hi, 1e-10)
+	if err != nil {
+		return 0, err
+	}
+	return math.Exp(logW), nil
+}
+
+// Sensitivity reports the local elasticity of the eq (4) transistor cost
+// with respect to each scenario parameter: the percentage change in C_tr
+// per percent change in the parameter, estimated by central differences
+// with relative step h (default 1e-4 when non-positive).
+type Sensitivity struct {
+	Lambda      float64 // w.r.t. feature size λ
+	Sd          float64 // w.r.t. design decompression index
+	Yield       float64 // w.r.t. manufacturing yield
+	CmSq        float64 // w.r.t. manufacturing $/cm²
+	Wafers      float64 // w.r.t. production volume
+	Transistors float64 // w.r.t. design size
+}
+
+// Sensitivities computes cost elasticities around the scenario's operating
+// point. A value of +2 for Lambda means cost grows ~quadratically in λ
+// locally, matching the λ² factor of eq (3)–(4).
+func Sensitivities(s Scenario, h float64) (Sensitivity, error) {
+	if err := s.Validate(); err != nil {
+		return Sensitivity{}, err
+	}
+	if h <= 0 {
+		h = 1e-4
+	}
+	base, err := s.TransistorCost()
+	if err != nil {
+		return Sensitivity{}, err
+	}
+	elasticity := func(apply func(Scenario, float64) Scenario, x float64) (float64, error) {
+		up, err := apply(s, x*(1+h)).TransistorCost()
+		if err != nil {
+			return 0, err
+		}
+		dn, err := apply(s, x*(1-h)).TransistorCost()
+		if err != nil {
+			return 0, err
+		}
+		return (up.Total - dn.Total) / (2 * h * base.Total), nil
+	}
+	var out Sensitivity
+	if out.Lambda, err = elasticity(func(sc Scenario, v float64) Scenario { sc.Process.LambdaUM = v; return sc }, s.Process.LambdaUM); err != nil {
+		return Sensitivity{}, err
+	}
+	if out.Sd, err = elasticity(func(sc Scenario, v float64) Scenario { sc.Design.Sd = v; return sc }, s.Design.Sd); err != nil {
+		return Sensitivity{}, err
+	}
+	if out.Yield, err = elasticity(func(sc Scenario, v float64) Scenario { sc.Process.Yield = v; return sc }, s.Process.Yield); err != nil {
+		return Sensitivity{}, err
+	}
+	if out.CmSq, err = elasticity(func(sc Scenario, v float64) Scenario { sc.Process.CostPerCM2 = v; return sc }, s.Process.CostPerCM2); err != nil {
+		return Sensitivity{}, err
+	}
+	if out.Wafers, err = elasticity(func(sc Scenario, v float64) Scenario { sc.Wafers = v; return sc }, s.Wafers); err != nil {
+		return Sensitivity{}, err
+	}
+	if out.Transistors, err = elasticity(func(sc Scenario, v float64) Scenario { sc.Design.Transistors = v; return sc }, s.Design.Transistors); err != nil {
+		return Sensitivity{}, err
+	}
+	return out, nil
+}

@@ -1,0 +1,135 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/stats"
+)
+
+// MarketModel captures the §2.2.2 mechanism the paper names but does not
+// model: "the time to market pressure must be a factor deciding about
+// compactness of modern custom-designed ICs". Denser design (smaller s_d)
+// takes more engineering effort and therefore more calendar time; in a
+// market whose unit price erodes exponentially, arriving later forfeits
+// revenue. The profit-optimal s_d under such erosion sits above the
+// cost-optimal s_d — which is exactly the industrial drift Figure 1
+// documents.
+//
+// Design time is proportional to the eq (6) design effort through the
+// team's spend rate; revenue is integrated over a product window with
+// price erosion:
+//
+//	t_design = C_DE / TeamRatePerMonth                       [months]
+//	price(t) = LaunchPrice · e^{−t/ErosionTauMonths}
+//	revenue  = ∫_{t_design}^{t_design+WindowMonths} price(t)·unitsPerMonth dt
+//	profit   = revenue − (manufacturing + mask + design cost)
+type MarketModel struct {
+	LaunchPrice      float64 // unit price at t = 0, $
+	ErosionTauMonths float64 // price e-folding time
+	WindowMonths     float64 // sales window length after launch
+	UnitsPerMonth    float64 // sustained sales volume, die/month
+	TeamRatePerMonth float64 // design spend rate, $/month
+}
+
+// DefaultMarketModel is a paper-era MPU program: $300 launch price
+// eroding with a 12-month tau, a 24-month window, 100k units/month, and a
+// $4M/month design organization.
+func DefaultMarketModel() MarketModel {
+	return MarketModel{
+		LaunchPrice:      300,
+		ErosionTauMonths: 12,
+		WindowMonths:     24,
+		UnitsPerMonth:    100e3,
+		TeamRatePerMonth: 4e6,
+	}
+}
+
+// Validate reports the first invalid field of m, or nil.
+func (m MarketModel) Validate() error {
+	switch {
+	case m.LaunchPrice <= 0:
+		return fmt.Errorf("core: market: launch price must be positive, got %v", m.LaunchPrice)
+	case m.ErosionTauMonths <= 0:
+		return fmt.Errorf("core: market: erosion tau must be positive, got %v", m.ErosionTauMonths)
+	case m.WindowMonths <= 0:
+		return fmt.Errorf("core: market: window must be positive, got %v", m.WindowMonths)
+	case m.UnitsPerMonth <= 0:
+		return fmt.Errorf("core: market: unit volume must be positive, got %v", m.UnitsPerMonth)
+	case m.TeamRatePerMonth <= 0:
+		return fmt.Errorf("core: market: team rate must be positive, got %v", m.TeamRatePerMonth)
+	}
+	return nil
+}
+
+// ProgramOutcome itemizes the economics of one (scenario, market) choice
+// of s_d.
+type ProgramOutcome struct {
+	Sd           float64
+	DesignMonths float64
+	Revenue      float64
+	TotalCost    float64 // manufacturing for all units + mask + design
+	Profit       float64
+}
+
+// Profit evaluates the program at the scenario's s_d. Units sold follow
+// demand (UnitsPerMonth over the window); wafer supply is assumed
+// provisioned to match, consistent with the scenario's N_w being a
+// planning input rather than a cap.
+func (m MarketModel) Profit(s Scenario) (ProgramOutcome, error) {
+	if err := m.Validate(); err != nil {
+		return ProgramOutcome{}, err
+	}
+	b, err := s.TransistorCost()
+	if err != nil {
+		return ProgramOutcome{}, err
+	}
+	tDesign := b.DesignDE / m.TeamRatePerMonth
+	// Revenue integral: LaunchPrice·units·τ·(e^{−t0/τ} − e^{−(t0+W)/τ}).
+	tau := m.ErosionTauMonths
+	units := m.UnitsPerMonth * m.WindowMonths
+	revenue := m.LaunchPrice * m.UnitsPerMonth * tau *
+		(math.Exp(-tDesign/tau) - math.Exp(-(tDesign+m.WindowMonths)/tau))
+	mfgPerDie := b.Manufacturing * s.Design.Transistors
+	cost := mfgPerDie*units + s.MaskCost + b.DesignDE
+	return ProgramOutcome{
+		Sd:           s.Design.Sd,
+		DesignMonths: tDesign,
+		Revenue:      revenue,
+		TotalCost:    cost,
+		Profit:       revenue - cost,
+	}, nil
+}
+
+// ProfitOptimalSd locates the s_d maximizing program profit on
+// (s_d0, sdMax]. Compare with OptimalSd (cost minimization): under price
+// erosion the profit optimum sits at sparser design — time-to-market
+// buys more than dense silicon saves.
+func (m MarketModel) ProfitOptimalSd(s Scenario, sdMax float64) (ProgramOutcome, error) {
+	if err := m.Validate(); err != nil {
+		return ProgramOutcome{}, err
+	}
+	if err := s.Validate(); err != nil {
+		return ProgramOutcome{}, err
+	}
+	lo := s.DesignCost.Sd0 * (1 + 1e-6)
+	if sdMax <= lo {
+		return ProgramOutcome{}, fmt.Errorf("core: ProfitOptimalSd: sdMax = %v must exceed s_d0 = %v", sdMax, s.DesignCost.Sd0)
+	}
+	obj := func(sd float64) float64 {
+		out, err := m.Profit(s.WithSd(sd))
+		if err != nil {
+			return math.Inf(1)
+		}
+		return -out.Profit
+	}
+	gx, _ := stats.ArgminGrid(obj, lo, sdMax, 512)
+	span := (sdMax - lo) / 511
+	blo := math.Max(lo, gx-2*span)
+	bhi := math.Min(sdMax, gx+2*span)
+	res, err := stats.Minimize(obj, blo, bhi, 1e-6*(sdMax-lo))
+	if err != nil {
+		return ProgramOutcome{}, err
+	}
+	return m.Profit(s.WithSd(res.X))
+}

@@ -1,0 +1,136 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+func TestMarketModelValidate(t *testing.T) {
+	if err := DefaultMarketModel().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []MarketModel{
+		{LaunchPrice: 0, ErosionTauMonths: 1, WindowMonths: 1, UnitsPerMonth: 1, TeamRatePerMonth: 1},
+		{LaunchPrice: 1, ErosionTauMonths: 0, WindowMonths: 1, UnitsPerMonth: 1, TeamRatePerMonth: 1},
+		{LaunchPrice: 1, ErosionTauMonths: 1, WindowMonths: 0, UnitsPerMonth: 1, TeamRatePerMonth: 1},
+		{LaunchPrice: 1, ErosionTauMonths: 1, WindowMonths: 1, UnitsPerMonth: 0, TeamRatePerMonth: 1},
+		{LaunchPrice: 1, ErosionTauMonths: 1, WindowMonths: 1, UnitsPerMonth: 1, TeamRatePerMonth: 0},
+	}
+	for i, m := range bad {
+		if err := m.Validate(); err == nil {
+			t.Errorf("case %d: invalid model accepted", i)
+		}
+	}
+}
+
+func TestProfitRevenueClosedForm(t *testing.T) {
+	m := DefaultMarketModel()
+	s := figure4Scenario(20000, 0.8)
+	out, err := m.Profit(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Recompute the revenue integral directly.
+	b, _ := s.TransistorCost()
+	t0 := b.DesignDE / m.TeamRatePerMonth
+	want := 0.0
+	const steps = 200000
+	dt := m.WindowMonths / steps
+	for i := 0; i < steps; i++ {
+		tt := t0 + (float64(i)+0.5)*dt
+		want += m.LaunchPrice * math.Exp(-tt/m.ErosionTauMonths) * m.UnitsPerMonth * dt
+	}
+	if math.Abs(out.Revenue-want)/want > 1e-6 {
+		t.Fatalf("revenue = %v, numeric integral %v", out.Revenue, want)
+	}
+	if out.DesignMonths != t0 {
+		t.Fatalf("design months = %v, want %v", out.DesignMonths, t0)
+	}
+}
+
+func TestLatenessErodesRevenue(t *testing.T) {
+	m := DefaultMarketModel()
+	s := figure4Scenario(20000, 0.8)
+	// A denser design (smaller s_d) takes longer and earns less revenue.
+	fast, err := m.Profit(s.WithSd(500))
+	if err != nil {
+		t.Fatal(err)
+	}
+	slow, err := m.Profit(s.WithSd(120))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if slow.DesignMonths <= fast.DesignMonths {
+		t.Fatalf("denser design not slower: %v vs %v months", slow.DesignMonths, fast.DesignMonths)
+	}
+	if slow.Revenue >= fast.Revenue {
+		t.Fatalf("late product not poorer: %v vs %v", slow.Revenue, fast.Revenue)
+	}
+}
+
+func TestProfitOptimalAboveCostOptimal(t *testing.T) {
+	// The headline: time-to-market pressure pushes the optimal s_d above
+	// the pure cost optimum — the paper's explanation for Figure 1's
+	// industrial drift, made quantitative.
+	s := figure4Scenario(20000, 0.8)
+	m := DefaultMarketModel()
+	costOpt, err := OptimalSd(s, 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	profOpt, err := m.ProfitOptimalSd(s, 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if profOpt.Sd <= costOpt.Sd {
+		t.Fatalf("profit-optimal s_d %v not above cost-optimal %v", profOpt.Sd, costOpt.Sd)
+	}
+	if profOpt.Profit <= 0 {
+		t.Fatalf("optimal program unprofitable: %+v", profOpt)
+	}
+	// Neighbors are not more profitable.
+	for _, dx := range []float64{-10, 10} {
+		n, err := m.Profit(s.WithSd(profOpt.Sd + dx))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n.Profit > profOpt.Profit+1e-6*math.Abs(profOpt.Profit) {
+			t.Fatalf("neighbor s_d %v beats optimum: %v vs %v", profOpt.Sd+dx, n.Profit, profOpt.Profit)
+		}
+	}
+}
+
+func TestErosionStrengthMovesOptimum(t *testing.T) {
+	// Faster price erosion (smaller tau) pushes the optimum to sparser,
+	// faster-to-design points.
+	s := figure4Scenario(20000, 0.8)
+	slow := DefaultMarketModel()
+	slow.ErosionTauMonths = 36
+	fast := DefaultMarketModel()
+	fast.ErosionTauMonths = 6
+	so, err := slow.ProfitOptimalSd(s, 3000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fo, err := fast.ProfitOptimalSd(s, 3000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fo.Sd <= so.Sd {
+		t.Fatalf("fast erosion optimum %v not above slow erosion %v", fo.Sd, so.Sd)
+	}
+}
+
+func TestProfitValidation(t *testing.T) {
+	s := figure4Scenario(20000, 0.8)
+	if _, err := (MarketModel{}).Profit(s); err == nil {
+		t.Fatal("accepted invalid market model")
+	}
+	bad := figure4Scenario(0, 0.8)
+	if _, err := DefaultMarketModel().Profit(bad); err == nil {
+		t.Fatal("accepted invalid scenario")
+	}
+	if _, err := DefaultMarketModel().ProfitOptimalSd(s, 50); err == nil {
+		t.Fatal("accepted sdMax below s_d0")
+	}
+}

@@ -1,0 +1,122 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// Property: over random valid operating points, the eq (4) breakdown is
+// internally consistent — components positive, total equal to their sum,
+// die cost equal to total × N_tr — and the generalized eq (7) with nil
+// functions agrees exactly.
+func TestBreakdownConsistencyProperty(t *testing.T) {
+	f := func(a, b, c, d uint16) bool {
+		s := Scenario{
+			Process: Process{
+				Name:         "p",
+				LambdaUM:     0.05 + float64(a%500)/1000, // [0.05, 0.55)
+				CostPerCM2:   1 + float64(b%200)/10,      // [1, 21)
+				Yield:        0.1 + 0.89*float64(c%1000)/1000,
+				WaferAreaCM2: 300,
+			},
+			Design:     Design{Name: "d", Transistors: 1e6 + float64(d)*1e4, Sd: 150 + float64(a%800)},
+			DesignCost: DefaultDesignCostModel(),
+			MaskCost:   5e5,
+			Wafers:     1000 + float64(b),
+		}
+		plain, err := s.TransistorCost()
+		if err != nil {
+			return false
+		}
+		if plain.Manufacturing <= 0 || plain.DesignAndMask <= 0 {
+			return false
+		}
+		if math.Abs(plain.Total-(plain.Manufacturing+plain.DesignAndMask)) > 1e-15*plain.Total {
+			return false
+		}
+		if math.Abs(plain.DieCost-plain.Total*s.Design.Transistors) > 1e-9*plain.DieCost {
+			return false
+		}
+		gen, err := Generalized{Scenario: s}.TransistorCost()
+		if err != nil {
+			return false
+		}
+		return gen.Total == plain.Total
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the located optimum is never beaten by any of 64 probes
+// across its search interval.
+func TestOptimalSdGlobalProperty(t *testing.T) {
+	f := func(c, d uint16) bool {
+		s := figure4Scenario(1000+float64(c%50000), 0.2+0.7*float64(d%1000)/1000)
+		opt, err := OptimalSd(s, 3000)
+		if err != nil {
+			return false
+		}
+		for i := 0; i < 64; i++ {
+			sd := 101 + float64(i)/63*(3000-101)
+			b, err := s.WithSd(sd).TransistorCost()
+			if err != nil {
+				return false
+			}
+			if b.Total < opt.Breakdown.Total*(1-1e-9) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Monte Carlo quantiles are ordered and bracket the mean for
+// any valid uncertainty setup.
+func TestMonteCarloQuantileProperty(t *testing.T) {
+	f := func(seed uint64, a uint8) bool {
+		s := figure4Scenario(5000, 0.8)
+		u := UncertainScenario{
+			Base:  s,
+			Yield: Uniform(0.3, 0.9),
+			Sd:    Uniform(150, 300+float64(a)*2),
+		}
+		q, err := u.MonteCarlo(300, seed)
+		if err != nil {
+			return false
+		}
+		return q.P5 <= q.P50 && q.P50 <= q.P95 &&
+			q.Mean >= q.P5*0.9 && q.Mean <= q.P95*1.1 && q.N == 300
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the Williams–Brown defect level is a probability, falling in
+// coverage and rising as yield falls.
+func TestDefectLevelProperty(t *testing.T) {
+	f := func(a, b uint16) bool {
+		y := 0.05 + 0.9*float64(a%1000)/1000
+		cov := float64(b%1000) / 1000
+		dl, err := DefectLevel(y, cov)
+		if err != nil {
+			return false
+		}
+		if dl < 0 || dl > 1 {
+			return false
+		}
+		dl2, err := DefectLevel(y, math.Min(1, cov+0.1))
+		if err != nil {
+			return false
+		}
+		return dl2 <= dl+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

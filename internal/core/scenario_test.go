@@ -1,0 +1,198 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+// figure4Scenario reproduces the Figure 4 parameterization: N_tr = 10 M,
+// default eq (6) constants, and the stated volume/yield pairs.
+func figure4Scenario(wafers, yield float64) Scenario {
+	return Scenario{
+		Process: Process{
+			Name:         "nm-node",
+			LambdaUM:     0.18,
+			CostPerCM2:   8.0,
+			Yield:        yield,
+			WaferAreaCM2: 300,
+		},
+		Design:     Design{Name: "mpu10M", Transistors: 10e6, Sd: 300},
+		DesignCost: DefaultDesignCostModel(),
+		MaskCost:   1e6,
+		Wafers:     wafers,
+	}
+}
+
+func TestScenarioTransistorCostComposition(t *testing.T) {
+	s := figure4Scenario(5000, 0.4)
+	b, err := s.TransistorCost()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(b.Total, b.Manufacturing+b.DesignAndMask, 1e-12) {
+		t.Fatalf("total %v != manufacturing %v + design %v", b.Total, b.Manufacturing, b.DesignAndMask)
+	}
+	if b.Manufacturing <= 0 || b.DesignAndMask <= 0 {
+		t.Fatalf("non-positive components: %+v", b)
+	}
+	// Cross-check against the closed form of eq (4).
+	cde, _ := s.DesignCost.Cost(10e6, 300)
+	cdsq := (1e6 + cde) / (5000 * 300)
+	want := math.Pow(0.18e-4, 2) * 300 / 0.4 * (8.0 + cdsq)
+	if !almost(b.Total, want, 1e-12) {
+		t.Fatalf("eq(4) total = %v, want %v", b.Total, want)
+	}
+	if !almost(b.DieCost, b.Total*10e6, 1e-12) {
+		t.Fatalf("die cost = %v, want %v", b.DieCost, b.Total*10e6)
+	}
+}
+
+func TestLowVolumeDesignDominates(t *testing.T) {
+	// The Figure 4 contrast: at N_w = 5000 the design share is large; at
+	// N_w = 50000 manufacturing dominates.
+	low, err := figure4Scenario(5000, 0.4).TransistorCost()
+	if err != nil {
+		t.Fatal(err)
+	}
+	high, err := figure4Scenario(50000, 0.9).TransistorCost()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if low.DesignAndMask < low.Manufacturing {
+		t.Fatalf("at 5000 wafers design share %v should exceed manufacturing %v", low.DesignAndMask, low.Manufacturing)
+	}
+	if high.DesignAndMask > high.Manufacturing {
+		t.Fatalf("at 50000 wafers manufacturing %v should exceed design share %v", high.Manufacturing, high.DesignAndMask)
+	}
+	if high.Total >= low.Total {
+		t.Fatalf("high-volume cost %v not below low-volume cost %v", high.Total, low.Total)
+	}
+}
+
+func TestUtilizationScalesCost(t *testing.T) {
+	// §2.5: substituting Y with u·Y models FPGA-style partial utilization.
+	s := figure4Scenario(5000, 0.8)
+	full, err := s.TransistorCost()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Utilization = 0.5
+	half, err := s.TransistorCost()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(half.Total, 2*full.Total, 1e-12) {
+		t.Fatalf("u=0.5 cost %v, want double %v", half.Total, full.Total)
+	}
+}
+
+func TestUtilizationZeroMeansOne(t *testing.T) {
+	s := figure4Scenario(5000, 0.8)
+	s.Utilization = 0
+	a, err := s.TransistorCost()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Utilization = 1
+	b, err := s.TransistorCost()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Total != b.Total {
+		t.Fatalf("zero-value utilization %v != explicit 1 %v", a.Total, b.Total)
+	}
+}
+
+func TestScenarioValidation(t *testing.T) {
+	s := figure4Scenario(5000, 0.8)
+	s.MaskCost = -1
+	if err := s.Validate(); err == nil {
+		t.Fatal("accepted negative mask cost")
+	}
+	s = figure4Scenario(0, 0.8)
+	if err := s.Validate(); err == nil {
+		t.Fatal("accepted zero volume")
+	}
+	s = figure4Scenario(5000, 0.8)
+	s.Utilization = 1.5
+	if err := s.Validate(); err == nil {
+		t.Fatal("accepted utilization > 1")
+	}
+	s = figure4Scenario(5000, 0.8)
+	s.Design.Sd = 50 // below Sd0: Validate passes, TransistorCost must fail
+	if _, err := s.TransistorCost(); err == nil {
+		t.Fatal("accepted s_d below s_d0")
+	}
+}
+
+func TestWithSdAndWithWafersAreCopies(t *testing.T) {
+	s := figure4Scenario(5000, 0.8)
+	s2 := s.WithSd(400)
+	s3 := s.WithWafers(9999)
+	if s.Design.Sd != 300 || s.Wafers != 5000 {
+		t.Fatal("With* mutated the receiver")
+	}
+	if s2.Design.Sd != 400 || s3.Wafers != 9999 {
+		t.Fatal("With* did not apply the change")
+	}
+}
+
+func TestGeneralizedDefaultsMatchEq4(t *testing.T) {
+	s := figure4Scenario(5000, 0.4)
+	plain, err := s.TransistorCost()
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen, err := Generalized{Scenario: s}.TransistorCost()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(plain.Total, gen.Total, 1e-12) {
+		t.Fatalf("generalized with nil fns = %v, eq(4) = %v", gen.Total, plain.Total)
+	}
+}
+
+func TestGeneralizedOverrides(t *testing.T) {
+	s := figure4Scenario(5000, 0.4)
+	g := Generalized{
+		Scenario: s,
+		CmSqFn: func(aw, lam, nw float64) float64 {
+			return 16.0 // doubled manufacturing cost
+		},
+		YieldFn: func(aw, lam, nw, sd, ntr float64) float64 {
+			return 0.8 // doubled yield
+		},
+	}
+	b, err := g.TransistorCost()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(b.CmSq, 16, 1e-12) {
+		t.Fatalf("CmSq override not applied: %v", b.CmSq)
+	}
+	plain, _ := s.TransistorCost()
+	// Manufacturing share: ×2 from cost, ÷2 from yield → unchanged.
+	if !almost(b.Manufacturing, plain.Manufacturing, 1e-12) {
+		t.Fatalf("manufacturing = %v, want %v", b.Manufacturing, plain.Manufacturing)
+	}
+	// Design share: only ÷2 from yield.
+	if !almost(b.DesignAndMask, plain.DesignAndMask/2, 1e-12) {
+		t.Fatalf("design share = %v, want %v", b.DesignAndMask, plain.DesignAndMask/2)
+	}
+}
+
+func TestGeneralizedRejectsBadFnOutputs(t *testing.T) {
+	s := figure4Scenario(5000, 0.4)
+	g := Generalized{Scenario: s, YieldFn: func(_, _, _, _, _ float64) float64 { return 0 }}
+	if _, err := g.TransistorCost(); err == nil {
+		t.Fatal("accepted zero yield from YieldFn")
+	}
+	g = Generalized{Scenario: s, CmSqFn: func(_, _, _ float64) float64 { return -1 }}
+	if _, err := g.TransistorCost(); err == nil {
+		t.Fatal("accepted negative CmSq from CmSqFn")
+	}
+	g = Generalized{Scenario: s, CdSqFn: func(_, _, _, _, _ float64) float64 { return -1 }}
+	if _, err := g.TransistorCost(); err == nil {
+		t.Fatal("accepted negative CdSq from CdSqFn")
+	}
+}

@@ -1,0 +1,104 @@
+package core
+
+import (
+	"fmt"
+	"math"
+)
+
+// TestCostModel prices production test, the cost contributor §2.5 notes
+// "could be easily included within the proposed cost-modeling framework".
+// Test cost per *good* die is the tester time the die occupies divided by
+// yield (bad die consume tester time too), plus a per-die handling charge:
+//
+//	testTime = BaseSeconds · (N_tr/RefTransistors)^TimeExp
+//	C_test/die = (testTime · TesterDollarsPerHour/3600 + Handling) / Y
+//
+// Vector count — and hence test time — grows sublinearly with transistor
+// count under scan compression; TimeExp captures that.
+type TestCostModel struct {
+	BaseSeconds          float64 // tester seconds at the reference size
+	RefTransistors       float64
+	TimeExp              float64 // test-time growth exponent
+	TesterDollarsPerHour float64
+	Handling             float64 // per-die insertion/handling charge, $
+}
+
+// DefaultTestCostModel reflects paper-era big-iron ATE: $2000/hour, 4 s
+// for a 10 M-transistor part, test time growing with the square root of
+// design size, 2¢ handling.
+func DefaultTestCostModel() TestCostModel {
+	return TestCostModel{
+		BaseSeconds:          4,
+		RefTransistors:       10e6,
+		TimeExp:              0.5,
+		TesterDollarsPerHour: 2000,
+		Handling:             0.02,
+	}
+}
+
+// Validate reports the first invalid field of m, or nil.
+func (m TestCostModel) Validate() error {
+	switch {
+	case m.BaseSeconds <= 0:
+		return fmt.Errorf("core: test cost: base seconds must be positive, got %v", m.BaseSeconds)
+	case m.RefTransistors <= 0:
+		return fmt.Errorf("core: test cost: reference size must be positive, got %v", m.RefTransistors)
+	case m.TimeExp < 0:
+		return fmt.Errorf("core: test cost: time exponent must be non-negative, got %v", m.TimeExp)
+	case m.TesterDollarsPerHour <= 0:
+		return fmt.Errorf("core: test cost: tester rate must be positive, got %v", m.TesterDollarsPerHour)
+	case m.Handling < 0:
+		return fmt.Errorf("core: test cost: handling charge must be non-negative, got %v", m.Handling)
+	}
+	return nil
+}
+
+// Seconds returns the tester time for a design of the given size.
+func (m TestCostModel) Seconds(transistors float64) (float64, error) {
+	if err := m.Validate(); err != nil {
+		return 0, err
+	}
+	if transistors <= 0 {
+		return 0, fmt.Errorf("core: test cost: transistor count must be positive, got %v", transistors)
+	}
+	return m.BaseSeconds * math.Pow(transistors/m.RefTransistors, m.TimeExp), nil
+}
+
+// PerGoodDie returns the test cost charged to each functioning die.
+func (m TestCostModel) PerGoodDie(transistors, yield float64) (float64, error) {
+	sec, err := m.Seconds(transistors)
+	if err != nil {
+		return 0, err
+	}
+	if !validYield(yield) {
+		return 0, fmt.Errorf("core: test cost: yield must be in (0,1], got %v", yield)
+	}
+	return (sec*m.TesterDollarsPerHour/3600 + m.Handling) / yield, nil
+}
+
+// PerTransistor returns the test cost per functioning transistor, the
+// term that adds to eq (4)'s C_tr.
+func (m TestCostModel) PerTransistor(transistors, yield float64) (float64, error) {
+	die, err := m.PerGoodDie(transistors, yield)
+	if err != nil {
+		return 0, err
+	}
+	return die / transistors, nil
+}
+
+// TransistorCostWithTest evaluates eq (4) extended with the test charge:
+// the scenario's breakdown plus C_test per transistor folded into Total
+// and DieCost. The pure eq (4) fields remain individually visible.
+func TransistorCostWithTest(s Scenario, m TestCostModel) (Breakdown, float64, error) {
+	b, err := s.TransistorCost()
+	if err != nil {
+		return Breakdown{}, 0, err
+	}
+	perTx, err := m.PerTransistor(s.Design.Transistors, s.Process.Yield)
+	if err != nil {
+		return Breakdown{}, 0, err
+	}
+	b.Total += perTx
+	b.DieCost = b.Total * s.Design.Transistors
+	return b, perTx, nil
+}

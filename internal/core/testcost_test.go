@@ -1,0 +1,113 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+func TestTestCostSeconds(t *testing.T) {
+	m := DefaultTestCostModel()
+	s, err := m.Seconds(10e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s != 4 {
+		t.Fatalf("reference test time = %v, want 4 s", s)
+	}
+	// Square-root growth: 4x transistors → 2x time.
+	s4, err := m.Seconds(40e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(s4-8) > 1e-9 {
+		t.Fatalf("4x design test time = %v, want 8 s", s4)
+	}
+}
+
+func TestTestCostPerGoodDie(t *testing.T) {
+	m := DefaultTestCostModel()
+	// At reference size, Y=0.8: (4·2000/3600 + 0.02)/0.8.
+	want := (4*2000.0/3600 + 0.02) / 0.8
+	got, err := m.PerGoodDie(10e6, 0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-want) > 1e-12 {
+		t.Fatalf("per-die test cost = %v, want %v", got, want)
+	}
+	// Worse yield → each good die carries more tester time.
+	worse, err := m.PerGoodDie(10e6, 0.4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(worse-2*got) > 1e-12 {
+		t.Fatalf("half yield should double the charge: %v vs %v", worse, got)
+	}
+}
+
+func TestTestCostValidation(t *testing.T) {
+	bad := []TestCostModel{
+		{BaseSeconds: 0, RefTransistors: 1, TesterDollarsPerHour: 1},
+		{BaseSeconds: 1, RefTransistors: 0, TesterDollarsPerHour: 1},
+		{BaseSeconds: 1, RefTransistors: 1, TimeExp: -1, TesterDollarsPerHour: 1},
+		{BaseSeconds: 1, RefTransistors: 1, TesterDollarsPerHour: 0},
+		{BaseSeconds: 1, RefTransistors: 1, TesterDollarsPerHour: 1, Handling: -1},
+	}
+	for i, m := range bad {
+		if err := m.Validate(); err == nil {
+			t.Errorf("case %d: invalid model accepted", i)
+		}
+	}
+	m := DefaultTestCostModel()
+	if _, err := m.Seconds(0); err == nil {
+		t.Fatal("accepted zero transistors")
+	}
+	if _, err := m.PerGoodDie(1e6, 0); err == nil {
+		t.Fatal("accepted zero yield")
+	}
+	if _, err := m.PerGoodDie(1e6, 1.2); err == nil {
+		t.Fatal("accepted yield > 1")
+	}
+}
+
+func TestTransistorCostWithTest(t *testing.T) {
+	s := figure4Scenario(5000, 0.8)
+	plain, err := s.TransistorCost()
+	if err != nil {
+		t.Fatal(err)
+	}
+	withTest, perTx, err := TransistorCostWithTest(s, DefaultTestCostModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if perTx <= 0 {
+		t.Fatalf("test charge = %v", perTx)
+	}
+	if math.Abs(withTest.Total-(plain.Total+perTx)) > 1e-18 {
+		t.Fatalf("total with test = %v, want %v", withTest.Total, plain.Total+perTx)
+	}
+	if math.Abs(withTest.DieCost-withTest.Total*10e6) > 1e-9 {
+		t.Fatalf("die cost not recomputed: %v", withTest.DieCost)
+	}
+	// The eq (4) components are untouched.
+	if withTest.Manufacturing != plain.Manufacturing || withTest.DesignAndMask != plain.DesignAndMask {
+		t.Fatal("test extension mutated eq (4) components")
+	}
+	// Test is a minor but visible share at these parameters (paper-era
+	// rule of thumb: a few percent of die cost).
+	share := perTx * 10e6 / withTest.DieCost
+	if share < 0.005 || share > 0.5 {
+		t.Fatalf("test share of die cost = %v, want a few percent", share)
+	}
+}
+
+func TestTransistorCostWithTestPropagatesErrors(t *testing.T) {
+	s := figure4Scenario(0, 0.8) // invalid volume
+	if _, _, err := TransistorCostWithTest(s, DefaultTestCostModel()); err == nil {
+		t.Fatal("accepted invalid scenario")
+	}
+	s = figure4Scenario(5000, 0.8)
+	if _, _, err := TransistorCostWithTest(s, TestCostModel{}); err == nil {
+		t.Fatal("accepted invalid test model")
+	}
+}

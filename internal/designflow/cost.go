@@ -1,0 +1,74 @@
+package designflow
+
+import (
+	"fmt"
+	"math"
+)
+
+// IterationCostModel prices a design project from its iteration count:
+//
+//	C_DE = TeamCostPerIteration(N_tr) · iterations
+//	TeamCostPerIteration = BasePerIteration · (N_tr / RefTransistors)^SizeExp
+//
+// Larger designs need larger teams and longer loops, so the per-iteration
+// charge grows with design size. With SizeExp = 1 this is the same N_tr
+// scaling eq (6) uses (p1 = 1): the two models agree on how cost scales
+// with design size, while this one replaces the (s_d − s_d0) divergence
+// with a *measured* iteration count.
+type IterationCostModel struct {
+	BasePerIteration float64 // $ per iteration at the reference size
+	RefTransistors   float64
+	SizeExp          float64
+}
+
+// DefaultIterationCostModel is calibrated so that a 10 M-transistor design
+// needing ~17 iterations costs on the order of the eq (6) prediction at
+// s_d = 300 (≈ $17 M): $1 M per iteration at 10 M transistors.
+func DefaultIterationCostModel() IterationCostModel {
+	return IterationCostModel{BasePerIteration: 1e6, RefTransistors: 10e6, SizeExp: 1.0}
+}
+
+// Validate reports the first invalid field of m, or nil.
+func (m IterationCostModel) Validate() error {
+	switch {
+	case m.BasePerIteration <= 0:
+		return fmt.Errorf("designflow: base per-iteration cost must be positive, got %v", m.BasePerIteration)
+	case m.RefTransistors <= 0:
+		return fmt.Errorf("designflow: reference size must be positive, got %v", m.RefTransistors)
+	case m.SizeExp < 0:
+		return fmt.Errorf("designflow: size exponent must be non-negative, got %v", m.SizeExp)
+	}
+	return nil
+}
+
+// Cost returns the design cost for a project of the given size and
+// iteration count.
+func (m IterationCostModel) Cost(transistors, iterations float64) (float64, error) {
+	if err := m.Validate(); err != nil {
+		return 0, err
+	}
+	if transistors <= 0 {
+		return 0, fmt.Errorf("designflow: transistor count must be positive, got %v", transistors)
+	}
+	if iterations <= 0 {
+		return 0, fmt.Errorf("designflow: iteration count must be positive, got %v", iterations)
+	}
+	return m.BasePerIteration * math.Pow(transistors/m.RefTransistors, m.SizeExp) * iterations, nil
+}
+
+// RegularityDesignCost is the end-to-end §3.2 pipeline: a design style's
+// regularity determines its prediction error (via the supplied error
+// model's output sigma), the error determines the expected iteration
+// count, and the iteration count prices the project.
+func RegularityDesignCost(transistors, sigma float64, closure ClosureConfig, costModel IterationCostModel, runs int) (iterations, cost float64, err error) {
+	closure.Sigma = sigma
+	iterations, err = MeanIterations(closure, runs)
+	if err != nil {
+		return 0, 0, err
+	}
+	cost, err = costModel.Cost(transistors, iterations)
+	if err != nil {
+		return 0, 0, err
+	}
+	return iterations, cost, nil
+}

@@ -1,0 +1,132 @@
+package designflow
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/stats"
+)
+
+// DelayModel converts wirelength and logic depth into a path delay:
+//
+//	delay = Depth · (GateDelay + WireDelayPerUnit · avgNetWL)
+//
+// in arbitrary consistent time units. avgNetWL is total HPWL divided by
+// net count — the per-stage interconnect the critical path sees.
+type DelayModel struct {
+	GateDelay        float64 // intrinsic delay per logic level
+	WireDelayPerUnit float64 // delay per grid unit of average net wirelength
+}
+
+// DefaultDelayModel weights wire delay strongly, as appropriate for the
+// deep-submicron regime the paper describes (interconnect dominates).
+func DefaultDelayModel() DelayModel {
+	return DelayModel{GateDelay: 1.0, WireDelayPerUnit: 0.4}
+}
+
+// Validate reports the first invalid field of m, or nil.
+func (m DelayModel) Validate() error {
+	if m.GateDelay <= 0 {
+		return fmt.Errorf("designflow: gate delay must be positive, got %v", m.GateDelay)
+	}
+	if m.WireDelayPerUnit < 0 {
+		return fmt.Errorf("designflow: wire delay must be non-negative, got %v", m.WireDelayPerUnit)
+	}
+	return nil
+}
+
+// Delay evaluates the model for a netlist with the given total HPWL.
+func (m DelayModel) Delay(n *Netlist, totalHPWL float64) (float64, error) {
+	if err := m.Validate(); err != nil {
+		return 0, err
+	}
+	if err := n.Validate(); err != nil {
+		return 0, err
+	}
+	if totalHPWL < 0 {
+		return 0, fmt.Errorf("designflow: wirelength must be non-negative, got %v", totalHPWL)
+	}
+	avg := totalHPWL / float64(len(n.Nets))
+	return float64(n.Depth) * (m.GateDelay + m.WireDelayPerUnit*avg), nil
+}
+
+// EstimateWirelength predicts the total post-placement HPWL of a netlist
+// before placement, using the standard pre-layout heuristic: each net's
+// span is estimated as a fanout-dependent multiple of the average site
+// pitch on a near-square die. This is the "predict interconnect delay
+// before placement and routing" capability §2.4 identifies as the design
+// cost lever.
+func EstimateWirelength(n *Netlist) (float64, error) {
+	if err := n.Validate(); err != nil {
+		return 0, err
+	}
+	side := math.Sqrt(float64(n.Gates))
+	var total float64
+	for _, net := range n.Nets {
+		k := float64(len(net.Pins))
+		// Expected HPWL of k uniform points on a unit square is ≈ (k−1)/(k+1)
+		// per axis; scale by die side and a locality discount.
+		total += side * 2 * (k - 1) / (k + 1) * 0.35
+	}
+	return total, nil
+}
+
+// NoisyEstimate wraps an exact post-placement measurement in the paper's
+// prediction-error abstraction: it returns actual·(1+ε) with
+// ε ~ N(0, sigma). The regularity package supplies sigma: regular designs
+// reuse characterized patterns and predict with small sigma; irregular
+// designs carry the full baseline error.
+func NoisyEstimate(actual, sigma float64, r *stats.RNG) (float64, error) {
+	if actual < 0 {
+		return 0, fmt.Errorf("designflow: actual value must be non-negative, got %v", actual)
+	}
+	if sigma < 0 {
+		return 0, fmt.Errorf("designflow: sigma must be non-negative, got %v", sigma)
+	}
+	if r == nil {
+		return 0, fmt.Errorf("designflow: NoisyEstimate requires an RNG")
+	}
+	est := actual * (1 + r.Norm(0, sigma))
+	if est < 0 {
+		est = 0
+	}
+	return est, nil
+}
+
+// EstimationStudy places a real netlist and reports how the pre-layout
+// estimator compares with measured HPWL: the bias (estimate/actual) and
+// the actual value. Experiments use it to show the estimator is in the
+// right regime before the closure loop builds on it.
+type EstimationStudy struct {
+	Estimated float64
+	Actual    float64
+	Ratio     float64
+}
+
+// RunEstimationStudy generates, estimates, places and measures one design.
+func RunEstimationStudy(cfg NetlistConfig, moves int) (EstimationStudy, error) {
+	n, err := GenerateNetlist(cfg)
+	if err != nil {
+		return EstimationStudy{}, err
+	}
+	est, err := EstimateWirelength(n)
+	if err != nil {
+		return EstimationStudy{}, err
+	}
+	p, err := InitialPlacement(n, cfg.Seed+1)
+	if err != nil {
+		return EstimationStudy{}, err
+	}
+	if _, err := Anneal(n, p, AnnealConfig{Moves: moves, Seed: cfg.Seed + 2}); err != nil {
+		return EstimationStudy{}, err
+	}
+	actual, err := HPWL(n, p)
+	if err != nil {
+		return EstimationStudy{}, err
+	}
+	out := EstimationStudy{Estimated: est, Actual: actual}
+	if actual > 0 {
+		out.Ratio = est / actual
+	}
+	return out, nil
+}

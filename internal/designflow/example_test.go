@@ -1,0 +1,45 @@
+package designflow_test
+
+import (
+	"fmt"
+
+	"repro/internal/designflow"
+)
+
+// The §2.4 mechanism: worse physical prediction → more timing-closure
+// iterations → more design cost.
+func ExampleMeanIterations() {
+	base := designflow.ClosureConfig{
+		InitialOvershoot: 0.5,
+		Tolerance:        0.02,
+		ResidualFloor:    0.1,
+		Seed:             13,
+	}
+	for _, sigma := range []float64{0.05, 0.5, 0.9} {
+		c := base
+		c.Sigma = sigma
+		mean, err := designflow.MeanIterations(c, 2000)
+		if err != nil {
+			fmt.Println(err)
+			return
+		}
+		fmt.Printf("σ = %.2f → %.1f iterations\n", sigma, mean)
+	}
+	// Output:
+	// σ = 0.05 → 2.0 iterations
+	// σ = 0.50 → 3.5 iterations
+	// σ = 0.90 → 5.3 iterations
+}
+
+// Price a project from its measured iteration count.
+func ExampleIterationCostModel_Cost() {
+	m := designflow.DefaultIterationCostModel()
+	cost, err := m.Cost(10e6, 12)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("12 iterations at 10M transistors: $%.0fM\n", cost/1e6)
+	// Output:
+	// 12 iterations at 10M transistors: $12M
+}

@@ -1,0 +1,106 @@
+package designflow
+
+import (
+	"fmt"
+
+	"repro/internal/stats"
+)
+
+// ClosureConfig parameterizes the timing-closure simulation. The model:
+// the team targets delay Target; the first implementation lands at
+// Target·(1+InitialOvershoot). Each iteration the team predicts where the
+// violation comes from with relative error sigma (from the design style's
+// regularity) and fixes what it can see: a prediction that is off by ε
+// leaves a |ε| fraction of the addressed gap unfixed, floored by
+// ResidualFloor (changes always help at least a little, never converge
+// instantly). Closure is reached when the remaining violation falls under
+// Tolerance. This realizes §2.4: the number of (expensive, possibly
+// silicon-bound) iterations is driven by prediction accuracy.
+type ClosureConfig struct {
+	InitialOvershoot float64 // initial violation as a fraction of target, > 0
+	Sigma            float64 // relative prediction error (≥ 0)
+	Tolerance        float64 // closure threshold as a fraction of target, > 0
+	ResidualFloor    float64 // minimum per-iteration residual fraction, [0, 1)
+	MaxIterations    int     // safety bound (default 200)
+	Seed             uint64
+}
+
+// Validate reports the first invalid field of c, or nil.
+func (c ClosureConfig) Validate() error {
+	switch {
+	case c.InitialOvershoot <= 0:
+		return fmt.Errorf("designflow: initial overshoot must be positive, got %v", c.InitialOvershoot)
+	case c.Sigma < 0:
+		return fmt.Errorf("designflow: sigma must be non-negative, got %v", c.Sigma)
+	case c.Tolerance <= 0:
+		return fmt.Errorf("designflow: tolerance must be positive, got %v", c.Tolerance)
+	case c.Tolerance >= c.InitialOvershoot:
+		return fmt.Errorf("designflow: tolerance %v must be below the initial overshoot %v", c.Tolerance, c.InitialOvershoot)
+	case c.ResidualFloor < 0 || c.ResidualFloor >= 1:
+		return fmt.Errorf("designflow: residual floor must be in [0,1), got %v", c.ResidualFloor)
+	}
+	return nil
+}
+
+// ClosureResult reports one timing-closure run.
+type ClosureResult struct {
+	Iterations int
+	Converged  bool
+	FinalGap   float64 // remaining violation fraction
+}
+
+// SimulateClosure runs one stochastic timing-closure trajectory.
+func SimulateClosure(c ClosureConfig) (ClosureResult, error) {
+	if err := c.Validate(); err != nil {
+		return ClosureResult{}, err
+	}
+	maxIter := c.MaxIterations
+	if maxIter <= 0 {
+		maxIter = 200
+	}
+	r := stats.NewRNG(c.Seed)
+	gap := c.InitialOvershoot
+	for it := 1; it <= maxIter; it++ {
+		eps := r.Norm(0, c.Sigma)
+		residual := abs(eps)
+		if residual < c.ResidualFloor {
+			residual = c.ResidualFloor
+		}
+		if residual > 0.98 {
+			residual = 0.98
+		}
+		gap *= residual
+		if gap < c.Tolerance {
+			return ClosureResult{Iterations: it, Converged: true, FinalGap: gap}, nil
+		}
+	}
+	return ClosureResult{Iterations: maxIter, Converged: false, FinalGap: gap}, nil
+}
+
+// MeanIterations averages the iteration count of runs independent closure
+// trajectories (different sub-seeds of Seed). Non-converged runs count at
+// the iteration cap, biasing the mean upward — appropriately, since they
+// represent designs that never close.
+func MeanIterations(c ClosureConfig, runs int) (float64, error) {
+	if runs <= 0 {
+		return 0, fmt.Errorf("designflow: runs must be positive, got %d", runs)
+	}
+	var sum float64
+	for i := 0; i < runs; i++ {
+		cc := c
+		cc.Seed = c.Seed + uint64(i)*2654435761
+		res, err := SimulateClosure(cc)
+		if err != nil {
+			return 0, err
+		}
+		sum += float64(res.Iterations)
+	}
+	return sum / float64(runs), nil
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

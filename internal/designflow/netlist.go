@@ -1,0 +1,134 @@
+// Package designflow simulates the part of the design process the paper's
+// §2.4 blames for runaway design cost: the loop of predict → implement →
+// measure → iterate around timing closure. It provides a random netlist
+// generator, a simulated-annealing placer with real half-perimeter
+// wirelength, pre-placement wirelength/delay estimators with a controllable
+// error (fed by the regularity→prediction model of internal/regularity),
+// and a timing-closure iteration simulator whose iteration count — and
+// hence design cost — is a measured function of prediction accuracy.
+package designflow
+
+import (
+	"fmt"
+
+	"repro/internal/stats"
+)
+
+// Net is a multi-pin connection between gates, identified by gate index.
+type Net struct {
+	Pins []int
+}
+
+// Netlist is a gate-level design: Gates cells connected by Nets. Depth is
+// the logic depth used by the delay model.
+type Netlist struct {
+	Gates int
+	Depth int
+	Nets  []Net
+}
+
+// Validate reports the first structural problem with n, or nil.
+func (n *Netlist) Validate() error {
+	if n.Gates <= 0 {
+		return fmt.Errorf("designflow: netlist must have gates, got %d", n.Gates)
+	}
+	if n.Depth <= 0 {
+		return fmt.Errorf("designflow: netlist depth must be positive, got %d", n.Depth)
+	}
+	for i, net := range n.Nets {
+		if len(net.Pins) < 2 {
+			return fmt.Errorf("designflow: net %d has %d pins, need at least 2", i, len(net.Pins))
+		}
+		for _, p := range net.Pins {
+			if p < 0 || p >= n.Gates {
+				return fmt.Errorf("designflow: net %d references gate %d of %d", i, p, n.Gates)
+			}
+		}
+	}
+	return nil
+}
+
+// NetlistConfig parameterizes GenerateNetlist.
+type NetlistConfig struct {
+	Gates     int     // number of cells
+	AvgFanout float64 // mean pins per net beyond the driver, >= 1
+	Locality  float64 // in [0, 1): probability mass of short-range nets
+	Seed      uint64
+}
+
+// Validate reports the first invalid field of c, or nil.
+func (c NetlistConfig) Validate() error {
+	if c.Gates < 2 {
+		return fmt.Errorf("designflow: need at least 2 gates, got %d", c.Gates)
+	}
+	if c.AvgFanout < 1 {
+		return fmt.Errorf("designflow: average fanout must be >= 1, got %v", c.AvgFanout)
+	}
+	if c.Locality < 0 || c.Locality >= 1 {
+		return fmt.Errorf("designflow: locality must be in [0,1), got %v", c.Locality)
+	}
+	return nil
+}
+
+// GenerateNetlist builds a random netlist with Rent-style locality: each
+// gate drives one net whose sinks are drawn either from a short-range
+// neighbourhood (with probability Locality) or uniformly. Logic depth is
+// set to ≈2·√gates, a typical pipelined-datapath figure.
+func GenerateNetlist(c NetlistConfig) (*Netlist, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	r := stats.NewRNG(c.Seed)
+	n := &Netlist{Gates: c.Gates}
+	n.Depth = 2 * intSqrt(c.Gates)
+	if n.Depth < 2 {
+		n.Depth = 2
+	}
+	for g := 0; g < c.Gates; g++ {
+		fan := 1 + r.Poisson(c.AvgFanout-1)
+		pins := []int{g}
+		seen := map[int]bool{g: true}
+		for len(pins) < fan+1 {
+			var sink int
+			if r.Float64() < c.Locality {
+				// Short-range: geometric index offset around the driver.
+				off := 1 + int(r.Exp(0.25))
+				if r.Float64() < 0.5 {
+					off = -off
+				}
+				sink = g + off
+				if sink < 0 || sink >= c.Gates {
+					continue
+				}
+			} else {
+				sink = r.Intn(c.Gates)
+			}
+			if seen[sink] {
+				// Degenerate tiny netlists could starve; fall back to any
+				// unseen gate by linear probe.
+				continue
+			}
+			seen[sink] = true
+			pins = append(pins, sink)
+			if len(seen) == c.Gates {
+				break
+			}
+		}
+		if len(pins) >= 2 {
+			n.Nets = append(n.Nets, Net{Pins: pins})
+		}
+	}
+	return n, n.Validate()
+}
+
+// intSqrt returns ⌊√x⌋ for non-negative x.
+func intSqrt(x int) int {
+	if x < 0 {
+		return 0
+	}
+	r := 0
+	for (r+1)*(r+1) <= x {
+		r++
+	}
+	return r
+}

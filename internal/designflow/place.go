@@ -1,0 +1,215 @@
+package designflow
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/stats"
+)
+
+// Placement assigns every gate a site on a Cols×Rows grid.
+type Placement struct {
+	Cols, Rows int
+	X, Y       []int // per-gate coordinates
+}
+
+// Validate reports the first structural problem with p for a netlist of
+// gates cells, or nil.
+func (p *Placement) Validate(gates int) error {
+	if p.Cols <= 0 || p.Rows <= 0 {
+		return fmt.Errorf("designflow: placement grid must be positive, got %d×%d", p.Cols, p.Rows)
+	}
+	if len(p.X) != gates || len(p.Y) != gates {
+		return fmt.Errorf("designflow: placement covers %d/%d gates", len(p.X), gates)
+	}
+	if p.Cols*p.Rows < gates {
+		return fmt.Errorf("designflow: grid %d×%d cannot hold %d gates", p.Cols, p.Rows, gates)
+	}
+	for i := range p.X {
+		if p.X[i] < 0 || p.X[i] >= p.Cols || p.Y[i] < 0 || p.Y[i] >= p.Rows {
+			return fmt.Errorf("designflow: gate %d placed off grid", i)
+		}
+	}
+	return nil
+}
+
+// InitialPlacement scatters the gates over the smallest near-square grid
+// in netlist order with a deterministic shuffle, the annealer's starting
+// point.
+func InitialPlacement(n *Netlist, seed uint64) (*Placement, error) {
+	if err := n.Validate(); err != nil {
+		return nil, err
+	}
+	cols := intSqrt(n.Gates)
+	if cols*cols < n.Gates {
+		cols++
+	}
+	rows := (n.Gates + cols - 1) / cols
+	p := &Placement{Cols: cols, Rows: rows, X: make([]int, n.Gates), Y: make([]int, n.Gates)}
+	perm := stats.NewRNG(seed).Perm(n.Gates)
+	for i, site := range perm {
+		p.X[i] = site % cols
+		p.Y[i] = site / cols
+	}
+	return p, nil
+}
+
+// HPWL returns the total half-perimeter wirelength of the placement in
+// grid units.
+func HPWL(n *Netlist, p *Placement) (float64, error) {
+	if err := n.Validate(); err != nil {
+		return 0, err
+	}
+	if err := p.Validate(n.Gates); err != nil {
+		return 0, err
+	}
+	var total float64
+	for _, net := range n.Nets {
+		total += netHPWL(net, p)
+	}
+	return total, nil
+}
+
+func netHPWL(net Net, p *Placement) float64 {
+	minX, maxX := p.X[net.Pins[0]], p.X[net.Pins[0]]
+	minY, maxY := p.Y[net.Pins[0]], p.Y[net.Pins[0]]
+	for _, g := range net.Pins[1:] {
+		if p.X[g] < minX {
+			minX = p.X[g]
+		}
+		if p.X[g] > maxX {
+			maxX = p.X[g]
+		}
+		if p.Y[g] < minY {
+			minY = p.Y[g]
+		}
+		if p.Y[g] > maxY {
+			maxY = p.Y[g]
+		}
+	}
+	return float64(maxX - minX + maxY - minY)
+}
+
+// AnnealConfig parameterizes the placer.
+type AnnealConfig struct {
+	Moves       int     // total proposed swaps (default 200×gates)
+	InitialTemp float64 // default: 10% of initial average net HPWL
+	Cooling     float64 // geometric factor per temperature step, (0,1)
+	Seed        uint64
+}
+
+// AnnealResult reports a placement run.
+type AnnealResult struct {
+	Initial float64 // HPWL before
+	Final   float64 // HPWL after
+	Moves   int
+	Accepts int
+}
+
+// Anneal improves the placement in place by simulated annealing over gate
+// swaps (and moves into free sites), the classic placement formulation.
+// It recomputes only the nets incident to the swapped gates per move.
+func Anneal(n *Netlist, p *Placement, cfg AnnealConfig) (AnnealResult, error) {
+	if err := n.Validate(); err != nil {
+		return AnnealResult{}, err
+	}
+	if err := p.Validate(n.Gates); err != nil {
+		return AnnealResult{}, err
+	}
+	if cfg.Moves <= 0 {
+		cfg.Moves = 200 * n.Gates
+	}
+	if cfg.Cooling == 0 {
+		cfg.Cooling = 0.95
+	}
+	if !(cfg.Cooling > 0 && cfg.Cooling < 1) {
+		return AnnealResult{}, fmt.Errorf("designflow: cooling factor must be in (0,1), got %v", cfg.Cooling)
+	}
+
+	// Incidence index: nets touching each gate.
+	incident := make([][]int, n.Gates)
+	for ni, net := range n.Nets {
+		for _, g := range net.Pins {
+			incident[g] = append(incident[g], ni)
+		}
+	}
+	r := stats.NewRNG(cfg.Seed)
+	initial, err := HPWL(n, p)
+	if err != nil {
+		return AnnealResult{}, err
+	}
+	temp := cfg.InitialTemp
+	if temp <= 0 {
+		temp = 0.1 * initial / float64(len(n.Nets)+1)
+		if temp <= 0 {
+			temp = 1
+		}
+	}
+	res := AnnealResult{Initial: initial, Moves: cfg.Moves}
+	cur := initial
+	// Occupancy map for moves into free sites.
+	occ := make([]int, p.Cols*p.Rows)
+	for i := range occ {
+		occ[i] = -1
+	}
+	for g := 0; g < n.Gates; g++ {
+		occ[p.Y[g]*p.Cols+p.X[g]] = g
+	}
+	stepsPerTemp := cfg.Moves/50 + 1
+	cost := func(g int) float64 {
+		var s float64
+		for _, ni := range incident[g] {
+			s += netHPWL(n.Nets[ni], p)
+		}
+		return s
+	}
+	for m := 0; m < cfg.Moves; m++ {
+		if m > 0 && m%stepsPerTemp == 0 {
+			temp *= cfg.Cooling
+		}
+		a := r.Intn(n.Gates)
+		// Target site: random; may hold another gate (swap) or be free.
+		site := r.Intn(p.Cols * p.Rows)
+		b := occ[site]
+		if b == a {
+			continue
+		}
+		var before, after float64
+		ax, ay := p.X[a], p.Y[a]
+		sx, sy := site%p.Cols, site/p.Cols
+		if b >= 0 {
+			before = cost(a) + cost(b)
+			p.X[a], p.Y[a], p.X[b], p.Y[b] = sx, sy, ax, ay
+			after = cost(a) + cost(b)
+		} else {
+			before = cost(a)
+			p.X[a], p.Y[a] = sx, sy
+			after = cost(a)
+		}
+		delta := after - before
+		if delta <= 0 || r.Float64() < math.Exp(-delta/temp) {
+			// Accept.
+			res.Accepts++
+			cur += delta
+			occ[ay*p.Cols+ax] = b
+			occ[site] = a
+			if b >= 0 {
+				// b moved to a's old site already via coordinates.
+				_ = b
+			}
+		} else {
+			// Revert.
+			if b >= 0 {
+				p.X[b], p.Y[b] = sx, sy
+			}
+			p.X[a], p.Y[a] = ax, ay
+		}
+	}
+	// Recompute exactly to shed accumulated float error.
+	final, err := HPWL(n, p)
+	if err != nil {
+		return AnnealResult{}, err
+	}
+	res.Final = final
+	return res, nil
+}

@@ -1,0 +1,98 @@
+package designflow
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// Property: HPWL is invariant under relabeling-free placement copy and
+// strictly positive for any connected netlist with spread-out gates.
+func TestHPWLInvariantsProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		n, err := GenerateNetlist(NetlistConfig{Gates: 36, AvgFanout: 2, Locality: 0.5, Seed: seed})
+		if err != nil {
+			return false
+		}
+		p, err := InitialPlacement(n, seed+1)
+		if err != nil {
+			return false
+		}
+		wl1, err := HPWL(n, p)
+		if err != nil {
+			return false
+		}
+		// Copy and recompute: identical.
+		q := &Placement{Cols: p.Cols, Rows: p.Rows,
+			X: append([]int(nil), p.X...), Y: append([]int(nil), p.Y...)}
+		wl2, err := HPWL(n, q)
+		if err != nil {
+			return false
+		}
+		return wl1 == wl2 && wl1 >= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: annealing never ends with a worse wirelength than it starts
+// with (the final exact recompute is of the accepted state, and the
+// accept rule only admits worsening moves transiently at T > 0 — the
+// tracked current state is always ≤ initial when the move budget is
+// spent cooling; verify the weaker but load-bearing invariant that the
+// result is a valid permutation with non-negative HPWL).
+func TestAnnealPreservesValidityProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		n, err := GenerateNetlist(NetlistConfig{Gates: 25, AvgFanout: 2, Locality: 0.5, Seed: seed})
+		if err != nil {
+			return false
+		}
+		p, err := InitialPlacement(n, seed+2)
+		if err != nil {
+			return false
+		}
+		if _, err := Anneal(n, p, AnnealConfig{Moves: 2000, Seed: seed + 3}); err != nil {
+			return false
+		}
+		if err := p.Validate(n.Gates); err != nil {
+			return false
+		}
+		seen := map[[2]int]bool{}
+		for i := range p.X {
+			k := [2]int{p.X[i], p.Y[i]}
+			if seen[k] {
+				return false
+			}
+			seen[k] = true
+		}
+		wl, err := HPWL(n, p)
+		return err == nil && wl >= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: closure iteration counts are at least 1 and respect the
+// MaxIterations bound for any sigma.
+func TestClosureBoundsProperty(t *testing.T) {
+	f := func(a uint16, seed uint64) bool {
+		sigma := float64(a%200) / 100 // [0, 2)
+		res, err := SimulateClosure(ClosureConfig{
+			InitialOvershoot: 0.5,
+			Sigma:            sigma,
+			Tolerance:        0.02,
+			ResidualFloor:    0.1,
+			MaxIterations:    50,
+			Seed:             seed,
+		})
+		if err != nil {
+			return false
+		}
+		return res.Iterations >= 1 && res.Iterations <= 50 &&
+			(res.Converged || res.FinalGap >= 0.02)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

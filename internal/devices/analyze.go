@@ -1,0 +1,150 @@
+package devices
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/stats"
+)
+
+// SdRange reports the spread of an s_d population.
+type SdRange struct {
+	Min, Max, Mean, Median float64
+	N                      int
+}
+
+// LogicSdRange summarizes the logic s_d of all devices that have logic.
+// The paper quotes this range as ≈100 (full custom) to ≈1000 (sparse
+// ASICs).
+func LogicSdRange() (SdRange, error) {
+	return sdRange(func(d Device) (float64, bool) {
+		return d.SdLogic, d.LogicTransistors > 0
+	})
+}
+
+// MemSdRange summarizes the memory s_d of all devices with embedded
+// memory. The paper quotes SRAM values near 30.
+func MemSdRange() (SdRange, error) {
+	return sdRange(func(d Device) (float64, bool) {
+		return d.SdMem, d.MemTransistors > 0
+	})
+}
+
+func sdRange(pick func(Device) (float64, bool)) (SdRange, error) {
+	var xs []float64
+	for _, d := range tableA1 {
+		if v, ok := pick(d); ok {
+			xs = append(xs, v)
+		}
+	}
+	s, err := stats.Summarize(xs)
+	if err != nil {
+		return SdRange{}, err
+	}
+	return SdRange{Min: s.Min, Max: s.Max, Mean: s.Mean, Median: s.Median, N: s.N}, nil
+}
+
+// VendorTrend fits logic s_d against year for one vendor's CPUs and
+// returns the regression. A positive slope is the "worsening design
+// density" trend §2.2.2 identifies for major microprocessor producers.
+func VendorTrend(vendor string) (stats.LinearFit, error) {
+	var xs, ys []float64
+	for _, d := range tableA1 {
+		if d.Vendor == vendor && d.Kind == KindCPU && d.LogicTransistors > 0 {
+			xs = append(xs, float64(d.Year))
+			ys = append(ys, d.SdLogic)
+		}
+	}
+	if len(xs) < 2 {
+		return stats.LinearFit{}, fmt.Errorf("devices: vendor %q has %d CPU rows, need at least 2", vendor, len(xs))
+	}
+	return stats.LinearRegression(xs, ys)
+}
+
+// MeanLogicSd returns the mean logic s_d of a vendor's CPUs, optionally
+// restricted to years strictly before beforeYear (0 = no restriction).
+func MeanLogicSd(vendor string, beforeYear int) (float64, error) {
+	var xs []float64
+	for _, d := range tableA1 {
+		if d.Vendor != vendor || d.Kind != KindCPU || d.LogicTransistors == 0 {
+			continue
+		}
+		if beforeYear != 0 && d.Year >= beforeYear {
+			continue
+		}
+		xs = append(xs, d.SdLogic)
+	}
+	if len(xs) == 0 {
+		return 0, errors.New("devices: no matching rows")
+	}
+	mean, _, err := stats.MeanStderr(xs)
+	return mean, err
+}
+
+// Figure1Point is one marker of the Figure 1 scatter: a device's logic
+// s_d against its feature size.
+type Figure1Point struct {
+	Device   string
+	Vendor   string
+	Kind     Kind
+	Year     int
+	LambdaUM float64
+	SdLogic  float64
+}
+
+// Figure1Series returns the Figure 1 scatter data — every device with
+// logic, ordered by year then table order — from which the paper reads the
+// industry-wide worsening of design density.
+func Figure1Series() []Figure1Point {
+	var pts []Figure1Point
+	for _, d := range tableA1 {
+		if d.LogicTransistors == 0 {
+			continue
+		}
+		pts = append(pts, Figure1Point{
+			Device: d.Name, Vendor: d.Vendor, Kind: d.Kind,
+			Year: d.Year, LambdaUM: d.LambdaUM, SdLogic: d.SdLogic,
+		})
+	}
+	sort.SliceStable(pts, func(i, j int) bool { return pts[i].Year < pts[j].Year })
+	return pts
+}
+
+// IndustryTrend fits logic s_d against year across all CPUs in the table.
+// The paper's headline observation is that this slope is positive: time-to-
+// market pressure is decompressing designs faster than interconnect needs
+// explain.
+func IndustryTrend() (stats.LinearFit, error) {
+	var xs, ys []float64
+	for _, d := range tableA1 {
+		if d.Kind == KindCPU && d.LogicTransistors > 0 {
+			xs = append(xs, float64(d.Year))
+			ys = append(ys, d.SdLogic)
+		}
+	}
+	return stats.LinearRegression(xs, ys)
+}
+
+// KindSummary reports the logic-s_d summary per device kind, showing the
+// customization spectrum: CPUs densest, ASIC-class parts sparsest.
+func KindSummary() (map[Kind]SdRange, error) {
+	out := make(map[Kind]SdRange)
+	for _, k := range []Kind{KindCPU, KindDSP, KindMPEG, KindASIC} {
+		var xs []float64
+		for _, d := range ByKind(k) {
+			if d.LogicTransistors > 0 {
+				xs = append(xs, d.SdLogic)
+			}
+		}
+		if len(xs) == 0 {
+			continue
+		}
+		s, err := stats.Summarize(xs)
+		if err != nil {
+			return nil, err
+		}
+		out[k] = SdRange{Min: s.Min, Max: s.Max, Mean: s.Mean, Median: s.Median, N: s.N}
+	}
+	return out, nil
+}

@@ -1,0 +1,103 @@
+package devices
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/core"
+)
+
+// EraCostPerCM2 estimates the manufacturing cost per cm² a design's node
+// faced, anchored at the paper's 8 $/cm² for the 0.18 µm generation and
+// declining ~12% per full node backward (older, depreciated lines are
+// cheaper per area):
+//
+//	C_sq(λ) = 8 · 0.88^g,  g = log_{1/0.7}(λ/0.18)  (generations older than 0.18 µm)
+//
+// It returns an error for non-positive feature sizes.
+func EraCostPerCM2(lambdaUM float64) (float64, error) {
+	if lambdaUM <= 0 {
+		return 0, fmt.Errorf("devices: feature size must be positive, got %v", lambdaUM)
+	}
+	generationsOlder := math.Log(lambdaUM/0.18) / math.Log(1/0.7)
+	return 8 * math.Pow(0.88, generationsOlder), nil
+}
+
+// DeviceCost is a Table A1 device priced through eq (3).
+type DeviceCost struct {
+	Device
+	CostPerCM2    float64 // era-adjusted Cm_sq
+	TransistorUSD float64 // eq (3) at Y = 0.8
+	DieUSD        float64
+}
+
+// CostAnalysis prices every Table A1 device through eq (3) at the era's
+// cost per cm² and the paper's Y = 0.8, sorted by cost per transistor.
+// The ranking makes the paper's Intel-vs-AMD point quantitative: the
+// denser design literally sells cheaper transistors on the same node.
+func CostAnalysis() ([]DeviceCost, error) {
+	var out []DeviceCost
+	for _, d := range All() {
+		csq, err := EraCostPerCM2(d.LambdaUM)
+		if err != nil {
+			return nil, err
+		}
+		p := core.Process{
+			Name:         d.Name,
+			LambdaUM:     d.LambdaUM,
+			CostPerCM2:   csq,
+			Yield:        0.8,
+			WaferAreaCM2: 300,
+		}
+		sdTotal, err := d.SdTotal()
+		if err != nil {
+			return nil, err
+		}
+		ctr, err := core.ManufacturingCostPerTransistor(p, core.Design{
+			Name:        d.Name,
+			Transistors: d.TotalTransistors(),
+			Sd:          sdTotal,
+		})
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, DeviceCost{
+			Device:        d,
+			CostPerCM2:    csq,
+			TransistorUSD: ctr,
+			DieUSD:        ctr * d.TotalTransistors(),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].TransistorUSD < out[j].TransistorUSD })
+	return out, nil
+}
+
+// SameNodeComparison prices two devices that share a feature size and
+// returns the cost ratio b/a per transistor — >1 means a sells cheaper
+// transistors. It errors when the nodes differ, because cross-node
+// comparisons conflate design density with scaling.
+func SameNodeComparison(aID, bID int) (ratio float64, err error) {
+	a, err := ByID(aID)
+	if err != nil {
+		return 0, err
+	}
+	b, err := ByID(bID)
+	if err != nil {
+		return 0, err
+	}
+	if math.Abs(a.LambdaUM-b.LambdaUM) > 1e-9 {
+		return 0, fmt.Errorf("devices: %s (%v µm) and %s (%v µm) are on different nodes",
+			a.Name, a.LambdaUM, b.Name, b.LambdaUM)
+	}
+	sdA, err := a.SdTotal()
+	if err != nil {
+		return 0, err
+	}
+	sdB, err := b.SdTotal()
+	if err != nil {
+		return 0, err
+	}
+	// Same node, same C_sq and Y: the eq (3) ratio reduces to s_d ratio.
+	return sdB / sdA, nil
+}

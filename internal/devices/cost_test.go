@@ -1,0 +1,83 @@
+package devices
+
+import (
+	"math"
+	"testing"
+)
+
+func TestEraCostPerCM2(t *testing.T) {
+	// Anchored at the paper's 8 $/cm² for 0.18 µm.
+	c, err := EraCostPerCM2(0.18)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(c-8) > 1e-9 {
+		t.Fatalf("cost at anchor = %v, want 8", c)
+	}
+	// Older nodes cheaper, newer dearer.
+	older, err := EraCostPerCM2(0.35)
+	if err != nil {
+		t.Fatal(err)
+	}
+	newer, err := EraCostPerCM2(0.13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(older < 8 && 8 < newer) {
+		t.Fatalf("era ordering wrong: %v, 8, %v", older, newer)
+	}
+	if _, err := EraCostPerCM2(0); err == nil {
+		t.Fatal("accepted zero feature size")
+	}
+}
+
+func TestCostAnalysisSortedAndComplete(t *testing.T) {
+	rows, err := CostAnalysis()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 49 {
+		t.Fatalf("rows = %d, want 49", len(rows))
+	}
+	for i := 1; i < len(rows); i++ {
+		if rows[i].TransistorUSD < rows[i-1].TransistorUSD {
+			t.Fatal("not sorted by transistor cost")
+		}
+	}
+	// The SRAM sells the cheapest transistors in the table (densest, and
+	// on a late node).
+	if rows[0].Kind != KindSRAM {
+		t.Fatalf("cheapest transistor = %s (%s), want the SRAM", rows[0].Name, rows[0].Kind)
+	}
+	// Die prices stay within the plausible envelope of the era.
+	for _, r := range rows {
+		if r.DieUSD < 0.5 || r.DieUSD > 500 {
+			t.Errorf("%s: die cost $%v implausible", r.Name, r.DieUSD)
+		}
+	}
+}
+
+func TestSameNodeComparisonK6vsPentiumII(t *testing.T) {
+	// Both on 0.25 µm: K6 (Model 7, row 14) vs Pentium II (row 9). The
+	// paper: AMD competed "by using less expensive transistors".
+	ratio, err := SameNodeComparison(14, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ratio <= 1 {
+		t.Fatalf("Pentium II / K6 transistor cost ratio = %v, want > 1 (AMD cheaper)", ratio)
+	}
+}
+
+func TestSameNodeComparisonRejectsCrossNode(t *testing.T) {
+	// Row 2 (0.8 µm) vs row 9 (0.25 µm).
+	if _, err := SameNodeComparison(2, 9); err == nil {
+		t.Fatal("accepted cross-node comparison")
+	}
+	if _, err := SameNodeComparison(999, 9); err == nil {
+		t.Fatal("accepted missing row")
+	}
+	if _, err := SameNodeComparison(9, 999); err == nil {
+		t.Fatal("accepted missing row")
+	}
+}

@@ -1,0 +1,64 @@
+package experiments
+
+import (
+	"testing"
+
+	"repro/internal/devices"
+)
+
+func TestDeviceCostStudy(t *testing.T) {
+	res, tbl, err := DeviceCostStudy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Ranked) != 49 || len(tbl.Rows) != 49 {
+		t.Fatalf("rows = %d/%d", len(res.Ranked), len(tbl.Rows))
+	}
+	// The §2.2.2 claim: AMD's K6 sold cheaper transistors than Intel's
+	// Pentium II on the same 0.25 µm node.
+	if res.K6OverPentium <= 1 {
+		t.Fatalf("Pentium II / K6 cost ratio = %v, want > 1", res.K6OverPentium)
+	}
+	// Sanity on the extremes: SRAM cheapest, an ASIC-class part among the
+	// most expensive five.
+	if res.Ranked[0].Kind != devices.KindSRAM {
+		t.Fatalf("cheapest = %s", res.Ranked[0].Name)
+	}
+	foundSparse := false
+	for _, r := range res.Ranked[len(res.Ranked)-5:] {
+		if r.Kind == devices.KindASIC || r.Kind == devices.KindMPEG {
+			foundSparse = true
+		}
+	}
+	if !foundSparse {
+		t.Fatal("no ASIC/MPEG part among the five most expensive transistors")
+	}
+}
+
+func TestUncertaintyStudy(t *testing.T) {
+	res, tbl, err := UncertaintyStudy(4000, 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := res.Quantiles
+	if !(q.P5 < q.P50 && q.P50 < q.P95) {
+		t.Fatalf("quantiles not ordered: %+v", q)
+	}
+	// Real spread from these inputs.
+	if q.P95/q.P5 < 1.3 {
+		t.Fatalf("spread implausibly tight: %+v", q)
+	}
+	if len(res.Tornado) != 6 {
+		t.Fatalf("tornado bars = %d", len(res.Tornado))
+	}
+	// λ leads the tornado (quadratic exponent).
+	if res.Tornado[0].Name != "lambda" {
+		t.Fatalf("top tornado bar = %q, want lambda", res.Tornado[0].Name)
+	}
+	if len(tbl.Rows) != 4+6 {
+		t.Fatalf("table rows = %d, want 10", len(tbl.Rows))
+	}
+	if _, _, err := UncertaintyStudy(0, 1); err == nil {
+		t.Fatal("accepted zero samples")
+	}
+}

@@ -1,0 +1,79 @@
+package experiments
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestWaferMapStudy(t *testing.T) {
+	res, tbl, err := WaferMapStudy(4, 200, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Sites < 150 {
+		t.Fatalf("sites = %d", res.Sites)
+	}
+	// Lot yield below the flat reference (edge drag).
+	if res.LotYield >= res.PoissonRef {
+		t.Fatalf("lot yield %v not below flat Poisson %v", res.LotYield, res.PoissonRef)
+	}
+	// Monotone outward decline.
+	for i := 1; i < len(res.Zones); i++ {
+		if res.Zones[i] >= res.Zones[i-1] {
+			t.Fatalf("zones not declining: %v", res.Zones)
+		}
+	}
+	if !strings.Contains(res.Rendered, ".") {
+		t.Fatal("render missing wafer boundary")
+	}
+	if len(tbl.Rows) != len(res.Zones)+2 {
+		t.Fatalf("table rows = %d", len(tbl.Rows))
+	}
+	if _, _, err := WaferMapStudy(0.5, 10, 1); err == nil {
+		t.Fatal("accepted edge factor < 1")
+	}
+	if _, _, err := WaferMapStudy(2, 0, 1); err == nil {
+		t.Fatal("accepted zero wafers")
+	}
+}
+
+func TestTTMStudyExplainsDecompression(t *testing.T) {
+	taus := []float64{36, 12, 6}
+	rows, tbl, err := TTMStudy(taus)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 || len(tbl.Rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for i, r := range rows {
+		// Profit optimum above the cost optimum in every regime: the TTM
+		// decompression exists whenever prices erode at all.
+		if r.Shift <= 0 {
+			t.Fatalf("τ=%v: profit optimum %v not above cost optimum %v", r.ErosionTau, r.ProfitOptSd, r.CostOptSd)
+		}
+		// Chasing the cost optimum forfeits profit.
+		if r.ProfitForfeit <= 0 {
+			t.Fatalf("τ=%v: no forfeit from cost-chasing", r.ErosionTau)
+		}
+		// Faster erosion destroys program value (rows ordered by
+		// decreasing tau). The *shift* is deliberately not asserted
+		// monotone: faster erosion raises the relative value of shipping
+		// early but shrinks the absolute revenue pool, and the two
+		// effects trade off.
+		if i > 0 && r.ProfitAtOpt >= rows[i-1].ProfitAtOpt {
+			t.Fatalf("profit not declining with erosion: %v after %v", r.ProfitAtOpt, rows[i-1].ProfitAtOpt)
+		}
+	}
+	// The quantitative punchline: at paper-era erosion (τ = 12 mo) the
+	// profit-optimal s_d lands in the upper half of Table A1's observed
+	// industrial band (≈300–770), far above the ≈169 cost optimum.
+	mid := rows[1]
+	if math.IsNaN(mid.ProfitOptSd) || mid.ProfitOptSd < 300 || mid.ProfitOptSd > 800 {
+		t.Fatalf("τ=12: profit-optimal s_d = %v, want in the industrial 300–800 band", mid.ProfitOptSd)
+	}
+	if _, _, err := TTMStudy(nil); err == nil {
+		t.Fatal("accepted empty tau list")
+	}
+}

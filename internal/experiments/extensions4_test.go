@@ -1,0 +1,77 @@
+package experiments
+
+import "testing"
+
+func TestSoCStudyTableA1Pattern(t *testing.T) {
+	res, tbl, err := SoCStudy(300, 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 6 {
+		t.Fatalf("table rows = %d", len(tbl.Rows))
+	}
+	// Memory at the SRAM bound.
+	if res.SdMem < 28 || res.SdMem > 35 {
+		t.Fatalf("memory s_d = %v, want ≈30", res.SdMem)
+	}
+	// Logic several times sparser.
+	if res.SdLogic < 2*res.SdMem {
+		t.Fatalf("logic s_d %v not well above memory %v", res.SdLogic, res.SdMem)
+	}
+	// Blended chip density above the memory's but inflated past a pure
+	// area-weighted blend by the floorplan overhead.
+	if res.SdChip <= res.SdMem {
+		t.Fatalf("chip s_d %v not above memory %v", res.SdChip, res.SdMem)
+	}
+	if res.OverheadFraction <= 0 || res.OverheadFraction > 0.5 {
+		t.Fatalf("overhead = %v", res.OverheadFraction)
+	}
+	if res.MemShare <= 0 || res.MemShare >= 1 {
+		t.Fatalf("memory share = %v", res.MemShare)
+	}
+	if _, _, err := SoCStudy(0, 1); err == nil {
+		t.Fatal("accepted zero cells")
+	}
+}
+
+func TestRepairStudyEconomics(t *testing.T) {
+	lambdas := []float64{0.5, 1.5, 3}
+	rows, tbl, err := RepairStudy(lambdas, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 || len(tbl.Rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for i, r := range rows {
+		if r.RepairedYield < 0.85 {
+			t.Errorf("λ=%v: repaired yield %v below target region", r.Lambda, r.RepairedYield)
+		}
+		if r.RawYield >= r.RepairedYield {
+			t.Errorf("λ=%v: repair did not help", r.Lambda)
+		}
+		// Dirtier regimes need more spares.
+		if i > 0 && r.Spares <= rows[i-1].Spares {
+			t.Errorf("spares not growing with λ: %d after %d", r.Spares, rows[i-1].Spares)
+		}
+		// At percent-level spare overhead, repair always pays for λ ≥ 0.5.
+		if r.CostMultiplier >= 1 {
+			t.Errorf("λ=%v: cost multiplier %v, repair should pay", r.Lambda, r.CostMultiplier)
+		}
+	}
+	// The headline: at λ=3 the raw structure is hopeless (<10%) and the
+	// repaired one ships.
+	last := rows[len(rows)-1]
+	if last.RawYield > 0.1 {
+		t.Fatalf("λ=3 raw yield %v, want < 0.1", last.RawYield)
+	}
+	if last.RepairedYield < 0.88 {
+		t.Fatalf("λ=3 repaired yield %v, want ≈0.9", last.RepairedYield)
+	}
+	if _, _, err := RepairStudy(nil, 0.01); err == nil {
+		t.Fatal("accepted empty lambdas")
+	}
+	if _, _, err := RepairStudy(lambdas, -1); err == nil {
+		t.Fatal("accepted negative spare area")
+	}
+}

@@ -1,0 +1,78 @@
+package experiments
+
+import "testing"
+
+func TestFamilyStudyAmortization(t *testing.T) {
+	rows, fig, err := FamilyStudy(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fig.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 8 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// K=1: identical costs (no sharing yet).
+	if rows[0].RegularPerTx != rows[0].IrregularPerTx {
+		t.Fatalf("K=1 costs differ: %v vs %v", rows[0].RegularPerTx, rows[0].IrregularPerTx)
+	}
+	for i, r := range rows {
+		if i == 0 {
+			continue
+		}
+		// Regular library amortizes faster at every size...
+		if r.RegularPerTx >= r.IrregularPerTx {
+			t.Fatalf("K=%d: regular %v not below irregular %v", r.Products, r.RegularPerTx, r.IrregularPerTx)
+		}
+		// ...and both fall monotonically with family size.
+		if r.RegularPerTx >= rows[i-1].RegularPerTx || r.IrregularPerTx >= rows[i-1].IrregularPerTx {
+			t.Fatalf("K=%d: cost not falling", r.Products)
+		}
+		if r.RegularMult <= rows[i-1].RegularMult {
+			t.Fatalf("K=%d: effective volume multiplier not growing", r.Products)
+		}
+	}
+	// The paper's "effective volume" grows severalfold for the regular
+	// family by K=8.
+	if last := rows[len(rows)-1]; last.RegularMult < 2 {
+		t.Fatalf("K=8 effective-volume multiplier = %v, want ≥ 2", last.RegularMult)
+	}
+	if _, _, err := FamilyStudy(0); err == nil {
+		t.Fatal("accepted zero products")
+	}
+}
+
+func TestTestEconomicsStudy(t *testing.T) {
+	yields := []float64{0.9, 0.7, 0.5, 0.3}
+	rows, tbl, err := TestEconomicsStudy(yields, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 || len(tbl.Rows) != 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for i, r := range rows {
+		if r.OptimalCoverage <= 0 || r.OptimalCoverage >= 1 {
+			t.Fatalf("Y=%v: coverage %v", r.Yield, r.OptimalCoverage)
+		}
+		// The optimum never loses to the fixed policy.
+		if r.CostAtOptimum > r.NaiveCost+1e-9 {
+			t.Fatalf("Y=%v: optimum %v above fixed-95%% %v", r.Yield, r.CostAtOptimum, r.NaiveCost)
+		}
+		// Lower yield makes every shipped part dearer: both the tester
+		// time charged to good die and the escape exposure rise. (The
+		// optimal *coverage* itself is nearly flat — the two effects pull
+		// it in opposite directions — so it is deliberately not asserted
+		// monotone.)
+		if i > 0 && r.CostAtOptimum <= rows[i-1].CostAtOptimum {
+			t.Fatalf("per-part cost not rising as yield falls: %v after %v", r.CostAtOptimum, rows[i-1].CostAtOptimum)
+		}
+	}
+	if _, _, err := TestEconomicsStudy(nil, 50); err == nil {
+		t.Fatal("accepted empty yields")
+	}
+	if _, _, err := TestEconomicsStudy(yields, 0); err == nil {
+		t.Fatal("accepted zero escape cost")
+	}
+}

@@ -1,0 +1,208 @@
+package experiments
+
+import (
+	"math"
+	"testing"
+)
+
+func TestFigure3StressWorsens(t *testing.T) {
+	rows, fig, err := Figure3Stress(0.15, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fig.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	byScenario := map[string][]Fig3StressRow{}
+	for _, r := range rows {
+		byScenario[r.Scenario] = append(byScenario[r.Scenario], r)
+	}
+	opt := byScenario["paper (optimistic)"]
+	pes := byScenario["pessimistic"]
+	if len(opt) == 0 || len(pes) == 0 || len(opt) != len(pes) {
+		t.Fatalf("scenario rows: %d vs %d", len(opt), len(pes))
+	}
+	// Same starting point, strictly worse thereafter.
+	if math.Abs(opt[0].RequiredSd-pes[0].RequiredSd) > 1e-9 {
+		t.Fatalf("first node differs: %v vs %v", opt[0].RequiredSd, pes[0].RequiredSd)
+	}
+	for i := 1; i < len(opt); i++ {
+		if pes[i].RequiredSd >= opt[i].RequiredSd {
+			t.Fatalf("year %d: pessimistic required s_d %v not below optimistic %v",
+				pes[i].Year, pes[i].RequiredSd, opt[i].RequiredSd)
+		}
+	}
+	// Terminal pessimistic requirement is deep in infeasible territory.
+	if pes[len(pes)-1].RequiredSd > 50 {
+		t.Fatalf("terminal pessimistic required s_d = %v, want well below the s_d0=100 limit", pes[len(pes)-1].RequiredSd)
+	}
+	if _, _, err := Figure3Stress(-1, 0.1); err == nil {
+		t.Fatal("accepted negative growth")
+	}
+	if _, _, err := Figure3Stress(0.1, 1); err == nil {
+		t.Fatal("accepted yield decay of 1")
+	}
+}
+
+func TestLayoutYieldStudyAnalyticTracksMC(t *testing.T) {
+	rows, tbl, err := LayoutYieldStudy(3.0, 3000, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 || len(tbl.Rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		// The pairwise critical-area sum is an upper bound on the fatal
+		// area, so the analytic yield is a conservative lower bound...
+		if r.AnalyticYield > r.MeasuredYield+4*r.MeasuredStderr+0.01 {
+			t.Errorf("%s: analytic %v above measured %v ± %v — bound violated",
+				r.Style, r.AnalyticYield, r.MeasuredYield, r.MeasuredStderr)
+		}
+		// ...and bounded pessimism: it should not be wildly loose.
+		if r.MeasuredYield-r.AnalyticYield > 0.25 {
+			t.Errorf("%s: analytic %v too far below measured %v", r.Style, r.AnalyticYield, r.MeasuredYield)
+		}
+		if r.CriticalFrac <= 0 || r.CriticalFrac > 1 {
+			t.Errorf("%s: critical fraction %v", r.Style, r.CriticalFrac)
+		}
+	}
+	// For the sparse style, where strip overlaps are rare, the bound is
+	// tight.
+	for _, r := range rows {
+		if r.Style == "asic-sparse" && math.Abs(r.AnalyticYield-r.MeasuredYield) > 4*r.MeasuredStderr+0.05 {
+			t.Errorf("sparse style should agree tightly: analytic %v vs measured %v", r.AnalyticYield, r.MeasuredYield)
+		}
+	}
+	// Denser geometry (SRAM) must expose a larger critical fraction than
+	// the sparse ASIC and yield worse at equal defect counts.
+	byStyle := map[string]LayoutYieldRow{}
+	for _, r := range rows {
+		byStyle[r.Style] = r
+	}
+	if byStyle["sram-array"].CriticalFrac <= byStyle["asic-sparse"].CriticalFrac {
+		t.Fatalf("SRAM critical fraction %v not above sparse ASIC %v",
+			byStyle["sram-array"].CriticalFrac, byStyle["asic-sparse"].CriticalFrac)
+	}
+	if byStyle["sram-array"].MeasuredYield >= byStyle["asic-sparse"].MeasuredYield {
+		t.Fatalf("SRAM yield %v not below sparse ASIC %v",
+			byStyle["sram-array"].MeasuredYield, byStyle["asic-sparse"].MeasuredYield)
+	}
+	if _, _, err := LayoutYieldStudy(-1, 100, 1); err == nil {
+		t.Fatal("accepted negative rate")
+	}
+	if _, _, err := LayoutYieldStudy(1, 0, 1); err == nil {
+		t.Fatal("accepted zero trials")
+	}
+}
+
+func TestTestCostStudyShape(t *testing.T) {
+	sizes := []float64{1e6, 10e6, 100e6}
+	yields := []float64{0.4, 0.8}
+	rows, tbl, err := TestCostStudy(sizes, yields)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 6 || len(tbl.Rows) != 6 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// At fixed yield, per-die test cost grows with size but sublinearly.
+	find := func(ntr, y float64) TestCostRow {
+		for _, r := range rows {
+			if r.Transistors == ntr && r.Yield == y {
+				return r
+			}
+		}
+		t.Fatalf("missing row %v/%v", ntr, y)
+		return TestCostRow{}
+	}
+	small, big := find(1e6, 0.8), find(100e6, 0.8)
+	if big.TestPerDie <= small.TestPerDie {
+		t.Fatal("test cost did not grow with size")
+	}
+	if big.TestPerDie >= 100*small.TestPerDie {
+		t.Fatal("test cost grew superlinearly despite compression exponent")
+	}
+	// At fixed size, lower yield raises the per-die charge.
+	lo, hi := find(10e6, 0.4), find(10e6, 0.8)
+	if lo.TestPerDie <= hi.TestPerDie {
+		t.Fatal("lower yield did not raise test cost")
+	}
+	// Test is a minor share for big die, visible for small ones.
+	if small.TestShare <= big.TestShare {
+		t.Fatalf("test share should shrink with die size: %v vs %v", small.TestShare, big.TestShare)
+	}
+	if _, _, err := TestCostStudy(nil, yields); err == nil {
+		t.Fatal("accepted empty sizes")
+	}
+}
+
+func TestMPWStudyShape(t *testing.T) {
+	nodes := []float64{0.25, 0.18, 0.13}
+	rows, tbl, err := MPWStudy(nodes, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 || len(tbl.Rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for i, r := range rows {
+		if r.MPWPerDie >= r.DedPerDie {
+			t.Errorf("λ=%v: MPW %v not below dedicated %v at prototype volume", r.LambdaUM, r.MPWPerDie, r.DedPerDie)
+		}
+		// The sharing advantage is bounded by the project count.
+		if r.Advantage <= 1 || r.Advantage > 10 {
+			t.Errorf("λ=%v: advantage %v outside (1, projects]", r.LambdaUM, r.Advantage)
+		}
+		// Identity: the dedicated break-even lot equals the MPW lot size
+		// (both prices amortize the same mask set over the same wafers).
+		if math.Abs(r.BreakEvenWaf-20) > 1e-6 {
+			t.Errorf("λ=%v: break-even %v, want the 20-wafer lot (invariance)", r.LambdaUM, r.BreakEvenWaf)
+		}
+		if i > 0 {
+			if r.MaskSet <= rows[i-1].MaskSet {
+				t.Error("mask set not growing with shrink")
+			}
+			if r.Advantage <= rows[i-1].Advantage {
+				t.Errorf("sharing advantage not growing with shrink: %v after %v", r.Advantage, rows[i-1].Advantage)
+			}
+		}
+	}
+	if _, _, err := MPWStudy(nil, 10); err == nil {
+		t.Fatal("accepted empty nodes")
+	}
+	if _, _, err := MPWStudy(nodes, 1); err == nil {
+		t.Fatal("accepted single project")
+	}
+}
+
+func TestRoutabilityStudyShape(t *testing.T) {
+	rows, tbl, err := RoutabilityStudy([]float64{1.5, 2.5, 4}, 144, 4, 60, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 || len(tbl.Rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// Connectivity growth raises demand.
+	if rows[len(rows)-1].PeakDemand <= rows[0].PeakDemand {
+		t.Fatalf("fanout growth did not raise peak demand: %v vs %v",
+			rows[len(rows)-1].PeakDemand, rows[0].PeakDemand)
+	}
+	// The §2.2.2 check: even at 4x-ish connectivity the routing inflation
+	// stays well under the 2x+ s_d growth Table A1 shows.
+	for _, r := range rows {
+		if r.AreaInflation < 1 {
+			t.Fatalf("inflation below 1: %+v", r)
+		}
+		if r.SdWithRouting < 60 {
+			t.Fatalf("routed s_d below intrinsic: %+v", r)
+		}
+	}
+	if _, _, err := RoutabilityStudy(nil, 100, 4, 60, 1); err == nil {
+		t.Fatal("accepted empty fanouts")
+	}
+	if _, _, err := RoutabilityStudy([]float64{2}, 4, 4, 60, 1); err == nil {
+		t.Fatal("accepted tiny gate count")
+	}
+}

@@ -1,0 +1,79 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/devices"
+	"repro/internal/report"
+	"repro/internal/stats"
+)
+
+// Figure1Result carries the Figure 1 reproduction: the industrial s_d
+// scatter and the trend statistics the paper reads off it.
+type Figure1Result struct {
+	Points        []devices.Figure1Point
+	IndustryTrend stats.LinearFit // logic s_d vs year, all CPUs
+	IntelTrend    stats.LinearFit
+	AMDTrend      stats.LinearFit
+	AMDMeanPreK7  float64 // mean AMD logic s_d before 1999
+	IntelMeanPre  float64 // mean Intel logic s_d before 1999
+	K7Sd          float64
+}
+
+// Figure1 regenerates the paper's Figure 1: the design decompression
+// index of the Table A1 designs, with the vendor trends §2.2.2 discusses
+// (worsening density at the majors; AMD denser than Intel until the K7).
+func Figure1() (Figure1Result, *report.Figure, error) {
+	var res Figure1Result
+	res.Points = devices.Figure1Series()
+	var err error
+	if res.IndustryTrend, err = devices.IndustryTrend(); err != nil {
+		return res, nil, err
+	}
+	if res.IntelTrend, err = devices.VendorTrend("Intel"); err != nil {
+		return res, nil, err
+	}
+	if res.AMDTrend, err = devices.VendorTrend("AMD"); err != nil {
+		return res, nil, err
+	}
+	if res.AMDMeanPreK7, err = devices.MeanLogicSd("AMD", 1999); err != nil {
+		return res, nil, err
+	}
+	if res.IntelMeanPre, err = devices.MeanLogicSd("Intel", 1999); err != nil {
+		return res, nil, err
+	}
+	k7, err := devices.ByID(17)
+	if err != nil {
+		return res, nil, err
+	}
+	res.K7Sd = k7.SdLogic
+
+	fig := &report.Figure{
+		Title:  "Figure 1 — logic s_d of industrial designs vs year",
+		XLabel: "year",
+		YLabel: "s_d (λ² squares / transistor)",
+	}
+	byGroup := map[string]*report.Series{}
+	order := []string{}
+	for _, p := range res.Points {
+		group := string(p.Kind)
+		if p.Vendor == "Intel" || p.Vendor == "AMD" {
+			group = p.Vendor
+		}
+		s, ok := byGroup[group]
+		if !ok {
+			s = &report.Series{Name: group}
+			byGroup[group] = s
+			order = append(order, group)
+		}
+		s.X = append(s.X, float64(p.Year))
+		s.Y = append(s.Y, p.SdLogic)
+	}
+	for _, g := range order {
+		fig.Add(*byGroup[g])
+	}
+	if err := fig.Validate(); err != nil {
+		return res, nil, fmt.Errorf("experiments: figure 1: %w", err)
+	}
+	return res, fig, nil
+}

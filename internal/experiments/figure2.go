@@ -1,0 +1,30 @@
+package experiments
+
+import (
+	"repro/internal/itrs"
+	"repro/internal/report"
+)
+
+// Figure2 regenerates the paper's Figure 2: the design decompression
+// index implied by the ITRS-1999 MPU transistor-density roadmap, plotted
+// against minimum feature size. The series falls as λ shrinks — the
+// roadmap silently assumes ever-denser design while industry (Figure 1)
+// moves the other way.
+func Figure2() ([]itrs.Derived, *report.Figure, error) {
+	rows, err := itrs.DeriveAll()
+	if err != nil {
+		return nil, nil, err
+	}
+	fig := &report.Figure{
+		Title:  "Figure 2 — ITRS-implied s_d for MPUs vs feature size",
+		XLabel: "λ (µm)",
+		YLabel: "implied s_d",
+	}
+	s := report.Series{Name: "itrs-implied"}
+	for _, r := range rows {
+		s.X = append(s.X, r.LambdaUM)
+		s.Y = append(s.Y, r.ImpliedSd)
+	}
+	fig.Add(s)
+	return rows, fig, nil
+}

@@ -1,0 +1,40 @@
+package experiments
+
+import (
+	"repro/internal/itrs"
+	"repro/internal/report"
+)
+
+// Figure3 regenerates the paper's Figure 3: the s_d required to keep the
+// cost/performance MPU die at its 1999 cost level (C_ch = $34, C_sq =
+// 8 $/cm², Y = 0.8), and the ratio of the ITRS-implied s_d to that
+// requirement. The ratio climbs monotonically toward 1: the roadmap
+// consumes its entire cost budget, while the required s_d falls to the
+// full-custom limit no real design flow approaches — the paper's "cost
+// contradiction".
+func Figure3() ([]itrs.Derived, *report.Figure, error) {
+	rows, err := itrs.DeriveAll()
+	if err != nil {
+		return nil, nil, err
+	}
+	fig := &report.Figure{
+		Title:  "Figure 3 — s_d required for a constant $34 MPU die",
+		XLabel: "λ (µm)",
+		YLabel: "s_d / ratio",
+	}
+	req := report.Series{Name: "required s_d ($34 die)"}
+	implied := report.Series{Name: "itrs-implied s_d"}
+	ratio := report.Series{Name: "implied/required ×100"}
+	for _, r := range rows {
+		req.X = append(req.X, r.LambdaUM)
+		req.Y = append(req.Y, r.RequiredSd)
+		implied.X = append(implied.X, r.LambdaUM)
+		implied.Y = append(implied.Y, r.ImpliedSd)
+		ratio.X = append(ratio.X, r.LambdaUM)
+		ratio.Y = append(ratio.Y, r.Ratio*100)
+	}
+	fig.Add(req)
+	fig.Add(implied)
+	fig.Add(ratio)
+	return rows, fig, nil
+}

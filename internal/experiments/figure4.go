@@ -1,0 +1,98 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/maskcost"
+	"repro/internal/report"
+)
+
+// Figure4Case identifies one panel of the paper's Figure 4.
+type Figure4Case struct {
+	Label  string
+	Wafers float64
+	Yield  float64
+}
+
+// Figure4Cases returns the paper's two panels: (a) N_w = 5000, Y = 0.4
+// and (b) N_w = 50000, Y = 0.9 — both at N_tr = 10 M.
+func Figure4Cases() []Figure4Case {
+	return []Figure4Case{
+		{Label: "a (Nw=5000, Y=0.4)", Wafers: 5000, Yield: 0.4},
+		{Label: "b (Nw=50000, Y=0.9)", Wafers: 50000, Yield: 0.9},
+	}
+}
+
+// Figure4Curve is one λ series of a Figure 4 panel plus its located
+// optimum.
+type Figure4Curve struct {
+	LambdaUM float64
+	Points   []core.SweepPoint
+	Optimum  core.Optimum
+}
+
+// figure4Nodes are the feature sizes swept in each panel.
+var figure4Nodes = []float64{0.25, 0.18, 0.13, 0.10}
+
+// Figure4Scenario builds the eq (4) scenario for one panel at one node,
+// with the mask-set price taken from the node-dependent mask model.
+func Figure4Scenario(c Figure4Case, lambdaUM float64) (core.Scenario, error) {
+	mask, err := maskcost.DefaultModel().SetCost(lambdaUM)
+	if err != nil {
+		return core.Scenario{}, err
+	}
+	return core.Scenario{
+		Process: core.Process{
+			Name:         fmt.Sprintf("node-%.0fnm", lambdaUM*1000),
+			LambdaUM:     lambdaUM,
+			CostPerCM2:   8.0,
+			Yield:        c.Yield,
+			WaferAreaCM2: 300,
+		},
+		Design:     core.Design{Name: "mpu10M", Transistors: 10e6, Sd: 300},
+		DesignCost: core.DefaultDesignCostModel(),
+		MaskCost:   mask,
+		Wafers:     c.Wafers,
+	}, nil
+}
+
+// Figure4 regenerates one panel of the paper's Figure 4: the eq (4)
+// transistor cost versus s_d at N_tr = 10 M for several feature sizes,
+// with the cost-optimal s_d marked. The curves are U-shaped; the optimum
+// sits at sparser design (larger s_d) in the low-volume/low-yield panel
+// and at denser design in the high-volume/high-yield panel.
+func Figure4(c Figure4Case, points int) ([]Figure4Curve, *report.Figure, error) {
+	if points < 2 {
+		return nil, nil, fmt.Errorf("experiments: figure 4 needs at least 2 points, got %d", points)
+	}
+	fig := &report.Figure{
+		Title:  "Figure 4" + c.Label + " — transistor cost vs s_d (Ntr=10M)",
+		XLabel: "s_d",
+		YLabel: "C_tr ($/transistor)",
+		LogY:   true,
+	}
+	var curves []Figure4Curve
+	for _, lam := range figure4Nodes {
+		s, err := Figure4Scenario(c, lam)
+		if err != nil {
+			return nil, nil, err
+		}
+		pts, err := core.SweepSd(s, 105, 2000, points)
+		if err != nil {
+			return nil, nil, err
+		}
+		opt, err := core.OptimalSd(s, 2000)
+		if err != nil {
+			return nil, nil, err
+		}
+		curves = append(curves, Figure4Curve{LambdaUM: lam, Points: pts, Optimum: opt})
+		series := report.Series{Name: fmt.Sprintf("λ=%.2fµm (opt s_d=%.0f)", lam, opt.Sd)}
+		for _, p := range pts {
+			series.X = append(series.X, p.X)
+			series.Y = append(series.Y, p.Breakdown.Total)
+		}
+		fig.Add(series)
+	}
+	return curves, fig, nil
+}

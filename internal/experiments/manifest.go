@@ -1,0 +1,149 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/yield"
+)
+
+// Artifact identifies one regenerable table/figure/study and how to run
+// it with its canonical parameters.
+type Artifact struct {
+	ID    string
+	Title string
+	Run   func() error
+}
+
+// Manifest returns every artifact of the reproduction — the paper's table
+// and figures followed by the extension studies — each bound to its
+// canonical parameters. Callers (cmd/figures, CI smoke tests) iterate it
+// to prove the whole harness still runs end to end.
+func Manifest() []Artifact {
+	discard := func(err error) error { return err }
+	return []Artifact{
+		{"tablea1", "Table A1 — 49 industrial designs", func() error {
+			_, _, err := TableA1()
+			return discard(err)
+		}},
+		{"fig1", "Figure 1 — industrial s_d trend", func() error {
+			_, _, err := Figure1()
+			return discard(err)
+		}},
+		{"fig2", "Figure 2 — ITRS-implied s_d", func() error {
+			_, _, err := Figure2()
+			return discard(err)
+		}},
+		{"fig3", "Figure 3 — required s_d for a $34 die", func() error {
+			_, _, err := Figure3()
+			return discard(err)
+		}},
+		{"fig4", "Figure 4 — C_tr(s_d), both panels", func() error {
+			for _, c := range Figure4Cases() {
+				if _, _, err := Figure4(c, 24); err != nil {
+					return err
+				}
+			}
+			return nil
+		}},
+		{"x1", "optimal s_d vs volume", func() error {
+			_, _, err := OptimalSdVsVolume(500, 1e6, 8)
+			return discard(err)
+		}},
+		{"x2", "yield models vs Monte Carlo", func() error {
+			_, _, err := YieldModelComparison([]float64{0.3, 1}, 1,
+				yield.SimConfig{DiePerWafer: 100, Wafers: 40, Seed: 1})
+			return discard(err)
+		}},
+		{"x3", "FPGA utilization crossover", func() error {
+			_, _, err := UtilizationCrossover(0.4, 10, 1e6, 8)
+			return discard(err)
+		}},
+		{"x4", "regularity → design cost", func() error {
+			_, _, err := RegularityStudy(1)
+			return discard(err)
+		}},
+		{"x5", "gross die: exact vs approximations", func() error {
+			_, _, err := GrossDieStudy([]float64{0.5, 1})
+			return discard(err)
+		}},
+		{"x6", "wafer cost learning", func() error {
+			_, _, err := WaferCostStudy(0.18, []float64{0, 12}, []float64{1000, 100000})
+			return discard(err)
+		}},
+		{"x7", "mask amortization", func() error {
+			_, _, err := MaskAmortization([]float64{0.25, 0.13}, 100, 1e5, 6)
+			return discard(err)
+		}},
+		{"x8", "layout style densities", func() error {
+			_, _, err := LayoutDensityStudy(1)
+			return discard(err)
+		}},
+		{"x9", "Figure 3 stress", func() error {
+			_, _, err := Figure3Stress(0.15, 0.05)
+			return discard(err)
+		}},
+		{"x10", "layout critical-area yield", func() error {
+			_, _, err := LayoutYieldStudy(2, 300, 1)
+			return discard(err)
+		}},
+		{"x11", "cost of test", func() error {
+			_, _, err := TestCostStudy([]float64{1e6, 10e6}, []float64{0.8})
+			return discard(err)
+		}},
+		{"x12", "multi-project wafers", func() error {
+			_, _, err := MPWStudy([]float64{0.25, 0.13}, 10)
+			return discard(err)
+		}},
+		{"x13", "routability decompression", func() error {
+			_, _, err := RoutabilityStudy([]float64{2}, 64, 4, 60, 1)
+			return discard(err)
+		}},
+		{"x14", "Table A1 priced", func() error {
+			_, _, err := DeviceCostStudy()
+			return discard(err)
+		}},
+		{"x15", "cost uncertainty", func() error {
+			_, _, err := UncertaintyStudy(500, 1)
+			return discard(err)
+		}},
+		{"x16", "spatial wafer map", func() error {
+			_, _, err := WaferMapStudy(3, 40, 1)
+			return discard(err)
+		}},
+		{"x17", "time-to-market vs density", func() error {
+			_, _, err := TTMStudy([]float64{12})
+			return discard(err)
+		}},
+		{"x18", "MPU vs DRAM implied s_d", func() error {
+			_, _, err := MPUvsDRAM()
+			return discard(err)
+		}},
+		{"x19", "synthetic SoC decomposition", func() error {
+			_, _, err := SoCStudy(120, 1)
+			return discard(err)
+		}},
+		{"x20", "redundancy repair economics", func() error {
+			_, _, err := RepairStudy([]float64{1, 3}, 0.01)
+			return discard(err)
+		}},
+		{"x21", "family amortization", func() error {
+			_, _, err := FamilyStudy(4)
+			return discard(err)
+		}},
+		{"x22", "optimal fault coverage", func() error {
+			_, _, err := TestEconomicsStudy([]float64{0.7}, 50)
+			return discard(err)
+		}},
+	}
+}
+
+// RunAll executes every manifest artifact and returns the first failure
+// annotated with its ID, or nil when the full harness regenerates.
+func RunAll() error {
+	for _, a := range Manifest() {
+		if err := a.Run(); err != nil {
+			return fmt.Errorf("experiments: %s (%s): %w", a.ID, a.Title, err)
+		}
+	}
+	return nil
+}

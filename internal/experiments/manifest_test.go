@@ -1,0 +1,35 @@
+package experiments
+
+import "testing"
+
+func TestManifestComplete(t *testing.T) {
+	m := Manifest()
+	// The paper's 5 artifacts plus 22 extension studies.
+	if len(m) != 27 {
+		t.Fatalf("manifest lists %d artifacts, want 27", len(m))
+	}
+	seen := map[string]bool{}
+	for _, a := range m {
+		if a.ID == "" || a.Title == "" || a.Run == nil {
+			t.Fatalf("incomplete artifact %+v", a)
+		}
+		if seen[a.ID] {
+			t.Fatalf("duplicate artifact id %q", a.ID)
+		}
+		seen[a.ID] = true
+	}
+	for _, id := range []string{"tablea1", "fig1", "fig2", "fig3", "fig4", "x1", "x22"} {
+		if !seen[id] {
+			t.Fatalf("manifest missing %q", id)
+		}
+	}
+}
+
+func TestRunAll(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full harness smoke test")
+	}
+	if err := RunAll(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,55 @@
+// Package experiments binds the substrates to the paper: each exported
+// function regenerates one table or figure (T-A1, F-1…F-4) or one
+// ablation/extension study (X-1…X-8) from DESIGN.md's per-experiment
+// index, returning both structured rows for tests and a report.Table or
+// report.Figure for the cmd/figures binary and the benchmarks.
+package experiments
+
+import (
+	"repro/internal/devices"
+	"repro/internal/report"
+)
+
+// TableA1Row is one device of the regenerated Table A1.
+type TableA1Row struct {
+	ID         int
+	Name       string
+	Kind       devices.Kind
+	DieCM2     float64
+	LambdaUM   float64
+	TotalTx    float64
+	MemTx      float64
+	LogicTx    float64
+	MemAreaCM2 float64
+	LogicArea  float64
+	SdMem      float64
+	SdLogic    float64
+}
+
+// TableA1 regenerates the paper's Table A1 from the embedded device
+// records: the die/area/s_d columns are recomputed through eq (2) rather
+// than echoed.
+func TableA1() ([]TableA1Row, *report.Table, error) {
+	tbl := report.NewTable("Table A1 — design characteristics of 49 published designs",
+		"#", "die cm²", "λ µm", "total Mtx", "mem Mtx", "logic Mtx",
+		"mem cm²", "logic cm²", "s_d mem", "s_d logic", "device")
+	var rows []TableA1Row
+	for _, d := range devices.All() {
+		if err := d.Validate(); err != nil {
+			return nil, nil, err
+		}
+		r := TableA1Row{
+			ID: d.ID, Name: d.Name, Kind: d.Kind,
+			DieCM2:   d.DieAreaCM2(),
+			LambdaUM: d.LambdaUM,
+			TotalTx:  d.TotalTransistors(),
+			MemTx:    d.MemTransistors, LogicTx: d.LogicTransistors,
+			MemAreaCM2: d.MemAreaCM2(), LogicArea: d.LogicAreaCM2(),
+			SdMem: d.SdMem, SdLogic: d.SdLogic,
+		}
+		rows = append(rows, r)
+		tbl.AddRow(r.ID, r.DieCM2, r.LambdaUM, r.TotalTx/1e6, r.MemTx/1e6,
+			r.LogicTx/1e6, r.MemAreaCM2, r.LogicArea, r.SdMem, r.SdLogic, r.Name)
+	}
+	return rows, tbl, nil
+}

@@ -1,0 +1,56 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/report"
+)
+
+// TestCostRow is one (size, yield) operating point of the X-11 study.
+type TestCostRow struct {
+	Transistors float64
+	Yield       float64
+	TestPerDie  float64
+	TestShare   float64 // test / total die cost
+	TotalPerTx  float64
+}
+
+// TestCostStudy runs X-11: the cost-of-test extension §2.5 says "could be
+// easily included" — included. Test cost per good die grows with design
+// size (sublinearly, via scan compression) and inversely with yield (bad
+// die burn tester time too); its share of the die cost is largest exactly
+// where the paper's cost squeeze already bites: big die on low-yield
+// processes.
+func TestCostStudy(sizes []float64, yields []float64) ([]TestCostRow, *report.Table, error) {
+	if len(sizes) == 0 || len(yields) == 0 {
+		return nil, nil, fmt.Errorf("experiments: X-11 needs sizes and yields")
+	}
+	model := core.DefaultTestCostModel()
+	tbl := report.NewTable("X-11 — cost of test in the eq (4) framework",
+		"N_tr", "yield", "test $/die", "test share", "C_tr with test $")
+	var rows []TestCostRow
+	for _, y := range yields {
+		for _, ntr := range sizes {
+			s, err := Figure4Scenario(Figure4Case{Wafers: 20000, Yield: y}, 0.18)
+			if err != nil {
+				return nil, nil, err
+			}
+			s.Design.Transistors = ntr
+			b, perTx, err := core.TransistorCostWithTest(s, model)
+			if err != nil {
+				return nil, nil, err
+			}
+			row := TestCostRow{
+				Transistors: ntr,
+				Yield:       y,
+				TestPerDie:  perTx * ntr,
+				TestShare:   perTx * ntr / b.DieCost,
+				TotalPerTx:  b.Total,
+			}
+			rows = append(rows, row)
+			tbl.AddRow(row.Transistors, row.Yield, row.TestPerDie, row.TestShare, row.TotalPerTx)
+		}
+	}
+	return rows, tbl, nil
+}

@@ -1,0 +1,74 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/maskcost"
+	"repro/internal/report"
+	"repro/internal/wafer"
+)
+
+// MPWRow is one technology node of the X-12 study.
+type MPWRow struct {
+	LambdaUM     float64
+	MaskSet      float64
+	MPWPerDie    float64 // shared-mask cost per good die
+	DedPerDie    float64 // dedicated-mask cost per good die, same die count
+	Advantage    float64 // DedPerDie / MPWPerDie — approaches Projects as masks dominate
+	BreakEvenWaf float64 // dedicated break-even lot size
+}
+
+// MPWStudy runs X-12: multi-project-wafer mask sharing across nodes. As
+// the mask set inflates with each shrink, the prototype-volume advantage
+// of sharing (dedicated/MPW cost per die) grows toward the project count
+// — the escape hatch for the eq (5) NRE squeeze gets more valuable
+// exactly as the paper predicts NRE grows. The dedicated break-even lot
+// size, by contrast, is algebraically invariant at the MPW lot size
+// (both prices amortize the same mask set), a non-obvious identity the
+// table makes visible.
+func MPWStudy(nodes []float64, projects int) ([]MPWRow, *report.Table, error) {
+	if len(nodes) == 0 {
+		return nil, nil, fmt.Errorf("experiments: X-12 needs at least one node")
+	}
+	if projects <= 1 {
+		return nil, nil, fmt.Errorf("experiments: X-12 needs at least two sharing projects, got %d", projects)
+	}
+	mm := maskcost.DefaultModel()
+	tbl := report.NewTable("X-12 — multi-project wafer sharing across nodes",
+		"λ µm", "mask set $", "MPW $/die", "dedicated $/die", "advantage ×", "break-even wafers")
+	var rows []MPWRow
+	for _, lam := range nodes {
+		set, err := mm.SetCost(lam)
+		if err != nil {
+			return nil, nil, err
+		}
+		cfg := wafer.MPWConfig{
+			Projects:    projects,
+			MaskSetCost: set,
+			WaferCost:   2000,
+			Wafers:      20,
+			DiePerWafer: 25,
+			Yield:       0.8,
+		}
+		mpw, err := cfg.CostPerProjectDie()
+		if err != nil {
+			return nil, nil, err
+		}
+		ded, err := cfg.DedicatedCostPerDie(25 * projects)
+		if err != nil {
+			return nil, nil, err
+		}
+		be, err := cfg.MPWBreakEvenWafers(25 * projects)
+		if err != nil {
+			return nil, nil, err
+		}
+		row := MPWRow{
+			LambdaUM: lam, MaskSet: set,
+			MPWPerDie: mpw, DedPerDie: ded,
+			Advantage: ded / mpw, BreakEvenWaf: be,
+		}
+		rows = append(rows, row)
+		tbl.AddRow(row.LambdaUM, row.MaskSet, row.MPWPerDie, row.DedPerDie, row.Advantage, row.BreakEvenWaf)
+	}
+	return rows, tbl, nil
+}

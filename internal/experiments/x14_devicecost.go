@@ -1,0 +1,39 @@
+package experiments
+
+import (
+	"repro/internal/devices"
+	"repro/internal/report"
+)
+
+// DeviceCostResult carries the X-14 ranking plus the paper's flagship
+// same-node comparison.
+type DeviceCostResult struct {
+	Ranked        []devices.DeviceCost
+	K6OverPentium float64 // Pentium II / K6 transistor-cost ratio on 0.25 µm
+}
+
+// DeviceCostStudy runs X-14: every Table A1 device priced through eq (3)
+// at its era's cost per cm², ranked by dollars per transistor — the
+// paper's §2.2.2 market argument made quantitative: on the same node, the
+// denser design (AMD's K6 vs Intel's Pentium II) sells measurably cheaper
+// transistors.
+func DeviceCostStudy() (DeviceCostResult, *report.Table, error) {
+	ranked, err := devices.CostAnalysis()
+	if err != nil {
+		return DeviceCostResult{}, nil, err
+	}
+	ratio, err := devices.SameNodeComparison(14, 9) // K6 Model 7 vs Pentium II, both 0.25 µm
+	if err != nil {
+		return DeviceCostResult{}, nil, err
+	}
+	tbl := report.NewTable("X-14 — Table A1 devices priced through eq (3), cheapest transistors first",
+		"rank", "device", "kind", "λ µm", "C_sq $/cm²", "s_d (blended)", "$/transistor", "die $")
+	for i, r := range ranked {
+		sd, err := r.SdTotal()
+		if err != nil {
+			return DeviceCostResult{}, nil, err
+		}
+		tbl.AddRow(i+1, r.Name, string(r.Kind), r.LambdaUM, r.CostPerCM2, sd, r.TransistorUSD, r.DieUSD)
+	}
+	return DeviceCostResult{Ranked: ranked, K6OverPentium: ratio}, tbl, nil
+}

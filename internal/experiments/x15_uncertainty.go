@@ -1,0 +1,56 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/report"
+)
+
+// UncertaintyResult carries the X-15 study: Monte Carlo cost quantiles
+// under realistic input uncertainty plus the one-at-a-time tornado.
+type UncertaintyResult struct {
+	Quantiles core.CostQuantiles
+	Tornado   []core.TornadoBar
+}
+
+// UncertaintyStudy runs X-15: the paper presents eq (4) as a "compass"
+// for maneuvering among cost stumbling blocks; a compass needs error
+// bars. Realistic input uncertainty (yield ±, cost/cm² log-normal, s_d
+// spread from the design-style choice, volume uncertainty from demand) is
+// propagated through eq (4), and a tornado ranks which input to nail down
+// first — λ and yield dominate, matching the eq (3) exponents.
+func UncertaintyStudy(samples int, seed uint64) (UncertaintyResult, *report.Table, error) {
+	if samples <= 0 {
+		return UncertaintyResult{}, nil, fmt.Errorf("experiments: X-15 needs positive samples, got %d", samples)
+	}
+	base, err := Figure4Scenario(Figure4Case{Wafers: 10000, Yield: 0.7}, 0.18)
+	if err != nil {
+		return UncertaintyResult{}, nil, err
+	}
+	u := core.UncertainScenario{
+		Base:   base,
+		Yield:  core.Uniform(0.5, 0.9),
+		CmSq:   core.LogNormal(8, 1.3),
+		Sd:     core.Uniform(200, 450),
+		Wafers: core.LogNormal(10000, 1.5),
+	}
+	q, err := u.MonteCarlo(samples, seed)
+	if err != nil {
+		return UncertaintyResult{}, nil, err
+	}
+	bars, err := core.Tornado(base, 0.2)
+	if err != nil {
+		return UncertaintyResult{}, nil, err
+	}
+	tbl := report.NewTable("X-15 — eq (4) cost under input uncertainty",
+		"metric", "value ($/transistor)")
+	tbl.AddRow("mean", q.Mean)
+	tbl.AddRow("p5", q.P5)
+	tbl.AddRow("p50", q.P50)
+	tbl.AddRow("p95", q.P95)
+	for _, b := range bars {
+		tbl.AddRow("tornado "+b.Name+" (±20%)", b.Swing())
+	}
+	return UncertaintyResult{Quantiles: q, Tornado: bars}, tbl, nil
+}

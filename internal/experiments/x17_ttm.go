@@ -1,0 +1,69 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/report"
+)
+
+// TTMRow is one price-erosion regime of the X-17 study.
+type TTMRow struct {
+	ErosionTau    float64 // months
+	CostOptSd     float64
+	ProfitOptSd   float64
+	Shift         float64 // ProfitOptSd − CostOptSd
+	DesignMonths  float64 // at the profit optimum
+	ProfitAtOpt   float64
+	ProfitAtCost  float64 // profit if the team chased the cost optimum instead
+	ProfitForfeit float64 // ProfitAtOpt − ProfitAtCost
+}
+
+// TTMStudy runs X-17: §2.2.2 asserts "the time to market pressure must be
+// a factor deciding about compactness of modern custom-designed ICs" —
+// this study derives it. Under exponential price erosion the
+// profit-optimal s_d sits above the cost-optimal s_d, and the gap widens
+// as erosion accelerates: exactly the industrial decompression Figure 1
+// documents, emerging from the model rather than asserted.
+func TTMStudy(erosionTaus []float64) ([]TTMRow, *report.Table, error) {
+	if len(erosionTaus) == 0 {
+		return nil, nil, fmt.Errorf("experiments: X-17 needs at least one erosion tau")
+	}
+	base, err := Figure4Scenario(Figure4Case{Wafers: 20000, Yield: 0.8}, 0.18)
+	if err != nil {
+		return nil, nil, err
+	}
+	costOpt, err := core.OptimalSd(base, 2000)
+	if err != nil {
+		return nil, nil, err
+	}
+	tbl := report.NewTable("X-17 — time-to-market pressure vs design density",
+		"erosion τ (mo)", "cost-opt s_d", "profit-opt s_d", "shift", "design months", "profit $M", "forfeit if cost-chasing $M")
+	var rows []TTMRow
+	for _, tau := range erosionTaus {
+		m := core.DefaultMarketModel()
+		m.ErosionTauMonths = tau
+		profOpt, err := m.ProfitOptimalSd(base, 3000)
+		if err != nil {
+			return nil, nil, err
+		}
+		atCost, err := m.Profit(base.WithSd(costOpt.Sd))
+		if err != nil {
+			return nil, nil, err
+		}
+		row := TTMRow{
+			ErosionTau:    tau,
+			CostOptSd:     costOpt.Sd,
+			ProfitOptSd:   profOpt.Sd,
+			Shift:         profOpt.Sd - costOpt.Sd,
+			DesignMonths:  profOpt.DesignMonths,
+			ProfitAtOpt:   profOpt.Profit,
+			ProfitAtCost:  atCost.Profit,
+			ProfitForfeit: profOpt.Profit - atCost.Profit,
+		}
+		rows = append(rows, row)
+		tbl.AddRow(row.ErosionTau, row.CostOptSd, row.ProfitOptSd, row.Shift,
+			row.DesignMonths, row.ProfitAtOpt/1e6, row.ProfitForfeit/1e6)
+	}
+	return rows, tbl, nil
+}

@@ -1,0 +1,65 @@
+package experiments
+
+import (
+	"repro/internal/itrs"
+	"repro/internal/report"
+)
+
+// DRAMRow pairs the MPU and DRAM implied s_d at one roadmap generation.
+type DRAMRow struct {
+	Year        int
+	LambdaUM    float64
+	MPUSd       float64
+	DRAMSd      float64
+	MPUOverDRAM float64
+}
+
+// MPUvsDRAM runs X-18, the roadmap-side confirmation of §3.2: the DRAM
+// line — a perfectly regular design built from one precharacterized 8F²
+// pattern — holds its implied s_d constant near 10 across every
+// generation and therefore tracks the roadmap effortlessly, while the MPU
+// line's implied s_d must fall 250 → 71 to keep up, a density discipline
+// irregular custom logic has never demonstrated. Regularity is what makes
+// the roadmap feasible.
+func MPUvsDRAM() ([]DRAMRow, *report.Figure, error) {
+	mpu, err := itrs.DeriveAll()
+	if err != nil {
+		return nil, nil, err
+	}
+	dram := itrs.DRAMNodes()
+	byYear := map[int]itrs.DRAMNode{}
+	for _, d := range dram {
+		byYear[d.Year] = d
+	}
+	var rows []DRAMRow
+	fig := &report.Figure{
+		Title:  "X-18 — implied s_d: custom MPU vs regular DRAM",
+		XLabel: "λ (µm)",
+		YLabel: "implied s_d",
+		LogY:   true,
+	}
+	sm := report.Series{Name: "mpu (custom logic)"}
+	sd := report.Series{Name: "dram (8F² regular)"}
+	for _, m := range mpu {
+		d, ok := byYear[m.Year]
+		if !ok {
+			continue
+		}
+		dsd, err := d.ImpliedSd()
+		if err != nil {
+			return nil, nil, err
+		}
+		rows = append(rows, DRAMRow{
+			Year: m.Year, LambdaUM: m.LambdaUM,
+			MPUSd: m.ImpliedSd, DRAMSd: dsd,
+			MPUOverDRAM: m.ImpliedSd / dsd,
+		})
+		sm.X = append(sm.X, m.LambdaUM)
+		sm.Y = append(sm.Y, m.ImpliedSd)
+		sd.X = append(sd.X, m.LambdaUM)
+		sd.Y = append(sd.Y, dsd)
+	}
+	fig.Add(sm)
+	fig.Add(sd)
+	return rows, fig, nil
+}

@@ -1,0 +1,37 @@
+package experiments
+
+import (
+	"math"
+	"testing"
+)
+
+func TestMPUvsDRAM(t *testing.T) {
+	rows, fig, err := MPUvsDRAM()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fig.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 6 {
+		t.Fatalf("rows = %d, want 6 shared generations", len(rows))
+	}
+	for i, r := range rows {
+		// DRAM stays pinned near 10 while the MPU sits far above it.
+		if r.DRAMSd < 5 || r.DRAMSd > 15 {
+			t.Errorf("%d: DRAM s_d = %v, want ≈10", r.Year, r.DRAMSd)
+		}
+		if r.MPUOverDRAM < 5 {
+			t.Errorf("%d: MPU/DRAM ratio = %v, want ≥ 5", r.Year, r.MPUOverDRAM)
+		}
+		// The gap narrows over the roadmap only because the MPU line is
+		// forced downward; DRAM itself never moves (scale invariance, up
+		// to float rounding).
+		if i > 0 && math.Abs(r.DRAMSd-rows[i-1].DRAMSd) > 1e-9*r.DRAMSd {
+			t.Errorf("%d: DRAM s_d moved: %v vs %v", r.Year, r.DRAMSd, rows[i-1].DRAMSd)
+		}
+		if i > 0 && r.MPUOverDRAM >= rows[i-1].MPUOverDRAM {
+			t.Errorf("%d: MPU/DRAM ratio not shrinking", r.Year)
+		}
+	}
+}

@@ -1,0 +1,53 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/report"
+)
+
+// OptSdPoint is one row of the X-1 study.
+type OptSdPoint struct {
+	Wafers    float64
+	OptimalSd float64
+	Cost      float64 // $/transistor at the optimum
+}
+
+// OptimalSdVsVolume sweeps production volume and tracks where the
+// cost-optimal s_d sits — the quantitative form of §3.1's conclusion that
+// neither minimum die size nor maximum yield is the objective; the optimum
+// moves with volume.
+func OptimalSdVsVolume(loWafers, hiWafers float64, points int) ([]OptSdPoint, *report.Figure, error) {
+	if !(loWafers > 0 && loWafers < hiWafers) {
+		return nil, nil, fmt.Errorf("experiments: X-1 needs 0 < lo < hi, got [%v, %v]", loWafers, hiWafers)
+	}
+	if points < 2 {
+		return nil, nil, fmt.Errorf("experiments: X-1 needs at least 2 points")
+	}
+	base, err := Figure4Scenario(Figure4Case{Wafers: loWafers, Yield: 0.8}, 0.18)
+	if err != nil {
+		return nil, nil, err
+	}
+	ratio := hiWafers / loWafers
+	var rows []OptSdPoint
+	fig := &report.Figure{
+		Title:  "X-1 — cost-optimal s_d vs production volume",
+		XLabel: "wafers (log-spaced)",
+		YLabel: "optimal s_d",
+	}
+	s := report.Series{Name: "optimal s_d"}
+	for i := 0; i < points; i++ {
+		w := loWafers * math.Pow(ratio, float64(i)/float64(points-1))
+		opt, err := core.OptimalSd(base.WithWafers(w), 5000)
+		if err != nil {
+			return nil, nil, err
+		}
+		rows = append(rows, OptSdPoint{Wafers: w, OptimalSd: opt.Sd, Cost: opt.Breakdown.Total})
+		s.X = append(s.X, w)
+		s.Y = append(s.Y, opt.Sd)
+	}
+	fig.Add(s)
+	return rows, fig, nil
+}

@@ -1,0 +1,72 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/report"
+)
+
+// FamilyRow is one family size of the X-21 study, for regular and
+// irregular block libraries.
+type FamilyRow struct {
+	Products       int
+	RegularPerTx   float64 // $/transistor, shared precharacterized blocks
+	IrregularPerTx float64 // $/transistor, little reusable content
+	RegularMult    float64 // effective-volume multiplier, regular library
+}
+
+// FamilyStudy runs X-21, the paper's closing recommendation priced:
+// "repetitive (across many products) and experimentally precharacterized
+// design building blocks … increase an effective volume used in the
+// computation of C_DE". A regular library (70% of the design effort in
+// shared blocks, 90% reusable) amortizes across the family; an irregular
+// design (20% shared) barely does. The gap is the §3.2 dividend.
+func FamilyStudy(maxProducts int) ([]FamilyRow, *report.Figure, error) {
+	if maxProducts < 1 {
+		return nil, nil, fmt.Errorf("experiments: X-21 needs at least one product, got %d", maxProducts)
+	}
+	base, err := Figure4Scenario(Figure4Case{Wafers: 5000, Yield: 0.8}, 0.18)
+	if err != nil {
+		return nil, nil, err
+	}
+	regular := core.Family{SharedFraction: 0.7, ReuseEfficiency: 0.9}
+	irregular := core.Family{SharedFraction: 0.2, ReuseEfficiency: 0.5}
+	var rows []FamilyRow
+	fig := &report.Figure{
+		Title:  "X-21 — family amortization: regular vs irregular block libraries",
+		XLabel: "family size K",
+		YLabel: "C_tr ($/transistor)",
+	}
+	sr := report.Series{Name: "regular (s=0.7, e=0.9)"}
+	si := report.Series{Name: "irregular (s=0.2, e=0.5)"}
+	for k := 1; k <= maxProducts; k++ {
+		regular.Products = k
+		irregular.Products = k
+		br, err := core.FamilyTransistorCost(base, regular)
+		if err != nil {
+			return nil, nil, err
+		}
+		bi, err := core.FamilyTransistorCost(base, irregular)
+		if err != nil {
+			return nil, nil, err
+		}
+		mult, err := regular.EffectiveVolumeMultiplier()
+		if err != nil {
+			return nil, nil, err
+		}
+		rows = append(rows, FamilyRow{
+			Products:       k,
+			RegularPerTx:   br.Total,
+			IrregularPerTx: bi.Total,
+			RegularMult:    mult,
+		})
+		sr.X = append(sr.X, float64(k))
+		sr.Y = append(sr.Y, br.Total)
+		si.X = append(si.X, float64(k))
+		si.Y = append(si.Y, bi.Total)
+	}
+	fig.Add(sr)
+	fig.Add(si)
+	return rows, fig, nil
+}

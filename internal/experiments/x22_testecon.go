@@ -1,0 +1,63 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/report"
+)
+
+// TestEconRow is one yield regime of the X-22 study.
+type TestEconRow struct {
+	Yield           float64
+	OptimalCoverage float64
+	CostAtOptimum   float64 // test + escape $ per shipped part
+	DPMAtOptimum    float64
+	NaiveCoverage   float64 // the fixed 95% policy
+	NaiveCost       float64
+}
+
+// TestEconomicsStudy runs X-22, completing the §2.5 cost-of-test thread:
+// the Williams–Brown escape model joins the tester-time model, and the
+// economically optimal fault coverage emerges from the trade — rising as
+// yield falls (more defective parts to catch) and as escapes get pricier.
+// A fixed "95% coverage" policy leaves money on the table at both ends.
+func TestEconomicsStudy(yields []float64, escapeCost float64) ([]TestEconRow, *report.Table, error) {
+	if len(yields) == 0 {
+		return nil, nil, fmt.Errorf("experiments: X-22 needs at least one yield")
+	}
+	if escapeCost <= 0 {
+		return nil, nil, fmt.Errorf("experiments: X-22 escape cost must be positive, got %v", escapeCost)
+	}
+	econ := core.DefaultTestEconomics()
+	econ.EscapeCost = escapeCost
+	const ntr = 10e6
+	tbl := report.NewTable("X-22 — economically optimal fault coverage",
+		"yield", "optimal coverage", "$/part at optimum", "DPM at optimum", "$/part at fixed 95%")
+	var rows []TestEconRow
+	for _, y := range yields {
+		cov, cost, err := econ.OptimalCoverage(ntr, y)
+		if err != nil {
+			return nil, nil, err
+		}
+		dl, err := core.DefectLevel(y, cov)
+		if err != nil {
+			return nil, nil, err
+		}
+		naive, err := econ.CostAt(0.95, ntr, y)
+		if err != nil {
+			return nil, nil, err
+		}
+		row := TestEconRow{
+			Yield:           y,
+			OptimalCoverage: cov,
+			CostAtOptimum:   cost,
+			DPMAtOptimum:    dl * 1e6,
+			NaiveCoverage:   0.95,
+			NaiveCost:       naive,
+		}
+		rows = append(rows, row)
+		tbl.AddRow(row.Yield, row.OptimalCoverage, row.CostAtOptimum, row.DPMAtOptimum, row.NaiveCost)
+	}
+	return rows, tbl, nil
+}

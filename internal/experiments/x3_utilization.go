@@ -1,0 +1,91 @@
+package experiments
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/report"
+)
+
+// UtilizationRow is one volume sample of the X-3 study.
+type UtilizationRow struct {
+	Wafers   float64
+	ASICCost float64 // $/useful transistor, full-custom flow
+	FPGACost float64 // $/useful transistor at utilization u
+}
+
+// UtilizationResult carries the full X-3 study.
+type UtilizationResult struct {
+	Rows      []UtilizationRow
+	Crossover float64 // wafers at which the ASIC overtakes the FPGA
+	U         float64
+}
+
+// asicFPGAPair builds the §2.5 comparison: an ASIC scenario with the full
+// eq (6) design cost, and an FPGA scenario with utilization u, a
+// prefabricated (sparse, cheap-design) fabric and no product mask set.
+func asicFPGAPair(u float64) (asic, fpga core.Scenario, err error) {
+	asic, err = Figure4Scenario(Figure4Case{Wafers: 1000, Yield: 0.8}, 0.18)
+	if err != nil {
+		return core.Scenario{}, core.Scenario{}, err
+	}
+	fpga = asic
+	fpga.Utilization = u
+	fpga.Design.Sd = 2000
+	fpga.MaskCost = 0
+	fpga.DesignCost = core.DesignCostModel{A0: 1, P1: 1, P2: 1.2, Sd0: 100}
+	return asic, fpga, nil
+}
+
+// UtilizationCrossover runs X-3: the eq (7)/§2.5 u·Y substitution makes
+// every FPGA transistor cost 1/u more, but the FPGA carries almost no
+// per-product design or mask cost; below the crossover volume it wins,
+// above it the ASIC does.
+func UtilizationCrossover(u float64, loWafers, hiWafers float64, points int) (UtilizationResult, *report.Figure, error) {
+	if !(u > 0 && u < 1) {
+		return UtilizationResult{}, nil, fmt.Errorf("experiments: X-3 utilization must be in (0,1), got %v", u)
+	}
+	if points < 2 || !(loWafers > 0 && loWafers < hiWafers) {
+		return UtilizationResult{}, nil, errors.New("experiments: X-3 needs 0 < lo < hi and ≥2 points")
+	}
+	asic, fpga, err := asicFPGAPair(u)
+	if err != nil {
+		return UtilizationResult{}, nil, err
+	}
+	res := UtilizationResult{U: u}
+	res.Crossover, err = core.CrossoverVolume(asic, fpga, loWafers, hiWafers)
+	if err != nil {
+		return UtilizationResult{}, nil, err
+	}
+	aPts, err := core.SweepVolume(asic, loWafers, hiWafers, points)
+	if err != nil {
+		return UtilizationResult{}, nil, err
+	}
+	fPts, err := core.SweepVolume(fpga, loWafers, hiWafers, points)
+	if err != nil {
+		return UtilizationResult{}, nil, err
+	}
+	fig := &report.Figure{
+		Title:  fmt.Sprintf("X-3 — ASIC vs FPGA (u=%.2f) transistor cost vs volume", u),
+		XLabel: "wafers",
+		YLabel: "C_tr ($/useful transistor)",
+		LogY:   true,
+	}
+	sa := report.Series{Name: "asic"}
+	sf := report.Series{Name: "fpga"}
+	for i := range aPts {
+		res.Rows = append(res.Rows, UtilizationRow{
+			Wafers:   aPts[i].X,
+			ASICCost: aPts[i].Breakdown.Total,
+			FPGACost: fPts[i].Breakdown.Total,
+		})
+		sa.X = append(sa.X, aPts[i].X)
+		sa.Y = append(sa.Y, aPts[i].Breakdown.Total)
+		sf.X = append(sf.X, fPts[i].X)
+		sf.Y = append(sf.Y, fPts[i].Breakdown.Total)
+	}
+	fig.Add(sa)
+	fig.Add(sf)
+	return res, fig, nil
+}

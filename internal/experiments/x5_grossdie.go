@@ -1,0 +1,61 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/report"
+	"repro/internal/wafer"
+)
+
+// GrossDieRow compares the exact gross-die count with the analytic
+// approximations for one die size on one wafer.
+type GrossDieRow struct {
+	WaferMM       float64
+	DieAreaCM2    float64
+	Exact         int
+	AreaRatio     int
+	EdgeCorrected int
+	DeHoff        int
+}
+
+// GrossDieStudy runs X-5: exact placement versus the approximations the
+// cost literature plugs into eq (1), across die sizes and wafer
+// generations. The area-ratio formula always overestimates; the corrected
+// forms track the exact count within a few percent until the die gets
+// large relative to the wafer.
+func GrossDieStudy(dieAreas []float64) ([]GrossDieRow, *report.Table, error) {
+	if len(dieAreas) == 0 {
+		return nil, nil, fmt.Errorf("experiments: X-5 needs at least one die size")
+	}
+	tbl := report.NewTable("X-5 — gross die per wafer: exact vs approximations",
+		"wafer mm", "die cm²", "exact", "area-ratio", "edge-corrected", "dehoff")
+	var rows []GrossDieRow
+	for _, w := range []wafer.Wafer{wafer.Wafer200, wafer.Wafer300} {
+		for _, a := range dieAreas {
+			d := wafer.SquareDie(a)
+			exact, err := wafer.GrossDie(w, d)
+			if err != nil {
+				return nil, nil, err
+			}
+			naive, err := wafer.GrossDieApprox(w, d, wafer.AreaRatio)
+			if err != nil {
+				return nil, nil, err
+			}
+			corr, err := wafer.GrossDieApprox(w, d, wafer.EdgeCorrected)
+			if err != nil {
+				return nil, nil, err
+			}
+			dh, err := wafer.GrossDieApprox(w, d, wafer.DeHoff)
+			if err != nil {
+				return nil, nil, err
+			}
+			row := GrossDieRow{
+				WaferMM: w.DiameterMM, DieAreaCM2: a,
+				Exact: exact, AreaRatio: naive, EdgeCorrected: corr, DeHoff: dh,
+			}
+			rows = append(rows, row)
+			tbl.AddRow(row.WaferMM, row.DieAreaCM2, row.Exact, row.AreaRatio, row.EdgeCorrected, row.DeHoff)
+		}
+	}
+	return rows, tbl, nil
+}

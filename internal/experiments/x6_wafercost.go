@@ -1,0 +1,51 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/fab"
+	"repro/internal/report"
+)
+
+// WaferCostRow is one (age, volume) sample of the X-6 study.
+type WaferCostRow struct {
+	Months  float64
+	Wafers  float64
+	CostCM2 float64 // Cm_sq under maturity + volume effects
+}
+
+// WaferCostStudy runs X-6: the ref [30] wafer-cost dependence on process
+// maturity and cumulative volume, evaluated through the fab substrate.
+// Cost per cm² falls with both age (bring-up premium decays) and volume
+// (experience curve) and approaches the amortization floor.
+func WaferCostStudy(lambdaUM float64, months []float64, volumes []float64) ([]WaferCostRow, *report.Figure, error) {
+	if len(months) == 0 || len(volumes) == 0 {
+		return nil, nil, fmt.Errorf("experiments: X-6 needs months and volumes")
+	}
+	line, err := fab.ReferenceFabline(lambdaUM, 200)
+	if err != nil {
+		return nil, nil, err
+	}
+	curve := fab.ExperienceCurve{FirstUnitCost: 1, LearningRate: 0.92}
+	var rows []WaferCostRow
+	fig := &report.Figure{
+		Title:  fmt.Sprintf("X-6 — wafer cost per cm² at %.2f µm vs maturity and volume", lambdaUM),
+		XLabel: "process age (months)",
+		YLabel: "Cm_sq ($/cm²)",
+	}
+	for _, v := range volumes {
+		s := report.Series{Name: fmt.Sprintf("%.0f wafers", v)}
+		for _, m := range months {
+			fn, err := fab.MatureWaferCost(line, 9, m, curve, 10000)
+			if err != nil {
+				return nil, nil, err
+			}
+			c := fn(line.WaferAreaCM2(), lambdaUM, v)
+			rows = append(rows, WaferCostRow{Months: m, Wafers: v, CostCM2: c})
+			s.X = append(s.X, m)
+			s.Y = append(s.Y, c)
+		}
+		fig.Add(s)
+	}
+	return rows, fig, nil
+}

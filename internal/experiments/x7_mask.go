@@ -1,0 +1,63 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/maskcost"
+	"repro/internal/report"
+)
+
+// MaskRow is one (node, volume) sample of the X-7 study.
+type MaskRow struct {
+	LambdaUM    float64
+	SetCost     float64
+	Wafers      float64
+	PerWafer    float64 // amortized mask cost per wafer
+	PerCM2At300 float64 // amortized per cm² on a 300 cm² usable wafer
+}
+
+// MaskAmortization runs X-7: the mask-set price across nodes and its
+// amortization over production volume — the C_MA term of eq (5) made
+// concrete. At small volumes on advanced nodes the mask charge alone
+// rivals the paper's 8 $/cm² manufacturing cost.
+func MaskAmortization(nodes []float64, loWafers, hiWafers float64, points int) ([]MaskRow, *report.Figure, error) {
+	if len(nodes) == 0 {
+		return nil, nil, fmt.Errorf("experiments: X-7 needs at least one node")
+	}
+	if points < 2 || !(loWafers > 0 && loWafers < hiWafers) {
+		return nil, nil, fmt.Errorf("experiments: X-7 needs 0 < lo < hi and ≥2 points")
+	}
+	m := maskcost.DefaultModel()
+	var rows []MaskRow
+	fig := &report.Figure{
+		Title:  "X-7 — amortized mask cost per cm² vs volume",
+		XLabel: "wafers",
+		YLabel: "$/cm²",
+		LogY:   true,
+	}
+	ratio := hiWafers / loWafers
+	for _, lam := range nodes {
+		set, err := m.SetCost(lam)
+		if err != nil {
+			return nil, nil, err
+		}
+		s := report.Series{Name: fmt.Sprintf("λ=%.2fµm", lam)}
+		for i := 0; i < points; i++ {
+			w := loWafers * math.Pow(ratio, float64(i)/float64(points-1))
+			per, err := m.AmortizedPerWafer(lam, w)
+			if err != nil {
+				return nil, nil, err
+			}
+			row := MaskRow{
+				LambdaUM: lam, SetCost: set, Wafers: w,
+				PerWafer: per, PerCM2At300: per / 300,
+			}
+			rows = append(rows, row)
+			s.X = append(s.X, w)
+			s.Y = append(s.Y, row.PerCM2At300)
+		}
+		fig.Add(s)
+	}
+	return rows, fig, nil
+}

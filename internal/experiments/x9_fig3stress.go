@@ -1,0 +1,80 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/itrs"
+	"repro/internal/report"
+)
+
+// Fig3StressRow is one roadmap node under one economic scenario.
+type Fig3StressRow struct {
+	Scenario   string
+	Year       int
+	LambdaUM   float64
+	RequiredSd float64
+}
+
+// Figure3Stress runs X-9: the paper stresses that Figure 3 already uses a
+// "very optimistic scenario i.e. assuming no increase in C_sq and no
+// decrease in yield". This study drops that optimism: C_sq grows by
+// csqGrowth per 3-year node and yield declines by yieldDecay per node, and
+// the required s_d for the constant $34 die collapses even faster — the
+// cost contradiction is a lower bound.
+func Figure3Stress(csqGrowth, yieldDecay float64) ([]Fig3StressRow, *report.Figure, error) {
+	if csqGrowth < 0 {
+		return nil, nil, fmt.Errorf("experiments: X-9 C_sq growth must be non-negative, got %v", csqGrowth)
+	}
+	if yieldDecay < 0 || yieldDecay >= 1 {
+		return nil, nil, fmt.Errorf("experiments: X-9 yield decay must be in [0,1), got %v", yieldDecay)
+	}
+	nodes := itrs.Nodes()
+	scenarios := []struct {
+		name    string
+		csqAt   func(i int) float64
+		yieldAt func(i int) float64
+	}{
+		{
+			name:    "paper (optimistic)",
+			csqAt:   func(int) float64 { return itrs.CostPerCM2 },
+			yieldAt: func(int) float64 { return itrs.Yield },
+		},
+		{
+			name:    "pessimistic",
+			csqAt:   func(i int) float64 { return itrs.CostPerCM2 * math.Pow(1+csqGrowth, float64(i)) },
+			yieldAt: func(i int) float64 { return itrs.Yield * math.Pow(1-yieldDecay, float64(i)) },
+		},
+	}
+	var rows []Fig3StressRow
+	fig := &report.Figure{
+		Title:  "X-9 — required s_d for a $34 die: optimistic vs pessimistic economics",
+		XLabel: "λ (µm)",
+		YLabel: "required s_d",
+		LogY:   true,
+	}
+	for _, sc := range scenarios {
+		series := report.Series{Name: sc.name}
+		for i, n := range nodes {
+			p := core.Process{
+				Name:         fmt.Sprintf("%s-%d", sc.name, n.Year),
+				LambdaUM:     n.LambdaUM,
+				CostPerCM2:   sc.csqAt(i),
+				Yield:        sc.yieldAt(i),
+				WaferAreaCM2: 300,
+			}
+			req, err := core.RequiredSdForDieCost(itrs.TargetDieCost, p, n.Transistors)
+			if err != nil {
+				return nil, nil, err
+			}
+			rows = append(rows, Fig3StressRow{
+				Scenario: sc.name, Year: n.Year, LambdaUM: n.LambdaUM, RequiredSd: req,
+			})
+			series.X = append(series.X, n.LambdaUM)
+			series.Y = append(series.Y, req)
+		}
+		fig.Add(series)
+	}
+	return rows, fig, nil
+}

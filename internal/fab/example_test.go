@@ -1,0 +1,46 @@
+package fab_test
+
+import (
+	"fmt"
+
+	"repro/internal/fab"
+)
+
+// The paper's premise quantified: fabline capital doubles per node shrink.
+func ExampleCapexForNode() {
+	for _, lam := range []float64{0.25, 0.18, 0.13, 0.05} {
+		capex, err := fab.CapexForNode(lam)
+		if err != nil {
+			fmt.Println(err)
+			return
+		}
+		fmt.Printf("%.0f nm: $%.1fB\n", lam*1000, capex/1e9)
+	}
+	// Output:
+	// 250 nm: $1.5B
+	// 180 nm: $2.8B
+	// 130 nm: $5.3B
+	// 50 nm: $34.2B
+}
+
+// Wafer cost from amortization: low utilization punishes low volume.
+func ExampleFabline_WaferCost() {
+	line, err := fab.ReferenceFabline(0.25, 200)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	full, err := line.WaferCost(1.0)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	half, err := line.WaferCost(0.5)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("full line $%.0f/wafer, half-empty line $%.0f/wafer\n", full, half)
+	// Output:
+	// full line $1458/wafer, half-empty line $2917/wafer
+}

@@ -1,0 +1,251 @@
+package fab
+
+import (
+	"math"
+	"testing"
+)
+
+func TestCapexForNodeDoublesPerShrink(t *testing.T) {
+	c250, err := CapexForNode(0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(c250-1.5e9) > 1 {
+		t.Fatalf("capex(0.25) = %v, want 1.5e9", c250)
+	}
+	c175, err := CapexForNode(0.25 * 0.7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(c175/c250-2) > 1e-9 {
+		t.Fatalf("one shrink multiplied capex by %v, want 2", c175/c250)
+	}
+	// Nanometer territory: 0.05 µm should be well past $10 B — the
+	// paper's "billions of dollars" premise.
+	c50, err := CapexForNode(0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c50 < 10e9 {
+		t.Fatalf("capex(50nm) = %v, want > 1e10", c50)
+	}
+	if _, err := CapexForNode(0); err == nil {
+		t.Fatal("accepted zero feature size")
+	}
+}
+
+func TestReferenceFabline(t *testing.T) {
+	f, err := ReferenceFabline(0.18, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if f.WafersPerYear != 30000*12 {
+		t.Fatalf("200mm capacity = %v, want 360000", f.WafersPerYear)
+	}
+	f300, err := ReferenceFabline(0.18, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f300.WafersPerYear >= f.WafersPerYear {
+		t.Fatal("300mm line should start fewer (bigger) wafers per year")
+	}
+	if _, err := ReferenceFabline(0.18, 0); err == nil {
+		t.Fatal("accepted zero diameter")
+	}
+}
+
+func TestWaferCost(t *testing.T) {
+	f := Fabline{
+		Name: "test", CapexDollars: 1.5e9, LifetimeYears: 5,
+		WafersPerYear: 360000, LambdaUM: 0.25, WaferDiameterMM: 200,
+	}
+	wc, err := f.WaferCost(1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// (1.5e9/5 + 1.5e9·0.15)/360000 = (3e8 + 2.25e8)/3.6e5 = 1458.33
+	want := (1.5e9/5 + 1.5e9*0.15) / 360000
+	if math.Abs(wc-want) > 1e-6 {
+		t.Fatalf("wafer cost = %v, want %v", wc, want)
+	}
+	// Half utilization doubles the cost.
+	half, err := f.WaferCost(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(half-2*wc) > 1e-6 {
+		t.Fatalf("half-utilization cost = %v, want %v", half, 2*wc)
+	}
+	if _, err := f.WaferCost(0); err == nil {
+		t.Fatal("accepted zero utilization")
+	}
+	if _, err := f.WaferCost(1.5); err == nil {
+		t.Fatal("accepted utilization > 1")
+	}
+}
+
+func TestCostPerCM2PaperScale(t *testing.T) {
+	// The paper uses C_sq = 8 $/cm² for a mature 1999 process; the
+	// reference 0.25 µm line at healthy utilization should land in the
+	// single-digit $/cm² range.
+	f, err := ReferenceFabline(0.25, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := f.CostPerCM2(0.85)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c < 2 || c > 20 {
+		t.Fatalf("cost/cm² = %v, want paper-scale 2–20 $/cm²", c)
+	}
+}
+
+func TestFablineValidation(t *testing.T) {
+	bad := []Fabline{
+		{CapexDollars: 0, LifetimeYears: 5, WafersPerYear: 1, LambdaUM: 0.25, WaferDiameterMM: 200},
+		{CapexDollars: 1, LifetimeYears: 0, WafersPerYear: 1, LambdaUM: 0.25, WaferDiameterMM: 200},
+		{CapexDollars: 1, LifetimeYears: 5, WafersPerYear: 0, LambdaUM: 0.25, WaferDiameterMM: 200},
+		{CapexDollars: 1, LifetimeYears: 5, WafersPerYear: 1, LambdaUM: 0, WaferDiameterMM: 200},
+		{CapexDollars: 1, LifetimeYears: 5, WafersPerYear: 1, LambdaUM: 0.25, WaferDiameterMM: 0},
+		{CapexDollars: 1, LifetimeYears: 5, WafersPerYear: 1, LambdaUM: 0.25, WaferDiameterMM: 200, OperatingFactor: -1},
+	}
+	for i, f := range bad {
+		if err := f.Validate(); err == nil {
+			t.Errorf("case %d: invalid fabline accepted", i)
+		}
+	}
+}
+
+func TestExperienceCurve(t *testing.T) {
+	c := ExperienceCurve{FirstUnitCost: 100, LearningRate: 0.9}
+	u1, err := c.UnitCost(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(u1-100) > 1e-9 {
+		t.Fatalf("first unit = %v", u1)
+	}
+	u2, err := c.UnitCost(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(u2-90) > 1e-9 {
+		t.Fatalf("unit 2 = %v, want 90 (90%% curve)", u2)
+	}
+	u4, err := c.UnitCost(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(u4-81) > 1e-9 {
+		t.Fatalf("unit 4 = %v, want 81", u4)
+	}
+	if _, err := c.UnitCost(0.5); err == nil {
+		t.Fatal("accepted unit index < 1")
+	}
+}
+
+func TestExperienceCurveValidation(t *testing.T) {
+	if err := (ExperienceCurve{FirstUnitCost: 0, LearningRate: 0.9}).Validate(); err == nil {
+		t.Fatal("accepted zero first-unit cost")
+	}
+	if err := (ExperienceCurve{FirstUnitCost: 1, LearningRate: 0}).Validate(); err == nil {
+		t.Fatal("accepted zero learning rate")
+	}
+	if err := (ExperienceCurve{FirstUnitCost: 1, LearningRate: 1.1}).Validate(); err == nil {
+		t.Fatal("accepted learning rate > 1")
+	}
+}
+
+func TestAverageCostAboveMarginal(t *testing.T) {
+	c := ExperienceCurve{FirstUnitCost: 100, LearningRate: 0.85}
+	for _, n := range []float64{1, 10, 1000, 1e6} {
+		avg, err := c.AverageCost(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		unit, err := c.UnitCost(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if avg < unit {
+			t.Fatalf("n=%v: average %v below marginal %v", n, avg, unit)
+		}
+		if avg > c.FirstUnitCost+1e-9 {
+			t.Fatalf("n=%v: average %v above first-unit cost", n, avg)
+		}
+	}
+	// Flat curve: average equals first-unit cost up to the O(1/n) error of
+	// the continuous approximation.
+	flat := ExperienceCurve{FirstUnitCost: 50, LearningRate: 1}
+	avg, err := flat.AverageCost(1e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(avg-50) > 50.0/1e6+1e-9 {
+		t.Fatalf("flat curve average = %v, want ~50", avg)
+	}
+}
+
+func TestMatureWaferCost(t *testing.T) {
+	f, err := ReferenceFabline(0.18, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	curve := ExperienceCurve{FirstUnitCost: 1, LearningRate: 0.92}
+	young, err := MatureWaferCost(f, 9, 0, curve, 10000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	old, err := MatureWaferCost(f, 9, 36, curve, 10000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aw := f.WaferAreaCM2()
+	cy := young(aw, 0.18, 10000)
+	co := old(aw, 0.18, 10000)
+	if co >= cy {
+		t.Fatalf("mature cost %v not below bring-up cost %v", co, cy)
+	}
+	// Volume helps: 100k wafers cheaper per cm² than 1k.
+	big := old(aw, 0.18, 100000)
+	small := old(aw, 0.18, 1000)
+	if big >= small {
+		t.Fatalf("high-volume cost %v not below low-volume %v", big, small)
+	}
+	// At the reference volume and high maturity the cost approaches the
+	// base cost/cm².
+	base, _ := f.CostPerCM2(0.85)
+	atRef := old(aw, 0.18, 10000)
+	if math.Abs(atRef-base)/base > 0.05 {
+		t.Fatalf("mature at-reference cost %v far from base %v", atRef, base)
+	}
+}
+
+func TestMatureWaferCostValidation(t *testing.T) {
+	f, _ := ReferenceFabline(0.18, 200)
+	curve := ExperienceCurve{FirstUnitCost: 1, LearningRate: 0.92}
+	if _, err := MatureWaferCost(f, 0, 0, curve, 1000); err == nil {
+		t.Fatal("accepted zero tau")
+	}
+	if _, err := MatureWaferCost(f, 9, -1, curve, 1000); err == nil {
+		t.Fatal("accepted negative age")
+	}
+	if _, err := MatureWaferCost(f, 9, 0, curve, 0); err == nil {
+		t.Fatal("accepted zero reference volume")
+	}
+	if _, err := MatureWaferCost(f, 9, 0, ExperienceCurve{}, 1000); err == nil {
+		t.Fatal("accepted invalid curve")
+	}
+	// Sub-wafer volumes clamp instead of erroring.
+	fn, err := MatureWaferCost(f, 9, 12, curve, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c := fn(f.WaferAreaCM2(), 0.18, 0); !(c > 0) {
+		t.Fatalf("clamped volume produced cost %v", c)
+	}
+}

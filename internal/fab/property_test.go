@@ -1,0 +1,40 @@
+package fab
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// Property: capex strictly grows as the feature size shrinks.
+func TestCapexMonotoneProperty(t *testing.T) {
+	f := func(a, b uint16) bool {
+		lam := 0.02 + float64(a%1000)/1000
+		shrink := 0.5 + float64(b%400)/1000
+		big, err1 := CapexForNode(lam)
+		small, err2 := CapexForNode(lam * shrink)
+		return err1 == nil && err2 == nil && small > big
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the experience curve's unit cost never increases with
+// cumulative volume, and the running average always dominates it.
+func TestExperienceCurveProperty(t *testing.T) {
+	f := func(a uint16, b uint8) bool {
+		rate := 0.7 + 0.3*float64(b%100)/100 // [0.7, 1.0)
+		n := 1 + float64(a)                  // [1, 65536]
+		c := ExperienceCurve{FirstUnitCost: 100, LearningRate: rate}
+		u1, err1 := c.UnitCost(n)
+		u2, err2 := c.UnitCost(2 * n)
+		avg, err3 := c.AverageCost(2 * n)
+		if err1 != nil || err2 != nil || err3 != nil {
+			return false
+		}
+		return u2 <= u1 && avg >= u2
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

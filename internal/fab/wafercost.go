@@ -1,0 +1,121 @@
+// Package fab models the economics of the fabrication line itself: capital
+// amortization, throughput, process maturity, and the resulting cost of a
+// fabricated wafer — the Cm_sq(A_w, λ, N_w) dependence that the paper's
+// generalized model eq (7) demands and its reference [30] ("Estimation of
+// Wafer Cost for Technology Design") sketches. The paper's central premise
+// — exponentially growing fab cost with shrinking feature size — is the
+// CapexForNode curve.
+package fab
+
+import (
+	"fmt"
+	"math"
+)
+
+// Fabline describes a fabrication facility.
+type Fabline struct {
+	Name            string
+	CapexDollars    float64 // total capital cost of the line
+	LifetimeYears   float64 // depreciation horizon
+	WafersPerYear   float64 // nameplate capacity at full utilization
+	OperatingFactor float64 // yearly opex as a fraction of capex (0 → default 0.15)
+	LambdaUM        float64 // process minimum feature size
+	WaferDiameterMM float64 // wafer size the line runs
+}
+
+// Validate reports the first invalid field of f, or nil.
+func (f Fabline) Validate() error {
+	switch {
+	case f.CapexDollars <= 0:
+		return fmt.Errorf("fab: %q: capex must be positive, got %v", f.Name, f.CapexDollars)
+	case f.LifetimeYears <= 0:
+		return fmt.Errorf("fab: %q: lifetime must be positive, got %v", f.Name, f.LifetimeYears)
+	case f.WafersPerYear <= 0:
+		return fmt.Errorf("fab: %q: capacity must be positive, got %v", f.Name, f.WafersPerYear)
+	case f.OperatingFactor < 0:
+		return fmt.Errorf("fab: %q: operating factor must be non-negative, got %v", f.Name, f.OperatingFactor)
+	case f.LambdaUM <= 0:
+		return fmt.Errorf("fab: %q: feature size must be positive, got %v", f.Name, f.LambdaUM)
+	case f.WaferDiameterMM <= 0:
+		return fmt.Errorf("fab: %q: wafer diameter must be positive, got %v", f.Name, f.WaferDiameterMM)
+	}
+	return nil
+}
+
+// operatingFactor returns the opex fraction with the zero default applied.
+func (f Fabline) operatingFactor() float64 {
+	if f.OperatingFactor == 0 {
+		return 0.15
+	}
+	return f.OperatingFactor
+}
+
+// WaferAreaCM2 returns the full area of the wafers the line runs.
+func (f Fabline) WaferAreaCM2() float64 {
+	r := f.WaferDiameterMM / 20
+	return math.Pi * r * r
+}
+
+// CapexForNode returns the paper-era rule-of-thumb capital cost of a
+// leading-edge fabline at the given feature size: roughly $1.5 B at
+// 0.25 µm, doubling with every full node shrink (×0.7 in λ). This is the
+// "billions of dollars for nanometer fablines" premise quantified:
+//
+//	capex(λ) = $1.5e9 · 2^(log_{0.7}(λ/0.25))
+func CapexForNode(lambdaUM float64) (float64, error) {
+	if lambdaUM <= 0 {
+		return 0, fmt.Errorf("fab: feature size must be positive, got %v", lambdaUM)
+	}
+	nodes := math.Log(lambdaUM/0.25) / math.Log(0.7)
+	return 1.5e9 * math.Pow(2, nodes), nil
+}
+
+// ReferenceFabline builds a plausible leading-edge line for the node:
+// CapexForNode capital, 5-year depreciation, and capacity scaled to 30k
+// wafer starts/month at 200 mm (smaller wafers run proportionally more).
+func ReferenceFabline(lambdaUM, waferDiameterMM float64) (Fabline, error) {
+	capex, err := CapexForNode(lambdaUM)
+	if err != nil {
+		return Fabline{}, err
+	}
+	if waferDiameterMM <= 0 {
+		return Fabline{}, fmt.Errorf("fab: wafer diameter must be positive, got %v", waferDiameterMM)
+	}
+	f := Fabline{
+		Name:            fmt.Sprintf("ref-%.0fnm-%.0fmm", lambdaUM*1000, waferDiameterMM),
+		CapexDollars:    capex,
+		LifetimeYears:   5,
+		WafersPerYear:   30000 * 12 * (200 * 200) / (waferDiameterMM * waferDiameterMM),
+		LambdaUM:        lambdaUM,
+		WaferDiameterMM: waferDiameterMM,
+	}
+	if err := f.Validate(); err != nil {
+		return Fabline{}, err
+	}
+	return f, nil
+}
+
+// WaferCost returns the cost of one fabricated wafer when the line runs at
+// the given utilization in (0, 1]: the depreciation plus opex of a year,
+// divided over the wafers actually produced. Low utilization is how
+// expensive fabs punish low-volume products.
+func (f Fabline) WaferCost(utilization float64) (float64, error) {
+	if err := f.Validate(); err != nil {
+		return 0, err
+	}
+	if !(utilization > 0 && utilization <= 1) {
+		return 0, fmt.Errorf("fab: utilization must be in (0,1], got %v", utilization)
+	}
+	yearly := f.CapexDollars/f.LifetimeYears + f.CapexDollars*f.operatingFactor()
+	return yearly / (f.WafersPerYear * utilization), nil
+}
+
+// CostPerCM2 returns the wafer cost expressed per cm² of wafer area, the
+// Cm_sq the core cost model consumes.
+func (f Fabline) CostPerCM2(utilization float64) (float64, error) {
+	wc, err := f.WaferCost(utilization)
+	if err != nil {
+		return 0, err
+	}
+	return wc / f.WaferAreaCM2(), nil
+}

@@ -1,0 +1,68 @@
+package itrs
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+)
+
+// Derived is one row of the Figure 2 / Figure 3 computation for a roadmap
+// node.
+type Derived struct {
+	Node
+	ImpliedSd  float64 // Figure 2: s_d implied by the roadmap's own density
+	RequiredSd float64 // Figure 3: s_d needed to keep the die at TargetDieCost
+	Ratio      float64 // ImpliedSd / RequiredSd — rises toward 1 as slack vanishes
+	DieCost    float64 // manufacturing cost of the roadmap die at CostPerCM2/Yield
+}
+
+// Derive computes the paper's Figure 2 and Figure 3 quantities for one
+// node:
+//
+//   - implied s_d = A_die/(N_tr·λ²), i.e. eq (2) inverted on the roadmap's
+//     own transistor-density projection;
+//   - required s_d = TargetDieCost·Y/(C_sq·λ²·N_tr), i.e. eq (3) inverted
+//     at the constant die-cost target;
+//   - their ratio, which equals dieArea·C_sq/(TargetDieCost·Y) and rises
+//     as the roadmap's die growth consumes the cost budget.
+func Derive(n Node) (Derived, error) {
+	if err := n.Validate(); err != nil {
+		return Derived{}, err
+	}
+	implied, err := core.SdFromLayout(n.DieAreaCM2, n.Transistors, n.LambdaUM)
+	if err != nil {
+		return Derived{}, err
+	}
+	p := core.Process{
+		Name:         fmt.Sprintf("itrs-%d", n.Year),
+		LambdaUM:     n.LambdaUM,
+		CostPerCM2:   CostPerCM2,
+		Yield:        Yield,
+		WaferAreaCM2: 300, // not used by the required-s_d computation
+	}
+	required, err := core.RequiredSdForDieCost(TargetDieCost, p, n.Transistors)
+	if err != nil {
+		return Derived{}, err
+	}
+	return Derived{
+		Node:       n,
+		ImpliedSd:  implied,
+		RequiredSd: required,
+		Ratio:      implied / required,
+		DieCost:    CostPerCM2 * n.DieAreaCM2 / Yield,
+	}, nil
+}
+
+// DeriveAll runs Derive over the full roadmap in chronological order.
+func DeriveAll() ([]Derived, error) {
+	nodes := Nodes()
+	out := make([]Derived, 0, len(nodes))
+	for _, n := range nodes {
+		d, err := Derive(n)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, d)
+	}
+	return out, nil
+}

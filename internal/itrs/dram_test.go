@@ -1,0 +1,101 @@
+package itrs
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDRAMNodesValid(t *testing.T) {
+	nodes := DRAMNodes()
+	if len(nodes) != 6 {
+		t.Fatalf("nodes = %d", len(nodes))
+	}
+	for i, n := range nodes {
+		if err := n.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		if i > 0 {
+			if n.Year <= nodes[i-1].Year || n.LambdaUM >= nodes[i-1].LambdaUM || n.Bits <= nodes[i-1].Bits {
+				t.Fatalf("ordering violated at %d", n.Year)
+			}
+		}
+	}
+}
+
+func TestDRAMNodesReturnsCopy(t *testing.T) {
+	a := DRAMNodes()
+	a[0].Bits = -1
+	if DRAMNodes()[0].Bits == -1 {
+		t.Fatal("DRAMNodes exposes internal state")
+	}
+}
+
+func TestDRAMQuadruplesPerGeneration(t *testing.T) {
+	nodes := DRAMNodes()
+	for i := 1; i < len(nodes); i++ {
+		if got := nodes[i].Bits / nodes[i-1].Bits; math.Abs(got-4) > 1e-9 {
+			t.Fatalf("generation %d: bit growth %v, want 4", nodes[i].Year, got)
+		}
+	}
+}
+
+func TestDRAMImpliedSdFlatAndSmall(t *testing.T) {
+	// The §3.2 counterpoint: DRAM's regular 8F² cell pins the implied
+	// s_d near 10 across every generation, while the MPU series falls
+	// from 250 to 71.
+	nodes := DRAMNodes()
+	first, err := nodes[0].ImpliedSd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range nodes {
+		sd, err := n.ImpliedSd()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sd < 5 || sd > 15 {
+			t.Fatalf("%d: DRAM implied s_d = %v, want ≈8–12", n.Year, sd)
+		}
+		if math.Abs(sd-first)/first > 1e-9 {
+			t.Fatalf("%d: DRAM s_d drifted: %v vs %v (must be scale-invariant)", n.Year, sd, first)
+		}
+	}
+	// And far below every MPU node.
+	mpu, err := DeriveAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range mpu {
+		if first >= m.ImpliedSd {
+			t.Fatalf("DRAM s_d %v not below MPU %v at %d", first, m.ImpliedSd, m.Year)
+		}
+	}
+}
+
+func TestDRAMDieAreaPlausible(t *testing.T) {
+	// 256 Mb at 0.18 µm, 8F², 60% array: ≈1.1 cm² — the era's actual
+	// DRAM die scale.
+	n := DRAMNodes()[0]
+	a := n.DieAreaCM2()
+	if a < 0.5 || a > 2.5 {
+		t.Fatalf("1999 DRAM die = %v cm², want ~1", a)
+	}
+}
+
+func TestDRAMValidate(t *testing.T) {
+	bad := []DRAMNode{
+		{Year: 1, LambdaUM: 0, Bits: 1, CellFactor: 8, ArrayShare: 0.5},
+		{Year: 1, LambdaUM: 1, Bits: 0, CellFactor: 8, ArrayShare: 0.5},
+		{Year: 1, LambdaUM: 1, Bits: 1, CellFactor: 0, ArrayShare: 0.5},
+		{Year: 1, LambdaUM: 1, Bits: 1, CellFactor: 8, ArrayShare: 0},
+		{Year: 1, LambdaUM: 1, Bits: 1, CellFactor: 8, ArrayShare: 1.5},
+	}
+	for i, n := range bad {
+		if err := n.Validate(); err == nil {
+			t.Errorf("case %d: invalid node accepted", i)
+		}
+		if _, err := n.ImpliedSd(); err == nil {
+			t.Errorf("case %d: ImpliedSd accepted invalid node", i)
+		}
+	}
+}

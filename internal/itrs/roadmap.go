@@ -1,0 +1,125 @@
+// Package itrs embeds a reconstruction of the ITRS 1999 roadmap series the
+// paper's Figures 2 and 3 are computed from: the cost-performance MPU line
+// (technology node, transistors per chip, die area at production) together
+// with the paper's stated economic constants (a $34 die budget, 8 $/cm²
+// manufacturing cost, 80% yield).
+//
+// The 1999 roadmap document itself is not redistributable, so the numbers
+// here are reconstructed from its public parameters: ×2 functions per chip
+// every two years, ×0.7 feature-size shrink every three years starting at
+// 180 nm/21 M transistors in 1999, and ≈13% die-size growth per node. The
+// derived quantities the paper plots (the implied and required s_d and
+// their ratio) depend only on these growth laws, not on transcription
+// detail; see DESIGN.md §3.
+package itrs
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/stats"
+)
+
+// Node is one technology generation of the roadmap's cost-performance MPU
+// line.
+type Node struct {
+	Year        int
+	LambdaUM    float64 // minimum feature size, µm
+	Transistors float64 // per chip at production
+	DieAreaCM2  float64 // at production
+}
+
+// Paper-stated constants for the Figure 3 computation (§2.2.3).
+const (
+	// TargetDieCost is the maximum acceptable cost of the MPU die, $.
+	TargetDieCost = 34.0
+	// CostPerCM2 is the assumed manufacturing cost per cm², $/cm².
+	CostPerCM2 = 8.0
+	// Yield is the assumed manufacturing yield.
+	Yield = 0.8
+)
+
+// mpu1999 is the reconstructed cost-performance MPU roadmap.
+var mpu1999 = []Node{
+	{Year: 1999, LambdaUM: 0.180, Transistors: 21e6, DieAreaCM2: 1.70},
+	{Year: 2002, LambdaUM: 0.130, Transistors: 59e6, DieAreaCM2: 1.93},
+	{Year: 2005, LambdaUM: 0.100, Transistors: 166e6, DieAreaCM2: 2.19},
+	{Year: 2008, LambdaUM: 0.070, Transistors: 467e6, DieAreaCM2: 2.48},
+	{Year: 2011, LambdaUM: 0.050, Transistors: 1310e6, DieAreaCM2: 2.82},
+	{Year: 2014, LambdaUM: 0.035, Transistors: 3680e6, DieAreaCM2: 3.20},
+}
+
+// Nodes returns the roadmap nodes in chronological order. The returned
+// slice is a copy; callers may modify it freely.
+func Nodes() []Node {
+	return append([]Node(nil), mpu1999...)
+}
+
+// NodeByYear returns the roadmap node for the given year.
+func NodeByYear(year int) (Node, error) {
+	for _, n := range mpu1999 {
+		if n.Year == year {
+			return n, nil
+		}
+	}
+	return Node{}, fmt.Errorf("itrs: no roadmap node for year %d", year)
+}
+
+// NodeByLambda returns the roadmap node with the given feature size in µm
+// (matched to within 0.5 nm).
+func NodeByLambda(lambdaUM float64) (Node, error) {
+	for _, n := range mpu1999 {
+		if diff := n.LambdaUM - lambdaUM; diff < 5e-4 && diff > -5e-4 {
+			return n, nil
+		}
+	}
+	return Node{}, fmt.Errorf("itrs: no roadmap node at λ = %v µm", lambdaUM)
+}
+
+// Density returns the node's transistor density in transistors per cm².
+func (n Node) Density() float64 { return n.Transistors / n.DieAreaCM2 }
+
+// Validate reports the first invalid field of n, or nil.
+func (n Node) Validate() error {
+	switch {
+	case n.LambdaUM <= 0:
+		return fmt.Errorf("itrs: node %d: feature size must be positive", n.Year)
+	case n.Transistors <= 0:
+		return fmt.Errorf("itrs: node %d: transistor count must be positive", n.Year)
+	case n.DieAreaCM2 <= 0:
+		return fmt.Errorf("itrs: node %d: die area must be positive", n.Year)
+	}
+	return nil
+}
+
+// Interpolators over the roadmap, keyed on year, for studies that need
+// intermediate years. Built lazily from the node table.
+
+// TransistorInterp returns an interpolator of transistors-per-chip vs
+// year.
+func TransistorInterp() (*stats.Interpolator, error) {
+	return interpOn(func(n Node) float64 { return n.Transistors })
+}
+
+// LambdaInterp returns an interpolator of feature size (µm) vs year.
+func LambdaInterp() (*stats.Interpolator, error) {
+	return interpOn(func(n Node) float64 { return n.LambdaUM })
+}
+
+// DieAreaInterp returns an interpolator of die area (cm²) vs year.
+func DieAreaInterp() (*stats.Interpolator, error) {
+	return interpOn(func(n Node) float64 { return n.DieAreaCM2 })
+}
+
+func interpOn(f func(Node) float64) (*stats.Interpolator, error) {
+	if len(mpu1999) < 2 {
+		return nil, errors.New("itrs: roadmap table too small")
+	}
+	xs := make([]float64, len(mpu1999))
+	ys := make([]float64, len(mpu1999))
+	for i, n := range mpu1999 {
+		xs[i] = float64(n.Year)
+		ys[i] = f(n)
+	}
+	return stats.NewInterpolator(xs, ys)
+}

@@ -1,0 +1,152 @@
+package layout
+
+import (
+	"fmt"
+	"sort"
+)
+
+// CriticalArea computes the short-circuit critical area of one layer for a
+// circular defect of diameter x (in λ): the area of defect-center
+// positions that bridge two distinct rectangles. It uses the standard
+// parallel-edge approximation: for each pair of rectangles on the layer
+// with facing edges at spacing s < x, the critical strip has length equal
+// to the facing overlap and width (x − s), clipped to the half-spacing
+// band between the shapes.
+//
+// The computation considers vertical and horizontal facing pairs found by
+// a sweep over sorted rectangles; diagonal adjacency is a second-order
+// contribution the approximation ignores, as does the literature it
+// follows.
+func CriticalArea(l *Layout, layer Layer, defectSize float64) (float64, error) {
+	if defectSize < 0 {
+		return 0, fmt.Errorf("layout: defect size must be non-negative, got %v", defectSize)
+	}
+	if err := l.Validate(); err != nil {
+		return 0, err
+	}
+	rects := l.LayerRects(layer)
+	if len(rects) < 2 {
+		return 0, nil
+	}
+	var total float64
+	// Horizontal facing pairs (gap along x): sort by X0 and look right.
+	total += facingCritArea(rects, defectSize, false)
+	// Vertical facing pairs (gap along y).
+	total += facingCritArea(rects, defectSize, true)
+	return total, nil
+}
+
+// facingCritArea sums critical strip areas for pairs facing along one
+// axis. When vertical is true the roles of x and y swap.
+func facingCritArea(rects []Rect, x float64, vertical bool) float64 {
+	type box struct{ lo, hi, tLo, tHi float64 } // gap axis lo/hi, transverse lo/hi
+	bs := make([]box, len(rects))
+	for i, r := range rects {
+		if vertical {
+			bs[i] = box{float64(r.Y0), float64(r.Y1), float64(r.X0), float64(r.X1)}
+		} else {
+			bs[i] = box{float64(r.X0), float64(r.X1), float64(r.Y0), float64(r.Y1)}
+		}
+	}
+	sort.Slice(bs, func(a, b int) bool { return bs[a].lo < bs[b].lo })
+	var total float64
+	for i := range bs {
+		for j := i + 1; j < len(bs); j++ {
+			gap := bs[j].lo - bs[i].hi
+			if gap >= x {
+				// bs is sorted by lo and bs[i].hi is fixed, so the gap only
+				// grows with j: no later rect can face this one.
+				break
+			}
+			if gap < 0 {
+				continue // overlapping or abutting along the axis: not a facing pair
+			}
+			overlap := minF(bs[i].tHi, bs[j].tHi) - maxF(bs[i].tLo, bs[j].tLo)
+			if overlap <= 0 {
+				continue
+			}
+			total += overlap * (x - gap)
+		}
+	}
+	return total
+}
+
+// OpenCriticalArea computes the open-circuit critical area of a layer for
+// a defect of diameter x: for each wire (rectangle), a missing-material
+// defect wider than the wire severs it; the critical strip runs the length
+// of the wire with width (x − w) when x exceeds the wire width w.
+func OpenCriticalArea(l *Layout, layer Layer, defectSize float64) (float64, error) {
+	if defectSize < 0 {
+		return 0, fmt.Errorf("layout: defect size must be non-negative, got %v", defectSize)
+	}
+	if err := l.Validate(); err != nil {
+		return 0, err
+	}
+	var total float64
+	for _, r := range l.LayerRects(layer) {
+		w, h := float64(r.W()), float64(r.H())
+		// Orient along the long side: width is the short dimension.
+		width, length := w, h
+		if h < w {
+			width, length = h, w
+		}
+		if defectSize > width {
+			total += length * (defectSize - width)
+		}
+	}
+	return total, nil
+}
+
+// CriticalAreaCurve samples the combined (shorts + opens) critical area of
+// a layer at the given defect sizes, returning a function-ready table for
+// yield.AverageCriticalArea. Sizes must be non-negative.
+func CriticalAreaCurve(l *Layout, layer Layer, sizes []float64) ([]float64, error) {
+	out := make([]float64, len(sizes))
+	for i, x := range sizes {
+		s, err := CriticalArea(l, layer, x)
+		if err != nil {
+			return nil, err
+		}
+		o, err := OpenCriticalArea(l, layer, x)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = s + o
+	}
+	return out, nil
+}
+
+// CriticalFraction returns the combined critical area at defect size x as
+// a fraction of the layout bounding box, the per-layer critical fraction
+// the yield.Stack consumes. The fraction is clamped to [0, 1]: beyond
+// defect sizes comparable to the die, the geometric approximation
+// overcounts.
+func CriticalFraction(l *Layout, layer Layer, defectSize float64) (float64, error) {
+	s, err := CriticalArea(l, layer, defectSize)
+	if err != nil {
+		return 0, err
+	}
+	o, err := OpenCriticalArea(l, layer, defectSize)
+	if err != nil {
+		return 0, err
+	}
+	f := (s + o) / float64(l.AreaLambda2())
+	if f > 1 {
+		f = 1
+	}
+	return f, nil
+}
+
+func minF(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxF(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}

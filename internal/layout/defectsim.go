@@ -1,0 +1,121 @@
+package layout
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/stats"
+)
+
+// DefectSimConfig parameterizes the geometric defect Monte Carlo: spot
+// defects with random positions and sizes are thrown at the layout, and a
+// die is killed when a defect bridges two shapes (short) or severs a wire
+// (open) on the monitored layer. Unlike the abstract simulator in
+// internal/yield, this one works on the actual geometry, so its measured
+// yield validates the analytic critical-area model end to end.
+type DefectSimConfig struct {
+	Layer       Layer
+	MeanDefects float64                  // mean defects per die per Monte Carlo trial
+	SizeSampler func(*stats.RNG) float64 // defect diameter in λ
+	Trials      int
+	Seed        uint64
+}
+
+// Validate reports the first invalid field of c, or nil.
+func (c DefectSimConfig) Validate() error {
+	if c.MeanDefects < 0 {
+		return fmt.Errorf("layout: defect rate must be non-negative, got %v", c.MeanDefects)
+	}
+	if c.SizeSampler == nil {
+		return fmt.Errorf("layout: defect size sampler required")
+	}
+	if c.Trials <= 0 {
+		return fmt.Errorf("layout: trials must be positive, got %d", c.Trials)
+	}
+	return nil
+}
+
+// DefectSimResult reports a geometric yield measurement.
+type DefectSimResult struct {
+	Yield        float64
+	StdErr       float64
+	TrialsKilled int
+	Trials       int
+	MeanDefects  float64 // realized defects per trial
+}
+
+// SimulateDefects runs the geometric Monte Carlo: per trial (die), a
+// Poisson number of defects land uniformly on the bounding box with
+// sampled diameters; the die dies if any defect is fatal per IsFatal.
+func SimulateDefects(l *Layout, c DefectSimConfig) (DefectSimResult, error) {
+	if err := l.Validate(); err != nil {
+		return DefectSimResult{}, err
+	}
+	if err := c.Validate(); err != nil {
+		return DefectSimResult{}, err
+	}
+	r := stats.NewRNG(c.Seed)
+	rects := l.LayerRects(c.Layer)
+	var killed, totalDefects int
+	for t := 0; t < c.Trials; t++ {
+		n := r.Poisson(c.MeanDefects)
+		totalDefects += n
+		dead := false
+		for d := 0; d < n && !dead; d++ {
+			x := r.Range(0, float64(l.Width))
+			y := r.Range(0, float64(l.Height))
+			size := c.SizeSampler(r)
+			if IsFatal(rects, x, y, size) {
+				dead = true
+			}
+		}
+		if dead {
+			killed++
+		}
+	}
+	res := DefectSimResult{
+		Trials: c.Trials, TrialsKilled: killed,
+		Yield:       1 - float64(killed)/float64(c.Trials),
+		MeanDefects: float64(totalDefects) / float64(c.Trials),
+	}
+	// Binomial standard error of the yield estimate.
+	p := res.Yield
+	res.StdErr = math.Sqrt(p * (1 - p) / float64(c.Trials))
+	return res, nil
+}
+
+// IsFatal reports whether a square defect of the given size centered at
+// (x, y) kills the die: it shorts two distinct shapes (touches both) or
+// opens a wire (spans its full width). The square-defect approximation
+// matches the parallel-edge critical-area formulas in critarea.go, so the
+// Monte Carlo and the analytic model measure the same physics.
+func IsFatal(rects []Rect, x, y, size float64) bool {
+	half := size / 2
+	dx0, dy0, dx1, dy1 := x-half, y-half, x+half, y+half
+	touched := -1
+	for i, r := range rects {
+		rx0, ry0, rx1, ry1 := float64(r.X0), float64(r.Y0), float64(r.X1), float64(r.Y1)
+		if dx0 < rx1 && rx0 < dx1 && dy0 < ry1 && ry0 < dy1 {
+			// Overlaps this shape. Short: second distinct shape touched.
+			if touched >= 0 && touched != i {
+				return true
+			}
+			touched = i
+			// Open: the defect spans the wire's short dimension. Orient by
+			// the wire's long side.
+			w, h := rx1-rx0, ry1-ry0
+			if w <= h {
+				// Vertical wire: defect must cover [rx0, rx1] in x and sit
+				// strictly inside the wire's run so it truly severs it.
+				if dx0 <= rx0 && dx1 >= rx1 && dy0 > ry0 && dy1 < ry1 {
+					return true
+				}
+			} else {
+				if dy0 <= ry0 && dy1 >= ry1 && dx0 > rx0 && dx1 < rx1 {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,152 @@
+package layout
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/stats"
+)
+
+func fixedSize(size float64) func(*stats.RNG) float64 {
+	return func(*stats.RNG) float64 { return size }
+}
+
+func TestIsFatalShort(t *testing.T) {
+	rects := []Rect{
+		{X0: 10, Y0: 10, X1: 110, Y1: 12, Layer: Metal1},
+		{X0: 10, Y0: 16, X1: 110, Y1: 18, Layer: Metal1},
+	}
+	// Defect of size 6 centered in the gap bridges both wires.
+	if !IsFatal(rects, 50, 14, 6) {
+		t.Fatal("bridging defect not fatal")
+	}
+	// Size 3 in the gap touches neither fully; reaches only one wire.
+	if IsFatal(rects, 50, 14.9, 3) && IsFatal(rects, 50, 13.1, 3) {
+		t.Fatal("small defect reported as bridging both wires")
+	}
+	// Far away: harmless.
+	if IsFatal(rects, 500, 500, 6) {
+		t.Fatal("distant defect fatal")
+	}
+}
+
+func TestIsFatalOpen(t *testing.T) {
+	// A single horizontal wire of width 2.
+	rects := []Rect{{X0: 10, Y0: 10, X1: 110, Y1: 12, Layer: Metal1}}
+	// A size-4 defect centered on the wire spans its width: open.
+	if !IsFatal(rects, 50, 11, 4) {
+		t.Fatal("severing defect not fatal")
+	}
+	// A size-1.5 defect inside the wire does not span it.
+	if IsFatal(rects, 50, 11, 1.5) {
+		t.Fatal("sub-width defect fatal")
+	}
+	// A spanning defect beyond the wire end does not sever anything.
+	if IsFatal(rects, 115, 11, 4) {
+		t.Fatal("defect beyond wire end fatal")
+	}
+}
+
+func TestSimulateDefectsMatchesCriticalArea(t *testing.T) {
+	// Two parallel wires, fixed defect size: the analytic fatal area is
+	// shorts + opens from critarea.go; the Monte Carlo kill probability
+	// per defect must match fatalArea/dieArea, and the yield must match
+	// Poisson with λ = meanDefects · fatalFraction.
+	l := twoWires(4)
+	const size = 6.0
+	shorts, err := CriticalArea(l, Metal1, size)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opens, err := OpenCriticalArea(l, Metal1, size)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fatalFraction := (shorts + opens) / float64(l.AreaLambda2())
+
+	const meanDefects = 2.0
+	res, err := SimulateDefects(l, DefectSimConfig{
+		Layer:       Metal1,
+		MeanDefects: meanDefects,
+		SizeSampler: fixedSize(size),
+		Trials:      40000,
+		Seed:        77,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := math.Exp(-meanDefects * fatalFraction)
+	if math.Abs(res.Yield-want) > 4*res.StdErr+0.01 {
+		t.Fatalf("measured yield %v ± %v, analytic Poisson(λ=%v) = %v",
+			res.Yield, res.StdErr, meanDefects*fatalFraction, want)
+	}
+	if math.Abs(res.MeanDefects-meanDefects) > 0.05 {
+		t.Fatalf("realized defect rate %v, want %v", res.MeanDefects, meanDefects)
+	}
+}
+
+func TestSimulateDefectsZeroRate(t *testing.T) {
+	l := twoWires(4)
+	res, err := SimulateDefects(l, DefectSimConfig{
+		Layer: Metal1, MeanDefects: 0, SizeSampler: fixedSize(6), Trials: 100, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Yield != 1 || res.TrialsKilled != 0 {
+		t.Fatalf("zero defects killed dies: %+v", res)
+	}
+}
+
+func TestSimulateDefectsBiggerDefectsKillMore(t *testing.T) {
+	l, err := GenerateRandomLogic(RandomLogicConfig{Cells: 150, RowUtil: 0.8, RouteTracks: 4, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(size float64) float64 {
+		res, err := SimulateDefects(l, DefectSimConfig{
+			Layer: Metal2, MeanDefects: 3, SizeSampler: fixedSize(size), Trials: 4000, Seed: 9,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Yield
+	}
+	small, big := run(1.5), run(8)
+	if big >= small {
+		t.Fatalf("bigger defects did not reduce yield: %v vs %v", big, small)
+	}
+}
+
+func TestSimulateDefectsDeterministic(t *testing.T) {
+	l := twoWires(4)
+	cfg := DefectSimConfig{Layer: Metal1, MeanDefects: 1, SizeSampler: fixedSize(5), Trials: 500, Seed: 3}
+	a, err := SimulateDefects(l, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := SimulateDefects(l, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatal("same seed, different results")
+	}
+}
+
+func TestSimulateDefectsValidation(t *testing.T) {
+	l := twoWires(4)
+	if _, err := SimulateDefects(l, DefectSimConfig{Layer: Metal1, MeanDefects: -1, SizeSampler: fixedSize(1), Trials: 10}); err == nil {
+		t.Fatal("accepted negative rate")
+	}
+	if _, err := SimulateDefects(l, DefectSimConfig{Layer: Metal1, MeanDefects: 1, Trials: 10}); err == nil {
+		t.Fatal("accepted nil sampler")
+	}
+	if _, err := SimulateDefects(l, DefectSimConfig{Layer: Metal1, MeanDefects: 1, SizeSampler: fixedSize(1), Trials: 0}); err == nil {
+		t.Fatal("accepted zero trials")
+	}
+	bad := &Layout{Name: "b", Width: 0, Height: 1}
+	if _, err := SimulateDefects(bad, DefectSimConfig{Layer: Metal1, MeanDefects: 1, SizeSampler: fixedSize(1), Trials: 10}); err == nil {
+		t.Fatal("accepted invalid layout")
+	}
+}

@@ -1,0 +1,76 @@
+package layout_test
+
+import (
+	"fmt"
+
+	"repro/internal/layout"
+)
+
+// Measure the design decompression index of generated layouts — the
+// quantity Table A1 extracts from die photographs.
+func ExampleLayout_Sd() {
+	sram, err := layout.GenerateSRAMArray(16, 16)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	sd, err := sram.Sd()
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("SRAM array s_d = %.0f\n", sd)
+	// Output:
+	// SRAM array s_d = 30
+}
+
+// Critical area for shorts: two parallel wires at spacing 4λ under a
+// size-6λ defect.
+func ExampleCriticalArea() {
+	l := &layout.Layout{
+		Name: "wires", Width: 120, Height: 40, Transistors: 1,
+		Rects: []layout.Rect{
+			{X0: 10, Y0: 10, X1: 110, Y1: 12, Layer: layout.Metal1},
+			{X0: 10, Y0: 16, X1: 110, Y1: 18, Layer: layout.Metal1},
+		},
+	}
+	a, err := layout.CriticalArea(l, layout.Metal1, 6)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("shorts-critical area = %.0f λ²\n", a)
+	// Output:
+	// shorts-critical area = 200 λ²
+}
+
+// Compose a chip from blocks and decompose it Table A1-style.
+func ExampleCompose() {
+	mem, err := layout.GenerateSRAMArray(8, 8)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	logic, err := layout.GenerateDatapath(8, 2, 12)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	blocks := []layout.Block{
+		{Layout: mem, X: 0, Y: 0, IsMemory: true},
+		{Layout: logic, X: mem.Width + 20, Y: 0},
+	}
+	chip, err := layout.Compose("soc", mem.Width+20+logic.Width, 200, blocks)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	d, err := layout.Decompose(chip, blocks)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("s_d: memory %.0f, logic %.1f\n", d.SdMem, d.SdLogic)
+	// Output:
+	// s_d: memory 30, logic 47.1
+}

@@ -1,0 +1,190 @@
+package layout
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/stats"
+)
+
+// GenerateSRAMArray tiles rows×cols SRAM bit cells at minimum pitch — the
+// densest design style, measuring s_d ≈ 30.
+func GenerateSRAMArray(rows, cols int) (*Layout, error) {
+	if rows <= 0 || cols <= 0 {
+		return nil, fmt.Errorf("layout: SRAM array requires positive dimensions, got %d×%d", rows, cols)
+	}
+	cell := SRAMCell()
+	l := &Layout{
+		Name:   fmt.Sprintf("sram-%dx%d", rows, cols),
+		Width:  cols * cell.Width,
+		Height: rows * cell.Height,
+	}
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			if err := l.Place(cell, c*cell.Width, r*cell.Height); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return l, nil
+}
+
+// GenerateDatapath tiles a bits×stages array of full-adder slices with a
+// routing channel between stages — the regular custom style of a datapath,
+// measuring s_d ≈ 50–80.
+func GenerateDatapath(bits, stages, channelWidth int) (*Layout, error) {
+	if bits <= 0 || stages <= 0 {
+		return nil, fmt.Errorf("layout: datapath requires positive dimensions, got %d×%d", bits, stages)
+	}
+	if channelWidth < 0 {
+		return nil, fmt.Errorf("layout: channel width must be non-negative, got %d", channelWidth)
+	}
+	cell := Adder()
+	pitchX := cell.Width + channelWidth
+	l := &Layout{
+		Name:   fmt.Sprintf("datapath-%dx%d", bits, stages),
+		Width:  stages*pitchX - channelWidth,
+		Height: bits * cell.Height,
+	}
+	for b := 0; b < bits; b++ {
+		for s := 0; s < stages; s++ {
+			if err := l.Place(cell, s*pitchX, b*cell.Height); err != nil {
+				return nil, err
+			}
+		}
+		// Stage-to-stage buses in the channels.
+		for s := 0; s+1 < stages; s++ {
+			x := s*pitchX + cell.Width
+			if channelWidth >= 2 {
+				l.Rects = append(l.Rects, Rect{
+					X0: x, Y0: b*cell.Height + 4,
+					X1: x + channelWidth, Y1: b*cell.Height + 6,
+					Layer: Metal2,
+				})
+			}
+		}
+	}
+	return l, nil
+}
+
+// RandomLogicConfig parameterizes GenerateRandomLogic.
+type RandomLogicConfig struct {
+	Cells       int     // standard-cell instances to place
+	RowUtil     float64 // fraction of each row occupied by cells, (0, 1]
+	RouteTracks int     // metal2 routing tracks per channel (decompression)
+	Seed        uint64
+}
+
+// GenerateRandomLogic places standard cells in rows separated by routing
+// channels, with random cell selection and random in-row gaps — the
+// synthesized-ASIC style. Lower RowUtil and more RouteTracks decompress
+// the layout, raising the measured s_d exactly as §2.2.2's ASIC range
+// (up to ≈1000) describes.
+func GenerateRandomLogic(cfg RandomLogicConfig) (*Layout, error) {
+	if cfg.Cells <= 0 {
+		return nil, fmt.Errorf("layout: random logic requires positive cell count, got %d", cfg.Cells)
+	}
+	if !(cfg.RowUtil > 0 && cfg.RowUtil <= 1) {
+		return nil, fmt.Errorf("layout: row utilization must be in (0,1], got %v", cfg.RowUtil)
+	}
+	if cfg.RouteTracks < 0 {
+		return nil, fmt.Errorf("layout: route tracks must be non-negative, got %d", cfg.RouteTracks)
+	}
+	rng := stats.NewRNG(cfg.Seed)
+	lib := StdCells()
+	cellH := lib[0].Height // library cells share a row height
+
+	// Pick instances up front to size the floorplan.
+	instances := make([]Cell, cfg.Cells)
+	totalW := 0
+	for i := range instances {
+		instances[i] = lib[rng.Intn(len(lib))]
+		totalW += instances[i].Width
+	}
+	// Aim for a roughly square floorplan: rows ≈ sqrt(total cell width /
+	// (row width)) with row width chosen so rows × rowWidth ≈ totalW/util.
+	channelH := 2 * (cfg.RouteTracks + 1)
+	effW := float64(totalW) / cfg.RowUtil
+	rowPitch := float64(cellH + channelH)
+	// rows × rowWidth = effW and rows × rowPitch ≈ rowWidth (square).
+	rows := int(0.5+math.Sqrt(effW/rowPitch)) + 1
+	rowWidth := int(effW/float64(rows)) + lib[len(lib)-1].Width + 2
+
+	l := &Layout{
+		Name:   fmt.Sprintf("asic-%d", cfg.Cells),
+		Width:  rowWidth,
+		Height: rows*(cellH+channelH) + channelH,
+	}
+	x, row := 0, 0
+	for _, c := range instances {
+		// Random gap models pin-access and congestion spreading.
+		gap := 0
+		if cfg.RowUtil < 1 {
+			mean := float64(c.Width) * (1 - cfg.RowUtil) / cfg.RowUtil
+			gap = int(rng.Exp(1/(mean+1e-9)) + 0.5)
+		}
+		if x+gap+c.Width > rowWidth {
+			row++
+			x = 0
+			gap = 0 // the spreading gap belongs to the abandoned row
+			if row >= rows {
+				// Grow the layout rather than fail: append one more row.
+				rows++
+				l.Height = rows*(cellH+channelH) + channelH
+			}
+		}
+		y := channelH + row*(cellH+channelH)
+		if err := l.Place(c, x+gap, y); err != nil {
+			return nil, err
+		}
+		x += gap + c.Width
+	}
+	// Routing tracks in each channel.
+	for r := 0; r <= rows; r++ {
+		yBase := r * (cellH + channelH)
+		for t := 0; t < cfg.RouteTracks; t++ {
+			y := yBase + 1 + 2*t
+			if y+1 > l.Height {
+				break
+			}
+			l.Rects = append(l.Rects, Rect{X0: 0, Y0: y, X1: l.Width, Y1: y + 1, Layer: Metal2})
+		}
+	}
+	return l, nil
+}
+
+// StyleSd generates a representative layout for each style and reports the
+// measured s_d, the experiment X-8 rows: SRAM ≈ 30, datapath ≈ 50,
+// random logic from ~150 (tight) to 1000+ (sparse).
+func StyleSd(seed uint64) (map[string]float64, error) {
+	out := make(map[string]float64)
+	sram, err := GenerateSRAMArray(32, 32)
+	if err != nil {
+		return nil, err
+	}
+	if out["sram"], err = sram.Sd(); err != nil {
+		return nil, err
+	}
+	dp, err := GenerateDatapath(32, 8, 12)
+	if err != nil {
+		return nil, err
+	}
+	if out["datapath"], err = dp.Sd(); err != nil {
+		return nil, err
+	}
+	tight, err := GenerateRandomLogic(RandomLogicConfig{Cells: 600, RowUtil: 0.9, RouteTracks: 2, Seed: seed})
+	if err != nil {
+		return nil, err
+	}
+	if out["asic-tight"], err = tight.Sd(); err != nil {
+		return nil, err
+	}
+	sparse, err := GenerateRandomLogic(RandomLogicConfig{Cells: 600, RowUtil: 0.35, RouteTracks: 10, Seed: seed})
+	if err != nil {
+		return nil, err
+	}
+	if out["asic-sparse"], err = sparse.Sd(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

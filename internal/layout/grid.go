@@ -1,0 +1,205 @@
+// Package layout provides a simplified mask-layout substrate: rectangles
+// on named layers over a λ-unit grid, a small standard-cell library, and
+// generators for the three design styles the paper contrasts (dense SRAM
+// arrays, tiled datapaths, and sparsely-placed random logic). From a
+// generated layout the package measures the design decompression index s_d
+// directly — the quantity Table A1 extracts from die photographs — and
+// extracts critical-area curves for the yield models.
+//
+// Coordinates are integers in units of λ (the minimum feature size), so a
+// layout is process-independent exactly the way s_d is; multiplying by a
+// concrete λ instantiates physical dimensions.
+package layout
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Layer identifies a mask layer.
+type Layer uint8
+
+// The layers the cell library uses.
+const (
+	Diffusion Layer = iota
+	Poly
+	Metal1
+	Metal2
+	numLayers
+)
+
+// String returns the layer name.
+func (l Layer) String() string {
+	switch l {
+	case Diffusion:
+		return "diffusion"
+	case Poly:
+		return "poly"
+	case Metal1:
+		return "metal1"
+	case Metal2:
+		return "metal2"
+	default:
+		return fmt.Sprintf("layer(%d)", uint8(l))
+	}
+}
+
+// Rect is an axis-aligned rectangle on a layer, in λ units. X1/Y1 are
+// exclusive: the rectangle covers [X0, X1) × [Y0, Y1).
+type Rect struct {
+	X0, Y0, X1, Y1 int
+	Layer          Layer
+}
+
+// Valid reports whether the rectangle has positive extent.
+func (r Rect) Valid() bool { return r.X1 > r.X0 && r.Y1 > r.Y0 }
+
+// W returns the width in λ.
+func (r Rect) W() int { return r.X1 - r.X0 }
+
+// H returns the height in λ.
+func (r Rect) H() int { return r.Y1 - r.Y0 }
+
+// Area returns the area in λ².
+func (r Rect) Area() int { return r.W() * r.H() }
+
+// Translate returns the rectangle shifted by (dx, dy).
+func (r Rect) Translate(dx, dy int) Rect {
+	return Rect{X0: r.X0 + dx, Y0: r.Y0 + dy, X1: r.X1 + dx, Y1: r.Y1 + dy, Layer: r.Layer}
+}
+
+// Intersects reports whether two rectangles on the same layer overlap.
+func (r Rect) Intersects(o Rect) bool {
+	return r.Layer == o.Layer && r.X0 < o.X1 && o.X0 < r.X1 && r.Y0 < o.Y1 && o.Y0 < r.Y1
+}
+
+// Layout is a collection of rectangles over a bounding box, annotated with
+// the number of transistors it implements.
+type Layout struct {
+	Name        string
+	Width       int // bounding box, λ
+	Height      int // bounding box, λ
+	Transistors int
+	Rects       []Rect
+}
+
+// Validate reports the first structural problem with l, or nil.
+func (l *Layout) Validate() error {
+	if l.Width <= 0 || l.Height <= 0 {
+		return fmt.Errorf("layout %q: bounding box must be positive, got %d×%d", l.Name, l.Width, l.Height)
+	}
+	if l.Transistors < 0 {
+		return fmt.Errorf("layout %q: negative transistor count", l.Name)
+	}
+	for i, r := range l.Rects {
+		if !r.Valid() {
+			return fmt.Errorf("layout %q: rect %d has non-positive extent", l.Name, i)
+		}
+		if r.Layer >= numLayers {
+			return fmt.Errorf("layout %q: rect %d on unknown layer %d", l.Name, i, r.Layer)
+		}
+		if r.X0 < 0 || r.Y0 < 0 || r.X1 > l.Width || r.Y1 > l.Height {
+			return fmt.Errorf("layout %q: rect %d escapes the bounding box", l.Name, i)
+		}
+	}
+	return nil
+}
+
+// AreaLambda2 returns the bounding-box area in λ².
+func (l *Layout) AreaLambda2() int { return l.Width * l.Height }
+
+// Sd returns the measured design decompression index: bounding-box λ²
+// squares per transistor. It returns an error for an empty design.
+func (l *Layout) Sd() (float64, error) {
+	if l.Transistors <= 0 {
+		return 0, fmt.Errorf("layout %q: s_d undefined without transistors", l.Name)
+	}
+	return float64(l.AreaLambda2()) / float64(l.Transistors), nil
+}
+
+// AreaCM2 returns the physical area at feature size lambdaUM (µm).
+func (l *Layout) AreaCM2(lambdaUM float64) (float64, error) {
+	if lambdaUM <= 0 {
+		return 0, fmt.Errorf("layout %q: feature size must be positive", l.Name)
+	}
+	side := lambdaUM / 1e4 // λ in cm
+	return float64(l.AreaLambda2()) * side * side, nil
+}
+
+// LayerRects returns the rectangles on one layer, in insertion order.
+func (l *Layout) LayerRects(layer Layer) []Rect {
+	var out []Rect
+	for _, r := range l.Rects {
+		if r.Layer == layer {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// GeometryUtilization returns the fraction of the bounding box covered by
+// drawn geometry per layer (overlaps counted once), a proxy for how tight
+// the layout is. Layers with no geometry are omitted.
+func (l *Layout) GeometryUtilization() map[Layer]float64 {
+	out := make(map[Layer]float64)
+	for layer := Layer(0); layer < numLayers; layer++ {
+		rects := l.LayerRects(layer)
+		if len(rects) == 0 {
+			continue
+		}
+		out[layer] = float64(unionArea(rects)) / float64(l.AreaLambda2())
+	}
+	return out
+}
+
+// unionArea computes the exact union area of rectangles by coordinate
+// compression and sweep.
+func unionArea(rects []Rect) int {
+	if len(rects) == 0 {
+		return 0
+	}
+	xs := make([]int, 0, 2*len(rects))
+	for _, r := range rects {
+		xs = append(xs, r.X0, r.X1)
+	}
+	sort.Ints(xs)
+	xs = dedupInts(xs)
+	total := 0
+	for i := 0; i+1 < len(xs); i++ {
+		x0, x1 := xs[i], xs[i+1]
+		// Collect y intervals of rects spanning this x slab.
+		var ys [][2]int
+		for _, r := range rects {
+			if r.X0 <= x0 && r.X1 >= x1 {
+				ys = append(ys, [2]int{r.Y0, r.Y1})
+			}
+		}
+		if len(ys) == 0 {
+			continue
+		}
+		sort.Slice(ys, func(a, b int) bool { return ys[a][0] < ys[b][0] })
+		covered := 0
+		curLo, curHi := ys[0][0], ys[0][1]
+		for _, iv := range ys[1:] {
+			if iv[0] > curHi {
+				covered += curHi - curLo
+				curLo, curHi = iv[0], iv[1]
+			} else if iv[1] > curHi {
+				curHi = iv[1]
+			}
+		}
+		covered += curHi - curLo
+		total += covered * (x1 - x0)
+	}
+	return total
+}
+
+func dedupInts(xs []int) []int {
+	out := xs[:0]
+	for i, x := range xs {
+		if i == 0 || x != out[len(out)-1] {
+			out = append(out, x)
+		}
+	}
+	return out
+}

@@ -1,0 +1,107 @@
+package layout
+
+import "fmt"
+
+// Block is a named region of a composed chip: a sub-layout placed at an
+// offset, tagged as memory or logic so the composition can report the
+// per-class densities Table A1 publishes.
+type Block struct {
+	Layout   *Layout
+	X, Y     int // placement offset in the parent, λ
+	IsMemory bool
+}
+
+// Compose assembles blocks into one chip layout with the given outer
+// dimensions, translating every rectangle into parent coordinates. Blocks
+// must fit inside the parent and must not overlap each other's bounding
+// boxes (abutment is allowed).
+func Compose(name string, width, height int, blocks []Block) (*Layout, error) {
+	if width <= 0 || height <= 0 {
+		return nil, fmt.Errorf("layout: compose %q: non-positive dimensions %d×%d", name, width, height)
+	}
+	if len(blocks) == 0 {
+		return nil, fmt.Errorf("layout: compose %q: no blocks", name)
+	}
+	chip := &Layout{Name: name, Width: width, Height: height}
+	for i, b := range blocks {
+		if b.Layout == nil {
+			return nil, fmt.Errorf("layout: compose %q: block %d has nil layout", name, i)
+		}
+		if err := b.Layout.Validate(); err != nil {
+			return nil, fmt.Errorf("layout: compose %q: block %d: %w", name, i, err)
+		}
+		if b.X < 0 || b.Y < 0 || b.X+b.Layout.Width > width || b.Y+b.Layout.Height > height {
+			return nil, fmt.Errorf("layout: compose %q: block %d (%s) escapes the chip", name, i, b.Layout.Name)
+		}
+		for j := 0; j < i; j++ {
+			o := blocks[j]
+			if b.X < o.X+o.Layout.Width && o.X < b.X+b.Layout.Width &&
+				b.Y < o.Y+o.Layout.Height && o.Y < b.Y+b.Layout.Height {
+				return nil, fmt.Errorf("layout: compose %q: blocks %d (%s) and %d (%s) overlap",
+					name, j, o.Layout.Name, i, b.Layout.Name)
+			}
+		}
+		for _, r := range b.Layout.Rects {
+			chip.Rects = append(chip.Rects, r.Translate(b.X, b.Y))
+		}
+		chip.Transistors += b.Layout.Transistors
+	}
+	return chip, nil
+}
+
+// Decomposition reports the Table A1-style split of a composed chip: the
+// per-class transistor counts, areas (block bounding boxes), densities,
+// and the whole-chip blended s_d including the unassigned routing/pad
+// area between blocks.
+type Decomposition struct {
+	MemTransistors   float64
+	LogicTransistors float64
+	MemAreaL2        float64 // λ²
+	LogicAreaL2      float64 // λ²
+	SdMem            float64 // 0 when no memory blocks
+	SdLogic          float64 // 0 when no logic blocks
+	SdChip           float64 // chip bounding box over all transistors
+	OverheadFraction float64 // chip area not covered by any block
+}
+
+// Decompose computes the split for the given blocks against the composed
+// chip. The same blocks must have been used to build chip (transistor
+// totals are cross-checked).
+func Decompose(chip *Layout, blocks []Block) (Decomposition, error) {
+	if err := chip.Validate(); err != nil {
+		return Decomposition{}, err
+	}
+	var d Decomposition
+	var blockArea float64
+	var totalTx int
+	for _, b := range blocks {
+		if b.Layout == nil {
+			return Decomposition{}, fmt.Errorf("layout: decompose: nil block layout")
+		}
+		area := float64(b.Layout.AreaLambda2())
+		blockArea += area
+		totalTx += b.Layout.Transistors
+		if b.IsMemory {
+			d.MemTransistors += float64(b.Layout.Transistors)
+			d.MemAreaL2 += area
+		} else {
+			d.LogicTransistors += float64(b.Layout.Transistors)
+			d.LogicAreaL2 += area
+		}
+	}
+	if totalTx != chip.Transistors {
+		return Decomposition{}, fmt.Errorf("layout: decompose: blocks hold %d transistors, chip %d", totalTx, chip.Transistors)
+	}
+	if chip.Transistors == 0 {
+		return Decomposition{}, fmt.Errorf("layout: decompose: chip has no transistors")
+	}
+	if d.MemTransistors > 0 {
+		d.SdMem = d.MemAreaL2 / d.MemTransistors
+	}
+	if d.LogicTransistors > 0 {
+		d.SdLogic = d.LogicAreaL2 / d.LogicTransistors
+	}
+	d.SdChip = float64(chip.AreaLambda2()) / float64(chip.Transistors)
+	d.OverheadFraction = 1 - blockArea/float64(chip.AreaLambda2())
+	return d, nil
+}

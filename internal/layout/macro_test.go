@@ -1,0 +1,131 @@
+package layout
+
+import (
+	"math"
+	"testing"
+)
+
+// socBlocks builds a small SoC: an SRAM block and a random-logic block
+// side by side with a routing gutter.
+func socBlocks(t *testing.T) (mem, logic *Layout) {
+	t.Helper()
+	var err error
+	mem, err = GenerateSRAMArray(16, 16) // 240×192
+	if err != nil {
+		t.Fatal(err)
+	}
+	logic, err = GenerateRandomLogic(RandomLogicConfig{Cells: 150, RowUtil: 0.7, RouteTracks: 4, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return mem, logic
+}
+
+func TestComposeAndDecompose(t *testing.T) {
+	mem, logic := socBlocks(t)
+	w := mem.Width + logic.Width + 40
+	h := mem.Height
+	if logic.Height > h {
+		h = logic.Height
+	}
+	h += 20
+	blocks := []Block{
+		{Layout: mem, X: 0, Y: 0, IsMemory: true},
+		{Layout: logic, X: mem.Width + 40, Y: 0},
+	}
+	chip, err := Compose("soc", w, h, blocks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := chip.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if chip.Transistors != mem.Transistors+logic.Transistors {
+		t.Fatalf("transistors = %d", chip.Transistors)
+	}
+	d, err := Decompose(chip, blocks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Per-class densities match the standalone blocks.
+	memSd, _ := mem.Sd()
+	logicSd, _ := logic.Sd()
+	if math.Abs(d.SdMem-memSd) > 1e-9 {
+		t.Fatalf("mem s_d = %v, want %v", d.SdMem, memSd)
+	}
+	if math.Abs(d.SdLogic-logicSd) > 1e-9 {
+		t.Fatalf("logic s_d = %v, want %v", d.SdLogic, logicSd)
+	}
+	// The Table A1 pattern: memory far denser than logic, chip blend in
+	// between or above (overhead inflates it past the block average).
+	if !(d.SdMem < d.SdLogic) {
+		t.Fatalf("memory s_d %v not below logic %v", d.SdMem, d.SdLogic)
+	}
+	if d.SdChip < d.SdMem {
+		t.Fatalf("chip s_d %v below memory block %v", d.SdChip, d.SdMem)
+	}
+	if d.OverheadFraction <= 0 || d.OverheadFraction >= 1 {
+		t.Fatalf("overhead fraction = %v", d.OverheadFraction)
+	}
+}
+
+func TestComposeValidation(t *testing.T) {
+	mem, logic := socBlocks(t)
+	if _, err := Compose("x", 0, 10, []Block{{Layout: mem}}); err == nil {
+		t.Fatal("accepted zero width")
+	}
+	if _, err := Compose("x", 1000, 1000, nil); err == nil {
+		t.Fatal("accepted no blocks")
+	}
+	if _, err := Compose("x", 1000, 1000, []Block{{Layout: nil}}); err == nil {
+		t.Fatal("accepted nil block")
+	}
+	// Escaping block.
+	if _, err := Compose("x", 100, 100, []Block{{Layout: mem}}); err == nil {
+		t.Fatal("accepted escaping block")
+	}
+	// Overlapping blocks.
+	w := mem.Width + logic.Width + 100
+	h := mem.Height + logic.Height + 100
+	_, err := Compose("x", w, h, []Block{
+		{Layout: mem, X: 0, Y: 0},
+		{Layout: logic, X: mem.Width - 10, Y: 0},
+	})
+	if err == nil {
+		t.Fatal("accepted overlapping blocks")
+	}
+	// Abutment is fine.
+	if _, err := Compose("x", w, h, []Block{
+		{Layout: mem, X: 0, Y: 0},
+		{Layout: logic, X: mem.Width, Y: 0},
+	}); err != nil {
+		t.Fatalf("rejected abutting blocks: %v", err)
+	}
+}
+
+func TestDecomposeValidation(t *testing.T) {
+	mem, _ := socBlocks(t)
+	chip, err := Compose("soc", mem.Width+10, mem.Height+10, []Block{{Layout: mem, IsMemory: true}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Mismatched blocks (extra transistors) rejected.
+	other, err := GenerateSRAMArray(4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Decompose(chip, []Block{{Layout: mem, IsMemory: true}, {Layout: other}}); err == nil {
+		t.Fatal("accepted mismatched block set")
+	}
+	if _, err := Decompose(chip, []Block{{Layout: nil}}); err == nil {
+		t.Fatal("accepted nil block")
+	}
+	// Memory-only chip: SdLogic stays 0.
+	d, err := Decompose(chip, []Block{{Layout: mem, IsMemory: true}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.SdLogic != 0 || d.SdMem <= 0 {
+		t.Fatalf("memory-only split = %+v", d)
+	}
+}

@@ -1,0 +1,125 @@
+package layout
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// The text interchange format is a minimal GDS-flavoured line protocol so
+// layouts survive between tools (cmd/regscan, external generators, test
+// fixtures):
+//
+//	LAYOUT <name> <width> <height> <transistors>
+//	RECT <layer> <x0> <y0> <x1> <y1>
+//	...
+//	END
+//
+// Layer is the lowercase layer name (diffusion, poly, metal1, metal2).
+// Blank lines and lines starting with '#' are ignored.
+
+// layerByName maps format names back to layers.
+var layerByName = map[string]Layer{
+	"diffusion": Diffusion,
+	"poly":      Poly,
+	"metal1":    Metal1,
+	"metal2":    Metal2,
+}
+
+// Write serializes the layout in the text interchange format. The layout
+// is validated first.
+func Write(w io.Writer, l *Layout) error {
+	if err := l.Validate(); err != nil {
+		return err
+	}
+	if strings.ContainsAny(l.Name, " \t\n") {
+		return fmt.Errorf("layout: name %q must not contain whitespace", l.Name)
+	}
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "LAYOUT %s %d %d %d\n", l.Name, l.Width, l.Height, l.Transistors)
+	for _, r := range l.Rects {
+		fmt.Fprintf(bw, "RECT %s %d %d %d %d\n", r.Layer, r.X0, r.Y0, r.X1, r.Y1)
+	}
+	fmt.Fprintln(bw, "END")
+	return bw.Flush()
+}
+
+// Read parses a layout from the text interchange format and validates it.
+func Read(r io.Reader) (*Layout, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	var l *Layout
+	ended := false
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if ended {
+			return nil, fmt.Errorf("layout: line %d: content after END", lineNo)
+		}
+		fields := strings.Fields(line)
+		switch fields[0] {
+		case "LAYOUT":
+			if l != nil {
+				return nil, fmt.Errorf("layout: line %d: duplicate LAYOUT header", lineNo)
+			}
+			if len(fields) != 5 {
+				return nil, fmt.Errorf("layout: line %d: LAYOUT needs name width height transistors", lineNo)
+			}
+			w, err1 := strconv.Atoi(fields[2])
+			h, err2 := strconv.Atoi(fields[3])
+			tx, err3 := strconv.Atoi(fields[4])
+			if err1 != nil || err2 != nil || err3 != nil {
+				return nil, fmt.Errorf("layout: line %d: malformed LAYOUT numbers", lineNo)
+			}
+			l = &Layout{Name: fields[1], Width: w, Height: h, Transistors: tx}
+		case "RECT":
+			if l == nil {
+				return nil, fmt.Errorf("layout: line %d: RECT before LAYOUT header", lineNo)
+			}
+			if len(fields) != 6 {
+				return nil, fmt.Errorf("layout: line %d: RECT needs layer x0 y0 x1 y1", lineNo)
+			}
+			layer, ok := layerByName[fields[1]]
+			if !ok {
+				return nil, fmt.Errorf("layout: line %d: unknown layer %q", lineNo, fields[1])
+			}
+			var coords [4]int
+			for i := 0; i < 4; i++ {
+				v, err := strconv.Atoi(fields[2+i])
+				if err != nil {
+					return nil, fmt.Errorf("layout: line %d: malformed coordinate %q", lineNo, fields[2+i])
+				}
+				coords[i] = v
+			}
+			l.Rects = append(l.Rects, Rect{
+				X0: coords[0], Y0: coords[1], X1: coords[2], Y1: coords[3], Layer: layer,
+			})
+		case "END":
+			if l == nil {
+				return nil, fmt.Errorf("layout: line %d: END before LAYOUT header", lineNo)
+			}
+			ended = true
+		default:
+			return nil, fmt.Errorf("layout: line %d: unknown record %q", lineNo, fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("layout: read: %w", err)
+	}
+	if l == nil {
+		return nil, fmt.Errorf("layout: no LAYOUT header found")
+	}
+	if !ended {
+		return nil, fmt.Errorf("layout: missing END record")
+	}
+	if err := l.Validate(); err != nil {
+		return nil, err
+	}
+	return l, nil
+}

@@ -1,0 +1,29 @@
+package maskcost_test
+
+import (
+	"fmt"
+
+	"repro/internal/maskcost"
+)
+
+// The mask-set price C_MA across nodes — the NRE that eq (5) amortizes.
+func ExampleModel_SetCost() {
+	m := maskcost.DefaultModel()
+	for _, lam := range []float64{0.25, 0.18, 0.13} {
+		set, err := m.SetCost(lam)
+		if err != nil {
+			fmt.Println(err)
+			return
+		}
+		layers, err := m.Layers(lam)
+		if err != nil {
+			fmt.Println(err)
+			return
+		}
+		fmt.Printf("%.0f nm: %d masks, $%.0fk\n", lam*1000, layers, set/1e3)
+	}
+	// Output:
+	// 250 nm: 22 masks, $242k
+	// 180 nm: 24 masks, $544k
+	// 130 nm: 26 masks, $1205k
+}

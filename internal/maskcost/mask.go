@@ -1,0 +1,110 @@
+// Package maskcost models the lithography mask-set price C_MA of the
+// paper's eq (5). Mask cost is one of the two non-recurring charges that
+// make low-volume products expensive per transistor, and it grows steeply
+// as the feature size shrinks (more layers, tighter mask tolerances, OPC
+// decoration).
+package maskcost
+
+import (
+	"fmt"
+	"math"
+)
+
+// Model parameterizes mask-set cost versus feature size:
+//
+//	perLayer(λ) = BaseLayerCost · (RefLambdaUM/λ)^CostExp
+//	layers(λ)   = BaseLayers + LayersPerShrink · log_{0.7}(RefLambdaUM/λ)
+//	set(λ)      = perLayer(λ) · layers(λ)
+//
+// Defaults (DefaultModel) are calibrated to the paper era: a ~$250k set of
+// ~22 masks at 0.25 µm, growing toward $1M+ at 0.13 µm, consistent with
+// the $1M mask budget the Figure 4 reproduction uses.
+type Model struct {
+	RefLambdaUM     float64 // reference node, µm
+	BaseLayerCost   float64 // $ per mask at the reference node
+	CostExp         float64 // per-layer cost growth exponent vs shrink
+	BaseLayers      int     // mask count at the reference node
+	LayersPerShrink float64 // extra masks per full (×0.7) node shrink
+}
+
+// DefaultModel returns the paper-era calibration.
+func DefaultModel() Model {
+	return Model{
+		RefLambdaUM:     0.25,
+		BaseLayerCost:   11000,
+		CostExp:         2.2,
+		BaseLayers:      22,
+		LayersPerShrink: 2,
+	}
+}
+
+// Validate reports the first invalid field of m, or nil.
+func (m Model) Validate() error {
+	switch {
+	case m.RefLambdaUM <= 0:
+		return fmt.Errorf("maskcost: reference node must be positive, got %v", m.RefLambdaUM)
+	case m.BaseLayerCost <= 0:
+		return fmt.Errorf("maskcost: base layer cost must be positive, got %v", m.BaseLayerCost)
+	case m.CostExp < 0:
+		return fmt.Errorf("maskcost: cost exponent must be non-negative, got %v", m.CostExp)
+	case m.BaseLayers <= 0:
+		return fmt.Errorf("maskcost: base layer count must be positive, got %d", m.BaseLayers)
+	case m.LayersPerShrink < 0:
+		return fmt.Errorf("maskcost: layers per shrink must be non-negative, got %v", m.LayersPerShrink)
+	}
+	return nil
+}
+
+// Layers returns the mask count at the given node, never below 1.
+func (m Model) Layers(lambdaUM float64) (int, error) {
+	if err := m.Validate(); err != nil {
+		return 0, err
+	}
+	if lambdaUM <= 0 {
+		return 0, fmt.Errorf("maskcost: feature size must be positive, got %v", lambdaUM)
+	}
+	shrinks := math.Log(m.RefLambdaUM/lambdaUM) / math.Log(1/0.7)
+	n := float64(m.BaseLayers) + m.LayersPerShrink*shrinks
+	if n < 1 {
+		n = 1
+	}
+	return int(math.Round(n)), nil
+}
+
+// LayerCost returns the price of a single mask at the given node.
+func (m Model) LayerCost(lambdaUM float64) (float64, error) {
+	if err := m.Validate(); err != nil {
+		return 0, err
+	}
+	if lambdaUM <= 0 {
+		return 0, fmt.Errorf("maskcost: feature size must be positive, got %v", lambdaUM)
+	}
+	return m.BaseLayerCost * math.Pow(m.RefLambdaUM/lambdaUM, m.CostExp), nil
+}
+
+// SetCost returns the full mask-set price C_MA at the given node.
+func (m Model) SetCost(lambdaUM float64) (float64, error) {
+	layers, err := m.Layers(lambdaUM)
+	if err != nil {
+		return 0, err
+	}
+	perLayer, err := m.LayerCost(lambdaUM)
+	if err != nil {
+		return 0, err
+	}
+	return float64(layers) * perLayer, nil
+}
+
+// AmortizedPerWafer returns the mask-set cost spread over a production run
+// of the given wafer count — the C_MA/(N_w·A_w) contribution to eq (5)
+// times A_w.
+func (m Model) AmortizedPerWafer(lambdaUM, wafers float64) (float64, error) {
+	if wafers <= 0 {
+		return 0, fmt.Errorf("maskcost: wafer volume must be positive, got %v", wafers)
+	}
+	set, err := m.SetCost(lambdaUM)
+	if err != nil {
+		return 0, err
+	}
+	return set / wafers, nil
+}

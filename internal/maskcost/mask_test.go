@@ -1,0 +1,128 @@
+package maskcost
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDefaultModelPaperScale(t *testing.T) {
+	m := DefaultModel()
+	set, err := m.SetCost(0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ~$250k at the reference node.
+	if set < 150e3 || set > 400e3 {
+		t.Fatalf("0.25 µm set cost = %v, want ~250k", set)
+	}
+	set130, err := m.SetCost(0.13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if set130 < 700e3 || set130 > 3e6 {
+		t.Fatalf("0.13 µm set cost = %v, want roughly $1M", set130)
+	}
+	if set130 <= set {
+		t.Fatal("mask cost did not grow with shrink")
+	}
+}
+
+func TestLayersGrowWithShrink(t *testing.T) {
+	m := DefaultModel()
+	l250, err := m.Layers(0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l250 != 22 {
+		t.Fatalf("layers(0.25) = %d, want 22", l250)
+	}
+	l130, err := m.Layers(0.13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l130 <= l250 {
+		t.Fatalf("layers did not grow: %d vs %d", l130, l250)
+	}
+	// Very old node floors at 1 mask, never 0 or negative.
+	lOld, err := m.Layers(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lOld < 1 {
+		t.Fatalf("layers(100µm) = %d", lOld)
+	}
+}
+
+func TestLayerCostPower(t *testing.T) {
+	m := DefaultModel()
+	c1, err := m.LayerCost(0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := m.LayerCost(0.125)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := math.Pow(2, m.CostExp)
+	if math.Abs(c2/c1-want) > 1e-9 {
+		t.Fatalf("halving λ scaled layer cost by %v, want %v", c2/c1, want)
+	}
+}
+
+func TestAmortizedPerWafer(t *testing.T) {
+	m := DefaultModel()
+	set, err := m.SetCost(0.18)
+	if err != nil {
+		t.Fatal(err)
+	}
+	per, err := m.AmortizedPerWafer(0.18, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(per-set/1000) > 1e-9 {
+		t.Fatalf("amortized = %v, want %v", per, set/1000)
+	}
+	if _, err := m.AmortizedPerWafer(0.18, 0); err == nil {
+		t.Fatal("accepted zero volume")
+	}
+}
+
+func TestModelValidation(t *testing.T) {
+	bad := []Model{
+		{RefLambdaUM: 0, BaseLayerCost: 1, BaseLayers: 1},
+		{RefLambdaUM: 1, BaseLayerCost: 0, BaseLayers: 1},
+		{RefLambdaUM: 1, BaseLayerCost: 1, CostExp: -1, BaseLayers: 1},
+		{RefLambdaUM: 1, BaseLayerCost: 1, BaseLayers: 0},
+		{RefLambdaUM: 1, BaseLayerCost: 1, BaseLayers: 1, LayersPerShrink: -1},
+	}
+	for i, m := range bad {
+		if err := m.Validate(); err == nil {
+			t.Errorf("case %d: invalid model accepted", i)
+		}
+	}
+	if _, err := DefaultModel().SetCost(0); err == nil {
+		t.Fatal("accepted zero feature size")
+	}
+	if _, err := DefaultModel().Layers(-1); err == nil {
+		t.Fatal("accepted negative feature size")
+	}
+	if _, err := DefaultModel().LayerCost(0); err == nil {
+		t.Fatal("accepted zero feature size in LayerCost")
+	}
+}
+
+func TestSetCostMonotoneAcrossNodes(t *testing.T) {
+	m := DefaultModel()
+	nodes := []float64{0.35, 0.25, 0.18, 0.13, 0.1, 0.07, 0.05}
+	prev := 0.0
+	for _, n := range nodes {
+		c, err := m.SetCost(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c <= prev {
+			t.Fatalf("set cost not strictly increasing at %v µm: %v after %v", n, c, prev)
+		}
+		prev = c
+	}
+}

@@ -1,0 +1,40 @@
+package maskcost
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// Property: the mask set is strictly more expensive on any strictly
+// smaller feature size.
+func TestSetCostMonotoneProperty(t *testing.T) {
+	m := DefaultModel()
+	f := func(a, b uint16) bool {
+		lam := 0.05 + float64(a%1000)/1000  // [0.05, 1.05)
+		shrink := 0.5 + float64(b%400)/1000 // [0.5, 0.9)
+		big, err1 := m.SetCost(lam)
+		small, err2 := m.SetCost(lam * shrink)
+		return err1 == nil && err2 == nil && small > big
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: amortization is exactly linear in 1/volume.
+func TestAmortizationLinearityProperty(t *testing.T) {
+	m := DefaultModel()
+	f := func(a uint16) bool {
+		w := 1 + float64(a%10000)
+		one, err1 := m.AmortizedPerWafer(0.18, w)
+		two, err2 := m.AmortizedPerWafer(0.18, 2*w)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		diff := one - 2*two
+		return diff < 1e-9 && diff > -1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,128 @@
+package regularity
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/layout"
+)
+
+// Report summarizes the repetitive-pattern structure of a layout at one
+// window pitch.
+type Report struct {
+	Pitch          int
+	Windows        int     // total windows scanned
+	NonEmpty       int     // windows containing geometry
+	UniquePatterns int     // distinct non-empty patterns
+	Regularity     float64 // 1 − unique/non-empty: 0 = all distinct, →1 = one tile
+	TopCoverage    float64 // fraction of non-empty windows covered by the 8 most frequent patterns
+	MaxRepeat      int     // occurrence count of the most frequent pattern
+}
+
+// Analyze scans the layout at the given pitch and computes pattern-reuse
+// metrics. The Regularity figure is the §3.2 quantity: the fraction of
+// windows whose characterization can be reused from an identical twin.
+func Analyze(l *layout.Layout, pitch int) (Report, error) {
+	pats, err := Scan(l, pitch)
+	if err != nil {
+		return Report{}, err
+	}
+	rep := Report{Pitch: pitch, Windows: len(pats)}
+	counts := make(map[[32]byte]int)
+	for _, p := range pats {
+		if p.Empty() {
+			continue
+		}
+		rep.NonEmpty++
+		counts[p.Key]++
+	}
+	rep.UniquePatterns = len(counts)
+	if rep.NonEmpty == 0 {
+		return rep, nil
+	}
+	rep.Regularity = 1 - float64(rep.UniquePatterns)/float64(rep.NonEmpty)
+	freqs := make([]int, 0, len(counts))
+	for _, c := range counts {
+		freqs = append(freqs, c)
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(freqs)))
+	top := 0
+	for i, c := range freqs {
+		if i >= 8 {
+			break
+		}
+		top += c
+	}
+	rep.TopCoverage = float64(top) / float64(rep.NonEmpty)
+	rep.MaxRepeat = freqs[0]
+	return rep, nil
+}
+
+// BestPitch analyzes the layout at each candidate pitch and returns the
+// report with the highest Regularity, preferring larger pitches on ties
+// (bigger reusable tiles are worth more). Candidates must be positive.
+func BestPitch(l *layout.Layout, candidates []int) (Report, error) {
+	if len(candidates) == 0 {
+		return Report{}, fmt.Errorf("regularity: no candidate pitches")
+	}
+	var best Report
+	found := false
+	for _, p := range candidates {
+		r, err := Analyze(l, p)
+		if err != nil {
+			return Report{}, err
+		}
+		if !found || r.Regularity > best.Regularity ||
+			(r.Regularity == best.Regularity && r.Pitch > best.Pitch) {
+			best = r
+			found = true
+		}
+	}
+	return best, nil
+}
+
+// PredictionErrorModel maps a regularity figure to the relative error of
+// pre-layout physical prediction, the §3.2 mechanism: characterized
+// patterns predict exactly (their simulation is reused), novel patterns
+// carry baseline error. The expected error interpolates linearly:
+//
+//	err(reg) = baseline · (1 − reuseEfficiency·reg)
+//
+// with reuseEfficiency in [0, 1] capturing how transferable a
+// characterization is in practice.
+type PredictionErrorModel struct {
+	Baseline        float64 // relative prediction error with no reuse, > 0
+	ReuseEfficiency float64 // in [0, 1]
+}
+
+// DefaultPredictionErrorModel uses a 30% baseline interconnect-delay
+// prediction error and 90% reuse efficiency.
+func DefaultPredictionErrorModel() PredictionErrorModel {
+	return PredictionErrorModel{Baseline: 0.30, ReuseEfficiency: 0.9}
+}
+
+// Validate reports the first invalid field of m, or nil.
+func (m PredictionErrorModel) Validate() error {
+	if m.Baseline <= 0 {
+		return fmt.Errorf("regularity: baseline error must be positive, got %v", m.Baseline)
+	}
+	if m.ReuseEfficiency < 0 || m.ReuseEfficiency > 1 {
+		return fmt.Errorf("regularity: reuse efficiency must be in [0,1], got %v", m.ReuseEfficiency)
+	}
+	return nil
+}
+
+// Error returns the expected relative prediction error at the given
+// regularity (clamped to [0, 1]).
+func (m PredictionErrorModel) Error(reg float64) (float64, error) {
+	if err := m.Validate(); err != nil {
+		return 0, err
+	}
+	if reg < 0 {
+		reg = 0
+	}
+	if reg > 1 {
+		reg = 1
+	}
+	return m.Baseline * (1 - m.ReuseEfficiency*reg), nil
+}

@@ -1,0 +1,130 @@
+// Package regularity implements repetitive-pattern analysis of layouts in
+// the spirit of the paper's reference [33] (Niewczas, Maly, Strojwas, "An
+// Algorithm for Determining Repetitive Patterns in Very Large IC
+// Layouts"): it partitions a layout into fixed-pitch windows, canonicalizes
+// the geometry inside each window, and counts how many distinct window
+// patterns the design uses. §3.2's thesis is that designs built from few
+// unique patterns let expensive simulation/characterization results be
+// reused, containing design cost; the metrics here quantify exactly that
+// reuse opportunity.
+package regularity
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"repro/internal/layout"
+)
+
+// Pattern is the canonical form of one window's geometry: rectangles
+// clipped to the window and expressed in window-local coordinates, sorted
+// deterministically. Two windows with identical Pattern keys contain
+// pixel-identical geometry.
+type Pattern struct {
+	Key   [32]byte // content hash
+	Rects int      // rectangle count inside the window (post-clip)
+}
+
+// Empty reports whether the pattern contains no geometry.
+func (p Pattern) Empty() bool { return p.Rects == 0 }
+
+// canonicalize clips every rectangle of l to the window at (wx, wy) with
+// the given pitch and produces the canonical pattern. Clipping keeps the
+// analysis exact for geometry spanning window boundaries: each window sees
+// precisely the shapes that fall inside it.
+func canonicalize(rects []layout.Rect, wx, wy, pitch int) Pattern {
+	type local struct{ x0, y0, x1, y1, layer int }
+	var ls []local
+	for _, r := range rects {
+		x0, y0 := r.X0-wx, r.Y0-wy
+		x1, y1 := r.X1-wx, r.Y1-wy
+		if x0 < 0 {
+			x0 = 0
+		}
+		if y0 < 0 {
+			y0 = 0
+		}
+		if x1 > pitch {
+			x1 = pitch
+		}
+		if y1 > pitch {
+			y1 = pitch
+		}
+		if x1 <= x0 || y1 <= y0 {
+			continue
+		}
+		ls = append(ls, local{x0, y0, x1, y1, int(r.Layer)})
+	}
+	sort.Slice(ls, func(a, b int) bool {
+		if ls[a].layer != ls[b].layer {
+			return ls[a].layer < ls[b].layer
+		}
+		if ls[a].x0 != ls[b].x0 {
+			return ls[a].x0 < ls[b].x0
+		}
+		if ls[a].y0 != ls[b].y0 {
+			return ls[a].y0 < ls[b].y0
+		}
+		if ls[a].x1 != ls[b].x1 {
+			return ls[a].x1 < ls[b].x1
+		}
+		return ls[a].y1 < ls[b].y1
+	})
+	h := sha256.New()
+	var buf [8]byte
+	for _, r := range ls {
+		for _, v := range [5]int{r.layer, r.x0, r.y0, r.x1, r.y1} {
+			binary.LittleEndian.PutUint64(buf[:], uint64(int64(v)))
+			h.Write(buf[:])
+		}
+	}
+	var p Pattern
+	copy(p.Key[:], h.Sum(nil))
+	p.Rects = len(ls)
+	return p
+}
+
+// windowIndex buckets rectangles by the windows they touch so the scan is
+// linear in (rects × windows-touched) instead of rects × windows.
+func windowIndex(l *layout.Layout, pitch int) map[[2]int][]layout.Rect {
+	idx := make(map[[2]int][]layout.Rect)
+	for _, r := range l.Rects {
+		wx0, wy0 := r.X0/pitch, r.Y0/pitch
+		wx1, wy1 := (r.X1-1)/pitch, (r.Y1-1)/pitch
+		for wx := wx0; wx <= wx1; wx++ {
+			for wy := wy0; wy <= wy1; wy++ {
+				k := [2]int{wx, wy}
+				idx[k] = append(idx[k], r)
+			}
+		}
+	}
+	return idx
+}
+
+// Scan partitions the layout into pitch×pitch windows and returns the
+// canonical pattern of every window in row-major order. Windows beyond
+// the bounding box are not generated; partial windows at the right/top
+// edges are included (their clip region is still pitch-sized, so identical
+// partial content matches identically). It returns an error for a
+// non-positive pitch or an invalid layout.
+func Scan(l *layout.Layout, pitch int) ([]Pattern, error) {
+	if pitch <= 0 {
+		return nil, fmt.Errorf("regularity: pitch must be positive, got %d", pitch)
+	}
+	if err := l.Validate(); err != nil {
+		return nil, err
+	}
+	idx := windowIndex(l, pitch)
+	nx := (l.Width + pitch - 1) / pitch
+	ny := (l.Height + pitch - 1) / pitch
+	out := make([]Pattern, 0, nx*ny)
+	for wy := 0; wy < ny; wy++ {
+		for wx := 0; wx < nx; wx++ {
+			rects := idx[[2]int{wx, wy}]
+			out = append(out, canonicalize(rects, wx*pitch, wy*pitch, pitch))
+		}
+	}
+	return out, nil
+}

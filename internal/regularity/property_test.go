@@ -1,0 +1,72 @@
+package regularity
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/layout"
+)
+
+// Property: for any generated layout and any reasonable pitch, the
+// regularity metrics respect their structural bounds: regularity ∈
+// [0, 1), unique ≤ non-empty ≤ windows, top coverage ∈ (0, 1] when
+// anything exists, and the most frequent pattern accounts for at least
+// the mean multiplicity.
+func TestMetricsBoundsProperty(t *testing.T) {
+	f := func(seed uint64, p uint8) bool {
+		pitch := 20 + int(p%8)*10 // 20..90
+		l, err := layout.GenerateRandomLogic(layout.RandomLogicConfig{
+			Cells: 80, RowUtil: 0.7, RouteTracks: 3, Seed: seed,
+		})
+		if err != nil {
+			return false
+		}
+		rep, err := Analyze(l, pitch)
+		if err != nil {
+			return false
+		}
+		if rep.NonEmpty > rep.Windows || rep.UniquePatterns > rep.NonEmpty {
+			return false
+		}
+		if rep.NonEmpty == 0 {
+			return rep.Regularity == 0 && rep.UniquePatterns == 0
+		}
+		if rep.Regularity < 0 || rep.Regularity >= 1 {
+			return false
+		}
+		if rep.TopCoverage <= 0 || rep.TopCoverage > 1 {
+			return false
+		}
+		// Pigeonhole: max repeat ≥ ceil(nonEmpty/unique).
+		minMax := (rep.NonEmpty + rep.UniquePatterns - 1) / rep.UniquePatterns
+		return rep.MaxRepeat >= minMax
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: scaling the scan to a coarser pitch never increases the
+// total window count.
+func TestPitchCoarseningProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		l, err := layout.GenerateRandomLogic(layout.RandomLogicConfig{
+			Cells: 60, RowUtil: 0.8, RouteTracks: 2, Seed: seed,
+		})
+		if err != nil {
+			return false
+		}
+		fine, err := Analyze(l, 25)
+		if err != nil {
+			return false
+		}
+		coarse, err := Analyze(l, 50)
+		if err != nil {
+			return false
+		}
+		return coarse.Windows <= fine.Windows
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

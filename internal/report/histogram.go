@@ -1,0 +1,68 @@
+package report
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Histogram bins a sample and renders it as horizontal ASCII bars, the
+// terminal view of Monte Carlo output distributions.
+type Histogram struct {
+	Title string
+	Bins  int // default 12 when <= 0
+}
+
+// Render bins xs and writes the chart. It returns an error for an empty
+// sample or a sample containing NaN/Inf.
+func (h Histogram) Render(w io.Writer, xs []float64) error {
+	if len(xs) == 0 {
+		return fmt.Errorf("report: histogram of empty sample")
+	}
+	for _, x := range xs {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			return fmt.Errorf("report: histogram sample contains %v", x)
+		}
+	}
+	bins := h.Bins
+	if bins <= 0 {
+		bins = 12
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	lo, hi := sorted[0], sorted[len(sorted)-1]
+	if hi == lo {
+		hi = lo + 1
+	}
+	counts := make([]int, bins)
+	for _, x := range xs {
+		b := int((x - lo) / (hi - lo) * float64(bins))
+		if b >= bins {
+			b = bins - 1
+		}
+		counts[b]++
+	}
+	maxC := 0
+	for _, c := range counts {
+		if c > maxC {
+			maxC = c
+		}
+	}
+	var b strings.Builder
+	if h.Title != "" {
+		fmt.Fprintf(&b, "%s (n=%d)\n", h.Title, len(xs))
+	}
+	const width = 50
+	for i, c := range counts {
+		binLo := lo + (hi-lo)*float64(i)/float64(bins)
+		bars := 0
+		if maxC > 0 {
+			bars = c * width / maxC
+		}
+		fmt.Fprintf(&b, "%12s |%s %d\n", Num(binLo), strings.Repeat("*", bars), c)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}

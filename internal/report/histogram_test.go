@@ -1,0 +1,88 @@
+package report
+
+import (
+	"math"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func TestHistogramRender(t *testing.T) {
+	xs := []float64{1, 1, 1, 2, 2, 3, 10}
+	var b strings.Builder
+	if err := (Histogram{Title: "demo", Bins: 4}).Render(&b, xs); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "demo (n=7)") {
+		t.Fatalf("missing title: %q", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 5 { // title + 4 bins
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	// First bin (values 1-3) has the most mass → longest bar.
+	if !strings.Contains(lines[1], "*") {
+		t.Fatal("first bin has no bar")
+	}
+}
+
+func TestHistogramDefaultBins(t *testing.T) {
+	xs := make([]float64, 100)
+	for i := range xs {
+		xs[i] = float64(i)
+	}
+	var b strings.Builder
+	if err := (Histogram{}).Render(&b, xs); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(b.String()), "\n")
+	if len(lines) != 12 {
+		t.Fatalf("default bins = %d, want 12", len(lines))
+	}
+}
+
+func TestHistogramConstantSample(t *testing.T) {
+	var b strings.Builder
+	if err := (Histogram{Bins: 3}).Render(&b, []float64{5, 5, 5}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "3") {
+		t.Fatal("constant sample not counted")
+	}
+}
+
+func TestHistogramErrors(t *testing.T) {
+	var b strings.Builder
+	if err := (Histogram{}).Render(&b, nil); err == nil {
+		t.Fatal("accepted empty sample")
+	}
+	if err := (Histogram{}).Render(&b, []float64{1, math.NaN()}); err == nil {
+		t.Fatal("accepted NaN")
+	}
+	if err := (Histogram{}).Render(&b, []float64{1, math.Inf(1)}); err == nil {
+		t.Fatal("accepted Inf")
+	}
+}
+
+func TestHistogramBinCoverage(t *testing.T) {
+	// Every sample lands in exactly one bin: bar total equals n.
+	xs := []float64{0, 0.999, 1, 2, 3, 3.999, 4}
+	var b strings.Builder
+	if err := (Histogram{Bins: 4}).Render(&b, xs); err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, line := range strings.Split(strings.TrimSpace(b.String()), "\n") {
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			continue
+		}
+		if n, err := strconv.Atoi(fields[len(fields)-1]); err == nil {
+			total += n
+		}
+	}
+	if total != len(xs) {
+		t.Fatalf("bin counts sum to %d, want %d", total, len(xs))
+	}
+}

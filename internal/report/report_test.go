@@ -1,0 +1,131 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRendering(t *testing.T) {
+	tbl := NewTable("Demo", "name", "value")
+	tbl.AddRow("alpha", 1.5)
+	tbl.AddRow("beta", 123456.789)
+	out := tbl.String()
+	if !strings.Contains(out, "Demo") {
+		t.Fatal("missing title")
+	}
+	if !strings.Contains(out, "alpha") || !strings.Contains(out, "1.5") {
+		t.Fatalf("missing row content:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 5 { // title, header, separator, 2 rows
+		t.Fatalf("rendered %d lines, want 5:\n%s", len(lines), out)
+	}
+	// Separator under the header.
+	if !strings.HasPrefix(lines[2], "----") {
+		t.Fatalf("missing separator: %q", lines[2])
+	}
+}
+
+func TestTableArityPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("arity mismatch did not panic")
+		}
+	}()
+	NewTable("x", "a", "b").AddRow("only-one")
+}
+
+func TestNumFormats(t *testing.T) {
+	cases := map[float64]string{
+		0:       "0",
+		1.5:     "1.5",
+		1234.56: "1235",
+		1e-9:    "1.000e-09",
+		2.5e8:   "2.500e+08",
+	}
+	for v, want := range cases {
+		if got := Num(v); got != want {
+			t.Errorf("Num(%v) = %q, want %q", v, got, want)
+		}
+	}
+}
+
+func TestCSV(t *testing.T) {
+	tbl := NewTable("t", "a", "b")
+	tbl.AddRow("plain", "with,comma")
+	tbl.AddRow(`quo"te`, "line\nbreak")
+	csv := tbl.CSV()
+	lines := strings.SplitN(csv, "\n", 2)
+	if lines[0] != "a,b" {
+		t.Fatalf("header = %q", lines[0])
+	}
+	if !strings.Contains(csv, `"with,comma"`) {
+		t.Fatalf("comma cell not quoted: %q", csv)
+	}
+	if !strings.Contains(csv, `"quo""te"`) {
+		t.Fatalf("quote cell not escaped: %q", csv)
+	}
+}
+
+func TestSeriesValidate(t *testing.T) {
+	if err := (Series{Name: "s", X: []float64{1}, Y: []float64{1, 2}}).Validate(); err == nil {
+		t.Fatal("accepted mismatched lengths")
+	}
+	if err := (Series{Name: "s"}).Validate(); err == nil {
+		t.Fatal("accepted empty series")
+	}
+	if err := (Series{Name: "s", X: []float64{1}, Y: []float64{2}}).Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFigureTableAndRender(t *testing.T) {
+	f := &Figure{Title: "Fig", XLabel: "x", YLabel: "y"}
+	f.Add(Series{Name: "one", X: []float64{0, 1, 2}, Y: []float64{1, 2, 3}})
+	f.Add(Series{Name: "two", X: []float64{0, 1, 2}, Y: []float64{3, 2, 1}})
+	tbl := f.Table()
+	if len(tbl.Rows) != 6 {
+		t.Fatalf("long-form rows = %d, want 6", len(tbl.Rows))
+	}
+	var b strings.Builder
+	if err := f.Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"Fig", "a = one", "b = two", "x: x"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFigureRenderLogScale(t *testing.T) {
+	f := &Figure{Title: "Log", XLabel: "x", YLabel: "y", LogY: true}
+	f.Add(Series{Name: "s", X: []float64{1, 2}, Y: []float64{10, 1000}})
+	var b strings.Builder
+	if err := f.Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "log10") {
+		t.Fatal("log scale not annotated")
+	}
+	// Non-positive y on log scale must error.
+	f.Add(Series{Name: "bad", X: []float64{1}, Y: []float64{0}})
+	if err := f.Render(&strings.Builder{}); err == nil {
+		t.Fatal("accepted zero y on log scale")
+	}
+}
+
+func TestFigureValidate(t *testing.T) {
+	if err := (&Figure{Title: "empty"}).Validate(); err == nil {
+		t.Fatal("accepted empty figure")
+	}
+}
+
+func TestFigureRenderConstantSeries(t *testing.T) {
+	f := &Figure{Title: "Flat", XLabel: "x", YLabel: "y"}
+	f.Add(Series{Name: "s", X: []float64{1, 1}, Y: []float64{5, 5}})
+	if err := f.Render(&strings.Builder{}); err != nil {
+		t.Fatalf("constant series should render: %v", err)
+	}
+}

@@ -1,0 +1,132 @@
+package report
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Series is a named (x, y) data series, the figure-regeneration unit.
+type Series struct {
+	Name string
+	X, Y []float64
+}
+
+// Validate reports the first structural problem with s, or nil.
+func (s Series) Validate() error {
+	if len(s.X) != len(s.Y) {
+		return fmt.Errorf("report: series %q has %d x and %d y values", s.Name, len(s.X), len(s.Y))
+	}
+	if len(s.X) == 0 {
+		return fmt.Errorf("report: series %q is empty", s.Name)
+	}
+	return nil
+}
+
+// Figure is a titled collection of series sharing axes.
+type Figure struct {
+	Title  string
+	XLabel string
+	YLabel string
+	LogY   bool
+	Series []Series
+}
+
+// Add appends a series to the figure.
+func (f *Figure) Add(s Series) { f.Series = append(f.Series, s) }
+
+// Validate reports the first structural problem with f, or nil.
+func (f *Figure) Validate() error {
+	if len(f.Series) == 0 {
+		return fmt.Errorf("report: figure %q has no series", f.Title)
+	}
+	for _, s := range f.Series {
+		if err := s.Validate(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Table converts the figure to a long-form table (series, x, y) for
+// textual inspection and CSV export.
+func (f *Figure) Table() *Table {
+	t := NewTable(f.Title, "series", f.XLabel, f.YLabel)
+	for _, s := range f.Series {
+		for i := range s.X {
+			t.AddRow(s.Name, s.X[i], s.Y[i])
+		}
+	}
+	return t
+}
+
+// Render draws an ASCII scatter of the figure: 64×20 characters, one
+// marker letter per series, with min/max axis annotations. It is the
+// terminal stand-in for the paper's plots.
+func (f *Figure) Render(w io.Writer) error {
+	if err := f.Validate(); err != nil {
+		return err
+	}
+	const cols, rows = 64, 20
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	yv := func(y float64) float64 {
+		if f.LogY {
+			return math.Log10(y)
+		}
+		return y
+	}
+	for _, s := range f.Series {
+		for i := range s.X {
+			x, y := s.X[i], yv(s.Y[i])
+			if f.LogY && (s.Y[i] <= 0 || math.IsInf(y, 0) || math.IsNaN(y)) {
+				return fmt.Errorf("report: figure %q: log scale with non-positive y %v", f.Title, s.Y[i])
+			}
+			minX, maxX = math.Min(minX, x), math.Max(maxX, x)
+			minY, maxY = math.Min(minY, y), math.Max(maxY, y)
+		}
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+	grid := make([][]byte, rows)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", cols))
+	}
+	for si, s := range f.Series {
+		marker := byte('a' + si%26)
+		for i := range s.X {
+			cx := int((s.X[i] - minX) / (maxX - minX) * float64(cols-1))
+			cy := int((yv(s.Y[i]) - minY) / (maxY - minY) * float64(rows-1))
+			grid[rows-1-cy][cx] = marker
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", f.Title)
+	scale := ""
+	if f.LogY {
+		scale = " (log10)"
+	}
+	fmt.Fprintf(&b, "y: %s%s  [%s .. %s]\n", f.YLabel, scale, Num(unlog(minY, f.LogY)), Num(unlog(maxY, f.LogY)))
+	for _, row := range grid {
+		fmt.Fprintf(&b, "|%s\n", string(row))
+	}
+	fmt.Fprintf(&b, "+%s\n", strings.Repeat("-", cols))
+	fmt.Fprintf(&b, "x: %s  [%s .. %s]\n", f.XLabel, Num(minX), Num(maxX))
+	for si, s := range f.Series {
+		fmt.Fprintf(&b, "  %c = %s\n", 'a'+si%26, s.Name)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func unlog(v float64, logged bool) float64 {
+	if logged {
+		return math.Pow(10, v)
+	}
+	return v
+}

@@ -1,0 +1,171 @@
+package stats
+
+import (
+	"errors"
+	"math"
+)
+
+// golden is the inverse golden ratio used by golden-section search.
+const golden = 0.6180339887498949
+
+// MinimizeResult reports the location and value of a one-dimensional
+// minimum together with the number of objective evaluations spent.
+type MinimizeResult struct {
+	X     float64
+	F     float64
+	Evals int
+}
+
+// Minimize locates a local minimum of f on [lo, hi] using golden-section
+// search refined by parabolic interpolation steps (a simplified Brent
+// scheme). tol is the absolute x tolerance; a non-positive tol defaults to
+// 1e-9 times the interval width plus machine epsilon guard.
+//
+// f must be defined over the whole interval. For the unimodal cost curves
+// in this repository the result is the global minimum on the interval.
+func Minimize(f func(float64) float64, lo, hi, tol float64) (MinimizeResult, error) {
+	if !(lo < hi) {
+		return MinimizeResult{}, errors.New("stats: Minimize requires lo < hi")
+	}
+	if tol <= 0 {
+		tol = 1e-9 * (hi - lo)
+	}
+	if tol < 1e-12 {
+		tol = 1e-12
+	}
+	evals := 0
+	eval := func(x float64) float64 {
+		evals++
+		return f(x)
+	}
+
+	a, b := lo, hi
+	x := a + (1-golden)*(b-a) // current best
+	w, v := x, x              // second and third best
+	fx := eval(x)
+	fw, fv := fx, fx
+	d, e := 0.0, 0.0 // step and previous step
+
+	for i := 0; i < 200; i++ {
+		m := 0.5 * (a + b)
+		tol1 := tol + 1e-12*math.Abs(x)
+		if math.Abs(x-m) <= 2*tol1-0.5*(b-a) {
+			break
+		}
+		useGolden := true
+		if math.Abs(e) > tol1 {
+			// Attempt a parabolic fit through x, w, v.
+			r := (x - w) * (fx - fv)
+			q := (x - v) * (fx - fw)
+			p := (x-v)*q - (x-w)*r
+			q = 2 * (q - r)
+			if q > 0 {
+				p = -p
+			}
+			q = math.Abs(q)
+			etmp := e
+			e = d
+			if math.Abs(p) < math.Abs(0.5*q*etmp) && p > q*(a-x) && p < q*(b-x) {
+				d = p / q
+				u := x + d
+				if u-a < 2*tol1 || b-u < 2*tol1 {
+					d = math.Copysign(tol1, m-x)
+				}
+				useGolden = false
+			}
+		}
+		if useGolden {
+			if x < m {
+				e = b - x
+			} else {
+				e = a - x
+			}
+			d = (1 - golden) * e
+		}
+		var u float64
+		if math.Abs(d) >= tol1 {
+			u = x + d
+		} else {
+			u = x + math.Copysign(tol1, d)
+		}
+		fu := eval(u)
+		if fu <= fx {
+			if u < x {
+				b = x
+			} else {
+				a = x
+			}
+			v, fv = w, fw
+			w, fw = x, fx
+			x, fx = u, fu
+		} else {
+			if u < x {
+				a = u
+			} else {
+				b = u
+			}
+			if fu <= fw || w == x {
+				v, fv = w, fw
+				w, fw = u, fu
+			} else if fu <= fv || v == x || v == w {
+				v, fv = u, fu
+			}
+		}
+	}
+	return MinimizeResult{X: x, F: fx, Evals: evals}, nil
+}
+
+// Bisect finds a root of f on [lo, hi] by bisection. f(lo) and f(hi) must
+// bracket the root (opposite signs); otherwise an error is returned. tol is
+// the absolute x tolerance (default 1e-12 of the interval when
+// non-positive).
+func Bisect(f func(float64) float64, lo, hi, tol float64) (float64, error) {
+	if !(lo < hi) {
+		return 0, errors.New("stats: Bisect requires lo < hi")
+	}
+	if tol <= 0 {
+		tol = 1e-12 * (hi - lo)
+	}
+	flo, fhi := f(lo), f(hi)
+	if flo == 0 {
+		return lo, nil
+	}
+	if fhi == 0 {
+		return hi, nil
+	}
+	if (flo > 0) == (fhi > 0) {
+		return 0, errors.New("stats: Bisect interval does not bracket a root")
+	}
+	for i := 0; i < 200 && hi-lo > tol; i++ {
+		mid := 0.5 * (lo + hi)
+		fm := f(mid)
+		if fm == 0 {
+			return mid, nil
+		}
+		if (fm > 0) == (fhi > 0) {
+			hi, fhi = mid, fm
+		} else {
+			lo, flo = mid, fm
+		}
+	}
+	return 0.5 * (lo + hi), nil
+}
+
+// ArgminGrid evaluates f on a uniform grid of n points over [lo, hi] and
+// returns the grid point with the smallest value. It is the robust
+// pre-pass used before Minimize when unimodality is not guaranteed. It
+// panics if n < 2 or lo >= hi, which indicate programmer error.
+func ArgminGrid(f func(float64) float64, lo, hi float64, n int) (x, fx float64) {
+	if n < 2 || lo >= hi {
+		panic("stats: ArgminGrid requires n >= 2 and lo < hi")
+	}
+	step := (hi - lo) / float64(n-1)
+	x, fx = lo, f(lo)
+	for i := 1; i < n; i++ {
+		xi := lo + float64(i)*step
+		if fi := f(xi); fi < fx {
+			x, fx = xi, fi
+		}
+	}
+	return x, fx
+}

@@ -1,0 +1,172 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestLinearRegressionExact(t *testing.T) {
+	xs := []float64{0, 1, 2, 3, 4}
+	ys := make([]float64, len(xs))
+	for i, x := range xs {
+		ys[i] = 3 + 2*x
+	}
+	fit, err := LinearRegression(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(fit.Intercept, 3, 1e-10) || !almostEqual(fit.Slope, 2, 1e-10) {
+		t.Fatalf("fit = %+v, want intercept 3 slope 2", fit)
+	}
+	if !almostEqual(fit.R2, 1, 1e-10) {
+		t.Fatalf("R2 = %v, want 1", fit.R2)
+	}
+	if got := fit.Predict(10); !almostEqual(got, 23, 1e-10) {
+		t.Fatalf("Predict(10) = %v, want 23", got)
+	}
+}
+
+func TestLinearRegressionNoisy(t *testing.T) {
+	r := NewRNG(99)
+	var xs, ys []float64
+	for i := 0; i < 500; i++ {
+		x := float64(i) / 10
+		xs = append(xs, x)
+		ys = append(ys, 1.5-0.7*x+r.Norm(0, 0.1))
+	}
+	fit, err := LinearRegression(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(fit.Intercept-1.5) > 0.05 || math.Abs(fit.Slope+0.7) > 0.01 {
+		t.Fatalf("noisy fit = %+v", fit)
+	}
+	if fit.R2 < 0.99 {
+		t.Fatalf("R2 = %v, want > 0.99", fit.R2)
+	}
+}
+
+func TestLinearRegressionErrors(t *testing.T) {
+	if _, err := LinearRegression([]float64{1}, []float64{1}); err == nil {
+		t.Fatal("accepted single point")
+	}
+	if _, err := LinearRegression([]float64{1, 1}, []float64{1, 2}); err == nil {
+		t.Fatal("accepted constant x")
+	}
+	if _, err := LinearRegression([]float64{1, 2}, []float64{1}); err == nil {
+		t.Fatal("accepted mismatched lengths")
+	}
+}
+
+func TestPowerRegressionExact(t *testing.T) {
+	xs := []float64{1, 2, 4, 8, 16}
+	ys := make([]float64, len(xs))
+	for i, x := range xs {
+		ys[i] = 5 * math.Pow(x, 1.3)
+	}
+	fit, err := PowerRegression(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(fit.Coeff, 5, 1e-8) || !almostEqual(fit.Exponent, 1.3, 1e-10) {
+		t.Fatalf("fit = %+v, want coeff 5 exponent 1.3", fit)
+	}
+	if got := fit.Predict(32); !almostEqual(got, 5*math.Pow(32, 1.3), 1e-6) {
+		t.Fatalf("Predict(32) = %v", got)
+	}
+}
+
+func TestPowerRegressionRejectsNonPositive(t *testing.T) {
+	if _, err := PowerRegression([]float64{1, -2}, []float64{1, 2}); err == nil {
+		t.Fatal("accepted negative x")
+	}
+	if _, err := PowerRegression([]float64{1, 2}, []float64{0, 2}); err == nil {
+		t.Fatal("accepted zero y")
+	}
+}
+
+func TestExpRegressionExact(t *testing.T) {
+	xs := []float64{0, 1, 2, 3}
+	ys := make([]float64, len(xs))
+	for i, x := range xs {
+		ys[i] = 2 * math.Exp(-0.5*x)
+	}
+	fit, err := ExpRegression(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(fit.Coeff, 2, 1e-9) || !almostEqual(fit.Rate, -0.5, 1e-10) {
+		t.Fatalf("fit = %+v, want coeff 2 rate -0.5", fit)
+	}
+}
+
+func TestInterpolatorExactAtKnots(t *testing.T) {
+	ip, err := NewInterpolator([]float64{0, 1, 3}, []float64{10, 20, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, x := range []float64{0, 1, 3} {
+		want := []float64{10, 20, 0}[i]
+		if got := ip.At(x); !almostEqual(got, want, 1e-12) {
+			t.Errorf("At(%v) = %v, want %v", x, got, want)
+		}
+	}
+}
+
+func TestInterpolatorBetweenAndBeyond(t *testing.T) {
+	ip, err := NewInterpolator([]float64{0, 2}, []float64{0, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ip.At(1); !almostEqual(got, 2, 1e-12) {
+		t.Fatalf("At(1) = %v, want 2", got)
+	}
+	// Linear extrapolation beyond both ends.
+	if got := ip.At(3); !almostEqual(got, 6, 1e-12) {
+		t.Fatalf("At(3) = %v, want 6", got)
+	}
+	if got := ip.At(-1); !almostEqual(got, -2, 1e-12) {
+		t.Fatalf("At(-1) = %v, want -2", got)
+	}
+	lo, hi := ip.Domain()
+	if lo != 0 || hi != 2 {
+		t.Fatalf("Domain = (%v,%v), want (0,2)", lo, hi)
+	}
+}
+
+func TestInterpolatorValidation(t *testing.T) {
+	if _, err := NewInterpolator([]float64{0}, []float64{1}); err == nil {
+		t.Fatal("accepted single knot")
+	}
+	if _, err := NewInterpolator([]float64{0, 0}, []float64{1, 2}); err == nil {
+		t.Fatal("accepted duplicate x knots")
+	}
+	if _, err := NewInterpolator([]float64{0, 1}, []float64{1}); err == nil {
+		t.Fatal("accepted mismatched lengths")
+	}
+}
+
+// Property: a line through any two distinct generated points is recovered
+// exactly (up to floating error) by LinearRegression.
+func TestLinearRegressionTwoPointProperty(t *testing.T) {
+	f := func(a, b float64) bool {
+		if math.IsNaN(a) || math.IsNaN(b) || math.IsInf(a, 0) || math.IsInf(b, 0) {
+			return true
+		}
+		if math.Abs(a) > 1e6 || math.Abs(b) > 1e6 {
+			return true
+		}
+		xs := []float64{0, 1}
+		ys := []float64{a, a + b}
+		fit, err := LinearRegression(xs, ys)
+		if err != nil {
+			return false
+		}
+		return almostEqual(fit.Intercept, a, 1e-6*(1+math.Abs(a))) &&
+			almostEqual(fit.Slope, b, 1e-6*(1+math.Abs(b)))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,207 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRNGDeterminism(t *testing.T) {
+	a := NewRNG(42)
+	b := NewRNG(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("streams diverged at draw %d", i)
+		}
+	}
+}
+
+func TestRNGSeedsDiffer(t *testing.T) {
+	a := NewRNG(1)
+	b := NewRNG(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("seeds 1 and 2 produced %d/100 identical draws", same)
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := NewRNG(7)
+	for i := 0; i < 10000; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 out of [0,1): %v", v)
+		}
+	}
+}
+
+func TestFloat64Mean(t *testing.T) {
+	r := NewRNG(11)
+	var sum float64
+	const n = 200000
+	for i := 0; i < n; i++ {
+		sum += r.Float64()
+	}
+	mean := sum / n
+	if math.Abs(mean-0.5) > 0.005 {
+		t.Fatalf("uniform mean = %v, want ~0.5", mean)
+	}
+}
+
+func TestIntnBounds(t *testing.T) {
+	r := NewRNG(3)
+	seen := make(map[int]int)
+	for i := 0; i < 60000; i++ {
+		v := r.Intn(6)
+		if v < 0 || v >= 6 {
+			t.Fatalf("Intn(6) out of range: %d", v)
+		}
+		seen[v]++
+	}
+	for k := 0; k < 6; k++ {
+		if seen[k] < 9000 || seen[k] > 11000 {
+			t.Fatalf("Intn(6) bucket %d count %d, want ~10000", k, seen[k])
+		}
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	NewRNG(1).Intn(0)
+}
+
+func TestNormMoments(t *testing.T) {
+	r := NewRNG(5)
+	const n = 100000
+	var sum, ss float64
+	for i := 0; i < n; i++ {
+		v := r.Norm(3, 2)
+		sum += v
+		ss += v * v
+	}
+	mean := sum / n
+	variance := ss/n - mean*mean
+	if math.Abs(mean-3) > 0.05 {
+		t.Fatalf("normal mean = %v, want ~3", mean)
+	}
+	if math.Abs(variance-4) > 0.15 {
+		t.Fatalf("normal variance = %v, want ~4", variance)
+	}
+}
+
+func TestExpMean(t *testing.T) {
+	r := NewRNG(9)
+	const n = 100000
+	var sum float64
+	for i := 0; i < n; i++ {
+		v := r.Exp(2)
+		if v < 0 {
+			t.Fatalf("Exp produced negative value %v", v)
+		}
+		sum += v
+	}
+	if mean := sum / n; math.Abs(mean-0.5) > 0.02 {
+		t.Fatalf("exponential mean = %v, want ~0.5", mean)
+	}
+}
+
+func TestPoissonMean(t *testing.T) {
+	for _, mean := range []float64{0.5, 3, 25, 100} {
+		r := NewRNG(13)
+		const n = 50000
+		var sum float64
+		for i := 0; i < n; i++ {
+			sum += float64(r.Poisson(mean))
+		}
+		got := sum / n
+		if math.Abs(got-mean) > 0.03*mean+0.05 {
+			t.Fatalf("Poisson(%v) sample mean = %v", mean, got)
+		}
+	}
+}
+
+func TestPoissonNonPositiveMean(t *testing.T) {
+	r := NewRNG(1)
+	if got := r.Poisson(0); got != 0 {
+		t.Fatalf("Poisson(0) = %d, want 0", got)
+	}
+	if got := r.Poisson(-1); got != 0 {
+		t.Fatalf("Poisson(-1) = %d, want 0", got)
+	}
+}
+
+func TestGammaMoments(t *testing.T) {
+	for _, tc := range []struct{ shape, scale float64 }{{0.5, 2}, {2, 1}, {5, 0.5}} {
+		r := NewRNG(17)
+		const n = 100000
+		var sum float64
+		for i := 0; i < n; i++ {
+			v := r.Gamma(tc.shape, tc.scale)
+			if v < 0 {
+				t.Fatalf("Gamma produced negative value %v", v)
+			}
+			sum += v
+		}
+		want := tc.shape * tc.scale
+		if got := sum / n; math.Abs(got-want) > 0.05*want+0.01 {
+			t.Fatalf("Gamma(%v,%v) sample mean = %v, want ~%v", tc.shape, tc.scale, got, want)
+		}
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	r := NewRNG(23)
+	p := r.Perm(100)
+	seen := make([]bool, 100)
+	for _, v := range p {
+		if v < 0 || v >= 100 || seen[v] {
+			t.Fatalf("Perm not a permutation: %v", p)
+		}
+		seen[v] = true
+	}
+}
+
+func TestSplitDecorrelates(t *testing.T) {
+	r := NewRNG(31)
+	s := r.Split()
+	same := 0
+	for i := 0; i < 100; i++ {
+		if r.Uint64() == s.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("split stream correlated: %d/100 identical draws", same)
+	}
+}
+
+// Property: Range always lands inside [lo, hi) for lo < hi.
+func TestRangeProperty(t *testing.T) {
+	r := NewRNG(37)
+	f := func(a, b float64) bool {
+		lo, hi := a, b
+		if math.IsNaN(lo) || math.IsNaN(hi) || math.IsInf(lo, 0) || math.IsInf(hi, 0) {
+			return true
+		}
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		if hi-lo <= 0 || hi-lo > 1e100 {
+			return true
+		}
+		v := r.Range(lo, hi)
+		return v >= lo && v < hi
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,50 @@
+package wafer_test
+
+import (
+	"fmt"
+
+	"repro/internal/wafer"
+)
+
+// Exact gross die versus the naive area ratio.
+func ExampleGrossDie() {
+	d := wafer.SquareDie(1.0) // 1 cm² die
+	exact, err := wafer.GrossDie(wafer.Wafer200, d)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	naive, err := wafer.GrossDieApprox(wafer.Wafer200, d, wafer.AreaRatio)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("exact %d, area-ratio %d\n", exact, naive)
+	// Output:
+	// exact 256, area-ratio 289
+}
+
+// Multi-project-wafer sharing: the prototype escape hatch from eq (5).
+func ExampleMPWConfig_CostPerProjectDie() {
+	cfg := wafer.MPWConfig{
+		Projects:    10,
+		MaskSetCost: 1e6,
+		WaferCost:   2000,
+		Wafers:      20,
+		DiePerWafer: 25,
+		Yield:       0.8,
+	}
+	shared, err := cfg.CostPerProjectDie()
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	dedicated, err := cfg.DedicatedCostPerDie(250)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("shared $%.0f/die vs dedicated $%.0f/die\n", shared, dedicated)
+	// Output:
+	// shared $260/die vs dedicated $2510/die
+}

@@ -1,0 +1,151 @@
+package yield
+
+import (
+	"fmt"
+	"math"
+)
+
+// Layer describes one process layer's contribution to random-defect yield:
+// its defect density (defects/cm²) and the fraction of the die area that is
+// critical for that layer (a defect landing there kills the die).
+type Layer struct {
+	Name             string
+	DefectDensity    float64 // D0, defects per cm²
+	CriticalFraction float64 // in [0, 1]
+}
+
+// Validate reports the first invalid field of l, or nil.
+func (l Layer) Validate() error {
+	if l.DefectDensity < 0 {
+		return fmt.Errorf("yield: layer %q: defect density must be non-negative, got %v", l.Name, l.DefectDensity)
+	}
+	if l.CriticalFraction < 0 || l.CriticalFraction > 1 {
+		return fmt.Errorf("yield: layer %q: critical fraction must be in [0,1], got %v", l.Name, l.CriticalFraction)
+	}
+	return nil
+}
+
+// Stack is a multi-layer process description with an optional systematic
+// yield multiplier (lithography, parametric, and equipment-excursion loss
+// that does not scale with area the way random defects do).
+type Stack struct {
+	Layers     []Layer
+	Systematic float64 // Y_sys in (0, 1]; 0 means 1
+	Model      Model   // per-layer random model; nil means Poisson
+}
+
+// systematic returns Y_sys with the zero-value default applied.
+func (s Stack) systematic() float64 {
+	if s.Systematic == 0 {
+		return 1
+	}
+	return s.Systematic
+}
+
+// model returns the random-defect model with the nil default applied.
+func (s Stack) model() Model {
+	if s.Model == nil {
+		return Poisson{}
+	}
+	return s.Model
+}
+
+// Validate reports the first invalid field of s, or nil.
+func (s Stack) Validate() error {
+	if len(s.Layers) == 0 {
+		return fmt.Errorf("yield: stack has no layers")
+	}
+	for _, l := range s.Layers {
+		if err := l.Validate(); err != nil {
+			return err
+		}
+	}
+	if sys := s.systematic(); !(sys > 0 && sys <= 1) {
+		return fmt.Errorf("yield: systematic yield must be in (0,1], got %v", sys)
+	}
+	return nil
+}
+
+// TotalLambda returns the summed mean fatal-defect count per die of the
+// given area: Σ_layers D0_i · cf_i · A.
+func (s Stack) TotalLambda(areaCM2 float64) (float64, error) {
+	if err := s.Validate(); err != nil {
+		return 0, err
+	}
+	if areaCM2 < 0 {
+		return 0, fmt.Errorf("yield: area must be non-negative, got %v", areaCM2)
+	}
+	var sum float64
+	for _, l := range s.Layers {
+		sum += l.DefectDensity * l.CriticalFraction * areaCM2
+	}
+	return sum, nil
+}
+
+// Yield returns the composite die yield: Y_sys · Π_layers M(λ_i). For the
+// Poisson model the product equals M(Σλ_i); for clustered models the
+// per-layer product is the standard industrial convention.
+func (s Stack) Yield(areaCM2 float64) (float64, error) {
+	if err := s.Validate(); err != nil {
+		return 0, err
+	}
+	if areaCM2 < 0 {
+		return 0, fmt.Errorf("yield: area must be non-negative, got %v", areaCM2)
+	}
+	m := s.model()
+	y := s.systematic()
+	for _, l := range s.Layers {
+		y *= m.Yield(l.DefectDensity * l.CriticalFraction * areaCM2)
+	}
+	return y, nil
+}
+
+// UniformStack builds an n-layer stack with identical defect density and
+// critical fraction per layer — the common first-order process template.
+func UniformStack(n int, d0PerLayer, criticalFraction float64, m Model) (Stack, error) {
+	if n <= 0 {
+		return Stack{}, fmt.Errorf("yield: layer count must be positive, got %d", n)
+	}
+	layers := make([]Layer, n)
+	for i := range layers {
+		layers[i] = Layer{
+			Name:             fmt.Sprintf("layer-%d", i+1),
+			DefectDensity:    d0PerLayer,
+			CriticalFraction: criticalFraction,
+		}
+	}
+	s := Stack{Layers: layers, Model: m}
+	if err := s.Validate(); err != nil {
+		return Stack{}, err
+	}
+	return s, nil
+}
+
+// DensityScaledStack models the paper's observation that yield is a
+// function of minimum feature size and design density: defect densities
+// grow as the node shrinks (more process steps, tighter tolerances) and a
+// denser design (smaller s_d) exposes a larger critical fraction. It
+// returns a stack with
+//
+//	D0_i = baseD0 · (refLambdaUM/lambdaUM)^densityExp
+//	cf_i = clamp(baseCF · sqrt(refSd/sd), 0, 1)
+//
+// The square-root coupling to s_d reflects that critical area tracks
+// feature adjacency, which grows sublinearly as layout is compacted.
+func DensityScaledStack(n int, baseD0, baseCF, lambdaUM, refLambdaUM, sd, refSd, densityExp float64, m Model) (Stack, error) {
+	if lambdaUM <= 0 || refLambdaUM <= 0 {
+		return Stack{}, fmt.Errorf("yield: feature sizes must be positive, got %v and %v", lambdaUM, refLambdaUM)
+	}
+	if sd <= 0 || refSd <= 0 {
+		return Stack{}, fmt.Errorf("yield: s_d values must be positive, got %v and %v", sd, refSd)
+	}
+	d0 := baseD0 * math.Pow(refLambdaUM/lambdaUM, densityExp)
+	cf := baseCF * math.Sqrt(refSd/sd)
+	if cf > 1 {
+		cf = 1
+	}
+	if cf < 0 {
+		cf = 0
+	}
+	return UniformStack(n, d0, cf, m)
+}

@@ -1,0 +1,243 @@
+package yield
+
+import (
+	"math"
+	"testing"
+)
+
+func TestUniformStackLambda(t *testing.T) {
+	s, err := UniformStack(4, 0.5, 0.6, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := s.TotalLambda(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 4 * 0.5 * 0.6 * 2
+	if !almost(l, want, 1e-12) {
+		t.Fatalf("total lambda = %v, want %v", l, want)
+	}
+}
+
+func TestStackPoissonProductEqualsSum(t *testing.T) {
+	// With Poisson per layer, the product over layers equals the model of
+	// the summed lambda.
+	s, err := UniformStack(6, 0.3, 0.5, Poisson{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	y, err := s.Yield(1.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, _ := s.TotalLambda(1.5)
+	if !almost(y, math.Exp(-l), 1e-12) {
+		t.Fatalf("stack yield = %v, want %v", y, math.Exp(-l))
+	}
+}
+
+func TestStackSystematicMultiplier(t *testing.T) {
+	s, err := UniformStack(2, 0.3, 0.5, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := s.Yield(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Systematic = 0.9
+	withSys, err := s.Yield(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(withSys, 0.9*base, 1e-12) {
+		t.Fatalf("systematic yield = %v, want %v", withSys, 0.9*base)
+	}
+}
+
+func TestStackDefaultsAndValidation(t *testing.T) {
+	s := Stack{Layers: []Layer{{Name: "m1", DefectDensity: 0.5, CriticalFraction: 0.4}}}
+	if _, err := s.Yield(1); err != nil {
+		t.Fatalf("zero-value defaults rejected: %v", err)
+	}
+	if err := (Stack{}).Validate(); err == nil {
+		t.Fatal("accepted empty stack")
+	}
+	bad := Stack{Layers: []Layer{{DefectDensity: -1}}}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("accepted negative defect density")
+	}
+	bad = Stack{Layers: []Layer{{CriticalFraction: 2}}}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("accepted critical fraction > 1")
+	}
+	bad = Stack{Layers: []Layer{{DefectDensity: 1, CriticalFraction: 0.5}}, Systematic: 1.5}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("accepted systematic yield > 1")
+	}
+	if _, err := s.Yield(-1); err == nil {
+		t.Fatal("accepted negative area")
+	}
+	if _, err := UniformStack(0, 1, 1, nil); err == nil {
+		t.Fatal("accepted zero layers")
+	}
+}
+
+func TestBiggerDieYieldsWorse(t *testing.T) {
+	s, err := UniformStack(5, 0.4, 0.5, NegBinomial{Alpha: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	small, err := s.Yield(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := s.Yield(2.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if big >= small {
+		t.Fatalf("2 cm² yield %v not below 0.5 cm² yield %v", big, small)
+	}
+}
+
+func TestDensityScaledStack(t *testing.T) {
+	// Shrinking the node (λ: 0.25 → 0.13) raises defect density; making
+	// the design denser (s_d: 300 → 150) raises the critical fraction.
+	// Both must reduce yield vs the reference.
+	ref, err := DensityScaledStack(5, 0.4, 0.5, 0.25, 0.25, 300, 300, 1.5, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shrunk, err := DensityScaledStack(5, 0.4, 0.5, 0.13, 0.25, 300, 300, 1.5, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	denser, err := DensityScaledStack(5, 0.4, 0.5, 0.25, 0.25, 150, 300, 1.5, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	yRef, _ := ref.Yield(1)
+	yShrunk, _ := shrunk.Yield(1)
+	yDenser, _ := denser.Yield(1)
+	if yShrunk >= yRef {
+		t.Fatalf("node shrink did not reduce yield: %v vs %v", yShrunk, yRef)
+	}
+	if yDenser >= yRef {
+		t.Fatalf("denser design did not reduce yield: %v vs %v", yDenser, yRef)
+	}
+}
+
+func TestDensityScaledStackClampsCF(t *testing.T) {
+	// Extreme density must clamp the critical fraction at 1, not exceed it.
+	s, err := DensityScaledStack(3, 0.4, 0.9, 0.25, 0.25, 3, 300, 1.5, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, l := range s.Layers {
+		if l.CriticalFraction > 1 {
+			t.Fatalf("critical fraction %v exceeds 1", l.CriticalFraction)
+		}
+	}
+}
+
+func TestDensityScaledStackValidation(t *testing.T) {
+	if _, err := DensityScaledStack(3, 0.4, 0.5, 0, 0.25, 300, 300, 1.5, nil); err == nil {
+		t.Fatal("accepted zero feature size")
+	}
+	if _, err := DensityScaledStack(3, 0.4, 0.5, 0.25, 0.25, 0, 300, 1.5, nil); err == nil {
+		t.Fatal("accepted zero s_d")
+	}
+}
+
+func TestLearningCurveMonotone(t *testing.T) {
+	c := DefaultLearningCurve()
+	prev := math.Inf(1)
+	for m := 0.0; m <= 48; m += 3 {
+		d0, err := c.DefectDensity(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d0 >= prev {
+			t.Fatalf("D0 not strictly decreasing at %v months", m)
+		}
+		if d0 < c.Floor {
+			t.Fatalf("D0 %v below floor %v", d0, c.Floor)
+		}
+		prev = d0
+	}
+	// Initial value at t = 0 and floor at t → ∞.
+	d0, _ := c.DefectDensity(0)
+	if !almost(d0, c.Initial, 1e-12) {
+		t.Fatalf("D0(0) = %v, want %v", d0, c.Initial)
+	}
+	d0, _ = c.DefectDensity(1000)
+	if !almost(d0, c.Floor, 1e-6) {
+		t.Fatalf("D0(∞) = %v, want %v", d0, c.Floor)
+	}
+}
+
+func TestLearningCurveNegativeTimeClamped(t *testing.T) {
+	c := DefaultLearningCurve()
+	a, _ := c.DefectDensity(-5)
+	b, _ := c.DefectDensity(0)
+	if a != b {
+		t.Fatalf("negative time not clamped: %v vs %v", a, b)
+	}
+}
+
+func TestLearningCurveValidation(t *testing.T) {
+	bad := []LearningCurve{
+		{Initial: -1, Floor: 0, Tau: 9},
+		{Initial: 1, Floor: 2, Tau: 9},
+		{Initial: 1, Floor: 0.1, Tau: 0},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("case %d: invalid curve %+v accepted", i, c)
+		}
+	}
+}
+
+func TestYieldAtImprovesWithAge(t *testing.T) {
+	c := DefaultLearningCurve()
+	early, err := c.YieldAt(1, 1.0, 0.5, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	late, err := c.YieldAt(24, 1.0, 0.5, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if late <= early {
+		t.Fatalf("yield did not improve with process age: %v vs %v", late, early)
+	}
+}
+
+func TestMonthsToYield(t *testing.T) {
+	c := DefaultLearningCurve()
+	months, err := c.MonthsToYield(0.7, 1.0, 0.5, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	y, err := c.YieldAt(months, 1.0, 0.5, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(y, 0.7, 1e-6) {
+		t.Fatalf("yield at %v months = %v, want 0.7", months, y)
+	}
+	// Already above target at bring-up → 0 months.
+	m0, err := c.MonthsToYield(0.01, 0.1, 0.1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m0 != 0 {
+		t.Fatalf("trivial target took %v months, want 0", m0)
+	}
+	// Unreachable target.
+	if _, err := c.MonthsToYield(0.999999, 10, 1, nil); err == nil {
+		t.Fatal("accepted unreachable target")
+	}
+}

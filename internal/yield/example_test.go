@@ -1,0 +1,68 @@
+package yield_test
+
+import (
+	"fmt"
+
+	"repro/internal/yield"
+)
+
+// The classical analytic models at one defect budget.
+func ExampleModel() {
+	lambda := 1.0 // one mean fatal defect per die
+	for _, m := range []yield.Model{
+		yield.Poisson{}, yield.Murphy{}, yield.Seeds{}, yield.NegBinomial{Alpha: 2},
+	} {
+		fmt.Printf("%-17s %.4f\n", m.Name(), m.Yield(lambda))
+	}
+	// Output:
+	// poisson           0.3679
+	// murphy            0.3996
+	// seeds             0.5000
+	// negbinomial(α=2)  0.4444
+}
+
+// A multi-layer process stack with a systematic yield multiplier.
+func ExampleStack_Yield() {
+	stack, err := yield.UniformStack(4, 0.3, 0.5, nil)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	stack.Systematic = 0.95
+	y, err := stack.Yield(1.0) // 1 cm² die
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("composite yield = %.4f\n", y)
+	// Output:
+	// composite yield = 0.5214
+}
+
+// Monte Carlo measurement against the matching analytic model.
+func ExampleSimulate() {
+	res, err := yield.Simulate(yield.SimConfig{
+		DiePerWafer: 400, Wafers: 200, Lambda: 0.8, Seed: 1,
+	})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	analytic := (yield.Poisson{}).Yield(0.8)
+	fmt.Printf("measured %.3f vs Poisson %.3f\n", res.Yield, analytic)
+	// Output:
+	// measured 0.449 vs Poisson 0.449
+}
+
+// Redundancy repair (ref [32]): spares rescue a dense fabric.
+func ExampleRedundancy_Yield() {
+	raw := (yield.Poisson{}).Yield(3)
+	repaired, err := (yield.Redundancy{Spares: 5}).Yield(3)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("raw %.3f, with 5 spares %.3f\n", raw, repaired)
+	// Output:
+	// raw 0.050, with 5 spares 0.916
+}

@@ -1,0 +1,109 @@
+package yield
+
+import (
+	"fmt"
+	"math"
+)
+
+// LearningCurve models yield learning over a process's life (ref [34],
+// "Advanced Yield Learning Through Predictive Micro-Yield Modeling"):
+// defect density declines exponentially from an initial bring-up value
+// toward a mature floor,
+//
+//	D0(t) = Floor + (Initial − Floor)·e^{−t/Tau}
+//
+// with t in months since process bring-up.
+type LearningCurve struct {
+	Initial float64 // D0 at t = 0, defects/cm²
+	Floor   float64 // mature D0, defects/cm²
+	Tau     float64 // learning time constant, months
+}
+
+// DefaultLearningCurve returns a curve typical of a logic process ramp:
+// 2.0 → 0.2 defects/cm² with a 9-month time constant.
+func DefaultLearningCurve() LearningCurve {
+	return LearningCurve{Initial: 2.0, Floor: 0.2, Tau: 9}
+}
+
+// Validate reports the first invalid field of c, or nil.
+func (c LearningCurve) Validate() error {
+	if c.Initial < 0 || c.Floor < 0 {
+		return fmt.Errorf("yield: learning curve densities must be non-negative, got initial %v floor %v", c.Initial, c.Floor)
+	}
+	if c.Floor > c.Initial {
+		return fmt.Errorf("yield: learning curve floor %v exceeds initial %v", c.Floor, c.Initial)
+	}
+	if c.Tau <= 0 {
+		return fmt.Errorf("yield: learning time constant must be positive, got %v", c.Tau)
+	}
+	return nil
+}
+
+// DefectDensity returns D0 at months since bring-up. Negative times are
+// clamped to 0 (the bring-up value).
+func (c LearningCurve) DefectDensity(months float64) (float64, error) {
+	if err := c.Validate(); err != nil {
+		return 0, err
+	}
+	if months < 0 {
+		months = 0
+	}
+	return c.Floor + (c.Initial-c.Floor)*math.Exp(-months/c.Tau), nil
+}
+
+// YieldAt returns the die yield at the given process age for a die of
+// areaCM2 with the given critical fraction, under model m (nil = Poisson).
+func (c LearningCurve) YieldAt(months, areaCM2, criticalFraction float64, m Model) (float64, error) {
+	d0, err := c.DefectDensity(months)
+	if err != nil {
+		return 0, err
+	}
+	if areaCM2 < 0 {
+		return 0, fmt.Errorf("yield: area must be non-negative, got %v", areaCM2)
+	}
+	if criticalFraction < 0 || criticalFraction > 1 {
+		return 0, fmt.Errorf("yield: critical fraction must be in [0,1], got %v", criticalFraction)
+	}
+	if m == nil {
+		m = Poisson{}
+	}
+	return m.Yield(d0 * criticalFraction * areaCM2), nil
+}
+
+// MonthsToYield returns the process age at which the yield for the given
+// die first reaches target. It returns an error when the target is not
+// reachable even at the mature floor.
+func (c LearningCurve) MonthsToYield(target, areaCM2, criticalFraction float64, m Model) (float64, error) {
+	if err := c.Validate(); err != nil {
+		return 0, err
+	}
+	if !(target > 0 && target < 1) {
+		return 0, fmt.Errorf("yield: target must be in (0,1), got %v", target)
+	}
+	if m == nil {
+		m = Poisson{}
+	}
+	atFloor := m.Yield(c.Floor * criticalFraction * areaCM2)
+	if atFloor < target {
+		return 0, fmt.Errorf("yield: target %v unreachable (mature yield %v)", target, atFloor)
+	}
+	at0 := m.Yield(c.Initial * criticalFraction * areaCM2)
+	if at0 >= target {
+		return 0, nil
+	}
+	// Y is monotone in t; binary search on months.
+	lo, hi := 0.0, 20*c.Tau
+	for i := 0; i < 200 && hi-lo > 1e-9; i++ {
+		mid := 0.5 * (lo + hi)
+		y, err := c.YieldAt(mid, areaCM2, criticalFraction, m)
+		if err != nil {
+			return 0, err
+		}
+		if y < target {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return 0.5 * (lo + hi), nil
+}

@@ -1,0 +1,170 @@
+// Package yield implements the manufacturing-yield substrate the paper's
+// cost models consume: the classical analytic yield models (Poisson,
+// Murphy, Seeds, negative binomial), multi-layer composition, yield
+// learning curves, defect size distributions with critical-area averaging,
+// and a Monte Carlo defect simulator that measures yield directly so the
+// analytic models can be validated against it (the DfM modeling capability
+// §3.1 calls for).
+package yield
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/stats"
+)
+
+// Model maps the mean number of fatal defects per die λ = D0·A_crit to a
+// yield in (0, 1]. Implementations must be monotonically decreasing in
+// lambda with Yield(0) = 1.
+type Model interface {
+	// Yield returns the probability that a die with mean fatal-defect
+	// count lambda is functional. lambda must be non-negative.
+	Yield(lambda float64) float64
+	// Name identifies the model in reports.
+	Name() string
+}
+
+// Poisson is the classical random-defect model Y = e^{−λ}, exact when
+// defects land independently and uniformly.
+type Poisson struct{}
+
+// Yield implements Model.
+func (Poisson) Yield(lambda float64) float64 { return math.Exp(-lambda) }
+
+// Name implements Model.
+func (Poisson) Name() string { return "poisson" }
+
+// Murphy is Murphy's model Y = ((1−e^{−λ})/λ)², the integral of the
+// Poisson yield over a triangular defect-density distribution. It sits
+// between Poisson and Seeds for all λ.
+type Murphy struct{}
+
+// Yield implements Model.
+func (Murphy) Yield(lambda float64) float64 {
+	if lambda == 0 {
+		return 1
+	}
+	v := (1 - math.Exp(-lambda)) / lambda
+	return v * v
+}
+
+// Name implements Model.
+func (Murphy) Name() string { return "murphy" }
+
+// Seeds is the exponential-mixture model Y = 1/(1+λ), the most pessimistic
+// classical form at low λ and most optimistic at high λ.
+type Seeds struct{}
+
+// Yield implements Model.
+func (Seeds) Yield(lambda float64) float64 { return 1 / (1 + lambda) }
+
+// Name implements Model.
+func (Seeds) Name() string { return "seeds" }
+
+// NegBinomial is the negative-binomial model
+//
+//	Y = (1 + λ/α)^{−α}
+//
+// where α is the defect clustering parameter: α→∞ recovers Poisson,
+// α = 1 recovers Seeds. Industrial practice uses α ≈ 0.3–5. This is the
+// model the paper's reference [31] ("New Yield Models for DSM
+// Manufacturing") generalizes.
+type NegBinomial struct {
+	Alpha float64
+}
+
+// Yield implements Model. It panics if Alpha <= 0, which indicates
+// construction-time programmer error.
+func (m NegBinomial) Yield(lambda float64) float64 {
+	if m.Alpha <= 0 {
+		panic("yield: NegBinomial requires Alpha > 0")
+	}
+	return math.Pow(1+lambda/m.Alpha, -m.Alpha)
+}
+
+// Name implements Model.
+func (m NegBinomial) Name() string { return fmt.Sprintf("negbinomial(α=%g)", m.Alpha) }
+
+// MurphyByIntegral evaluates Murphy's model from first principles by
+// integrating the Poisson yield over the triangular defect-density
+// distribution on [0, 2λ]. It exists to validate the closed form and to
+// support arbitrary mixing distributions via MixedYield.
+func MurphyByIntegral(lambda float64) (float64, error) {
+	if lambda < 0 {
+		return 0, fmt.Errorf("yield: lambda must be non-negative, got %v", lambda)
+	}
+	if lambda == 0 {
+		return 1, nil
+	}
+	// Triangular density on [0, 2λ] peaking at λ: f(x) = x/λ² on [0,λ],
+	// (2λ−x)/λ² on [λ,2λ].
+	up, err := stats.Integrate(func(x float64) float64 {
+		return math.Exp(-x) * x / (lambda * lambda)
+	}, 0, lambda, 1e-12)
+	if err != nil {
+		return 0, err
+	}
+	down, err := stats.Integrate(func(x float64) float64 {
+		return math.Exp(-x) * (2*lambda - x) / (lambda * lambda)
+	}, lambda, 2*lambda, 1e-12)
+	if err != nil {
+		return 0, err
+	}
+	return up + down, nil
+}
+
+// MixedYield integrates the Poisson yield over an arbitrary defect-rate
+// density f supported on [lo, hi]: Y = ∫ e^{−x} f(x) dx. The density need
+// not be normalized exactly; the result is divided by ∫ f to compensate
+// for numeric truncation of the support.
+func MixedYield(f func(float64) float64, lo, hi float64) (float64, error) {
+	if !(lo >= 0 && lo < hi) {
+		return 0, fmt.Errorf("yield: MixedYield requires 0 <= lo < hi, got [%v, %v]", lo, hi)
+	}
+	num, err := stats.Integrate(func(x float64) float64 { return math.Exp(-x) * f(x) }, lo, hi, 1e-11)
+	if err != nil {
+		return 0, err
+	}
+	den, err := stats.Integrate(f, lo, hi, 1e-11)
+	if err != nil {
+		return 0, err
+	}
+	if den <= 0 {
+		return 0, fmt.Errorf("yield: MixedYield density integrates to %v", den)
+	}
+	return num / den, nil
+}
+
+// Lambda returns the mean fatal defect count for a die of areaCM2 under
+// defect density d0 (defects per cm²). It returns an error for negative
+// inputs.
+func Lambda(d0, areaCM2 float64) (float64, error) {
+	if d0 < 0 {
+		return 0, fmt.Errorf("yield: defect density must be non-negative, got %v", d0)
+	}
+	if areaCM2 < 0 {
+		return 0, fmt.Errorf("yield: area must be non-negative, got %v", areaCM2)
+	}
+	return d0 * areaCM2, nil
+}
+
+// InvertLambda finds the λ at which model m produces the target yield,
+// searching [0, hi]. It returns an error when the target is outside (0, 1]
+// or unreachable on the interval. Cost studies use it to ask "what defect
+// budget keeps yield at Y?".
+func InvertLambda(m Model, target, hi float64) (float64, error) {
+	if !(target > 0 && target <= 1) {
+		return 0, fmt.Errorf("yield: target yield must be in (0,1], got %v", target)
+	}
+	if target == 1 {
+		return 0, nil
+	}
+	if hi <= 0 {
+		return 0, fmt.Errorf("yield: search bound must be positive, got %v", hi)
+	}
+	if m.Yield(hi) > target {
+		return 0, fmt.Errorf("yield: target %v unreachable below λ = %v for %s", target, hi, m.Name())
+	}
+	return stats.Bisect(func(l float64) float64 { return m.Yield(l) - target }, 0, hi, 1e-12)
+}

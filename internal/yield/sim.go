@@ -1,0 +1,145 @@
+package yield
+
+import (
+	"fmt"
+
+	"repro/internal/stats"
+)
+
+// SimConfig parameterizes the Monte Carlo defect simulator. The simulator
+// places fatal defects on virtual wafers and counts surviving die,
+// providing a measured yield to validate the analytic models against —
+// including clustered (negative binomial) regimes where intuition fails.
+type SimConfig struct {
+	DiePerWafer   int     // die sites per wafer
+	Wafers        int     // wafers to simulate
+	Lambda        float64 // mean fatal defects per die (D0 · A_crit)
+	ClusterAlpha  float64 // 0 = unclustered (pure Poisson); else gamma-mix α
+	WaferToWafer  bool    // cluster at wafer granularity (true) or die (false)
+	Seed          uint64  // RNG seed; same seed → identical result
+	SpatialRadius float64 // 0 = none; else radial D0 gradient strength in [0,1)
+}
+
+// Validate reports the first invalid field of c, or nil.
+func (c SimConfig) Validate() error {
+	if c.DiePerWafer <= 0 {
+		return fmt.Errorf("yield: sim: die per wafer must be positive, got %d", c.DiePerWafer)
+	}
+	if c.Wafers <= 0 {
+		return fmt.Errorf("yield: sim: wafer count must be positive, got %d", c.Wafers)
+	}
+	if c.Lambda < 0 {
+		return fmt.Errorf("yield: sim: lambda must be non-negative, got %v", c.Lambda)
+	}
+	if c.ClusterAlpha < 0 {
+		return fmt.Errorf("yield: sim: cluster alpha must be non-negative, got %v", c.ClusterAlpha)
+	}
+	if c.SpatialRadius < 0 || c.SpatialRadius >= 1 {
+		return fmt.Errorf("yield: sim: spatial gradient must be in [0,1), got %v", c.SpatialRadius)
+	}
+	return nil
+}
+
+// SimResult reports a Monte Carlo yield measurement.
+type SimResult struct {
+	Yield      float64 // fraction of functional die
+	StdErr     float64 // binomial-ish standard error from wafer-level spread
+	GoodDie    int
+	TotalDie   int
+	MeanLambda float64 // realized mean defect count per die
+}
+
+// Simulate runs the Monte Carlo experiment. Each die's fatal defect count
+// is Poisson with a rate that may be modulated by gamma-distributed
+// clustering (per wafer or per die) and a radial wafer-position gradient;
+// a die with zero fatal defects is good. The wafer-level yields provide
+// the standard error.
+func Simulate(c SimConfig) (SimResult, error) {
+	if err := c.Validate(); err != nil {
+		return SimResult{}, err
+	}
+	r := stats.NewRNG(c.Seed)
+	waferYields := make([]float64, 0, c.Wafers)
+	var good, total int
+	var lambdaSum float64
+	for w := 0; w < c.Wafers; w++ {
+		waferScale := 1.0
+		if c.ClusterAlpha > 0 && c.WaferToWafer {
+			waferScale = r.Gamma(c.ClusterAlpha, 1/c.ClusterAlpha)
+		}
+		goodOnWafer := 0
+		for d := 0; d < c.DiePerWafer; d++ {
+			rate := c.Lambda * waferScale
+			if c.ClusterAlpha > 0 && !c.WaferToWafer {
+				rate = c.Lambda * r.Gamma(c.ClusterAlpha, 1/c.ClusterAlpha)
+			}
+			if c.SpatialRadius > 0 {
+				// Die position: for a uniform position on the disk the
+				// squared radial fraction ρ² is uniform on [0,1], so a
+				// factor linear in ρ² grows toward the edge while keeping
+				// the mean rate exactly λ.
+				rho2 := r.Float64()
+				rate *= 1 + c.SpatialRadius*(2*rho2-1)
+			}
+			if rate < 0 {
+				rate = 0
+			}
+			lambdaSum += rate
+			if r.Poisson(rate) == 0 {
+				goodOnWafer++
+			}
+		}
+		good += goodOnWafer
+		total += c.DiePerWafer
+		waferYields = append(waferYields, float64(goodOnWafer)/float64(c.DiePerWafer))
+	}
+	res := SimResult{
+		Yield:      float64(good) / float64(total),
+		GoodDie:    good,
+		TotalDie:   total,
+		MeanLambda: lambdaSum / float64(total),
+	}
+	if len(waferYields) > 1 {
+		_, se, err := stats.MeanStderr(waferYields)
+		if err != nil {
+			return SimResult{}, err
+		}
+		res.StdErr = se
+	}
+	return res, nil
+}
+
+// CompareModels runs the simulator at each lambda and returns, for each
+// analytic model, the maximum absolute deviation between the model and the
+// measurement. Experiment X-2 prints these rows; tests assert that the
+// matching model (Poisson for unclustered, NegBinomial(α) for clustered)
+// tracks the simulation within sampling error.
+func CompareModels(lambdas []float64, models []Model, base SimConfig) (map[string][]float64, error) {
+	if len(lambdas) == 0 {
+		return nil, fmt.Errorf("yield: CompareModels requires at least one lambda")
+	}
+	if len(models) == 0 {
+		return nil, fmt.Errorf("yield: CompareModels requires at least one model")
+	}
+	out := make(map[string][]float64, len(models)+1)
+	measured := make([]float64, len(lambdas))
+	for i, l := range lambdas {
+		cfg := base
+		cfg.Lambda = l
+		cfg.Seed = base.Seed + uint64(i)*1000003
+		res, err := Simulate(cfg)
+		if err != nil {
+			return nil, err
+		}
+		measured[i] = res.Yield
+	}
+	out["measured"] = measured
+	for _, m := range models {
+		ys := make([]float64, len(lambdas))
+		for i, l := range lambdas {
+			ys[i] = m.Yield(l)
+		}
+		out[m.Name()] = ys
+	}
+	return out, nil
+}

@@ -1,0 +1,238 @@
+package yield
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"repro/internal/stats"
+)
+
+// WaferMap is a simulated pass/fail map of one or more wafers: die are
+// placed on a physical grid inside the usable radius, defect rates vary
+// radially and by clustering, and every die site records its good count
+// over the simulated lot. It connects the abstract yield models to the
+// spatial structure fab engineers actually look at.
+type WaferMap struct {
+	Cols, Rows int
+	// Good[r][c] counts passing die at the site over the lot; -1 marks
+	// sites outside the usable wafer.
+	Good   [][]int
+	Wafers int
+}
+
+// WaferMapConfig parameterizes SimulateWaferMap.
+type WaferMapConfig struct {
+	UsableRadiusMM float64 // wafer usable radius
+	DieWMM, DieHMM float64 // die dimensions
+	Lambda         float64 // mean fatal defects per die at wafer center scale 1
+	EdgeFactor     float64 // rate multiplier at the rim relative to center; 0 means 1 (flat)
+	ClusterAlpha   float64 // per-wafer gamma clustering; 0 = none
+	Wafers         int
+	Seed           uint64
+}
+
+// Validate reports the first invalid field of c, or nil.
+func (c WaferMapConfig) Validate() error {
+	switch {
+	case c.UsableRadiusMM <= 0:
+		return fmt.Errorf("yield: wafer map: usable radius must be positive, got %v", c.UsableRadiusMM)
+	case c.DieWMM <= 0 || c.DieHMM <= 0:
+		return fmt.Errorf("yield: wafer map: die dimensions must be positive, got %v×%v", c.DieWMM, c.DieHMM)
+	case c.Lambda < 0:
+		return fmt.Errorf("yield: wafer map: lambda must be non-negative, got %v", c.Lambda)
+	case c.EdgeFactor < 0:
+		return fmt.Errorf("yield: wafer map: edge factor must be non-negative, got %v", c.EdgeFactor)
+	case c.EdgeFactor > 0 && c.EdgeFactor < 1e-9:
+		return fmt.Errorf("yield: wafer map: edge factor %v too small; use 0 for flat", c.EdgeFactor)
+	case c.ClusterAlpha < 0:
+		return fmt.Errorf("yield: wafer map: cluster alpha must be non-negative, got %v", c.ClusterAlpha)
+	case c.Wafers <= 0:
+		return fmt.Errorf("yield: wafer map: wafer count must be positive, got %d", c.Wafers)
+	case c.DieWMM > 2*c.UsableRadiusMM || c.DieHMM > 2*c.UsableRadiusMM:
+		return fmt.Errorf("yield: wafer map: die larger than the wafer")
+	}
+	return nil
+}
+
+// SimulateWaferMap runs the spatial Monte Carlo. A die site is inside the
+// wafer when all four corners fall within the usable radius; its defect
+// rate is Lambda scaled linearly in its center's normalized radius toward
+// EdgeFactor at the rim, and by the wafer's gamma cluster draw.
+func SimulateWaferMap(c WaferMapConfig) (*WaferMap, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	r := stats.NewRNG(c.Seed)
+	cols := int(2 * c.UsableRadiusMM / c.DieWMM)
+	rows := int(2 * c.UsableRadiusMM / c.DieHMM)
+	if cols < 1 || rows < 1 {
+		return nil, fmt.Errorf("yield: wafer map: no die fits the usable area")
+	}
+	wm := &WaferMap{Cols: cols, Rows: rows, Wafers: c.Wafers}
+	wm.Good = make([][]int, rows)
+	inside := make([][]bool, rows)
+	r2 := c.UsableRadiusMM * c.UsableRadiusMM
+	originX := -float64(cols) / 2 * c.DieWMM
+	originY := -float64(rows) / 2 * c.DieHMM
+	for y := 0; y < rows; y++ {
+		wm.Good[y] = make([]int, cols)
+		inside[y] = make([]bool, cols)
+		for x := 0; x < cols; x++ {
+			x0 := originX + float64(x)*c.DieWMM
+			y0 := originY + float64(y)*c.DieHMM
+			ok := true
+			for _, cx := range []float64{x0, x0 + c.DieWMM} {
+				for _, cy := range []float64{y0, y0 + c.DieHMM} {
+					if cx*cx+cy*cy > r2 {
+						ok = false
+					}
+				}
+			}
+			inside[y][x] = ok
+			if !ok {
+				wm.Good[y][x] = -1
+			}
+		}
+	}
+	for w := 0; w < c.Wafers; w++ {
+		scale := 1.0
+		if c.ClusterAlpha > 0 {
+			scale = r.Gamma(c.ClusterAlpha, 1/c.ClusterAlpha)
+		}
+		for y := 0; y < rows; y++ {
+			for x := 0; x < cols; x++ {
+				if !inside[y][x] {
+					continue
+				}
+				cx := originX + (float64(x)+0.5)*c.DieWMM
+				cy := originY + (float64(y)+0.5)*c.DieHMM
+				rho := math.Sqrt(cx*cx+cy*cy) / c.UsableRadiusMM
+				edge := c.EdgeFactor
+				if edge == 0 {
+					edge = 1
+				}
+				rate := c.Lambda * scale * (1 + (edge-1)*rho)
+				if rate < 0 {
+					rate = 0
+				}
+				if r.Poisson(rate) == 0 {
+					wm.Good[y][x]++
+				}
+			}
+		}
+	}
+	return wm, nil
+}
+
+// Sites returns the number of die sites inside the usable wafer.
+func (m *WaferMap) Sites() int {
+	n := 0
+	for _, row := range m.Good {
+		for _, g := range row {
+			if g >= 0 {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// Yield returns the lot-level yield across all sites.
+func (m *WaferMap) Yield() float64 {
+	var good, total int
+	for _, row := range m.Good {
+		for _, g := range row {
+			if g >= 0 {
+				good += g
+				total += m.Wafers
+			}
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(good) / float64(total)
+}
+
+// ZonalYield splits the wafer into nZones equal-width radial annuli and
+// returns the yield of each from center outward. Zones with no sites
+// report NaN.
+func (m *WaferMap) ZonalYield(nZones int) ([]float64, error) {
+	if nZones <= 0 {
+		return nil, fmt.Errorf("yield: wafer map: zone count must be positive, got %d", nZones)
+	}
+	good := make([]int, nZones)
+	total := make([]int, nZones)
+	cx := float64(m.Cols) / 2
+	cy := float64(m.Rows) / 2
+	// Normalize by the max center distance of an inside site.
+	maxR := 0.0
+	type site struct {
+		zoneR float64
+		g     int
+	}
+	var sites []site
+	for y, row := range m.Good {
+		for x, g := range row {
+			if g < 0 {
+				continue
+			}
+			dx := (float64(x) + 0.5 - cx) / cx
+			dy := (float64(y) + 0.5 - cy) / cy
+			rr := math.Sqrt(dx*dx + dy*dy)
+			if rr > maxR {
+				maxR = rr
+			}
+			sites = append(sites, site{zoneR: rr, g: g})
+		}
+	}
+	if maxR == 0 {
+		maxR = 1
+	}
+	for _, s := range sites {
+		z := int(s.zoneR / maxR * float64(nZones))
+		if z >= nZones {
+			z = nZones - 1
+		}
+		good[z] += s.g
+		total[z] += m.Wafers
+	}
+	out := make([]float64, nZones)
+	for i := range out {
+		if total[i] == 0 {
+			out[i] = math.NaN()
+			continue
+		}
+		out[i] = float64(good[i]) / float64(total[i])
+	}
+	return out, nil
+}
+
+// Render draws the map as ASCII shading: '.' outside the wafer, then
+// '#', '+', '-', ' ' from best to worst site yield quartile.
+func (m *WaferMap) Render() string {
+	var b strings.Builder
+	for _, row := range m.Good {
+		for _, g := range row {
+			switch {
+			case g < 0:
+				b.WriteByte('.')
+			default:
+				f := float64(g) / float64(m.Wafers)
+				switch {
+				case f >= 0.75:
+					b.WriteByte('#')
+				case f >= 0.5:
+					b.WriteByte('+')
+				case f >= 0.25:
+					b.WriteByte('-')
+				default:
+					b.WriteByte(' ')
+				}
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,164 @@
+package yield
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func mapConfig() WaferMapConfig {
+	return WaferMapConfig{
+		UsableRadiusMM: 97,
+		DieWMM:         10, DieHMM: 10,
+		Lambda: 0.5,
+		Wafers: 50,
+		Seed:   5,
+	}
+}
+
+func TestSimulateWaferMapGeometry(t *testing.T) {
+	wm, err := SimulateWaferMap(mapConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sites := wm.Sites()
+	// 97 mm radius, 10 mm square die: between 200 and 290 whole die.
+	if sites < 200 || sites > 290 {
+		t.Fatalf("sites = %d, want 200–290", sites)
+	}
+	// Corners of the rectangular grid are outside the circle.
+	if wm.Good[0][0] != -1 || wm.Good[wm.Rows-1][wm.Cols-1] != -1 {
+		t.Fatal("corner sites not marked outside")
+	}
+	// Center is inside.
+	if wm.Good[wm.Rows/2][wm.Cols/2] < 0 {
+		t.Fatal("center site marked outside")
+	}
+}
+
+func TestWaferMapYieldMatchesPoisson(t *testing.T) {
+	c := mapConfig()
+	c.EdgeFactor = 1 // flat profile
+	c.Wafers = 200
+	wm, err := SimulateWaferMap(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := (Poisson{}).Yield(c.Lambda)
+	if math.Abs(wm.Yield()-want) > 0.01 {
+		t.Fatalf("flat-profile yield %v, Poisson %v", wm.Yield(), want)
+	}
+}
+
+func TestWaferMapEdgeGradient(t *testing.T) {
+	c := mapConfig()
+	c.EdgeFactor = 4 // rim four times dirtier
+	c.Wafers = 300
+	wm, err := SimulateWaferMap(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	zones, err := wm.ZonalYield(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(zones) != 3 {
+		t.Fatalf("zones = %d", len(zones))
+	}
+	if !(zones[0] > zones[1] && zones[1] > zones[2]) {
+		t.Fatalf("zonal yields not declining outward: %v", zones)
+	}
+	// The innermost zone still spans a third of the radius, so it sits
+	// between the clean-center ideal Y(λ) and the zone's worst case
+	// Y(λ·(1+3·1/3)) = Y(2λ).
+	if zones[0] > (Poisson{}).Yield(c.Lambda)+0.02 {
+		t.Fatalf("center zone %v above the clean-center ideal %v", zones[0], (Poisson{}).Yield(c.Lambda))
+	}
+	if zones[0] < (Poisson{}).Yield(2*c.Lambda)-0.02 {
+		t.Fatalf("center zone %v below its worst case %v", zones[0], (Poisson{}).Yield(2*c.Lambda))
+	}
+}
+
+func TestWaferMapFlatProfileNoGradient(t *testing.T) {
+	c := mapConfig()
+	c.EdgeFactor = 1
+	c.Wafers = 300
+	wm, err := SimulateWaferMap(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	zones, err := wm.ZonalYield(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(zones); i++ {
+		if math.Abs(zones[i]-zones[0]) > 0.03 {
+			t.Fatalf("flat profile shows zonal structure: %v", zones)
+		}
+	}
+}
+
+func TestWaferMapClusteringRaisesYield(t *testing.T) {
+	flat := mapConfig()
+	flat.Wafers = 300
+	base, err := SimulateWaferMap(flat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clustered := flat
+	clustered.ClusterAlpha = 0.5
+	cl, err := SimulateWaferMap(clustered)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cl.Yield() <= base.Yield() {
+		t.Fatalf("clustering did not raise yield: %v vs %v", cl.Yield(), base.Yield())
+	}
+	// And matches the NB prediction.
+	want := NegBinomial{Alpha: 0.5}.Yield(flat.Lambda)
+	if math.Abs(cl.Yield()-want) > 0.03 {
+		t.Fatalf("clustered yield %v, NB %v", cl.Yield(), want)
+	}
+}
+
+func TestWaferMapRender(t *testing.T) {
+	wm, err := SimulateWaferMap(mapConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := wm.Render()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != wm.Rows {
+		t.Fatalf("rendered %d lines for %d rows", len(lines), wm.Rows)
+	}
+	if !strings.Contains(out, ".") {
+		t.Fatal("no outside markers in render")
+	}
+	if !strings.ContainsAny(out, "#+- ") {
+		t.Fatal("no yield shading in render")
+	}
+}
+
+func TestWaferMapValidation(t *testing.T) {
+	bad := []WaferMapConfig{
+		{UsableRadiusMM: 0, DieWMM: 1, DieHMM: 1, Wafers: 1},
+		{UsableRadiusMM: 10, DieWMM: 0, DieHMM: 1, Wafers: 1},
+		{UsableRadiusMM: 10, DieWMM: 1, DieHMM: 1, Lambda: -1, Wafers: 1},
+		{UsableRadiusMM: 10, DieWMM: 1, DieHMM: 1, EdgeFactor: -1, Wafers: 1},
+		{UsableRadiusMM: 10, DieWMM: 1, DieHMM: 1, ClusterAlpha: -1, Wafers: 1},
+		{UsableRadiusMM: 10, DieWMM: 1, DieHMM: 1, Wafers: 0},
+		{UsableRadiusMM: 10, DieWMM: 50, DieHMM: 1, Wafers: 1},
+	}
+	for i, c := range bad {
+		if _, err := SimulateWaferMap(c); err == nil {
+			t.Errorf("case %d: invalid config accepted", i)
+		}
+	}
+	wm, err := SimulateWaferMap(mapConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := wm.ZonalYield(0); err == nil {
+		t.Fatal("accepted zero zones")
+	}
+}
