@@ -1,0 +1,33 @@
+GO ?= go
+
+.PHONY: all build vet test race bench bench-smoke check baseline
+
+all: check
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Full benchmark harness (every table/figure plus the serial-vs-parallel
+# hot-path pairs). Compare against BENCH_PR1.json.
+bench:
+	$(GO) test -bench=. -benchmem -count=1 .
+
+# Quick regression signal: one iteration of each benchmark.
+bench-smoke:
+	$(GO) test -run xxx -bench=. -benchtime=1x .
+
+# The gate run by CI and by scripts/check.sh.
+check: vet build race bench-smoke
+
+# Refresh the recorded benchmark baseline (writes BENCH_PR1.json).
+baseline:
+	./scripts/bench_baseline.sh BENCH_PR1.json

@@ -1,12 +1,15 @@
 package repro_test
 
 import (
+	"runtime"
 	"testing"
 
 	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/layout"
+	"repro/internal/parallel"
 	"repro/internal/regularity"
+	"repro/internal/stats"
 	"repro/internal/wafer"
 	"repro/internal/yield"
 )
@@ -401,3 +404,138 @@ func BenchmarkCriticalArea(b *testing.B) {
 		}
 	}
 }
+
+// Serial-vs-parallel pairs for the hot paths wired into the
+// internal/parallel engine. Each parallel variant first asserts
+// bit-identical output against the serial baseline (determinism is
+// enforced, not assumed), then measures throughput at all cores. Compare
+// with: go test -bench 'MonteCarlo(Serial|Parallel)' -benchmem
+
+const benchMCSamples = 100000
+
+func benchUncertain(b *testing.B) core.UncertainScenario {
+	b.Helper()
+	s, err := experiments.Figure4Scenario(experiments.Figure4Cases()[0], 0.18)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return core.UncertainScenario{
+		Base:  s,
+		Yield: core.Uniform(0.3, 0.9),
+		CmSq:  core.LogNormal(8, 1.4),
+		Sd:    core.Uniform(150, 600),
+	}
+}
+
+func BenchmarkMonteCarloSerial(b *testing.B) {
+	u := benchUncertain(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := u.MonteCarloRun(benchMCSamples, 1, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMonteCarloParallel(b *testing.B) {
+	u := benchUncertain(b)
+	ref, err := u.MonteCarloRun(benchMCSamples, 1, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, w := range []int{2, 4, runtime.NumCPU()} {
+		got, err := u.MonteCarloRun(benchMCSamples, 1, w)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if got.Redraws != ref.Redraws {
+			b.Fatalf("workers=%d: redraws diverge", w)
+		}
+		for i := range ref.Samples {
+			if got.Samples[i] != ref.Samples[i] {
+				b.Fatalf("workers=%d: sample %d diverges from serial", w, i)
+			}
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := u.MonteCarloRun(benchMCSamples, 1, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchWaferMapConfig(workers int) yield.WaferMapConfig {
+	return yield.WaferMapConfig{
+		UsableRadiusMM: 145,
+		DieWMM:         6, DieHMM: 6,
+		Lambda: 0.5, EdgeFactor: 3, ClusterAlpha: 1,
+		Wafers: 200, Seed: 9, Workers: workers,
+	}
+}
+
+func BenchmarkWaferMapSerial(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := yield.SimulateWaferMap(benchWaferMapConfig(1)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkWaferMapParallel(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := yield.SimulateWaferMap(benchWaferMapConfig(0)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchSweep(b *testing.B, workers int) {
+	b.Helper()
+	s, err := experiments.Figure4Scenario(experiments.Figure4Cases()[0], 0.18)
+	if err != nil {
+		b.Fatal(err)
+	}
+	parallel.SetDefaultWorkers(workers)
+	defer parallel.SetDefaultWorkers(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pts, err := core.SweepSd(s, 110, 2000, 2000)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(pts) != 2000 {
+			b.Fatal("short sweep")
+		}
+	}
+}
+
+func BenchmarkSweepSdSerial(b *testing.B)   { benchSweep(b, 1) }
+func BenchmarkSweepSdParallel(b *testing.B) { benchSweep(b, 0) }
+
+func benchDefectSim(b *testing.B, workers int) {
+	b.Helper()
+	l, err := layout.GenerateRandomLogic(layout.RandomLogicConfig{
+		Cells: 200, RowUtil: 0.7, RouteTracks: 4, Seed: 3,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := layout.DefectSimConfig{
+		Layer:       layout.Metal1,
+		MeanDefects: 2,
+		SizeSampler: func(r *stats.RNG) float64 { return r.Range(2, 10) },
+		Trials:      20000,
+		Seed:        11,
+		Workers:     workers,
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := layout.SimulateDefects(l, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDefectSimSerial(b *testing.B)   { benchDefectSim(b, 1) }
+func BenchmarkDefectSimParallel(b *testing.B) { benchDefectSim(b, 0) }

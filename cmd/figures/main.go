@@ -16,6 +16,7 @@ import (
 	"strings"
 
 	"repro/internal/experiments"
+	"repro/internal/parallel"
 	"repro/internal/report"
 	"repro/internal/yield"
 )
@@ -24,7 +25,9 @@ func main() {
 	only := flag.String("only", "", "regenerate a single artifact (tablea1, fig1…fig4, x1…x22)")
 	csv := flag.Bool("csv", false, "emit CSV instead of rendered tables/figures")
 	list := flag.Bool("list", false, "list every artifact with its title and exit")
+	workers := flag.Int("workers", 0, "worker goroutines for simulations and sweeps (0 = all cores); artifacts are identical for any value")
 	flag.Parse()
+	parallel.SetDefaultWorkers(*workers)
 
 	if *list {
 		for _, a := range experiments.Manifest() {

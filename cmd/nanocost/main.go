@@ -18,6 +18,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/maskcost"
+	"repro/internal/parallel"
 	"repro/internal/report"
 )
 
@@ -35,8 +36,10 @@ func main() {
 		sweep   = flag.String("sweep-sd", "", "sweep s_d as lo:hi:points and print the curve")
 		withTst = flag.Bool("testcost", false, "include the §2.5 cost of test in the breakdown")
 		mc      = flag.Int("mc", 0, "run N Monte Carlo samples with default input uncertainty")
+		workers = flag.Int("workers", 0, "worker goroutines for sweeps and Monte Carlo (0 = all cores); results are identical for any value")
 	)
 	flag.Parse()
+	parallel.SetDefaultWorkers(*workers)
 
 	if err := run(*lambda, *sd, *ntr, *wafers, *yld, *cmsq, *util, *mask, *optimiz, *sweep, *withTst, *mc); err != nil {
 		fmt.Fprintf(os.Stderr, "nanocost: %v\n", err)
@@ -81,6 +84,10 @@ func run(lambda, sd, ntr, wafers, yld, cmsq, util, mask float64, optimize bool, 
 		}
 		fmt.Printf("Monte Carlo (%d samples): p5 $%s  p50 $%s  p95 $%s per transistor\n",
 			q.N, report.Num(q.P5), report.Num(q.P50), report.Num(q.P95))
+		if q.Redraws > 0 {
+			fmt.Printf("note: %d joint draws (%.1f%%) fell outside the model domain and were redrawn — quantiles describe the domain-truncated distribution\n",
+				q.Redraws, 100*float64(q.Redraws)/float64(q.N+q.Redraws))
+		}
 		return nil
 
 	case sweep != "":

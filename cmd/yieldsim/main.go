@@ -11,28 +11,31 @@ import (
 	"fmt"
 	"os"
 
+	"repro/internal/parallel"
 	"repro/internal/report"
 	"repro/internal/yield"
 )
 
 func main() {
 	var (
-		d0     = flag.Float64("d0", 0.5, "defect density, defects/cm²")
-		area   = flag.Float64("area", 1.0, "critical area per die, cm²")
-		alpha  = flag.Float64("alpha", 0, "clustering α (0 = unclustered)")
-		die    = flag.Int("die", 400, "die per wafer")
-		wafers = flag.Int("wafers", 200, "wafers to simulate")
-		seed   = flag.Uint64("seed", 1, "RNG seed")
+		d0      = flag.Float64("d0", 0.5, "defect density, defects/cm²")
+		area    = flag.Float64("area", 1.0, "critical area per die, cm²")
+		alpha   = flag.Float64("alpha", 0, "clustering α (0 = unclustered)")
+		die     = flag.Int("die", 400, "die per wafer")
+		wafers  = flag.Int("wafers", 200, "wafers to simulate")
+		seed    = flag.Uint64("seed", 1, "RNG seed")
+		workers = flag.Int("workers", 0, "simulation goroutines (0 = all cores); results are identical for any value")
 	)
 	flag.Parse()
 
-	if err := run(*d0, *area, *alpha, *die, *wafers, *seed); err != nil {
+	parallel.SetDefaultWorkers(*workers)
+	if err := run(*d0, *area, *alpha, *die, *wafers, *seed, *workers); err != nil {
 		fmt.Fprintf(os.Stderr, "yieldsim: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(d0, area, alpha float64, die, wafers int, seed uint64) error {
+func run(d0, area, alpha float64, die, wafers int, seed uint64, workers int) error {
 	lambda, err := yield.Lambda(d0, area)
 	if err != nil {
 		return err
@@ -43,6 +46,7 @@ func run(d0, area, alpha float64, die, wafers int, seed uint64) error {
 		Lambda:       lambda,
 		ClusterAlpha: alpha,
 		Seed:         seed,
+		Workers:      workers,
 	})
 	if err != nil {
 		return err

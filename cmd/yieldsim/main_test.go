@@ -3,31 +3,31 @@ package main
 import "testing"
 
 func TestRunUnclustered(t *testing.T) {
-	if err := run(0.5, 1.0, 0, 100, 50, 1); err != nil {
+	if err := run(0.5, 1.0, 0, 100, 50, 1, 0); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunClustered(t *testing.T) {
-	if err := run(0.5, 1.5, 0.8, 100, 50, 2); err != nil {
+	if err := run(0.5, 1.5, 0.8, 100, 50, 2, 0); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunRejectsBadInputs(t *testing.T) {
-	if err := run(-1, 1, 0, 100, 50, 1); err == nil {
+	if err := run(-1, 1, 0, 100, 50, 1, 0); err == nil {
 		t.Fatal("accepted negative defect density")
 	}
-	if err := run(0.5, -1, 0, 100, 50, 1); err == nil {
+	if err := run(0.5, -1, 0, 100, 50, 1, 0); err == nil {
 		t.Fatal("accepted negative area")
 	}
-	if err := run(0.5, 1, 0, 0, 50, 1); err == nil {
+	if err := run(0.5, 1, 0, 0, 50, 1, 0); err == nil {
 		t.Fatal("accepted zero die per wafer")
 	}
-	if err := run(0.5, 1, 0, 100, 0, 1); err == nil {
+	if err := run(0.5, 1, 0, 100, 0, 1, 0); err == nil {
 		t.Fatal("accepted zero wafers")
 	}
-	if err := run(0.5, 1, -1, 100, 50, 1); err == nil {
+	if err := run(0.5, 1, -1, 100, 50, 1, 0); err == nil {
 		t.Fatal("accepted negative alpha")
 	}
 }

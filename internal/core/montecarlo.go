@@ -1,10 +1,12 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
 
+	"repro/internal/parallel"
 	"repro/internal/stats"
 )
 
@@ -93,47 +95,123 @@ func orFixed(d Dist, fallback float64) Dist {
 	return d
 }
 
-// CostQuantiles summarizes a Monte Carlo cost study.
+// CostQuantiles summarizes a Monte Carlo cost study. Redraws reports how
+// many joint draws were rejected for landing outside the model domain —
+// the study's truncation diagnostic (see MonteCarloRun).
 type CostQuantiles struct {
-	Mean float64
-	P5   float64
-	P50  float64
-	P95  float64
-	N    int
+	Mean    float64
+	P5      float64
+	P50     float64
+	P95     float64
+	N       int
+	Redraws int
 }
 
+// MCRun is the raw outcome of a Monte Carlo propagation: the accepted
+// cost samples in ascending order plus the rejection statistics needed to
+// judge how hard the domain truncation bit.
+type MCRun struct {
+	// Samples holds the n accepted cost draws, sorted ascending. For a
+	// given (n, seed) the contents are bit-identical for every worker
+	// count, including 1.
+	Samples []float64
+	// Redraws counts rejected joint draws across the whole run. The
+	// acceptance probability is estimated by n/(n+Redraws); the sampled
+	// law is the input joint conditioned on the model domain, and the
+	// total-variation distance between that truncated joint and the
+	// unconditioned one is exactly the per-draw rejection probability,
+	// estimated by Redraws/(n+Redraws). A large value means the quantiles
+	// describe a materially truncated distribution — inspect it before
+	// trusting the tails.
+	Redraws int
+}
+
+// mcChunkSize fixes the Monte Carlo sharding granularity. Chunk
+// boundaries and their RNG streams depend only on (n, seed) — never on
+// the worker count — which is what makes parallel results bit-identical
+// to serial ones.
+const mcChunkSize = 4096
+
+// mcMaxAttempts bounds the per-sample redraw loop. With per-draw
+// acceptance probability p, a sample exhausts the loop with probability
+// (1−p)^64 — below 1e-6 for any p ≥ 0.2 — at which point the run errors
+// out rather than silently biasing the output.
+const mcMaxAttempts = 64
+
 // MonteCarlo propagates the input distributions through eq (4) and
-// returns quantiles of the transistor cost. Samples that land outside the
-// model's domain (yield ≤ 0, s_d ≤ s_d0, …) are redrawn, up to a bounded
-// number of attempts per sample.
+// returns quantiles of the transistor cost, using the default worker
+// count. Samples that land outside the model's domain (yield ≤ 0,
+// s_d ≤ s_d0, …) are redrawn up to a bounded number of attempts per
+// sample, and the total redraw count is reported.
 func (u UncertainScenario) MonteCarlo(n int, seed uint64) (CostQuantiles, error) {
-	costs, err := u.MonteCarloSamples(n, seed)
+	run, err := u.MonteCarloRun(n, seed, 0)
 	if err != nil {
 		return CostQuantiles{}, err
 	}
 	var sum float64
-	for _, c := range costs {
+	for _, c := range run.Samples {
 		sum += c
 	}
 	return CostQuantiles{
-		Mean: sum / float64(n),
-		P5:   stats.Quantile(costs, 0.05),
-		P50:  stats.Quantile(costs, 0.50),
-		P95:  stats.Quantile(costs, 0.95),
-		N:    n,
+		Mean:    sum / float64(n),
+		P5:      stats.Quantile(run.Samples, 0.05),
+		P50:     stats.Quantile(run.Samples, 0.50),
+		P95:     stats.Quantile(run.Samples, 0.95),
+		N:       n,
+		Redraws: run.Redraws,
 	}, nil
 }
 
 // MonteCarloSamples runs the same propagation and returns the raw cost
 // samples in ascending order, for histogramming and custom risk metrics.
 func (u UncertainScenario) MonteCarloSamples(n int, seed uint64) ([]float64, error) {
-	if n <= 0 {
-		return nil, fmt.Errorf("core: MonteCarlo requires positive sample count, got %d", n)
-	}
-	if err := u.Base.Validate(); err != nil {
+	run, err := u.MonteCarloRun(n, seed, 0)
+	if err != nil {
 		return nil, err
 	}
-	dists := []Dist{
+	return run.Samples, nil
+}
+
+// drawOnce samples one full joint input vector and evaluates eq (4).
+// A draw is rejected as a unit: on failure the entire vector is redrawn,
+// which is the unbiased truncation of the joint distribution to the model
+// domain (redrawing only the offending coordinate would condition each
+// input on the others' rejected values and skew the joint). The
+// consequence — every accepted marginal is conditioned on joint validity
+// — is quantified by the caller via the redraw count rather than hidden.
+func (u UncertainScenario) drawOnce(r *stats.RNG, dists *[5]Dist) (float64, bool) {
+	s := u.Base
+	y := dists[0].Sample(r)
+	if y > 1 {
+		y = 1
+	}
+	s.Process.Yield = y
+	s.Process.CostPerCM2 = dists[1].Sample(r)
+	s.Design.Sd = dists[2].Sample(r)
+	s.Wafers = dists[3].Sample(r)
+	s.MaskCost = dists[4].Sample(r)
+	b, err := s.TransistorCost()
+	if err != nil {
+		return 0, false
+	}
+	return b.Total, true
+}
+
+// MonteCarloRun is the engine underneath MonteCarlo and
+// MonteCarloSamples: it shards the n samples into fixed chunks of
+// mcChunkSize, drives each chunk from its own guaranteed-disjoint RNG
+// sub-stream (stats.RNG.SplitN), and evaluates chunks on up to `workers`
+// goroutines (workers <= 0 uses parallel.DefaultWorkers). Because the
+// sharding and the streams depend only on (n, seed), the sorted output is
+// bit-identical for every worker count.
+func (u UncertainScenario) MonteCarloRun(n int, seed uint64, workers int) (MCRun, error) {
+	if n <= 0 {
+		return MCRun{}, fmt.Errorf("core: MonteCarlo requires positive sample count, got %d", n)
+	}
+	if err := u.Base.Validate(); err != nil {
+		return MCRun{}, err
+	}
+	dists := [5]Dist{
 		orFixed(u.Yield, u.Base.Process.Yield),
 		orFixed(u.CmSq, u.Base.Process.CostPerCM2),
 		orFixed(u.Sd, u.Base.Design.Sd),
@@ -142,40 +220,42 @@ func (u UncertainScenario) MonteCarloSamples(n int, seed uint64) ([]float64, err
 	}
 	for _, d := range dists {
 		if err := d.Validate(); err != nil {
-			return nil, err
+			return MCRun{}, err
 		}
 	}
-	r := stats.NewRNG(seed)
-	costs := make([]float64, 0, n)
-	for i := 0; i < n; i++ {
-		var total float64
-		ok := false
-		for attempt := 0; attempt < 64; attempt++ {
-			s := u.Base
-			y := dists[0].Sample(r)
-			if y > 1 {
-				y = 1
+	chunks := parallel.Chunks(n, mcChunkSize)
+	streams := stats.NewRNG(seed).SplitN(chunks)
+	costs := make([]float64, n)
+	redraws := make([]int, chunks)
+	err := parallel.ForEachChunk(context.Background(), n, mcChunkSize, workers, func(chunk, lo, hi int) error {
+		r := streams[chunk]
+		for i := lo; i < hi; i++ {
+			ok := false
+			for attempt := 0; attempt < mcMaxAttempts; attempt++ {
+				total, accepted := u.drawOnce(r, &dists)
+				if accepted {
+					costs[i] = total
+					ok = true
+					break
+				}
+				redraws[chunk]++
 			}
-			s.Process.Yield = y
-			s.Process.CostPerCM2 = dists[1].Sample(r)
-			s.Design.Sd = dists[2].Sample(r)
-			s.Wafers = dists[3].Sample(r)
-			s.MaskCost = dists[4].Sample(r)
-			b, err := s.TransistorCost()
-			if err != nil {
-				continue
+			if !ok {
+				return fmt.Errorf("core: MonteCarlo could not draw a valid sample in %d attempts (distributions mostly outside the model domain; %d rejected draws in this chunk alone)",
+					mcMaxAttempts, redraws[chunk])
 			}
-			total = b.Total
-			ok = true
-			break
 		}
-		if !ok {
-			return nil, fmt.Errorf("core: MonteCarlo could not draw a valid sample (distributions mostly outside the model domain)")
-		}
-		costs = append(costs, total)
+		return nil
+	})
+	if err != nil {
+		return MCRun{}, err
+	}
+	total := 0
+	for _, c := range redraws {
+		total += c
 	}
 	sort.Float64s(costs)
-	return costs, nil
+	return MCRun{Samples: costs, Redraws: total}, nil
 }
 
 // TornadoBar is one input's leverage on the transistor cost: the cost at

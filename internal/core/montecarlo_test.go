@@ -218,3 +218,85 @@ func TestTornadoValidation(t *testing.T) {
 		t.Fatal("accepted invalid scenario")
 	}
 }
+
+func TestMonteCarloDeterministicAcrossWorkers(t *testing.T) {
+	s := figure4Scenario(5000, 0.8)
+	u := UncertainScenario{
+		Base:  s,
+		Yield: Uniform(0.3, 0.9),
+		CmSq:  LogNormal(8, 1.4),
+		Sd:    Uniform(150, 600),
+	}
+	const n, seed = 10000, 42
+	ref, err := u.MonteCarloRun(n, seed, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 4, 8} {
+		got, err := u.MonteCarloRun(n, seed, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Redraws != ref.Redraws {
+			t.Fatalf("workers=%d: redraws = %d, serial = %d", workers, got.Redraws, ref.Redraws)
+		}
+		if len(got.Samples) != len(ref.Samples) {
+			t.Fatalf("workers=%d: %d samples, serial %d", workers, len(got.Samples), len(ref.Samples))
+		}
+		for i := range ref.Samples {
+			// Bit-identical, not approximately equal.
+			if got.Samples[i] != ref.Samples[i] {
+				t.Fatalf("workers=%d: sample %d = %x, serial %x", workers, i, got.Samples[i], ref.Samples[i])
+			}
+		}
+	}
+}
+
+func TestMonteCarloReportsRedraws(t *testing.T) {
+	s := figure4Scenario(5000, 0.8)
+	// Half the s_d mass sits below s_d0, so a large share of joint draws
+	// must be rejected — and that truncation must be visible to callers.
+	u := UncertainScenario{Base: s, Sd: Uniform(50, 400)}
+	q, err := u.MonteCarlo(2000, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Redraws == 0 {
+		t.Fatal("rejections occurred but Redraws = 0")
+	}
+	// Acceptance ≈ the fraction of [50,400] above s_d0 (~105): ~84%. The
+	// reported redraw share must land in a loose band around 1−p.
+	share := float64(q.Redraws) / float64(q.N+q.Redraws)
+	if share < 0.05 || share > 0.40 {
+		t.Fatalf("redraw share = %v, want ≈0.16", share)
+	}
+	// A fully in-domain study reports zero redraws.
+	clean := UncertainScenario{Base: s, Yield: Uniform(0.5, 0.9)}
+	q2, err := clean.MonteCarlo(500, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q2.Redraws != 0 {
+		t.Fatalf("in-domain study reports %d redraws", q2.Redraws)
+	}
+}
+
+func TestMonteCarloSamplesSpanChunkBoundary(t *testing.T) {
+	// n above mcChunkSize exercises the multi-chunk path even serially;
+	// the sample count must still be exact.
+	s := figure4Scenario(5000, 0.8)
+	u := UncertainScenario{Base: s, Yield: Uniform(0.3, 0.9)}
+	n := mcChunkSize + 17
+	samples, err := u.MonteCarloSamples(n, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(samples) != n {
+		t.Fatalf("samples = %d, want %d", len(samples), n)
+	}
+	for i := 1; i < len(samples); i++ {
+		if samples[i] < samples[i-1] {
+			t.Fatal("samples not sorted")
+		}
+	}
+}

@@ -1,9 +1,11 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 
+	"repro/internal/parallel"
 	"repro/internal/stats"
 )
 
@@ -87,6 +89,12 @@ func SweepVolume(s Scenario, lo, hi float64, n int) ([]SweepPoint, error) {
 	})
 }
 
+// sweepLog evaluates the cost model on n logarithmically spaced grid
+// points. The grid is materialized up front (sequential multiplication,
+// so the abscissas are bit-identical to the historical serial sweep) and
+// the evaluations fan out over the default worker pool; eval must
+// therefore be pure. Results land in index-addressed slots, so the output
+// ordering is independent of scheduling.
 func sweepLog(lo, hi float64, n int, eval func(float64) (Breakdown, error)) ([]SweepPoint, error) {
 	if !(lo < hi) {
 		return nil, fmt.Errorf("core: sweep requires lo < hi, got [%v, %v]", lo, hi)
@@ -94,21 +102,23 @@ func sweepLog(lo, hi float64, n int, eval func(float64) (Breakdown, error)) ([]S
 	if n < 2 {
 		return nil, fmt.Errorf("core: sweep requires at least 2 points, got %d", n)
 	}
-	pts := make([]SweepPoint, 0, n)
+	xs := make([]float64, n)
 	ratio := math.Pow(hi/lo, 1/float64(n-1))
 	x := lo
 	for i := 0; i < n; i++ {
 		if i == n-1 {
 			x = hi // avoid drift on the terminal point
 		}
-		b, err := eval(x)
-		if err != nil {
-			return nil, err
-		}
-		pts = append(pts, SweepPoint{X: x, Breakdown: b})
+		xs[i] = x
 		x *= ratio
 	}
-	return pts, nil
+	return parallel.Map(context.Background(), n, 0, func(i int) (SweepPoint, error) {
+		b, err := eval(xs[i])
+		if err != nil {
+			return SweepPoint{}, err
+		}
+		return SweepPoint{X: xs[i], Breakdown: b}, nil
+	})
 }
 
 // CrossoverVolume finds the production volume N_w (wafers) at which two
@@ -137,7 +147,11 @@ func CrossoverVolume(a, b Scenario, loWafers, hiWafers float64) (float64, error)
 		return ba.Total - bb.Total
 	}
 	lo, hi := math.Log(loWafers), math.Log(hiWafers)
-	dlo, dhi := diff(lo), diff(hi)
+	var dlo, dhi float64
+	_ = parallel.Do(context.Background(),
+		func() error { dlo = diff(lo); return nil },
+		func() error { dhi = diff(hi); return nil },
+	)
 	if math.IsNaN(dlo) || math.IsNaN(dhi) {
 		return 0, fmt.Errorf("core: CrossoverVolume: cost undefined at interval endpoint")
 	}

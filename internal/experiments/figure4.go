@@ -1,10 +1,12 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/core"
 	"repro/internal/maskcost"
+	"repro/internal/parallel"
 	"repro/internal/report"
 )
 
@@ -72,23 +74,31 @@ func Figure4(c Figure4Case, points int) ([]Figure4Curve, *report.Figure, error) 
 		YLabel: "C_tr ($/transistor)",
 		LogY:   true,
 	}
-	var curves []Figure4Curve
-	for _, lam := range figure4Nodes {
+	// The λ nodes are independent panels of work (each a sweep plus an
+	// optimization), so they fan out over the worker pool; results land
+	// in node order, keeping the figure's series order stable.
+	curves, err := parallel.Map(context.Background(), len(figure4Nodes), 0, func(i int) (Figure4Curve, error) {
+		lam := figure4Nodes[i]
 		s, err := Figure4Scenario(c, lam)
 		if err != nil {
-			return nil, nil, err
+			return Figure4Curve{}, err
 		}
 		pts, err := core.SweepSd(s, 105, 2000, points)
 		if err != nil {
-			return nil, nil, err
+			return Figure4Curve{}, err
 		}
 		opt, err := core.OptimalSd(s, 2000)
 		if err != nil {
-			return nil, nil, err
+			return Figure4Curve{}, err
 		}
-		curves = append(curves, Figure4Curve{LambdaUM: lam, Points: pts, Optimum: opt})
-		series := report.Series{Name: fmt.Sprintf("λ=%.2fµm (opt s_d=%.0f)", lam, opt.Sd)}
-		for _, p := range pts {
+		return Figure4Curve{LambdaUM: lam, Points: pts, Optimum: opt}, nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	for _, cv := range curves {
+		series := report.Series{Name: fmt.Sprintf("λ=%.2fµm (opt s_d=%.0f)", cv.LambdaUM, cv.Optimum.Sd)}
+		for _, p := range cv.Points {
 			series.X = append(series.X, p.X)
 			series.Y = append(series.Y, p.Breakdown.Total)
 		}

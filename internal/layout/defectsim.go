@@ -1,9 +1,11 @@
 package layout
 
 import (
+	"context"
 	"fmt"
 	"math"
 
+	"repro/internal/parallel"
 	"repro/internal/stats"
 )
 
@@ -16,9 +18,10 @@ import (
 type DefectSimConfig struct {
 	Layer       Layer
 	MeanDefects float64                  // mean defects per die per Monte Carlo trial
-	SizeSampler func(*stats.RNG) float64 // defect diameter in λ
+	SizeSampler func(*stats.RNG) float64 // defect diameter in λ; must be pure (called concurrently)
 	Trials      int
 	Seed        uint64
+	Workers     int // simulation goroutines; <= 0 uses parallel.DefaultWorkers
 }
 
 // Validate reports the first invalid field of c, or nil.
@@ -44,9 +47,18 @@ type DefectSimResult struct {
 	MeanDefects  float64 // realized defects per trial
 }
 
+// defectSimChunk fixes the trial sharding granularity: chunk boundaries
+// and their RNG streams depend only on (Trials, Seed), so the measured
+// yield is bit-identical for every worker count.
+const defectSimChunk = 1024
+
 // SimulateDefects runs the geometric Monte Carlo: per trial (die), a
 // Poisson number of defects land uniformly on the bounding box with
 // sampled diameters; the die dies if any defect is fatal per IsFatal.
+// Trials are sharded into fixed chunks, each driven by its own
+// guaranteed-disjoint RNG sub-stream (stats.RNG.SplitN) and evaluated on
+// the worker pool; tallies fold in chunk order, so the result depends
+// only on the config.
 func SimulateDefects(l *Layout, c DefectSimConfig) (DefectSimResult, error) {
 	if err := l.Validate(); err != nil {
 		return DefectSimResult{}, err
@@ -54,24 +66,38 @@ func SimulateDefects(l *Layout, c DefectSimConfig) (DefectSimResult, error) {
 	if err := c.Validate(); err != nil {
 		return DefectSimResult{}, err
 	}
-	r := stats.NewRNG(c.Seed)
 	rects := l.LayerRects(c.Layer)
-	var killed, totalDefects int
-	for t := 0; t < c.Trials; t++ {
-		n := r.Poisson(c.MeanDefects)
-		totalDefects += n
-		dead := false
-		for d := 0; d < n && !dead; d++ {
-			x := r.Range(0, float64(l.Width))
-			y := r.Range(0, float64(l.Height))
-			size := c.SizeSampler(r)
-			if IsFatal(rects, x, y, size) {
-				dead = true
+	chunks := parallel.Chunks(c.Trials, defectSimChunk)
+	streams := stats.NewRNG(c.Seed).SplitN(chunks)
+	type tally struct{ killed, defects int }
+	counts := make([]tally, chunks)
+	err := parallel.ForEachChunk(context.Background(), c.Trials, defectSimChunk, c.Workers, func(chunk, lo, hi int) error {
+		r := streams[chunk]
+		for t := lo; t < hi; t++ {
+			n := r.Poisson(c.MeanDefects)
+			counts[chunk].defects += n
+			dead := false
+			for d := 0; d < n && !dead; d++ {
+				x := r.Range(0, float64(l.Width))
+				y := r.Range(0, float64(l.Height))
+				size := c.SizeSampler(r)
+				if IsFatal(rects, x, y, size) {
+					dead = true
+				}
+			}
+			if dead {
+				counts[chunk].killed++
 			}
 		}
-		if dead {
-			killed++
-		}
+		return nil
+	})
+	if err != nil {
+		return DefectSimResult{}, err
+	}
+	var killed, totalDefects int
+	for _, t := range counts {
+		killed += t.killed
+		totalDefects += t.defects
 	}
 	res := DefectSimResult{
 		Trials: c.Trials, TrialsKilled: killed,

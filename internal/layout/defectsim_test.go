@@ -150,3 +150,29 @@ func TestSimulateDefectsValidation(t *testing.T) {
 		t.Fatal("accepted invalid layout")
 	}
 }
+
+func TestSimulateDefectsDeterministicAcrossWorkers(t *testing.T) {
+	l := twoWires(4)
+	cfg := DefectSimConfig{
+		Layer:       Metal1,
+		MeanDefects: 2.0,
+		SizeSampler: func(r *stats.RNG) float64 { return r.Range(2, 8) },
+		Trials:      5000,
+		Seed:        23,
+	}
+	cfg.Workers = 1
+	ref, err := SimulateDefects(l, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 4, 8} {
+		cfg.Workers = workers
+		got, err := SimulateDefects(l, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != ref {
+			t.Fatalf("workers=%d: %+v, serial %+v", workers, got, ref)
+		}
+	}
+}

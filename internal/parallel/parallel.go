@@ -1,0 +1,220 @@
+// Package parallel is the repository's deterministic parallel execution
+// engine: a bounded worker pool with ForEach/Map/MapReduce primitives,
+// context cancellation and first-error propagation.
+//
+// The package exists to make the Monte Carlo, wafer-map, sweep and layout
+// hot paths scale with cores without giving up reproducibility. The
+// contract every caller relies on is:
+//
+//   - Work is partitioned by index (or by fixed-size chunk), never by
+//     worker, so the partitioning depends only on the problem size.
+//   - Results are written into index-addressed slots and reductions run
+//     in index order after the pool drains, so the output is byte-identical
+//     for any worker count, including 1.
+//   - Randomized work derives one RNG stream per index/chunk from the
+//     caller's seed (see stats.RNG.SplitN and stats.StreamSeed), never a
+//     shared stream, so scheduling order cannot leak into the numbers.
+//
+// Worker counts resolve as: explicit positive value → itself; 0 or
+// negative → the package default, which starts at runtime.NumCPU() and can
+// be overridden globally (e.g. by a CLI -workers flag) via SetDefaultWorkers.
+package parallel
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// defaultWorkers holds the global default worker count; 0 means
+// runtime.NumCPU() resolved at call time.
+var defaultWorkers atomic.Int64
+
+// DefaultWorkers returns the current default worker count: the value set
+// by SetDefaultWorkers, or runtime.NumCPU() when unset.
+func DefaultWorkers() int {
+	if n := defaultWorkers.Load(); n > 0 {
+		return int(n)
+	}
+	return runtime.NumCPU()
+}
+
+// SetDefaultWorkers overrides the process-wide default worker count used
+// when a caller passes workers <= 0. Passing n <= 0 resets to
+// runtime.NumCPU(). CLI entry points call this from their -workers flag.
+func SetDefaultWorkers(n int) {
+	if n < 0 {
+		n = 0
+	}
+	defaultWorkers.Store(int64(n))
+}
+
+// Resolve maps a caller-provided worker count to the effective one:
+// positive values pass through, everything else resolves to the default.
+func Resolve(workers int) int {
+	if workers > 0 {
+		return workers
+	}
+	return DefaultWorkers()
+}
+
+// panicError carries a recovered worker panic back to the caller's
+// goroutine, where it is re-raised so parallel code panics exactly like
+// its serial equivalent would.
+type panicError struct{ value any }
+
+func (p panicError) Error() string { return fmt.Sprintf("parallel: worker panic: %v", p.value) }
+
+// run executes fn(i) for i in [0, n) on up to `workers` goroutines using an
+// atomic work counter, honoring ctx and stopping early on the first error.
+// It returns the first error observed (by stop order, not index order).
+func run(ctx context.Context, n, workers int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	workers = Resolve(workers)
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		// Serial fast path: no goroutines, no atomics, same semantics.
+		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var (
+		next    atomic.Int64
+		stopped atomic.Bool
+		errOnce sync.Once
+		first   error
+		wg      sync.WaitGroup
+	)
+	record := func(err error) {
+		errOnce.Do(func() { first = err })
+		stopped.Store(true)
+	}
+	worker := func() {
+		defer wg.Done()
+		defer func() {
+			if r := recover(); r != nil {
+				record(panicError{value: r})
+			}
+		}()
+		for {
+			if stopped.Load() {
+				return
+			}
+			if err := ctx.Err(); err != nil {
+				record(err)
+				return
+			}
+			i := int(next.Add(1)) - 1
+			if i >= n {
+				return
+			}
+			if err := fn(i); err != nil {
+				record(err)
+				return
+			}
+		}
+	}
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go worker()
+	}
+	wg.Wait()
+	if pe, ok := first.(panicError); ok {
+		panic(pe.value)
+	}
+	return first
+}
+
+// ForEach executes fn(i) for every i in [0, n) on up to `workers`
+// goroutines (workers <= 0 uses the package default). The first error
+// cancels remaining work and is returned; a worker panic is re-raised on
+// the calling goroutine. fn must be safe to call concurrently and should
+// write only to index-owned state if determinism matters.
+func ForEach(ctx context.Context, n, workers int, fn func(i int) error) error {
+	return run(ctx, n, workers, fn)
+}
+
+// Chunks returns the number of fixed-size chunks covering n items, which
+// depends only on (n, chunkSize) — never on the worker count. Callers use
+// it to pre-derive one RNG stream per chunk.
+func Chunks(n, chunkSize int) int {
+	if n <= 0 || chunkSize <= 0 {
+		return 0
+	}
+	return (n + chunkSize - 1) / chunkSize
+}
+
+// ForEachChunk partitions [0, n) into fixed chunks of chunkSize items and
+// executes fn(chunk, lo, hi) for each half-open range [lo, hi). Chunk
+// boundaries depend only on (n, chunkSize), so per-chunk RNG streams give
+// results independent of the worker count.
+func ForEachChunk(ctx context.Context, n, chunkSize, workers int, fn func(chunk, lo, hi int) error) error {
+	if chunkSize <= 0 {
+		return fmt.Errorf("parallel: chunk size must be positive, got %d", chunkSize)
+	}
+	chunks := Chunks(n, chunkSize)
+	return run(ctx, chunks, workers, func(c int) error {
+		lo := c * chunkSize
+		hi := lo + chunkSize
+		if hi > n {
+			hi = n
+		}
+		return fn(c, lo, hi)
+	})
+}
+
+// Map evaluates fn(i) for i in [0, n) in parallel and returns the results
+// in index order, so the output slice is identical for any worker count.
+func Map[T any](ctx context.Context, n, workers int, fn func(i int) (T, error)) ([]T, error) {
+	out := make([]T, n)
+	err := run(ctx, n, workers, func(i int) error {
+		v, err := fn(i)
+		if err != nil {
+			return err
+		}
+		out[i] = v
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// MapReduce evaluates fn(i) in parallel and folds the results with reduce
+// strictly in index order: acc = reduce(acc, fn(0)), then fn(1), … — so
+// non-associative or floating-point reductions are still deterministic.
+func MapReduce[T, R any](ctx context.Context, n, workers int, zero R, fn func(i int) (T, error), reduce func(acc R, v T) R) (R, error) {
+	vals, err := Map(ctx, n, workers, fn)
+	if err != nil {
+		var r R
+		return r, err
+	}
+	acc := zero
+	for _, v := range vals {
+		acc = reduce(acc, v)
+	}
+	return acc, nil
+}
+
+// Do runs the given functions concurrently (bounded by the default worker
+// count) and returns the first error. It is the two-or-three-task
+// convenience used by e.g. CrossoverVolume's endpoint evaluations.
+func Do(ctx context.Context, fns ...func() error) error {
+	return run(ctx, len(fns), 0, func(i int) error { return fns[i]() })
+}

@@ -180,8 +180,84 @@ func (r *RNG) Perm(n int) []int {
 	return p
 }
 
-// Split derives an independent generator from r's stream, for experiments
-// that need multiple decorrelated streams from a single seed.
+// Split derives a decorrelated generator from r's stream by reseeding a
+// fresh generator (via SplitMix64) from r's next output.
+//
+// Guarantees: the child is fully determined by r's state, so Split is
+// reproducible; the SplitMix64 expansion makes the child's state
+// well-mixed even though it derives from a single 64-bit draw. What Split
+// does NOT guarantee is stream disjointness — two children could in
+// principle land on overlapping segments of the xoshiro256** cycle,
+// with probability ~k²·L/2²⁵⁶ for k children each consuming L values
+// (astronomically small, but not structural). Callers that need a hard
+// non-overlap guarantee — per-chunk streams in the parallel Monte Carlo
+// engine — should use SplitN, which walks the cycle with Jump instead.
 func (r *RNG) Split() *RNG {
 	return NewRNG(r.Uint64())
+}
+
+// jumpPoly is the xoshiro256** jump polynomial: applying it advances the
+// generator by exactly 2^128 steps of the underlying cycle.
+var jumpPoly = [4]uint64{0x180ec6d33cfd0aba, 0xd5a61266f0c9392c, 0xa9582618e03fc9aa, 0x39abdc4529b1661c}
+
+// Jump advances r by 2^128 steps in O(256) time. Successive Jump calls
+// partition the generator's 2^256−1 cycle into non-overlapping blocks of
+// 2^128 values each: a stream captured before a Jump and the stream after
+// it can never collide as long as each draws fewer than 2^128 values —
+// a structural guarantee, not a probabilistic one.
+func (r *RNG) Jump() {
+	var s0, s1, s2, s3 uint64
+	for _, jp := range jumpPoly {
+		for b := 0; b < 64; b++ {
+			if jp&(1<<uint(b)) != 0 {
+				s0 ^= r.s[0]
+				s1 ^= r.s[1]
+				s2 ^= r.s[2]
+				s3 ^= r.s[3]
+			}
+			r.Uint64()
+		}
+	}
+	r.s[0], r.s[1], r.s[2], r.s[3] = s0, s1, s2, s3
+}
+
+// SplitN returns k generators occupying consecutive 2^128-length blocks
+// of r's cycle, and advances r past all of them. Stream i is the state of
+// r after i jumps, so the layout depends only on r's state and k — the
+// deterministic sub-stream construction the parallel engine uses to make
+// Monte Carlo results bit-identical across worker counts. Unlike Split,
+// the returned streams are guaranteed non-overlapping provided each draws
+// fewer than 2^128 values. It panics if k <= 0.
+func (r *RNG) SplitN(k int) []*RNG {
+	if k <= 0 {
+		panic("stats: SplitN requires positive k")
+	}
+	out := make([]*RNG, k)
+	for i := 0; i < k; i++ {
+		c := *r
+		out[i] = &c
+		r.Jump()
+	}
+	return out
+}
+
+// StreamSeed mixes a base seed with a path of identifiers (wafer index,
+// row index, chunk number, …) into a new seed via SplitMix64 steps, for
+// keyed sub-streams where the stream count is not known up front. The
+// mixing is deterministic and avalanching, so adjacent ids give unrelated
+// seeds; disjointness of the resulting generators is probabilistic (as
+// with Split), which is ample for the statistical workloads here.
+func StreamSeed(seed uint64, ids ...uint64) uint64 {
+	z := seed
+	mix := func(v uint64) {
+		z += v + 0x9e3779b97f4a7c15
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		z ^= z >> 31
+	}
+	mix(0) // decorrelate from the raw seed even with no ids
+	for _, id := range ids {
+		mix(id)
+	}
+	return z
 }

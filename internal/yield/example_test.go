@@ -51,7 +51,7 @@ func ExampleSimulate() {
 	analytic := (yield.Poisson{}).Yield(0.8)
 	fmt.Printf("measured %.3f vs Poisson %.3f\n", res.Yield, analytic)
 	// Output:
-	// measured 0.449 vs Poisson 0.449
+	// measured 0.450 vs Poisson 0.449
 }
 
 // Redundancy repair (ref [32]): spares rescue a dense fabric.

@@ -1,8 +1,10 @@
 package yield
 
 import (
+	"context"
 	"fmt"
 
+	"repro/internal/parallel"
 	"repro/internal/stats"
 )
 
@@ -18,6 +20,7 @@ type SimConfig struct {
 	WaferToWafer  bool    // cluster at wafer granularity (true) or die (false)
 	Seed          uint64  // RNG seed; same seed → identical result
 	SpatialRadius float64 // 0 = none; else radial D0 gradient strength in [0,1)
+	Workers       int     // simulation goroutines; <= 0 uses parallel.DefaultWorkers
 }
 
 // Validate reports the first invalid field of c, or nil.
@@ -54,20 +57,26 @@ type SimResult struct {
 // clustering (per wafer or per die) and a radial wafer-position gradient;
 // a die with zero fatal defects is good. The wafer-level yields provide
 // the standard error.
+//
+// Wafers are simulated in parallel, each from its own RNG sub-stream
+// keyed by stats.StreamSeed, and the per-wafer tallies are folded in
+// wafer order, so the result depends only on the config — never the
+// worker count.
 func Simulate(c SimConfig) (SimResult, error) {
 	if err := c.Validate(); err != nil {
 		return SimResult{}, err
 	}
-	r := stats.NewRNG(c.Seed)
-	waferYields := make([]float64, 0, c.Wafers)
-	var good, total int
-	var lambdaSum float64
-	for w := 0; w < c.Wafers; w++ {
+	type waferTally struct {
+		good      int
+		lambdaSum float64
+	}
+	tallies, err := parallel.Map(context.Background(), c.Wafers, c.Workers, func(w int) (waferTally, error) {
+		r := stats.NewRNG(stats.StreamSeed(c.Seed, uint64(w)))
 		waferScale := 1.0
 		if c.ClusterAlpha > 0 && c.WaferToWafer {
 			waferScale = r.Gamma(c.ClusterAlpha, 1/c.ClusterAlpha)
 		}
-		goodOnWafer := 0
+		var t waferTally
 		for d := 0; d < c.DiePerWafer; d++ {
 			rate := c.Lambda * waferScale
 			if c.ClusterAlpha > 0 && !c.WaferToWafer {
@@ -84,14 +93,24 @@ func Simulate(c SimConfig) (SimResult, error) {
 			if rate < 0 {
 				rate = 0
 			}
-			lambdaSum += rate
+			t.lambdaSum += rate
 			if r.Poisson(rate) == 0 {
-				goodOnWafer++
+				t.good++
 			}
 		}
-		good += goodOnWafer
+		return t, nil
+	})
+	if err != nil {
+		return SimResult{}, err
+	}
+	waferYields := make([]float64, 0, c.Wafers)
+	var good, total int
+	var lambdaSum float64
+	for _, t := range tallies {
+		good += t.good
 		total += c.DiePerWafer
-		waferYields = append(waferYields, float64(goodOnWafer)/float64(c.DiePerWafer))
+		lambdaSum += t.lambdaSum
+		waferYields = append(waferYields, float64(t.good)/float64(c.DiePerWafer))
 	}
 	res := SimResult{
 		Yield:      float64(good) / float64(total),

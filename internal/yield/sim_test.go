@@ -226,3 +226,25 @@ func TestCompareModels(t *testing.T) {
 		t.Fatal("accepted empty model list")
 	}
 }
+
+func TestSimulateDeterministicAcrossWorkers(t *testing.T) {
+	c := SimConfig{
+		DiePerWafer: 150, Wafers: 40, Lambda: 0.9,
+		ClusterAlpha: 0.8, WaferToWafer: true, SpatialRadius: 0.3, Seed: 17,
+	}
+	c.Workers = 1
+	ref, err := Simulate(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 4, 8} {
+		c.Workers = workers
+		got, err := Simulate(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != ref {
+			t.Fatalf("workers=%d: %+v, serial %+v", workers, got, ref)
+		}
+	}
+}

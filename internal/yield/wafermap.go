@@ -1,10 +1,12 @@
 package yield
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"strings"
 
+	"repro/internal/parallel"
 	"repro/internal/stats"
 )
 
@@ -30,6 +32,7 @@ type WaferMapConfig struct {
 	ClusterAlpha   float64 // per-wafer gamma clustering; 0 = none
 	Wafers         int
 	Seed           uint64
+	Workers        int // simulation goroutines; <= 0 uses parallel.DefaultWorkers
 }
 
 // Validate reports the first invalid field of c, or nil.
@@ -59,11 +62,16 @@ func (c WaferMapConfig) Validate() error {
 // wafer when all four corners fall within the usable radius; its defect
 // rate is Lambda scaled linearly in its center's normalized radius toward
 // EdgeFactor at the rim, and by the wafer's gamma cluster draw.
+//
+// The simulation is parallelized across wafer rows: each (wafer, row)
+// pair draws from its own RNG sub-stream keyed by stats.StreamSeed, and
+// per-wafer cluster scales come from a dedicated wafer-level stream, so
+// the map depends only on the config — never the worker count or
+// scheduling order — and every row is owned by exactly one goroutine.
 func SimulateWaferMap(c WaferMapConfig) (*WaferMap, error) {
 	if err := c.Validate(); err != nil {
 		return nil, err
 	}
-	r := stats.NewRNG(c.Seed)
 	cols := int(2 * c.UsableRadiusMM / c.DieWMM)
 	rows := int(2 * c.UsableRadiusMM / c.DieHMM)
 	if cols < 1 || rows < 1 {
@@ -95,12 +103,23 @@ func SimulateWaferMap(c WaferMapConfig) (*WaferMap, error) {
 			}
 		}
 	}
-	for w := 0; w < c.Wafers; w++ {
-		scale := 1.0
+	// Per-wafer cluster scales draw from a dedicated wafer-level stream so
+	// they are independent of the per-row site streams.
+	scales := make([]float64, c.Wafers)
+	wr := stats.NewRNG(stats.StreamSeed(c.Seed))
+	for w := range scales {
+		scales[w] = 1.0
 		if c.ClusterAlpha > 0 {
-			scale = r.Gamma(c.ClusterAlpha, 1/c.ClusterAlpha)
+			scales[w] = wr.Gamma(c.ClusterAlpha, 1/c.ClusterAlpha)
 		}
-		for y := 0; y < rows; y++ {
+	}
+	edge := c.EdgeFactor
+	if edge == 0 {
+		edge = 1
+	}
+	err := parallel.ForEach(context.Background(), rows, c.Workers, func(y int) error {
+		for w := 0; w < c.Wafers; w++ {
+			r := stats.NewRNG(stats.StreamSeed(c.Seed, uint64(w), uint64(y)))
 			for x := 0; x < cols; x++ {
 				if !inside[y][x] {
 					continue
@@ -108,11 +127,7 @@ func SimulateWaferMap(c WaferMapConfig) (*WaferMap, error) {
 				cx := originX + (float64(x)+0.5)*c.DieWMM
 				cy := originY + (float64(y)+0.5)*c.DieHMM
 				rho := math.Sqrt(cx*cx+cy*cy) / c.UsableRadiusMM
-				edge := c.EdgeFactor
-				if edge == 0 {
-					edge = 1
-				}
-				rate := c.Lambda * scale * (1 + (edge-1)*rho)
+				rate := c.Lambda * scales[w] * (1 + (edge-1)*rho)
 				if rate < 0 {
 					rate = 0
 				}
@@ -121,6 +136,10 @@ func SimulateWaferMap(c WaferMapConfig) (*WaferMap, error) {
 				}
 			}
 		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return wm, nil
 }

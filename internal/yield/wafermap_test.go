@@ -162,3 +162,32 @@ func TestWaferMapValidation(t *testing.T) {
 		t.Fatal("accepted zero zones")
 	}
 }
+
+func TestSimulateWaferMapDeterministicAcrossWorkers(t *testing.T) {
+	c := mapConfig()
+	c.ClusterAlpha = 0.7
+	c.EdgeFactor = 3
+	c.Workers = 1
+	ref, err := SimulateWaferMap(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 4, 8} {
+		c.Workers = workers
+		got, err := SimulateWaferMap(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Rows != ref.Rows || got.Cols != ref.Cols {
+			t.Fatalf("workers=%d: geometry changed", workers)
+		}
+		for y := range ref.Good {
+			for x := range ref.Good[y] {
+				if got.Good[y][x] != ref.Good[y][x] {
+					t.Fatalf("workers=%d: site (%d,%d) = %d, serial %d",
+						workers, y, x, got.Good[y][x], ref.Good[y][x])
+				}
+			}
+		}
+	}
+}

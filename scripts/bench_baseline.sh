@@ -1,0 +1,36 @@
+#!/bin/sh
+# bench_baseline.sh [out.json] — run the full benchmark harness
+# (go test -bench=. -benchmem -count=1) and record the results as JSON:
+# metadata plus one entry per benchmark line. Diff future runs against
+# the committed BENCH_PR1.json to spot hot-path regressions.
+set -eu
+cd "$(dirname "$0")/.."
+out="${1:-BENCH_PR1.json}"
+
+tmp="$(mktemp)"
+trap 'rm -f "$tmp"' EXIT
+go test -bench=. -benchmem -count=1 -timeout 60m . | tee "$tmp" >&2
+
+{
+  printf '{\n'
+  printf '  "date": "%s",\n' "$(date -u +%Y-%m-%dT%H:%M:%SZ)"
+  printf '  "go": "%s",\n' "$(go env GOVERSION)"
+  printf '  "goos": "%s",\n' "$(go env GOOS)"
+  printf '  "goarch": "%s",\n' "$(go env GOARCH)"
+  printf '  "ncpu": %s,\n' "$(nproc 2>/dev/null || sysctl -n hw.ncpu)"
+  printf '  "command": "go test -bench=. -benchmem -count=1",\n'
+  printf '  "benchmarks": [\n'
+  awk '/^Benchmark/ {
+    gsub(/"/, "");
+    line = $0;
+    if (n++) printf ",\n";
+    printf "    {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s", $1, $2, $3;
+    if (match(line, /[0-9.]+ B\/op/))  { v = substr(line, RSTART, RLENGTH); sub(/ B\/op/, "", v);  printf ", \"bytes_per_op\": %s", v }
+    if (match(line, /[0-9]+ allocs\/op/)) { v = substr(line, RSTART, RLENGTH); sub(/ allocs\/op/, "", v); printf ", \"allocs_per_op\": %s", v }
+    printf "}";
+  }
+  END { printf "\n" }' "$tmp"
+  printf '  ]\n'
+  printf '}\n'
+} > "$out"
+echo "baseline written to $out" >&2

@@ -1,0 +1,20 @@
+#!/bin/sh
+# check.sh — the repository's verification gate: vet, build, race-enabled
+# tests, and a one-iteration benchmark smoke so a broken benchmark fails
+# fast. Equivalent to `make check` for environments without make.
+set -eu
+cd "$(dirname "$0")/.."
+
+echo "== go vet ==" >&2
+go vet ./...
+
+echo "== go build ==" >&2
+go build ./...
+
+echo "== go test -race ==" >&2
+go test -race ./...
+
+echo "== bench smoke (1 iteration each) ==" >&2
+go test -run xxx -bench=. -benchtime=1x .
+
+echo "check: all gates passed" >&2
