@@ -1,6 +1,7 @@
 GO ?= go
+BASE ?= BENCH_PR2.json
 
-.PHONY: all build vet test race bench bench-smoke check baseline
+.PHONY: all build vet test race bench bench-smoke bench-compare check baseline
 
 all: check
 
@@ -17,7 +18,7 @@ race:
 	$(GO) test -race ./...
 
 # Full benchmark harness (every table/figure plus the serial-vs-parallel
-# hot-path pairs). Compare against BENCH_PR1.json.
+# hot-path pairs). Compare against the recorded BENCH_PR*.json baselines.
 bench:
 	$(GO) test -bench=. -benchmem -count=1 .
 
@@ -25,9 +26,15 @@ bench:
 bench-smoke:
 	$(GO) test -run xxx -bench=. -benchtime=1x .
 
+# Full benchmark run gated against a recorded baseline: fails when a
+# pinned hot-path benchmark regresses >20% bytes/op. Override the
+# baseline with BASE=, e.g. `make bench-compare BASE=BENCH_PR1.json`.
+bench-compare:
+	./scripts/bench_compare.sh $(BASE)
+
 # The gate run by CI and by scripts/check.sh.
 check: vet build race bench-smoke
 
-# Refresh the recorded benchmark baseline (writes BENCH_PR1.json).
+# Refresh the recorded benchmark baseline (writes $(BASE)).
 baseline:
-	./scripts/bench_baseline.sh BENCH_PR1.json
+	./scripts/bench_baseline.sh $(BASE)

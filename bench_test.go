@@ -7,6 +7,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/layout"
+	"repro/internal/memo"
 	"repro/internal/parallel"
 	"repro/internal/regularity"
 	"repro/internal/stats"
@@ -124,6 +125,10 @@ func BenchmarkUtilization(b *testing.B) {
 }
 
 func BenchmarkRegularity(b *testing.B) {
+	if _, _, err := experiments.RegularityStudy(1); err != nil { // warm pools + style layouts
+		b.Fatal(err)
+	}
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		rows, _, err := experiments.RegularityStudy(uint64(i + 1))
 		if err != nil {
@@ -167,6 +172,10 @@ func BenchmarkMaskAmortization(b *testing.B) {
 }
 
 func BenchmarkLayoutDensity(b *testing.B) {
+	if _, _, err := experiments.LayoutDensityStudy(1); err != nil { // warm pools + style layouts
+		b.Fatal(err)
+	}
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		rows, _, err := experiments.LayoutDensityStudy(uint64(i + 1))
 		if err != nil {
@@ -382,6 +391,9 @@ func BenchmarkRegularityScan(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	if _, err := regularity.Analyze(l, 60); err != nil { // warm the scanner pool
+		b.Fatal(err)
+	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := regularity.Analyze(l, 60); err != nil {
@@ -397,9 +409,81 @@ func BenchmarkCriticalArea(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	if _, err := layout.CriticalArea(l, layout.Metal1, 4); err != nil { // warm the evaluator pool
+		b.Fatal(err)
+	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := layout.CriticalArea(l, layout.Metal1, 4); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkUnionArea(b *testing.B) {
+	l, err := layout.GenerateRandomLogic(layout.RandomLogicConfig{
+		Cells: 200, RowUtil: 0.7, RouteTracks: 4, Seed: 3,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if layout.UnionArea(l.Rects) <= 0 { // warm the scratch pool
+		b.Fatal("empty union")
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if layout.UnionArea(l.Rects) <= 0 {
+			b.Fatal("empty union")
+		}
+	}
+}
+
+// benchCurveSizes is the defect-size grid shared by the cached
+// critical-area benchmarks: cold measures one full extraction + curve
+// evaluation per iteration (the memo fill path), warm measures the steady
+// state the layout-vs-yield studies live in (pure cache hits).
+func benchCurveSizes() []float64 {
+	sizes := make([]float64, 64)
+	for i := range sizes {
+		sizes[i] = 0.5 + float64(i)*0.5
+	}
+	return sizes
+}
+
+func BenchmarkCriticalAreaCachedCold(b *testing.B) {
+	l, err := layout.GenerateRandomLogic(layout.RandomLogicConfig{
+		Cells: 200, RowUtil: 0.7, RouteTracks: 4, Seed: 3,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	sizes := benchCurveSizes()
+	if _, err := layout.CriticalAreaCurveCached(l, layout.Metal1, sizes); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		memo.PurgeAll()
+		if _, err := layout.CriticalAreaCurveCached(l, layout.Metal1, sizes); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCriticalAreaCachedWarm(b *testing.B) {
+	l, err := layout.GenerateRandomLogic(layout.RandomLogicConfig{
+		Cells: 200, RowUtil: 0.7, RouteTracks: 4, Seed: 3,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	sizes := benchCurveSizes()
+	if _, err := layout.CriticalAreaCurveCached(l, layout.Metal1, sizes); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := layout.CriticalAreaCurveCached(l, layout.Metal1, sizes); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -1,0 +1,258 @@
+// Command benchcmp compares a benchmark run against a recorded baseline
+// (the JSON written by scripts/bench_baseline.sh) and fails when the
+// bytes/op of a pinned hot-path benchmark regresses past the threshold.
+// It is the repo's no-dependency stand-in for benchstat's delta gate,
+// wired into `make bench-compare BASE=BENCH_PR2.json`.
+//
+// The new run is read either from a second baseline JSON or from raw
+// `go test -bench -benchmem` text (file or stdin), so both of these work:
+//
+//	go test -bench=. -benchmem . | benchcmp -base BENCH_PR2.json
+//	benchcmp -base BENCH_PR1.json -new BENCH_PR2.json
+//
+// Only benchmarks present in BOTH the pinned set and both runs are
+// gated; everything else shared between the runs is reported
+// informationally. A regression must exceed the relative threshold AND
+// the absolute slack (bytes) to fail, so noise on near-zero-alloc
+// kernels cannot trip the gate.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// result is one benchmark measurement. bytesPerOp is absent (-1) for
+// benchmarks run without -benchmem.
+type result struct {
+	name       string
+	nsPerOp    float64
+	bytesPerOp float64
+}
+
+// baselineFile mirrors the JSON layout of scripts/bench_baseline.sh.
+type baselineFile struct {
+	Ncpu                     int    `json:"ncpu"`
+	ParallelPairsInformative *bool  `json:"parallel_pairs_informative"`
+	ParallelPairsNote        string `json:"parallel_pairs_note"`
+	Benchmarks               []struct {
+		Name        string   `json:"name"`
+		NsPerOp     float64  `json:"ns_per_op"`
+		BytesPerOp  *float64 `json:"bytes_per_op"`
+		AllocsPerOp *float64 `json:"allocs_per_op"`
+	} `json:"benchmarks"`
+}
+
+// defaultPinned is the memory-sensitive kernel set gated on bytes/op.
+// Benchmarks absent from either run are skipped (older baselines predate
+// some of them), so extending this list is always safe.
+var defaultPinned = []string{
+	"BenchmarkLayoutYield",
+	"BenchmarkLayoutDensity",
+	"BenchmarkRegularity",
+	"BenchmarkRegularityScan",
+	"BenchmarkCriticalArea",
+	"BenchmarkCriticalAreaCachedCold",
+	"BenchmarkCriticalAreaCachedWarm",
+	"BenchmarkUnionArea",
+	"BenchmarkWaferMap",
+	"BenchmarkMonteCarloYield",
+}
+
+func main() {
+	var (
+		base      = flag.String("base", "", "baseline JSON written by scripts/bench_baseline.sh (required)")
+		newRun    = flag.String("new", "-", "new run: baseline JSON, go-test bench text, or - for stdin")
+		threshold = flag.Float64("threshold", 0.20, "relative bytes/op regression that fails the gate")
+		slack     = flag.Float64("slack", 4096, "absolute bytes/op increase a regression must also exceed")
+		pin       = flag.String("pin", "", "comma-separated pinned benchmark list (default: built-in hot-path set)")
+	)
+	flag.Parse()
+	if *base == "" {
+		fmt.Fprintln(os.Stderr, "benchcmp: -base is required")
+		os.Exit(2)
+	}
+	pinned := defaultPinned
+	if *pin != "" {
+		pinned = strings.Split(*pin, ",")
+	}
+	if err := run(*base, *newRun, *threshold, *slack, pinned); err != nil {
+		fmt.Fprintf(os.Stderr, "benchcmp: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(basePath, newPath string, threshold, slack float64, pinned []string) error {
+	baseRes, note, err := loadBaseline(basePath)
+	if err != nil {
+		return err
+	}
+	newRes, err := loadNew(newPath)
+	if err != nil {
+		return err
+	}
+	if note != "" {
+		fmt.Printf("note: %s\n", note)
+	}
+
+	pinnedSet := make(map[string]bool, len(pinned))
+	for _, p := range pinned {
+		pinnedSet[strings.TrimSpace(p)] = true
+	}
+
+	names := make([]string, 0, len(newRes))
+	for name := range newRes {
+		if _, ok := baseRes[name]; ok {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		return fmt.Errorf("no benchmarks in common between %s and %s", basePath, newPath)
+	}
+
+	var failures []string
+	fmt.Printf("%-36s %14s %14s %9s  %s\n", "benchmark (bytes/op)", "base", "new", "delta", "gate")
+	for _, name := range names {
+		b, n := baseRes[name], newRes[name]
+		if b.bytesPerOp < 0 || n.bytesPerOp < 0 {
+			continue // no -benchmem data on one side
+		}
+		delta := n.bytesPerOp - b.bytesPerOp
+		rel := 0.0
+		if b.bytesPerOp > 0 {
+			rel = delta / b.bytesPerOp
+		}
+		gate := ""
+		if pinnedSet[name] {
+			gate = "pinned"
+			if rel > threshold && delta > slack {
+				gate = "FAIL"
+				failures = append(failures,
+					fmt.Sprintf("%s: %.0f -> %.0f B/op (%+.1f%%)", name, b.bytesPerOp, n.bytesPerOp, 100*rel))
+			}
+		}
+		fmt.Printf("%-36s %14.0f %14.0f %+8.1f%%  %s\n", name, b.bytesPerOp, n.bytesPerOp, 100*rel, gate)
+	}
+
+	if len(failures) > 0 {
+		return fmt.Errorf("%d pinned benchmark(s) regressed >%.0f%% bytes/op:\n  %s",
+			len(failures), 100*threshold, strings.Join(failures, "\n  "))
+	}
+	fmt.Printf("ok: no pinned bytes/op regression beyond %.0f%% (+%.0f B slack)\n", 100*threshold, slack)
+	return nil
+}
+
+// loadBaseline reads a bench_baseline.sh JSON file. The returned note is
+// non-empty when the baseline flags its parallel pairs as uninformative.
+func loadBaseline(path string) (map[string]result, string, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, "", err
+	}
+	var bf baselineFile
+	if err := json.Unmarshal(data, &bf); err != nil {
+		return nil, "", fmt.Errorf("%s: %w", path, err)
+	}
+	res := make(map[string]result, len(bf.Benchmarks))
+	for _, b := range bf.Benchmarks {
+		r := result{name: canonical(b.Name), nsPerOp: b.NsPerOp, bytesPerOp: -1}
+		if b.BytesPerOp != nil {
+			r.bytesPerOp = *b.BytesPerOp
+		}
+		res[r.name] = r
+	}
+	note := ""
+	if bf.ParallelPairsInformative != nil && !*bf.ParallelPairsInformative {
+		note = fmt.Sprintf("%s: %s", path, bf.ParallelPairsNote)
+	}
+	return res, note, nil
+}
+
+// loadNew reads the new run from a baseline JSON file, raw go-test bench
+// text, or stdin ("-"). JSON is detected by content, not extension.
+func loadNew(path string) (map[string]result, error) {
+	var data []byte
+	var err error
+	if path == "-" {
+		data, err = io.ReadAll(os.Stdin)
+	} else {
+		data, err = os.ReadFile(path)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if trimmed := strings.TrimSpace(string(data)); strings.HasPrefix(trimmed, "{") {
+		var bf baselineFile
+		if err := json.Unmarshal(data, &bf); err != nil {
+			return nil, fmt.Errorf("%s: %w", path, err)
+		}
+		res := make(map[string]result, len(bf.Benchmarks))
+		for _, b := range bf.Benchmarks {
+			r := result{name: canonical(b.Name), nsPerOp: b.NsPerOp, bytesPerOp: -1}
+			if b.BytesPerOp != nil {
+				r.bytesPerOp = *b.BytesPerOp
+			}
+			res[r.name] = r
+		}
+		return res, nil
+	}
+	return parseBenchText(data)
+}
+
+// parseBenchText extracts results from `go test -bench -benchmem` output
+// lines of the form:
+//
+//	BenchmarkName-8   123   456789 ns/op   1024 B/op   3 allocs/op
+func parseBenchText(data []byte) (map[string]result, error) {
+	res := make(map[string]result)
+	sc := bufio.NewScanner(strings.NewReader(string(data)))
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		r := result{name: canonical(fields[0]), bytesPerOp: -1}
+		for i := 2; i+1 < len(fields); i++ {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			switch fields[i+1] {
+			case "ns/op":
+				r.nsPerOp = v
+			case "B/op":
+				r.bytesPerOp = v
+			}
+		}
+		if r.nsPerOp > 0 {
+			res[r.name] = r
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(res) == 0 {
+		return nil, fmt.Errorf("no benchmark lines found in new-run input")
+	}
+	return res, nil
+}
+
+// canonical strips the -GOMAXPROCS suffix go test appends to benchmark
+// names, so runs recorded on machines with different core counts compare.
+func canonical(name string) string {
+	if i := strings.LastIndexByte(name, '-'); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			return name[:i]
+		}
+	}
+	return name
+}

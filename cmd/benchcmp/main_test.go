@@ -1,0 +1,133 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const baseJSON = `{
+  "ncpu": 1,
+  "parallel_pairs_informative": false,
+  "parallel_pairs_note": "recorded on 1 CPU",
+  "benchmarks": [
+    {"name": "BenchmarkLayoutYield-1", "iterations": 1, "ns_per_op": 2.0e9, "bytes_per_op": 1000000, "allocs_per_op": 100},
+    {"name": "BenchmarkUnionArea-1", "iterations": 10, "ns_per_op": 7.0e6, "bytes_per_op": 0, "allocs_per_op": 0},
+    {"name": "BenchmarkTableA1-1", "iterations": 100, "ns_per_op": 1.0e6, "bytes_per_op": 50000, "allocs_per_op": 10}
+  ]
+}`
+
+func writeTemp(t *testing.T, name, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestCanonicalStripsGomaxprocsSuffix(t *testing.T) {
+	cases := map[string]string{
+		"BenchmarkLayoutYield-8":  "BenchmarkLayoutYield",
+		"BenchmarkLayoutYield-16": "BenchmarkLayoutYield",
+		"BenchmarkLayoutYield":    "BenchmarkLayoutYield",
+		"BenchmarkFigure4a-2":     "BenchmarkFigure4a",
+		"BenchmarkFigure4a":       "BenchmarkFigure4a",
+	}
+	for in, want := range cases {
+		if got := canonical(in); got != want {
+			t.Errorf("canonical(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestParseBenchText(t *testing.T) {
+	text := `goos: linux
+goarch: amd64
+BenchmarkLayoutYield-1   	       2	 600000000 ns/op	 1500000 B/op	    5000 allocs/op
+BenchmarkUnionArea-1     	     100	   7000000 ns/op	       0 B/op	       0 allocs/op
+PASS
+ok  	repro	3.2s`
+	res, err := parseBenchText([]byte(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 2 {
+		t.Fatalf("parsed %d results, want 2", len(res))
+	}
+	ly := res["BenchmarkLayoutYield"]
+	if ly.bytesPerOp != 1500000 || ly.nsPerOp != 600000000 {
+		t.Fatalf("LayoutYield parsed as %+v", ly)
+	}
+	if res["BenchmarkUnionArea"].bytesPerOp != 0 {
+		t.Fatalf("UnionArea bytes/op = %v, want 0", res["BenchmarkUnionArea"].bytesPerOp)
+	}
+}
+
+func TestLoadBaselineNote(t *testing.T) {
+	path := writeTemp(t, "base.json", baseJSON)
+	res, note, err := loadBaseline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 3 {
+		t.Fatalf("loaded %d benchmarks, want 3", len(res))
+	}
+	if !strings.Contains(note, "1 CPU") {
+		t.Fatalf("uninformative-pairs note missing, got %q", note)
+	}
+	if res["BenchmarkLayoutYield"].bytesPerOp != 1000000 {
+		t.Fatalf("bytes/op = %v", res["BenchmarkLayoutYield"].bytesPerOp)
+	}
+}
+
+func TestRunPassesOnImprovementAndUnpinnedRegression(t *testing.T) {
+	base := writeTemp(t, "base.json", baseJSON)
+	// LayoutYield improves 10x; TableA1 (unpinned) doubles — must pass.
+	newRun := writeTemp(t, "new.txt", strings.Join([]string{
+		"BenchmarkLayoutYield-1 2 500000000 ns/op 100000 B/op 500 allocs/op",
+		"BenchmarkUnionArea-1 100 7000000 ns/op 0 B/op 0 allocs/op",
+		"BenchmarkTableA1-1 100 1000000 ns/op 100000 B/op 20 allocs/op",
+	}, "\n"))
+	if err := run(base, newRun, 0.20, 4096, defaultPinned); err != nil {
+		t.Fatalf("expected pass, got: %v", err)
+	}
+}
+
+func TestRunFailsOnPinnedRegression(t *testing.T) {
+	base := writeTemp(t, "base.json", baseJSON)
+	newRun := writeTemp(t, "new.txt",
+		"BenchmarkLayoutYield-1 2 500000000 ns/op 2000000 B/op 500 allocs/op\n")
+	err := run(base, newRun, 0.20, 4096, defaultPinned)
+	if err == nil {
+		t.Fatal("expected failure on 2x pinned bytes/op regression")
+	}
+	if !strings.Contains(err.Error(), "BenchmarkLayoutYield") {
+		t.Fatalf("failure does not name the benchmark: %v", err)
+	}
+}
+
+func TestRunSlackAbsorbsTinyAbsoluteRegressions(t *testing.T) {
+	base := writeTemp(t, "base.json", baseJSON)
+	// UnionArea goes 0 -> 128 B/op: huge relative delta, tiny absolute —
+	// the slack must absorb it.
+	newRun := writeTemp(t, "new.txt", strings.Join([]string{
+		"BenchmarkLayoutYield-1 2 500000000 ns/op 1000000 B/op 500 allocs/op",
+		"BenchmarkUnionArea-1 100 7000000 ns/op 128 B/op 1 allocs/op",
+	}, "\n"))
+	if err := run(base, newRun, 0.20, 4096, defaultPinned); err != nil {
+		t.Fatalf("slack did not absorb 128 B regression: %v", err)
+	}
+}
+
+func TestLoadNewDetectsJSON(t *testing.T) {
+	path := writeTemp(t, "new.json", baseJSON)
+	res, err := loadNew(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res["BenchmarkLayoutYield"].bytesPerOp != 1000000 {
+		t.Fatalf("JSON new-run parse failed: %+v", res["BenchmarkLayoutYield"])
+	}
+}

@@ -17,6 +17,7 @@ import (
 
 	"repro/internal/experiments"
 	"repro/internal/parallel"
+	"repro/internal/profiling"
 	"repro/internal/report"
 	"repro/internal/yield"
 )
@@ -26,6 +27,7 @@ func main() {
 	csv := flag.Bool("csv", false, "emit CSV instead of rendered tables/figures")
 	list := flag.Bool("list", false, "list every artifact with its title and exit")
 	workers := flag.Int("workers", 0, "worker goroutines for simulations and sweeps (0 = all cores); artifacts are identical for any value")
+	prof := profiling.Register()
 	flag.Parse()
 	parallel.SetDefaultWorkers(*workers)
 
@@ -35,7 +37,15 @@ func main() {
 		}
 		return
 	}
-	if err := run(*only, *csv); err != nil {
+	if err := prof.Start(); err != nil {
+		fmt.Fprintf(os.Stderr, "figures: %v\n", err)
+		os.Exit(1)
+	}
+	err := run(*only, *csv)
+	if perr := prof.Stop(); perr != nil && err == nil {
+		err = perr
+	}
+	if err != nil {
 		fmt.Fprintf(os.Stderr, "figures: %v\n", err)
 		os.Exit(1)
 	}

@@ -19,6 +19,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/maskcost"
 	"repro/internal/parallel"
+	"repro/internal/profiling"
 	"repro/internal/report"
 )
 
@@ -38,10 +39,19 @@ func main() {
 		mc      = flag.Int("mc", 0, "run N Monte Carlo samples with default input uncertainty")
 		workers = flag.Int("workers", 0, "worker goroutines for sweeps and Monte Carlo (0 = all cores); results are identical for any value")
 	)
+	prof := profiling.Register()
 	flag.Parse()
 	parallel.SetDefaultWorkers(*workers)
 
-	if err := run(*lambda, *sd, *ntr, *wafers, *yld, *cmsq, *util, *mask, *optimiz, *sweep, *withTst, *mc); err != nil {
+	if err := prof.Start(); err != nil {
+		fmt.Fprintf(os.Stderr, "nanocost: %v\n", err)
+		os.Exit(1)
+	}
+	err := run(*lambda, *sd, *ntr, *wafers, *yld, *cmsq, *util, *mask, *optimiz, *sweep, *withTst, *mc)
+	if perr := prof.Stop(); perr != nil && err == nil {
+		err = perr
+	}
+	if err != nil {
 		fmt.Fprintf(os.Stderr, "nanocost: %v\n", err)
 		os.Exit(1)
 	}

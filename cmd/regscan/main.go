@@ -18,6 +18,7 @@ import (
 
 	"repro/internal/designflow"
 	"repro/internal/layout"
+	"repro/internal/profiling"
 	"repro/internal/regularity"
 	"repro/internal/report"
 )
@@ -32,9 +33,18 @@ func main() {
 		in    = flag.String("in", "", "read the layout from a text-interchange file instead of generating")
 		out   = flag.String("out", "", "write the layout to a text-interchange file")
 	)
+	prof := profiling.Register()
 	flag.Parse()
 
-	if err := runIO(*style, *cells, *util, *pitch, *seed, *in, *out); err != nil {
+	if err := prof.Start(); err != nil {
+		fmt.Fprintf(os.Stderr, "regscan: %v\n", err)
+		os.Exit(1)
+	}
+	err := runIO(*style, *cells, *util, *pitch, *seed, *in, *out)
+	if perr := prof.Stop(); perr != nil && err == nil {
+		err = perr
+	}
+	if err != nil {
 		fmt.Fprintf(os.Stderr, "regscan: %v\n", err)
 		os.Exit(1)
 	}

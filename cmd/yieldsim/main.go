@@ -12,6 +12,7 @@ import (
 	"os"
 
 	"repro/internal/parallel"
+	"repro/internal/profiling"
 	"repro/internal/report"
 	"repro/internal/yield"
 )
@@ -26,10 +27,19 @@ func main() {
 		seed    = flag.Uint64("seed", 1, "RNG seed")
 		workers = flag.Int("workers", 0, "simulation goroutines (0 = all cores); results are identical for any value")
 	)
+	prof := profiling.Register()
 	flag.Parse()
 
 	parallel.SetDefaultWorkers(*workers)
-	if err := run(*d0, *area, *alpha, *die, *wafers, *seed, *workers); err != nil {
+	if err := prof.Start(); err != nil {
+		fmt.Fprintf(os.Stderr, "yieldsim: %v\n", err)
+		os.Exit(1)
+	}
+	err := run(*d0, *area, *alpha, *die, *wafers, *seed, *workers)
+	if perr := prof.Stop(); perr != nil && err == nil {
+		err = perr
+	}
+	if err != nil {
 		fmt.Fprintf(os.Stderr, "yieldsim: %v\n", err)
 		os.Exit(1)
 	}

@@ -1,0 +1,54 @@
+package experiments
+
+import (
+	"repro/internal/layout"
+	"repro/internal/memo"
+	"repro/internal/yield"
+)
+
+// critFracKey identifies one size-averaged critical fraction: the layout
+// geometry (content hash), the monitored layer, the defect-size
+// distribution, and the integration bound.
+type critFracKey struct {
+	layoutHash uint64
+	layer      layout.Layer
+	x0, p      float64 // DefectSizeDist parameters
+	xMax       float64
+}
+
+// avgCritFracCache memoizes the §3.1 critical-area extraction — the
+// adaptive quadrature over the size distribution calls the geometry
+// kernel hundreds of times per layout, and the layout-vs-yield studies
+// revisit the same generated geometries on every row and every repeat
+// run.
+var avgCritFracCache = memo.New[critFracKey, float64]("experiments.avg-critfrac", 256)
+
+// avgCriticalFraction returns the size-averaged combined (shorts + opens)
+// critical area of one layer as a fraction of the die, clamped to [0, 1],
+// memoized on the layout content hash. The fill path builds one
+// CritEvaluator and drives the quadrature through its allocation-free
+// Area kernel.
+func avgCriticalFraction(l *layout.Layout, layer layout.Layer, dist yield.DefectSizeDist, xMax float64) (float64, error) {
+	key := critFracKey{
+		layoutHash: l.ContentHash(),
+		layer:      layer,
+		x0:         dist.X0,
+		p:          dist.P,
+		xMax:       xMax,
+	}
+	return avgCritFracCache.Get(key, func() (float64, error) {
+		ev, err := layout.NewCritEvaluator(l, layer)
+		if err != nil {
+			return 0, err
+		}
+		avg, err := yield.AverageCriticalArea(dist, ev.Area, xMax)
+		if err != nil {
+			return 0, err
+		}
+		f := avg / float64(l.AreaLambda2())
+		if f > 1 {
+			f = 1
+		}
+		return f, nil
+	})
+}

@@ -1,0 +1,118 @@
+package experiments
+
+import (
+	"testing"
+
+	"repro/internal/layout"
+	"repro/internal/memo"
+	"repro/internal/parallel"
+	"repro/internal/yield"
+)
+
+// The acceptance contract of the memo layer: study outputs are
+// byte-identical whether the caches are cold or warm and for any worker
+// count — memoization and scratch reuse are pure plumbing, never visible
+// in results.
+
+func TestLayoutYieldStudyGoldenAcrossCacheAndWorkers(t *testing.T) {
+	memo.PurgeAll()
+	goldRows, goldTbl, err := LayoutYieldStudy(3.0, 600, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	check := func(label string) {
+		t.Helper()
+		rows, tbl, err := LayoutYieldStudy(3.0, 600, 7)
+		if err != nil {
+			t.Fatalf("%s: %v", label, err)
+		}
+		if len(rows) != len(goldRows) {
+			t.Fatalf("%s: %d rows != %d", label, len(rows), len(goldRows))
+		}
+		for i := range rows {
+			if rows[i] != goldRows[i] {
+				t.Fatalf("%s: row %d diverged:\n got %+v\nwant %+v", label, i, rows[i], goldRows[i])
+			}
+		}
+		if tbl.String() != goldTbl.String() {
+			t.Fatalf("%s: rendered table diverged", label)
+		}
+	}
+	check("warm cache")
+	memo.PurgeAll()
+	check("cold cache")
+	for _, w := range []int{1, 2, 4} {
+		parallel.SetDefaultWorkers(w)
+		check("workers=1/2/4")
+	}
+	parallel.SetDefaultWorkers(0)
+}
+
+func TestLayoutDensityStudyGoldenAcrossCache(t *testing.T) {
+	memo.PurgeAll()
+	cold, coldTbl, err := LayoutDensityStudy(11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, warmTbl, err := LayoutDensityStudy(11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cold) != len(warm) {
+		t.Fatalf("row count diverged: %d != %d", len(cold), len(warm))
+	}
+	for i := range cold {
+		if cold[i] != warm[i] {
+			t.Fatalf("row %d diverged: %+v != %+v", i, cold[i], warm[i])
+		}
+	}
+	if coldTbl.String() != warmTbl.String() {
+		t.Fatal("rendered table diverged between cold and warm cache")
+	}
+	// Cached rows are copied out: mutating a result must not poison the
+	// cache.
+	warm[0].Sd = -1
+	again, _, err := LayoutDensityStudy(11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again[0] != cold[0] {
+		t.Fatal("caller mutation leaked into the cache")
+	}
+}
+
+func TestAvgCriticalFractionMemoized(t *testing.T) {
+	memo.PurgeAll()
+	l, err := layout.GenerateSRAMArray(8, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dist := yield.DefectSizeDist{X0: 2, P: 3}
+	before := avgCritFracCache.Stats()
+	first, err := avgCriticalFraction(l, layout.Metal1, dist, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := avgCriticalFraction(l, layout.Metal1, dist, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first != second {
+		t.Fatalf("memoized value diverged: %v != %v", first, second)
+	}
+	after := avgCritFracCache.Stats()
+	if after.Misses != before.Misses+1 {
+		t.Fatalf("expected exactly one fill, got %d new misses", after.Misses-before.Misses)
+	}
+	if after.Hits != before.Hits+1 {
+		t.Fatalf("expected one hit, got %d new hits", after.Hits-before.Hits)
+	}
+	// A different distribution must not collide with the cached key.
+	other, err := avgCriticalFraction(l, layout.Metal1, yield.DefectSizeDist{X0: 4, P: 3}, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if other == first {
+		t.Fatal("distinct distributions returned the identical cached value")
+	}
+}

@@ -64,24 +64,15 @@ func LayoutYieldStudy(meanDefects float64, trials int, seed uint64) ([]LayoutYie
 		if err != nil {
 			return nil, nil, err
 		}
-		// Size-averaged critical fraction on metal1 (shorts + opens).
-		avgCrit, err := yield.AverageCriticalArea(dist, func(x float64) float64 {
-			s, err := layout.CriticalArea(l, layout.Metal1, x)
-			if err != nil {
-				return 0
-			}
-			o, err := layout.OpenCriticalArea(l, layout.Metal1, x)
-			if err != nil {
-				return 0
-			}
-			return s + o
-		}, 200)
+		// Size-averaged critical fraction on metal1 (shorts + opens),
+		// memoized on the layout content hash: the seed-independent styles
+		// hit the cache on every row after the first study in a process,
+		// and the quadrature inside the fill path samples a single
+		// zero-allocation CritEvaluator instead of re-extracting the
+		// geometry at every defect size.
+		critFrac, err := avgCriticalFraction(l, layout.Metal1, dist, 200)
 		if err != nil {
 			return nil, nil, err
-		}
-		critFrac := avgCrit / float64(l.AreaLambda2())
-		if critFrac > 1 {
-			critFrac = 1
 		}
 		analytic := (yield.Poisson{}).Yield(meanDefects * critFrac)
 		res, err := layout.SimulateDefects(l, layout.DefectSimConfig{

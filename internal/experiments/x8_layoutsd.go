@@ -4,6 +4,7 @@ import (
 	"sort"
 
 	"repro/internal/layout"
+	"repro/internal/memo"
 	"repro/internal/report"
 )
 
@@ -13,25 +14,42 @@ type LayoutSdRow struct {
 	Sd    float64
 }
 
+// styleSdCache memoizes the measured densities per seed: the rows are the
+// same every time a seed is revisited, so repeat studies (manifest
+// smokes, figure regeneration, sweeps over other axes) skip the layout
+// generation entirely. Values are shared; the study copies them into
+// fresh rows.
+var styleSdCache = memo.New[uint64, []LayoutSdRow]("experiments.style-sd", 32)
+
 // LayoutDensityStudy runs X-8: generate one layout per design style and
 // measure s_d from the geometry, reproducing the paper's customization
 // spectrum (SRAM ≈ 30, datapath ≈ 50, synthesized logic 150–1000+) from
 // first principles instead of die photographs.
 func LayoutDensityStudy(seed uint64) ([]LayoutSdRow, *report.Table, error) {
-	sds, err := layout.StyleSd(seed)
+	cached, err := styleSdCache.Get(seed, func() ([]LayoutSdRow, error) {
+		sds, err := layout.StyleSd(seed)
+		if err != nil {
+			return nil, err
+		}
+		styles := make([]string, 0, len(sds))
+		for s := range sds {
+			styles = append(styles, s)
+		}
+		sort.Slice(styles, func(a, b int) bool { return sds[styles[a]] < sds[styles[b]] })
+		rows := make([]LayoutSdRow, 0, len(styles))
+		for _, s := range styles {
+			rows = append(rows, LayoutSdRow{Style: s, Sd: sds[s]})
+		}
+		return rows, nil
+	})
 	if err != nil {
 		return nil, nil, err
 	}
-	styles := make([]string, 0, len(sds))
-	for s := range sds {
-		styles = append(styles, s)
-	}
-	sort.Slice(styles, func(a, b int) bool { return sds[styles[a]] < sds[styles[b]] })
 	tbl := report.NewTable("X-8 — measured s_d of generated layout styles", "style", "s_d")
-	var rows []LayoutSdRow
-	for _, s := range styles {
-		rows = append(rows, LayoutSdRow{Style: s, Sd: sds[s]})
-		tbl.AddRow(s, sds[s])
+	rows := make([]LayoutSdRow, len(cached))
+	copy(rows, cached)
+	for _, r := range rows {
+		tbl.AddRow(r.Style, r.Sd)
 	}
 	return rows, tbl, nil
 }

@@ -1,0 +1,46 @@
+package layout
+
+import (
+	"math"
+
+	"repro/internal/memo"
+)
+
+// curveKey identifies one memoized critical-area curve: the layout
+// geometry (by content hash), the layer, and the defect-size grid (by
+// hash of the sampled sizes).
+type curveKey struct {
+	layout uint64
+	layer  Layer
+	sizes  uint64
+}
+
+// curveCache memoizes whole critical-area curves. Layout-vs-yield sweeps
+// evaluate the same generated geometries row after row; keying on the
+// content hash makes every repeat extraction a lookup.
+var curveCache = memo.New[curveKey, []float64]("layout.critarea-curve", 64)
+
+// hashSizes digests a defect-size grid for curve keying.
+func hashSizes(sizes []float64) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	h = (h ^ uint64(len(sizes))) * prime64
+	for _, x := range sizes {
+		h = (h ^ math.Float64bits(x)) * prime64
+	}
+	return h
+}
+
+// CriticalAreaCurveCached is CriticalAreaCurve behind the memo layer:
+// identical (geometry, layer, sizes) requests are served from cache. The
+// returned slice is shared between callers and must be treated as
+// read-only; use CriticalAreaCurve for a private copy.
+func CriticalAreaCurveCached(l *Layout, layer Layer, sizes []float64) ([]float64, error) {
+	key := curveKey{layout: l.ContentHash(), layer: layer, sizes: hashSizes(sizes)}
+	return curveCache.Get(key, func() ([]float64, error) {
+		return CriticalAreaCurve(l, layer, sizes)
+	})
+}

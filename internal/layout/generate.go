@@ -3,6 +3,7 @@ package layout
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"repro/internal/stats"
 )
@@ -153,11 +154,12 @@ func GenerateRandomLogic(cfg RandomLogicConfig) (*Layout, error) {
 	return l, nil
 }
 
-// StyleSd generates a representative layout for each style and reports the
-// measured s_d, the experiment X-8 rows: SRAM ≈ 30, datapath ≈ 50,
-// random logic from ~150 (tight) to 1000+ (sparse).
-func StyleSd(seed uint64) (map[string]float64, error) {
-	out := make(map[string]float64)
+// fixedStyleSd computes the densities of the seed-independent styles
+// (SRAM array, datapath) once per process: their geometry is fully
+// determined by the generator parameters, so regenerating them for every
+// seed in a sweep is pure allocation churn.
+var fixedStyleSd = sync.OnceValues(func() (map[string]float64, error) {
+	out := make(map[string]float64, 2)
 	sram, err := GenerateSRAMArray(32, 32)
 	if err != nil {
 		return nil, err
@@ -172,6 +174,20 @@ func StyleSd(seed uint64) (map[string]float64, error) {
 	if out["datapath"], err = dp.Sd(); err != nil {
 		return nil, err
 	}
+	return out, nil
+})
+
+// StyleSd generates a representative layout for each style and reports the
+// measured s_d, the experiment X-8 rows: SRAM ≈ 30, datapath ≈ 50,
+// random logic from ~150 (tight) to 1000+ (sparse).
+func StyleSd(seed uint64) (map[string]float64, error) {
+	fixed, err := fixedStyleSd()
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string]float64, 4)
+	out["sram"] = fixed["sram"]
+	out["datapath"] = fixed["datapath"]
 	tight, err := GenerateRandomLogic(RandomLogicConfig{Cells: 600, RowUtil: 0.9, RouteTracks: 2, Seed: seed})
 	if err != nil {
 		return nil, err

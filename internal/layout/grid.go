@@ -13,7 +13,8 @@ package layout
 
 import (
 	"fmt"
-	"sort"
+	"slices"
+	"sync"
 )
 
 // Layer identifies a mask layer.
@@ -147,37 +148,95 @@ func (l *Layout) GeometryUtilization() map[Layer]float64 {
 		if len(rects) == 0 {
 			continue
 		}
-		out[layer] = float64(unionArea(rects)) / float64(l.AreaLambda2())
+		out[layer] = float64(UnionArea(rects)) / float64(l.AreaLambda2())
 	}
 	return out
 }
 
-// unionArea computes the exact union area of rectangles by coordinate
-// compression and sweep.
-func unionArea(rects []Rect) int {
-	if len(rects) == 0 {
-		return 0
+// ContentHash returns a cheap 64-bit FNV-1a-style digest of the layout
+// geometry: dimensions, transistor count, and every rectangle in order.
+// The Name is excluded, so two layouts with identical geometry hash
+// identically. It is the memoization key for derived quantities
+// (critical-area curves, averaged critical fractions); it is not
+// cryptographic, but a collision needs two distinct geometries to meet in
+// 64 bits, negligible at cache scale.
+func (l *Layout) ContentHash() uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	mix := func(v uint64) {
+		h = (h ^ v) * prime64
 	}
-	xs := make([]int, 0, 2*len(rects))
+	mix(uint64(int64(l.Width)))
+	mix(uint64(int64(l.Height)))
+	mix(uint64(int64(l.Transistors)))
+	for _, r := range l.Rects {
+		mix(uint64(int64(r.X0)))
+		mix(uint64(int64(r.Y0)))
+		mix(uint64(int64(r.X1)))
+		mix(uint64(int64(r.Y1)))
+		mix(uint64(r.Layer))
+	}
+	return h
+}
+
+// unionScratch holds the reusable coordinate buffers of the union-area
+// sweep, so repeated calls allocate nothing once the buffers have grown
+// to the working-set size.
+type unionScratch struct {
+	xs []int
+	ys [][2]int
+}
+
+var unionPool = sync.Pool{New: func() any { return new(unionScratch) }}
+
+// UnionArea computes the exact union area of rectangles by coordinate
+// compression and sweep. Inputs of zero or one rectangle return without
+// allocating or touching the scratch pool.
+func UnionArea(rects []Rect) int {
+	switch len(rects) {
+	case 0:
+		return 0
+	case 1:
+		return rects[0].Area()
+	}
+	s := unionPool.Get().(*unionScratch)
+	defer unionPool.Put(s)
+	return s.unionArea(rects)
+}
+
+// unionArea is the sweep body; the scratch buffers persist on s.
+func (s *unionScratch) unionArea(rects []Rect) int {
+	xs := s.xs[:0]
 	for _, r := range rects {
 		xs = append(xs, r.X0, r.X1)
 	}
-	sort.Ints(xs)
+	slices.Sort(xs)
+	s.xs = xs
 	xs = dedupInts(xs)
 	total := 0
 	for i := 0; i+1 < len(xs); i++ {
 		x0, x1 := xs[i], xs[i+1]
-		// Collect y intervals of rects spanning this x slab.
-		var ys [][2]int
+		// Collect y intervals of rects spanning this x slab, reusing the
+		// interval buffer across slabs.
+		ys := s.ys[:0]
 		for _, r := range rects {
 			if r.X0 <= x0 && r.X1 >= x1 {
 				ys = append(ys, [2]int{r.Y0, r.Y1})
 			}
 		}
+		s.ys = ys
 		if len(ys) == 0 {
 			continue
 		}
-		sort.Slice(ys, func(a, b int) bool { return ys[a][0] < ys[b][0] })
+		slices.SortFunc(ys, func(a, b [2]int) int {
+			if a[0] != b[0] {
+				return a[0] - b[0]
+			}
+			return a[1] - b[1]
+		})
 		covered := 0
 		curLo, curHi := ys[0][0], ys[0][1]
 		for _, iv := range ys[1:] {
@@ -194,7 +253,12 @@ func unionArea(rects []Rect) int {
 	return total
 }
 
+// dedupInts compacts consecutive duplicates of a sorted slice in place.
+// Inputs of length 0 or 1 are returned untouched.
 func dedupInts(xs []int) []int {
+	if len(xs) <= 1 {
+		return xs
+	}
 	out := xs[:0]
 	for i, x := range xs {
 		if i == 0 || x != out[len(out)-1] {

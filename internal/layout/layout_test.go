@@ -204,10 +204,10 @@ func TestUnionArea(t *testing.T) {
 		{X0: 5, Y0: 5, X1: 15, Y1: 15, Layer: Metal1}, // overlaps 25
 		{X0: 20, Y0: 0, X1: 22, Y1: 2, Layer: Metal1}, // disjoint 4
 	}
-	if got := unionArea(rects); got != 100+100-25+4 {
+	if got := UnionArea(rects); got != 100+100-25+4 {
 		t.Fatalf("union area = %d, want 179", got)
 	}
-	if got := unionArea(nil); got != 0 {
+	if got := UnionArea(nil); got != 0 {
 		t.Fatalf("empty union = %d", got)
 	}
 }

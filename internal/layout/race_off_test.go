@@ -1,0 +1,5 @@
+//go:build !race
+
+package layout
+
+const raceEnabled = false

@@ -1,0 +1,8 @@
+//go:build race
+
+package layout
+
+// raceEnabled reports whether the race detector instruments this build.
+// sync.Pool intentionally drops items under the race detector, so
+// pool-reuse allocation bounds only hold in regular builds.
+const raceEnabled = true

@@ -1,0 +1,92 @@
+// Package profiling wires the shared observability flags into the
+// command-line binaries: pprof CPU and heap profiles (-cpuprofile,
+// -memprofile) and a memo-cache effectiveness dump (-stats). Every cmd
+// registers the same three flags, so capturing a profile of any workload
+// is uniform:
+//
+//	figures -only x10 -cpuprofile cpu.out -memprofile mem.out -stats
+//	go tool pprof -top cpu.out
+package profiling
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+
+	"repro/internal/memo"
+)
+
+// Flags holds the observability flag values for one binary. Construct
+// with Register before flag.Parse.
+type Flags struct {
+	cpuProfile string
+	memProfile string
+	stats      bool
+
+	cpuFile *os.File
+}
+
+// Register adds -cpuprofile, -memprofile and -stats to the default flag
+// set and returns the handle the binary starts and stops around its work.
+func Register() *Flags {
+	f := &Flags{}
+	flag.StringVar(&f.cpuProfile, "cpuprofile", "", "write a pprof CPU profile to `file`")
+	flag.StringVar(&f.memProfile, "memprofile", "", "write a pprof heap profile to `file` on exit")
+	flag.BoolVar(&f.stats, "stats", false, "print memo cache hit/miss statistics to stderr on exit")
+	return f
+}
+
+// Start begins CPU profiling when requested. Call it after flag.Parse and
+// pair it with Stop.
+func (f *Flags) Start() error {
+	if f.cpuProfile == "" {
+		return nil
+	}
+	file, err := os.Create(f.cpuProfile)
+	if err != nil {
+		return fmt.Errorf("profiling: %w", err)
+	}
+	if err := pprof.StartCPUProfile(file); err != nil {
+		file.Close()
+		return fmt.Errorf("profiling: start CPU profile: %w", err)
+	}
+	f.cpuFile = file
+	return nil
+}
+
+// Stop finalizes the requested observability outputs: it stops the CPU
+// profile, writes the heap profile (after a GC, so it reflects live
+// objects rather than transient garbage), and dumps the memo cache
+// statistics. It is safe to call when nothing was requested.
+func (f *Flags) Stop() error {
+	var firstErr error
+	if f.cpuFile != nil {
+		pprof.StopCPUProfile()
+		if err := f.cpuFile.Close(); err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("profiling: close CPU profile: %w", err)
+		}
+		f.cpuFile = nil
+	}
+	if f.memProfile != "" {
+		file, err := os.Create(f.memProfile)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("profiling: %w", err)
+			}
+		} else {
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(file); err != nil && firstErr == nil {
+				firstErr = fmt.Errorf("profiling: write heap profile: %w", err)
+			}
+			if err := file.Close(); err != nil && firstErr == nil {
+				firstErr = fmt.Errorf("profiling: close heap profile: %w", err)
+			}
+		}
+	}
+	if f.stats {
+		fmt.Fprint(os.Stderr, memo.StatsString())
+	}
+	return firstErr
+}

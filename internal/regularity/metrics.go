@@ -2,7 +2,7 @@ package regularity
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 
 	"repro/internal/layout"
 )
@@ -20,15 +20,17 @@ type Report struct {
 }
 
 // Analyze scans the layout at the given pitch and computes pattern-reuse
-// metrics. The Regularity figure is the §3.2 quantity: the fraction of
-// windows whose characterization can be reused from an identical twin.
-func Analyze(l *layout.Layout, pitch int) (Report, error) {
-	pats, err := Scan(l, pitch)
+// metrics using the Scanner's reused buffers. The Regularity figure is
+// the §3.2 quantity: the fraction of windows whose characterization can
+// be reused from an identical twin.
+func (s *Scanner) Analyze(l *layout.Layout, pitch int) (Report, error) {
+	pats, err := s.scan(l, pitch)
 	if err != nil {
 		return Report{}, err
 	}
 	rep := Report{Pitch: pitch, Windows: len(pats)}
-	counts := make(map[[32]byte]int)
+	clear(s.counts)
+	counts := s.counts
 	for _, p := range pats {
 		if p.Empty() {
 			continue
@@ -41,11 +43,12 @@ func Analyze(l *layout.Layout, pitch int) (Report, error) {
 		return rep, nil
 	}
 	rep.Regularity = 1 - float64(rep.UniquePatterns)/float64(rep.NonEmpty)
-	freqs := make([]int, 0, len(counts))
+	freqs := s.freqs[:0]
 	for _, c := range counts {
 		freqs = append(freqs, c)
 	}
-	sort.Sort(sort.Reverse(sort.IntSlice(freqs)))
+	s.freqs = freqs
+	slices.SortFunc(freqs, func(a, b int) int { return b - a })
 	top := 0
 	for i, c := range freqs {
 		if i >= 8 {
@@ -58,17 +61,30 @@ func Analyze(l *layout.Layout, pitch int) (Report, error) {
 	return rep, nil
 }
 
+// Analyze scans the layout at the given pitch and computes pattern-reuse
+// metrics. It draws a Scanner from the internal pool; callers analyzing
+// many layouts or pitches in a loop should hold their own Scanner.
+func Analyze(l *layout.Layout, pitch int) (Report, error) {
+	s := scannerPool.Get().(*Scanner)
+	defer scannerPool.Put(s)
+	return s.Analyze(l, pitch)
+}
+
 // BestPitch analyzes the layout at each candidate pitch and returns the
 // report with the highest Regularity, preferring larger pitches on ties
 // (bigger reusable tiles are worth more). Candidates must be positive.
+// One Scanner serves every candidate, so the window index, pattern list,
+// and tallies are allocated once and reused across pitches.
 func BestPitch(l *layout.Layout, candidates []int) (Report, error) {
 	if len(candidates) == 0 {
 		return Report{}, fmt.Errorf("regularity: no candidate pitches")
 	}
+	s := scannerPool.Get().(*Scanner)
+	defer scannerPool.Put(s)
 	var best Report
 	found := false
 	for _, p := range candidates {
-		r, err := Analyze(l, p)
+		r, err := s.Analyze(l, p)
 		if err != nil {
 			return Report{}, err
 		}

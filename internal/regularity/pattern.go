@@ -13,7 +13,8 @@ import (
 	"crypto/sha256"
 	"encoding/binary"
 	"fmt"
-	"sort"
+	"slices"
+	"sync"
 
 	"repro/internal/layout"
 )
@@ -30,13 +31,55 @@ type Pattern struct {
 // Empty reports whether the pattern contains no geometry.
 func (p Pattern) Empty() bool { return p.Rects == 0 }
 
-// canonicalize clips every rectangle of l to the window at (wx, wy) with
-// the given pitch and produces the canonical pattern. Clipping keeps the
-// analysis exact for geometry spanning window boundaries: each window sees
-// precisely the shapes that fall inside it.
-func canonicalize(rects []layout.Rect, wx, wy, pitch int) Pattern {
-	type local struct{ x0, y0, x1, y1, layer int }
-	var ls []local
+// localRect is a window-local clipped rectangle, the canonicalization
+// intermediate.
+type localRect struct{ x0, y0, x1, y1, layer int }
+
+// cmpLocalRect is the canonical (total) ordering of clipped rectangles.
+func cmpLocalRect(a, b localRect) int {
+	switch {
+	case a.layer != b.layer:
+		return a.layer - b.layer
+	case a.x0 != b.x0:
+		return a.x0 - b.x0
+	case a.y0 != b.y0:
+		return a.y0 - b.y0
+	case a.x1 != b.x1:
+		return a.x1 - b.x1
+	}
+	return a.y1 - b.y1
+}
+
+// Scanner runs window scans while reusing every intermediate buffer —
+// the per-window rectangle index, the canonicalization scratch, the hash
+// input buffer, the pattern list, and the Analyze tallies — so repeated
+// scans (one per candidate pitch in BestPitch, one per style in the
+// regularity studies) allocate almost nothing after the first.
+//
+// A Scanner is not safe for concurrent use; create one per goroutine or
+// use the package-level functions, which draw from an internal pool.
+type Scanner struct {
+	cells  [][]layout.Rect // window buckets, row-major nx×ny, capacity reused
+	ls     []localRect     // canonicalize scratch
+	buf    []byte          // hash input scratch
+	pats   []Pattern       // scan output, reused across scans
+	counts map[[32]byte]int
+	freqs  []int
+}
+
+// NewScanner returns a Scanner with empty buffers.
+func NewScanner() *Scanner {
+	return &Scanner{counts: make(map[[32]byte]int)}
+}
+
+var scannerPool = sync.Pool{New: func() any { return NewScanner() }}
+
+// canonicalize clips every rectangle of the bucket to the window at
+// (wx, wy) with the given pitch and produces the canonical pattern.
+// Clipping keeps the analysis exact for geometry spanning window
+// boundaries: each window sees precisely the shapes that fall inside it.
+func (s *Scanner) canonicalize(rects []layout.Rect, wx, wy, pitch int) Pattern {
+	ls := s.ls[:0]
 	for _, r := range rects {
 		x0, y0 := r.X0-wx, r.Y0-wy
 		x1, y1 := r.X1-wx, r.Y1-wy
@@ -55,52 +98,65 @@ func canonicalize(rects []layout.Rect, wx, wy, pitch int) Pattern {
 		if x1 <= x0 || y1 <= y0 {
 			continue
 		}
-		ls = append(ls, local{x0, y0, x1, y1, int(r.Layer)})
+		ls = append(ls, localRect{x0, y0, x1, y1, int(r.Layer)})
 	}
-	sort.Slice(ls, func(a, b int) bool {
-		if ls[a].layer != ls[b].layer {
-			return ls[a].layer < ls[b].layer
-		}
-		if ls[a].x0 != ls[b].x0 {
-			return ls[a].x0 < ls[b].x0
-		}
-		if ls[a].y0 != ls[b].y0 {
-			return ls[a].y0 < ls[b].y0
-		}
-		if ls[a].x1 != ls[b].x1 {
-			return ls[a].x1 < ls[b].x1
-		}
-		return ls[a].y1 < ls[b].y1
-	})
-	h := sha256.New()
-	var buf [8]byte
+	s.ls = ls
+	slices.SortFunc(ls, cmpLocalRect)
+	buf := s.buf[:0]
 	for _, r := range ls {
 		for _, v := range [5]int{r.layer, r.x0, r.y0, r.x1, r.y1} {
-			binary.LittleEndian.PutUint64(buf[:], uint64(int64(v)))
-			h.Write(buf[:])
+			buf = binary.LittleEndian.AppendUint64(buf, uint64(int64(v)))
 		}
 	}
-	var p Pattern
-	copy(p.Key[:], h.Sum(nil))
-	p.Rects = len(ls)
-	return p
+	s.buf = buf
+	return Pattern{Key: sha256.Sum256(buf), Rects: len(ls)}
 }
 
-// windowIndex buckets rectangles by the windows they touch so the scan is
-// linear in (rects × windows-touched) instead of rects × windows.
-func windowIndex(l *layout.Layout, pitch int) map[[2]int][]layout.Rect {
-	idx := make(map[[2]int][]layout.Rect)
+// index buckets rectangles by the windows they touch, so the scan is
+// linear in (rects × windows-touched) instead of rects × windows. The
+// buckets live in a flat row-major grid whose backing (and per-bucket
+// capacity) persists across scans.
+func (s *Scanner) index(l *layout.Layout, pitch, nx, ny int) {
+	n := nx * ny
+	if cap(s.cells) < n {
+		s.cells = append(s.cells[:cap(s.cells)], make([][]layout.Rect, n-cap(s.cells))...)
+	}
+	s.cells = s.cells[:n]
+	for i := range s.cells {
+		s.cells[i] = s.cells[i][:0]
+	}
 	for _, r := range l.Rects {
 		wx0, wy0 := r.X0/pitch, r.Y0/pitch
 		wx1, wy1 := (r.X1-1)/pitch, (r.Y1-1)/pitch
-		for wx := wx0; wx <= wx1; wx++ {
-			for wy := wy0; wy <= wy1; wy++ {
-				k := [2]int{wx, wy}
-				idx[k] = append(idx[k], r)
+		for wy := wy0; wy <= wy1; wy++ {
+			for wx := wx0; wx <= wx1; wx++ {
+				s.cells[wy*nx+wx] = append(s.cells[wy*nx+wx], r)
 			}
 		}
 	}
-	return idx
+}
+
+// scan produces the canonical pattern of every window in row-major order
+// into the Scanner's reused pattern buffer. The returned slice is owned
+// by the Scanner and valid until the next scan.
+func (s *Scanner) scan(l *layout.Layout, pitch int) ([]Pattern, error) {
+	if pitch <= 0 {
+		return nil, fmt.Errorf("regularity: pitch must be positive, got %d", pitch)
+	}
+	if err := l.Validate(); err != nil {
+		return nil, err
+	}
+	nx := (l.Width + pitch - 1) / pitch
+	ny := (l.Height + pitch - 1) / pitch
+	s.index(l, pitch, nx, ny)
+	pats := s.pats[:0]
+	for wy := 0; wy < ny; wy++ {
+		for wx := 0; wx < nx; wx++ {
+			pats = append(pats, s.canonicalize(s.cells[wy*nx+wx], wx*pitch, wy*pitch, pitch))
+		}
+	}
+	s.pats = pats
+	return pats, nil
 }
 
 // Scan partitions the layout into pitch×pitch windows and returns the
@@ -108,23 +164,14 @@ func windowIndex(l *layout.Layout, pitch int) map[[2]int][]layout.Rect {
 // the bounding box are not generated; partial windows at the right/top
 // edges are included (their clip region is still pitch-sized, so identical
 // partial content matches identically). It returns an error for a
-// non-positive pitch or an invalid layout.
+// non-positive pitch or an invalid layout. The returned slice is freshly
+// allocated and owned by the caller.
 func Scan(l *layout.Layout, pitch int) ([]Pattern, error) {
-	if pitch <= 0 {
-		return nil, fmt.Errorf("regularity: pitch must be positive, got %d", pitch)
-	}
-	if err := l.Validate(); err != nil {
+	s := scannerPool.Get().(*Scanner)
+	defer scannerPool.Put(s)
+	pats, err := s.scan(l, pitch)
+	if err != nil {
 		return nil, err
 	}
-	idx := windowIndex(l, pitch)
-	nx := (l.Width + pitch - 1) / pitch
-	ny := (l.Height + pitch - 1) / pitch
-	out := make([]Pattern, 0, nx*ny)
-	for wy := 0; wy < ny; wy++ {
-		for wx := 0; wx < nx; wx++ {
-			rects := idx[[2]int{wx, wy}]
-			out = append(out, canonicalize(rects, wx*pitch, wy*pitch, pitch))
-		}
-	}
-	return out, nil
+	return slices.Clone(pats), nil
 }

@@ -21,7 +21,16 @@ type RNG struct {
 // NewRNG returns a generator seeded from seed via SplitMix64, which
 // guarantees a well-mixed internal state even for small or structured seeds.
 func NewRNG(seed uint64) *RNG {
-	r := &RNG{}
+	r := Seeded(seed)
+	return &r
+}
+
+// Seeded returns the same generator as NewRNG by value. Hot loops that
+// create one short-lived stream per (wafer, row, chunk) — thousands per
+// simulation — use it to keep the generator on the stack instead of
+// paying one heap allocation per stream.
+func Seeded(seed uint64) RNG {
+	var r RNG
 	sm := seed
 	next := func() uint64 {
 		sm += 0x9e3779b97f4a7c15

@@ -366,3 +366,27 @@ func TestStreamSeedKeying(t *testing.T) {
 		t.Fatal("StreamSeed ignores id order")
 	}
 }
+
+func TestSeededMatchesNewRNG(t *testing.T) {
+	for _, seed := range []uint64{0, 1, 42, ^uint64(0)} {
+		v := Seeded(seed)
+		p := NewRNG(seed)
+		for i := 0; i < 64; i++ {
+			if a, b := v.Uint64(), p.Uint64(); a != b {
+				t.Fatalf("seed %d draw %d: Seeded %d != NewRNG %d", seed, i, a, b)
+			}
+		}
+	}
+}
+
+var seededSink int
+
+func TestSeededZeroAlloc(t *testing.T) {
+	allocs := testing.AllocsPerRun(100, func() {
+		r := Seeded(7)
+		seededSink += r.Poisson(3)
+	})
+	if allocs != 0 {
+		t.Fatalf("value-typed Seeded stream allocates %v per run, want 0", allocs)
+	}
+}

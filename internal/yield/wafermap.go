@@ -78,25 +78,25 @@ func SimulateWaferMap(c WaferMapConfig) (*WaferMap, error) {
 		return nil, fmt.Errorf("yield: wafer map: no die fits the usable area")
 	}
 	wm := &WaferMap{Cols: cols, Rows: rows, Wafers: c.Wafers}
+	// Row buffers carve one flat backing array each, instead of one
+	// allocation per row: two allocations for the whole map.
 	wm.Good = make([][]int, rows)
+	goodFlat := make([]int, rows*cols)
 	inside := make([][]bool, rows)
+	insideFlat := make([]bool, rows*cols)
 	r2 := c.UsableRadiusMM * c.UsableRadiusMM
 	originX := -float64(cols) / 2 * c.DieWMM
 	originY := -float64(rows) / 2 * c.DieHMM
 	for y := 0; y < rows; y++ {
-		wm.Good[y] = make([]int, cols)
-		inside[y] = make([]bool, cols)
+		wm.Good[y] = goodFlat[y*cols : (y+1)*cols : (y+1)*cols]
+		inside[y] = insideFlat[y*cols : (y+1)*cols : (y+1)*cols]
 		for x := 0; x < cols; x++ {
 			x0 := originX + float64(x)*c.DieWMM
 			y0 := originY + float64(y)*c.DieHMM
-			ok := true
-			for _, cx := range []float64{x0, x0 + c.DieWMM} {
-				for _, cy := range []float64{y0, y0 + c.DieHMM} {
-					if cx*cx+cy*cy > r2 {
-						ok = false
-					}
-				}
-			}
+			x1, y1 := x0+c.DieWMM, y0+c.DieHMM
+			// All four die corners must fall within the usable radius.
+			ok := x0*x0+y0*y0 <= r2 && x1*x1+y0*y0 <= r2 &&
+				x0*x0+y1*y1 <= r2 && x1*x1+y1*y1 <= r2
 			inside[y][x] = ok
 			if !ok {
 				wm.Good[y][x] = -1
@@ -119,7 +119,8 @@ func SimulateWaferMap(c WaferMapConfig) (*WaferMap, error) {
 	}
 	err := parallel.ForEach(context.Background(), rows, c.Workers, func(y int) error {
 		for w := 0; w < c.Wafers; w++ {
-			r := stats.NewRNG(stats.StreamSeed(c.Seed, uint64(w), uint64(y)))
+			// Value-typed stream: one per (wafer, row), stack-allocated.
+			r := stats.Seeded(stats.StreamSeed(c.Seed, uint64(w), uint64(y)))
 			for x := 0; x < cols; x++ {
 				if !inside[y][x] {
 					continue

@@ -191,3 +191,30 @@ func TestSimulateWaferMapDeterministicAcrossWorkers(t *testing.T) {
 		}
 	}
 }
+
+// The simulation's allocation contract after the flat row-buffer and
+// value-RNG rework: the map costs a handful of allocations regardless of
+// the (wafers × rows) stream count, where it used to pay one heap RNG per
+// stream and one slice per row.
+func TestSimulateWaferMapAllocBound(t *testing.T) {
+	cfg := WaferMapConfig{
+		UsableRadiusMM: 60,
+		DieWMM:         5, DieHMM: 5,
+		Lambda: 0.4, EdgeFactor: 2, ClusterAlpha: 1,
+		Wafers: 20, Seed: 3, Workers: 1,
+	}
+	if _, err := SimulateWaferMap(cfg); err != nil { // warm any lazy init
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(5, func() {
+		if _, err := SimulateWaferMap(cfg); err != nil {
+			t.Fatal(err)
+		}
+	})
+	// 24 rows × 20 wafers = 480 per-site streams used to mean ≥480
+	// allocations; the reworked path needs only the result struct, two
+	// flat backings, row headers, scales, and the worker machinery.
+	if allocs > 40 {
+		t.Fatalf("SimulateWaferMap allocates %v per run, want ≤40", allocs)
+	}
+}

@@ -2,10 +2,28 @@
 # bench_baseline.sh [out.json] — run the full benchmark harness
 # (go test -bench=. -benchmem -count=1) and record the results as JSON:
 # metadata plus one entry per benchmark line. Diff future runs against
-# the committed BENCH_PR1.json to spot hot-path regressions.
+# the committed BENCH_PR*.json with scripts/bench_compare.sh to spot
+# hot-path regressions.
+#
+# The metadata records the *actual* run environment: ncpu is read from
+# the machine the benchmarks executed on (not assumed), and when the
+# machine has a single CPU the Serial/Parallel benchmark pairs are
+# annotated as uninformative — on 1 CPU the parallel engine degenerates
+# to the serial path plus scheduling overhead, so a "parallel is not
+# faster" reading from such a file is a property of the recording host,
+# not of the code (BENCH_PR1.json was recorded on 1 CPU).
 set -eu
 cd "$(dirname "$0")/.."
 out="${1:-BENCH_PR1.json}"
+
+ncpu="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 1)"
+if [ "$ncpu" -gt 1 ]; then
+  pairs_informative=true
+  pairs_note="serial-vs-parallel pairs recorded on $ncpu CPUs"
+else
+  pairs_informative=false
+  pairs_note="recorded on 1 CPU: Serial/Parallel benchmark pairs are uninformative (the parallel engine cannot beat serial without cores); compare ns/op for those pairs only on a multi-core host"
+fi
 
 tmp="$(mktemp)"
 trap 'rm -f "$tmp"' EXIT
@@ -17,7 +35,9 @@ go test -bench=. -benchmem -count=1 -timeout 60m . | tee "$tmp" >&2
   printf '  "go": "%s",\n' "$(go env GOVERSION)"
   printf '  "goos": "%s",\n' "$(go env GOOS)"
   printf '  "goarch": "%s",\n' "$(go env GOARCH)"
-  printf '  "ncpu": %s,\n' "$(nproc 2>/dev/null || sysctl -n hw.ncpu)"
+  printf '  "ncpu": %s,\n' "$ncpu"
+  printf '  "parallel_pairs_informative": %s,\n' "$pairs_informative"
+  printf '  "parallel_pairs_note": "%s",\n' "$pairs_note"
   printf '  "command": "go test -bench=. -benchmem -count=1",\n'
   printf '  "benchmarks": [\n'
   awk '/^Benchmark/ {
@@ -33,4 +53,4 @@ go test -bench=. -benchmem -count=1 -timeout 60m . | tee "$tmp" >&2
   printf '  ]\n'
   printf '}\n'
 } > "$out"
-echo "baseline written to $out" >&2
+echo "baseline written to $out (ncpu=$ncpu, parallel pairs informative: $pairs_informative)" >&2

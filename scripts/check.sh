@@ -17,4 +17,17 @@ go test -race ./...
 echo "== bench smoke (1 iteration each) ==" >&2
 go test -run xxx -bench=. -benchtime=1x .
 
+# Memory-regression gate: compare the smoke run's bytes/op against the
+# recorded baseline with cmd/benchcmp (the repo's benchstat stand-in).
+# A pinned hot-path benchmark regressing >20% bytes/op fails the check;
+# ns/op from a 1x smoke run is noise, so only allocation data is gated.
+# For the full-fidelity version run `make bench-compare BASE=BENCH_PR2.json`.
+base="BENCH_PR2.json"
+if [ -f "$base" ]; then
+  echo "== bytes/op gate vs $base ==" >&2
+  go test -run xxx -bench=. -benchtime=1x -benchmem . | go run ./cmd/benchcmp -base "$base"
+else
+  echo "== bytes/op gate skipped ($base not recorded yet) ==" >&2
+fi
+
 echo "check: all gates passed" >&2
