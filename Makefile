@@ -1,7 +1,7 @@
 GO ?= go
 BASE ?= BENCH_PR2.json
 
-.PHONY: all build vet test race bench bench-smoke bench-compare check baseline
+.PHONY: all build vet test race bench bench-smoke bench-compare check baseline serve smoke-serve
 
 all: check
 
@@ -31,6 +31,15 @@ bench-smoke:
 # baseline with BASE=, e.g. `make bench-compare BASE=BENCH_PR1.json`.
 bench-compare:
 	./scripts/bench_compare.sh $(BASE)
+
+# Run the nanocostd cost-model service on its default port (:8087).
+serve:
+	$(GO) run ./cmd/nanocostd
+
+# End-to-end daemon smoke: build nanocostd, boot it on an ephemeral port,
+# exercise /healthz and /v1/cost, and verify the SIGTERM drain.
+smoke-serve:
+	./scripts/smoke_serve.sh
 
 # The gate run by CI and by scripts/check.sh.
 check: vet build race bench-smoke

@@ -15,6 +15,7 @@ import (
 	"os"
 	"strings"
 
+	"repro/internal/cliutil"
 	"repro/internal/experiments"
 	"repro/internal/parallel"
 	"repro/internal/profiling"
@@ -29,6 +30,7 @@ func main() {
 	workers := flag.Int("workers", 0, "worker goroutines for simulations and sweeps (0 = all cores); artifacts are identical for any value")
 	prof := profiling.Register()
 	flag.Parse()
+	cliutil.Validate(prof)
 	parallel.SetDefaultWorkers(*workers)
 
 	if *list {

@@ -16,6 +16,7 @@ import (
 	"strconv"
 	"strings"
 
+	"repro/internal/cliutil"
 	"repro/internal/core"
 	"repro/internal/maskcost"
 	"repro/internal/parallel"
@@ -41,6 +42,7 @@ func main() {
 	)
 	prof := profiling.Register()
 	flag.Parse()
+	cliutil.Validate(prof)
 	parallel.SetDefaultWorkers(*workers)
 
 	if err := prof.Start(); err != nil {

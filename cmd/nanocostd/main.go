@@ -1,0 +1,80 @@
+// Command nanocostd serves the paper's cost models (eq (1)–(7)) over
+// HTTP/JSON. It runs until interrupted (SIGINT/SIGTERM), then drains
+// in-flight requests before exiting.
+//
+// Routes: POST /v1/cost, /v1/designcost, /v1/generalized, /v1/sweep;
+// GET /v1/figures/{1..4}, /healthz, /metrics.
+//
+// Example:
+//
+//	nanocostd -addr :8087 -timeout 15s
+//	curl -s localhost:8087/healthz
+//	curl -s -X POST localhost:8087/v1/cost -d '{"process":{"lambda_um":0.18,"yield":0.4},"design":{"transistors":10e6,"sd":300},"wafers":5000}'
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log/slog"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/cliutil"
+	"repro/internal/parallel"
+	"repro/internal/profiling"
+	"repro/internal/serve"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":8087", "listen address")
+		timeout  = flag.Duration("timeout", 15*time.Second, "per-request evaluation deadline")
+		drain    = flag.Duration("drain", 10*time.Second, "graceful-shutdown drain deadline")
+		inflight = flag.Int("max-inflight", 0, "concurrent model requests before 429 (0 = 4 × GOMAXPROCS)")
+		maxBody  = flag.Int64("max-body", 1<<20, "request body size cap, bytes")
+		workers  = flag.Int("workers", 0, "worker goroutines for sweeps (0 = all cores); results are identical for any value")
+		verbose  = flag.Bool("v", false, "log at debug level")
+	)
+	prof := profiling.Register()
+	flag.Parse()
+	cliutil.Validate(prof)
+	parallel.SetDefaultWorkers(*workers)
+
+	level := slog.LevelInfo
+	if *verbose {
+		level = slog.LevelDebug
+	}
+	logger := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: level}))
+
+	if err := prof.Start(); err != nil {
+		fmt.Fprintf(os.Stderr, "nanocostd: %v\n", err)
+		os.Exit(1)
+	}
+	err := run(*addr, *timeout, *drain, *inflight, *maxBody, logger)
+	if perr := prof.Stop(); perr != nil && err == nil {
+		err = perr
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "nanocostd: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// run serves until SIGINT/SIGTERM, then lets the server drain.
+func run(addr string, timeout, drain time.Duration, inflight int, maxBody int64, logger *slog.Logger) error {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	srv := serve.NewServer(serve.Config{
+		Addr:            addr,
+		RequestTimeout:  timeout,
+		ShutdownTimeout: drain,
+		MaxInFlight:     inflight,
+		MaxBodyBytes:    maxBody,
+		Logger:          logger,
+	})
+	return srv.ListenAndServe(ctx)
+}

@@ -1,0 +1,45 @@
+package main
+
+import (
+	"io"
+	"log/slog"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// TestRunServesAndDrainsOnSIGTERM drives the real entry point: start the
+// daemon on an ephemeral port, deliver SIGTERM to the process, and require
+// a clean (nil-error) exit within the drain window.
+func TestRunServesAndDrainsOnSIGTERM(t *testing.T) {
+	logger := slog.New(slog.NewTextHandler(io.Discard, nil))
+	done := make(chan error, 1)
+	go func() {
+		done <- run("127.0.0.1:0", time.Second, time.Second, 4, 1<<20, logger)
+	}()
+
+	// Give the listener a beat to come up, then ask the daemon to stop the
+	// way an init system would.
+	time.Sleep(100 * time.Millisecond)
+	if err := syscall.Kill(syscall.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("run returned %v, want nil after SIGTERM drain", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("run did not exit after SIGTERM")
+	}
+}
+
+// TestRunRejectsBadAddr: an unbindable address is a startup error, not a
+// hang.
+func TestRunRejectsBadAddr(t *testing.T) {
+	logger := slog.New(slog.NewTextHandler(io.Discard, nil))
+	if err := run("256.0.0.1:99999", time.Second, time.Second, 4, 1<<20, logger); err == nil {
+		t.Fatal("accepted an unbindable address")
+	}
+}

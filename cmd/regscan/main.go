@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"os"
 
+	"repro/internal/cliutil"
 	"repro/internal/designflow"
 	"repro/internal/layout"
 	"repro/internal/profiling"
@@ -35,6 +36,7 @@ func main() {
 	)
 	prof := profiling.Register()
 	flag.Parse()
+	cliutil.Validate(prof)
 
 	if err := prof.Start(); err != nil {
 		fmt.Fprintf(os.Stderr, "regscan: %v\n", err)

@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"os"
 
+	"repro/internal/cliutil"
 	"repro/internal/parallel"
 	"repro/internal/profiling"
 	"repro/internal/report"
@@ -29,6 +30,7 @@ func main() {
 	)
 	prof := profiling.Register()
 	flag.Parse()
+	cliutil.Validate(prof)
 
 	parallel.SetDefaultWorkers(*workers)
 	if err := prof.Start(); err != nil {

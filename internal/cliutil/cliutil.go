@@ -1,0 +1,65 @@
+// Package cliutil holds the post-flag.Parse validation shared by every
+// command-line binary in the repository: positional arguments are
+// rejected, an explicit -workers value must be positive, and profile
+// output paths must be writable. Centralizing the checks keeps all the
+// binaries failing the same way — a usage message and exit status 2, the
+// conventional "bad command line" code — instead of a deep panic or a
+// silently ignored flag.
+package cliutil
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/profiling"
+)
+
+// Validate runs the shared checks against the default (already parsed)
+// flag set and, on failure, prints the problem plus the flag usage to
+// stderr and exits 2. Call it immediately after flag.Parse.
+func Validate(prof *profiling.Flags) {
+	if err := ValidateSet(flag.CommandLine, prof); err != nil {
+		fmt.Fprintf(os.Stderr, "%s: %v\n", os.Args[0], err)
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+// ValidateSet is the testable core of Validate: it reports the first
+// problem with the parsed flag set fs, or nil.
+//
+//   - Positional arguments are rejected: every input to these binaries is
+//     a flag, so a stray argument is always a mistake (a typo'd flag, a
+//     forgotten dash) that would otherwise be silently ignored.
+//   - An explicitly passed -workers must be positive. The un-passed
+//     default 0 keeps its documented "all cores" meaning; asking for zero
+//     or negative workers out loud is a contradiction, not a default.
+//   - Profile paths (-cpuprofile, -memprofile) must be writable now, not
+//     after the workload has already run.
+func ValidateSet(fs *flag.FlagSet, prof *profiling.Flags) error {
+	if fs.NArg() > 0 {
+		return fmt.Errorf("unexpected positional argument %q (every input is a flag)", fs.Arg(0))
+	}
+	if fs.Lookup("workers") != nil {
+		explicit := false
+		fs.Visit(func(f *flag.Flag) {
+			if f.Name == "workers" {
+				explicit = true
+			}
+		})
+		if explicit {
+			if g, ok := fs.Lookup("workers").Value.(flag.Getter); ok {
+				if n, ok := g.Get().(int); ok && n <= 0 {
+					return fmt.Errorf("-workers must be positive when given explicitly, got %d (omit the flag to use all cores)", n)
+				}
+			}
+		}
+	}
+	if prof != nil {
+		if err := prof.Validate(); err != nil {
+			return err
+		}
+	}
+	return nil
+}

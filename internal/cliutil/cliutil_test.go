@@ -1,0 +1,92 @@
+package cliutil
+
+import (
+	"flag"
+	"io"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/profiling"
+)
+
+// newSet builds a parsed flag set resembling the binaries': a -workers int
+// flag plus whatever arguments the test passes on the command line.
+func newSet(t *testing.T, argv ...string) *flag.FlagSet {
+	t.Helper()
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	fs.SetOutput(io.Discard)
+	fs.Int("workers", 0, "worker goroutines (0 = all cores)")
+	if err := fs.Parse(argv); err != nil {
+		t.Fatalf("parse %v: %v", argv, err)
+	}
+	return fs
+}
+
+func TestValidateSet(t *testing.T) {
+	cases := []struct {
+		name    string
+		argv    []string
+		wantErr string
+	}{
+		{"clean", nil, ""},
+		{"workers default", []string{}, ""},
+		{"workers positive", []string{"-workers", "4"}, ""},
+		{"workers zero explicit", []string{"-workers", "0"}, "-workers"},
+		{"workers negative", []string{"-workers", "-3"}, "-workers"},
+		{"positional arg", []string{"stray"}, "positional"},
+		{"positional after flag", []string{"-workers", "2", "stray"}, "positional"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			err := ValidateSet(newSet(t, c.argv...), nil)
+			if c.wantErr == "" {
+				if err != nil {
+					t.Fatalf("ValidateSet(%v) = %v, want nil", c.argv, err)
+				}
+				return
+			}
+			if err == nil || !strings.Contains(err.Error(), c.wantErr) {
+				t.Fatalf("ValidateSet(%v) = %v, want error mentioning %q", c.argv, err, c.wantErr)
+			}
+		})
+	}
+}
+
+// TestValidateSetWithoutWorkersFlag: binaries without a -workers flag
+// (regscan) must pass untouched.
+func TestValidateSetWithoutWorkersFlag(t *testing.T) {
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	fs.SetOutput(io.Discard)
+	if err := fs.Parse(nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateSet(fs, nil); err != nil {
+		t.Fatalf("ValidateSet on a workers-less set: %v", err)
+	}
+}
+
+// TestValidateSetProfilePath: an unwritable profile path fails at
+// validation time, a writable one passes.
+func TestValidateSetProfilePath(t *testing.T) {
+	good := profFlags(t, filepath.Join(t.TempDir(), "cpu.out"))
+	if err := ValidateSet(newSet(t), good); err != nil {
+		t.Fatalf("writable profile path rejected: %v", err)
+	}
+	bad := profFlags(t, filepath.Join(t.TempDir(), "missing-dir", "cpu.out"))
+	if err := ValidateSet(newSet(t), bad); err == nil {
+		t.Fatal("unwritable profile path accepted")
+	}
+}
+
+// profFlags builds a profiling.Flags with -cpuprofile pointed at path.
+func profFlags(t *testing.T, path string) *profiling.Flags {
+	t.Helper()
+	fs := flag.NewFlagSet("prof", flag.ContinueOnError)
+	fs.SetOutput(io.Discard)
+	p := profiling.RegisterOn(fs)
+	if err := fs.Parse([]string{"-cpuprofile", path}); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}

@@ -21,14 +21,14 @@ type Process struct {
 // Validate reports the first invalid field of p, or nil.
 func (p Process) Validate() error {
 	switch {
-	case p.LambdaUM <= 0:
-		return fmt.Errorf("core: process %q: feature size must be positive, got %v µm", p.Name, p.LambdaUM)
-	case p.CostPerCM2 <= 0:
-		return fmt.Errorf("core: process %q: cost per cm² must be positive, got %v", p.Name, p.CostPerCM2)
+	case !finitePos(p.LambdaUM):
+		return fmt.Errorf("core: process %q: feature size must be positive and finite, got %v µm", p.Name, p.LambdaUM)
+	case !finitePos(p.CostPerCM2):
+		return fmt.Errorf("core: process %q: cost per cm² must be positive and finite, got %v", p.Name, p.CostPerCM2)
 	case !validYield(p.Yield):
 		return fmt.Errorf("core: process %q: yield must be in (0,1], got %v", p.Name, p.Yield)
-	case p.WaferAreaCM2 <= 0:
-		return fmt.Errorf("core: process %q: wafer area must be positive, got %v cm²", p.Name, p.WaferAreaCM2)
+	case !finitePos(p.WaferAreaCM2):
+		return fmt.Errorf("core: process %q: wafer area must be positive and finite, got %v cm²", p.Name, p.WaferAreaCM2)
 	}
 	return nil
 }
@@ -44,10 +44,10 @@ type Design struct {
 // Validate reports the first invalid field of d, or nil.
 func (d Design) Validate() error {
 	switch {
-	case d.Transistors <= 0:
-		return fmt.Errorf("core: design %q: transistor count must be positive, got %v", d.Name, d.Transistors)
-	case d.Sd <= 0:
-		return fmt.Errorf("core: design %q: s_d must be positive, got %v", d.Name, d.Sd)
+	case !finitePos(d.Transistors):
+		return fmt.Errorf("core: design %q: transistor count must be positive and finite, got %v", d.Name, d.Transistors)
+	case !finitePos(d.Sd):
+		return fmt.Errorf("core: design %q: s_d must be positive and finite, got %v", d.Name, d.Sd)
 	}
 	return nil
 }
@@ -84,11 +84,11 @@ func ManufacturingCostPerTransistor(p Process, d Design) (float64, error) {
 // (internal/fab) can feed the cost model without going through the per-cm²
 // abstraction.
 func CostPerTransistorFromWafer(waferCost, transistors float64, chipsPerWafer int, yield float64) (float64, error) {
-	if waferCost <= 0 {
-		return 0, fmt.Errorf("core: wafer cost must be positive, got %v", waferCost)
+	if !finitePos(waferCost) {
+		return 0, fmt.Errorf("core: wafer cost must be positive and finite, got %v", waferCost)
 	}
-	if transistors <= 0 {
-		return 0, fmt.Errorf("core: transistor count must be positive, got %v", transistors)
+	if !finitePos(transistors) {
+		return 0, fmt.Errorf("core: transistor count must be positive and finite, got %v", transistors)
 	}
 	if chipsPerWafer <= 0 {
 		return 0, fmt.Errorf("core: chips per wafer must be positive, got %d", chipsPerWafer)

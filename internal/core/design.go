@@ -34,31 +34,33 @@ func DefaultDesignCostModel() DesignCostModel {
 // Validate reports the first invalid parameter of m, or nil.
 func (m DesignCostModel) Validate() error {
 	switch {
-	case m.A0 <= 0:
-		return fmt.Errorf("core: design cost model: A0 must be positive, got %v", m.A0)
-	case m.P1 < 0:
-		return fmt.Errorf("core: design cost model: p1 must be non-negative, got %v", m.P1)
-	case m.P2 < 0:
-		return fmt.Errorf("core: design cost model: p2 must be non-negative, got %v", m.P2)
-	case m.Sd0 <= 0:
-		return fmt.Errorf("core: design cost model: s_d0 must be positive, got %v", m.Sd0)
+	case !finitePos(m.A0):
+		return fmt.Errorf("core: design cost model: A0 must be positive and finite, got %v", m.A0)
+	case !finiteNonNeg(m.P1):
+		return fmt.Errorf("core: design cost model: p1 must be non-negative and finite, got %v", m.P1)
+	case !finiteNonNeg(m.P2):
+		return fmt.Errorf("core: design cost model: p2 must be non-negative and finite, got %v", m.P2)
+	case !finitePos(m.Sd0):
+		return fmt.Errorf("core: design cost model: s_d0 must be positive and finite, got %v", m.Sd0)
 	}
 	return nil
 }
 
 // Cost evaluates eq (6) for a design with the given transistor count and
-// decompression index. It returns an error when sd does not exceed the
-// full-custom limit Sd0, where the model diverges: no amount of design
-// effort reaches beyond the best-possible density.
+// decompression index. When sd does not exceed the full-custom limit Sd0
+// the model has no answer — the denominator hits its pole at s_d = s_d0
+// and turns negative (NaN under a fractional p2) below it — so the error
+// wraps ErrOutOfDomain rather than letting Inf or NaN escape as a value.
 func (m DesignCostModel) Cost(transistors, sd float64) (float64, error) {
 	if err := m.Validate(); err != nil {
 		return 0, err
 	}
-	if transistors <= 0 {
-		return 0, fmt.Errorf("core: design cost: transistor count must be positive, got %v", transistors)
+	if !finitePos(transistors) {
+		return 0, fmt.Errorf("core: design cost: transistor count must be positive and finite, got %v", transistors)
 	}
-	if sd <= m.Sd0 {
-		return 0, fmt.Errorf("core: design cost: s_d = %v must exceed the full-custom limit s_d0 = %v", sd, m.Sd0)
+	if !finite(sd) || sd <= m.Sd0 {
+		return 0, fmt.Errorf("core: design cost: s_d = %v must exceed the full-custom limit s_d0 = %v and be finite: %w",
+			sd, m.Sd0, ErrOutOfDomain)
 	}
 	return m.A0 * math.Pow(transistors, m.P1) / math.Pow(sd-m.Sd0, m.P2), nil
 }
@@ -84,17 +86,17 @@ func (m DesignCostModel) MarginalCost(transistors, sd float64) (float64, error) 
 // result vanishes and eq (4) degenerates to eq (3), exactly as the paper
 // notes.
 func DesignCostPerCM2(maskCost, designCost, wafers, waferAreaCM2 float64) (float64, error) {
-	if maskCost < 0 {
-		return 0, fmt.Errorf("core: mask cost must be non-negative, got %v", maskCost)
+	if !finiteNonNeg(maskCost) {
+		return 0, fmt.Errorf("core: mask cost must be non-negative and finite, got %v", maskCost)
 	}
-	if designCost < 0 {
-		return 0, fmt.Errorf("core: design cost must be non-negative, got %v", designCost)
+	if !finiteNonNeg(designCost) {
+		return 0, fmt.Errorf("core: design cost must be non-negative and finite, got %v", designCost)
 	}
-	if wafers <= 0 {
-		return 0, fmt.Errorf("core: wafer volume must be positive, got %v", wafers)
+	if !finitePos(wafers) {
+		return 0, fmt.Errorf("core: wafer volume must be positive and finite, got %v", wafers)
 	}
-	if waferAreaCM2 <= 0 {
-		return 0, fmt.Errorf("core: wafer area must be positive, got %v", waferAreaCM2)
+	if !finitePos(waferAreaCM2) {
+		return 0, fmt.Errorf("core: wafer area must be positive and finite, got %v", waferAreaCM2)
 	}
 	return (maskCost + designCost) / (wafers * waferAreaCM2), nil
 }

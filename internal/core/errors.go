@@ -1,0 +1,29 @@
+package core
+
+import (
+	"errors"
+	"math"
+)
+
+// ErrOutOfDomain tags errors raised when a parameter lies outside the
+// mathematical domain of one of the paper's models — most prominently the
+// eq (6) pole at s_d ≤ s_d0, where the design cost diverges and any
+// numeric answer would be Inf, NaN or negative. Callers that probe the
+// model (optimizers, sweeps, HTTP handlers) test for it with errors.Is and
+// map it to "bad input" handling (skip the point, return 400) instead of
+// treating it as an internal failure.
+var ErrOutOfDomain = errors.New("parameter outside model domain")
+
+// finite reports whether x is a usable finite number: not NaN and not ±Inf.
+// Every validator in the package rejects non-finite inputs through it, so
+// poisoned values surface as errors at the model boundary instead of
+// propagating through arithmetic as silent NaN/Inf results.
+func finite(x float64) bool { return !math.IsNaN(x) && !math.IsInf(x, 0) }
+
+// finitePos reports whether x is finite and strictly positive. Note the
+// deliberate form: `x > 0` alone would accept +Inf and `x <= 0` checks
+// alone would accept NaN (every comparison with NaN is false).
+func finitePos(x float64) bool { return finite(x) && x > 0 }
+
+// finiteNonNeg reports whether x is finite and non-negative.
+func finiteNonNeg(x float64) bool { return finite(x) && x >= 0 }

@@ -41,18 +41,21 @@ func LogNormal(median, sigma float64) Dist { return Dist{kind: distLogNormal, a:
 func (d Dist) Validate() error {
 	switch d.kind {
 	case distFixed:
+		if !finite(d.a) {
+			return fmt.Errorf("core: fixed distribution value must be finite, got %v", d.a)
+		}
 		return nil
 	case distUniform:
-		if !(d.a <= d.b) {
-			return fmt.Errorf("core: uniform distribution requires lo <= hi, got [%v, %v]", d.a, d.b)
+		if !finite(d.a) || !finite(d.b) || !(d.a <= d.b) {
+			return fmt.Errorf("core: uniform distribution requires finite lo <= hi, got [%v, %v]", d.a, d.b)
 		}
 		return nil
 	case distLogNormal:
-		if d.a <= 0 {
-			return fmt.Errorf("core: log-normal median must be positive, got %v", d.a)
+		if !finitePos(d.a) {
+			return fmt.Errorf("core: log-normal median must be positive and finite, got %v", d.a)
 		}
-		if d.b < 1 {
-			return fmt.Errorf("core: log-normal sigma must be >= 1, got %v", d.b)
+		if !finite(d.b) || d.b < 1 {
+			return fmt.Errorf("core: log-normal sigma must be finite and >= 1, got %v", d.b)
 		}
 		return nil
 	default:
@@ -234,6 +237,12 @@ func (u UncertainScenario) MonteCarloRun(n int, seed uint64, workers int) (MCRun
 			for attempt := 0; attempt < mcMaxAttempts; attempt++ {
 				total, accepted := u.drawOnce(r, &dists)
 				if accepted {
+					if !finite(total) {
+						// With finite-validated inputs this is unreachable, but a
+						// NaN that slipped through must fail the run rather than
+						// be averaged into the quantiles.
+						return fmt.Errorf("core: MonteCarlo produced non-finite cost %v from an accepted draw", total)
+					}
 					costs[i] = total
 					ok = true
 					break

@@ -39,8 +39,13 @@ func OptimalSd(s Scenario, sdMax float64) (Optimum, error) {
 		return b.Total
 	}
 	// Grid pre-pass guards against the steep wall at s_d0 confusing the
-	// bracketing, then Brent refines.
-	gx, _ := stats.ArgminGrid(obj, lo, sdMax, 512)
+	// bracketing, then Brent refines. The error-returning grid search skips
+	// NaN objective values (none are expected — out-of-domain points map to
+	// +Inf above — but a NaN must never become the bracket center).
+	gx, _, err := stats.ArgminGridE(obj, lo, sdMax, 512)
+	if err != nil {
+		return Optimum{}, fmt.Errorf("core: OptimalSd: %w", err)
+	}
 	span := (sdMax - lo) / 511
 	blo, bhi := math.Max(lo, gx-2*span), math.Min(sdMax, gx+2*span)
 	res, err := stats.Minimize(obj, blo, bhi, 1e-6*(sdMax-lo))
@@ -64,13 +69,21 @@ type SweepPoint struct {
 // values in [lo, hi]. It is the Figure 4 workload. lo must exceed the
 // model's Sd0.
 func SweepSd(s Scenario, lo, hi float64, n int) ([]SweepPoint, error) {
+	return SweepSdCtx(context.Background(), s, lo, hi, n)
+}
+
+// SweepSdCtx is SweepSd honoring a caller context: a cancellation or
+// deadline aborts the remaining evaluations and returns ctx.Err(). Long
+// sweeps driven by servers use it to stop wasting workers on abandoned
+// requests.
+func SweepSdCtx(ctx context.Context, s Scenario, lo, hi float64, n int) ([]SweepPoint, error) {
 	if err := s.Validate(); err != nil {
 		return nil, err
 	}
-	if lo <= s.DesignCost.Sd0 {
-		return nil, fmt.Errorf("core: SweepSd: lo = %v must exceed s_d0 = %v", lo, s.DesignCost.Sd0)
+	if !finite(lo) || lo <= s.DesignCost.Sd0 {
+		return nil, fmt.Errorf("core: SweepSd: lo = %v must exceed s_d0 = %v: %w", lo, s.DesignCost.Sd0, ErrOutOfDomain)
 	}
-	return sweepLog(lo, hi, n, func(sd float64) (Breakdown, error) {
+	return sweepLog(ctx, lo, hi, n, func(sd float64) (Breakdown, error) {
 		return s.WithSd(sd).TransistorCost()
 	})
 }
@@ -78,14 +91,41 @@ func SweepSd(s Scenario, lo, hi float64, n int) ([]SweepPoint, error) {
 // SweepVolume evaluates the scenario cost on n logarithmically spaced
 // wafer volumes in [lo, hi].
 func SweepVolume(s Scenario, lo, hi float64, n int) ([]SweepPoint, error) {
+	return SweepVolumeCtx(context.Background(), s, lo, hi, n)
+}
+
+// SweepVolumeCtx is SweepVolume honoring a caller context.
+func SweepVolumeCtx(ctx context.Context, s Scenario, lo, hi float64, n int) ([]SweepPoint, error) {
 	if err := s.Validate(); err != nil {
 		return nil, err
 	}
-	if lo <= 0 {
-		return nil, fmt.Errorf("core: SweepVolume: lo must be positive, got %v", lo)
+	if !finitePos(lo) {
+		return nil, fmt.Errorf("core: SweepVolume: lo must be positive and finite, got %v", lo)
 	}
-	return sweepLog(lo, hi, n, func(w float64) (Breakdown, error) {
+	return sweepLog(ctx, lo, hi, n, func(w float64) (Breakdown, error) {
 		return s.WithWafers(w).TransistorCost()
+	})
+}
+
+// SweepYield evaluates the scenario cost on n linearly spaced
+// manufacturing yields in [lo, hi] ⊂ (0, 1]. Yield is the one swept axis
+// where a log grid would waste points: the interesting structure (the 1/Y
+// blow-up) lives at the low end of a bounded interval, so the spacing is
+// linear.
+func SweepYield(s Scenario, lo, hi float64, n int) ([]SweepPoint, error) {
+	return SweepYieldCtx(context.Background(), s, lo, hi, n)
+}
+
+// SweepYieldCtx is SweepYield honoring a caller context.
+func SweepYieldCtx(ctx context.Context, s Scenario, lo, hi float64, n int) ([]SweepPoint, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	if !(finitePos(lo) && lo <= 1) || !(finitePos(hi) && hi <= 1) {
+		return nil, fmt.Errorf("core: SweepYield: bounds must lie in (0,1], got [%v, %v]", lo, hi)
+	}
+	return sweepLin(ctx, lo, hi, n, func(y float64) (Breakdown, error) {
+		return s.WithYield(y).TransistorCost()
 	})
 }
 
@@ -95,9 +135,9 @@ func SweepVolume(s Scenario, lo, hi float64, n int) ([]SweepPoint, error) {
 // the evaluations fan out over the default worker pool; eval must
 // therefore be pure. Results land in index-addressed slots, so the output
 // ordering is independent of scheduling.
-func sweepLog(lo, hi float64, n int, eval func(float64) (Breakdown, error)) ([]SweepPoint, error) {
-	if !(lo < hi) {
-		return nil, fmt.Errorf("core: sweep requires lo < hi, got [%v, %v]", lo, hi)
+func sweepLog(ctx context.Context, lo, hi float64, n int, eval func(float64) (Breakdown, error)) ([]SweepPoint, error) {
+	if !finite(lo) || !finite(hi) || !(lo < hi) {
+		return nil, fmt.Errorf("core: sweep requires finite lo < hi, got [%v, %v]", lo, hi)
 	}
 	if n < 2 {
 		return nil, fmt.Errorf("core: sweep requires at least 2 points, got %d", n)
@@ -112,7 +152,32 @@ func sweepLog(lo, hi float64, n int, eval func(float64) (Breakdown, error)) ([]S
 		xs[i] = x
 		x *= ratio
 	}
-	return parallel.Map(context.Background(), n, 0, func(i int) (SweepPoint, error) {
+	return sweepEval(ctx, xs, eval)
+}
+
+// sweepLin is sweepLog on a uniformly spaced grid, for bounded axes like
+// yield where log spacing is the wrong density.
+func sweepLin(ctx context.Context, lo, hi float64, n int, eval func(float64) (Breakdown, error)) ([]SweepPoint, error) {
+	if !finite(lo) || !finite(hi) || !(lo < hi) {
+		return nil, fmt.Errorf("core: sweep requires finite lo < hi, got [%v, %v]", lo, hi)
+	}
+	if n < 2 {
+		return nil, fmt.Errorf("core: sweep requires at least 2 points, got %d", n)
+	}
+	xs := make([]float64, n)
+	step := (hi - lo) / float64(n-1)
+	for i := 0; i < n; i++ {
+		xs[i] = lo + float64(i)*step
+	}
+	xs[n-1] = hi // avoid drift on the terminal point
+	return sweepEval(ctx, xs, eval)
+}
+
+// sweepEval fans the grid evaluations out over the default worker pool;
+// results land in index-addressed slots, so the output ordering is
+// independent of scheduling.
+func sweepEval(ctx context.Context, xs []float64, eval func(float64) (Breakdown, error)) ([]SweepPoint, error) {
+	return parallel.Map(ctx, len(xs), 0, func(i int) (SweepPoint, error) {
 		b, err := eval(xs[i])
 		if err != nil {
 			return SweepPoint{}, err

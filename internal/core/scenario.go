@@ -46,11 +46,11 @@ func (s Scenario) Validate() error {
 	if err := s.DesignCost.Validate(); err != nil {
 		return err
 	}
-	if s.MaskCost < 0 {
-		return fmt.Errorf("core: scenario: mask cost must be non-negative, got %v", s.MaskCost)
+	if !finiteNonNeg(s.MaskCost) {
+		return fmt.Errorf("core: scenario: mask cost must be non-negative and finite, got %v", s.MaskCost)
 	}
-	if s.Wafers <= 0 {
-		return fmt.Errorf("core: scenario: wafer volume must be positive, got %v", s.Wafers)
+	if !finitePos(s.Wafers) {
+		return fmt.Errorf("core: scenario: wafer volume must be positive and finite, got %v", s.Wafers)
 	}
 	if u := s.utilization(); !(u > 0 && u <= 1) {
 		return fmt.Errorf("core: scenario: utilization must be in (0,1], got %v", u)
@@ -116,6 +116,13 @@ func (s Scenario) WithSd(sd float64) Scenario {
 // replaced, for sweeps over N_w.
 func (s Scenario) WithWafers(wafers float64) Scenario {
 	s.Wafers = wafers
+	return s
+}
+
+// WithYield returns a copy of the scenario with the manufacturing yield
+// replaced, for sweeps over Y.
+func (s Scenario) WithYield(yield float64) Scenario {
+	s.Process.Yield = yield
 	return s
 }
 

@@ -31,11 +31,37 @@ type Flags struct {
 // Register adds -cpuprofile, -memprofile and -stats to the default flag
 // set and returns the handle the binary starts and stops around its work.
 func Register() *Flags {
+	return RegisterOn(flag.CommandLine)
+}
+
+// RegisterOn is Register against an arbitrary flag set, for tests and
+// embedders that do not use the global one.
+func RegisterOn(fs *flag.FlagSet) *Flags {
 	f := &Flags{}
-	flag.StringVar(&f.cpuProfile, "cpuprofile", "", "write a pprof CPU profile to `file`")
-	flag.StringVar(&f.memProfile, "memprofile", "", "write a pprof heap profile to `file` on exit")
-	flag.BoolVar(&f.stats, "stats", false, "print memo cache hit/miss statistics to stderr on exit")
+	fs.StringVar(&f.cpuProfile, "cpuprofile", "", "write a pprof CPU profile to `file`")
+	fs.StringVar(&f.memProfile, "memprofile", "", "write a pprof heap profile to `file` on exit")
+	fs.BoolVar(&f.stats, "stats", false, "print memo cache hit/miss statistics to stderr on exit")
 	return f
+}
+
+// Validate checks that every requested profile path is writable, so a
+// typo'd -cpuprofile fails at flag-validation time with a usage error
+// instead of after the workload ran. It creates (or opens) each file and
+// closes it again; Start re-creates them for the real write.
+func (f *Flags) Validate() error {
+	for _, path := range []string{f.cpuProfile, f.memProfile} {
+		if path == "" {
+			continue
+		}
+		file, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE, 0o644)
+		if err != nil {
+			return fmt.Errorf("profiling: profile path is not writable: %w", err)
+		}
+		if err := file.Close(); err != nil {
+			return fmt.Errorf("profiling: %w", err)
+		}
+	}
+	return nil
 }
 
 // Start begins CPU profiling when requested. Call it after flag.Parse and

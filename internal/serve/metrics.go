@@ -1,0 +1,111 @@
+package serve
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/memo"
+)
+
+// latencyBuckets are the upper bounds (seconds) of the request-latency
+// histogram, chosen to straddle the workloads the service hosts: point
+// evaluations land in the sub-millisecond buckets, sweeps and figure
+// regenerations in the tens-of-milliseconds range, and anything beyond a
+// few seconds indicates saturation or an oversized request.
+var latencyBuckets = []float64{
+	0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
+	0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+// metrics aggregates the service's observability counters: per-route and
+// per-status request counts, a request latency histogram, and an in-flight
+// gauge. All methods are safe for concurrent use.
+type metrics struct {
+	inFlight atomic.Int64
+
+	mu       sync.Mutex
+	requests map[routeCode]uint64
+	buckets  []uint64 // one per latencyBuckets entry, plus the +Inf slot
+	sum      float64  // total observed seconds
+	count    uint64   // total observations
+}
+
+// routeCode keys a request counter: the registered route pattern (not the
+// raw URL, which is unbounded) and the response status code.
+type routeCode struct {
+	route string
+	code  int
+}
+
+func newMetrics() *metrics {
+	return &metrics{
+		requests: make(map[routeCode]uint64),
+		buckets:  make([]uint64, len(latencyBuckets)+1),
+	}
+}
+
+// observe records one finished request.
+func (m *metrics) observe(route string, code int, seconds float64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.requests[routeCode{route, code}]++
+	i := sort.SearchFloat64s(latencyBuckets, seconds)
+	m.buckets[i]++
+	m.sum += seconds
+	m.count++
+}
+
+// writeTo renders the metrics in the Prometheus text exposition format,
+// followed by one gauge set per registered memo cache so a scrape sees the
+// model-layer cache effectiveness next to the HTTP traffic.
+func (m *metrics) writeTo(w io.Writer) {
+	m.mu.Lock()
+	keys := make([]routeCode, 0, len(m.requests))
+	for k := range m.requests {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(a, b int) bool {
+		if keys[a].route != keys[b].route {
+			return keys[a].route < keys[b].route
+		}
+		return keys[a].code < keys[b].code
+	})
+	counts := make([]uint64, len(keys))
+	for i, k := range keys {
+		counts[i] = m.requests[k]
+	}
+	buckets := append([]uint64(nil), m.buckets...)
+	sum, count := m.sum, m.count
+	m.mu.Unlock()
+
+	fmt.Fprintln(w, "# HELP nanocostd_requests_total Requests served, by route pattern and status code.")
+	fmt.Fprintln(w, "# TYPE nanocostd_requests_total counter")
+	for i, k := range keys {
+		fmt.Fprintf(w, "nanocostd_requests_total{route=%q,code=\"%d\"} %d\n", k.route, k.code, counts[i])
+	}
+	fmt.Fprintln(w, "# HELP nanocostd_request_seconds Request latency histogram.")
+	fmt.Fprintln(w, "# TYPE nanocostd_request_seconds histogram")
+	var cum uint64
+	for i, le := range latencyBuckets {
+		cum += buckets[i]
+		fmt.Fprintf(w, "nanocostd_request_seconds_bucket{le=%q} %d\n", strconv.FormatFloat(le, 'g', -1, 64), cum)
+	}
+	fmt.Fprintf(w, "nanocostd_request_seconds_bucket{le=\"+Inf\"} %d\n", count)
+	fmt.Fprintf(w, "nanocostd_request_seconds_sum %g\n", sum)
+	fmt.Fprintf(w, "nanocostd_request_seconds_count %d\n", count)
+	fmt.Fprintln(w, "# HELP nanocostd_in_flight Requests currently being served.")
+	fmt.Fprintln(w, "# TYPE nanocostd_in_flight gauge")
+	fmt.Fprintf(w, "nanocostd_in_flight %d\n", m.inFlight.Load())
+
+	fmt.Fprintln(w, "# HELP nanocostd_memo_cache_hit_rate Hit rate of each registered memo cache.")
+	fmt.Fprintln(w, "# TYPE nanocostd_memo_cache_hit_rate gauge")
+	for _, s := range memo.Stats() {
+		fmt.Fprintf(w, "nanocostd_memo_cache_hits_total{cache=%q} %d\n", s.Name, s.Hits)
+		fmt.Fprintf(w, "nanocostd_memo_cache_misses_total{cache=%q} %d\n", s.Name, s.Misses)
+		fmt.Fprintf(w, "nanocostd_memo_cache_hit_rate{cache=%q} %g\n", s.Name, s.HitRate())
+	}
+}

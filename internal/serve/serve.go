@@ -1,0 +1,378 @@
+// Package serve exposes the repository's cost models (Maly eq (1)–(7)) as
+// a long-running HTTP/JSON service — the nanocostd daemon. The package is
+// the production front-end the ROADMAP asks for: strict request validation
+// that maps model-domain errors (the eq (6) pole at s_d ≤ s_d0, invalid
+// yields, NaN-poisoned parameters) to 400 responses instead of 500s or
+// NaN-bearing JSON, per-request timeouts, bounded concurrency with 429
+// backpressure, request body size limits, graceful connection-draining
+// shutdown, and an observability surface (/healthz, /metrics with request
+// counters, a latency histogram, an in-flight gauge and the memo cache hit
+// rates, plus structured request logging via log/slog).
+//
+// Routes:
+//
+//	POST /v1/cost          eq (1)–(5): full transistor-cost breakdown
+//	POST /v1/designcost    eq (6): design cost C_DE and its marginal
+//	POST /v1/generalized   eq (7): utilization + pluggable yield model
+//	POST /v1/sweep         parameter sweeps over s_d, N_w or Y
+//	GET  /v1/figures/{id}  paper-figure data series (1–4), memoized
+//	GET  /healthz          liveness probe
+//	GET  /metrics          Prometheus text exposition
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log/slog"
+	"net"
+	"net/http"
+	"runtime"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+)
+
+// Config collects the operational knobs of the service. The zero value is
+// usable: every field falls back to the documented default.
+type Config struct {
+	// Addr is the listen address for ListenAndServe ("" means ":8087").
+	Addr string
+	// RequestTimeout bounds each model-evaluating request's context
+	// (default 15s). /healthz and /metrics are exempt: observability must
+	// answer even when the model paths are saturated.
+	RequestTimeout time.Duration
+	// ShutdownTimeout bounds connection draining during graceful shutdown
+	// (default 10s).
+	ShutdownTimeout time.Duration
+	// MaxInFlight caps concurrently served model requests; excess requests
+	// receive 429 with Retry-After (default 4 × GOMAXPROCS).
+	MaxInFlight int
+	// MaxBodyBytes caps request body size (default 1 MiB); larger bodies
+	// receive 413.
+	MaxBodyBytes int64
+	// Logger receives structured request and lifecycle logs (default
+	// slog.Default()).
+	Logger *slog.Logger
+}
+
+// withDefaults resolves the zero-value fallbacks.
+func (c Config) withDefaults() Config {
+	if c.Addr == "" {
+		c.Addr = ":8087"
+	}
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = 15 * time.Second
+	}
+	if c.ShutdownTimeout <= 0 {
+		c.ShutdownTimeout = 10 * time.Second
+	}
+	if c.MaxInFlight <= 0 {
+		c.MaxInFlight = 4 * runtime.GOMAXPROCS(0)
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 1 << 20
+	}
+	if c.Logger == nil {
+		c.Logger = slog.Default()
+	}
+	return c
+}
+
+// Server is the nanocostd HTTP service. Construct with NewServer; drive
+// with ListenAndServe/Serve (blocking, context-cancelled) or mount
+// Handler on a test server.
+type Server struct {
+	cfg     Config
+	log     *slog.Logger
+	mux     *http.ServeMux
+	metrics *metrics
+	sem     chan struct{}
+	addr    atomic.Value // string: bound listen address, set once serving
+}
+
+// NewServer builds a Server from cfg (zero fields take defaults).
+func NewServer(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:     cfg,
+		log:     cfg.Logger,
+		mux:     http.NewServeMux(),
+		metrics: newMetrics(),
+		sem:     make(chan struct{}, cfg.MaxInFlight),
+	}
+	s.routes()
+	return s
+}
+
+// Handler returns the service's root handler, for httptest mounting.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Addr returns the bound listen address once Serve has started listening,
+// or "" before that. It exists so tests and the smoke script can reach a
+// server started on an ephemeral port.
+func (s *Server) Addr() string {
+	if v := s.addr.Load(); v != nil {
+		return v.(string)
+	}
+	return ""
+}
+
+// ListenAndServe listens on cfg.Addr and serves until ctx is cancelled,
+// then drains in-flight connections for up to cfg.ShutdownTimeout before
+// returning. It returns nil on a clean drain.
+func (s *Server) ListenAndServe(ctx context.Context) error {
+	ln, err := net.Listen("tcp", s.cfg.Addr)
+	if err != nil {
+		return fmt.Errorf("serve: listen %s: %w", s.cfg.Addr, err)
+	}
+	return s.Serve(ctx, ln)
+}
+
+// Serve serves on ln until ctx is cancelled, then performs the graceful
+// drain. The listener is closed when Serve returns.
+func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
+	s.addr.Store(ln.Addr().String())
+	s.log.Info("nanocostd listening",
+		"addr", ln.Addr().String(),
+		"request_timeout", s.cfg.RequestTimeout.String(),
+		"max_in_flight", s.cfg.MaxInFlight)
+	srv := &http.Server{
+		Handler:           s.mux,
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ln) }()
+	select {
+	case err := <-done:
+		// Serve only returns on listener failure here; Shutdown was not
+		// requested yet.
+		return fmt.Errorf("serve: %w", err)
+	case <-ctx.Done():
+	}
+	s.log.Info("nanocostd draining", "timeout", s.cfg.ShutdownTimeout.String())
+	drainCtx, cancel := context.WithTimeout(context.Background(), s.cfg.ShutdownTimeout)
+	defer cancel()
+	err := srv.Shutdown(drainCtx)
+	<-done // srv.Serve returns http.ErrServerClosed after Shutdown
+	if err != nil {
+		return fmt.Errorf("serve: shutdown: %w", err)
+	}
+	s.log.Info("nanocostd stopped")
+	return nil
+}
+
+// routes wires the endpoint table. Model-evaluating routes go through
+// handle (semaphore + timeout + metrics + logging); the observability
+// routes bypass the semaphore and timeout.
+func (s *Server) routes() {
+	s.mux.HandleFunc("POST /v1/cost", s.handle("/v1/cost", s.handleCost))
+	s.mux.HandleFunc("POST /v1/designcost", s.handle("/v1/designcost", s.handleDesignCost))
+	s.mux.HandleFunc("POST /v1/generalized", s.handle("/v1/generalized", s.handleGeneralized))
+	s.mux.HandleFunc("POST /v1/sweep", s.handle("/v1/sweep", s.handleSweep))
+	s.mux.HandleFunc("GET /v1/figures/{id}", s.handle("/v1/figures/{id}", s.handleFigure))
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		writeError(w, &apiError{status: http.StatusNotFound, code: "not_found",
+			err: fmt.Errorf("no route %s %s", r.Method, r.URL.Path)})
+	})
+}
+
+// apiError couples an error with the HTTP status and machine-readable code
+// the response body carries.
+type apiError struct {
+	status int
+	code   string
+	err    error
+}
+
+func (e *apiError) Error() string { return e.err.Error() }
+func (e *apiError) Unwrap() error { return e.err }
+
+// badRequest wraps a model-validation error as a 400. Errors tagged
+// core.ErrOutOfDomain keep their sharper "out_of_domain" code so sweep
+// drivers can distinguish a mathematically impossible point from a
+// malformed request.
+func badRequest(err error) *apiError {
+	code := "invalid_request"
+	if errors.Is(err, core.ErrOutOfDomain) {
+		code = "out_of_domain"
+	}
+	return &apiError{status: http.StatusBadRequest, code: code, err: err}
+}
+
+// asAPIError maps any handler error to the apiError that renders it.
+func asAPIError(err error) *apiError {
+	var ae *apiError
+	if errors.As(err, &ae) {
+		return ae
+	}
+	var mbe *http.MaxBytesError
+	switch {
+	case errors.As(err, &mbe):
+		return &apiError{status: http.StatusRequestEntityTooLarge, code: "body_too_large", err: err}
+	case errors.Is(err, context.DeadlineExceeded):
+		return &apiError{status: http.StatusGatewayTimeout, code: "timeout", err: err}
+	case errors.Is(err, core.ErrOutOfDomain):
+		return badRequest(err)
+	default:
+		return &apiError{status: http.StatusInternalServerError, code: "internal", err: err}
+	}
+}
+
+// errorBody is the machine-readable error envelope of every non-2xx
+// response.
+type errorBody struct {
+	Error struct {
+		Code    string `json:"code"`
+		Message string `json:"message"`
+	} `json:"error"`
+}
+
+func writeError(w http.ResponseWriter, ae *apiError) {
+	var body errorBody
+	body.Error.Code = ae.code
+	body.Error.Message = ae.err.Error()
+	writeJSON(w, ae.status, body)
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	buf, err := json.Marshal(v)
+	if err != nil {
+		// Unreachable for the response types used here (all fields are
+		// finite-validated before encoding), but never reply with half a
+		// body: fall back to a minimal envelope.
+		status = http.StatusInternalServerError
+		buf = []byte(`{"error":{"code":"internal","message":"response encoding failed"}}`)
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	w.Write(append(buf, '\n'))
+}
+
+// statusRecorder captures the response status for metrics and logs.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (r *statusRecorder) WriteHeader(status int) {
+	r.status = status
+	r.ResponseWriter.WriteHeader(status)
+}
+
+// handlerFunc is a model-evaluating endpoint: it returns a response value
+// to encode as 200, or an error that asAPIError maps to a status.
+type handlerFunc func(w http.ResponseWriter, r *http.Request) (any, error)
+
+// handle is the middleware stack of every model-evaluating route:
+// in-flight gauge, concurrency semaphore (429 + Retry-After on
+// saturation), request body cap, per-request timeout, error mapping,
+// metrics and structured logging.
+func (s *Server) handle(route string, h handlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+
+		select {
+		case s.sem <- struct{}{}:
+			defer func() { <-s.sem }()
+		default:
+			w.Header().Set("Retry-After", "1")
+			writeError(rec, &apiError{status: http.StatusTooManyRequests, code: "saturated",
+				err: fmt.Errorf("server at its %d-request concurrency limit", s.cfg.MaxInFlight)})
+			s.finish(r, route, rec.status, start)
+			return
+		}
+
+		s.metrics.inFlight.Add(1)
+		defer s.metrics.inFlight.Add(-1)
+
+		ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+		defer cancel()
+		r = r.WithContext(ctx)
+		r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+
+		v, err := h(rec, r)
+		if err == nil && ctx.Err() != nil {
+			// The handler finished but the deadline passed (or the client
+			// left): report the truth rather than a half-written success.
+			err = ctx.Err()
+		}
+		if err != nil {
+			if errors.Is(err, context.Canceled) {
+				// The client is gone; nothing useful can be written. Record
+				// the nonstandard-but-conventional 499 for the logs.
+				rec.status = 499
+			} else {
+				writeError(rec, asAPIError(err))
+			}
+			s.finish(r, route, rec.status, start)
+			return
+		}
+		writeJSON(rec, http.StatusOK, v)
+		s.finish(r, route, rec.status, start)
+	}
+}
+
+// finish records metrics and emits the structured request log line.
+func (s *Server) finish(r *http.Request, route string, status int, start time.Time) {
+	elapsed := time.Since(start)
+	s.metrics.observe(route, status, elapsed.Seconds())
+	level := slog.LevelInfo
+	switch {
+	case status >= 500:
+		level = slog.LevelError
+	case status >= 400:
+		level = slog.LevelWarn
+	}
+	s.log.LogAttrs(r.Context(), level, "request",
+		slog.String("method", r.Method),
+		slog.String("path", r.URL.Path),
+		slog.String("route", route),
+		slog.Int("status", status),
+		slog.Duration("elapsed", elapsed),
+		slog.String("remote", r.RemoteAddr),
+	)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.metrics.writeTo(w)
+}
+
+// decodeJSON strictly decodes the request body into T: unknown fields,
+// trailing garbage, malformed JSON and oversized bodies are all rejected
+// with the status asAPIError assigns.
+func decodeJSON[T any](r *http.Request) (T, error) {
+	var v T
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&v); err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			return v, err
+		}
+		return v, &apiError{status: http.StatusBadRequest, code: "invalid_request",
+			err: fmt.Errorf("malformed request body: %w", err)}
+	}
+	if dec.More() {
+		return v, &apiError{status: http.StatusBadRequest, code: "invalid_request",
+			err: errors.New("request body contains trailing data")}
+	}
+	return v, nil
+}
+
+// trimmedPathValue returns the {name} path segment without surrounding
+// whitespace.
+func trimmedPathValue(r *http.Request, name string) string {
+	return strings.TrimSpace(r.PathValue(name))
+}

@@ -1,0 +1,442 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log/slog"
+	"math"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// discardLogger keeps request logs out of the test output.
+func discardLogger() *slog.Logger {
+	return slog.New(slog.NewTextHandler(io.Discard, nil))
+}
+
+func newTestServer(t *testing.T, cfg Config) *Server {
+	t.Helper()
+	if cfg.Logger == nil {
+		cfg.Logger = discardLogger()
+	}
+	return NewServer(cfg)
+}
+
+// do runs one request through the handler stack and decodes the JSON body.
+func do(t *testing.T, s *Server, method, target, body string) (int, http.Header, map[string]any) {
+	t.Helper()
+	var rd io.Reader
+	if body != "" {
+		rd = strings.NewReader(body)
+	}
+	req := httptest.NewRequest(method, target, rd)
+	rec := httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, req)
+	out := map[string]any{}
+	if rec.Body.Len() > 0 {
+		if err := json.Unmarshal(rec.Body.Bytes(), &out); err != nil {
+			t.Fatalf("%s %s: non-JSON body %q: %v", method, target, rec.Body.String(), err)
+		}
+	}
+	return rec.Code, rec.Result().Header, out
+}
+
+// errCode digs the machine-readable code out of an error envelope.
+func errCode(t *testing.T, body map[string]any) string {
+	t.Helper()
+	env, ok := body["error"].(map[string]any)
+	if !ok {
+		t.Fatalf("no error envelope in %v", body)
+	}
+	code, _ := env["code"].(string)
+	return code
+}
+
+const validScenario = `{"process":{"lambda_um":0.18,"yield":0.4},"design":{"transistors":10e6,"sd":300},"wafers":5000}`
+
+func TestHealthz(t *testing.T) {
+	s := newTestServer(t, Config{})
+	code, _, body := do(t, s, "GET", "/healthz", "")
+	if code != http.StatusOK || body["status"] != "ok" {
+		t.Fatalf("healthz = %d %v", code, body)
+	}
+}
+
+func TestCostHappyPath(t *testing.T) {
+	s := newTestServer(t, Config{})
+	code, _, body := do(t, s, "POST", "/v1/cost", validScenario)
+	if code != http.StatusOK {
+		t.Fatalf("status = %d, body %v", code, body)
+	}
+	b, ok := body["breakdown"].(map[string]any)
+	if !ok {
+		t.Fatalf("no breakdown in %v", body)
+	}
+	total, _ := b["total"].(float64)
+	mfg, _ := b["manufacturing"].(float64)
+	dm, _ := b["design_and_mask"].(float64)
+	if !(total > 0) || math.IsInf(total, 0) {
+		t.Fatalf("total = %v, want finite positive", total)
+	}
+	if math.Abs(total-(mfg+dm)) > 1e-12*total {
+		t.Fatalf("total %v != manufacturing %v + design_and_mask %v", total, mfg, dm)
+	}
+}
+
+// TestCostOutOfDomain is the acceptance gate: a request at the eq (6) pole
+// answers 400 with a machine-readable code — never a 500 and never an Inf
+// smuggled through the JSON encoder.
+func TestCostOutOfDomain(t *testing.T) {
+	s := newTestServer(t, Config{})
+	req := `{"process":{"lambda_um":0.18,"yield":0.4},"design":{"transistors":10e6,"sd":90},"wafers":5000}`
+	code, _, body := do(t, s, "POST", "/v1/cost", req)
+	if code != http.StatusBadRequest {
+		t.Fatalf("status = %d, want 400 (body %v)", code, body)
+	}
+	if got := errCode(t, body); got != "out_of_domain" {
+		t.Fatalf("error code = %q, want out_of_domain", got)
+	}
+	raw, _ := json.Marshal(body)
+	for _, poison := range []string{"Inf", "NaN"} {
+		if strings.Contains(string(raw), poison) {
+			t.Fatalf("response body leaked %s: %s", poison, raw)
+		}
+	}
+}
+
+func TestCostRejectsMalformedBodies(t *testing.T) {
+	s := newTestServer(t, Config{})
+	cases := []struct {
+		name string
+		body string
+	}{
+		{"truncated", `{"process":{`},
+		{"unknown field", `{"process":{"lambda_um":0.18,"yield":0.4},"design":{"transistors":1e6,"sd":300},"wafers":5000,"bogus":1}`},
+		{"trailing data", validScenario + `{"again":true}`},
+		{"zero yield", `{"process":{"lambda_um":0.18,"yield":0},"design":{"transistors":1e6,"sd":300},"wafers":5000}`},
+		{"negative wafers", `{"process":{"lambda_um":0.18,"yield":0.4},"design":{"transistors":1e6,"sd":300},"wafers":-5}`},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			code, _, body := do(t, s, "POST", "/v1/cost", c.body)
+			if code != http.StatusBadRequest {
+				t.Fatalf("status = %d, want 400 (body %v)", code, body)
+			}
+		})
+	}
+}
+
+// TestDesignCostPoleHTTP pins the three-point regression demanded by the
+// eq (6) fix: just below the pole, at the pole, just above it.
+func TestDesignCostPoleHTTP(t *testing.T) {
+	s := newTestServer(t, Config{})
+	cases := []struct {
+		name     string
+		sd       float64
+		wantCode int
+	}{
+		{"below pole", 100 - 1e-7, http.StatusBadRequest},
+		{"at pole", 100, http.StatusBadRequest},
+		{"above pole", 100 + 1e-3, http.StatusOK},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			body := fmt.Sprintf(`{"transistors":10e6,"sd":%.9f}`, c.sd)
+			code, _, out := do(t, s, "POST", "/v1/designcost", body)
+			if code != c.wantCode {
+				t.Fatalf("status = %d, want %d (body %v)", code, c.wantCode, out)
+			}
+			if c.wantCode == http.StatusBadRequest {
+				if got := errCode(t, out); got != "out_of_domain" {
+					t.Fatalf("error code = %q, want out_of_domain", got)
+				}
+				return
+			}
+			cost, _ := out["design_cost"].(float64)
+			if !(cost > 0) || math.IsInf(cost, 0) {
+				t.Fatalf("design_cost = %v, want finite positive", cost)
+			}
+		})
+	}
+}
+
+func TestGeneralized(t *testing.T) {
+	s := newTestServer(t, Config{})
+
+	body := `{"scenario":` + validScenario + `,"yield_model":{"model":"negbinomial","alpha":2,"d0":0.5}}`
+	code, _, out := do(t, s, "POST", "/v1/generalized", body)
+	if code != http.StatusOK {
+		t.Fatalf("status = %d, body %v", code, out)
+	}
+	ey, _ := out["effective_yield"].(float64)
+	if !(ey > 0 && ey <= 1) {
+		t.Fatalf("effective_yield = %v, want in (0, 1]", ey)
+	}
+	if u, _ := out["utilization"].(float64); u != 1 {
+		t.Fatalf("utilization = %v, want the zero-value default 1 echoed back", u)
+	}
+
+	for name, bad := range map[string]string{
+		"unknown model":  `{"scenario":` + validScenario + `,"yield_model":{"model":"oracle","d0":0.5}}`,
+		"zero alpha":     `{"scenario":` + validScenario + `,"yield_model":{"model":"negbinomial","d0":0.5}}`,
+		"negative d0":    `{"scenario":` + validScenario + `,"yield_model":{"model":"poisson","d0":-1}}`,
+		"infinite alpha": `{"scenario":` + validScenario + `,"yield_model":{"model":"negbinomial","alpha":1e999,"d0":0.5}}`,
+	} {
+		t.Run(name, func(t *testing.T) {
+			code, _, out := do(t, s, "POST", "/v1/generalized", bad)
+			if code != http.StatusBadRequest {
+				t.Fatalf("status = %d, want 400 (body %v)", code, out)
+			}
+		})
+	}
+}
+
+func TestSweep(t *testing.T) {
+	s := newTestServer(t, Config{})
+
+	for _, variable := range []string{"sd", "wafers", "yield"} {
+		t.Run(variable, func(t *testing.T) {
+			lo, hi := 200.0, 2000.0
+			if variable == "yield" {
+				lo, hi = 0.1, 0.9
+			}
+			body := fmt.Sprintf(`{"scenario":%s,"variable":%q,"lo":%g,"hi":%g,"points":8}`,
+				validScenario, variable, lo, hi)
+			code, _, out := do(t, s, "POST", "/v1/sweep", body)
+			if code != http.StatusOK {
+				t.Fatalf("status = %d, body %v", code, out)
+			}
+			pts, _ := out["points"].([]any)
+			if len(pts) != 8 {
+				t.Fatalf("got %d points, want 8", len(pts))
+			}
+		})
+	}
+
+	for name, bad := range map[string]string{
+		"unknown variable": `{"scenario":` + validScenario + `,"variable":"moon","lo":1,"hi":2,"points":4}`,
+		"one point":        `{"scenario":` + validScenario + `,"variable":"sd","lo":200,"hi":2000,"points":1}`,
+		"too many points":  `{"scenario":` + validScenario + `,"variable":"sd","lo":200,"hi":2000,"points":100000}`,
+		"lo below pole":    `{"scenario":` + validScenario + `,"variable":"sd","lo":50,"hi":2000,"points":4}`,
+	} {
+		t.Run(name, func(t *testing.T) {
+			code, _, out := do(t, s, "POST", "/v1/sweep", bad)
+			if code != http.StatusBadRequest {
+				t.Fatalf("status = %d, want 400 (body %v)", code, out)
+			}
+		})
+	}
+
+	t.Run("lo below pole is out_of_domain", func(t *testing.T) {
+		body := `{"scenario":` + validScenario + `,"variable":"sd","lo":50,"hi":2000,"points":4}`
+		_, _, out := do(t, s, "POST", "/v1/sweep", body)
+		if got := errCode(t, out); got != "out_of_domain" {
+			t.Fatalf("error code = %q, want out_of_domain", got)
+		}
+	})
+}
+
+func TestFigures(t *testing.T) {
+	s := newTestServer(t, Config{})
+
+	for _, id := range []string{"1", "2", "3", "4"} {
+		t.Run("figure "+id, func(t *testing.T) {
+			code, _, out := do(t, s, "GET", "/v1/figures/"+id, "")
+			if code != http.StatusOK {
+				t.Fatalf("status = %d, body %v", code, out)
+			}
+			figs, _ := out["figures"].([]any)
+			if len(figs) == 0 {
+				t.Fatal("empty figure list")
+			}
+			first, _ := figs[0].(map[string]any)
+			series, _ := first["series"].([]any)
+			if len(series) == 0 {
+				t.Fatal("figure carries no series")
+			}
+		})
+	}
+
+	if code, _, _ := do(t, s, "GET", "/v1/figures/9", ""); code != http.StatusNotFound {
+		t.Fatalf("unknown figure: status = %d, want 404", code)
+	}
+	if code, _, _ := do(t, s, "GET", "/v1/figures/4?points=1", ""); code != http.StatusBadRequest {
+		t.Fatalf("bad points: status = %d, want 400", code)
+	}
+}
+
+func TestUnknownRouteIsJSON404(t *testing.T) {
+	s := newTestServer(t, Config{})
+	code, _, body := do(t, s, "GET", "/nope", "")
+	if code != http.StatusNotFound {
+		t.Fatalf("status = %d, want 404", code)
+	}
+	if got := errCode(t, body); got != "not_found" {
+		t.Fatalf("error code = %q, want not_found", got)
+	}
+}
+
+// TestSaturation429: with the semaphore pre-filled, the next request is
+// turned away with 429 + Retry-After instead of queueing without bound.
+func TestSaturation429(t *testing.T) {
+	s := newTestServer(t, Config{MaxInFlight: 2})
+	for i := 0; i < cap(s.sem); i++ {
+		s.sem <- struct{}{}
+	}
+	defer func() {
+		for i := 0; i < cap(s.sem); i++ {
+			<-s.sem
+		}
+	}()
+	code, hdr, body := do(t, s, "POST", "/v1/cost", validScenario)
+	if code != http.StatusTooManyRequests {
+		t.Fatalf("status = %d, want 429 (body %v)", code, body)
+	}
+	if hdr.Get("Retry-After") == "" {
+		t.Fatal("429 without Retry-After")
+	}
+	if got := errCode(t, body); got != "saturated" {
+		t.Fatalf("error code = %q, want saturated", got)
+	}
+}
+
+// TestRequestTimeout504: a deadline that expires mid-evaluation surfaces
+// as 504 with code "timeout".
+func TestRequestTimeout504(t *testing.T) {
+	s := newTestServer(t, Config{RequestTimeout: time.Nanosecond})
+	body := `{"scenario":` + validScenario + `,"variable":"sd","lo":200,"hi":2000,"points":64}`
+	code, _, out := do(t, s, "POST", "/v1/sweep", body)
+	if code != http.StatusGatewayTimeout {
+		t.Fatalf("status = %d, want 504 (body %v)", code, out)
+	}
+	if got := errCode(t, out); got != "timeout" {
+		t.Fatalf("error code = %q, want timeout", got)
+	}
+}
+
+// TestClientCancel499: when the client context dies, nothing is written
+// and the conventional 499 lands in the metrics.
+func TestClientCancel499(t *testing.T) {
+	s := newTestServer(t, Config{})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	req := httptest.NewRequest("POST", "/v1/cost", strings.NewReader(validScenario)).WithContext(ctx)
+	rec := httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, req)
+	if rec.Body.Len() != 0 {
+		t.Fatalf("cancelled request got a body: %q", rec.Body.String())
+	}
+	s.metrics.mu.Lock()
+	n := s.metrics.requests[routeCode{"/v1/cost", 499}]
+	s.metrics.mu.Unlock()
+	if n != 1 {
+		t.Fatalf("metrics recorded %d cancellations, want 1", n)
+	}
+}
+
+func TestBodyTooLarge413(t *testing.T) {
+	s := newTestServer(t, Config{MaxBodyBytes: 16})
+	code, _, body := do(t, s, "POST", "/v1/cost", validScenario)
+	if code != http.StatusRequestEntityTooLarge {
+		t.Fatalf("status = %d, want 413 (body %v)", code, body)
+	}
+	if got := errCode(t, body); got != "body_too_large" {
+		t.Fatalf("error code = %q, want body_too_large", got)
+	}
+}
+
+// TestMetricsExposition: after some traffic, /metrics carries the request
+// counters, the latency histogram and the memo cache gauges.
+func TestMetricsExposition(t *testing.T) {
+	s := newTestServer(t, Config{})
+	do(t, s, "POST", "/v1/cost", validScenario)
+	do(t, s, "GET", "/v1/figures/4", "")
+	do(t, s, "GET", "/v1/figures/4", "") // second hit exercises the memo cache
+
+	req := httptest.NewRequest("GET", "/metrics", nil)
+	rec := httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("metrics status = %d", rec.Code)
+	}
+	text := rec.Body.String()
+	for _, want := range []string{
+		`nanocostd_requests_total{route="/v1/cost",code="200"} 1`,
+		"nanocostd_request_seconds_count",
+		"nanocostd_request_seconds_bucket",
+		"nanocostd_in_flight 0",
+		`nanocostd_memo_cache_hit_rate{cache="serve.figures"}`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("metrics output missing %q", want)
+		}
+	}
+}
+
+// TestGracefulDrain: cancelling the serve context while a request is in
+// flight must let that request finish (200), then Serve returns nil.
+func TestGracefulDrain(t *testing.T) {
+	s := newTestServer(t, Config{ShutdownTimeout: 5 * time.Second})
+	release := make(chan struct{})
+	s.mux.HandleFunc("GET /slow", func(w http.ResponseWriter, r *http.Request) {
+		<-release
+		writeJSON(w, http.StatusOK, map[string]string{"status": "slow ok"})
+	})
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- s.Serve(ctx, ln) }()
+
+	deadline := time.After(5 * time.Second)
+	for s.Addr() == "" {
+		select {
+		case <-deadline:
+			t.Fatal("server never came up")
+		case <-time.After(time.Millisecond):
+		}
+	}
+
+	resp := make(chan int, 1)
+	go func() {
+		r, err := http.Get("http://" + ln.Addr().String() + "/slow")
+		if err != nil {
+			resp <- -1
+			return
+		}
+		defer r.Body.Close()
+		io.Copy(io.Discard, r.Body)
+		resp <- r.StatusCode
+	}()
+
+	time.Sleep(50 * time.Millisecond) // give the GET time to enter the handler
+	cancel()
+	time.Sleep(50 * time.Millisecond) // shutdown begins with the request still blocked
+	close(release)
+
+	select {
+	case code := <-resp:
+		if code != http.StatusOK {
+			t.Fatalf("in-flight request got %d, want 200", code)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("in-flight request never completed")
+	}
+	select {
+	case err := <-serveDone:
+		if err != nil {
+			t.Fatalf("Serve returned %v, want nil after clean drain", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Serve did not return after drain")
+	}
+}

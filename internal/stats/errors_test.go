@@ -1,0 +1,80 @@
+package stats
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+func TestQuantileE(t *testing.T) {
+	sorted := []float64{1, 2, 3, 4, 5}
+
+	v, err := QuantileE(sorted, 0.5)
+	if err != nil || v != 3 {
+		t.Fatalf("QuantileE(0.5) = %v, %v; want 3, nil", v, err)
+	}
+	if _, err := QuantileE(nil, 0.5); !errors.Is(err, ErrEmpty) {
+		t.Fatalf("empty sample: err = %v, want ErrEmpty", err)
+	}
+	for _, q := range []float64{-0.1, 1.1, math.NaN()} {
+		if _, err := QuantileE(sorted, q); err == nil {
+			t.Errorf("QuantileE accepted fraction %v", q)
+		}
+	}
+}
+
+func TestQuantilePanicsWhereQuantileEErrors(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Quantile on empty sample did not panic")
+		}
+	}()
+	Quantile(nil, 0.5)
+}
+
+func TestArgminGridE(t *testing.T) {
+	parabola := func(x float64) float64 { return (x - 3) * (x - 3) }
+
+	x, fx, err := ArgminGridE(parabola, 0, 6, 601)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(x-3) > 0.02 || fx > 1e-3 {
+		t.Fatalf("argmin = (%v, %v), want near (3, 0)", x, fx)
+	}
+
+	if _, _, err := ArgminGridE(parabola, 0, 6, 1); err == nil {
+		t.Error("accepted n = 1")
+	}
+	for _, b := range [][2]float64{{math.NaN(), 6}, {0, math.NaN()}, {0, math.Inf(1)}, {6, 0}, {3, 3}} {
+		if _, _, err := ArgminGridE(parabola, b[0], b[1], 16); err == nil {
+			t.Errorf("accepted bounds [%v, %v]", b[0], b[1])
+		}
+	}
+}
+
+// TestArgminGridESkipsNaN pins the fix for the NaN-poisoned comparison
+// chain: fi < fx is false whenever fi is NaN, so the old code could crown
+// a NaN point evaluated first as the "minimum". Undefined points must be
+// skipped, and an everywhere-NaN objective must be an error.
+func TestArgminGridESkipsNaN(t *testing.T) {
+	// NaN on the left half — including the very first grid point.
+	f := func(x float64) float64 {
+		if x < 3 {
+			return math.NaN()
+		}
+		return x // minimized at the NaN/defined boundary
+	}
+	x, fx, err := ArgminGridE(f, 0, 6, 601)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.IsNaN(fx) || x < 3 {
+		t.Fatalf("argmin = (%v, %v) landed in the NaN region", x, fx)
+	}
+
+	allNaN := func(float64) float64 { return math.NaN() }
+	if _, _, err := ArgminGridE(allNaN, 0, 6, 16); err == nil {
+		t.Fatal("accepted an objective that is NaN over the entire grid")
+	}
+}

@@ -2,6 +2,7 @@ package stats
 
 import (
 	"errors"
+	"fmt"
 	"math"
 )
 
@@ -154,18 +155,44 @@ func Bisect(f func(float64) float64, lo, hi, tol float64) (float64, error) {
 // ArgminGrid evaluates f on a uniform grid of n points over [lo, hi] and
 // returns the grid point with the smallest value. It is the robust
 // pre-pass used before Minimize when unimodality is not guaranteed. It
-// panics if n < 2 or lo >= hi, which indicate programmer error.
+// panics on any error ArgminGridE would report (bad bounds, n < 2, an
+// everywhere-NaN objective), which indicate programmer error on the
+// internal hot paths that keep using it; user-reachable paths should call
+// ArgminGridE instead.
 func ArgminGrid(f func(float64) float64, lo, hi float64, n int) (x, fx float64) {
-	if n < 2 || lo >= hi {
-		panic("stats: ArgminGrid requires n >= 2 and lo < hi")
-	}
-	step := (hi - lo) / float64(n-1)
-	x, fx = lo, f(lo)
-	for i := 1; i < n; i++ {
-		xi := lo + float64(i)*step
-		if fi := f(xi); fi < fx {
-			x, fx = xi, fi
-		}
+	x, fx, err := ArgminGridE(f, lo, hi, n)
+	if err != nil {
+		panic(err.Error())
 	}
 	return x, fx
+}
+
+// ArgminGridE is the error-returning form of ArgminGrid. It rejects
+// n < 2 and non-finite or inverted bounds instead of panicking, and it
+// skips grid points where the objective is NaN (an undefined point must
+// never win — or poison — the comparison chain); if the objective is NaN
+// on the whole grid an error is returned.
+func ArgminGridE(f func(float64) float64, lo, hi float64, n int) (x, fx float64, err error) {
+	if n < 2 {
+		return 0, 0, fmt.Errorf("stats: ArgminGrid requires n >= 2, got %d", n)
+	}
+	if math.IsNaN(lo) || math.IsNaN(hi) || math.IsInf(lo, 0) || math.IsInf(hi, 0) || lo >= hi {
+		return 0, 0, fmt.Errorf("stats: ArgminGrid requires finite lo < hi, got [%v, %v]", lo, hi)
+	}
+	step := (hi - lo) / float64(n-1)
+	found := false
+	for i := 0; i < n; i++ {
+		xi := lo + float64(i)*step
+		fi := f(xi)
+		if math.IsNaN(fi) {
+			continue
+		}
+		if !found || fi < fx {
+			x, fx, found = xi, fi, true
+		}
+	}
+	if !found {
+		return 0, 0, errors.New("stats: ArgminGrid objective is NaN over the entire grid")
+	}
+	return x, fx, nil
 }

@@ -2,6 +2,7 @@ package stats
 
 import (
 	"errors"
+	"fmt"
 	"math"
 	"sort"
 )
@@ -56,25 +57,37 @@ func Summarize(xs []float64) (Summary, error) {
 // Quantile returns the q-quantile (0 <= q <= 1) of an ascending-sorted
 // sample using linear interpolation between closest ranks. It panics when
 // sorted is empty or q is outside [0, 1]; callers own validation because the
-// routine sits in inner loops.
+// routine sits in inner loops. User-reachable paths (CLIs, HTTP handlers)
+// should use QuantileE and report the error instead.
 func Quantile(sorted []float64, q float64) float64 {
-	if len(sorted) == 0 {
-		panic("stats: Quantile of empty sample")
+	v, err := QuantileE(sorted, q)
+	if err != nil {
+		panic(err.Error())
 	}
-	if q < 0 || q > 1 {
-		panic("stats: Quantile fraction out of range")
+	return v
+}
+
+// QuantileE is the error-returning form of Quantile: it rejects an empty
+// sample with ErrEmpty and a fraction outside [0, 1] (including NaN) with a
+// descriptive error, instead of panicking.
+func QuantileE(sorted []float64, q float64) (float64, error) {
+	if len(sorted) == 0 {
+		return 0, fmt.Errorf("stats: Quantile of empty sample: %w", ErrEmpty)
+	}
+	if !(q >= 0 && q <= 1) {
+		return 0, fmt.Errorf("stats: Quantile fraction must be in [0,1], got %v", q)
 	}
 	if len(sorted) == 1 {
-		return sorted[0]
+		return sorted[0], nil
 	}
 	pos := q * float64(len(sorted)-1)
 	lo := int(math.Floor(pos))
 	hi := int(math.Ceil(pos))
 	if lo == hi {
-		return sorted[lo]
+		return sorted[lo], nil
 	}
 	frac := pos - float64(lo)
-	return sorted[lo]*(1-frac) + sorted[hi]*frac
+	return sorted[lo]*(1-frac) + sorted[hi]*frac, nil
 }
 
 // MeanStderr returns the sample mean and its standard error. It returns

@@ -1,0 +1,38 @@
+package yield
+
+import (
+	"math"
+	"testing"
+)
+
+func TestNegBinomialYieldE(t *testing.T) {
+	m := NegBinomial{Alpha: 2}
+
+	y, err := m.YieldE(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := math.Pow(1.5, -2); math.Abs(y-want) > 1e-15 {
+		t.Fatalf("YieldE(1) = %v, want %v", y, want)
+	}
+
+	for _, alpha := range []float64{0, -1, math.NaN(), math.Inf(1)} {
+		if _, err := (NegBinomial{Alpha: alpha}).YieldE(1); err == nil {
+			t.Errorf("YieldE accepted Alpha = %v", alpha)
+		}
+	}
+	for _, lambda := range []float64{-1, math.NaN()} {
+		if _, err := m.YieldE(lambda); err == nil {
+			t.Errorf("YieldE accepted lambda = %v", lambda)
+		}
+	}
+}
+
+func TestNegBinomialYieldPanicsWhereYieldEErrors(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Yield with Alpha = 0 did not panic")
+		}
+	}()
+	_ = NegBinomial{}.Yield(1)
+}

@@ -74,13 +74,31 @@ type NegBinomial struct {
 	Alpha float64
 }
 
-// Yield implements Model. It panics if Alpha <= 0, which indicates
-// construction-time programmer error.
+// Yield implements Model. It panics on any error YieldE would report
+// (Alpha ≤ 0, non-finite Alpha, negative lambda), which indicates
+// construction-time programmer error on the internal hot paths;
+// user-reachable paths should call YieldE and report the error.
 func (m NegBinomial) Yield(lambda float64) float64 {
-	if m.Alpha <= 0 {
-		panic("yield: NegBinomial requires Alpha > 0")
+	y, err := m.YieldE(lambda)
+	if err != nil {
+		panic(err.Error())
 	}
-	return math.Pow(1+lambda/m.Alpha, -m.Alpha)
+	return y
+}
+
+// YieldE is the error-returning form of Yield: it rejects a clustering
+// parameter outside (0, ∞) and a negative or NaN lambda instead of
+// panicking. (Alpha = +Inf is rejected too: the α→∞ Poisson limit is not
+// reproduced by floating-point Pow, which would return 1 for every
+// lambda.)
+func (m NegBinomial) YieldE(lambda float64) (float64, error) {
+	if !(m.Alpha > 0) || math.IsInf(m.Alpha, 1) {
+		return 0, fmt.Errorf("yield: NegBinomial requires finite Alpha > 0, got %v", m.Alpha)
+	}
+	if !(lambda >= 0) {
+		return 0, fmt.Errorf("yield: NegBinomial lambda must be non-negative, got %v", lambda)
+	}
+	return math.Pow(1+lambda/m.Alpha, -m.Alpha), nil
 }
 
 // Name implements Model.

@@ -14,6 +14,9 @@ go build ./...
 echo "== go test -race ==" >&2
 go test -race ./...
 
+echo "== serve smoke (short, race-enabled) ==" >&2
+go test -race -short -count=1 ./internal/serve/ ./cmd/nanocostd/
+
 echo "== bench smoke (1 iteration each) ==" >&2
 go test -run xxx -bench=. -benchtime=1x .
 

@@ -1,0 +1,63 @@
+#!/bin/sh
+# smoke_serve.sh — end-to-end daemon smoke test: build nanocostd, boot it
+# on an ephemeral port, hit /healthz and /v1/cost, require the eq (6) pole
+# to answer 400 out_of_domain, then deliver SIGTERM and verify the process
+# drains and exits cleanly.
+set -eu
+cd "$(dirname "$0")/.."
+
+command -v curl >/dev/null 2>&1 || { echo "smoke_serve: curl not found" >&2; exit 1; }
+
+workdir=$(mktemp -d)
+bin="$workdir/nanocostd"
+log="$workdir/nanocostd.log"
+cleanup() {
+  [ -n "${pid:-}" ] && kill "$pid" 2>/dev/null || true
+  rm -rf "$workdir"
+}
+trap cleanup EXIT
+
+echo "== build nanocostd ==" >&2
+go build -o "$bin" ./cmd/nanocostd
+
+"$bin" -addr 127.0.0.1:0 2>"$log" &
+pid=$!
+
+# The daemon logs its bound address ("nanocostd listening ... addr=HOST:PORT")
+# once the listener is up; poll for it rather than racing a fixed sleep.
+addr=""
+i=0
+while [ $i -lt 100 ]; do
+  addr=$(sed -n 's/.*nanocostd listening.*addr=\([^ ]*\).*/\1/p' "$log" | head -n 1)
+  [ -n "$addr" ] && break
+  kill -0 "$pid" 2>/dev/null || { echo "smoke_serve: daemon died during startup:" >&2; cat "$log" >&2; exit 1; }
+  i=$((i + 1))
+  sleep 0.1
+done
+[ -n "$addr" ] || { echo "smoke_serve: no listen address in log:" >&2; cat "$log" >&2; exit 1; }
+echo "== daemon up at $addr ==" >&2
+
+echo "== /healthz ==" >&2
+health=$(curl -sf "http://$addr/healthz")
+echo "$health" | grep -q '"status":"ok"' || { echo "smoke_serve: bad healthz: $health" >&2; exit 1; }
+
+echo "== /v1/cost (valid scenario) ==" >&2
+body='{"process":{"lambda_um":0.18,"yield":0.4},"design":{"transistors":10e6,"sd":300},"wafers":5000}'
+cost=$(curl -sf -X POST -d "$body" "http://$addr/v1/cost")
+echo "$cost" | grep -q '"breakdown"' || { echo "smoke_serve: bad cost response: $cost" >&2; exit 1; }
+
+echo "== /v1/cost (s_d at the eq (6) pole -> 400 out_of_domain) ==" >&2
+bad='{"process":{"lambda_um":0.18,"yield":0.4},"design":{"transistors":10e6,"sd":90},"wafers":5000}'
+status=$(curl -s -o "$workdir/pole.json" -w '%{http_code}' -X POST -d "$bad" "http://$addr/v1/cost")
+[ "$status" = "400" ] || { echo "smoke_serve: pole request got HTTP $status, want 400" >&2; exit 1; }
+grep -q '"out_of_domain"' "$workdir/pole.json" || { echo "smoke_serve: pole response lacks out_of_domain: $(cat "$workdir/pole.json")" >&2; exit 1; }
+
+echo "== SIGTERM drain ==" >&2
+kill -TERM "$pid"
+rc=0
+wait "$pid" || rc=$?
+pid=""
+[ "$rc" -eq 0 ] || { echo "smoke_serve: daemon exited with status $rc after SIGTERM:" >&2; cat "$log" >&2; exit 1; }
+grep -q "nanocostd stopped" "$log" || { echo "smoke_serve: no clean-stop log line:" >&2; cat "$log" >&2; exit 1; }
+
+echo "smoke_serve: all checks passed" >&2
