@@ -2,14 +2,19 @@
 // HTTP/JSON. It runs until interrupted (SIGINT/SIGTERM), then drains
 // in-flight requests before exiting.
 //
-// Routes: POST /v1/cost, /v1/designcost, /v1/generalized, /v1/sweep;
-// GET /v1/figures/{1..4}, /healthz, /metrics.
+// Routes: POST /v1/cost, /v1/designcost, /v1/generalized, /v1/sweep,
+// /v1/batch; GET /v1/figures/{1..4}, /healthz, /metrics. Sweeps and
+// figures stream NDJSON under "Accept: application/x-ndjson"; figure
+// responses carry strong ETags for If-None-Match revalidation.
 //
 // Example:
 //
 //	nanocostd -addr :8087 -timeout 15s
 //	curl -s localhost:8087/healthz
 //	curl -s -X POST localhost:8087/v1/cost -d '{"process":{"lambda_um":0.18,"yield":0.4},"design":{"transistors":10e6,"sd":300},"wafers":5000}'
+//	curl -s -X POST localhost:8087/v1/batch -d '{"items":[{"kind":"designcost","body":{"transistors":10e6,"sd":300}}]}'
+//	curl -sN -H 'Accept: application/x-ndjson' -X POST localhost:8087/v1/sweep \
+//	  -d '{"scenario":{"process":{"lambda_um":0.18,"yield":0.4},"design":{"transistors":10e6,"sd":300},"wafers":5000},"variable":"sd","lo":200,"hi":2000,"points":256}'
 package main
 
 import (

@@ -1,0 +1,117 @@
+package core
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/parallel"
+)
+
+// This file is the context-aware batch/streaming evaluation surface of the
+// cost model: the primitives a serving layer needs to answer many
+// scenarios per request (deterministic ordering, per-item error isolation)
+// and to stream long sweeps chunk by chunk without buffering the whole
+// result, aborting promptly when the caller's context dies.
+
+// TransistorCostCtx is TransistorCost gated on ctx: a dead context returns
+// ctx.Err() before any evaluation. Batch and streaming drivers call it per
+// item so a cancelled request stops burning workers between items.
+func (s Scenario) TransistorCostCtx(ctx context.Context) (Breakdown, error) {
+	if err := ctx.Err(); err != nil {
+		return Breakdown{}, err
+	}
+	return s.TransistorCost()
+}
+
+// EvalBatchCtx evaluates every scenario on the parallel engine with
+// deterministic result ordering and per-item error isolation: breakdowns[i]
+// and errs[i] describe scenario i, and one out-of-domain scenario does not
+// abort its neighbours. Only a context cancellation stops the batch early,
+// returned as the single stop error (with both slices nil).
+func EvalBatchCtx(ctx context.Context, scs []Scenario) (breakdowns []Breakdown, errs []error, stop error) {
+	return parallel.MapAll(ctx, len(scs), 0, func(i int) (Breakdown, error) {
+		return scs[i].TransistorCostCtx(ctx)
+	})
+}
+
+// SweepStreamChunk is the default chunk size of the streaming sweep
+// helpers: large enough to keep the worker pool busy per chunk, small
+// enough that a streaming consumer sees the first bytes promptly.
+const SweepStreamChunk = 64
+
+// SweepSdStream evaluates exactly the grid of SweepSdCtx but in chunks,
+// invoking emit with each completed chunk in grid order. The abscissas and
+// per-point breakdowns are bit-identical to the buffered sweep; only the
+// delivery differs. A non-positive chunkSize uses SweepStreamChunk. An
+// emit error or a context cancellation aborts the remaining chunks.
+func SweepSdStream(ctx context.Context, s Scenario, lo, hi float64, n, chunkSize int, emit func([]SweepPoint) error) error {
+	if err := s.Validate(); err != nil {
+		return err
+	}
+	if !finite(lo) || lo <= s.DesignCost.Sd0 {
+		return fmt.Errorf("core: SweepSd: lo = %v must exceed s_d0 = %v: %w", lo, s.DesignCost.Sd0, ErrOutOfDomain)
+	}
+	xs, err := gridLog(lo, hi, n)
+	if err != nil {
+		return err
+	}
+	return sweepStream(ctx, xs, chunkSize, func(sd float64) (Breakdown, error) {
+		return s.WithSd(sd).TransistorCost()
+	}, emit)
+}
+
+// SweepVolumeStream is the chunked, streaming form of SweepVolumeCtx.
+func SweepVolumeStream(ctx context.Context, s Scenario, lo, hi float64, n, chunkSize int, emit func([]SweepPoint) error) error {
+	if err := s.Validate(); err != nil {
+		return err
+	}
+	if !finitePos(lo) {
+		return fmt.Errorf("core: SweepVolume: lo must be positive and finite, got %v", lo)
+	}
+	xs, err := gridLog(lo, hi, n)
+	if err != nil {
+		return err
+	}
+	return sweepStream(ctx, xs, chunkSize, func(w float64) (Breakdown, error) {
+		return s.WithWafers(w).TransistorCost()
+	}, emit)
+}
+
+// SweepYieldStream is the chunked, streaming form of SweepYieldCtx.
+func SweepYieldStream(ctx context.Context, s Scenario, lo, hi float64, n, chunkSize int, emit func([]SweepPoint) error) error {
+	if err := s.Validate(); err != nil {
+		return err
+	}
+	if !(finitePos(lo) && lo <= 1) || !(finitePos(hi) && hi <= 1) {
+		return fmt.Errorf("core: SweepYield: bounds must lie in (0,1], got [%v, %v]", lo, hi)
+	}
+	xs, err := gridLin(lo, hi, n)
+	if err != nil {
+		return err
+	}
+	return sweepStream(ctx, xs, chunkSize, func(y float64) (Breakdown, error) {
+		return s.WithYield(y).TransistorCost()
+	}, emit)
+}
+
+// sweepStream drives a chunked sweep: each chunk fans out over the worker
+// pool exactly like the buffered sweep (index-addressed slots, so the
+// numbers cannot depend on scheduling), then emit delivers it before the
+// next chunk starts. The context is honored both inside a chunk (via
+// sweepEval) and between chunks.
+func sweepStream(ctx context.Context, xs []float64, chunkSize int, eval func(float64) (Breakdown, error), emit func([]SweepPoint) error) error {
+	if chunkSize <= 0 {
+		chunkSize = SweepStreamChunk
+	}
+	for lo := 0; lo < len(xs); lo += chunkSize {
+		hi := min(lo+chunkSize, len(xs))
+		pts, err := sweepEval(ctx, xs[lo:hi], eval)
+		if err != nil {
+			return err
+		}
+		if err := emit(pts); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -136,6 +136,28 @@ func SweepYieldCtx(ctx context.Context, s Scenario, lo, hi float64, n int) ([]Sw
 // therefore be pure. Results land in index-addressed slots, so the output
 // ordering is independent of scheduling.
 func sweepLog(ctx context.Context, lo, hi float64, n int, eval func(float64) (Breakdown, error)) ([]SweepPoint, error) {
+	xs, err := gridLog(lo, hi, n)
+	if err != nil {
+		return nil, err
+	}
+	return sweepEval(ctx, xs, eval)
+}
+
+// sweepLin is sweepLog on a uniformly spaced grid, for bounded axes like
+// yield where log spacing is the wrong density.
+func sweepLin(ctx context.Context, lo, hi float64, n int, eval func(float64) (Breakdown, error)) ([]SweepPoint, error) {
+	xs, err := gridLin(lo, hi, n)
+	if err != nil {
+		return nil, err
+	}
+	return sweepEval(ctx, xs, eval)
+}
+
+// gridLog materializes the n logarithmically spaced abscissas of a sweep.
+// The sequential-multiplication construction is kept bit-identical to the
+// historical serial sweep, so chunked/streamed evaluations of the same
+// grid reproduce the buffered sweep exactly.
+func gridLog(lo, hi float64, n int) ([]float64, error) {
 	if !finite(lo) || !finite(hi) || !(lo < hi) {
 		return nil, fmt.Errorf("core: sweep requires finite lo < hi, got [%v, %v]", lo, hi)
 	}
@@ -152,12 +174,11 @@ func sweepLog(ctx context.Context, lo, hi float64, n int, eval func(float64) (Br
 		xs[i] = x
 		x *= ratio
 	}
-	return sweepEval(ctx, xs, eval)
+	return xs, nil
 }
 
-// sweepLin is sweepLog on a uniformly spaced grid, for bounded axes like
-// yield where log spacing is the wrong density.
-func sweepLin(ctx context.Context, lo, hi float64, n int, eval func(float64) (Breakdown, error)) ([]SweepPoint, error) {
+// gridLin materializes the n uniformly spaced abscissas of a sweep.
+func gridLin(lo, hi float64, n int) ([]float64, error) {
 	if !finite(lo) || !finite(hi) || !(lo < hi) {
 		return nil, fmt.Errorf("core: sweep requires finite lo < hi, got [%v, %v]", lo, hi)
 	}
@@ -170,7 +191,7 @@ func sweepLin(ctx context.Context, lo, hi float64, n int, eval func(float64) (Br
 		xs[i] = lo + float64(i)*step
 	}
 	xs[n-1] = hi // avoid drift on the terminal point
-	return sweepEval(ctx, xs, eval)
+	return xs, nil
 }
 
 // sweepEval fans the grid evaluations out over the default worker pool;

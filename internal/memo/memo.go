@@ -65,16 +65,32 @@ func New[K comparable, V any](name string, capacity int) *Cache[K, V] {
 
 // Get returns the cached value for key, filling it with fill on a miss.
 // Concurrent calls for the same key run fill once and share the result.
-// A fill error is returned to every waiter but is not cached: the next
-// Get for the key retries.
+// A fill error is returned to every waiter but is not cached: the slot is
+// dropped exactly once (by the filling goroutine) and the next Get for the
+// key retries. Accounting matches what callers observed: only accesses
+// that resolved to a usable value count as hits, so the filler and every
+// waiter of a failed fill count as misses.
 func (c *Cache[K, V]) Get(key K, fill func() (V, error)) (V, error) {
 	c.mu.Lock()
 	if el, ok := c.entries[key]; ok {
 		e := el.Value.(*entry[K, V])
-		c.hits++
 		c.lru.MoveToFront(el)
 		c.mu.Unlock()
 		<-e.ready
+		// Classify the access only after the fill resolved: a waiter that
+		// joined an in-flight fill which then failed never received a usable
+		// cached value, so counting it as a hit would overstate cache
+		// effectiveness by exactly the number of waiters on every failing
+		// fill. The errored slot itself is dropped exactly once, by the
+		// filling goroutine below — waiters still hold e but never touch the
+		// LRU list for it.
+		c.mu.Lock()
+		if e.err != nil {
+			c.misses++
+		} else {
+			c.hits++
+		}
+		c.mu.Unlock()
 		return e.val, e.err
 	}
 	c.misses++

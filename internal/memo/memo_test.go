@@ -6,6 +6,7 @@ import (
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 )
 
 func TestGetFillsOncePerKey(t *testing.T) {
@@ -46,6 +47,84 @@ func TestErrorsAreNotCached(t *testing.T) {
 	}
 	if calls != 2 {
 		t.Fatalf("fill ran %d times, want 2 (error retried)", calls)
+	}
+}
+
+// TestFailedFillWaitersCountAsMisses is the regression test for the
+// singleflight error-path accounting skew: goroutines that join an
+// in-flight fill which then fails must be counted as misses (they never
+// got a usable value), and the errored slot must be dropped exactly once
+// while the waiters still hold the entry.
+func TestFailedFillWaitersCountAsMisses(t *testing.T) {
+	c := New[int, int]("test.failed-fill-waiters", 8)
+	boom := errors.New("boom")
+	started := make(chan struct{})
+	release := make(chan struct{})
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_, err := c.Get(1, func() (int, error) {
+			close(started)
+			<-release
+			return 0, boom
+		})
+		if !errors.Is(err, boom) {
+			t.Errorf("filler err = %v, want boom", err)
+		}
+	}()
+	<-started
+
+	// Waiters join while the fill is in flight. Their own fill also fails,
+	// so the accounting assertion below holds on every interleaving: a
+	// waiter either blocks on the in-flight fill (miss via the error path)
+	// or, arriving after the drop, runs its own failing fill (plain miss).
+	const waiters = 8
+	for i := 0; i < waiters; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, err := c.Get(1, func() (int, error) { return 0, boom })
+			if !errors.Is(err, boom) {
+				t.Errorf("waiter err = %v, want boom", err)
+			}
+		}()
+	}
+	// Give the waiters a moment to actually block on the in-flight entry so
+	// the singleflight path is exercised, then let the fill fail.
+	time.Sleep(20 * time.Millisecond)
+	close(release)
+	wg.Wait()
+
+	s := c.Stats()
+	if s.Hits != 0 {
+		t.Fatalf("hits = %d after failing fills, want 0", s.Hits)
+	}
+	if s.Misses != waiters+1 {
+		t.Fatalf("misses = %d, want %d (filler + every waiter)", s.Misses, waiters+1)
+	}
+	if s.Evictions != 0 {
+		t.Fatalf("evictions = %d; the errored drop must not count as an LRU eviction", s.Evictions)
+	}
+	if c.Len() != 0 {
+		t.Fatalf("len = %d after failed fill, want 0 (slot dropped exactly once)", c.Len())
+	}
+
+	// The key is retryable and a success counts as the usual miss-then-hit.
+	v, err := c.Get(1, func() (int, error) { return 7, nil })
+	if err != nil || v != 7 {
+		t.Fatalf("retry = %d, %v", v, err)
+	}
+	if _, err := c.Get(1, func() (int, error) {
+		t.Error("cached value refilled")
+		return 0, nil
+	}); err != nil {
+		t.Fatalf("cached retry errored: %v", err)
+	}
+	s = c.Stats()
+	if s.Hits != 1 || s.Misses != waiters+2 {
+		t.Fatalf("post-retry stats = %+v, want 1 hit / %d misses", s, waiters+2)
 	}
 }
 

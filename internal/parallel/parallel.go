@@ -196,6 +196,40 @@ func Map[T any](ctx context.Context, n, workers int, fn func(i int) (T, error)) 
 	return out, nil
 }
 
+// MapAll evaluates fn(i) for every i in [0, n) in parallel with per-item
+// error isolation: unlike Map, one item's failure does not cancel the
+// remaining items — it lands in errs[i] and the rest of the batch keeps
+// going. Only a dead context stops the batch early (returned as stop, with
+// out and errs nil); a worker panic is re-raised. Results and errors are
+// written into index-addressed slots, so both slices are identical for any
+// worker count. It is the engine behind batch serving, where scenario i
+// being out of domain must not poison scenarios j != i.
+func MapAll[T any](ctx context.Context, n, workers int, fn func(i int) (T, error)) (out []T, errs []error, stop error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	out = make([]T, n)
+	errs = make([]error, n)
+	stop = run(ctx, n, workers, func(i int) error {
+		v, err := fn(i)
+		if cerr := ctx.Err(); cerr != nil {
+			// The context died mid-item: abort the batch rather than
+			// recording a cancellation as an item-level verdict.
+			return cerr
+		}
+		if err != nil {
+			errs[i] = err
+			return nil
+		}
+		out[i] = v
+		return nil
+	})
+	if stop != nil {
+		return nil, nil, stop
+	}
+	return out, errs, nil
+}
+
 // MapReduce evaluates fn(i) in parallel and folds the results with reduce
 // strictly in index order: acc = reduce(acc, fn(0)), then fn(1), … — so
 // non-associative or floating-point reductions are still deterministic.

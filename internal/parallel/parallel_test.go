@@ -247,3 +247,96 @@ func TestDoRunsAllAndPropagatesError(t *testing.T) {
 		t.Fatalf("err = %v", err)
 	}
 }
+
+// TestMapAllIsolatesItemErrors: a failing item must not cancel its
+// neighbours; results and errors stay index-addressed for any worker count.
+func TestMapAllIsolatesItemErrors(t *testing.T) {
+	boom := errors.New("boom")
+	for _, workers := range []int{1, 2, 4, 8} {
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			const n = 64
+			out, errs, stop := MapAll(context.Background(), n, workers, func(i int) (int, error) {
+				if i%5 == 0 {
+					return 0, fmt.Errorf("item %d: %w", i, boom)
+				}
+				return i * i, nil
+			})
+			if stop != nil {
+				t.Fatalf("stop = %v, want nil", stop)
+			}
+			for i := 0; i < n; i++ {
+				if i%5 == 0 {
+					if !errors.Is(errs[i], boom) {
+						t.Fatalf("errs[%d] = %v, want boom", i, errs[i])
+					}
+					continue
+				}
+				if errs[i] != nil {
+					t.Fatalf("errs[%d] = %v, want nil", i, errs[i])
+				}
+				if out[i] != i*i {
+					t.Fatalf("out[%d] = %d, want %d", i, out[i], i*i)
+				}
+			}
+		})
+	}
+}
+
+// TestMapAllDeterministicAcrossWorkers: identical slices for 1, 2 and 4
+// workers — the batch-serving ordering contract.
+func TestMapAllDeterministicAcrossWorkers(t *testing.T) {
+	run := func(workers int) ([]float64, []error) {
+		out, errs, stop := MapAll(context.Background(), 100, workers, func(i int) (float64, error) {
+			if i == 17 || i == 63 {
+				return 0, errors.New("bad point")
+			}
+			return float64(i) * 1.5, nil
+		})
+		if stop != nil {
+			t.Fatalf("stop = %v", stop)
+		}
+		return out, errs
+	}
+	base, baseErrs := run(1)
+	for _, workers := range []int{2, 4} {
+		out, errs := run(workers)
+		for i := range base {
+			if out[i] != base[i] || (errs[i] == nil) != (baseErrs[i] == nil) {
+				t.Fatalf("workers=%d diverges at index %d", workers, i)
+			}
+		}
+	}
+}
+
+// TestMapAllContextCancellationAborts: a dead context stops the batch and
+// is returned as stop, with nil slices.
+func TestMapAllContextCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	out, errs, stop := MapAll(ctx, 32, 4, func(i int) (int, error) { return i, nil })
+	if !errors.Is(stop, context.Canceled) {
+		t.Fatalf("stop = %v, want context.Canceled", stop)
+	}
+	if out != nil || errs != nil {
+		t.Fatalf("out/errs = %v/%v, want nil on abort", out, errs)
+	}
+}
+
+// TestMapAllMidItemCancellation: a context that dies while items are being
+// evaluated aborts instead of recording the cancellation per item.
+func TestMapAllMidItemCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var evaluated atomic.Int64
+	_, _, stop := MapAll(ctx, 1000, 4, func(i int) (int, error) {
+		if evaluated.Add(1) == 10 {
+			cancel()
+		}
+		return i, nil
+	})
+	if !errors.Is(stop, context.Canceled) {
+		t.Fatalf("stop = %v, want context.Canceled", stop)
+	}
+	if n := evaluated.Load(); n >= 1000 {
+		t.Fatalf("all %d items evaluated despite cancellation", n)
+	}
+}

@@ -1,0 +1,154 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"repro/internal/parallel"
+)
+
+// This file is the batch serving layer: POST /v1/batch accepts an array of
+// heterogeneous evaluation requests (the bodies of /v1/cost, /v1/designcost
+// and /v1/generalized) and fans them out over the parallel engine. The
+// contract is the one design-space scanners need:
+//
+//   - results come back in input order, deterministically, for any worker
+//     count — item i of the response always answers item i of the request;
+//   - each item's result body is byte-identical to what the individual
+//     endpoint would have returned, because both run the same evaluation
+//     and the same encoder;
+//   - errors are isolated per item: one out-of-domain scenario yields an
+//     item-level error envelope with its own status, not a 400 for the
+//     whole batch. Only a dead request context (timeout, client gone)
+//     aborts the batch as a whole.
+
+// maxBatchItems caps one /v1/batch request. Together with the 1 MiB body
+// cap it bounds what a single request can make the pool chew on; larger
+// scans should be split into multiple batches.
+const maxBatchItems = 1024
+
+// batchItemJSON is one entry of the request array: the target endpoint
+// ("cost", "designcost" or "generalized") and its body, verbatim.
+type batchItemJSON struct {
+	Kind string          `json:"kind"`
+	Body json.RawMessage `json:"body"`
+}
+
+// batchRequest is the POST /v1/batch payload.
+type batchRequest struct {
+	Items []batchItemJSON `json:"items"`
+}
+
+// batchItemResult is one entry of the response array. Status mirrors the
+// HTTP status the individual endpoint would have answered, and Body is
+// that endpoint's exact body: a result object for 200, the error envelope
+// for anything else.
+type batchItemResult struct {
+	Index  int             `json:"index"`
+	Status int             `json:"status"`
+	Body   json.RawMessage `json:"body"`
+}
+
+// handleBatch fans a heterogeneous batch out over the parallel engine.
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) (any, error) {
+	req, err := decodeJSON[batchRequest](r)
+	if err != nil {
+		return nil, err
+	}
+	if len(req.Items) == 0 {
+		return nil, badRequest(errors.New("batch contains no items"))
+	}
+	if len(req.Items) > maxBatchItems {
+		return nil, badRequest(fmt.Errorf("batch has %d items, max %d", len(req.Items), maxBatchItems))
+	}
+	ctx := r.Context()
+	bodies, errs, stop := parallel.MapAll(ctx, len(req.Items), 0, func(i int) (json.RawMessage, error) {
+		v, err := evalBatchItem(ctx, req.Items[i])
+		if err != nil {
+			return nil, err
+		}
+		buf, err := json.Marshal(v)
+		if err != nil {
+			return nil, &apiError{status: http.StatusInternalServerError, code: "internal", err: err}
+		}
+		return buf, nil
+	})
+	if stop != nil {
+		// The request context died: the whole batch maps to 504/499 exactly
+		// like a single long evaluation would.
+		return nil, stop
+	}
+	results := make([]batchItemResult, len(req.Items))
+	var okItems, errItems uint64
+	for i := range req.Items {
+		if errs[i] != nil {
+			ae := asAPIError(errs[i])
+			var envelope errorBody
+			envelope.Error.Code = ae.code
+			envelope.Error.Message = ae.err.Error()
+			raw, _ := json.Marshal(envelope)
+			results[i] = batchItemResult{Index: i, Status: ae.status, Body: raw}
+			errItems++
+			continue
+		}
+		results[i] = batchItemResult{Index: i, Status: http.StatusOK, Body: bodies[i]}
+		okItems++
+	}
+	s.metrics.batchOK.Add(okItems)
+	s.metrics.batchErr.Add(errItems)
+	return map[string]any{"count": len(results), "results": results}, nil
+}
+
+// evalBatchItem dispatches one batch item to the evaluation core of its
+// target endpoint, with the same strict body decoding the endpoint itself
+// applies.
+func evalBatchItem(ctx context.Context, item batchItemJSON) (any, error) {
+	switch item.Kind {
+	case "cost":
+		req, err := decodeJSONBytes[scenarioJSON](item.Body)
+		if err != nil {
+			return nil, err
+		}
+		return evalCost(ctx, req)
+	case "designcost":
+		req, err := decodeJSONBytes[designCostRequest](item.Body)
+		if err != nil {
+			return nil, err
+		}
+		return evalDesignCost(ctx, req)
+	case "generalized":
+		req, err := decodeJSONBytes[generalizedRequest](item.Body)
+		if err != nil {
+			return nil, err
+		}
+		return evalGeneralized(ctx, req)
+	default:
+		return nil, badRequest(fmt.Errorf("unknown batch item kind %q (want cost, designcost or generalized)", item.Kind))
+	}
+}
+
+// decodeJSONBytes is decodeJSON for an in-memory body: the same strict
+// rules (unknown fields, trailing garbage) applied to a batch item's raw
+// message.
+func decodeJSONBytes[T any](raw json.RawMessage) (T, error) {
+	var v T
+	if len(raw) == 0 {
+		return v, &apiError{status: http.StatusBadRequest, code: "invalid_request",
+			err: errors.New("batch item has no body")}
+	}
+	dec := json.NewDecoder(bytes.NewReader(raw))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&v); err != nil {
+		return v, &apiError{status: http.StatusBadRequest, code: "invalid_request",
+			err: fmt.Errorf("malformed batch item body: %w", err)}
+	}
+	if dec.More() {
+		return v, &apiError{status: http.StatusBadRequest, code: "invalid_request",
+			err: errors.New("batch item body contains trailing data")}
+	}
+	return v, nil
+}

@@ -1,0 +1,265 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/parallel"
+)
+
+// batchOf builds a /v1/batch payload from raw item bodies.
+func batchOf(kinds []string, bodies []string) string {
+	var b strings.Builder
+	b.WriteString(`{"items":[`)
+	for i := range kinds {
+		if i > 0 {
+			b.WriteString(",")
+		}
+		fmt.Fprintf(&b, `{"kind":%q,"body":%s}`, kinds[i], bodies[i])
+	}
+	b.WriteString(`]}`)
+	return b.String()
+}
+
+// rawDo runs one request and returns the raw response bytes.
+func rawDo(t *testing.T, s *Server, method, target, body string) (int, http.Header, []byte) {
+	t.Helper()
+	var rd *strings.Reader
+	if body != "" {
+		rd = strings.NewReader(body)
+	} else {
+		rd = strings.NewReader("")
+	}
+	req := httptest.NewRequest(method, target, rd)
+	rec := httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, req)
+	return rec.Code, rec.Result().Header, rec.Body.Bytes()
+}
+
+// batchResults decodes the results array of a batch response.
+func batchResults(t *testing.T, body []byte) []struct {
+	Index  int             `json:"index"`
+	Status int             `json:"status"`
+	Body   json.RawMessage `json:"body"`
+} {
+	t.Helper()
+	var resp struct {
+		Count   int `json:"count"`
+		Results []struct {
+			Index  int             `json:"index"`
+			Status int             `json:"status"`
+			Body   json.RawMessage `json:"body"`
+		} `json:"results"`
+	}
+	if err := json.Unmarshal(body, &resp); err != nil {
+		t.Fatalf("batch response is not JSON: %v\n%s", err, body)
+	}
+	if resp.Count != len(resp.Results) {
+		t.Fatalf("count %d != %d results", resp.Count, len(resp.Results))
+	}
+	return resp.Results
+}
+
+// scenarioWithSd renders a /v1/cost body at the given decompression index.
+func scenarioWithSd(sd float64) string {
+	return fmt.Sprintf(`{"process":{"lambda_um":0.18,"yield":0.4},"design":{"transistors":10e6,"sd":%g},"wafers":5000}`, sd)
+}
+
+// TestBatchMatchesIndividualCallsByteForByte is the acceptance gate: a
+// batch of 100 point evaluations answers, per item and in input order,
+// exactly the bytes the 100 individual /v1/cost calls produce — in one
+// HTTP round-trip instead of 100.
+func TestBatchMatchesIndividualCallsByteForByte(t *testing.T) {
+	s := newTestServer(t, Config{})
+	const n = 100
+	kinds := make([]string, n)
+	bodies := make([]string, n)
+	for i := range kinds {
+		kinds[i] = "cost"
+		bodies[i] = scenarioWithSd(200 + 10*float64(i))
+	}
+
+	code, _, raw := rawDo(t, s, "POST", "/v1/batch", batchOf(kinds, bodies))
+	if code != http.StatusOK {
+		t.Fatalf("batch status = %d\n%s", code, raw)
+	}
+	results := batchResults(t, raw)
+	if len(results) != n {
+		t.Fatalf("%d results, want %d", len(results), n)
+	}
+	for i, res := range results {
+		if res.Index != i {
+			t.Fatalf("result %d carries index %d: ordering broken", i, res.Index)
+		}
+		if res.Status != http.StatusOK {
+			t.Fatalf("item %d status = %d\n%s", i, res.Status, res.Body)
+		}
+		_, _, single := rawDo(t, s, "POST", "/v1/cost", bodies[i])
+		// The individual endpoint terminates its body with one newline; the
+		// batch embeds the same bytes inside the results array.
+		if want := bytes.TrimSuffix(single, []byte("\n")); !bytes.Equal(res.Body, want) {
+			t.Fatalf("item %d body differs from individual call:\nbatch:  %s\nsingle: %s", i, res.Body, want)
+		}
+	}
+
+	// The fewer-round-trips claim, asserted on the request counters: all n
+	// evaluations above cost one /v1/batch request (the n /v1/cost requests
+	// were the comparison calls made afterwards).
+	s.metrics.mu.Lock()
+	batchCalls := s.metrics.requests[routeCode{"/v1/batch", 200}]
+	singleCalls := s.metrics.requests[routeCode{"/v1/cost", 200}]
+	s.metrics.mu.Unlock()
+	if batchCalls != 1 || singleCalls != n {
+		t.Fatalf("round-trips: %d batch / %d single, want 1 / %d", batchCalls, singleCalls, n)
+	}
+	if got := s.metrics.batchOK.Load(); got != n {
+		t.Fatalf("batch ok-items metric = %d, want %d", got, n)
+	}
+}
+
+// TestBatchDeterministicAcrossWorkerCounts: the full response body is
+// byte-identical for -workers 1, 2 and 4.
+func TestBatchDeterministicAcrossWorkerCounts(t *testing.T) {
+	kinds := make([]string, 0, 60)
+	bodies := make([]string, 0, 60)
+	for i := 0; i < 20; i++ {
+		kinds = append(kinds, "cost", "designcost", "generalized")
+		bodies = append(bodies,
+			scenarioWithSd(150+25*float64(i)), // below 200: some hit the pole region
+			fmt.Sprintf(`{"transistors":10e6,"sd":%d}`, 120+40*i),
+			`{"scenario":`+scenarioWithSd(300+10*float64(i))+`,"yield_model":{"model":"murphy","d0":0.5}}`,
+		)
+	}
+	payload := batchOf(kinds, bodies)
+
+	responses := map[int][]byte{}
+	for _, workers := range []int{1, 2, 4} {
+		parallel.SetDefaultWorkers(workers)
+		s := newTestServer(t, Config{})
+		code, _, raw := rawDo(t, s, "POST", "/v1/batch", payload)
+		if code != http.StatusOK {
+			t.Fatalf("workers=%d: status %d", workers, code)
+		}
+		responses[workers] = raw
+	}
+	parallel.SetDefaultWorkers(0)
+	for _, workers := range []int{2, 4} {
+		if !bytes.Equal(responses[workers], responses[1]) {
+			t.Fatalf("workers=%d response differs from workers=1", workers)
+		}
+	}
+}
+
+// TestBatchIsolatesItemErrors: bad items answer their own error envelope
+// (with the out_of_domain code where it applies) while good neighbours
+// still answer 200 — the whole batch never collapses to a 400.
+func TestBatchIsolatesItemErrors(t *testing.T) {
+	s := newTestServer(t, Config{})
+	kinds := []string{"cost", "cost", "designcost", "telepathy", "cost"}
+	bodies := []string{
+		scenarioWithSd(300),              // ok
+		scenarioWithSd(90),               // eq (6) pole -> out_of_domain
+		`{"transistors":10e6,"bogus":1}`, // unknown field -> invalid_request
+		`{}`,                             // unknown kind
+		scenarioWithSd(400),              // ok
+	}
+	code, _, raw := rawDo(t, s, "POST", "/v1/batch", batchOf(kinds, bodies))
+	if code != http.StatusOK {
+		t.Fatalf("batch status = %d, want 200 despite bad items\n%s", code, raw)
+	}
+	results := batchResults(t, raw)
+	wantStatus := []int{200, 400, 400, 400, 200}
+	for i, res := range results {
+		if res.Status != wantStatus[i] {
+			t.Fatalf("item %d status = %d, want %d (%s)", i, res.Status, wantStatus[i], res.Body)
+		}
+	}
+	var envelope errorBody
+	if err := json.Unmarshal(results[1].Body, &envelope); err != nil {
+		t.Fatalf("item 1 error body not an envelope: %s", results[1].Body)
+	}
+	if envelope.Error.Code != "out_of_domain" {
+		t.Fatalf("item 1 error code = %q, want out_of_domain", envelope.Error.Code)
+	}
+	if err := json.Unmarshal(results[3].Body, &envelope); err != nil || envelope.Error.Code != "invalid_request" {
+		t.Fatalf("unknown-kind item error = %q (%v), want invalid_request", envelope.Error.Code, err)
+	}
+	if ok, bad := s.metrics.batchOK.Load(), s.metrics.batchErr.Load(); ok != 2 || bad != 3 {
+		t.Fatalf("batch item metrics = %d ok / %d error, want 2 / 3", ok, bad)
+	}
+}
+
+// TestBatchRejectsMalformedRequests: empty batches, oversized batches and
+// whole-body JSON damage are still request-level 400s.
+func TestBatchRejectsMalformedRequests(t *testing.T) {
+	s := newTestServer(t, Config{})
+	big := batchOf(make([]string, maxBatchItems+1), func() []string {
+		bs := make([]string, maxBatchItems+1)
+		for i := range bs {
+			bs[i] = `{}`
+		}
+		return bs
+	}())
+	for name, body := range map[string]string{
+		"empty items":   `{"items":[]}`,
+		"missing items": `{}`,
+		"trailing data": `{"items":[]}{"again":true}`,
+		"oversized":     big,
+	} {
+		t.Run(name, func(t *testing.T) {
+			code, _, raw := rawDo(t, s, "POST", "/v1/batch", body)
+			if code != http.StatusBadRequest && code != http.StatusRequestEntityTooLarge {
+				t.Fatalf("status = %d, want 400/413\n%s", code, raw)
+			}
+		})
+	}
+}
+
+// BenchmarkBatch100 vs BenchmarkSingle100 quantify the round-trip saving
+// behind the batch endpoint: the same 100 evaluations through one request
+// versus one hundred.
+func benchmarkBatchPayload() (string, []string) {
+	const n = 100
+	kinds := make([]string, n)
+	bodies := make([]string, n)
+	for i := range kinds {
+		kinds[i] = "cost"
+		bodies[i] = scenarioWithSd(200 + 10*float64(i))
+	}
+	return batchOf(kinds, bodies), bodies
+}
+
+func BenchmarkBatch100(b *testing.B) {
+	s := NewServer(Config{Logger: discardLogger()})
+	payload, _ := benchmarkBatchPayload()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		req := httptest.NewRequest("POST", "/v1/batch", strings.NewReader(payload))
+		rec := httptest.NewRecorder()
+		s.Handler().ServeHTTP(rec, req)
+		if rec.Code != http.StatusOK {
+			b.Fatalf("status %d", rec.Code)
+		}
+	}
+}
+
+func BenchmarkSingle100(b *testing.B) {
+	s := NewServer(Config{Logger: discardLogger()})
+	_, bodies := benchmarkBatchPayload()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		for _, body := range bodies {
+			req := httptest.NewRequest("POST", "/v1/cost", strings.NewReader(body))
+			rec := httptest.NewRecorder()
+			s.Handler().ServeHTTP(rec, req)
+			if rec.Code != http.StatusOK {
+				b.Fatalf("status %d", rec.Code)
+			}
+		}
+	}
+}

@@ -1,10 +1,15 @@
 package serve
 
 import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
 	"fmt"
 	"math"
 	"net/http"
 	"strconv"
+	"strings"
 
 	"repro/internal/core"
 	"repro/internal/experiments"
@@ -132,12 +137,23 @@ func (s *Server) handleCost(w http.ResponseWriter, r *http.Request) (any, error)
 	if err != nil {
 		return nil, err
 	}
+	return evalCost(r.Context(), req)
+}
+
+// evalCost is the shared evaluation core of POST /v1/cost and of "cost"
+// batch items: single-scenario and batched evaluations go through the one
+// code path, so a batch item's result is byte-identical to the individual
+// call's body.
+func evalCost(ctx context.Context, req scenarioJSON) (any, error) {
 	sc, err := req.toScenario()
 	if err != nil {
 		return nil, err
 	}
-	b, err := sc.TransistorCost()
+	b, err := sc.TransistorCostCtx(ctx)
 	if err != nil {
+		if ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
 		return nil, badRequest(err)
 	}
 	return map[string]any{"breakdown": toBreakdownJSON(b)}, nil
@@ -157,6 +173,15 @@ type designCostRequest struct {
 func (s *Server) handleDesignCost(w http.ResponseWriter, r *http.Request) (any, error) {
 	req, err := decodeJSON[designCostRequest](r)
 	if err != nil {
+		return nil, err
+	}
+	return evalDesignCost(r.Context(), req)
+}
+
+// evalDesignCost is the shared evaluation core of POST /v1/designcost and
+// of "designcost" batch items.
+func evalDesignCost(ctx context.Context, req designCostRequest) (any, error) {
+	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 	m := core.DefaultDesignCostModel()
@@ -223,6 +248,15 @@ func (s *Server) handleGeneralized(w http.ResponseWriter, r *http.Request) (any,
 	if err != nil {
 		return nil, err
 	}
+	return evalGeneralized(r.Context(), req)
+}
+
+// evalGeneralized is the shared evaluation core of POST /v1/generalized
+// and of "generalized" batch items.
+func evalGeneralized(ctx context.Context, req generalizedRequest) (any, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	sc, err := req.Scenario.toScenario()
 	if err != nil {
 		return nil, err
@@ -277,8 +311,18 @@ type sweepRequest struct {
 	Points   int          `json:"points"`
 }
 
+// pointJSON is the wire form of one sweep sample, shared by the buffered
+// and NDJSON-streamed sweep responses so both carry identical bytes per
+// point.
+type pointJSON struct {
+	X         float64       `json:"x"`
+	Breakdown breakdownJSON `json:"breakdown"`
+}
+
 // handleSweep runs a parameter sweep on the parallel engine, honoring the
 // request deadline: an expired context aborts the remaining grid points.
+// With "Accept: application/x-ndjson" the points stream chunk by chunk
+// instead of buffering the whole grid in one response value.
 func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) (any, error) {
 	req, err := decodeJSON[sweepRequest](r)
 	if err != nil {
@@ -290,6 +334,9 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) (any, error
 	sc, err := req.Scenario.toScenario()
 	if err != nil {
 		return nil, err
+	}
+	if wantsNDJSON(r) {
+		return s.streamSweep(w, r, req, sc)
 	}
 	var pts []core.SweepPoint
 	switch req.Variable {
@@ -307,10 +354,6 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) (any, error
 			return nil, ctxErr
 		}
 		return nil, badRequest(err)
-	}
-	type pointJSON struct {
-		X         float64       `json:"x"`
-		Breakdown breakdownJSON `json:"breakdown"`
 	}
 	out := make([]pointJSON, len(pts))
 	for i, p := range pts {
@@ -342,32 +385,138 @@ func toFigureJSON(f *report.Figure) figureJSON {
 	return out
 }
 
+// maxFigurePoints caps the ?points= resolution of a figure regeneration.
+// POST bodies are bounded by the 1 MiB body cap; this is the equivalent
+// guard for the one GET parameter that sizes an allocation, so a crafted
+// query string cannot demand an unbounded grid.
+const maxFigurePoints = 10000
+
+// defaultFigurePoints is the Figure 4 s_d resolution when ?points= is
+// omitted.
+const defaultFigurePoints = 48
+
+// figurePayload is the memoized wire form of one figure response: the
+// encoded JSON and NDJSON representations plus a strong ETag over each.
+// Caching the bytes (not just the series) makes a repeat fetch a map
+// lookup and an If-None-Match revalidation a string compare.
+type figurePayload struct {
+	body      []byte // {"id":...,"figures":[...]} + trailing newline
+	etag      string // strong ETag over body
+	ndjson    []byte // one figure object per line
+	ndjsonTag string // strong ETag over ndjson
+}
+
 // figureCache memoizes regenerated paper figures keyed by (figure,
 // resolution). Figures are pure functions of the request, so the cache is
 // shared across requests and its hit rate shows up on /metrics.
-var figureCache = memo.New[string, []figureJSON]("serve.figures", 16)
+var figureCache = memo.New[string, *figurePayload]("serve.figures", 16)
+
+// figureResponse is the wire shape of GET /v1/figures/{id}.
+type figureResponse struct {
+	ID      string       `json:"id"`
+	Figures []figureJSON `json:"figures"`
+}
 
 // handleFigure regenerates the data series behind paper Figures 1–4.
 // Figure 4 accepts ?points= to control the s_d resolution of its two
-// panels (default 48).
+// panels (default 48). Responses carry a strong ETag and Cache-Control;
+// a matching If-None-Match answers 304 with no body. With
+// "Accept: application/x-ndjson" the figures stream one per line.
 func (s *Server) handleFigure(w http.ResponseWriter, r *http.Request) (any, error) {
 	id := trimmedPathValue(r, "id")
-	points := 48
+	points := defaultFigurePoints
 	if raw := r.URL.Query().Get("points"); raw != "" {
 		n, err := strconv.Atoi(raw)
-		if err != nil || n < 2 || n > 512 {
-			return nil, badRequest(fmt.Errorf("points must be an integer in [2, 512], got %q", raw))
+		if err != nil || n < 2 || n > maxFigurePoints {
+			return nil, badRequest(fmt.Errorf("points must be an integer in [2, %d], got %q", maxFigurePoints, raw))
 		}
 		points = n
 	}
-	key := id + ":" + strconv.Itoa(points)
-	figs, err := figureCache.Get(key, func() ([]figureJSON, error) {
-		return buildFigure(id, points)
+	// Only Figure 4 consumes the resolution; folding it into the other
+	// figures' keys would let ?points= fragment the cache with identical
+	// payloads under distinct keys (and hand each a different ETag).
+	key := id
+	if id == "4" {
+		key += ":" + strconv.Itoa(points)
+	}
+	p, err := figureCache.Get(key, func() (*figurePayload, error) {
+		return buildFigurePayload(id, points)
 	})
 	if err != nil {
 		return nil, err
 	}
-	return map[string]any{"id": id, "figures": figs}, nil
+
+	body, etag, contentType := p.body, p.etag, "application/json"
+	streaming := wantsNDJSON(r)
+	if streaming {
+		body, etag, contentType = p.ndjson, p.ndjsonTag, "application/x-ndjson"
+	}
+	w.Header().Set("ETag", etag)
+	w.Header().Set("Cache-Control", "public, max-age=3600")
+	if etagMatches(r.Header.Get("If-None-Match"), etag) {
+		w.WriteHeader(http.StatusNotModified)
+		return wroteResponse{}, nil
+	}
+	w.Header().Set("Content-Type", contentType)
+	w.WriteHeader(http.StatusOK)
+	if streaming {
+		s.streamLines(w, r.Context(), body)
+	} else {
+		w.Write(body)
+	}
+	return wroteResponse{}, nil
+}
+
+// buildFigurePayload is the cache-miss path of handleFigure: regenerate
+// the figure series, encode both representations once, fingerprint them.
+func buildFigurePayload(id string, points int) (*figurePayload, error) {
+	figs, err := buildFigure(id, points)
+	if err != nil {
+		return nil, err
+	}
+	body, err := json.Marshal(figureResponse{ID: id, Figures: figs})
+	if err != nil {
+		return nil, err
+	}
+	body = append(body, '\n')
+	var ndjson []byte
+	for _, f := range figs {
+		line, err := json.Marshal(f)
+		if err != nil {
+			return nil, err
+		}
+		ndjson = append(ndjson, line...)
+		ndjson = append(ndjson, '\n')
+	}
+	return &figurePayload{
+		body:      body,
+		etag:      strongETag(body),
+		ndjson:    ndjson,
+		ndjsonTag: strongETag(ndjson),
+	}, nil
+}
+
+// strongETag fingerprints a response representation as a strong ETag.
+func strongETag(body []byte) string {
+	sum := sha256.Sum256(body)
+	return `"` + hex.EncodeToString(sum[:16]) + `"`
+}
+
+// etagMatches implements the If-None-Match comparison: a comma-separated
+// list of entity tags, or "*". Weak prefixes compare equal for GET
+// revalidation (RFC 9110 §13.1.2 uses weak comparison for If-None-Match).
+func etagMatches(ifNoneMatch, etag string) bool {
+	if ifNoneMatch == "" {
+		return false
+	}
+	for _, candidate := range strings.Split(ifNoneMatch, ",") {
+		candidate = strings.TrimSpace(candidate)
+		candidate = strings.TrimPrefix(candidate, "W/")
+		if candidate == "*" || candidate == etag {
+			return true
+		}
+	}
+	return false
 }
 
 // buildFigure is the cache-miss path of handleFigure.

@@ -5,6 +5,7 @@ import (
 	"io"
 	"sort"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 
@@ -22,10 +23,14 @@ var latencyBuckets = []float64{
 }
 
 // metrics aggregates the service's observability counters: per-route and
-// per-status request counts, a request latency histogram, and an in-flight
-// gauge. All methods are safe for concurrent use.
+// per-status request counts, a request latency histogram, an in-flight
+// gauge, per-item batch outcomes and streamed-byte totals. All methods are
+// safe for concurrent use.
 type metrics struct {
-	inFlight atomic.Int64
+	inFlight      atomic.Int64
+	batchOK       atomic.Uint64 // batch items answered 200
+	batchErr      atomic.Uint64 // batch items answered with an error envelope
+	streamedBytes atomic.Uint64 // bytes written on NDJSON responses
 
 	mu       sync.Mutex
 	requests map[routeCode]uint64
@@ -59,9 +64,25 @@ func (m *metrics) observe(route string, code int, seconds float64) {
 	m.count++
 }
 
-// writeTo renders the metrics in the Prometheus text exposition format,
-// followed by one gauge set per registered memo cache so a scrape sees the
-// model-layer cache effectiveness next to the HTTP traffic.
+// labelEscaper escapes a label value per the Prometheus text exposition
+// format: exactly backslash, double-quote and newline — the three escapes
+// the format defines. Go's %q is close but not conformant (it escapes
+// further control and non-ASCII characters with Go syntax a Prometheus
+// parser does not understand), so label rendering goes through this
+// instead.
+var labelEscaper = strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+
+// label renders one name="value" pair with a conformantly escaped value.
+func label(name, value string) string {
+	return name + `="` + labelEscaper.Replace(value) + `"`
+}
+
+// writeTo renders the metrics in the Prometheus text exposition format:
+// every family contiguous under its own HELP/TYPE header, histogram
+// buckets cumulative with the +Inf sample equal to _count, label values
+// escaped per the format. The memo-cache counters from the model layer
+// are appended so a scrape sees cache effectiveness next to the HTTP
+// traffic.
 func (m *metrics) writeTo(w io.Writer) {
 	m.mu.Lock()
 	keys := make([]routeCode, 0, len(m.requests))
@@ -85,14 +106,16 @@ func (m *metrics) writeTo(w io.Writer) {
 	fmt.Fprintln(w, "# HELP nanocostd_requests_total Requests served, by route pattern and status code.")
 	fmt.Fprintln(w, "# TYPE nanocostd_requests_total counter")
 	for i, k := range keys {
-		fmt.Fprintf(w, "nanocostd_requests_total{route=%q,code=\"%d\"} %d\n", k.route, k.code, counts[i])
+		fmt.Fprintf(w, "nanocostd_requests_total{%s,%s} %d\n",
+			label("route", k.route), label("code", strconv.Itoa(k.code)), counts[i])
 	}
 	fmt.Fprintln(w, "# HELP nanocostd_request_seconds Request latency histogram.")
 	fmt.Fprintln(w, "# TYPE nanocostd_request_seconds histogram")
 	var cum uint64
 	for i, le := range latencyBuckets {
 		cum += buckets[i]
-		fmt.Fprintf(w, "nanocostd_request_seconds_bucket{le=%q} %d\n", strconv.FormatFloat(le, 'g', -1, 64), cum)
+		fmt.Fprintf(w, "nanocostd_request_seconds_bucket{%s} %d\n",
+			label("le", strconv.FormatFloat(le, 'g', -1, 64)), cum)
 	}
 	fmt.Fprintf(w, "nanocostd_request_seconds_bucket{le=\"+Inf\"} %d\n", count)
 	fmt.Fprintf(w, "nanocostd_request_seconds_sum %g\n", sum)
@@ -100,12 +123,31 @@ func (m *metrics) writeTo(w io.Writer) {
 	fmt.Fprintln(w, "# HELP nanocostd_in_flight Requests currently being served.")
 	fmt.Fprintln(w, "# TYPE nanocostd_in_flight gauge")
 	fmt.Fprintf(w, "nanocostd_in_flight %d\n", m.inFlight.Load())
+	fmt.Fprintln(w, "# HELP nanocostd_batch_items_total Batch items evaluated via /v1/batch, by outcome.")
+	fmt.Fprintln(w, "# TYPE nanocostd_batch_items_total counter")
+	fmt.Fprintf(w, "nanocostd_batch_items_total{%s} %d\n", label("outcome", "ok"), m.batchOK.Load())
+	fmt.Fprintf(w, "nanocostd_batch_items_total{%s} %d\n", label("outcome", "error"), m.batchErr.Load())
+	fmt.Fprintln(w, "# HELP nanocostd_streamed_bytes_total Bytes written on NDJSON streaming responses.")
+	fmt.Fprintln(w, "# TYPE nanocostd_streamed_bytes_total counter")
+	fmt.Fprintf(w, "nanocostd_streamed_bytes_total %d\n", m.streamedBytes.Load())
 
+	// One family at a time: interleaving the hits/misses/hit-rate samples
+	// per cache (the old rendering) violated the format's requirement that
+	// all samples of a family form one contiguous group.
+	stats := memo.Stats()
+	fmt.Fprintln(w, "# HELP nanocostd_memo_cache_hits_total Hits of each registered memo cache.")
+	fmt.Fprintln(w, "# TYPE nanocostd_memo_cache_hits_total counter")
+	for _, s := range stats {
+		fmt.Fprintf(w, "nanocostd_memo_cache_hits_total{%s} %d\n", label("cache", s.Name), s.Hits)
+	}
+	fmt.Fprintln(w, "# HELP nanocostd_memo_cache_misses_total Misses of each registered memo cache.")
+	fmt.Fprintln(w, "# TYPE nanocostd_memo_cache_misses_total counter")
+	for _, s := range stats {
+		fmt.Fprintf(w, "nanocostd_memo_cache_misses_total{%s} %d\n", label("cache", s.Name), s.Misses)
+	}
 	fmt.Fprintln(w, "# HELP nanocostd_memo_cache_hit_rate Hit rate of each registered memo cache.")
 	fmt.Fprintln(w, "# TYPE nanocostd_memo_cache_hit_rate gauge")
-	for _, s := range memo.Stats() {
-		fmt.Fprintf(w, "nanocostd_memo_cache_hits_total{cache=%q} %d\n", s.Name, s.Hits)
-		fmt.Fprintf(w, "nanocostd_memo_cache_misses_total{cache=%q} %d\n", s.Name, s.Misses)
-		fmt.Fprintf(w, "nanocostd_memo_cache_hit_rate{cache=%q} %g\n", s.Name, s.HitRate())
+	for _, s := range stats {
+		fmt.Fprintf(w, "nanocostd_memo_cache_hit_rate{%s} %g\n", label("cache", s.Name), s.HitRate())
 	}
 }

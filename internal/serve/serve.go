@@ -15,9 +15,16 @@
 //	POST /v1/designcost    eq (6): design cost C_DE and its marginal
 //	POST /v1/generalized   eq (7): utilization + pluggable yield model
 //	POST /v1/sweep         parameter sweeps over s_d, N_w or Y
+//	POST /v1/batch         heterogeneous batch of cost/designcost/generalized
 //	GET  /v1/figures/{id}  paper-figure data series (1–4), memoized
 //	GET  /healthz          liveness probe
 //	GET  /metrics          Prometheus text exposition
+//
+// /v1/sweep and /v1/figures/{id} answer with NDJSON streaming (one JSON
+// value per line, flushed chunk by chunk) when the request carries
+// "Accept: application/x-ndjson". Figure responses are served with strong
+// ETags derived from the memoized content, so a matching If-None-Match
+// costs a hash compare (304) instead of a regeneration.
 package serve
 
 import (
@@ -26,9 +33,11 @@ import (
 	"errors"
 	"fmt"
 	"log/slog"
+	"math"
 	"net"
 	"net/http"
 	"runtime"
+	"strconv"
 	"strings"
 	"sync/atomic"
 	"time"
@@ -86,12 +95,13 @@ func (c Config) withDefaults() Config {
 // with ListenAndServe/Serve (blocking, context-cancelled) or mount
 // Handler on a test server.
 type Server struct {
-	cfg     Config
-	log     *slog.Logger
-	mux     *http.ServeMux
-	metrics *metrics
-	sem     chan struct{}
-	addr    atomic.Value // string: bound listen address, set once serving
+	cfg        Config
+	log        *slog.Logger
+	mux        *http.ServeMux
+	metrics    *metrics
+	sem        chan struct{}
+	retryAfter string       // 429 Retry-After, derived from RequestTimeout
+	addr       atomic.Value // string: bound listen address, set once serving
 }
 
 // NewServer builds a Server from cfg (zero fields take defaults).
@@ -103,6 +113,12 @@ func NewServer(cfg Config) *Server {
 		mux:     http.NewServeMux(),
 		metrics: newMetrics(),
 		sem:     make(chan struct{}, cfg.MaxInFlight),
+		// A saturated server drains at the pace of its slowest admitted
+		// requests, which the request timeout bounds — so that, rounded up
+		// to a whole second, is the honest back-off hint. A hard-coded "1"
+		// would invite clients to hammer a server whose queue cannot have
+		// moved yet.
+		retryAfter: strconv.Itoa(max(1, int(math.Ceil(cfg.RequestTimeout.Seconds())))),
 	}
 	s.routes()
 	return s
@@ -173,6 +189,7 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("POST /v1/designcost", s.handle("/v1/designcost", s.handleDesignCost))
 	s.mux.HandleFunc("POST /v1/generalized", s.handle("/v1/generalized", s.handleGeneralized))
 	s.mux.HandleFunc("POST /v1/sweep", s.handle("/v1/sweep", s.handleSweep))
+	s.mux.HandleFunc("POST /v1/batch", s.handle("/v1/batch", s.handleBatch))
 	s.mux.HandleFunc("GET /v1/figures/{id}", s.handle("/v1/figures/{id}", s.handleFigure))
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
@@ -254,19 +271,52 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Write(append(buf, '\n'))
 }
 
-// statusRecorder captures the response status for metrics and logs.
+// statusRecorder captures the response status and byte count for metrics
+// and logs, and remembers whether the header went out — once it has, error
+// mapping must not append an error envelope to a half-written stream.
 type statusRecorder struct {
 	http.ResponseWriter
-	status int
+	status      int
+	wroteHeader bool
+	bytes       int64
 }
 
 func (r *statusRecorder) WriteHeader(status int) {
-	r.status = status
+	if !r.wroteHeader {
+		r.status = status
+		r.wroteHeader = true
+	}
 	r.ResponseWriter.WriteHeader(status)
 }
 
+func (r *statusRecorder) Write(b []byte) (int, error) {
+	r.wroteHeader = true // net/http sends an implicit 200 on first Write
+	n, err := r.ResponseWriter.Write(b)
+	r.bytes += int64(n)
+	return n, err
+}
+
+// Flush passes through to the underlying http.Flusher so NDJSON streaming
+// handlers can push each chunk onto the wire. Without this the recorder
+// would mask the Flusher interface and every "streaming" response would be
+// buffered until the handler returned.
+func (r *statusRecorder) Flush() {
+	if f, ok := r.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// Unwrap exposes the wrapped writer to http.ResponseController.
+func (r *statusRecorder) Unwrap() http.ResponseWriter { return r.ResponseWriter }
+
+// wroteResponse is the sentinel a handler returns when it already wrote
+// the response itself (streaming, 304 and cached-bytes paths); the
+// middleware then skips the default JSON encoding.
+type wroteResponse struct{}
+
 // handlerFunc is a model-evaluating endpoint: it returns a response value
-// to encode as 200, or an error that asAPIError maps to a status.
+// to encode as 200 (or wroteResponse if it wrote its own), or an error
+// that asAPIError maps to a status.
 type handlerFunc func(w http.ResponseWriter, r *http.Request) (any, error)
 
 // handle is the middleware stack of every model-evaluating route:
@@ -282,7 +332,7 @@ func (s *Server) handle(route string, h handlerFunc) http.HandlerFunc {
 		case s.sem <- struct{}{}:
 			defer func() { <-s.sem }()
 		default:
-			w.Header().Set("Retry-After", "1")
+			w.Header().Set("Retry-After", s.retryAfter)
 			writeError(rec, &apiError{status: http.StatusTooManyRequests, code: "saturated",
 				err: fmt.Errorf("server at its %d-request concurrency limit", s.cfg.MaxInFlight)})
 			s.finish(r, route, rec.status, start)
@@ -298,23 +348,34 @@ func (s *Server) handle(route string, h handlerFunc) http.HandlerFunc {
 		r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
 
 		v, err := h(rec, r)
-		if err == nil && ctx.Err() != nil {
+		if err == nil && ctx.Err() != nil && !rec.wroteHeader {
 			// The handler finished but the deadline passed (or the client
-			// left): report the truth rather than a half-written success.
+			// left) before anything went out: report the truth rather than
+			// a half-written success. A response that already streamed is
+			// left as the bytes on the wire tell it.
 			err = ctx.Err()
 		}
 		if err != nil {
-			if errors.Is(err, context.Canceled) {
+			switch {
+			case errors.Is(err, context.Canceled):
 				// The client is gone; nothing useful can be written. Record
 				// the nonstandard-but-conventional 499 for the logs.
 				rec.status = 499
-			} else {
+			case !rec.wroteHeader:
 				writeError(rec, asAPIError(err))
+			default:
+				// Mid-stream failure after bytes were flushed: the response
+				// cannot be rewritten, so the truncated stream plus the log
+				// line carry the story.
+				s.log.LogAttrs(r.Context(), slog.LevelWarn, "stream aborted",
+					slog.String("route", route), slog.String("error", err.Error()))
 			}
 			s.finish(r, route, rec.status, start)
 			return
 		}
-		writeJSON(rec, http.StatusOK, v)
+		if _, wrote := v.(wroteResponse); !wrote {
+			writeJSON(rec, http.StatusOK, v)
+		}
 		s.finish(r, route, rec.status, start)
 	}
 }

@@ -1,0 +1,127 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+
+	"repro/internal/core"
+)
+
+// This file is the NDJSON streaming side of the service: content
+// negotiation, the chunked sweep writer, and the line writer the figure
+// handler shares. Streamed responses are one JSON value per line
+// (application/x-ndjson), flushed chunk by chunk so a consumer sees the
+// first points while the tail of the grid is still evaluating, and abort
+// promptly — without leaking pool workers — when the client disconnects.
+
+// wantsNDJSON reports whether the request negotiated NDJSON streaming via
+// the Accept header. Parameters (";q=", charset) are ignored; only the
+// media type decides.
+func wantsNDJSON(r *http.Request) bool {
+	for _, part := range strings.Split(r.Header.Get("Accept"), ",") {
+		mt := part
+		if i := strings.Index(mt, ";"); i >= 0 {
+			mt = mt[:i]
+		}
+		if strings.EqualFold(strings.TrimSpace(mt), "application/x-ndjson") {
+			return true
+		}
+	}
+	return false
+}
+
+// flush pushes buffered response bytes onto the wire if the writer
+// supports it. Handlers receive the middleware's statusRecorder, which
+// passes Flush through to the real connection.
+func flush(w http.ResponseWriter) {
+	if f, ok := w.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// streamLines writes pre-encoded NDJSON content line by line, flushing
+// after each line and stopping when ctx dies. It serves the memoized
+// figure payloads, whose representations are already encoded.
+func (s *Server) streamLines(w http.ResponseWriter, ctx context.Context, body []byte) {
+	for len(body) > 0 {
+		if ctx.Err() != nil {
+			return
+		}
+		line := body
+		if i := bytes.IndexByte(body, '\n'); i >= 0 {
+			line = body[:i+1]
+		}
+		n, err := w.Write(line)
+		s.metrics.streamedBytes.Add(uint64(n))
+		if err != nil {
+			return
+		}
+		flush(w)
+		body = body[len(line):]
+	}
+}
+
+// streamSweep is the NDJSON branch of POST /v1/sweep: the same grid and
+// the same per-point bytes as the buffered response, but delivered one
+// point per line in chunks of core.SweepStreamChunk. Validation errors
+// surface before the first write (so they still map to a 400); once the
+// header is out, a failure can only truncate the stream. A client
+// disconnect cancels the request context, which aborts the sweep between
+// points/chunks — the pool workers are released, not leaked.
+func (s *Server) streamSweep(w http.ResponseWriter, r *http.Request, req sweepRequest, sc core.Scenario) (any, error) {
+	ctx := r.Context()
+	var sweep func(emit func([]core.SweepPoint) error) error
+	switch req.Variable {
+	case "sd":
+		sweep = func(emit func([]core.SweepPoint) error) error {
+			return core.SweepSdStream(ctx, sc, req.Lo, req.Hi, req.Points, 0, emit)
+		}
+	case "wafers":
+		sweep = func(emit func([]core.SweepPoint) error) error {
+			return core.SweepVolumeStream(ctx, sc, req.Lo, req.Hi, req.Points, 0, emit)
+		}
+	case "yield":
+		sweep = func(emit func([]core.SweepPoint) error) error {
+			return core.SweepYieldStream(ctx, sc, req.Lo, req.Hi, req.Points, 0, emit)
+		}
+	default:
+		return nil, badRequest(fmt.Errorf("unknown sweep variable %q (want sd, wafers or yield)", req.Variable))
+	}
+
+	started := false
+	err := sweep(func(pts []core.SweepPoint) error {
+		if !started {
+			w.Header().Set("Content-Type", "application/x-ndjson")
+			w.WriteHeader(http.StatusOK)
+			started = true
+		}
+		for _, p := range pts {
+			line, err := json.Marshal(pointJSON{X: p.X, Breakdown: toBreakdownJSON(p.Breakdown)})
+			if err != nil {
+				return err
+			}
+			line = append(line, '\n')
+			n, werr := w.Write(line)
+			s.metrics.streamedBytes.Add(uint64(n))
+			if werr != nil {
+				return werr
+			}
+		}
+		flush(w)
+		return ctx.Err()
+	})
+	if err != nil {
+		if !started {
+			if ctx.Err() != nil {
+				return nil, ctx.Err()
+			}
+			return nil, badRequest(err)
+		}
+		return nil, err
+	}
+	return wroteResponse{}, nil
+}

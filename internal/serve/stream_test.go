@@ -1,0 +1,368 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestWantsNDJSON(t *testing.T) {
+	cases := []struct {
+		accept string
+		want   bool
+	}{
+		{"", false},
+		{"application/json", false},
+		{"application/x-ndjson", true},
+		{"Application/X-NDJSON", true},
+		{"application/json, application/x-ndjson;q=0.9", true},
+		{" application/x-ndjson ; charset=utf-8", true},
+		{"application/x-ndjson-like", false},
+	}
+	for _, c := range cases {
+		r := httptest.NewRequest("GET", "/", nil)
+		if c.accept != "" {
+			r.Header.Set("Accept", c.accept)
+		}
+		if got := wantsNDJSON(r); got != c.want {
+			t.Errorf("wantsNDJSON(%q) = %v, want %v", c.accept, got, c.want)
+		}
+	}
+}
+
+// TestStatusRecorderFlusherPassthrough: the middleware's recorder must not
+// mask http.Flusher, or every "streamed" response would buffer until the
+// handler returned.
+func TestStatusRecorderFlusherPassthrough(t *testing.T) {
+	rec := httptest.NewRecorder()
+	sr := &statusRecorder{ResponseWriter: rec, status: http.StatusOK}
+	var w http.ResponseWriter = sr
+	f, ok := w.(http.Flusher)
+	if !ok {
+		t.Fatal("statusRecorder does not expose http.Flusher")
+	}
+	f.Flush()
+	if !rec.Flushed {
+		t.Fatal("Flush did not reach the underlying writer")
+	}
+	if sr.Unwrap() != rec {
+		t.Fatal("Unwrap does not return the wrapped writer")
+	}
+}
+
+// TestSweepNDJSONMatchesBufferedSweep: the streamed lines carry exactly
+// the points of the buffered JSON response, in grid order, with the
+// negotiated content type.
+func TestSweepNDJSONMatchesBufferedSweep(t *testing.T) {
+	s := newTestServer(t, Config{})
+	body := fmt.Sprintf(`{"scenario":%s,"variable":"sd","lo":200,"hi":2000,"points":150}`, validScenario)
+
+	req := httptest.NewRequest("POST", "/v1/sweep", strings.NewReader(body))
+	req.Header.Set("Accept", "application/x-ndjson")
+	rec := httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("stream status = %d: %s", rec.Code, rec.Body.String())
+	}
+	if ct := rec.Header().Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("Content-Type = %q", ct)
+	}
+	lines := bytes.Split(bytes.TrimSuffix(rec.Body.Bytes(), []byte("\n")), []byte("\n"))
+	if len(lines) != 150 {
+		t.Fatalf("streamed %d lines, want 150", len(lines))
+	}
+
+	code, _, buffered := rawDo(t, s, "POST", "/v1/sweep", body)
+	if code != http.StatusOK {
+		t.Fatalf("buffered status = %d", code)
+	}
+	var resp struct {
+		Points []json.RawMessage `json:"points"`
+	}
+	if err := json.Unmarshal(buffered, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Points) != len(lines) {
+		t.Fatalf("buffered %d points, streamed %d", len(resp.Points), len(lines))
+	}
+	for i := range lines {
+		if !bytes.Equal(lines[i], resp.Points[i]) {
+			t.Fatalf("point %d differs:\nstream: %s\nbuffer: %s", i, lines[i], resp.Points[i])
+		}
+	}
+	if s.metrics.streamedBytes.Load() == 0 {
+		t.Fatal("streamed-bytes metric not incremented")
+	}
+}
+
+// TestSweepNDJSONValidationStill400: errors caught before the first chunk
+// keep their request-level status even under streaming negotiation.
+func TestSweepNDJSONValidationStill400(t *testing.T) {
+	s := newTestServer(t, Config{})
+	body := fmt.Sprintf(`{"scenario":%s,"variable":"sd","lo":50,"hi":2000,"points":8}`, validScenario)
+	req := httptest.NewRequest("POST", "/v1/sweep", strings.NewReader(body))
+	req.Header.Set("Accept", "application/x-ndjson")
+	rec := httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, req)
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("status = %d, want 400", rec.Code)
+	}
+	var out map[string]any
+	if err := json.Unmarshal(rec.Body.Bytes(), &out); err != nil {
+		t.Fatalf("non-JSON error body: %s", rec.Body.String())
+	}
+	if got := errCode(t, out); got != "out_of_domain" {
+		t.Fatalf("error code = %q, want out_of_domain", got)
+	}
+}
+
+// cancelOnFirstWrite simulates a client that disconnects as soon as the
+// stream starts: the first body write cancels the request context, exactly
+// what net/http does to r.Context() when the peer goes away.
+type cancelOnFirstWrite struct {
+	http.ResponseWriter
+	cancel context.CancelFunc
+	once   bool
+}
+
+func (c *cancelOnFirstWrite) Write(b []byte) (int, error) {
+	if !c.once {
+		c.once = true
+		c.cancel()
+	}
+	return c.ResponseWriter.Write(b)
+}
+
+// TestSweepNDJSONClientCancelMidStream: a client that disconnects
+// mid-stream must terminate the handler promptly — remaining grid chunks
+// skipped, in-flight gauge drained (no leaked worker), 499 recorded —
+// instead of evaluating the rest of the sweep for nobody.
+func TestSweepNDJSONClientCancelMidStream(t *testing.T) {
+	s := newTestServer(t, Config{RequestTimeout: time.Minute})
+	const points = 4096
+	body := fmt.Sprintf(`{"scenario":%s,"variable":"sd","lo":200,"hi":2000,"points":%d}`, validScenario, points)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	req := httptest.NewRequest("POST", "/v1/sweep", strings.NewReader(body)).WithContext(ctx)
+	req.Header.Set("Accept", "application/x-ndjson")
+	rec := httptest.NewRecorder()
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		s.Handler().ServeHTTP(&cancelOnFirstWrite{ResponseWriter: rec, cancel: cancel}, req)
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("stream handler did not terminate after client cancel")
+	}
+
+	lines := bytes.Count(rec.Body.Bytes(), []byte("\n"))
+	if lines == 0 {
+		t.Fatal("stream never started")
+	}
+	if lines >= points {
+		t.Fatalf("sweep ran to completion (%d lines) despite the cancel", lines)
+	}
+	if got := s.metrics.inFlight.Load(); got != 0 {
+		t.Fatalf("in-flight gauge = %d after handler returned: worker leaked", got)
+	}
+	s.metrics.mu.Lock()
+	cancelled := s.metrics.requests[routeCode{"/v1/sweep", 499}]
+	s.metrics.mu.Unlock()
+	if cancelled != 1 {
+		t.Fatalf("499 count = %d, want 1", cancelled)
+	}
+}
+
+// TestFigureETagRevalidation: figure responses carry a strong ETag and
+// Cache-Control; a matching If-None-Match answers 304 with no body, and
+// distinct resolutions get distinct tags.
+func TestFigureETagRevalidation(t *testing.T) {
+	s := newTestServer(t, Config{})
+	code, hdr, body := rawDo(t, s, "GET", "/v1/figures/1", "")
+	if code != http.StatusOK {
+		t.Fatalf("status = %d", code)
+	}
+	etag := hdr.Get("ETag")
+	if !strings.HasPrefix(etag, `"`) || strings.HasPrefix(etag, "W/") {
+		t.Fatalf("ETag = %q, want a strong entity tag", etag)
+	}
+	if cc := hdr.Get("Cache-Control"); !strings.Contains(cc, "max-age") {
+		t.Fatalf("Cache-Control = %q", cc)
+	}
+	if !json.Valid(body) {
+		t.Fatalf("figure body not JSON: %s", body[:min(len(body), 80)])
+	}
+
+	req := httptest.NewRequest("GET", "/v1/figures/1", nil)
+	req.Header.Set("If-None-Match", etag)
+	rec := httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, req)
+	if rec.Code != http.StatusNotModified {
+		t.Fatalf("revalidation status = %d, want 304", rec.Code)
+	}
+	if rec.Body.Len() != 0 {
+		t.Fatalf("304 carried a body: %s", rec.Body.String())
+	}
+	if rec.Header().Get("ETag") != etag {
+		t.Fatalf("304 ETag = %q, want %q", rec.Header().Get("ETag"), etag)
+	}
+
+	// A fresh fetch with the same tag in a list still revalidates; a stale
+	// tag does not.
+	req = httptest.NewRequest("GET", "/v1/figures/1", nil)
+	req.Header.Set("If-None-Match", `"deadbeef", `+etag)
+	rec = httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, req)
+	if rec.Code != http.StatusNotModified {
+		t.Fatalf("list revalidation status = %d, want 304", rec.Code)
+	}
+	req = httptest.NewRequest("GET", "/v1/figures/1", nil)
+	req.Header.Set("If-None-Match", `"deadbeef"`)
+	rec = httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("stale-tag status = %d, want 200", rec.Code)
+	}
+
+	// Distinct resolutions are distinct representations of Figure 4.
+	_, hdr48, _ := rawDo(t, s, "GET", "/v1/figures/4?points=48", "")
+	_, hdr96, _ := rawDo(t, s, "GET", "/v1/figures/4?points=96", "")
+	if hdr48.Get("ETag") == hdr96.Get("ETag") {
+		t.Fatal("different Figure 4 resolutions share an ETag")
+	}
+	// Figures 1–3 ignore ?points=, so the tag (and cache slot) must not
+	// fragment by resolution.
+	_, hdrP, _ := rawDo(t, s, "GET", "/v1/figures/1?points=96", "")
+	if hdrP.Get("ETag") != etag {
+		t.Fatal("?points= forked the ETag of a figure that ignores it")
+	}
+}
+
+// TestFigureNDJSONStreaming: the NDJSON representation carries one figure
+// per line with its own strong ETag, and revalidates independently.
+func TestFigureNDJSONStreaming(t *testing.T) {
+	s := newTestServer(t, Config{})
+	req := httptest.NewRequest("GET", "/v1/figures/4", nil)
+	req.Header.Set("Accept", "application/x-ndjson")
+	rec := httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("Content-Type = %q", ct)
+	}
+	lines := bytes.Split(bytes.TrimSuffix(rec.Body.Bytes(), []byte("\n")), []byte("\n"))
+	if len(lines) != 2 {
+		t.Fatalf("Figure 4 streamed %d lines, want its 2 panels", len(lines))
+	}
+	for i, line := range lines {
+		var fig figureJSON
+		if err := json.Unmarshal(line, &fig); err != nil {
+			t.Fatalf("line %d is not one figure: %v", i, err)
+		}
+		if len(fig.Series) == 0 {
+			t.Fatalf("line %d carries no series", i)
+		}
+	}
+	ndTag := rec.Header().Get("ETag")
+	_, jsonHdr, _ := rawDo(t, s, "GET", "/v1/figures/4", "")
+	if ndTag == "" || ndTag == jsonHdr.Get("ETag") {
+		t.Fatalf("NDJSON ETag %q must exist and differ from the JSON representation's %q",
+			ndTag, jsonHdr.Get("ETag"))
+	}
+	req = httptest.NewRequest("GET", "/v1/figures/4", nil)
+	req.Header.Set("Accept", "application/x-ndjson")
+	req.Header.Set("If-None-Match", ndTag)
+	rec = httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, req)
+	if rec.Code != http.StatusNotModified {
+		t.Fatalf("NDJSON revalidation = %d, want 304", rec.Code)
+	}
+}
+
+// TestFigurePointsBounds is the regression table for the ?points= query
+// parameter: the one GET input that sizes an allocation must be bounded
+// like POST bodies are, with 400 on everything outside [2, maxFigurePoints].
+func TestFigurePointsBounds(t *testing.T) {
+	s := newTestServer(t, Config{})
+	cases := []struct {
+		raw      string
+		wantCode int
+	}{
+		{"", http.StatusOK}, // default resolution
+		{"?points=2", http.StatusOK},
+		{"?points=48", http.StatusOK},
+		{"?points=10000", http.StatusOK},
+		{"?points=1", http.StatusBadRequest},
+		{"?points=0", http.StatusBadRequest},
+		{"?points=-1", http.StatusBadRequest},
+		{"?points=-999999999", http.StatusBadRequest},
+		{"?points=10001", http.StatusBadRequest},
+		{"?points=999999999999999999999999", http.StatusBadRequest}, // overflows int
+		{"?points=abc", http.StatusBadRequest},
+		{"?points=4.5", http.StatusBadRequest},
+		{"?points=1e3", http.StatusBadRequest},
+		{"?points=+48x", http.StatusBadRequest},
+	}
+	for _, c := range cases {
+		t.Run("points"+c.raw, func(t *testing.T) {
+			// Figure 2 is cheap and ignores the resolution, so even the
+			// accepted values answer fast; the guard must trigger on the
+			// parameter alone, before any model work.
+			code, _, body := rawDo(t, s, "GET", "/v1/figures/2"+c.raw, "")
+			if code != c.wantCode {
+				t.Fatalf("GET /v1/figures/2%s = %d, want %d\n%s", c.raw, code, c.wantCode, body)
+			}
+			if c.wantCode == http.StatusBadRequest {
+				var out map[string]any
+				if err := json.Unmarshal(body, &out); err != nil {
+					t.Fatalf("error body not JSON: %s", body)
+				}
+				if got := errCode(t, out); got != "invalid_request" {
+					t.Fatalf("error code = %q, want invalid_request", got)
+				}
+			}
+		})
+	}
+}
+
+// TestRetryAfterDerivedFromTimeout is the regression test for the
+// hard-coded "Retry-After: 1": the hint must scale with the configured
+// request timeout, since that bounds how long the pool can stay saturated.
+func TestRetryAfterDerivedFromTimeout(t *testing.T) {
+	cases := []struct {
+		timeout time.Duration
+		want    string
+	}{
+		{2500 * time.Millisecond, "3"}, // rounds up to whole seconds
+		{30 * time.Second, "30"},
+		{200 * time.Millisecond, "1"}, // never below one second
+		{0, "15"},                     // default RequestTimeout 15s
+	}
+	for _, c := range cases {
+		s := newTestServer(t, Config{MaxInFlight: 1, RequestTimeout: c.timeout})
+		for i := 0; i < cap(s.sem); i++ {
+			s.sem <- struct{}{}
+		}
+		code, hdr, _ := rawDo(t, s, "POST", "/v1/cost", validScenario)
+		if code != http.StatusTooManyRequests {
+			t.Fatalf("timeout %v: status = %d, want 429", c.timeout, code)
+		}
+		if got := hdr.Get("Retry-After"); got != c.want {
+			t.Fatalf("timeout %v: Retry-After = %q, want %q", c.timeout, got, c.want)
+		}
+		for i := 0; i < cap(s.sem); i++ {
+			<-s.sem
+		}
+	}
+}

@@ -1,8 +1,9 @@
 #!/bin/sh
 # smoke_serve.sh — end-to-end daemon smoke test: build nanocostd, boot it
 # on an ephemeral port, hit /healthz and /v1/cost, require the eq (6) pole
-# to answer 400 out_of_domain, then deliver SIGTERM and verify the process
-# drains and exits cleanly.
+# to answer 400 out_of_domain, round-trip /v1/batch against the individual
+# endpoint, stream a sweep as NDJSON, revalidate a figure ETag, then
+# deliver SIGTERM and verify the process drains and exits cleanly.
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -51,6 +52,32 @@ bad='{"process":{"lambda_um":0.18,"yield":0.4},"design":{"transistors":10e6,"sd"
 status=$(curl -s -o "$workdir/pole.json" -w '%{http_code}' -X POST -d "$bad" "http://$addr/v1/cost")
 [ "$status" = "400" ] || { echo "smoke_serve: pole request got HTTP $status, want 400" >&2; exit 1; }
 grep -q '"out_of_domain"' "$workdir/pole.json" || { echo "smoke_serve: pole response lacks out_of_domain: $(cat "$workdir/pole.json")" >&2; exit 1; }
+
+echo "== /v1/batch (item bytes == individual call bytes) ==" >&2
+batch_req='{"items":[{"kind":"cost","body":'"$body"'},{"kind":"cost","body":'"$bad"'},{"kind":"designcost","body":{"transistors":10e6,"sd":300}}]}'
+batch=$(curl -sf -X POST -d "$batch_req" "http://$addr/v1/batch")
+echo "$batch" | grep -q '"count":3' || { echo "smoke_serve: batch count wrong: $batch" >&2; exit 1; }
+# Item 0 must embed exactly the bytes the single endpoint answers (modulo
+# its trailing newline); item 1 is the pole and must carry its own error
+# envelope inside a 200 batch.
+single=$(printf '%s' "$cost")
+case "$batch" in
+  *"$single"*) : ;;
+  *) echo "smoke_serve: batch item 0 differs from individual /v1/cost bytes" >&2; exit 1 ;;
+esac
+echo "$batch" | grep -q '"status":400' || { echo "smoke_serve: batch did not isolate the pole item: $batch" >&2; exit 1; }
+echo "$batch" | grep -q '"out_of_domain"' || { echo "smoke_serve: batch pole item lacks out_of_domain: $batch" >&2; exit 1; }
+
+echo "== /v1/sweep NDJSON streaming ==" >&2
+sweep_req='{"scenario":'"$body"',"variable":"sd","lo":200,"hi":2000,"points":64}'
+lines=$(curl -sfN -H 'Accept: application/x-ndjson' -X POST -d "$sweep_req" "http://$addr/v1/sweep" | wc -l)
+[ "$lines" -eq 64 ] || { echo "smoke_serve: streamed sweep produced $lines lines, want 64" >&2; exit 1; }
+
+echo "== /v1/figures/4 ETag revalidation ==" >&2
+etag=$(curl -sf -D - -o /dev/null "http://$addr/v1/figures/4" | sed -n 's/^[Ee][Tt]ag: *//p' | tr -d '\r')
+[ -n "$etag" ] || { echo "smoke_serve: figure response carries no ETag" >&2; exit 1; }
+status=$(curl -s -o /dev/null -w '%{http_code}' -H "If-None-Match: $etag" "http://$addr/v1/figures/4")
+[ "$status" = "304" ] || { echo "smoke_serve: If-None-Match revalidation got HTTP $status, want 304" >&2; exit 1; }
 
 echo "== SIGTERM drain ==" >&2
 kill -TERM "$pid"
