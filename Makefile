@@ -1,7 +1,7 @@
 GO ?= go
 BASE ?= BENCH_PR2.json
 
-.PHONY: all build vet test race bench bench-smoke bench-compare check baseline serve smoke-serve
+.PHONY: all build vet test race bench bench-smoke bench-compare check baseline serve smoke-serve obs-check
 
 all: check
 
@@ -41,8 +41,15 @@ serve:
 smoke-serve:
 	./scripts/smoke_serve.sh
 
+# Observability gate: vet the telemetry packages and run the tracing,
+# registry and /metrics text-exposition conformance tests race-enabled.
+obs-check:
+	$(GO) vet ./internal/obs/ ./internal/serve/
+	$(GO) test -race -count=1 ./internal/obs/
+	$(GO) test -race -count=1 -run 'TestMetricsExpositionConformance|TestTrace|TestRequestID|TestAccessLog|TestStreamedStatus' ./internal/serve/
+
 # The gate run by CI and by scripts/check.sh.
-check: vet build race bench-smoke
+check: vet build race bench-smoke obs-check
 
 # Refresh the recorded benchmark baseline (writes $(BASE)).
 baseline:

@@ -10,13 +10,16 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"strings"
 
 	"repro/internal/cliutil"
 	"repro/internal/experiments"
+	"repro/internal/obs"
 	"repro/internal/parallel"
 	"repro/internal/profiling"
 	"repro/internal/report"
@@ -28,10 +31,13 @@ func main() {
 	csv := flag.Bool("csv", false, "emit CSV instead of rendered tables/figures")
 	list := flag.Bool("list", false, "list every artifact with its title and exit")
 	workers := flag.Int("workers", 0, "worker goroutines for simulations and sweeps (0 = all cores); artifacts are identical for any value")
+	o := &obs.Flags{}
+	o.RegisterFlags(flag.CommandLine)
 	prof := profiling.Register()
 	flag.Parse()
-	cliutil.Validate(prof)
+	cliutil.Validate(prof, o)
 	parallel.SetDefaultWorkers(*workers)
+	slog.SetDefault(o.Logger(os.Stderr))
 
 	if *list {
 		for _, a := range experiments.Manifest() {
@@ -43,7 +49,9 @@ func main() {
 		fmt.Fprintf(os.Stderr, "figures: %v\n", err)
 		os.Exit(1)
 	}
-	err := run(*only, *csv)
+	ctx := o.StartRoot(context.Background(), "figures.run")
+	err := run(ctx, *only, *csv)
+	o.Finish(os.Stderr)
 	if perr := prof.Stop(); perr != nil && err == nil {
 		err = perr
 	}
@@ -58,7 +66,7 @@ type artifact struct {
 	run func(csv bool) error
 }
 
-func run(only string, csv bool) error {
+func run(ctx context.Context, only string, csv bool) error {
 	arts := []artifact{
 		{"tablea1", func(csv bool) error {
 			_, tbl, err := experiments.TableA1()
@@ -102,7 +110,7 @@ func run(only string, csv bool) error {
 		}},
 		{"fig4", func(csv bool) error {
 			for _, c := range experiments.Figure4Cases() {
-				_, fig, err := experiments.Figure4(c, 48)
+				_, fig, err := experiments.Figure4Ctx(ctx, c, 48)
 				if err != nil {
 					return err
 				}

@@ -1,11 +1,14 @@
 package main
 
-import "testing"
+import (
+	"context"
+	"testing"
+)
 
 func TestRunSingleArtifacts(t *testing.T) {
 	// The cheap artifacts exercise every emit path (table, figure, both).
 	for _, id := range []string{"tablea1", "fig2", "fig3", "x1", "x5", "x7", "x12"} {
-		if err := run(id, false); err != nil {
+		if err := run(context.Background(), id, false); err != nil {
 			t.Errorf("run(%q): %v", id, err)
 		}
 	}
@@ -13,20 +16,20 @@ func TestRunSingleArtifacts(t *testing.T) {
 
 func TestRunCSVMode(t *testing.T) {
 	for _, id := range []string{"tablea1", "fig2", "x5"} {
-		if err := run(id, true); err != nil {
+		if err := run(context.Background(), id, true); err != nil {
 			t.Errorf("run(%q, csv): %v", id, err)
 		}
 	}
 }
 
 func TestRunUnknownArtifact(t *testing.T) {
-	if err := run("nope", false); err == nil {
+	if err := run(context.Background(), "nope", false); err == nil {
 		t.Fatal("accepted unknown artifact")
 	}
 }
 
 func TestRunCaseInsensitive(t *testing.T) {
-	if err := run("FIG2", false); err != nil {
+	if err := run(context.Background(), "FIG2", false); err != nil {
 		t.Fatalf("case-insensitive match failed: %v", err)
 	}
 }

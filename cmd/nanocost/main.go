@@ -9,8 +9,10 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"log/slog"
 	"math"
 	"os"
 	"strconv"
@@ -19,6 +21,7 @@ import (
 	"repro/internal/cliutil"
 	"repro/internal/core"
 	"repro/internal/maskcost"
+	"repro/internal/obs"
 	"repro/internal/parallel"
 	"repro/internal/profiling"
 	"repro/internal/report"
@@ -40,16 +43,22 @@ func main() {
 		mc      = flag.Int("mc", 0, "run N Monte Carlo samples with default input uncertainty")
 		workers = flag.Int("workers", 0, "worker goroutines for sweeps and Monte Carlo (0 = all cores); results are identical for any value")
 	)
+	o := &obs.Flags{}
+	o.RegisterFlags(flag.CommandLine)
 	prof := profiling.Register()
 	flag.Parse()
-	cliutil.Validate(prof)
+	cliutil.Validate(prof, o)
 	parallel.SetDefaultWorkers(*workers)
+	// Route any library logging through the configured handler.
+	slog.SetDefault(o.Logger(os.Stderr))
 
 	if err := prof.Start(); err != nil {
 		fmt.Fprintf(os.Stderr, "nanocost: %v\n", err)
 		os.Exit(1)
 	}
-	err := run(*lambda, *sd, *ntr, *wafers, *yld, *cmsq, *util, *mask, *optimiz, *sweep, *withTst, *mc)
+	ctx := o.StartRoot(context.Background(), "nanocost.run")
+	err := run(ctx, *lambda, *sd, *ntr, *wafers, *yld, *cmsq, *util, *mask, *optimiz, *sweep, *withTst, *mc)
+	o.Finish(os.Stderr)
 	if perr := prof.Stop(); perr != nil && err == nil {
 		err = perr
 	}
@@ -59,7 +68,7 @@ func main() {
 	}
 }
 
-func run(lambda, sd, ntr, wafers, yld, cmsq, util, mask float64, optimize bool, sweep string, withTest bool, mcSamples int) error {
+func run(ctx context.Context, lambda, sd, ntr, wafers, yld, cmsq, util, mask float64, optimize bool, sweep string, withTest bool, mcSamples int) error {
 	if mask < 0 {
 		var err error
 		mask, err = maskcost.DefaultModel().SetCost(lambda)
@@ -90,7 +99,7 @@ func run(lambda, sd, ntr, wafers, yld, cmsq, util, mask float64, optimize bool, 
 			CmSq:  core.LogNormal(cmsq, 1.3),
 			Sd:    core.Uniform(math.Max(s.DesignCost.Sd0*1.05, sd*0.8), sd*1.4),
 		}
-		q, err := u.MonteCarlo(mcSamples, 1)
+		q, err := u.MonteCarloCtx(ctx, mcSamples, 1)
 		if err != nil {
 			return err
 		}
@@ -107,7 +116,7 @@ func run(lambda, sd, ntr, wafers, yld, cmsq, util, mask float64, optimize bool, 
 		if err != nil {
 			return err
 		}
-		pts, err := core.SweepSd(s, lo, hi, n)
+		pts, err := core.SweepSdCtx(ctx, s, lo, hi, n)
 		if err != nil {
 			return err
 		}
@@ -129,7 +138,7 @@ func run(lambda, sd, ntr, wafers, yld, cmsq, util, mask float64, optimize bool, 
 		return nil
 
 	default:
-		b, err := s.TransistorCost()
+		b, err := s.TransistorCostCtx(ctx)
 		if err != nil {
 			return err
 		}

@@ -1,6 +1,9 @@
 package main
 
-import "testing"
+import (
+	"context"
+	"testing"
+)
 
 func TestParseSweep(t *testing.T) {
 	lo, hi, n, err := parseSweep("120:2000:40")
@@ -18,59 +21,59 @@ func TestParseSweep(t *testing.T) {
 }
 
 func TestRunPointEvaluation(t *testing.T) {
-	if err := run(0.18, 300, 10e6, 5000, 0.4, 8, 1, -1, false, "", false, 0); err != nil {
+	if err := run(context.Background(), 0.18, 300, 10e6, 5000, 0.4, 8, 1, -1, false, "", false, 0); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunOptimize(t *testing.T) {
-	if err := run(0.18, 300, 10e6, 50000, 0.9, 8, 1, 1e6, true, "", false, 0); err != nil {
+	if err := run(context.Background(), 0.18, 300, 10e6, 50000, 0.9, 8, 1, 1e6, true, "", false, 0); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunSweep(t *testing.T) {
-	if err := run(0.18, 300, 10e6, 5000, 0.4, 8, 1, -1, false, "120:2000:10", false, 0); err != nil {
+	if err := run(context.Background(), 0.18, 300, 10e6, 5000, 0.4, 8, 1, -1, false, "120:2000:10", false, 0); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunRejectsBadInputs(t *testing.T) {
 	// s_d below the eq (6) domain.
-	if err := run(0.18, 50, 10e6, 5000, 0.4, 8, 1, -1, false, "", false, 0); err == nil {
+	if err := run(context.Background(), 0.18, 50, 10e6, 5000, 0.4, 8, 1, -1, false, "", false, 0); err == nil {
 		t.Fatal("accepted s_d below s_d0")
 	}
 	// Invalid sweep spec.
-	if err := run(0.18, 300, 10e6, 5000, 0.4, 8, 1, -1, false, "bad", false, 0); err == nil {
+	if err := run(context.Background(), 0.18, 300, 10e6, 5000, 0.4, 8, 1, -1, false, "bad", false, 0); err == nil {
 		t.Fatal("accepted malformed sweep")
 	}
 	// Zero yield.
-	if err := run(0.18, 300, 10e6, 5000, 0, 8, 1, -1, false, "", false, 0); err == nil {
+	if err := run(context.Background(), 0.18, 300, 10e6, 5000, 0, 8, 1, -1, false, "", false, 0); err == nil {
 		t.Fatal("accepted zero yield")
 	}
 	// Negative feature size breaks the mask model.
-	if err := run(-1, 300, 10e6, 5000, 0.4, 8, 1, -1, false, "", false, 0); err == nil {
+	if err := run(context.Background(), -1, 300, 10e6, 5000, 0.4, 8, 1, -1, false, "", false, 0); err == nil {
 		t.Fatal("accepted negative lambda")
 	}
 }
 
 func TestRunUtilization(t *testing.T) {
-	if err := run(0.18, 300, 10e6, 5000, 0.4, 8, 0.5, -1, false, "", false, 0); err != nil {
+	if err := run(context.Background(), 0.18, 300, 10e6, 5000, 0.4, 8, 0.5, -1, false, "", false, 0); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(0.18, 300, 10e6, 5000, 0.4, 8, 1.5, -1, false, "", false, 0); err == nil {
+	if err := run(context.Background(), 0.18, 300, 10e6, 5000, 0.4, 8, 1.5, -1, false, "", false, 0); err == nil {
 		t.Fatal("accepted utilization > 1")
 	}
 }
 
 func TestRunWithTestCost(t *testing.T) {
-	if err := run(0.18, 300, 10e6, 5000, 0.4, 8, 1, -1, false, "", true, 0); err != nil {
+	if err := run(context.Background(), 0.18, 300, 10e6, 5000, 0.4, 8, 1, -1, false, "", true, 0); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunMonteCarlo(t *testing.T) {
-	if err := run(0.18, 300, 10e6, 5000, 0.6, 8, 1, -1, false, "", false, 500); err != nil {
+	if err := run(context.Background(), 0.18, 300, 10e6, 5000, 0.6, 8, 1, -1, false, "", false, 500); err != nil {
 		t.Fatal(err)
 	}
 }

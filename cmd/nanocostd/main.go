@@ -3,13 +3,21 @@
 // in-flight requests before exiting.
 //
 // Routes: POST /v1/cost, /v1/designcost, /v1/generalized, /v1/sweep,
-// /v1/batch; GET /v1/figures/{1..4}, /healthz, /metrics. Sweeps and
-// figures stream NDJSON under "Accept: application/x-ndjson"; figure
-// responses carry strong ETags for If-None-Match revalidation.
+// /v1/batch; GET /v1/figures/{1..4}, /healthz, /metrics,
+// /debug/trace/{id}. Sweeps and figures stream NDJSON under
+// "Accept: application/x-ndjson"; figure responses carry strong ETags
+// for If-None-Match revalidation. Every response carries an
+// X-Request-Id and (for model routes) an X-Trace-Id whose span tree is
+// retrievable at /debug/trace/{id}.
+//
+// With -debug-addr the daemon additionally serves net/http/pprof on a
+// separate listener, kept off the public address so profiling endpoints
+// are an explicit operator opt-in.
 //
 // Example:
 //
-//	nanocostd -addr :8087 -timeout 15s
+//	nanocostd -addr :8087 -timeout 15s -log-format json
+//	nanocostd -addr :8087 -debug-addr 127.0.0.1:6060
 //	curl -s localhost:8087/healthz
 //	curl -s -X POST localhost:8087/v1/cost -d '{"process":{"lambda_um":0.18,"yield":0.4},"design":{"transistors":10e6,"sd":300},"wafers":5000}'
 //	curl -s -X POST localhost:8087/v1/batch -d '{"items":[{"kind":"designcost","body":{"transistors":10e6,"sd":300}}]}'
@@ -22,12 +30,16 @@ import (
 	"flag"
 	"fmt"
 	"log/slog"
+	"net"
+	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
 	"repro/internal/cliutil"
+	"repro/internal/obs"
 	"repro/internal/parallel"
 	"repro/internal/profiling"
 	"repro/internal/serve"
@@ -35,30 +47,30 @@ import (
 
 func main() {
 	var (
-		addr     = flag.String("addr", ":8087", "listen address")
-		timeout  = flag.Duration("timeout", 15*time.Second, "per-request evaluation deadline")
-		drain    = flag.Duration("drain", 10*time.Second, "graceful-shutdown drain deadline")
-		inflight = flag.Int("max-inflight", 0, "concurrent model requests before 429 (0 = 4 × GOMAXPROCS)")
-		maxBody  = flag.Int64("max-body", 1<<20, "request body size cap, bytes")
-		workers  = flag.Int("workers", 0, "worker goroutines for sweeps (0 = all cores); results are identical for any value")
-		verbose  = flag.Bool("v", false, "log at debug level")
+		addr      = flag.String("addr", ":8087", "listen address")
+		debugAddr = flag.String("debug-addr", "", "optional separate listen address for net/http/pprof (disabled when empty)")
+		timeout   = flag.Duration("timeout", 15*time.Second, "per-request evaluation deadline")
+		drain     = flag.Duration("drain", 10*time.Second, "graceful-shutdown drain deadline")
+		inflight  = flag.Int("max-inflight", 0, "concurrent model requests before 429 (0 = 4 × GOMAXPROCS)")
+		maxBody   = flag.Int64("max-body", 1<<20, "request body size cap, bytes")
+		workers   = flag.Int("workers", 0, "worker goroutines for sweeps (0 = all cores); results are identical for any value")
 	)
+	o := &obs.Flags{}
+	o.RegisterFlags(flag.CommandLine)
 	prof := profiling.Register()
 	flag.Parse()
-	cliutil.Validate(prof)
+	cliutil.Validate(prof, o)
 	parallel.SetDefaultWorkers(*workers)
 
-	level := slog.LevelInfo
-	if *verbose {
-		level = slog.LevelDebug
-	}
-	logger := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: level}))
+	logger := o.Logger(os.Stderr)
 
 	if err := prof.Start(); err != nil {
 		fmt.Fprintf(os.Stderr, "nanocostd: %v\n", err)
 		os.Exit(1)
 	}
-	err := run(*addr, *timeout, *drain, *inflight, *maxBody, logger)
+	ctx := o.StartRoot(context.Background(), "nanocostd.run")
+	err := run(ctx, *addr, *debugAddr, *timeout, *drain, *inflight, *maxBody, logger)
+	o.Finish(os.Stderr)
 	if perr := prof.Stop(); perr != nil && err == nil {
 		err = perr
 	}
@@ -68,10 +80,20 @@ func main() {
 	}
 }
 
-// run serves until SIGINT/SIGTERM, then lets the server drain.
-func run(addr string, timeout, drain time.Duration, inflight int, maxBody int64, logger *slog.Logger) error {
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+// run serves until SIGINT/SIGTERM (or ctx cancellation), then lets the
+// server drain. A non-empty debugAddr additionally serves pprof on its
+// own listener for the daemon's lifetime.
+func run(ctx context.Context, addr, debugAddr string, timeout, drain time.Duration, inflight int, maxBody int64, logger *slog.Logger) error {
+	ctx, stop := signal.NotifyContext(ctx, os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	if debugAddr != "" {
+		ln, err := startDebugListener(debugAddr, logger)
+		if err != nil {
+			return err
+		}
+		defer ln.Close()
+	}
 
 	srv := serve.NewServer(serve.Config{
 		Addr:            addr,
@@ -82,4 +104,29 @@ func run(addr string, timeout, drain time.Duration, inflight int, maxBody int64,
 		Logger:          logger,
 	})
 	return srv.ListenAndServe(ctx)
+}
+
+// startDebugListener binds addr and serves the net/http/pprof handlers on
+// it in the background. The handlers are mounted on a private mux — never
+// the default one — so enabling profiling cannot leak pprof onto the
+// service address, and the service mux stays free of debug routes.
+func startDebugListener(addr string, logger *slog.Logger) (net.Listener, error) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("nanocostd: debug listen %s: %w", addr, err)
+	}
+	logger.Info("nanocostd debug listening", "addr", ln.Addr().String())
+	go func() {
+		srv := &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+		// Serve returns when the listener closes at shutdown; pprof has no
+		// in-flight state worth draining.
+		_ = srv.Serve(ln)
+	}()
+	return ln, nil
 }

@@ -1,8 +1,11 @@
 package main
 
 import (
+	"context"
+	"fmt"
 	"io"
 	"log/slog"
+	"net/http"
 	"syscall"
 	"testing"
 	"time"
@@ -15,7 +18,7 @@ func TestRunServesAndDrainsOnSIGTERM(t *testing.T) {
 	logger := slog.New(slog.NewTextHandler(io.Discard, nil))
 	done := make(chan error, 1)
 	go func() {
-		done <- run("127.0.0.1:0", time.Second, time.Second, 4, 1<<20, logger)
+		done <- run(context.Background(), "127.0.0.1:0", "", time.Second, time.Second, 4, 1<<20, logger)
 	}()
 
 	// Give the listener a beat to come up, then ask the daemon to stop the
@@ -39,7 +42,44 @@ func TestRunServesAndDrainsOnSIGTERM(t *testing.T) {
 // hang.
 func TestRunRejectsBadAddr(t *testing.T) {
 	logger := slog.New(slog.NewTextHandler(io.Discard, nil))
-	if err := run("256.0.0.1:99999", time.Second, time.Second, 4, 1<<20, logger); err == nil {
+	if err := run(context.Background(), "256.0.0.1:99999", "", time.Second, time.Second, 4, 1<<20, logger); err == nil {
 		t.Fatal("accepted an unbindable address")
+	}
+}
+
+// TestRunRejectsBadDebugAddr: an unbindable -debug-addr fails startup the
+// same way the main address does — never a silently missing profiler.
+func TestRunRejectsBadDebugAddr(t *testing.T) {
+	logger := slog.New(slog.NewTextHandler(io.Discard, nil))
+	if err := run(context.Background(), "127.0.0.1:0", "256.0.0.1:99999", time.Second, time.Second, 4, 1<<20, logger); err == nil {
+		t.Fatal("accepted an unbindable debug address")
+	}
+}
+
+// TestDebugListenerServesPprof: the opt-in listener answers the pprof
+// index and a cheap profile on its own mux.
+func TestDebugListenerServesPprof(t *testing.T) {
+	logger := slog.New(slog.NewTextHandler(io.Discard, nil))
+	ln, err := startDebugListener("127.0.0.1:0", logger)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+
+	base := fmt.Sprintf("http://%s", ln.Addr().String())
+	client := &http.Client{Timeout: 5 * time.Second}
+	for _, path := range []string{"/debug/pprof/", "/debug/pprof/goroutine?debug=1", "/debug/pprof/cmdline"} {
+		resp, err := client.Get(base + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s = %d: %s", path, resp.StatusCode, body)
+		}
+		if len(body) == 0 {
+			t.Fatalf("GET %s returned an empty body", path)
+		}
 	}
 }

@@ -12,13 +12,16 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 
 	"repro/internal/cliutil"
 	"repro/internal/designflow"
 	"repro/internal/layout"
+	"repro/internal/obs"
 	"repro/internal/profiling"
 	"repro/internal/regularity"
 	"repro/internal/report"
@@ -34,15 +37,20 @@ func main() {
 		in    = flag.String("in", "", "read the layout from a text-interchange file instead of generating")
 		out   = flag.String("out", "", "write the layout to a text-interchange file")
 	)
+	o := &obs.Flags{}
+	o.RegisterFlags(flag.CommandLine)
 	prof := profiling.Register()
 	flag.Parse()
-	cliutil.Validate(prof)
+	cliutil.Validate(prof, o)
+	slog.SetDefault(o.Logger(os.Stderr))
 
 	if err := prof.Start(); err != nil {
 		fmt.Fprintf(os.Stderr, "regscan: %v\n", err)
 		os.Exit(1)
 	}
+	_ = o.StartRoot(context.Background(), "regscan.run")
 	err := runIO(*style, *cells, *util, *pitch, *seed, *in, *out)
+	o.Finish(os.Stderr)
 	if perr := prof.Stop(); perr != nil && err == nil {
 		err = perr
 	}

@@ -7,11 +7,14 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 
 	"repro/internal/cliutil"
+	"repro/internal/obs"
 	"repro/internal/parallel"
 	"repro/internal/profiling"
 	"repro/internal/report"
@@ -28,16 +31,21 @@ func main() {
 		seed    = flag.Uint64("seed", 1, "RNG seed")
 		workers = flag.Int("workers", 0, "simulation goroutines (0 = all cores); results are identical for any value")
 	)
+	o := &obs.Flags{}
+	o.RegisterFlags(flag.CommandLine)
 	prof := profiling.Register()
 	flag.Parse()
-	cliutil.Validate(prof)
+	cliutil.Validate(prof, o)
+	slog.SetDefault(o.Logger(os.Stderr))
 
 	parallel.SetDefaultWorkers(*workers)
 	if err := prof.Start(); err != nil {
 		fmt.Fprintf(os.Stderr, "yieldsim: %v\n", err)
 		os.Exit(1)
 	}
+	_ = o.StartRoot(context.Background(), "yieldsim.run")
 	err := run(*d0, *area, *alpha, *die, *wafers, *seed, *workers)
+	o.Finish(os.Stderr)
 	if perr := prof.Stop(); perr != nil && err == nil {
 		err = perr
 	}

@@ -1,10 +1,11 @@
 // Package cliutil holds the post-flag.Parse validation shared by every
 // command-line binary in the repository: positional arguments are
-// rejected, an explicit -workers value must be positive, and profile
-// output paths must be writable. Centralizing the checks keeps all the
-// binaries failing the same way — a usage message and exit status 2, the
-// conventional "bad command line" code — instead of a deep panic or a
-// silently ignored flag.
+// rejected, an explicit -workers value must be positive, profile output
+// paths must be writable, and the shared observability flags
+// (-log-level, -log-format) must name known values. Centralizing the
+// checks keeps all the binaries failing the same way — a usage message
+// and exit status 2, the conventional "bad command line" code — instead
+// of a deep panic or a silently ignored flag.
 package cliutil
 
 import (
@@ -12,14 +13,15 @@ import (
 	"fmt"
 	"os"
 
+	"repro/internal/obs"
 	"repro/internal/profiling"
 )
 
 // Validate runs the shared checks against the default (already parsed)
 // flag set and, on failure, prints the problem plus the flag usage to
 // stderr and exits 2. Call it immediately after flag.Parse.
-func Validate(prof *profiling.Flags) {
-	if err := ValidateSet(flag.CommandLine, prof); err != nil {
+func Validate(prof *profiling.Flags, o *obs.Flags) {
+	if err := ValidateSet(flag.CommandLine, prof, o); err != nil {
 		fmt.Fprintf(os.Stderr, "%s: %v\n", os.Args[0], err)
 		flag.Usage()
 		os.Exit(2)
@@ -37,7 +39,10 @@ func Validate(prof *profiling.Flags) {
 //     or negative workers out loud is a contradiction, not a default.
 //   - Profile paths (-cpuprofile, -memprofile) must be writable now, not
 //     after the workload has already run.
-func ValidateSet(fs *flag.FlagSet, prof *profiling.Flags) error {
+//   - The observability flags (-log-level, -log-format) must name known
+//     values; validation also caches the parsed slog level so the binary
+//     can build its logger without re-parsing.
+func ValidateSet(fs *flag.FlagSet, prof *profiling.Flags, o *obs.Flags) error {
 	if fs.NArg() > 0 {
 		return fmt.Errorf("unexpected positional argument %q (every input is a flag)", fs.Arg(0))
 	}
@@ -58,6 +63,11 @@ func ValidateSet(fs *flag.FlagSet, prof *profiling.Flags) error {
 	}
 	if prof != nil {
 		if err := prof.Validate(); err != nil {
+			return err
+		}
+	}
+	if o != nil {
+		if err := o.Validate(); err != nil {
 			return err
 		}
 	}

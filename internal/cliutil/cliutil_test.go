@@ -7,6 +7,7 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/obs"
 	"repro/internal/profiling"
 )
 
@@ -39,7 +40,7 @@ func TestValidateSet(t *testing.T) {
 	}
 	for _, c := range cases {
 		t.Run(c.name, func(t *testing.T) {
-			err := ValidateSet(newSet(t, c.argv...), nil)
+			err := ValidateSet(newSet(t, c.argv...), nil, nil)
 			if c.wantErr == "" {
 				if err != nil {
 					t.Fatalf("ValidateSet(%v) = %v, want nil", c.argv, err)
@@ -61,7 +62,7 @@ func TestValidateSetWithoutWorkersFlag(t *testing.T) {
 	if err := fs.Parse(nil); err != nil {
 		t.Fatal(err)
 	}
-	if err := ValidateSet(fs, nil); err != nil {
+	if err := ValidateSet(fs, nil, nil); err != nil {
 		t.Fatalf("ValidateSet on a workers-less set: %v", err)
 	}
 }
@@ -70,11 +71,11 @@ func TestValidateSetWithoutWorkersFlag(t *testing.T) {
 // validation time, a writable one passes.
 func TestValidateSetProfilePath(t *testing.T) {
 	good := profFlags(t, filepath.Join(t.TempDir(), "cpu.out"))
-	if err := ValidateSet(newSet(t), good); err != nil {
+	if err := ValidateSet(newSet(t), good, nil); err != nil {
 		t.Fatalf("writable profile path rejected: %v", err)
 	}
 	bad := profFlags(t, filepath.Join(t.TempDir(), "missing-dir", "cpu.out"))
-	if err := ValidateSet(newSet(t), bad); err == nil {
+	if err := ValidateSet(newSet(t), bad, nil); err == nil {
 		t.Fatal("unwritable profile path accepted")
 	}
 }
@@ -89,4 +90,30 @@ func profFlags(t *testing.T, path string) *profiling.Flags {
 		t.Fatal(err)
 	}
 	return p
+}
+
+// TestValidateSetObsFlags: the shared observability flags are validated
+// alongside the rest — a bad level or format is a usage error, good ones
+// pass and cache the parsed level.
+func TestValidateSetObsFlags(t *testing.T) {
+	obsFlags := func(t *testing.T, argv ...string) *obs.Flags {
+		t.Helper()
+		fs := flag.NewFlagSet("obs", flag.ContinueOnError)
+		fs.SetOutput(io.Discard)
+		o := &obs.Flags{}
+		o.RegisterFlags(fs)
+		if err := fs.Parse(argv); err != nil {
+			t.Fatal(err)
+		}
+		return o
+	}
+	if err := ValidateSet(newSet(t), nil, obsFlags(t, "-log-level", "debug", "-log-format", "json", "-trace")); err != nil {
+		t.Fatalf("valid obs flags rejected: %v", err)
+	}
+	if err := ValidateSet(newSet(t), nil, obsFlags(t, "-log-level", "chatty")); err == nil {
+		t.Fatal("unknown -log-level accepted")
+	}
+	if err := ValidateSet(newSet(t), nil, obsFlags(t, "-log-format", "xml")); err == nil {
+		t.Fatal("unknown -log-format accepted")
+	}
 }

@@ -3,7 +3,9 @@ package core
 import (
 	"context"
 	"fmt"
+	"strconv"
 
+	"repro/internal/obs"
 	"repro/internal/parallel"
 )
 
@@ -15,12 +17,18 @@ import (
 
 // TransistorCostCtx is TransistorCost gated on ctx: a dead context returns
 // ctx.Err() before any evaluation. Batch and streaming drivers call it per
-// item so a cancelled request stops burning workers between items.
+// item so a cancelled request stops burning workers between items. On a
+// traced context each evaluation records a "core.eval" span; untraced the
+// instrumentation is a nil no-op, preserving the zero-allocation contract
+// of the evaluation hot path.
 func (s Scenario) TransistorCostCtx(ctx context.Context) (Breakdown, error) {
 	if err := ctx.Err(); err != nil {
 		return Breakdown{}, err
 	}
-	return s.TransistorCost()
+	_, span := obs.StartSpan(ctx, "core.eval")
+	b, err := s.TransistorCost()
+	span.End()
+	return b, err
 }
 
 // EvalBatchCtx evaluates every scenario on the parallel engine with
@@ -29,6 +37,11 @@ func (s Scenario) TransistorCostCtx(ctx context.Context) (Breakdown, error) {
 // abort its neighbours. Only a context cancellation stops the batch early,
 // returned as the single stop error (with both slices nil).
 func EvalBatchCtx(ctx context.Context, scs []Scenario) (breakdowns []Breakdown, errs []error, stop error) {
+	ctx, span := obs.StartSpan(ctx, "core.batch")
+	if span != nil {
+		span.SetAttr("items", strconv.Itoa(len(scs)))
+		defer span.End()
+	}
 	return parallel.MapAll(ctx, len(scs), 0, func(i int) (Breakdown, error) {
 		return scs[i].TransistorCostCtx(ctx)
 	})

@@ -5,7 +5,9 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"strconv"
 
+	"repro/internal/obs"
 	"repro/internal/parallel"
 	"repro/internal/stats"
 )
@@ -147,7 +149,14 @@ const mcMaxAttempts = 64
 // s_d ≤ s_d0, …) are redrawn up to a bounded number of attempts per
 // sample, and the total redraw count is reported.
 func (u UncertainScenario) MonteCarlo(n int, seed uint64) (CostQuantiles, error) {
-	run, err := u.MonteCarloRun(n, seed, 0)
+	return u.MonteCarloCtx(context.Background(), n, seed)
+}
+
+// MonteCarloCtx is MonteCarlo honoring a caller context for cancellation
+// and tracing: the run appears as a "core.montecarlo" span on a traced
+// context (the CLIs' -trace flag and the serving layer use this form).
+func (u UncertainScenario) MonteCarloCtx(ctx context.Context, n int, seed uint64) (CostQuantiles, error) {
+	run, err := u.MonteCarloRunCtx(ctx, n, seed, 0)
 	if err != nil {
 		return CostQuantiles{}, err
 	}
@@ -208,6 +217,16 @@ func (u UncertainScenario) drawOnce(r *stats.RNG, dists *[5]Dist) (float64, bool
 // sharding and the streams depend only on (n, seed), the sorted output is
 // bit-identical for every worker count.
 func (u UncertainScenario) MonteCarloRun(n int, seed uint64, workers int) (MCRun, error) {
+	return u.MonteCarloRunCtx(context.Background(), n, seed, workers)
+}
+
+// MonteCarloRunCtx is MonteCarloRun honoring a caller context: a
+// cancellation aborts the remaining chunks, and on a traced context the
+// whole run records a "core.montecarlo" span (with the pool's
+// "parallel.run" nested under it). The sharding and RNG streams still
+// depend only on (n, seed), so results remain bit-identical for every
+// worker count — tracing observes the run, it never reschedules it.
+func (u UncertainScenario) MonteCarloRunCtx(ctx context.Context, n int, seed uint64, workers int) (MCRun, error) {
 	if n <= 0 {
 		return MCRun{}, fmt.Errorf("core: MonteCarlo requires positive sample count, got %d", n)
 	}
@@ -226,11 +245,16 @@ func (u UncertainScenario) MonteCarloRun(n int, seed uint64, workers int) (MCRun
 			return MCRun{}, err
 		}
 	}
+	ctx, span := obs.StartSpan(ctx, "core.montecarlo")
+	if span != nil {
+		span.SetAttr("samples", strconv.Itoa(n))
+		defer span.End()
+	}
 	chunks := parallel.Chunks(n, mcChunkSize)
 	streams := stats.NewRNG(seed).SplitN(chunks)
 	costs := make([]float64, n)
 	redraws := make([]int, chunks)
-	err := parallel.ForEachChunk(context.Background(), n, mcChunkSize, workers, func(chunk, lo, hi int) error {
+	err := parallel.ForEachChunk(ctx, n, mcChunkSize, workers, func(chunk, lo, hi int) error {
 		r := streams[chunk]
 		for i := lo; i < hi; i++ {
 			ok := false

@@ -1,0 +1,84 @@
+package core
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// TestTransistorCostCtxUntracedZeroAlloc is the acceptance contract of the
+// tracing layer: on an untraced context the instrumentation must add zero
+// allocations to the evaluation hot path — StartSpan returns a nil span
+// without touching the heap and every nil-span method is a no-op.
+func TestTransistorCostCtxUntracedZeroAlloc(t *testing.T) {
+	s := figure4Scenario(5000, 0.4)
+	ctx := context.Background()
+	if _, err := s.TransistorCostCtx(ctx); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		if _, err := s.TransistorCostCtx(ctx); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("TransistorCostCtx on an untraced context allocates %.1f times per call, want 0", allocs)
+	}
+}
+
+// TestTransistorCostCtxTracedSpan: on a traced context each evaluation
+// records one core.eval span under the root.
+func TestTransistorCostCtxTracedSpan(t *testing.T) {
+	tracer := obs.NewTracer(4, nil)
+	ctx, root := tracer.StartRoot(context.Background(), "", "test.root")
+	s := figure4Scenario(5000, 0.4)
+	if _, err := s.TransistorCostCtx(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.TransistorCostCtx(ctx); err != nil {
+		t.Fatal(err)
+	}
+	root.End()
+	trace, ok := tracer.Lookup(root.TraceID())
+	if !ok {
+		t.Fatal("trace not committed")
+	}
+	evals := 0
+	for _, sp := range trace.Spans {
+		if sp.Name == "core.eval" {
+			evals++
+		}
+	}
+	if evals != 2 {
+		t.Fatalf("core.eval spans = %d, want 2", evals)
+	}
+}
+
+// TestSweepSdCtxTracedSpan: the sweep entry points stamp their stage and
+// point count on the trace.
+func TestSweepSdCtxTracedSpan(t *testing.T) {
+	tracer := obs.NewTracer(4, nil)
+	ctx, root := tracer.StartRoot(context.Background(), "", "test.root")
+	s := figure4Scenario(5000, 0.4)
+	if _, err := SweepSdCtx(ctx, s, 105, 2000, 16); err != nil {
+		t.Fatal(err)
+	}
+	root.End()
+	trace, ok := tracer.Lookup(root.TraceID())
+	if !ok {
+		t.Fatal("trace not committed")
+	}
+	var sweep *obs.SpanRecord
+	for i := range trace.Spans {
+		if trace.Spans[i].Name == "core.sweep_sd" {
+			sweep = &trace.Spans[i]
+		}
+	}
+	if sweep == nil {
+		t.Fatalf("no core.sweep_sd span in %v", trace.Spans)
+	}
+	if got := sweep.Attrs["points"]; got != "16" {
+		t.Fatalf("sweep points attr = %q, want \"16\"", got)
+	}
+}

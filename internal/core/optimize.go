@@ -4,7 +4,9 @@ import (
 	"context"
 	"fmt"
 	"math"
+	"strconv"
 
+	"repro/internal/obs"
 	"repro/internal/parallel"
 	"repro/internal/stats"
 )
@@ -83,6 +85,8 @@ func SweepSdCtx(ctx context.Context, s Scenario, lo, hi float64, n int) ([]Sweep
 	if !finite(lo) || lo <= s.DesignCost.Sd0 {
 		return nil, fmt.Errorf("core: SweepSd: lo = %v must exceed s_d0 = %v: %w", lo, s.DesignCost.Sd0, ErrOutOfDomain)
 	}
+	ctx, span := startSweepSpan(ctx, "core.sweep_sd", n)
+	defer span.End()
 	return sweepLog(ctx, lo, hi, n, func(sd float64) (Breakdown, error) {
 		return s.WithSd(sd).TransistorCost()
 	})
@@ -102,6 +106,8 @@ func SweepVolumeCtx(ctx context.Context, s Scenario, lo, hi float64, n int) ([]S
 	if !finitePos(lo) {
 		return nil, fmt.Errorf("core: SweepVolume: lo must be positive and finite, got %v", lo)
 	}
+	ctx, span := startSweepSpan(ctx, "core.sweep_volume", n)
+	defer span.End()
 	return sweepLog(ctx, lo, hi, n, func(w float64) (Breakdown, error) {
 		return s.WithWafers(w).TransistorCost()
 	})
@@ -124,9 +130,22 @@ func SweepYieldCtx(ctx context.Context, s Scenario, lo, hi float64, n int) ([]Sw
 	if !(finitePos(lo) && lo <= 1) || !(finitePos(hi) && hi <= 1) {
 		return nil, fmt.Errorf("core: SweepYield: bounds must lie in (0,1], got [%v, %v]", lo, hi)
 	}
+	ctx, span := startSweepSpan(ctx, "core.sweep_yield", n)
+	defer span.End()
 	return sweepLin(ctx, lo, hi, n, func(y float64) (Breakdown, error) {
 		return s.WithYield(y).TransistorCost()
 	})
+}
+
+// startSweepSpan opens a sweep stage's trace span (nil and free on an
+// untraced context) after the sweep's domain validation has passed, so
+// rejected requests never show up as stages.
+func startSweepSpan(ctx context.Context, stage string, n int) (context.Context, *obs.Span) {
+	ctx, span := obs.StartSpan(ctx, stage)
+	if span != nil {
+		span.SetAttr("points", strconv.Itoa(n))
+	}
+	return ctx, span
 }
 
 // sweepLog evaluates the cost model on n logarithmically spaced grid

@@ -65,6 +65,14 @@ func Figure4Scenario(c Figure4Case, lambdaUM float64) (core.Scenario, error) {
 // sits at sparser design (larger s_d) in the low-volume/low-yield panel
 // and at denser design in the high-volume/high-yield panel.
 func Figure4(c Figure4Case, points int) ([]Figure4Curve, *report.Figure, error) {
+	return Figure4Ctx(context.Background(), c, points)
+}
+
+// Figure4Ctx is Figure4 honoring a caller context: a cancellation aborts
+// the remaining node sweeps, and on a traced context the per-node sweeps
+// and the pool fan-out appear as child spans (the serving layer and the
+// figures CLI's -trace flag use this form).
+func Figure4Ctx(ctx context.Context, c Figure4Case, points int) ([]Figure4Curve, *report.Figure, error) {
 	if points < 2 {
 		return nil, nil, fmt.Errorf("experiments: figure 4 needs at least 2 points, got %d", points)
 	}
@@ -77,13 +85,13 @@ func Figure4(c Figure4Case, points int) ([]Figure4Curve, *report.Figure, error) 
 	// The λ nodes are independent panels of work (each a sweep plus an
 	// optimization), so they fan out over the worker pool; results land
 	// in node order, keeping the figure's series order stable.
-	curves, err := parallel.Map(context.Background(), len(figure4Nodes), 0, func(i int) (Figure4Curve, error) {
+	curves, err := parallel.Map(ctx, len(figure4Nodes), 0, func(i int) (Figure4Curve, error) {
 		lam := figure4Nodes[i]
 		s, err := Figure4Scenario(c, lam)
 		if err != nil {
 			return Figure4Curve{}, err
 		}
-		pts, err := core.SweepSd(s, 105, 2000, points)
+		pts, err := core.SweepSdCtx(ctx, s, 105, 2000, points)
 		if err != nil {
 			return Figure4Curve{}, err
 		}

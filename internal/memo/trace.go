@@ -1,0 +1,26 @@
+package memo
+
+import (
+	"context"
+
+	"repro/internal/obs"
+)
+
+// GetCtx is Get with trace instrumentation: when the key misses and this
+// caller runs the fill, the fill executes under a "memo.fill" child span
+// of ctx's active trace (attribute cache=<name>), and receives the
+// span-derived context so work inside the fill (sweeps, pool jobs) nests
+// under it. Hits never open a span — the whole point of a hit is that no
+// interesting work happens — and on an untraced context the overhead is
+// one nil check. Waiters joining an in-flight fill do not get a span
+// either: the computation belongs to the trace that started it.
+func (c *Cache[K, V]) GetCtx(ctx context.Context, key K, fill func(ctx context.Context) (V, error)) (V, error) {
+	return c.Get(key, func() (V, error) {
+		fctx, span := obs.StartSpan(ctx, "memo.fill")
+		if span != nil {
+			span.SetAttr("cache", c.name)
+			defer span.End()
+		}
+		return fill(fctx)
+	})
+}

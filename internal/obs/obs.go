@@ -1,0 +1,35 @@
+// Package obs is the repository's unified observability layer: one
+// telemetry registry, one tracing model and one logging configuration
+// shared by the nanocostd service, the command-line tools and the
+// simulation libraries underneath them.
+//
+// The package answers the question the ROADMAP's production-scale target
+// keeps raising — "where did this request/run spend its time?" — with
+// three cooperating pieces:
+//
+//   - Registry (registry.go): a dependency-free metrics registry rendering
+//     the Prometheus text exposition format. Counters, gauges and
+//     histograms (scalar and labelled-vector forms) registered here come
+//     out as contiguous, conformantly escaped families; raw collectors let
+//     packages that keep their own counters (memo caches, Go runtime)
+//     surface them in the same scrape without re-plumbing.
+//
+//   - Tracer/Span (trace.go): request-scoped tracing with
+//     context-propagated trace and span IDs. Spans are opened with
+//     StartSpan(ctx, stage) and cost nothing when no trace is active on
+//     the context — a single allocation-free context lookup — so the hot
+//     evaluation kernels can stay instrumented permanently. Completed
+//     traces land in a bounded ring buffer for GET /debug/trace/{id} and
+//     for the CLIs' -trace timing tree, and every span's duration feeds a
+//     per-stage histogram on the registry.
+//
+//   - Flags / NewLogger (log.go): the shared -log-level/-log-format/-trace
+//     command-line surface and the slog handler configuration behind it,
+//     so every binary logs the same schema (structured key=value or JSON)
+//     at the same levels.
+//
+// Layering: obs imports only the standard library. serve, memo, parallel,
+// core and the cmds import obs — never the other way around — so the
+// instrumentation cannot create dependency cycles with the model code it
+// observes.
+package obs

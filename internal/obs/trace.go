@@ -1,0 +1,378 @@
+package obs
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// maxSpansPerTrace bounds how many completed spans one trace retains, so
+// a hostile or pathological request (a 1024-item batch fanning out over
+// every stage) cannot grow a trace record without limit. Overflow is
+// counted, not silently dropped.
+const maxSpansPerTrace = 512
+
+// spanKey is the context key for the active span. It is a zero-sized
+// type on purpose: ctx.Value(spanKey{}) allocates nothing, which is what
+// keeps StartSpan free on untraced contexts (the AllocsPerRun contract
+// on the evaluation hot path).
+type spanKey struct{}
+
+// SpanRecord is one completed span as stored in the trace ring buffer
+// and served by GET /debug/trace/{id}.
+type SpanRecord struct {
+	Name       string            `json:"name"`
+	SpanID     string            `json:"span_id"`
+	ParentID   string            `json:"parent_id,omitempty"`
+	Start      time.Time         `json:"start"`
+	DurationMS float64           `json:"duration_ms"`
+	Attrs      map[string]string `json:"attrs,omitempty"`
+}
+
+// TraceRecord is one completed trace: every span that ended before the
+// root did, in end order.
+type TraceRecord struct {
+	TraceID      string       `json:"trace_id"`
+	DroppedSpans int          `json:"dropped_spans,omitempty"`
+	Spans        []SpanRecord `json:"spans"`
+}
+
+// activeTrace is the mutable state of a trace in flight. Spans from
+// parallel stages (batch fan-out, memoized fills) end concurrently, so
+// every field is guarded by mu.
+type activeTrace struct {
+	traceID string
+	tracer  *Tracer
+
+	mu        sync.Mutex
+	seq       uint64
+	completed []SpanRecord
+	dropped   int
+}
+
+func (at *activeTrace) nextSpanID() string {
+	at.mu.Lock()
+	at.seq++
+	id := at.seq
+	at.mu.Unlock()
+	return fmt.Sprintf("%04x", id)
+}
+
+// Span is one timed stage of a trace. The nil *Span is a valid receiver
+// for every method and does nothing, so instrumented code never branches
+// on whether tracing is enabled.
+type Span struct {
+	at       *activeTrace
+	name     string
+	spanID   string
+	parentID string
+	start    time.Time
+	root     bool
+
+	mu    sync.Mutex
+	attrs map[string]string
+	ended bool
+}
+
+// TraceID returns the ID of the trace this span belongs to, or "" for a
+// nil span.
+func (s *Span) TraceID() string {
+	if s == nil {
+		return ""
+	}
+	return s.at.traceID
+}
+
+// Name returns the span's stage name, or "" for a nil span.
+func (s *Span) Name() string {
+	if s == nil {
+		return ""
+	}
+	return s.name
+}
+
+// SetAttr attaches a key=value attribute to the span. No-op on nil.
+func (s *Span) SetAttr(key, value string) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.attrs == nil {
+		s.attrs = make(map[string]string, 4)
+	}
+	s.attrs[key] = value
+	s.mu.Unlock()
+}
+
+// End completes the span, records it into its trace, and feeds its
+// duration into the per-stage histogram if the tracer has one. Ending
+// the root span commits the whole trace to the ring buffer. End is
+// idempotent and a no-op on nil.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.ended {
+		s.mu.Unlock()
+		return
+	}
+	s.ended = true
+	attrs := s.attrs
+	s.mu.Unlock()
+
+	elapsed := time.Since(s.start)
+	rec := SpanRecord{
+		Name:       s.name,
+		SpanID:     s.spanID,
+		ParentID:   s.parentID,
+		Start:      s.start,
+		DurationMS: float64(elapsed) / float64(time.Millisecond),
+		Attrs:      attrs,
+	}
+
+	at := s.at
+	at.mu.Lock()
+	if len(at.completed) < maxSpansPerTrace {
+		at.completed = append(at.completed, rec)
+	} else {
+		at.dropped++
+	}
+	at.mu.Unlock()
+
+	if t := at.tracer; t != nil {
+		if t.spanSeconds != nil {
+			t.spanSeconds.With(s.name).Observe(elapsed.Seconds())
+		}
+		if s.root {
+			at.mu.Lock()
+			trace := &TraceRecord{TraceID: at.traceID, DroppedSpans: at.dropped, Spans: at.completed}
+			at.mu.Unlock()
+			t.commit(trace)
+		}
+	}
+}
+
+// StartSpan opens a child span of the active span on ctx, returning a
+// derived context carrying the child. When no trace is active — the
+// common case on every untraced request and on every library call made
+// outside a request — it returns (ctx, nil) without allocating, and all
+// methods on the nil span are no-ops.
+func StartSpan(ctx context.Context, name string) (context.Context, *Span) {
+	parent, _ := ctx.Value(spanKey{}).(*Span)
+	if parent == nil {
+		return ctx, nil
+	}
+	sp := &Span{
+		at:       parent.at,
+		name:     name,
+		spanID:   parent.at.nextSpanID(),
+		parentID: parent.spanID,
+		start:    time.Now(),
+	}
+	return context.WithValue(ctx, spanKey{}, sp), sp
+}
+
+// SpanFromContext returns the active span on ctx, or nil.
+func SpanFromContext(ctx context.Context) *Span {
+	sp, _ := ctx.Value(spanKey{}).(*Span)
+	return sp
+}
+
+// Tracer owns a bounded FIFO ring of completed traces, keyed by trace
+// ID, and optionally feeds span durations into a per-stage histogram.
+type Tracer struct {
+	capacity    int
+	spanSeconds *HistogramVec
+
+	mu    sync.Mutex
+	byID  map[string]*TraceRecord
+	order []string
+}
+
+// NewTracer returns a tracer retaining up to capacity completed traces.
+// spanSeconds may be nil; when set, every span's duration is observed
+// into it labelled by stage name.
+func NewTracer(capacity int, spanSeconds *HistogramVec) *Tracer {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Tracer{capacity: capacity, spanSeconds: spanSeconds, byID: map[string]*TraceRecord{}}
+}
+
+// StartRoot opens the root span of a new trace. An empty traceID gets a
+// fresh random one; callers propagating an external ID must sanitize it
+// first (SanitizeID).
+func (t *Tracer) StartRoot(ctx context.Context, traceID, name string) (context.Context, *Span) {
+	if traceID == "" {
+		traceID = NewTraceID()
+	}
+	at := &activeTrace{traceID: traceID, tracer: t}
+	sp := &Span{
+		at:     at,
+		name:   name,
+		spanID: at.nextSpanID(),
+		start:  time.Now(),
+		root:   true,
+	}
+	return context.WithValue(ctx, spanKey{}, sp), sp
+}
+
+// commit stores a completed trace, evicting the oldest when full.
+func (t *Tracer) commit(trace *TraceRecord) {
+	t.mu.Lock()
+	if _, exists := t.byID[trace.TraceID]; !exists {
+		t.order = append(t.order, trace.TraceID)
+		for len(t.order) > t.capacity {
+			oldest := t.order[0]
+			t.order = t.order[1:]
+			delete(t.byID, oldest)
+		}
+	}
+	t.byID[trace.TraceID] = trace
+	t.mu.Unlock()
+}
+
+// Lookup returns the completed trace with the given ID, if still in the
+// ring.
+func (t *Tracer) Lookup(traceID string) (*TraceRecord, bool) {
+	t.mu.Lock()
+	trace, ok := t.byID[traceID]
+	t.mu.Unlock()
+	return trace, ok
+}
+
+// Len returns how many completed traces the ring currently holds.
+func (t *Tracer) Len() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.order)
+}
+
+// SpanTree is a span with its children attached, for JSON rendering of
+// /debug/trace responses.
+type SpanTree struct {
+	SpanRecord
+	Children []*SpanTree `json:"children,omitempty"`
+}
+
+// Tree reassembles the flat span list into its parent/child structure.
+// Roots (spans whose parent is absent) come first by start time, and
+// every child list is ordered by start time.
+func (tr *TraceRecord) Tree() []*SpanTree {
+	nodes := make(map[string]*SpanTree, len(tr.Spans))
+	for i := range tr.Spans {
+		rec := tr.Spans[i]
+		nodes[rec.SpanID] = &SpanTree{SpanRecord: rec}
+	}
+	var roots []*SpanTree
+	for i := range tr.Spans {
+		node := nodes[tr.Spans[i].SpanID]
+		if parent, ok := nodes[node.ParentID]; ok && node.ParentID != "" {
+			parent.Children = append(parent.Children, node)
+		} else {
+			roots = append(roots, node)
+		}
+	}
+	sortTrees(roots)
+	for _, n := range nodes {
+		sortTrees(n.Children)
+	}
+	return roots
+}
+
+func sortTrees(ts []*SpanTree) {
+	sort.Slice(ts, func(i, j int) bool {
+		if ts[i].Start.Equal(ts[j].Start) {
+			return ts[i].SpanID < ts[j].SpanID
+		}
+		return ts[i].Start.Before(ts[j].Start)
+	})
+}
+
+// Format renders the trace as an indented per-stage timing tree for the
+// CLIs' -trace output.
+func (tr *TraceRecord) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "trace %s (%d spans", tr.TraceID, len(tr.Spans))
+	if tr.DroppedSpans > 0 {
+		fmt.Fprintf(&b, ", %d dropped", tr.DroppedSpans)
+	}
+	b.WriteString(")\n")
+	var walk func(nodes []*SpanTree, depth int)
+	walk = func(nodes []*SpanTree, depth int) {
+		for _, n := range nodes {
+			b.WriteString(strings.Repeat("  ", depth+1))
+			b.WriteString(n.Name)
+			if len(n.Attrs) > 0 {
+				keys := make([]string, 0, len(n.Attrs))
+				for k := range n.Attrs {
+					keys = append(keys, k)
+				}
+				sort.Strings(keys)
+				for _, k := range keys {
+					fmt.Fprintf(&b, " %s=%s", k, n.Attrs[k])
+				}
+			}
+			fmt.Fprintf(&b, "  %.3fms\n", n.DurationMS)
+			walk(n.Children, depth+1)
+		}
+	}
+	walk(tr.Tree(), 0)
+	return b.String()
+}
+
+// SanitizeID validates an externally supplied trace or request ID:
+// 1–64 characters from [0-9A-Za-z_-]. Anything else returns "", which
+// callers treat as "absent, generate one".
+func SanitizeID(id string) string {
+	if len(id) == 0 || len(id) > 64 {
+		return ""
+	}
+	for i := 0; i < len(id); i++ {
+		c := id[i]
+		switch {
+		case c >= '0' && c <= '9', c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == '-':
+		default:
+			return ""
+		}
+	}
+	return id
+}
+
+// NewTraceID returns a fresh random 128-bit hex trace ID.
+func NewTraceID() string { return randHex(16) }
+
+// NewRequestID returns a fresh random 64-bit hex request ID.
+func NewRequestID() string { return randHex(8) }
+
+func randHex(nbytes int) string {
+	buf := make([]byte, nbytes)
+	if _, err := rand.Read(buf); err != nil {
+		// crypto/rand failing means the platform entropy source is gone;
+		// IDs only need uniqueness within one process lifetime, so fall
+		// back to a monotonic counter rather than taking the service down.
+		return fmt.Sprintf("fallback-%016x", fallbackSeq.next())
+	}
+	return hex.EncodeToString(buf)
+}
+
+type seqCounter struct {
+	mu sync.Mutex
+	n  uint64
+}
+
+func (s *seqCounter) next() uint64 {
+	s.mu.Lock()
+	s.n++
+	n := s.n
+	s.mu.Unlock()
+	return n
+}
+
+var fallbackSeq seqCounter

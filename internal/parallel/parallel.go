@@ -24,8 +24,12 @@ import (
 	"context"
 	"fmt"
 	"runtime"
+	"strconv"
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"repro/internal/obs"
 )
 
 // defaultWorkers holds the global default worker count; 0 means
@@ -80,6 +84,15 @@ func run(ctx context.Context, n, workers int, fn func(i int) error) error {
 	workers = Resolve(workers)
 	if workers > n {
 		workers = n
+	}
+	// One span per pooled job (not per item): on an untraced context this
+	// is a nil no-op; on a traced one the span's n/workers attributes tell
+	// the -trace tree and /debug/trace how the job was partitioned.
+	if ctx2, span := obs.StartSpan(ctx, "parallel.run"); span != nil {
+		ctx = ctx2
+		span.SetAttr("n", strconv.Itoa(n))
+		span.SetAttr("workers", strconv.Itoa(workers))
+		defer span.End()
 	}
 	if workers == 1 {
 		// Serial fast path: no goroutines, no atomics, same semantics.
@@ -162,19 +175,26 @@ func Chunks(n, chunkSize int) int {
 // ForEachChunk partitions [0, n) into fixed chunks of chunkSize items and
 // executes fn(chunk, lo, hi) for each half-open range [lo, hi). Chunk
 // boundaries depend only on (n, chunkSize), so per-chunk RNG streams give
-// results independent of the worker count.
+// results independent of the worker count. Each chunk's queue-wait
+// (submission to pickup) and execution time feed the package's telemetry
+// histograms.
 func ForEachChunk(ctx context.Context, n, chunkSize, workers int, fn func(chunk, lo, hi int) error) error {
 	if chunkSize <= 0 {
 		return fmt.Errorf("parallel: chunk size must be positive, got %d", chunkSize)
 	}
 	chunks := Chunks(n, chunkSize)
+	submitted := time.Now()
 	return run(ctx, chunks, workers, func(c int) error {
+		picked := time.Now()
+		chunkWaitSeconds.Observe(picked.Sub(submitted).Seconds())
 		lo := c * chunkSize
 		hi := lo + chunkSize
 		if hi > n {
 			hi = n
 		}
-		return fn(c, lo, hi)
+		err := fn(c, lo, hi)
+		chunkExecSeconds.Observe(time.Since(picked).Seconds())
+		return err
 	})
 }
 

@@ -7,7 +7,9 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
 
+	"repro/internal/obs"
 	"repro/internal/parallel"
 )
 
@@ -65,7 +67,11 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) (any, error
 	if len(req.Items) > maxBatchItems {
 		return nil, badRequest(fmt.Errorf("batch has %d items, max %d", len(req.Items), maxBatchItems))
 	}
-	ctx := r.Context()
+	ctx, span := obs.StartSpan(r.Context(), "serve.batch")
+	if span != nil {
+		span.SetAttr("items", strconv.Itoa(len(req.Items)))
+		defer span.End()
+	}
 	bodies, errs, stop := parallel.MapAll(ctx, len(req.Items), 0, func(i int) (json.RawMessage, error) {
 		v, err := evalBatchItem(ctx, req.Items[i])
 		if err != nil {
@@ -98,8 +104,8 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) (any, error
 		results[i] = batchItemResult{Index: i, Status: http.StatusOK, Body: bodies[i]}
 		okItems++
 	}
-	s.metrics.batchOK.Add(okItems)
-	s.metrics.batchErr.Add(errItems)
+	s.metrics.batchItems.With("ok").Add(okItems)
+	s.metrics.batchItems.With("error").Add(errItems)
 	return map[string]any{"count": len(results), "results": results}, nil
 }
 

@@ -110,14 +110,12 @@ func TestBatchMatchesIndividualCallsByteForByte(t *testing.T) {
 	// The fewer-round-trips claim, asserted on the request counters: all n
 	// evaluations above cost one /v1/batch request (the n /v1/cost requests
 	// were the comparison calls made afterwards).
-	s.metrics.mu.Lock()
-	batchCalls := s.metrics.requests[routeCode{"/v1/batch", 200}]
-	singleCalls := s.metrics.requests[routeCode{"/v1/cost", 200}]
-	s.metrics.mu.Unlock()
+	batchCalls := s.metrics.requests.Value("/v1/batch", "200")
+	singleCalls := s.metrics.requests.Value("/v1/cost", "200")
 	if batchCalls != 1 || singleCalls != n {
 		t.Fatalf("round-trips: %d batch / %d single, want 1 / %d", batchCalls, singleCalls, n)
 	}
-	if got := s.metrics.batchOK.Load(); got != n {
+	if got := s.metrics.batchItems.Value("ok"); got != n {
 		t.Fatalf("batch ok-items metric = %d, want %d", got, n)
 	}
 }
@@ -189,7 +187,7 @@ func TestBatchIsolatesItemErrors(t *testing.T) {
 	if err := json.Unmarshal(results[3].Body, &envelope); err != nil || envelope.Error.Code != "invalid_request" {
 		t.Fatalf("unknown-kind item error = %q (%v), want invalid_request", envelope.Error.Code, err)
 	}
-	if ok, bad := s.metrics.batchOK.Load(), s.metrics.batchErr.Load(); ok != 2 || bad != 3 {
+	if ok, bad := s.metrics.batchItems.Value("ok"), s.metrics.batchItems.Value("error"); ok != 2 || bad != 3 {
 		t.Fatalf("batch item metrics = %d ok / %d error, want 2 / 3", ok, bad)
 	}
 }

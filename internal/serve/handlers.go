@@ -439,8 +439,8 @@ func (s *Server) handleFigure(w http.ResponseWriter, r *http.Request) (any, erro
 	if id == "4" {
 		key += ":" + strconv.Itoa(points)
 	}
-	p, err := figureCache.Get(key, func() (*figurePayload, error) {
-		return buildFigurePayload(id, points)
+	p, err := figureCache.GetCtx(r.Context(), key, func(ctx context.Context) (*figurePayload, error) {
+		return buildFigurePayload(ctx, id, points)
 	})
 	if err != nil {
 		return nil, err
@@ -469,8 +469,10 @@ func (s *Server) handleFigure(w http.ResponseWriter, r *http.Request) (any, erro
 
 // buildFigurePayload is the cache-miss path of handleFigure: regenerate
 // the figure series, encode both representations once, fingerprint them.
-func buildFigurePayload(id string, points int) (*figurePayload, error) {
-	figs, err := buildFigure(id, points)
+// ctx carries the filling request's trace (the regeneration runs under
+// its memo.fill span) into the figure's sweeps and pool jobs.
+func buildFigurePayload(ctx context.Context, id string, points int) (*figurePayload, error) {
+	figs, err := buildFigure(ctx, id, points)
 	if err != nil {
 		return nil, err
 	}
@@ -520,7 +522,7 @@ func etagMatches(ifNoneMatch, etag string) bool {
 }
 
 // buildFigure is the cache-miss path of handleFigure.
-func buildFigure(id string, points int) ([]figureJSON, error) {
+func buildFigure(ctx context.Context, id string, points int) ([]figureJSON, error) {
 	switch id {
 	case "1":
 		_, fig, err := experiments.Figure1()
@@ -543,7 +545,7 @@ func buildFigure(id string, points int) ([]figureJSON, error) {
 	case "4":
 		var out []figureJSON
 		for _, c := range experiments.Figure4Cases() {
-			_, fig, err := experiments.Figure4(c, points)
+			_, fig, err := experiments.Figure4Ctx(ctx, c, points)
 			if err != nil {
 				return nil, err
 			}

@@ -3,151 +3,99 @@ package serve
 import (
 	"fmt"
 	"io"
-	"sort"
 	"strconv"
-	"strings"
-	"sync"
-	"sync/atomic"
 
 	"repro/internal/memo"
+	"repro/internal/obs"
+	"repro/internal/parallel"
 )
 
 // latencyBuckets are the upper bounds (seconds) of the request-latency
 // histogram, chosen to straddle the workloads the service hosts: point
 // evaluations land in the sub-millisecond buckets, sweeps and figure
 // regenerations in the tens-of-milliseconds range, and anything beyond a
-// few seconds indicates saturation or an oversized request.
-var latencyBuckets = []float64{
-	0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
-	0.25, 0.5, 1, 2.5, 5, 10,
-}
+// few seconds indicates saturation or an oversized request. The span
+// histograms share the layout (obs.DurationBuckets is the same values)
+// so per-stage and per-request latencies line up bucket for bucket.
+var latencyBuckets = obs.DurationBuckets
 
-// metrics aggregates the service's observability counters: per-route and
-// per-status request counts, a request latency histogram, an in-flight
-// gauge, per-item batch outcomes and streamed-byte totals. All methods are
-// safe for concurrent use.
+// metrics is the service's telemetry, all registered on one obs.Registry
+// per server instance (so tests that build several servers never share
+// counters). Family order in the scrape is registration order: the HTTP
+// families first, then span durations and worker-pool timings, then the
+// Go runtime, then the memo caches.
 type metrics struct {
-	inFlight      atomic.Int64
-	batchOK       atomic.Uint64 // batch items answered 200
-	batchErr      atomic.Uint64 // batch items answered with an error envelope
-	streamedBytes atomic.Uint64 // bytes written on NDJSON responses
-
-	mu       sync.Mutex
-	requests map[routeCode]uint64
-	buckets  []uint64 // one per latencyBuckets entry, plus the +Inf slot
-	sum      float64  // total observed seconds
-	count    uint64   // total observations
-}
-
-// routeCode keys a request counter: the registered route pattern (not the
-// raw URL, which is unbounded) and the response status code.
-type routeCode struct {
-	route string
-	code  int
+	reg           *obs.Registry
+	requests      *obs.CounterVec   // by route pattern and status code
+	latency       *obs.Histogram    // request seconds
+	inFlight      *obs.Gauge        // requests currently admitted
+	batchItems    *obs.CounterVec   // /v1/batch items by outcome
+	streamedBytes *obs.Counter      // bytes written on NDJSON responses
+	spanSeconds   *obs.HistogramVec // trace span durations by stage
 }
 
 func newMetrics() *metrics {
-	return &metrics{
-		requests: make(map[routeCode]uint64),
-		buckets:  make([]uint64, len(latencyBuckets)+1),
+	reg := obs.NewRegistry()
+	m := &metrics{
+		reg: reg,
+		requests: reg.NewCounterVec("nanocostd_requests_total",
+			"Requests served, by route pattern and status code.", "route", "code"),
+		latency: reg.NewHistogramOn("nanocostd_request_seconds",
+			"Request latency histogram.", latencyBuckets),
+		inFlight: reg.NewGauge("nanocostd_in_flight",
+			"Requests currently being served."),
+		batchItems: reg.NewCounterVec("nanocostd_batch_items_total",
+			"Batch items evaluated via /v1/batch, by outcome.", "outcome"),
+		streamedBytes: reg.NewCounter("nanocostd_streamed_bytes_total",
+			"Bytes written on NDJSON streaming responses."),
+		spanSeconds: reg.NewHistogramVec("nanocostd_span_seconds",
+			"Trace span durations, by stage.", obs.DurationBuckets, "stage"),
 	}
+	// The worker pool's chunk timings are package-level instruments shared
+	// by every pool user; attach them so a scrape correlates queue wait
+	// with request latency.
+	reg.AttachHistogram("nanocostd_pool_chunk_wait_seconds",
+		"Worker-pool chunk queue-wait time: submission to pickup.",
+		parallel.ChunkWaitSeconds())
+	reg.AttachHistogram("nanocostd_pool_chunk_exec_seconds",
+		"Worker-pool chunk execution time.",
+		parallel.ChunkExecSeconds())
+	reg.RegisterGoRuntime()
+	// The memo caches keep their own counters in the model layer; render
+	// them from memo.Stats at scrape time, one family at a time (the
+	// format requires each family contiguous).
+	reg.RegisterRaw([]string{
+		"nanocostd_memo_cache_hits_total",
+		"nanocostd_memo_cache_misses_total",
+		"nanocostd_memo_cache_hit_rate",
+	}, writeMemoFamilies)
+	return m
 }
 
 // observe records one finished request.
 func (m *metrics) observe(route string, code int, seconds float64) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	m.requests[routeCode{route, code}]++
-	i := sort.SearchFloat64s(latencyBuckets, seconds)
-	m.buckets[i]++
-	m.sum += seconds
-	m.count++
+	m.requests.With(route, strconv.Itoa(code)).Inc()
+	m.latency.Observe(seconds)
 }
 
-// labelEscaper escapes a label value per the Prometheus text exposition
-// format: exactly backslash, double-quote and newline — the three escapes
-// the format defines. Go's %q is close but not conformant (it escapes
-// further control and non-ASCII characters with Go syntax a Prometheus
-// parser does not understand), so label rendering goes through this
-// instead.
-var labelEscaper = strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+// writeTo renders the full scrape.
+func (m *metrics) writeTo(w io.Writer) { m.reg.Render(w) }
 
-// label renders one name="value" pair with a conformantly escaped value.
-func label(name, value string) string {
-	return name + `="` + labelEscaper.Replace(value) + `"`
-}
-
-// writeTo renders the metrics in the Prometheus text exposition format:
-// every family contiguous under its own HELP/TYPE header, histogram
-// buckets cumulative with the +Inf sample equal to _count, label values
-// escaped per the format. The memo-cache counters from the model layer
-// are appended so a scrape sees cache effectiveness next to the HTTP
-// traffic.
-func (m *metrics) writeTo(w io.Writer) {
-	m.mu.Lock()
-	keys := make([]routeCode, 0, len(m.requests))
-	for k := range m.requests {
-		keys = append(keys, k)
-	}
-	sort.Slice(keys, func(a, b int) bool {
-		if keys[a].route != keys[b].route {
-			return keys[a].route < keys[b].route
-		}
-		return keys[a].code < keys[b].code
-	})
-	counts := make([]uint64, len(keys))
-	for i, k := range keys {
-		counts[i] = m.requests[k]
-	}
-	buckets := append([]uint64(nil), m.buckets...)
-	sum, count := m.sum, m.count
-	m.mu.Unlock()
-
-	fmt.Fprintln(w, "# HELP nanocostd_requests_total Requests served, by route pattern and status code.")
-	fmt.Fprintln(w, "# TYPE nanocostd_requests_total counter")
-	for i, k := range keys {
-		fmt.Fprintf(w, "nanocostd_requests_total{%s,%s} %d\n",
-			label("route", k.route), label("code", strconv.Itoa(k.code)), counts[i])
-	}
-	fmt.Fprintln(w, "# HELP nanocostd_request_seconds Request latency histogram.")
-	fmt.Fprintln(w, "# TYPE nanocostd_request_seconds histogram")
-	var cum uint64
-	for i, le := range latencyBuckets {
-		cum += buckets[i]
-		fmt.Fprintf(w, "nanocostd_request_seconds_bucket{%s} %d\n",
-			label("le", strconv.FormatFloat(le, 'g', -1, 64)), cum)
-	}
-	fmt.Fprintf(w, "nanocostd_request_seconds_bucket{le=\"+Inf\"} %d\n", count)
-	fmt.Fprintf(w, "nanocostd_request_seconds_sum %g\n", sum)
-	fmt.Fprintf(w, "nanocostd_request_seconds_count %d\n", count)
-	fmt.Fprintln(w, "# HELP nanocostd_in_flight Requests currently being served.")
-	fmt.Fprintln(w, "# TYPE nanocostd_in_flight gauge")
-	fmt.Fprintf(w, "nanocostd_in_flight %d\n", m.inFlight.Load())
-	fmt.Fprintln(w, "# HELP nanocostd_batch_items_total Batch items evaluated via /v1/batch, by outcome.")
-	fmt.Fprintln(w, "# TYPE nanocostd_batch_items_total counter")
-	fmt.Fprintf(w, "nanocostd_batch_items_total{%s} %d\n", label("outcome", "ok"), m.batchOK.Load())
-	fmt.Fprintf(w, "nanocostd_batch_items_total{%s} %d\n", label("outcome", "error"), m.batchErr.Load())
-	fmt.Fprintln(w, "# HELP nanocostd_streamed_bytes_total Bytes written on NDJSON streaming responses.")
-	fmt.Fprintln(w, "# TYPE nanocostd_streamed_bytes_total counter")
-	fmt.Fprintf(w, "nanocostd_streamed_bytes_total %d\n", m.streamedBytes.Load())
-
-	// One family at a time: interleaving the hits/misses/hit-rate samples
-	// per cache (the old rendering) violated the format's requirement that
-	// all samples of a family form one contiguous group.
+func writeMemoFamilies(w io.Writer) {
 	stats := memo.Stats()
 	fmt.Fprintln(w, "# HELP nanocostd_memo_cache_hits_total Hits of each registered memo cache.")
 	fmt.Fprintln(w, "# TYPE nanocostd_memo_cache_hits_total counter")
 	for _, s := range stats {
-		fmt.Fprintf(w, "nanocostd_memo_cache_hits_total{%s} %d\n", label("cache", s.Name), s.Hits)
+		fmt.Fprintf(w, "nanocostd_memo_cache_hits_total{%s} %d\n", obs.Label("cache", s.Name), s.Hits)
 	}
 	fmt.Fprintln(w, "# HELP nanocostd_memo_cache_misses_total Misses of each registered memo cache.")
 	fmt.Fprintln(w, "# TYPE nanocostd_memo_cache_misses_total counter")
 	for _, s := range stats {
-		fmt.Fprintf(w, "nanocostd_memo_cache_misses_total{%s} %d\n", label("cache", s.Name), s.Misses)
+		fmt.Fprintf(w, "nanocostd_memo_cache_misses_total{%s} %d\n", obs.Label("cache", s.Name), s.Misses)
 	}
 	fmt.Fprintln(w, "# HELP nanocostd_memo_cache_hit_rate Hit rate of each registered memo cache.")
 	fmt.Fprintln(w, "# TYPE nanocostd_memo_cache_hit_rate gauge")
 	for _, s := range stats {
-		fmt.Fprintf(w, "nanocostd_memo_cache_hit_rate{%s} %g\n", label("cache", s.Name), s.HitRate())
+		fmt.Fprintf(w, "nanocostd_memo_cache_hit_rate{%s} %g\n", obs.Label("cache", s.Name), s.HitRate())
 	}
 }

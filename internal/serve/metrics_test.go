@@ -91,8 +91,12 @@ func TestMetricsExpositionConformance(t *testing.T) {
 	// escape, plus ones Go's %q would mangle (the conformance bug).
 	weird := "/v1/\\evil\"route\nwith\tunicodeé"
 	s.metrics.observe(weird, 400, 0.001)
-	s.metrics.batchOK.Add(7)
+	s.metrics.batchItems.With("ok").Add(7)
 	s.metrics.streamedBytes.Add(1234)
+	// Span-duration samples across two stages, so the labelled histogram
+	// family has structure to check.
+	s.metrics.spanSeconds.With("core.eval").Observe(0.002)
+	s.metrics.spanSeconds.With("serve.request").Observe(0.01)
 
 	code, _, body := rawDo(t, s, "GET", "/metrics", "")
 	if code != http.StatusOK {
@@ -126,6 +130,12 @@ func TestMetricsExpositionConformance(t *testing.T) {
 		"nanocostd_memo_cache_hits_total":   "counter",
 		"nanocostd_memo_cache_misses_total": "counter",
 		"nanocostd_memo_cache_hit_rate":     "gauge",
+		"nanocostd_span_seconds":            "histogram",
+		"nanocostd_pool_chunk_wait_seconds": "histogram",
+		"nanocostd_pool_chunk_exec_seconds": "histogram",
+		"go_goroutines":                     "gauge",
+		"go_memstats_heap_alloc_bytes":      "gauge",
+		"go_gc_cycles_total":                "counter",
 	} {
 		if got := types[family]; got != want {
 			t.Errorf("family %s TYPE = %q, want %q", family, got, want)

@@ -1,0 +1,329 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// doWithHeaders is do() plus request headers, for the tracing and
+// request-id tests.
+func doWithHeaders(t *testing.T, s *Server, method, target, body string, hdr map[string]string) (int, http.Header, []byte) {
+	t.Helper()
+	var rd *strings.Reader
+	if body != "" {
+		rd = strings.NewReader(body)
+	} else {
+		rd = strings.NewReader("")
+	}
+	req := httptest.NewRequest(method, target, rd)
+	for k, v := range hdr {
+		req.Header.Set(k, v)
+	}
+	rec := httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, req)
+	return rec.Code, rec.Result().Header, rec.Body.Bytes()
+}
+
+// TestTraceEndToEnd is the acceptance path of the tracing tentpole: a
+// request carrying X-Trace-Id yields a span tree retrievable at
+// /debug/trace/{id} containing the serve root, the core evaluation and
+// the pool fan-out as descendants.
+func TestTraceEndToEnd(t *testing.T) {
+	s := newTestServer(t, Config{})
+	traceID := "e2e0123456789abcdef0123456789abc"
+	batch := fmt.Sprintf(`{"items":[{"kind":"cost","body":%s},{"kind":"cost","body":%s}]}`,
+		validScenario, validScenario)
+
+	code, hdr, _ := doWithHeaders(t, s, "POST", "/v1/batch", batch,
+		map[string]string{"X-Trace-Id": traceID})
+	if code != http.StatusOK {
+		t.Fatalf("batch status = %d", code)
+	}
+	if got := hdr.Get("X-Trace-Id"); got != traceID {
+		t.Fatalf("X-Trace-Id echoed as %q, want %q", got, traceID)
+	}
+
+	code, _, body := doWithHeaders(t, s, "GET", "/debug/trace/"+traceID, "", nil)
+	if code != http.StatusOK {
+		t.Fatalf("/debug/trace status = %d: %s", code, body)
+	}
+	var resp struct {
+		TraceID string          `json:"trace_id"`
+		Spans   []*obs.SpanTree `json:"spans"`
+	}
+	if err := json.Unmarshal(body, &resp); err != nil {
+		t.Fatalf("trace body: %v", err)
+	}
+	if resp.TraceID != traceID {
+		t.Fatalf("trace_id = %q, want %q", resp.TraceID, traceID)
+	}
+	if len(resp.Spans) != 1 || resp.Spans[0].Name != "serve.request" {
+		t.Fatalf("root spans = %+v, want one serve.request root", resp.Spans)
+	}
+
+	names := map[string]int{}
+	var walk func(n *obs.SpanTree)
+	walk = func(n *obs.SpanTree) {
+		names[n.Name]++
+		for _, c := range n.Children {
+			walk(c)
+		}
+	}
+	walk(resp.Spans[0])
+	for _, want := range []string{"serve.batch", "parallel.run", "core.eval"} {
+		if names[want] == 0 {
+			t.Errorf("trace tree missing %q span; got %v", want, names)
+		}
+	}
+	if names["core.eval"] < 2 {
+		t.Errorf("core.eval spans = %d, want one per batch item (2)", names["core.eval"])
+	}
+}
+
+// TestTraceGeneratedWhenAbsent: without an incoming X-Trace-Id the server
+// mints one, returns it, and the tree is still retrievable under it.
+func TestTraceGeneratedWhenAbsent(t *testing.T) {
+	s := newTestServer(t, Config{})
+	code, hdr, _ := doWithHeaders(t, s, "POST", "/v1/cost", validScenario, nil)
+	if code != http.StatusOK {
+		t.Fatalf("cost status = %d", code)
+	}
+	traceID := hdr.Get("X-Trace-Id")
+	if traceID == "" {
+		t.Fatal("no X-Trace-Id on response to an untagged request")
+	}
+	code, _, body := doWithHeaders(t, s, "GET", "/debug/trace/"+traceID, "", nil)
+	if code != http.StatusOK {
+		t.Fatalf("/debug/trace/%s status = %d: %s", traceID, code, body)
+	}
+}
+
+// TestTraceLookupUnknown404: unknown and garbage trace IDs answer 404 with
+// the trace_not_found code, not a panic or a 500.
+func TestTraceLookupUnknown404(t *testing.T) {
+	s := newTestServer(t, Config{})
+	for _, id := range []string{"deadbeef", "no*such*id", "%22quoted%22"} {
+		code, _, body := doWithHeaders(t, s, "GET", "/debug/trace/"+id, "", nil)
+		if code != http.StatusNotFound {
+			t.Fatalf("lookup %q status = %d, want 404", id, code)
+		}
+		var out map[string]any
+		if err := json.Unmarshal(body, &out); err != nil {
+			t.Fatalf("non-JSON 404 body: %s", body)
+		}
+		if got := errCode(t, out); got != "trace_not_found" {
+			t.Fatalf("error code = %q, want trace_not_found", got)
+		}
+	}
+}
+
+// TestObservabilityRoutesNotTraced: scrapes and trace lookups must not
+// fill the trace ring with records of themselves.
+func TestObservabilityRoutesNotTraced(t *testing.T) {
+	s := newTestServer(t, Config{})
+	for _, path := range []string{"/healthz", "/metrics", "/debug/trace/deadbeef"} {
+		_, hdr, _ := doWithHeaders(t, s, "GET", path, "", nil)
+		if got := hdr.Get("X-Trace-Id"); got != "" {
+			t.Errorf("%s returned X-Trace-Id %q; observability routes must not be traced", path, got)
+		}
+	}
+	if n := s.tracer.Len(); n != 0 {
+		t.Errorf("trace ring holds %d traces after observability-only traffic, want 0", n)
+	}
+}
+
+// TestRequestIDGeneratedAndInErrorBody is the satellite regression test:
+// a request without X-Request-Id gets one generated, and a 4xx error
+// envelope repeats exactly the header's value in error.request_id.
+func TestRequestIDGeneratedAndInErrorBody(t *testing.T) {
+	s := newTestServer(t, Config{})
+	code, hdr, body := doWithHeaders(t, s, "POST", "/v1/cost", `{"bogus":`, nil)
+	if code != http.StatusBadRequest {
+		t.Fatalf("status = %d, want 400", code)
+	}
+	reqID := hdr.Get("X-Request-Id")
+	if reqID == "" {
+		t.Fatal("no X-Request-Id generated for an untagged request")
+	}
+	var out struct {
+		Error struct {
+			Code      string `json:"code"`
+			RequestID string `json:"request_id"`
+		} `json:"error"`
+	}
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatalf("error body: %v", err)
+	}
+	if out.Error.RequestID != reqID {
+		t.Fatalf("body request_id = %q, header X-Request-Id = %q: must match", out.Error.RequestID, reqID)
+	}
+}
+
+// TestRequestIDEchoed: a sane client-supplied X-Request-Id survives the
+// round trip; a hostile one (header-injection characters) is replaced.
+func TestRequestIDEchoed(t *testing.T) {
+	s := newTestServer(t, Config{})
+	_, hdr, _ := doWithHeaders(t, s, "GET", "/healthz", "",
+		map[string]string{"X-Request-Id": "client-id_42"})
+	if got := hdr.Get("X-Request-Id"); got != "client-id_42" {
+		t.Fatalf("X-Request-Id = %q, want the echoed client id", got)
+	}
+	_, hdr, _ = doWithHeaders(t, s, "GET", "/healthz", "",
+		map[string]string{"X-Request-Id": `evil"id with spaces`})
+	got := hdr.Get("X-Request-Id")
+	if got == "" || strings.ContainsAny(got, `" `) {
+		t.Fatalf("hostile X-Request-Id not replaced: %q", got)
+	}
+}
+
+// syncBuffer is a bytes.Buffer safe for the concurrent writes slog can
+// issue.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) Lines() []string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	s := strings.TrimSuffix(b.buf.String(), "\n")
+	if s == "" {
+		return nil
+	}
+	return strings.Split(s, "\n")
+}
+
+// accessLogLines filters a JSON log capture down to msg="request" records.
+func accessLogLines(t *testing.T, buf *syncBuffer) []map[string]any {
+	t.Helper()
+	var out []map[string]any
+	for _, line := range buf.Lines() {
+		var rec map[string]any
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatalf("non-JSON log line %q: %v", line, err)
+		}
+		if rec["msg"] == "request" {
+			out = append(out, rec)
+		}
+	}
+	return out
+}
+
+// TestAccessLogOneLinePerRequest: every request — buffered, erroring and
+// NDJSON-streamed alike — emits exactly one structured access-log line,
+// and the streamed response reports status 200, not the recorder's zero
+// value (the statusRecorder satellite fix).
+func TestAccessLogOneLinePerRequest(t *testing.T) {
+	buf := &syncBuffer{}
+	s := newTestServer(t, Config{Logger: slog.New(slog.NewJSONHandler(buf, nil))})
+
+	// Buffered success.
+	if code, _, _ := doWithHeaders(t, s, "POST", "/v1/cost", validScenario, nil); code != http.StatusOK {
+		t.Fatalf("cost status = %d", code)
+	}
+	// Validation error.
+	if code, _, _ := doWithHeaders(t, s, "POST", "/v1/cost", `{"bogus":true}`, nil); code != http.StatusBadRequest {
+		t.Fatal("expected 400")
+	}
+	// NDJSON stream: the handler writes the body without ever calling
+	// WriteHeader.
+	sweep := fmt.Sprintf(`{"scenario":%s,"variable":"sd","lo":200,"hi":2000,"points":8}`, validScenario)
+	code, _, _ := doWithHeaders(t, s, "POST", "/v1/sweep", sweep,
+		map[string]string{"Accept": "application/x-ndjson"})
+	if code != http.StatusOK {
+		t.Fatalf("stream status = %d", code)
+	}
+
+	lines := accessLogLines(t, buf)
+	if len(lines) != 3 {
+		t.Fatalf("%d access-log lines for 3 requests, want exactly 3:\n%s",
+			len(lines), strings.Join(buf.Lines(), "\n"))
+	}
+	for i, rec := range lines {
+		for _, key := range []string{"method", "path", "route", "status", "bytes", "elapsed", "request_id"} {
+			if _, ok := rec[key]; !ok {
+				t.Errorf("line %d missing %q: %v", i, key, rec)
+			}
+		}
+	}
+	if st, _ := lines[2]["status"].(float64); int(st) != http.StatusOK {
+		t.Errorf("streamed request logged status %v, want 200 (statusRecorder normalization)", lines[2]["status"])
+	}
+	if route, _ := lines[2]["route"].(string); route != "/v1/sweep" {
+		t.Errorf("streamed request logged route %q, want /v1/sweep", route)
+	}
+	if st, _ := lines[1]["status"].(float64); int(st) != http.StatusBadRequest {
+		t.Errorf("error request logged status %v, want 400", lines[1]["status"])
+	}
+	if _, ok := lines[1]["error"]; !ok {
+		t.Errorf("error request's log line carries no error attribute: %v", lines[1])
+	}
+}
+
+// TestStreamedStatusMetricIs200: the per-route counter sees the
+// normalized 200 for streamed responses, not code 0.
+func TestStreamedStatusMetricIs200(t *testing.T) {
+	s := newTestServer(t, Config{})
+	sweep := fmt.Sprintf(`{"scenario":%s,"variable":"sd","lo":200,"hi":2000,"points":8}`, validScenario)
+	code, _, _ := doWithHeaders(t, s, "POST", "/v1/sweep", sweep,
+		map[string]string{"Accept": "application/x-ndjson"})
+	if code != http.StatusOK {
+		t.Fatalf("stream status = %d", code)
+	}
+	if n := s.metrics.requests.Value("/v1/sweep", "200"); n != 1 {
+		t.Fatalf("requests{route=/v1/sweep,code=200} = %d, want 1", n)
+	}
+	if n := s.metrics.requests.Value("/v1/sweep", "0"); n != 0 {
+		t.Fatalf("requests{route=/v1/sweep,code=0} = %d, want 0", n)
+	}
+}
+
+// TestTraceConcurrentRequests exercises the trace ring and span recording
+// under parallel traffic; run with -race this is the telemetry
+// concurrency satellite.
+func TestTraceConcurrentRequests(t *testing.T) {
+	s := newTestServer(t, Config{MaxInFlight: 64})
+	const n = 24
+	var wg sync.WaitGroup
+	ids := make([]string, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			id := fmt.Sprintf("%032x", i+1)
+			code, hdr, _ := doWithHeaders(t, s, "POST", "/v1/cost", validScenario,
+				map[string]string{"X-Trace-Id": id})
+			if code == http.StatusOK && hdr.Get("X-Trace-Id") == id {
+				ids[i] = id
+			}
+		}(i)
+	}
+	wg.Wait()
+	found := 0
+	for _, id := range ids {
+		if id == "" {
+			continue
+		}
+		if code, _, _ := doWithHeaders(t, s, "GET", "/debug/trace/"+id, "", nil); code == http.StatusOK {
+			found++
+		}
+	}
+	if found == 0 {
+		t.Fatal("no concurrent trace retrievable from the ring")
+	}
+}

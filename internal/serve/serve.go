@@ -19,6 +19,15 @@
 //	GET  /v1/figures/{id}  paper-figure data series (1–4), memoized
 //	GET  /healthz          liveness probe
 //	GET  /metrics          Prometheus text exposition
+//	GET  /debug/trace/{id} span tree of a recently traced request
+//
+// Every request is wrapped by the observe middleware: it assigns (or
+// echoes) an X-Request-Id, opens a root trace span honoring an incoming
+// X-Trace-Id (returned on the response; the completed span tree is
+// retrievable at /debug/trace/{id} while it remains in the bounded ring),
+// records the per-route counters and latency histogram, and emits exactly
+// one structured access-log line per request — streamed responses
+// included.
 //
 // /v1/sweep and /v1/figures/{id} answer with NDJSON streaming (one JSON
 // value per line, flushed chunk by chunk) when the request carries
@@ -43,7 +52,12 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 )
+
+// traceRingCapacity bounds how many completed traces the server retains
+// for /debug/trace lookups. FIFO: the oldest trace is evicted first.
+const traceRingCapacity = 128
 
 // Config collects the operational knobs of the service. The zero value is
 // usable: every field falls back to the documented default.
@@ -98,7 +112,9 @@ type Server struct {
 	cfg        Config
 	log        *slog.Logger
 	mux        *http.ServeMux
+	handler    http.Handler // mux wrapped in the observe middleware
 	metrics    *metrics
+	tracer     *obs.Tracer
 	sem        chan struct{}
 	retryAfter string       // 429 Retry-After, derived from RequestTimeout
 	addr       atomic.Value // string: bound listen address, set once serving
@@ -120,12 +136,14 @@ func NewServer(cfg Config) *Server {
 		// moved yet.
 		retryAfter: strconv.Itoa(max(1, int(math.Ceil(cfg.RequestTimeout.Seconds())))),
 	}
+	s.tracer = obs.NewTracer(traceRingCapacity, s.metrics.spanSeconds)
 	s.routes()
+	s.handler = s.observe(s.mux)
 	return s
 }
 
 // Handler returns the service's root handler, for httptest mounting.
-func (s *Server) Handler() http.Handler { return s.mux }
+func (s *Server) Handler() http.Handler { return s.handler }
 
 // Addr returns the bound listen address once Serve has started listening,
 // or "" before that. It exists so tests and the smoke script can reach a
@@ -157,7 +175,7 @@ func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
 		"request_timeout", s.cfg.RequestTimeout.String(),
 		"max_in_flight", s.cfg.MaxInFlight)
 	srv := &http.Server{
-		Handler:           s.mux,
+		Handler:           s.handler,
 		ReadHeaderTimeout: 5 * time.Second,
 	}
 	done := make(chan error, 1)
@@ -193,6 +211,7 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("GET /v1/figures/{id}", s.handle("/v1/figures/{id}", s.handleFigure))
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /debug/trace/{id}", s.handleTrace)
 	s.mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
 		writeError(w, &apiError{status: http.StatusNotFound, code: "not_found",
 			err: fmt.Errorf("no route %s %s", r.Method, r.URL.Path)})
@@ -242,11 +261,13 @@ func asAPIError(err error) *apiError {
 }
 
 // errorBody is the machine-readable error envelope of every non-2xx
-// response.
+// response. RequestID repeats the response's X-Request-Id header so a
+// client that only kept the body can still report the failure.
 type errorBody struct {
 	Error struct {
-		Code    string `json:"code"`
-		Message string `json:"message"`
+		Code      string `json:"code"`
+		Message   string `json:"message"`
+		RequestID string `json:"request_id,omitempty"`
 	} `json:"error"`
 }
 
@@ -254,6 +275,7 @@ func writeError(w http.ResponseWriter, ae *apiError) {
 	var body errorBody
 	body.Error.Code = ae.code
 	body.Error.Message = ae.err.Error()
+	body.Error.RequestID = w.Header().Get("X-Request-Id")
 	writeJSON(w, ae.status, body)
 }
 
@@ -274,11 +296,15 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 // statusRecorder captures the response status and byte count for metrics
 // and logs, and remembers whether the header went out — once it has, error
 // mapping must not append an error envelope to a half-written stream.
+// The observe middleware creates one per request; handle() annotates it
+// with the route pattern and any handler error for the access log.
 type statusRecorder struct {
 	http.ResponseWriter
 	status      int
 	wroteHeader bool
 	bytes       int64
+	route       string // registered route pattern, set by handle()
+	logErr      error  // handler error, carried to the access-log line
 }
 
 func (r *statusRecorder) WriteHeader(status int) {
@@ -290,7 +316,13 @@ func (r *statusRecorder) WriteHeader(status int) {
 }
 
 func (r *statusRecorder) Write(b []byte) (int, error) {
-	r.wroteHeader = true // net/http sends an implicit 200 on first Write
+	if !r.wroteHeader {
+		// net/http sends an implicit 200 on first Write; record it so
+		// streamed responses whose handler never calls WriteHeader report
+		// 200 instead of 0 in logs and the per-route counter.
+		r.status = http.StatusOK
+		r.wroteHeader = true
+	}
 	n, err := r.ResponseWriter.Write(b)
 	r.bytes += int64(n)
 	return n, err
@@ -320,22 +352,28 @@ type wroteResponse struct{}
 type handlerFunc func(w http.ResponseWriter, r *http.Request) (any, error)
 
 // handle is the middleware stack of every model-evaluating route:
-// in-flight gauge, concurrency semaphore (429 + Retry-After on
-// saturation), request body cap, per-request timeout, error mapping,
-// metrics and structured logging.
+// concurrency semaphore (429 + Retry-After on saturation), in-flight
+// gauge, request body cap, per-request timeout and error mapping. The
+// surrounding observe middleware owns the recorder, metrics and the
+// access log; handle annotates the recorder with the route pattern and
+// any handler error.
 func (s *Server) handle(route string, h handlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
-		start := time.Now()
-		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		rec, ok := w.(*statusRecorder)
+		if !ok {
+			// Direct invocation outside the middleware (not the served
+			// path); keep working rather than assuming.
+			rec = &statusRecorder{ResponseWriter: w}
+		}
+		rec.route = route
 
 		select {
 		case s.sem <- struct{}{}:
 			defer func() { <-s.sem }()
 		default:
-			w.Header().Set("Retry-After", s.retryAfter)
+			rec.Header().Set("Retry-After", s.retryAfter)
 			writeError(rec, &apiError{status: http.StatusTooManyRequests, code: "saturated",
 				err: fmt.Errorf("server at its %d-request concurrency limit", s.cfg.MaxInFlight)})
-			s.finish(r, route, rec.status, start)
 			return
 		}
 
@@ -345,7 +383,7 @@ func (s *Server) handle(route string, h handlerFunc) http.HandlerFunc {
 		ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
 		defer cancel()
 		r = r.WithContext(ctx)
-		r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+		r.Body = http.MaxBytesReader(rec, r.Body, s.cfg.MaxBodyBytes)
 
 		v, err := h(rec, r)
 		if err == nil && ctx.Err() != nil && !rec.wroteHeader {
@@ -356,6 +394,7 @@ func (s *Server) handle(route string, h handlerFunc) http.HandlerFunc {
 			err = ctx.Err()
 		}
 		if err != nil {
+			rec.logErr = err
 			switch {
 			case errors.Is(err, context.Canceled):
 				// The client is gone; nothing useful can be written. Record
@@ -365,40 +404,112 @@ func (s *Server) handle(route string, h handlerFunc) http.HandlerFunc {
 				writeError(rec, asAPIError(err))
 			default:
 				// Mid-stream failure after bytes were flushed: the response
-				// cannot be rewritten, so the truncated stream plus the log
-				// line carry the story.
-				s.log.LogAttrs(r.Context(), slog.LevelWarn, "stream aborted",
-					slog.String("route", route), slog.String("error", err.Error()))
+				// cannot be rewritten, so the truncated stream plus the
+				// access log's error attribute carry the story.
 			}
-			s.finish(r, route, rec.status, start)
 			return
 		}
 		if _, wrote := v.(wroteResponse); !wrote {
 			writeJSON(rec, http.StatusOK, v)
 		}
-		s.finish(r, route, rec.status, start)
 	}
 }
 
-// finish records metrics and emits the structured request log line.
-func (s *Server) finish(r *http.Request, route string, status int, start time.Time) {
-	elapsed := time.Since(start)
-	s.metrics.observe(route, status, elapsed.Seconds())
-	level := slog.LevelInfo
+// observe is the outermost middleware, wrapping every route including the
+// observability endpoints: it owns the status recorder, assigns or echoes
+// X-Request-Id, opens the root trace span (honoring a sanitized incoming
+// X-Trace-Id and returning the ID on the response), records the per-route
+// counters and latency histogram, and emits exactly one structured
+// access-log line per request — including streamed/NDJSON responses and
+// requests no handler matched.
+func (s *Server) observe(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		rec := &statusRecorder{ResponseWriter: w}
+
+		reqID := obs.SanitizeID(r.Header.Get("X-Request-Id"))
+		if reqID == "" {
+			reqID = obs.NewRequestID()
+		}
+		rec.Header().Set("X-Request-Id", reqID)
+
+		var span *obs.Span
+		if shouldTrace(r.URL.Path) {
+			var ctx context.Context
+			ctx, span = s.tracer.StartRoot(r.Context(),
+				obs.SanitizeID(r.Header.Get("X-Trace-Id")), "serve.request")
+			span.SetAttr("method", r.Method)
+			span.SetAttr("path", r.URL.Path)
+			rec.Header().Set("X-Trace-Id", span.TraceID())
+			r = r.WithContext(ctx)
+		}
+
+		next.ServeHTTP(rec, r)
+
+		status := rec.status
+		if status == 0 {
+			// The handler wrote neither header nor body; the wire carries
+			// an implicit 200, so report that instead of a phantom 0.
+			status = http.StatusOK
+		}
+		elapsed := time.Since(start)
+		route := rec.route
+		if route == "" {
+			route = fallbackRoute(r.URL.Path)
+		}
+		s.metrics.observe(route, status, elapsed.Seconds())
+
+		if span != nil {
+			span.SetAttr("status", strconv.Itoa(status))
+			span.End()
+		}
+
+		level := slog.LevelInfo
+		switch {
+		case status >= 500:
+			level = slog.LevelError
+		case status >= 400:
+			level = slog.LevelWarn
+		}
+		attrs := []slog.Attr{
+			slog.String("method", r.Method),
+			slog.String("path", r.URL.Path),
+			slog.String("route", route),
+			slog.Int("status", status),
+			slog.Int64("bytes", rec.bytes),
+			slog.Duration("elapsed", elapsed),
+			slog.String("remote", r.RemoteAddr),
+			slog.String("request_id", reqID),
+		}
+		if span != nil {
+			attrs = append(attrs, slog.String("trace_id", span.TraceID()))
+		}
+		if rec.logErr != nil {
+			attrs = append(attrs, slog.String("error", rec.logErr.Error()))
+		}
+		s.log.LogAttrs(r.Context(), level, "request", attrs...)
+	})
+}
+
+// shouldTrace reports whether a path gets a root span. The observability
+// endpoints are exempt: scrapes and trace lookups polling the server must
+// not fill the trace ring with records of themselves.
+func shouldTrace(path string) bool {
+	return path != "/healthz" && path != "/metrics" && !strings.HasPrefix(path, "/debug/")
+}
+
+// fallbackRoute labels requests that never reached handle(): the
+// observability endpoints and unmatched paths. Raw URLs are unbounded, so
+// anything unknown collapses into one label value.
+func fallbackRoute(path string) string {
 	switch {
-	case status >= 500:
-		level = slog.LevelError
-	case status >= 400:
-		level = slog.LevelWarn
+	case path == "/healthz" || path == "/metrics":
+		return path
+	case strings.HasPrefix(path, "/debug/trace/"):
+		return "/debug/trace/{id}"
+	default:
+		return "unmatched"
 	}
-	s.log.LogAttrs(r.Context(), level, "request",
-		slog.String("method", r.Method),
-		slog.String("path", r.URL.Path),
-		slog.String("route", route),
-		slog.Int("status", status),
-		slog.Duration("elapsed", elapsed),
-		slog.String("remote", r.RemoteAddr),
-	)
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -408,6 +519,30 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	s.metrics.writeTo(w)
+}
+
+// traceResponse is the GET /debug/trace/{id} payload: the span tree of a
+// recently completed traced request.
+type traceResponse struct {
+	TraceID      string          `json:"trace_id"`
+	DroppedSpans int             `json:"dropped_spans,omitempty"`
+	Spans        []*obs.SpanTree `json:"spans"`
+}
+
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	raw := trimmedPathValue(r, "id")
+	id := obs.SanitizeID(raw)
+	trace, ok := s.tracer.Lookup(id)
+	if id == "" || !ok {
+		writeError(w, &apiError{status: http.StatusNotFound, code: "trace_not_found",
+			err: fmt.Errorf("no recorded trace %q (the ring keeps the last %d traces)", raw, traceRingCapacity)})
+		return
+	}
+	writeJSON(w, http.StatusOK, traceResponse{
+		TraceID:      trace.TraceID,
+		DroppedSpans: trace.DroppedSpans,
+		Spans:        trace.Tree(),
+	})
 }
 
 // decodeJSON strictly decodes the request body into T: unknown fields,

@@ -332,9 +332,7 @@ func TestClientCancel499(t *testing.T) {
 	if rec.Body.Len() != 0 {
 		t.Fatalf("cancelled request got a body: %q", rec.Body.String())
 	}
-	s.metrics.mu.Lock()
-	n := s.metrics.requests[routeCode{"/v1/cost", 499}]
-	s.metrics.mu.Unlock()
+	n := s.metrics.requests.Value("/v1/cost", "499")
 	if n != 1 {
 		t.Fatalf("metrics recorded %d cancellations, want 1", n)
 	}

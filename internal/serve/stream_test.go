@@ -96,7 +96,7 @@ func TestSweepNDJSONMatchesBufferedSweep(t *testing.T) {
 			t.Fatalf("point %d differs:\nstream: %s\nbuffer: %s", i, lines[i], resp.Points[i])
 		}
 	}
-	if s.metrics.streamedBytes.Load() == 0 {
+	if s.metrics.streamedBytes.Value() == 0 {
 		t.Fatal("streamed-bytes metric not incremented")
 	}
 }
@@ -171,12 +171,10 @@ func TestSweepNDJSONClientCancelMidStream(t *testing.T) {
 	if lines >= points {
 		t.Fatalf("sweep ran to completion (%d lines) despite the cancel", lines)
 	}
-	if got := s.metrics.inFlight.Load(); got != 0 {
+	if got := s.metrics.inFlight.Value(); got != 0 {
 		t.Fatalf("in-flight gauge = %d after handler returned: worker leaked", got)
 	}
-	s.metrics.mu.Lock()
-	cancelled := s.metrics.requests[routeCode{"/v1/sweep", 499}]
-	s.metrics.mu.Unlock()
+	cancelled := s.metrics.requests.Value("/v1/sweep", "499")
 	if cancelled != 1 {
 		t.Fatalf("499 count = %d, want 1", cancelled)
 	}

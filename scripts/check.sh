@@ -17,6 +17,10 @@ go test -race ./...
 echo "== serve smoke (short, race-enabled) ==" >&2
 go test -race -short -count=1 ./internal/serve/ ./cmd/nanocostd/
 
+echo "== obs conformance (registry, tracing, exposition; race-enabled) ==" >&2
+go test -race -count=1 ./internal/obs/
+go test -race -count=1 -run 'TestMetricsExpositionConformance|TestTrace|TestRequestID|TestAccessLog|TestStreamedStatus' ./internal/serve/
+
 echo "== bench smoke (1 iteration each) ==" >&2
 go test -run xxx -bench=. -benchtime=1x .
 

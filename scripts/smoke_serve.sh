@@ -2,8 +2,10 @@
 # smoke_serve.sh — end-to-end daemon smoke test: build nanocostd, boot it
 # on an ephemeral port, hit /healthz and /v1/cost, require the eq (6) pole
 # to answer 400 out_of_domain, round-trip /v1/batch against the individual
-# endpoint, stream a sweep as NDJSON, revalidate a figure ETag, then
-# deliver SIGTERM and verify the process drains and exits cleanly.
+# endpoint, stream a sweep as NDJSON, revalidate a figure ETag, follow an
+# X-Trace-Id to its /debug/trace span tree, check the X-Request-Id error
+# envelope contract and the opt-in pprof listener, then deliver SIGTERM
+# and verify the process drains and exits cleanly.
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -21,7 +23,7 @@ trap cleanup EXIT
 echo "== build nanocostd ==" >&2
 go build -o "$bin" ./cmd/nanocostd
 
-"$bin" -addr 127.0.0.1:0 2>"$log" &
+"$bin" -addr 127.0.0.1:0 -debug-addr 127.0.0.1:0 2>"$log" &
 pid=$!
 
 # The daemon logs its bound address ("nanocostd listening ... addr=HOST:PORT")
@@ -72,6 +74,35 @@ echo "== /v1/sweep NDJSON streaming ==" >&2
 sweep_req='{"scenario":'"$body"',"variable":"sd","lo":200,"hi":2000,"points":64}'
 lines=$(curl -sfN -H 'Accept: application/x-ndjson' -X POST -d "$sweep_req" "http://$addr/v1/sweep" | wc -l)
 [ "$lines" -eq 64 ] || { echo "smoke_serve: streamed sweep produced $lines lines, want 64" >&2; exit 1; }
+
+echo "== X-Trace-Id -> /debug/trace span tree ==" >&2
+trace_id="cafe0123456789abcdef0123456789ab"
+curl -sf -H "X-Trace-Id: $trace_id" -X POST -d "$body" "http://$addr/v1/cost" >/dev/null
+trace=$(curl -sf "http://$addr/debug/trace/$trace_id")
+echo "$trace" | grep -q '"serve.request"' || { echo "smoke_serve: trace lacks serve.request root: $trace" >&2; exit 1; }
+echo "$trace" | grep -q '"core.eval"' || { echo "smoke_serve: trace lacks core.eval child: $trace" >&2; exit 1; }
+
+echo "== X-Request-Id header/body match on a 400 ==" >&2
+hdrs="$workdir/err_headers.txt"
+status=$(curl -s -D "$hdrs" -o "$workdir/err.json" -w '%{http_code}' -X POST -d '{"bogus":true}' "http://$addr/v1/cost")
+[ "$status" = "400" ] || { echo "smoke_serve: malformed body got HTTP $status, want 400" >&2; exit 1; }
+req_id=$(sed -n 's/^[Xx]-[Rr]equest-[Ii]d: *//p' "$hdrs" | tr -d '\r')
+[ -n "$req_id" ] || { echo "smoke_serve: 400 response carries no X-Request-Id" >&2; exit 1; }
+grep -q "\"request_id\":\"$req_id\"" "$workdir/err.json" || { echo "smoke_serve: error body request_id != header $req_id: $(cat "$workdir/err.json")" >&2; exit 1; }
+
+echo "== /metrics exposes span and runtime families ==" >&2
+metrics=$(curl -sf "http://$addr/metrics")
+for family in nanocostd_span_seconds go_goroutines nanocostd_pool_chunk_exec_seconds; do
+  echo "$metrics" | grep -q "^# TYPE $family " || { echo "smoke_serve: /metrics lacks family $family" >&2; exit 1; }
+done
+
+echo "== pprof on the -debug-addr listener ==" >&2
+debug_addr=$(sed -n 's/.*nanocostd debug listening.*addr=\([^ ]*\).*/\1/p' "$log" | head -n 1)
+[ -n "$debug_addr" ] || { echo "smoke_serve: no debug listen address in log:" >&2; cat "$log" >&2; exit 1; }
+curl -sf "http://$debug_addr/debug/pprof/" >/dev/null || { echo "smoke_serve: pprof index unreachable at $debug_addr" >&2; exit 1; }
+# The profiler must stay off the service address.
+status=$(curl -s -o /dev/null -w '%{http_code}' "http://$addr/debug/pprof/")
+[ "$status" = "404" ] || { echo "smoke_serve: service address serves pprof (HTTP $status), want 404" >&2; exit 1; }
 
 echo "== /v1/figures/4 ETag revalidation ==" >&2
 etag=$(curl -sf -D - -o /dev/null "http://$addr/v1/figures/4" | sed -n 's/^[Ee][Tt]ag: *//p' | tr -d '\r')
