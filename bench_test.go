@@ -1,7 +1,13 @@
 package repro_test
 
 import (
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
 	"runtime"
+	"strings"
 	"testing"
 
 	"repro/internal/core"
@@ -10,6 +16,7 @@ import (
 	"repro/internal/memo"
 	"repro/internal/parallel"
 	"repro/internal/regularity"
+	"repro/internal/serve"
 	"repro/internal/stats"
 	"repro/internal/wafer"
 	"repro/internal/yield"
@@ -623,3 +630,99 @@ func benchDefectSim(b *testing.B, workers int) {
 
 func BenchmarkDefectSimSerial(b *testing.B)   { benchDefectSim(b, 1) }
 func BenchmarkDefectSimParallel(b *testing.B) { benchDefectSim(b, 0) }
+
+// Throughput benchmarks for the arena-backed batch paths and the
+// vectorized wafer-map kernel. Each reports a custom metric
+// (evals/sec, sims/sec) via b.ReportMetric; cmd/benchcmp compares those
+// against the recorded baseline between multi-core hosts.
+
+func benchBatchScenarios(b *testing.B, n int) []core.Scenario {
+	b.Helper()
+	s, err := experiments.Figure4Scenario(experiments.Figure4Cases()[0], 0.18)
+	if err != nil {
+		b.Fatal(err)
+	}
+	scs := make([]core.Scenario, n)
+	for i := range scs {
+		sc := s
+		sc.Design.Sd = 150 + float64(i%600)
+		scs[i] = sc
+	}
+	return scs
+}
+
+// BenchmarkEvalBatch1024: the core batch engine on a warm arena — the
+// steady state the serving layer holds it in. Allocations here are the
+// fixed dispatch cost, not per item.
+func BenchmarkEvalBatch1024(b *testing.B) {
+	const n = 1024
+	scs := benchBatchScenarios(b, n)
+	var a core.BatchArena
+	ctx := b.Context()
+	if _, _, err := a.EvalBatchInto(ctx, scs); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := a.EvalBatchInto(ctx, scs); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if secs := b.Elapsed().Seconds(); secs > 0 {
+		b.ReportMetric(float64(b.N)*n/secs, "evals/sec")
+	}
+}
+
+// BenchmarkServeBatch1024: the same 1024 evaluations through the full
+// HTTP stack — decode, pooled scratch, parallel fan-out, response
+// encode — which is what /v1/batch clients actually observe.
+func BenchmarkServeBatch1024(b *testing.B) {
+	const n = 1024
+	items := make([]string, n)
+	for i := range items {
+		items[i] = fmt.Sprintf(`{"kind":"cost","body":{"process":{"lambda_um":0.18,"yield":0.4},"design":{"transistors":10e6,"sd":%d},"wafers":5000}}`, 150+i%600)
+	}
+	payload := `{"items":[` + strings.Join(items, ",") + `]}`
+	s := serve.NewServer(serve.Config{Logger: slog.New(slog.NewTextHandler(io.Discard, nil))})
+	h := s.Handler()
+	{ // warm the scratch pool so a 1x run measures the steady state
+		req := httptest.NewRequest("POST", "/v1/batch", strings.NewReader(payload))
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+		if rec.Code != http.StatusOK {
+			b.Fatalf("warm-up status %d", rec.Code)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		req := httptest.NewRequest("POST", "/v1/batch", strings.NewReader(payload))
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+		if rec.Code != http.StatusOK {
+			b.Fatalf("status %d", rec.Code)
+		}
+	}
+	b.StopTimer()
+	if secs := b.Elapsed().Seconds(); secs > 0 {
+		b.ReportMetric(float64(b.N)*n/secs, "evals/sec")
+	}
+}
+
+// BenchmarkWaferMapSims: wafer-map Monte Carlo throughput in whole-wafer
+// simulations per second, on the vectorized site-factor/exp-LUT kernel.
+func BenchmarkWaferMapSims(b *testing.B) {
+	cfg := benchWaferMapConfig(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := yield.SimulateWaferMap(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if secs := b.Elapsed().Seconds(); secs > 0 {
+		b.ReportMetric(float64(b.N)*float64(cfg.Wafers)/secs, "sims/sec")
+	}
+}

@@ -1,0 +1,105 @@
+package core
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	"repro/internal/parallel"
+)
+
+func arenaScenarios(n int) []Scenario {
+	base := figure4Scenario(5000, 0.4)
+	scs := make([]Scenario, n)
+	for i := range scs {
+		s := base
+		s.Design.Sd = 150 + float64(i%100)
+		scs[i] = s
+	}
+	return scs
+}
+
+func TestEvalBatchIntoMatchesEvalBatchCtx(t *testing.T) {
+	scs := arenaScenarios(257)
+	// Sprinkle in failures: error isolation must survive buffer reuse.
+	scs[3].Design.Sd = scs[3].DesignCost.Sd0 - 1
+	scs[100].Process.Yield = 0
+	ctx := context.Background()
+	wantB, wantE, stop := EvalBatchCtx(ctx, scs)
+	if stop != nil {
+		t.Fatal(stop)
+	}
+	var a BatchArena
+	// Two rounds on the same arena: the second must not see the first's
+	// residue (stale errors or breakdowns from recycled buffers).
+	for round := 0; round < 2; round++ {
+		gotB, gotE, stop := a.EvalBatchInto(ctx, scs)
+		if stop != nil {
+			t.Fatal(stop)
+		}
+		for i := range scs {
+			if (gotE[i] == nil) != (wantE[i] == nil) {
+				t.Fatalf("round %d item %d: err %v, want %v", round, i, gotE[i], wantE[i])
+			}
+			if wantE[i] != nil {
+				if gotE[i].Error() != wantE[i].Error() {
+					t.Fatalf("round %d item %d: err %q, want %q", round, i, gotE[i], wantE[i])
+				}
+				continue
+			}
+			if math.Float64bits(gotB[i].Total) != math.Float64bits(wantB[i].Total) {
+				t.Fatalf("round %d item %d: total %x, want %x", round, i, gotB[i].Total, wantB[i].Total)
+			}
+		}
+	}
+}
+
+// A shrinking batch on a warm arena must not leak the longer batch's
+// tail through the returned slices.
+func TestEvalBatchIntoShrinkingBatch(t *testing.T) {
+	ctx := context.Background()
+	var a BatchArena
+	if _, _, err := a.EvalBatchInto(ctx, arenaScenarios(64)); err != nil {
+		t.Fatal(err)
+	}
+	bs, es, err := a.EvalBatchInto(ctx, arenaScenarios(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bs) != 5 || len(es) != 5 {
+		t.Fatalf("got %d/%d results, want 5/5", len(bs), len(es))
+	}
+}
+
+// The arena's reason to exist: a warm arena evaluating a full batch must
+// allocate nothing per item. With one worker the whole steady-state run
+// is a handful of closure allocations; with the default worker count the
+// only additional cost is goroutine spawn, still independent of the item
+// count.
+func TestEvalBatchIntoSteadyStateAllocs(t *testing.T) {
+	const n = 1024
+	scs := arenaScenarios(n)
+	ctx := context.Background()
+	var a BatchArena
+	check := func(tag string, budgetPerItem float64) {
+		t.Helper()
+		if _, _, err := a.EvalBatchInto(ctx, scs); err != nil {
+			t.Fatal(err)
+		}
+		allocs := testing.AllocsPerRun(10, func() {
+			bs, _, stop := a.EvalBatchInto(ctx, scs)
+			if stop != nil || len(bs) != n {
+				t.Fatalf("batch failed: %v", stop)
+			}
+		})
+		if perItem := allocs / n; perItem > budgetPerItem {
+			t.Fatalf("%s: %.1f allocs per run = %.4f per item, budget %.4f", tag, allocs, perItem, budgetPerItem)
+		}
+	}
+	prev := parallel.DefaultWorkers()
+	parallel.SetDefaultWorkers(1)
+	check("serial", 0.01) // ~10 allocs per 1024-item run: 0 per item
+	parallel.SetDefaultWorkers(prev)
+	defer parallel.SetDefaultWorkers(prev)
+	check("default-workers", 0.25) // goroutine spawn only, not per-item
+}

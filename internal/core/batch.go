@@ -31,20 +31,57 @@ func (s Scenario) TransistorCostCtx(ctx context.Context) (Breakdown, error) {
 	return b, err
 }
 
+// batchTuner adapts how many batch items one scheduled task covers, so a
+// large batch of microsecond evaluations stops paying per-item pickup
+// overhead. Grouping cannot affect results: every item writes only its
+// own slot.
+var batchTuner parallel.ChunkTuner
+
 // EvalBatchCtx evaluates every scenario on the parallel engine with
 // deterministic result ordering and per-item error isolation: breakdowns[i]
 // and errs[i] describe scenario i, and one out-of-domain scenario does not
 // abort its neighbours. Only a context cancellation stops the batch early,
 // returned as the single stop error (with both slices nil).
 func EvalBatchCtx(ctx context.Context, scs []Scenario) (breakdowns []Breakdown, errs []error, stop error) {
+	var a BatchArena
+	return a.EvalBatchInto(ctx, scs)
+}
+
+// BatchArena owns reusable result buffers for repeated batch
+// evaluations. A serving loop keeps one arena per in-flight request
+// (typically via sync.Pool) and calls EvalBatchInto instead of
+// EvalBatchCtx, so the steady state allocates nothing per item. An arena
+// must not be used from two goroutines at once; its buffers grow to the
+// largest batch it has served and are reused thereafter.
+type BatchArena struct {
+	breakdowns []Breakdown
+	errs       []error
+}
+
+// EvalBatchInto is EvalBatchCtx evaluating into the arena's buffers. The
+// returned slices alias the arena and are valid until the next call on
+// the same arena; callers that need the results past that must copy.
+// Semantics are otherwise identical: index-addressed results, per-item
+// error isolation, and a dead context returning only stop.
+func (a *BatchArena) EvalBatchInto(ctx context.Context, scs []Scenario) (breakdowns []Breakdown, errs []error, stop error) {
+	n := len(scs)
+	if cap(a.breakdowns) < n {
+		a.breakdowns = make([]Breakdown, n)
+		a.errs = make([]error, n)
+	}
+	bs := a.breakdowns[:n]
+	es := a.errs[:n]
 	ctx, span := obs.StartSpan(ctx, "core.batch")
 	if span != nil {
-		span.SetAttr("items", strconv.Itoa(len(scs)))
+		span.SetAttr("items", strconv.Itoa(n))
 		defer span.End()
 	}
-	return parallel.MapAll(ctx, len(scs), 0, func(i int) (Breakdown, error) {
+	if stop = parallel.MapAllInto(ctx, bs, es, 0, &batchTuner, func(i int) (Breakdown, error) {
 		return scs[i].TransistorCostCtx(ctx)
-	})
+	}); stop != nil {
+		return nil, nil, stop
+	}
+	return bs, es, nil
 }
 
 // SweepStreamChunk is the default chunk size of the streaming sweep
@@ -68,9 +105,8 @@ func SweepSdStream(ctx context.Context, s Scenario, lo, hi float64, n, chunkSize
 	if err != nil {
 		return err
 	}
-	return sweepStream(ctx, xs, chunkSize, func(sd float64) (Breakdown, error) {
-		return s.WithSd(sd).TransistorCost()
-	}, emit)
+	k := newSdKernel(s)
+	return sweepStream(ctx, xs, chunkSize, k.eval, emit)
 }
 
 // SweepVolumeStream is the chunked, streaming form of SweepVolumeCtx.
@@ -85,9 +121,11 @@ func SweepVolumeStream(ctx context.Context, s Scenario, lo, hi float64, n, chunk
 	if err != nil {
 		return err
 	}
-	return sweepStream(ctx, xs, chunkSize, func(w float64) (Breakdown, error) {
-		return s.WithWafers(w).TransistorCost()
-	}, emit)
+	eval, err := sweepKernelFor(s, axisVolume)
+	if err != nil {
+		return err
+	}
+	return sweepStream(ctx, xs, chunkSize, eval, emit)
 }
 
 // SweepYieldStream is the chunked, streaming form of SweepYieldCtx.
@@ -102,23 +140,26 @@ func SweepYieldStream(ctx context.Context, s Scenario, lo, hi float64, n, chunkS
 	if err != nil {
 		return err
 	}
-	return sweepStream(ctx, xs, chunkSize, func(y float64) (Breakdown, error) {
-		return s.WithYield(y).TransistorCost()
-	}, emit)
+	eval, err := sweepKernelFor(s, axisYield)
+	if err != nil {
+		return err
+	}
+	return sweepStream(ctx, xs, chunkSize, eval, emit)
 }
 
 // sweepStream drives a chunked sweep: each chunk fans out over the worker
-// pool exactly like the buffered sweep (index-addressed slots, so the
-// numbers cannot depend on scheduling), then emit delivers it before the
-// next chunk starts. The context is honored both inside a chunk (via
-// sweepEval) and between chunks.
+// pool exactly like the buffered sweep (index-addressed slots evaluated by
+// the same hoisted-invariant kernel, so the numbers cannot depend on
+// scheduling or delivery), then emit delivers it before the next chunk
+// starts. The context is honored both inside a chunk (via the kernel
+// dispatch) and between chunks.
 func sweepStream(ctx context.Context, xs []float64, chunkSize int, eval func(float64) (Breakdown, error), emit func([]SweepPoint) error) error {
 	if chunkSize <= 0 {
 		chunkSize = SweepStreamChunk
 	}
 	for lo := 0; lo < len(xs); lo += chunkSize {
 		hi := min(lo+chunkSize, len(xs))
-		pts, err := sweepEval(ctx, xs[lo:hi], eval)
+		pts, err := sweepEvalKernel(ctx, xs[lo:hi], eval)
 		if err != nil {
 			return err
 		}

@@ -1,0 +1,257 @@
+package core
+
+import (
+	"context"
+	"math"
+
+	"repro/internal/parallel"
+)
+
+// This file holds the vectorized flat-buffer evaluation kernels behind the
+// sweep and optimization hot paths. The per-point path (Scenario.
+// TransistorCost) re-validates the whole scenario and re-derives every
+// invariant on each call; a sweep varies exactly one axis, so everything
+// else can be hoisted out of the loop once. The kernels do that hoisting
+// with one hard rule: every floating-point operation that still runs per
+// point keeps the exact shape and association order of the scalar path,
+// so kernel outputs are bit-identical to TransistorCost — the golden
+// tests, the streamed/buffered equivalence and the batch byte-identity
+// contracts all lean on that.
+//
+// Rare per-point failures (an eq (6) overflow past float range) fall back
+// to the scalar path for that point, so error text stays byte-identical
+// too.
+
+// sweepUnitChunk is the unit chunk of the sweep kernels' parallel
+// dispatch: the determinism granularity. Task sizes are tuned adaptively
+// in multiples of it (parallel.ChunkTuner); the numbers cannot depend on
+// either value because every point only reads its own abscissa.
+const sweepUnitChunk = 16
+
+// sweepTuner adapts sweep task granularity from measured point cost.
+var sweepTuner parallel.ChunkTuner
+
+// sdKernel evaluates the s_d axis: everything but the decompression index
+// is hoisted.
+type sdKernel struct {
+	s    Scenario // for the scalar fallback only
+	pn   float64  // A0 · N_tr^p1, the eq (6) numerator
+	sd0  float64
+	p2   float64
+	mask float64 // C_MA
+	wa   float64 // N_w · A_w, the eq (5) denominator
+	l2   float64 // λ² in cm²
+	uy   float64 // u · Y
+	cmsq float64
+	ntr  float64
+	nl2  float64 // N_tr · λ², the die-area factor
+}
+
+func newSdKernel(s Scenario) sdKernel {
+	return sdKernel{
+		s:    s,
+		pn:   s.DesignCost.A0 * math.Pow(s.Design.Transistors, s.DesignCost.P1),
+		sd0:  s.DesignCost.Sd0,
+		p2:   s.DesignCost.P2,
+		mask: s.MaskCost,
+		wa:   s.Wafers * s.Process.WaferAreaCM2,
+		l2:   LambdaSquaredCM2(s.Process.LambdaUM),
+		uy:   s.utilization() * s.Process.Yield,
+		cmsq: s.Process.CostPerCM2,
+		ntr:  s.Design.Transistors,
+		nl2:  s.Design.Transistors * LambdaSquaredCM2(s.Process.LambdaUM),
+	}
+}
+
+// eval computes the full breakdown at one s_d > sd0. The association
+// order of every expression mirrors the scalar path exactly.
+func (k *sdKernel) eval(sd float64) (Breakdown, error) {
+	cde := k.pn / math.Pow(sd-k.sd0, k.p2)
+	if !finiteNonNeg(cde) {
+		// Overflow past float range: take the scalar path so the caller
+		// sees the identical error.
+		return k.s.WithSd(sd).TransistorCost()
+	}
+	cdsq := (k.mask + cde) / k.wa
+	geom := k.l2 * sd / k.uy
+	b := Breakdown{
+		Manufacturing: geom * k.cmsq,
+		DesignAndMask: geom * cdsq,
+		CmSq:          k.cmsq,
+		CdSq:          cdsq,
+		DesignDE:      cde,
+		DieArea:       k.nl2 * sd,
+	}
+	b.Total = b.Manufacturing + b.DesignAndMask
+	b.DieCost = b.Total * k.ntr
+	return b, nil
+}
+
+// total is the fused yield→cost pass of the argmin grid: only the eq (4)
+// total, +Inf where the scalar objective would have errored — exactly the
+// value OptimalSd's scalar objective returns there.
+func (k *sdKernel) total(sd float64) float64 {
+	cde := k.pn / math.Pow(sd-k.sd0, k.p2)
+	if !finiteNonNeg(cde) {
+		return math.Inf(1)
+	}
+	cdsq := (k.mask + cde) / k.wa
+	geom := k.l2 * sd / k.uy
+	return geom*k.cmsq + geom*cdsq
+}
+
+// volumeKernel evaluates the N_w axis: the eq (6) design cost and the
+// geometric factor are both volume-independent, so only eq (5) and the
+// design-and-mask share run per point.
+type volumeKernel struct {
+	mc   float64 // C_MA + C_DE
+	aw   float64 // A_w
+	geom float64 // λ²·s_d/(u·Y)
+	man  float64 // geom · Cm_sq
+	cmsq float64
+	cde  float64
+	area float64 // die area, volume-independent
+	ntr  float64
+}
+
+func newVolumeKernel(s Scenario) (volumeKernel, error) {
+	cde, err := s.DesignCost.Cost(s.Design.Transistors, s.Design.Sd)
+	if err != nil {
+		return volumeKernel{}, err
+	}
+	l2 := LambdaSquaredCM2(s.Process.LambdaUM)
+	geom := l2 * s.Design.Sd / (s.utilization() * s.Process.Yield)
+	area, err := s.Design.AreaCM2(s.Process.LambdaUM)
+	if err != nil {
+		return volumeKernel{}, err
+	}
+	return volumeKernel{
+		mc:   s.MaskCost + cde,
+		aw:   s.Process.WaferAreaCM2,
+		geom: geom,
+		man:  geom * s.Process.CostPerCM2,
+		cmsq: s.Process.CostPerCM2,
+		cde:  cde,
+		area: area,
+		ntr:  s.Design.Transistors,
+	}, nil
+}
+
+func (k *volumeKernel) eval(w float64) Breakdown {
+	cdsq := k.mc / (w * k.aw)
+	b := Breakdown{
+		Manufacturing: k.man,
+		DesignAndMask: k.geom * cdsq,
+		CmSq:          k.cmsq,
+		CdSq:          cdsq,
+		DesignDE:      k.cde,
+		DieArea:       k.area,
+	}
+	b.Total = b.Manufacturing + b.DesignAndMask
+	b.DieCost = b.Total * k.ntr
+	return b
+}
+
+// yieldKernel evaluates the Y axis: eq (5)–(6) are yield-independent, so
+// only the geometric factor runs per point.
+type yieldKernel struct {
+	l2sd float64 // λ²·s_d
+	u    float64
+	cmsq float64
+	cdsq float64
+	cde  float64
+	area float64
+	ntr  float64
+}
+
+func newYieldKernel(s Scenario) (yieldKernel, error) {
+	cde, err := s.DesignCost.Cost(s.Design.Transistors, s.Design.Sd)
+	if err != nil {
+		return yieldKernel{}, err
+	}
+	cdsq, err := DesignCostPerCM2(s.MaskCost, cde, s.Wafers, s.Process.WaferAreaCM2)
+	if err != nil {
+		return yieldKernel{}, err
+	}
+	area, err := s.Design.AreaCM2(s.Process.LambdaUM)
+	if err != nil {
+		return yieldKernel{}, err
+	}
+	return yieldKernel{
+		l2sd: LambdaSquaredCM2(s.Process.LambdaUM) * s.Design.Sd,
+		u:    s.utilization(),
+		cmsq: s.Process.CostPerCM2,
+		cdsq: cdsq,
+		cde:  cde,
+		area: area,
+		ntr:  s.Design.Transistors,
+	}, nil
+}
+
+func (k *yieldKernel) eval(y float64) Breakdown {
+	geom := k.l2sd / (k.u * y)
+	b := Breakdown{
+		Manufacturing: geom * k.cmsq,
+		DesignAndMask: geom * k.cdsq,
+		CmSq:          k.cmsq,
+		CdSq:          k.cdsq,
+		DesignDE:      k.cde,
+		DieArea:       k.area,
+	}
+	b.Total = b.Manufacturing + b.DesignAndMask
+	b.DieCost = b.Total * k.ntr
+	return b
+}
+
+// sweepKernelFor builds the per-point evaluator of a sweep axis with its
+// invariants hoisted. The returned function must be pure: the parallel
+// dispatch calls it concurrently.
+func sweepKernelFor(s Scenario, axis sweepAxis) (func(float64) (Breakdown, error), error) {
+	switch axis {
+	case axisSd:
+		k := newSdKernel(s)
+		return k.eval, nil
+	case axisVolume:
+		k, err := newVolumeKernel(s)
+		if err != nil {
+			return nil, err
+		}
+		return func(w float64) (Breakdown, error) { return k.eval(w), nil }, nil
+	default:
+		k, err := newYieldKernel(s)
+		if err != nil {
+			return nil, err
+		}
+		return func(y float64) (Breakdown, error) { return k.eval(y), nil }, nil
+	}
+}
+
+type sweepAxis int
+
+const (
+	axisSd sweepAxis = iota
+	axisVolume
+	axisYield
+)
+
+// sweepEvalKernel fans a flat abscissa buffer out over the worker pool in
+// tuner-sized chunk groups and writes breakdowns into index-addressed
+// slots of a flat result buffer. Output is byte-identical for every
+// worker count and every task grouping because point i reads only xs[i].
+func sweepEvalKernel(ctx context.Context, xs []float64, eval func(float64) (Breakdown, error)) ([]SweepPoint, error) {
+	out := make([]SweepPoint, len(xs))
+	err := parallel.ForEachChunkTuned(ctx, len(xs), sweepUnitChunk, 0, &sweepTuner, func(_, lo, hi int) error {
+		for i := lo; i < hi; i++ {
+			b, err := eval(xs[i])
+			if err != nil {
+				return err
+			}
+			out[i] = SweepPoint{X: xs[i], Breakdown: b}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}

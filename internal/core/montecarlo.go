@@ -191,6 +191,10 @@ func (u UncertainScenario) MonteCarloSamples(n int, seed uint64) ([]float64, err
 // input on the others' rejected values and skew the joint). The
 // consequence — every accepted marginal is conditioned on joint validity
 // — is quantified by the caller via the redraw count rather than hidden.
+//
+// This is the scalar reference path: the run itself uses mcKernel.draw,
+// and the equivalence tests hold the two to bit-identical accept/reject
+// decisions and totals on every draw.
 func (u UncertainScenario) drawOnce(r *stats.RNG, dists *[5]Dist) (float64, bool) {
 	s := u.Base
 	y := dists[0].Sample(r)
@@ -208,6 +212,68 @@ func (u UncertainScenario) drawOnce(r *stats.RNG, dists *[5]Dist) (float64, bool
 	}
 	return b.Total, true
 }
+
+// mcKernel is the vectorized per-draw evaluator of the Monte Carlo
+// engine: every scenario invariant (λ², u, A_w, the eq (6) numerator) is
+// hoisted once per run, so each draw pays only for the arithmetic that
+// depends on the five sampled inputs — no Scenario copy, no
+// re-validation of fixed fields, no error allocation on rejection. The
+// retained operations keep the scalar path's association order exactly,
+// so accept/reject decisions and accepted totals are bit-identical to
+// drawOnce.
+type mcKernel struct {
+	pn  float64 // A0 · N_tr^p1, the eq (6) numerator
+	sd0 float64
+	p2  float64
+	l2  float64 // λ² in cm²
+	u   float64
+	aw  float64 // A_w
+}
+
+func newMCKernel(s Scenario) mcKernel {
+	return mcKernel{
+		pn:  s.DesignCost.A0 * math.Pow(s.Design.Transistors, s.DesignCost.P1),
+		sd0: s.DesignCost.Sd0,
+		p2:  s.DesignCost.P2,
+		l2:  LambdaSquaredCM2(s.Process.LambdaUM),
+		u:   s.utilization(),
+		aw:  s.Process.WaferAreaCM2,
+	}
+}
+
+// draw samples one joint input vector — consuming the RNG in exactly
+// drawOnce's order — and evaluates the eq (4) total. It rejects precisely
+// the draws the scalar path rejects: a sampled field failing its
+// Validate check, s_d at or below the eq (6) pole, or an eq (6) overflow
+// past float range (which the scalar path catches as DesignCostPerCM2's
+// finiteNonNeg guard). Everything else about the base scenario was
+// validated once by the caller and cannot be invalidated by a draw.
+func (k *mcKernel) draw(r *stats.RNG, dists *[5]Dist) (float64, bool) {
+	y := dists[0].Sample(r)
+	if y > 1 {
+		y = 1
+	}
+	cm2 := dists[1].Sample(r)
+	sd := dists[2].Sample(r)
+	wafers := dists[3].Sample(r)
+	mask := dists[4].Sample(r)
+	if !finitePos(cm2) || !validYield(y) || !finitePos(sd) ||
+		!finiteNonNeg(mask) || !finitePos(wafers) || sd <= k.sd0 {
+		return 0, false
+	}
+	cde := k.pn / math.Pow(sd-k.sd0, k.p2)
+	if !finiteNonNeg(cde) {
+		return 0, false
+	}
+	cdsq := (mask + cde) / (wafers * k.aw)
+	geom := k.l2 * sd / (k.u * y)
+	return geom*cm2 + geom*cdsq, true
+}
+
+// mcTuner adapts the Monte Carlo task granularity from measured chunk
+// cost. Grouping never moves a chunk's RNG stream or bounds, so it cannot
+// affect the sampled values.
+var mcTuner parallel.ChunkTuner
 
 // MonteCarloRun is the engine underneath MonteCarlo and
 // MonteCarloSamples: it shards the n samples into fixed chunks of
@@ -254,12 +320,13 @@ func (u UncertainScenario) MonteCarloRunCtx(ctx context.Context, n int, seed uin
 	streams := stats.NewRNG(seed).SplitN(chunks)
 	costs := make([]float64, n)
 	redraws := make([]int, chunks)
-	err := parallel.ForEachChunk(ctx, n, mcChunkSize, workers, func(chunk, lo, hi int) error {
+	k := newMCKernel(u.Base)
+	err := parallel.ForEachChunkTuned(ctx, n, mcChunkSize, workers, &mcTuner, func(chunk, lo, hi int) error {
 		r := streams[chunk]
 		for i := lo; i < hi; i++ {
 			ok := false
 			for attempt := 0; attempt < mcMaxAttempts; attempt++ {
-				total, accepted := u.drawOnce(r, &dists)
+				total, accepted := k.draw(r, &dists)
 				if accepted {
 					if !finite(total) {
 						// With finite-validated inputs this is unreachable, but a

@@ -33,13 +33,14 @@ func OptimalSd(s Scenario, sdMax float64) (Optimum, error) {
 	if sdMax <= lo {
 		return Optimum{}, fmt.Errorf("core: OptimalSd: sdMax = %v must exceed s_d0 = %v", sdMax, s.DesignCost.Sd0)
 	}
-	obj := func(sd float64) float64 {
-		b, err := s.WithSd(sd).TransistorCost()
-		if err != nil {
-			return math.Inf(1)
-		}
-		return b.Total
-	}
+	// The objective is the fused yield→cost kernel: the scenario's
+	// invariants are hoisted once and each probe costs one math.Pow plus a
+	// handful of multiplies, with out-of-domain probes (s_d ≤ s_d0, eq (6)
+	// overflow) mapping to +Inf exactly where the full evaluation would
+	// have errored — bit-identical totals, so the located optimum cannot
+	// move.
+	k := newSdKernel(s)
+	obj := k.total
 	// Grid pre-pass guards against the steep wall at s_d0 confusing the
 	// bracketing, then Brent refines. The error-returning grid search skips
 	// NaN objective values (none are expected — out-of-domain points map to
@@ -87,9 +88,12 @@ func SweepSdCtx(ctx context.Context, s Scenario, lo, hi float64, n int) ([]Sweep
 	}
 	ctx, span := startSweepSpan(ctx, "core.sweep_sd", n)
 	defer span.End()
-	return sweepLog(ctx, lo, hi, n, func(sd float64) (Breakdown, error) {
-		return s.WithSd(sd).TransistorCost()
-	})
+	xs, err := gridLog(lo, hi, n)
+	if err != nil {
+		return nil, err
+	}
+	k := newSdKernel(s)
+	return sweepEvalKernel(ctx, xs, k.eval)
 }
 
 // SweepVolume evaluates the scenario cost on n logarithmically spaced
@@ -108,9 +112,15 @@ func SweepVolumeCtx(ctx context.Context, s Scenario, lo, hi float64, n int) ([]S
 	}
 	ctx, span := startSweepSpan(ctx, "core.sweep_volume", n)
 	defer span.End()
-	return sweepLog(ctx, lo, hi, n, func(w float64) (Breakdown, error) {
-		return s.WithWafers(w).TransistorCost()
-	})
+	xs, err := gridLog(lo, hi, n)
+	if err != nil {
+		return nil, err
+	}
+	eval, err := sweepKernelFor(s, axisVolume)
+	if err != nil {
+		return nil, err
+	}
+	return sweepEvalKernel(ctx, xs, eval)
 }
 
 // SweepYield evaluates the scenario cost on n linearly spaced
@@ -132,9 +142,15 @@ func SweepYieldCtx(ctx context.Context, s Scenario, lo, hi float64, n int) ([]Sw
 	}
 	ctx, span := startSweepSpan(ctx, "core.sweep_yield", n)
 	defer span.End()
-	return sweepLin(ctx, lo, hi, n, func(y float64) (Breakdown, error) {
-		return s.WithYield(y).TransistorCost()
-	})
+	xs, err := gridLin(lo, hi, n)
+	if err != nil {
+		return nil, err
+	}
+	eval, err := sweepKernelFor(s, axisYield)
+	if err != nil {
+		return nil, err
+	}
+	return sweepEvalKernel(ctx, xs, eval)
 }
 
 // startSweepSpan opens a sweep stage's trace span (nil and free on an
@@ -146,30 +162,6 @@ func startSweepSpan(ctx context.Context, stage string, n int) (context.Context, 
 		span.SetAttr("points", strconv.Itoa(n))
 	}
 	return ctx, span
-}
-
-// sweepLog evaluates the cost model on n logarithmically spaced grid
-// points. The grid is materialized up front (sequential multiplication,
-// so the abscissas are bit-identical to the historical serial sweep) and
-// the evaluations fan out over the default worker pool; eval must
-// therefore be pure. Results land in index-addressed slots, so the output
-// ordering is independent of scheduling.
-func sweepLog(ctx context.Context, lo, hi float64, n int, eval func(float64) (Breakdown, error)) ([]SweepPoint, error) {
-	xs, err := gridLog(lo, hi, n)
-	if err != nil {
-		return nil, err
-	}
-	return sweepEval(ctx, xs, eval)
-}
-
-// sweepLin is sweepLog on a uniformly spaced grid, for bounded axes like
-// yield where log spacing is the wrong density.
-func sweepLin(ctx context.Context, lo, hi float64, n int, eval func(float64) (Breakdown, error)) ([]SweepPoint, error) {
-	xs, err := gridLin(lo, hi, n)
-	if err != nil {
-		return nil, err
-	}
-	return sweepEval(ctx, xs, eval)
 }
 
 // gridLog materializes the n logarithmically spaced abscissas of a sweep.
@@ -211,19 +203,6 @@ func gridLin(lo, hi float64, n int) ([]float64, error) {
 	}
 	xs[n-1] = hi // avoid drift on the terminal point
 	return xs, nil
-}
-
-// sweepEval fans the grid evaluations out over the default worker pool;
-// results land in index-addressed slots, so the output ordering is
-// independent of scheduling.
-func sweepEval(ctx context.Context, xs []float64, eval func(float64) (Breakdown, error)) ([]SweepPoint, error) {
-	return parallel.Map(ctx, len(xs), 0, func(i int) (SweepPoint, error) {
-		b, err := eval(xs[i])
-		if err != nil {
-			return SweepPoint{}, err
-		}
-		return SweepPoint{X: xs[i], Breakdown: b}, nil
-	})
 }
 
 // CrossoverVolume finds the production volume N_w (wafers) at which two

@@ -67,21 +67,30 @@ func SimulateDefects(l *Layout, c DefectSimConfig) (DefectSimResult, error) {
 		return DefectSimResult{}, err
 	}
 	rects := l.LayerRects(c.Layer)
+	// Flatten the rect coordinates to float64 once: IsFatal converts four
+	// int fields per rect per defect; the flat buffer pays the conversion
+	// once per run. int→float64 conversion is exact on layout coordinates,
+	// so the flat test is bit-identical to IsFatal.
+	flat := flattenRects(rects)
+	// The Poisson rate is constant across every trial: hoist exp(-mean)
+	// out of the trial loop (PoissonL keeps the draw sequence identical).
+	expMean := math.Exp(-c.MeanDefects)
+	w, h := float64(l.Width), float64(l.Height)
 	chunks := parallel.Chunks(c.Trials, defectSimChunk)
 	streams := stats.NewRNG(c.Seed).SplitN(chunks)
 	type tally struct{ killed, defects int }
 	counts := make([]tally, chunks)
-	err := parallel.ForEachChunk(context.Background(), c.Trials, defectSimChunk, c.Workers, func(chunk, lo, hi int) error {
+	err := parallel.ForEachChunkTuned(context.Background(), c.Trials, defectSimChunk, c.Workers, &defectSimTuner, func(chunk, lo, hi int) error {
 		r := streams[chunk]
 		for t := lo; t < hi; t++ {
-			n := r.Poisson(c.MeanDefects)
+			n := r.PoissonL(c.MeanDefects, expMean)
 			counts[chunk].defects += n
 			dead := false
 			for d := 0; d < n && !dead; d++ {
-				x := r.Range(0, float64(l.Width))
-				y := r.Range(0, float64(l.Height))
+				x := r.Range(0, w)
+				y := r.Range(0, h)
 				size := c.SizeSampler(r)
-				if IsFatal(rects, x, y, size) {
+				if isFatalFlat(flat, x, y, size) {
 					dead = true
 				}
 			}
@@ -108,6 +117,61 @@ func SimulateDefects(l *Layout, c DefectSimConfig) (DefectSimResult, error) {
 	p := res.Yield
 	res.StdErr = math.Sqrt(p * (1 - p) / float64(c.Trials))
 	return res, nil
+}
+
+// defectSimTuner adapts how many trial chunks one scheduled task covers.
+// Grouping never moves a chunk's RNG stream or bounds, so the measured
+// yield cannot depend on it.
+var defectSimTuner parallel.ChunkTuner
+
+// flattenRects converts rect corners to a flat float64 buffer, four
+// values per rect in (x0, y0, x1, y1) order, for the simulation hot loop.
+func flattenRects(rects []Rect) []float64 {
+	flat := make([]float64, 4*len(rects))
+	for i, r := range rects {
+		flat[4*i] = float64(r.X0)
+		flat[4*i+1] = float64(r.Y0)
+		flat[4*i+2] = float64(r.X1)
+		flat[4*i+3] = float64(r.Y1)
+	}
+	return flat
+}
+
+// isFatalFlat is IsFatal over a flattened rect buffer: the identical
+// comparison sequence on identical float values, minus the per-call
+// int→float64 conversions. The equivalence test holds the two paths to
+// the same verdict on every defect.
+func isFatalFlat(flat []float64, x, y, size float64) bool {
+	half := size / 2
+	dx0, dy0, dx1, dy1 := x-half, y-half, x+half, y+half
+	touched := -1
+	// The j+3 < len(flat) guard proves every load below in bounds, so the
+	// loop body runs without bounds checks.
+	for j := 0; j+3 < len(flat); j += 4 {
+		rx0, ry0, rx1, ry1 := flat[j], flat[j+1], flat[j+2], flat[j+3]
+		if dx0 < rx1 && rx0 < dx1 && dy0 < ry1 && ry0 < dy1 {
+			// Overlaps this shape. Short: second distinct shape touched.
+			if touched >= 0 && touched != j {
+				return true
+			}
+			touched = j
+			// Open: the defect spans the wire's short dimension. Orient by
+			// the wire's long side.
+			w, h := rx1-rx0, ry1-ry0
+			if w <= h {
+				// Vertical wire: defect must cover [rx0, rx1] in x and sit
+				// strictly inside the wire's run so it truly severs it.
+				if dx0 <= rx0 && dx1 >= rx1 && dy0 > ry0 && dy1 < ry1 {
+					return true
+				}
+			} else {
+				if dy0 <= ry0 && dy1 >= ry1 && dx0 > rx0 && dx1 < rx1 {
+					return true
+				}
+			}
+		}
+	}
+	return false
 }
 
 // IsFatal reports whether a square defect of the given size centered at

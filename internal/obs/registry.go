@@ -282,6 +282,18 @@ func (h *Histogram) Count() uint64 {
 	return h.count
 }
 
+// Mean returns the mean of all observations so far, or 0 when nothing has
+// been observed. Adaptive consumers (the parallel chunk tuner) use it to
+// seed their estimates from the same measurements the scrape exposes.
+func (h *Histogram) Mean() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.count == 0 {
+		return 0
+	}
+	return h.sum / float64(h.count)
+}
+
 // snapshot returns cumulative bucket counts, sum and count.
 func (h *Histogram) snapshot() (cum []uint64, sum float64, count uint64) {
 	h.mu.Lock()

@@ -1,0 +1,122 @@
+package parallel
+
+import (
+	"math"
+	"sync/atomic"
+)
+
+// Adaptive chunk-group sizing.
+//
+// The engine's determinism contract pins the *unit* chunk size: RNG
+// sub-streams are derived per unit chunk, so unit boundaries can never
+// move without changing the numbers. What CAN move freely is how many
+// unit chunks one scheduled task covers — grouping only changes which
+// goroutine executes a chunk, never which stream it draws from or which
+// index-addressed slot it writes. The ChunkTuner exploits that freedom:
+// it watches the measured per-chunk execution times (the same
+// measurements that feed the package's chunk exec histogram) and sizes
+// task groups so each scheduled task runs for roughly tunerTargetSeconds
+// — long enough to amortize pickup and telemetry overhead on µs-scale
+// chunks, short enough to keep the pool load-balanced and cancellation
+// prompt.
+
+const (
+	// tunerTargetSeconds is the execution time one scheduled task aims
+	// for. 500µs amortizes the ~100ns pickup cost 5000× while keeping
+	// worst-case cancellation latency well under a millisecond of work.
+	tunerTargetSeconds = 500e-6
+	// tunerAlpha is the EWMA weight of the newest per-unit measurement.
+	tunerAlpha = 0.2
+	// tunerBalance is the minimum number of tasks per worker the tuner
+	// preserves, so one straggler chunk cannot serialize the tail of a
+	// job that was grouped too coarsely.
+	tunerBalance = 4
+)
+
+// ChunkTuner adapts the number of unit chunks per scheduled task from
+// measured execution times. The zero value is ready to use and starts
+// conservative (group 1, seeded from the package-wide chunk exec
+// histogram when it has data); it converges over repeated jobs, which is
+// the serving pattern — the same sweep or batch shape arriving over and
+// over. One tuner should serve one workload family (sweep points, Monte
+// Carlo chunks, batch items), because the estimate is per unit chunk and
+// unit weights differ wildly across families. All methods are safe for
+// concurrent use.
+type ChunkTuner struct {
+	perUnit atomic.Uint64 // float64 bits: EWMA of seconds per unit chunk; 0 = no data
+}
+
+// Observe folds one task's measured execution time over `units` unit
+// chunks into the estimate. The scheduler calls it automatically; callers
+// may also use it to pre-seed a tuner from prior measurements (tests use
+// it to force a known grouping regime).
+func (t *ChunkTuner) Observe(units int, seconds float64) { t.note(units, seconds) }
+
+// note folds one task's measured execution time over `units` unit chunks
+// into the estimate.
+func (t *ChunkTuner) note(units int, seconds float64) {
+	if units <= 0 || seconds <= 0 {
+		return
+	}
+	per := seconds / float64(units)
+	for {
+		old := t.perUnit.Load()
+		next := per
+		if old != 0 {
+			prev := math.Float64frombits(old)
+			next = prev + tunerAlpha*(per-prev)
+		}
+		if t.perUnit.CompareAndSwap(old, math.Float64bits(next)) {
+			return
+		}
+	}
+}
+
+// Reset discards the estimate, returning the tuner to its cold state.
+func (t *ChunkTuner) Reset() { t.perUnit.Store(0) }
+
+// PerUnitSeconds returns the current per-unit-chunk execution estimate in
+// seconds, or 0 when the tuner has no data yet.
+func (t *ChunkTuner) PerUnitSeconds() float64 {
+	if bits := t.perUnit.Load(); bits != 0 {
+		return math.Float64frombits(bits)
+	}
+	return 0
+}
+
+// Group returns the number of unit chunks one scheduled task should
+// cover for a job of `chunks` unit chunks on `workers` workers
+// (workers <= 0 resolves to the package default). With no data — neither
+// tuner history nor histogram observations — it returns 1, the exact
+// historical scheduling.
+func (t *ChunkTuner) Group(chunks, workers int) int {
+	if chunks <= 1 {
+		return 1
+	}
+	workers = Resolve(workers)
+	per := t.PerUnitSeconds()
+	if per == 0 {
+		// Cold tuner: seed from the package-wide exec histogram. It mixes
+		// unit weights across workload families, so it is only a starting
+		// point; the EWMA takes over after the first task completes.
+		per = chunkExecSeconds.Mean()
+	}
+	g := 1
+	if per > 0 {
+		if est := tunerTargetSeconds / per; est > 1 {
+			if est > float64(chunks) {
+				g = chunks
+			} else {
+				g = int(est)
+			}
+		}
+	}
+	// Preserve enough tasks for the pool to balance stragglers.
+	if cap := chunks / (workers * tunerBalance); g > cap {
+		g = cap
+	}
+	if g < 1 {
+		g = 1
+	}
+	return g
+}

@@ -179,22 +179,82 @@ func Chunks(n, chunkSize int) int {
 // (submission to pickup) and execution time feed the package's telemetry
 // histograms.
 func ForEachChunk(ctx context.Context, n, chunkSize, workers int, fn func(chunk, lo, hi int) error) error {
+	return forEachChunkGrouped(ctx, n, chunkSize, workers, 1, nil, fn)
+}
+
+// ForEachChunkGrouped is ForEachChunk with explicit task granularity: one
+// scheduled task covers `group` consecutive unit chunks (group <= 0 means
+// 1). fn still receives every unit chunk (c, lo, hi) exactly once, in
+// ascending order within a task, so unit-chunk-keyed RNG streams and
+// index-addressed writes are byte-identical for EVERY group value — the
+// group only decides which goroutine runs a chunk, never what the chunk
+// computes. Determinism regression tests sweep group over {1, default,
+// huge} on exactly this guarantee.
+func ForEachChunkGrouped(ctx context.Context, n, chunkSize, workers, group int, fn func(chunk, lo, hi int) error) error {
+	return forEachChunkGrouped(ctx, n, chunkSize, workers, group, nil, fn)
+}
+
+// ForEachChunkTuned is ForEachChunk with adaptive task granularity: the
+// tuner picks how many unit chunks one scheduled task covers (from its
+// measured per-chunk execution history) and is fed this job's timings in
+// return. A nil tuner degrades to ForEachChunk. The chosen group size is
+// recorded on the job's span ("parallel.chunks", attributes chunk_size /
+// group / chunks), so tuning decisions are observable per trace.
+func ForEachChunkTuned(ctx context.Context, n, chunkSize, workers int, t *ChunkTuner, fn func(chunk, lo, hi int) error) error {
+	group := 1
+	if t != nil {
+		group = t.Group(Chunks(n, chunkSize), workers)
+	}
+	return forEachChunkGrouped(ctx, n, chunkSize, workers, group, t, fn)
+}
+
+// forEachChunkGrouped is the shared chunked executor: it schedules
+// Chunks(n, chunkSize) unit chunks in tasks of `group`, observes one
+// queue-wait/exec histogram sample per task (amortized over the group, so
+// telemetry cost cannot grow with item count), and feeds the tuner when
+// present.
+func forEachChunkGrouped(ctx context.Context, n, chunkSize, workers, group int, t *ChunkTuner, fn func(chunk, lo, hi int) error) error {
 	if chunkSize <= 0 {
 		return fmt.Errorf("parallel: chunk size must be positive, got %d", chunkSize)
 	}
 	chunks := Chunks(n, chunkSize)
+	if group < 1 {
+		group = 1
+	}
+	tasks := Chunks(chunks, group)
+	if ctx2, span := obs.StartSpan(ctx, "parallel.chunks"); span != nil {
+		ctx = ctx2
+		span.SetAttr("chunk_size", strconv.Itoa(chunkSize))
+		span.SetAttr("group", strconv.Itoa(group))
+		span.SetAttr("chunks", strconv.Itoa(chunks))
+		defer span.End()
+	}
 	submitted := time.Now()
-	return run(ctx, chunks, workers, func(c int) error {
+	return run(ctx, tasks, workers, func(task int) error {
 		picked := time.Now()
 		chunkWaitSeconds.Observe(picked.Sub(submitted).Seconds())
-		lo := c * chunkSize
-		hi := lo + chunkSize
-		if hi > n {
-			hi = n
+		cLo := task * group
+		cHi := cLo + group
+		if cHi > chunks {
+			cHi = chunks
 		}
-		err := fn(c, lo, hi)
-		chunkExecSeconds.Observe(time.Since(picked).Seconds())
-		return err
+		for c := cLo; c < cHi; c++ {
+			lo := c * chunkSize
+			hi := lo + chunkSize
+			if hi > n {
+				hi = n
+			}
+			if err := fn(c, lo, hi); err != nil {
+				chunkExecSeconds.Observe(time.Since(picked).Seconds())
+				return err
+			}
+		}
+		exec := time.Since(picked).Seconds()
+		chunkExecSeconds.Observe(exec)
+		if t != nil {
+			t.note(cHi-cLo, exec)
+		}
+		return nil
 	})
 }
 
@@ -248,6 +308,64 @@ func MapAll[T any](ctx context.Context, n, workers int, fn func(i int) (T, error
 		return nil, nil, stop
 	}
 	return out, errs, nil
+}
+
+// MapAllTuned is MapAll with adaptive scheduling granularity: items are
+// executed in tuner-sized groups of consecutive indices instead of one
+// scheduled task per item, which is what lets a 1024-item batch of
+// microsecond evaluations stop paying per-item pickup overhead. Error
+// isolation, index-addressed results and worker-count independence are
+// exactly MapAll's; a nil tuner schedules item by item.
+func MapAllTuned[T any](ctx context.Context, n, workers int, t *ChunkTuner, fn func(i int) (T, error)) (out []T, errs []error, stop error) {
+	out = make([]T, n)
+	errs = make([]error, n)
+	if stop = MapAllInto(ctx, out, errs, workers, t, fn); stop != nil {
+		return nil, nil, stop
+	}
+	return out, errs, nil
+}
+
+// MapAllInto is MapAllTuned writing into caller-owned buffers: out and
+// errs must have equal length, and every slot is overwritten (stale
+// contents from a previous use cannot leak through). It exists for
+// arena-style batch serving, where the result buffers are pooled across
+// requests instead of allocated per call — steady state it performs no
+// per-item allocation of its own. On a dead context it returns stop with
+// the buffers' contents unspecified.
+func MapAllInto[T any](ctx context.Context, out []T, errs []error, workers int, t *ChunkTuner, fn func(i int) (T, error)) (stop error) {
+	if len(out) != len(errs) {
+		return fmt.Errorf("parallel: MapAllInto buffers disagree: %d results vs %d errors", len(out), len(errs))
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	n := len(out)
+	return forEachChunkGrouped(ctx, n, 1, workers, groupFor(t, n, workers), t, func(_, lo, _ int) error {
+		i := lo
+		v, err := fn(i)
+		if cerr := ctx.Err(); cerr != nil {
+			// The context died mid-item: abort the batch rather than
+			// recording a cancellation as an item-level verdict.
+			return cerr
+		}
+		if err != nil {
+			var zero T
+			out[i] = zero
+			errs[i] = err
+			return nil
+		}
+		out[i] = v
+		errs[i] = nil
+		return nil
+	})
+}
+
+// groupFor resolves a tuner's group choice, treating nil as group 1.
+func groupFor(t *ChunkTuner, chunks, workers int) int {
+	if t == nil {
+		return 1
+	}
+	return t.Group(chunks, workers)
 }
 
 // MapReduce evaluates fn(i) in parallel and folds the results with reduce

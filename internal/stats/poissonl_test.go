@@ -1,0 +1,31 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+// PoissonL's contract: given expNegMean == exp(-mean), its draws AND its
+// RNG stream consumption are bit-identical to Poisson. Both are checked —
+// a count that matched while consuming a different number of variates
+// would silently desynchronize every downstream draw.
+func TestPoissonLMatchesPoisson(t *testing.T) {
+	for _, mean := range []float64{0, -1, 1e-9, 0.25, 1, 3.5, 29.999, 30, 64, 1000} {
+		a := NewRNG(1234)
+		b := NewRNG(1234)
+		expNeg := math.Exp(-mean)
+		for i := 0; i < 5000; i++ {
+			ka := a.Poisson(mean)
+			kb := b.PoissonL(mean, expNeg)
+			if ka != kb {
+				t.Fatalf("mean %v draw %d: Poisson %d, PoissonL %d", mean, i, ka, kb)
+			}
+		}
+		// Stream states must still agree after all draws.
+		for i := 0; i < 8; i++ {
+			if ua, ub := a.Uint64(), b.Uint64(); ua != ub {
+				t.Fatalf("mean %v: streams desynchronized after draws (%x vs %x)", mean, ua, ub)
+			}
+		}
+	}
+}

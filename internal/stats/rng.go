@@ -123,17 +123,43 @@ func (r *RNG) Poisson(mean float64) int {
 		return 0
 	}
 	if mean < 30 {
-		l := math.Exp(-mean)
-		k := 0
-		p := 1.0
-		for {
-			p *= r.Float64()
-			if p <= l {
-				return k
-			}
-			k++
-		}
+		return r.poissonKnuth(math.Exp(-mean))
 	}
+	return r.poissonNormal(mean)
+}
+
+// PoissonL is Poisson with the caller supplying expNegMean = exp(-mean).
+// Simulation kernels whose rate is constant across many draws (every
+// trial of a defect simulation, every die of an unclustered wafer) hoist
+// the exp out of the loop and pay only the product loop per draw. The
+// draw sequence — and therefore the stream state — is bit-identical to
+// Poisson(mean) provided expNegMean == math.Exp(-mean).
+func (r *RNG) PoissonL(mean, expNegMean float64) int {
+	if mean <= 0 {
+		return 0
+	}
+	if mean < 30 {
+		return r.poissonKnuth(expNegMean)
+	}
+	return r.poissonNormal(mean)
+}
+
+// poissonKnuth is Knuth's product method, parameterized by l = exp(-mean).
+func (r *RNG) poissonKnuth(l float64) int {
+	k := 0
+	p := 1.0
+	for {
+		p *= r.Float64()
+		if p <= l {
+			return k
+		}
+		k++
+	}
+}
+
+// poissonNormal is the large-mean normal approximation with continuity
+// correction.
+func (r *RNG) poissonNormal(mean float64) int {
 	n := r.Norm(mean, math.Sqrt(mean))
 	if n < 0 {
 		return 0

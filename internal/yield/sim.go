@@ -3,6 +3,7 @@ package yield
 import (
 	"context"
 	"fmt"
+	"math"
 
 	"repro/internal/parallel"
 	"repro/internal/stats"
@@ -70,6 +71,10 @@ func Simulate(c SimConfig) (SimResult, error) {
 		good      int
 		lambdaSum float64
 	}
+	// The per-die branch structure is invariant over the whole run: hoist
+	// it once instead of re-testing three config fields per die.
+	perDieCluster := c.ClusterAlpha > 0 && !c.WaferToWafer
+	spatial := c.SpatialRadius > 0
 	tallies, err := parallel.Map(context.Background(), c.Wafers, c.Workers, func(w int) (waferTally, error) {
 		r := stats.NewRNG(stats.StreamSeed(c.Seed, uint64(w)))
 		waferScale := 1.0
@@ -77,12 +82,30 @@ func Simulate(c SimConfig) (SimResult, error) {
 			waferScale = r.Gamma(c.ClusterAlpha, 1/c.ClusterAlpha)
 		}
 		var t waferTally
+		if !perDieCluster && !spatial {
+			// Constant rate across the wafer: the Poisson exp hoists out of
+			// the die loop (PoissonL keeps the draw sequence bit-identical).
+			// lambdaSum still accumulates additively so the realized mean is
+			// byte-identical to the scalar fold.
+			rate := c.Lambda * waferScale
+			if rate < 0 {
+				rate = 0
+			}
+			expRate := math.Exp(-rate)
+			for d := 0; d < c.DiePerWafer; d++ {
+				t.lambdaSum += rate
+				if r.PoissonL(rate, expRate) == 0 {
+					t.good++
+				}
+			}
+			return t, nil
+		}
 		for d := 0; d < c.DiePerWafer; d++ {
 			rate := c.Lambda * waferScale
-			if c.ClusterAlpha > 0 && !c.WaferToWafer {
+			if perDieCluster {
 				rate = c.Lambda * r.Gamma(c.ClusterAlpha, 1/c.ClusterAlpha)
 			}
-			if c.SpatialRadius > 0 {
+			if spatial {
 				// Die position: for a uniform position on the disk the
 				// squared radial fraction ρ² is uniform on [0,1], so a
 				// factor linear in ρ² grows toward the edge while keeping

@@ -58,6 +58,11 @@ func (c WaferMapConfig) Validate() error {
 	return nil
 }
 
+// waferMapTuner adapts how many wafer rows one scheduled task covers.
+// Grouping rows never moves a (wafer, row) RNG stream, so the map cannot
+// depend on it.
+var waferMapTuner parallel.ChunkTuner
+
 // SimulateWaferMap runs the spatial Monte Carlo. A die site is inside the
 // wafer when all four corners fall within the usable radius; its defect
 // rate is Lambda scaled linearly in its center's normalized radius toward
@@ -117,23 +122,74 @@ func SimulateWaferMap(c WaferMapConfig) (*WaferMap, error) {
 	if edge == 0 {
 		edge = 1
 	}
-	err := parallel.ForEach(context.Background(), rows, c.Workers, func(y int) error {
-		for w := 0; w < c.Wafers; w++ {
-			// Value-typed stream: one per (wafer, row), stack-allocated.
-			r := stats.Seeded(stats.StreamSeed(c.Seed, uint64(w), uint64(y)))
-			for x := 0; x < cols; x++ {
-				if !inside[y][x] {
+	// The radial site factor is wafer-independent: precompute it once into
+	// a flat buffer instead of paying a sqrt per (wafer, site). The scalar
+	// path computed Lambda·scale·factor left-associated, so rate =
+	// (Lambda·scale)·factor reproduces it bit for bit with the per-wafer
+	// product hoisted out of the site loop.
+	factor := make([]float64, rows*cols)
+	for y := 0; y < rows; y++ {
+		for x := 0; x < cols; x++ {
+			if !inside[y][x] {
+				continue
+			}
+			cx := originX + (float64(x)+0.5)*c.DieWMM
+			cy := originY + (float64(y)+0.5)*c.DieHMM
+			rho := math.Sqrt(cx*cx+cy*cy) / c.UsableRadiusMM
+			factor[y*cols+x] = 1 + (edge-1)*rho
+		}
+	}
+	// Unclustered lots reuse one rate — and one exp(-rate) — per site
+	// across every wafer: the Poisson exp moves out of the wafer loop
+	// entirely (stats.RNG.PoissonL keeps the draw sequence bit-identical).
+	clustered := c.ClusterAlpha > 0
+	var expRate []float64
+	if !clustered {
+		expRate = make([]float64, rows*cols)
+		for i, f := range factor {
+			rate := c.Lambda * f
+			if rate < 0 {
+				rate = 0
+			}
+			expRate[i] = math.Exp(-rate)
+		}
+	}
+	err := parallel.ForEachChunkTuned(context.Background(), rows, 1, c.Workers, &waferMapTuner, func(_, yLo, yHi int) error {
+		for y := yLo; y < yHi; y++ {
+			goodRow := wm.Good[y]
+			insideRow := inside[y]
+			factorRow := factor[y*cols : (y+1)*cols]
+			for w := 0; w < c.Wafers; w++ {
+				// Value-typed stream: one per (wafer, row), stack-allocated.
+				r := stats.Seeded(stats.StreamSeed(c.Seed, uint64(w), uint64(y)))
+				if !clustered {
+					expRow := expRate[y*cols : (y+1)*cols]
+					for x := 0; x < cols; x++ {
+						if !insideRow[x] {
+							continue
+						}
+						rate := c.Lambda * factorRow[x]
+						if rate < 0 {
+							rate = 0
+						}
+						if r.PoissonL(rate, expRow[x]) == 0 {
+							goodRow[x]++
+						}
+					}
 					continue
 				}
-				cx := originX + (float64(x)+0.5)*c.DieWMM
-				cy := originY + (float64(y)+0.5)*c.DieHMM
-				rho := math.Sqrt(cx*cx+cy*cy) / c.UsableRadiusMM
-				rate := c.Lambda * scales[w] * (1 + (edge-1)*rho)
-				if rate < 0 {
-					rate = 0
-				}
-				if r.Poisson(rate) == 0 {
-					wm.Good[y][x]++
+				ws := c.Lambda * scales[w]
+				for x := 0; x < cols; x++ {
+					if !insideRow[x] {
+						continue
+					}
+					rate := ws * factorRow[x]
+					if rate < 0 {
+						rate = 0
+					}
+					if r.Poisson(rate) == 0 {
+						goodRow[x]++
+					}
 				}
 			}
 		}

@@ -2,21 +2,32 @@
 # bench_baseline.sh [out.json] — run the full benchmark harness
 # (go test -bench=. -benchmem -count=1) and record the results as JSON:
 # metadata plus one entry per benchmark line. Diff future runs against
-# the committed BENCH_PR*.json with scripts/bench_compare.sh to spot
-# hot-path regressions.
+# the committed BENCH_PR*.json with scripts/bench_compare.sh or
+# cmd/benchcmp to spot hot-path regressions.
 #
-# The metadata records the *actual* run environment: ncpu is read from
-# the machine the benchmarks executed on (not assumed), and when the
-# machine has a single CPU the Serial/Parallel benchmark pairs are
-# annotated as uninformative — on 1 CPU the parallel engine degenerates
-# to the serial path plus scheduling overhead, so a "parallel is not
-# faster" reading from such a file is a property of the recording host,
-# not of the code (BENCH_PR1.json was recorded on 1 CPU).
+# The metadata records the *actual* run environment — ncpu, GOMAXPROCS,
+# the parallel engine's worker count and its chunk/tuner configuration —
+# because a baseline is only comparable to runs from a similar machine:
+#
+#   - bytes/op is deterministic and compares across any pair of hosts;
+#   - ns/op and the custom throughput metrics (evals/sec, sims/sec from
+#     b.ReportMetric) only mean something between multi-core hosts, so
+#     cmd/benchcmp gates them only when both sides report ncpu > 1;
+#   - when the machine has a single CPU the Serial/Parallel benchmark
+#     pairs are annotated as uninformative — on 1 CPU the parallel engine
+#     degenerates to the serial path plus scheduling overhead, so a
+#     "parallel is not faster" reading from such a file is a property of
+#     the recording host, not of the code (BENCH_PR1.json and
+#     BENCH_PR6.json were recorded on 1 CPU).
+#
+# Each benchmark entry carries ns_per_op, bytes_per_op, allocs_per_op and
+# a "metrics" object with any custom b.ReportMetric units on the line.
 set -eu
 cd "$(dirname "$0")/.."
 out="${1:-BENCH_PR1.json}"
 
 ncpu="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 1)"
+gomaxprocs="${GOMAXPROCS:-$ncpu}"
 if [ "$ncpu" -gt 1 ]; then
   pairs_informative=true
   pairs_note="serial-vs-parallel pairs recorded on $ncpu CPUs"
@@ -36,21 +47,29 @@ go test -bench=. -benchmem -count=1 -timeout 60m . | tee "$tmp" >&2
   printf '  "goos": "%s",\n' "$(go env GOOS)"
   printf '  "goarch": "%s",\n' "$(go env GOARCH)"
   printf '  "ncpu": %s,\n' "$ncpu"
+  printf '  "gomaxprocs": %s,\n' "$gomaxprocs"
+  printf '  "parallel_workers": %s,\n' "$gomaxprocs"
+  printf '  "chunk_config": {"mc_chunk": 4096, "defect_sim_chunk": 1024, "sweep_unit_chunk": 16, "tuner_target_task_seconds": 0.0005},\n'
   printf '  "parallel_pairs_informative": %s,\n' "$pairs_informative"
   printf '  "parallel_pairs_note": "%s",\n' "$pairs_note"
   printf '  "command": "go test -bench=. -benchmem -count=1",\n'
   printf '  "benchmarks": [\n'
   awk '/^Benchmark/ {
     gsub(/"/, "");
-    line = $0;
     if (n++) printf ",\n";
     printf "    {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s", $1, $2, $3;
-    if (match(line, /[0-9.]+ B\/op/))  { v = substr(line, RSTART, RLENGTH); sub(/ B\/op/, "", v);  printf ", \"bytes_per_op\": %s", v }
-    if (match(line, /[0-9]+ allocs\/op/)) { v = substr(line, RSTART, RLENGTH); sub(/ allocs\/op/, "", v); printf ", \"allocs_per_op\": %s", v }
+    metrics = "";
+    for (i = 5; i + 1 <= NF; i += 2) {
+      v = $i; u = $(i+1);
+      if (u == "B/op")            printf ", \"bytes_per_op\": %s", v;
+      else if (u == "allocs/op")  printf ", \"allocs_per_op\": %s", v;
+      else if (index(u, "/") > 0) metrics = metrics (metrics == "" ? "" : ", ") "\"" u "\": " v;
+    }
+    if (metrics != "") printf ", \"metrics\": {%s}", metrics;
     printf "}";
   }
   END { printf "\n" }' "$tmp"
   printf '  ]\n'
   printf '}\n'
 } > "$out"
-echo "baseline written to $out (ncpu=$ncpu, parallel pairs informative: $pairs_informative)" >&2
+echo "baseline written to $out (ncpu=$ncpu, GOMAXPROCS=$gomaxprocs, parallel pairs informative: $pairs_informative)" >&2

@@ -17,6 +17,9 @@ go test -race ./...
 echo "== serve smoke (short, race-enabled) ==" >&2
 go test -race -short -count=1 ./internal/serve/ ./cmd/nanocostd/
 
+echo "== /v1/batch at 1024 items under -race (pooled-scratch contract) ==" >&2
+go test -race -count=1 -run 'TestBatchFullCapacityReusesScratch|TestBatchConcurrentFullCapacity' ./internal/serve/
+
 echo "== obs conformance (registry, tracing, exposition; race-enabled) ==" >&2
 go test -race -count=1 ./internal/obs/
 go test -race -count=1 -run 'TestMetricsExpositionConformance|TestTrace|TestRequestID|TestAccessLog|TestStreamedStatus' ./internal/serve/
@@ -24,17 +27,23 @@ go test -race -count=1 -run 'TestMetricsExpositionConformance|TestTrace|TestRequ
 echo "== bench smoke (1 iteration each) ==" >&2
 go test -run xxx -bench=. -benchtime=1x .
 
-# Memory-regression gate: compare the smoke run's bytes/op against the
-# recorded baseline with cmd/benchcmp (the repo's benchstat stand-in).
-# A pinned hot-path benchmark regressing >20% bytes/op fails the check;
-# ns/op from a 1x smoke run is noise, so only allocation data is gated.
-# For the full-fidelity version run `make bench-compare BASE=BENCH_PR2.json`.
-base="BENCH_PR2.json"
-if [ -f "$base" ]; then
-  echo "== bytes/op gate vs $base ==" >&2
+# Regression gate: compare the smoke run against the most recent recorded
+# baseline with cmd/benchcmp (the repo's benchstat stand-in). bytes/op is
+# gated unconditionally (allocation counts are deterministic); ns/op and
+# the custom throughput metrics (evals/sec, sims/sec) are gated by
+# benchcmp only when both the baseline and this host are multi-core —
+# wall-clock from a 1x smoke run on a single-core box is noise, and
+# benchcmp knows to skip it. For the full-fidelity version run
+# `make bench-compare BASE=BENCH_PR6.json`.
+base=""
+for candidate in BENCH_PR6.json BENCH_PR2.json; do
+  if [ -f "$candidate" ]; then base="$candidate"; break; fi
+done
+if [ -n "$base" ]; then
+  echo "== benchmark gate (bytes/op always; ns/op + metrics on multi-core) vs $base ==" >&2
   go test -run xxx -bench=. -benchtime=1x -benchmem . | go run ./cmd/benchcmp -base "$base"
 else
-  echo "== bytes/op gate skipped ($base not recorded yet) ==" >&2
+  echo "== benchmark gate skipped (no baseline recorded yet) ==" >&2
 fi
 
 echo "check: all gates passed" >&2
