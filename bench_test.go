@@ -13,6 +13,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/layout"
+	"repro/internal/mcjob"
 	"repro/internal/memo"
 	"repro/internal/parallel"
 	"repro/internal/regularity"
@@ -724,5 +725,29 @@ func BenchmarkWaferMapSims(b *testing.B) {
 	b.StopTimer()
 	if secs := b.Elapsed().Seconds(); secs > 0 {
 		b.ReportMetric(float64(b.N)*float64(cfg.Wafers)/secs, "sims/sec")
+	}
+}
+
+// BenchmarkShardedMC: the sharded Monte Carlo engine end to end — shard
+// planning, the per-chunk stream walk, kernel evaluation across all
+// workers and the canonical-order merge — in trials per second on the
+// defect kernel. This is the giga-trial job path /v1/jobs and
+// yieldsim -shards run on.
+func BenchmarkShardedMC(b *testing.B) {
+	k, err := mcjob.NewDefectKernel(mcjob.DefectSpec{Lambda: 1.1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	const trials = 1 << 21
+	cfg := mcjob.RunConfig{Trials: trials, Shards: 8, Seed: 42}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := mcjob.Run(b.Context(), k, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if secs := b.Elapsed().Seconds(); secs > 0 {
+		b.ReportMetric(float64(b.N)*trials/secs, "trials/sec")
 	}
 }

@@ -3,7 +3,8 @@
 // in-flight requests before exiting.
 //
 // Routes: POST /v1/cost, /v1/designcost, /v1/generalized, /v1/sweep,
-// /v1/batch; GET /v1/figures/{1..4}, /healthz, /metrics,
+// /v1/batch, /v1/jobs; GET /v1/figures/{1..4}, /v1/jobs/{id},
+// /v1/jobs/{id}/result, /healthz, /metrics,
 // /debug/trace/{id}. Sweeps and figures stream NDJSON under
 // "Accept: application/x-ndjson"; figure responses carry strong ETags
 // for If-None-Match revalidation. Every response carries an
@@ -54,6 +55,8 @@ func main() {
 		inflight  = flag.Int("max-inflight", 0, "concurrent model requests before 429 (0 = 4 × GOMAXPROCS)")
 		maxBody   = flag.Int64("max-body", 1<<20, "request body size cap, bytes")
 		workers   = flag.Int("workers", 0, "worker goroutines for sweeps (0 = all cores); results are identical for any value")
+		jobDir    = flag.String("job-dir", "", "directory for simulation-job checkpoints (empty = checkpointing disabled)")
+		maxJobs   = flag.Int("max-jobs", 0, "concurrent simulation jobs before 429 (0 = 2)")
 	)
 	o := &obs.Flags{}
 	o.RegisterFlags(flag.CommandLine)
@@ -69,7 +72,7 @@ func main() {
 		os.Exit(1)
 	}
 	ctx := o.StartRoot(context.Background(), "nanocostd.run")
-	err := run(ctx, *addr, *debugAddr, *timeout, *drain, *inflight, *maxBody, logger)
+	err := run(ctx, *addr, *debugAddr, *timeout, *drain, *inflight, *maxBody, *jobDir, *maxJobs, logger)
 	o.Finish(os.Stderr)
 	if perr := prof.Stop(); perr != nil && err == nil {
 		err = perr
@@ -83,7 +86,7 @@ func main() {
 // run serves until SIGINT/SIGTERM (or ctx cancellation), then lets the
 // server drain. A non-empty debugAddr additionally serves pprof on its
 // own listener for the daemon's lifetime.
-func run(ctx context.Context, addr, debugAddr string, timeout, drain time.Duration, inflight int, maxBody int64, logger *slog.Logger) error {
+func run(ctx context.Context, addr, debugAddr string, timeout, drain time.Duration, inflight int, maxBody int64, jobDir string, maxJobs int, logger *slog.Logger) error {
 	ctx, stop := signal.NotifyContext(ctx, os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
@@ -102,6 +105,8 @@ func run(ctx context.Context, addr, debugAddr string, timeout, drain time.Durati
 		MaxInFlight:     inflight,
 		MaxBodyBytes:    maxBody,
 		Logger:          logger,
+		JobDir:          jobDir,
+		MaxJobs:         maxJobs,
 	})
 	return srv.ListenAndServe(ctx)
 }

@@ -18,7 +18,7 @@ func TestRunServesAndDrainsOnSIGTERM(t *testing.T) {
 	logger := slog.New(slog.NewTextHandler(io.Discard, nil))
 	done := make(chan error, 1)
 	go func() {
-		done <- run(context.Background(), "127.0.0.1:0", "", time.Second, time.Second, 4, 1<<20, logger)
+		done <- run(context.Background(), "127.0.0.1:0", "", time.Second, time.Second, 4, 1<<20, "", 0, logger)
 	}()
 
 	// Give the listener a beat to come up, then ask the daemon to stop the
@@ -42,7 +42,7 @@ func TestRunServesAndDrainsOnSIGTERM(t *testing.T) {
 // hang.
 func TestRunRejectsBadAddr(t *testing.T) {
 	logger := slog.New(slog.NewTextHandler(io.Discard, nil))
-	if err := run(context.Background(), "256.0.0.1:99999", "", time.Second, time.Second, 4, 1<<20, logger); err == nil {
+	if err := run(context.Background(), "256.0.0.1:99999", "", time.Second, time.Second, 4, 1<<20, "", 0, logger); err == nil {
 		t.Fatal("accepted an unbindable address")
 	}
 }
@@ -51,7 +51,7 @@ func TestRunRejectsBadAddr(t *testing.T) {
 // same way the main address does — never a silently missing profiler.
 func TestRunRejectsBadDebugAddr(t *testing.T) {
 	logger := slog.New(slog.NewTextHandler(io.Discard, nil))
-	if err := run(context.Background(), "127.0.0.1:0", "256.0.0.1:99999", time.Second, time.Second, 4, 1<<20, logger); err == nil {
+	if err := run(context.Background(), "127.0.0.1:0", "256.0.0.1:99999", time.Second, time.Second, 4, 1<<20, "", 0, logger); err == nil {
 		t.Fatal("accepted an unbindable debug address")
 	}
 }

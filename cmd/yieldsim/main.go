@@ -4,6 +4,13 @@
 // Example:
 //
 //	yieldsim -d0 0.5 -area 1.5 -alpha 0.8 -die 400 -wafers 300
+//
+// With -shards the die·wafers trials run through the sharded mcjob
+// engine instead of the single-pass simulator; -checkpoint persists
+// completed shards so a killed run resumes where it stopped. The
+// reported yield comes from the same per-trial draw law either way, and
+// the sharded result is independent of shard count, worker count and
+// resume history.
 package main
 
 import (
@@ -14,6 +21,7 @@ import (
 	"os"
 
 	"repro/internal/cliutil"
+	"repro/internal/mcjob"
 	"repro/internal/obs"
 	"repro/internal/parallel"
 	"repro/internal/profiling"
@@ -23,13 +31,15 @@ import (
 
 func main() {
 	var (
-		d0      = flag.Float64("d0", 0.5, "defect density, defects/cm²")
-		area    = flag.Float64("area", 1.0, "critical area per die, cm²")
-		alpha   = flag.Float64("alpha", 0, "clustering α (0 = unclustered)")
-		die     = flag.Int("die", 400, "die per wafer")
-		wafers  = flag.Int("wafers", 200, "wafers to simulate")
-		seed    = flag.Uint64("seed", 1, "RNG seed")
-		workers = flag.Int("workers", 0, "simulation goroutines (0 = all cores); results are identical for any value")
+		d0         = flag.Float64("d0", 0.5, "defect density, defects/cm²")
+		area       = flag.Float64("area", 1.0, "critical area per die, cm²")
+		alpha      = flag.Float64("alpha", 0, "clustering α (0 = unclustered)")
+		die        = flag.Int("die", 400, "die per wafer")
+		wafers     = flag.Int("wafers", 200, "wafers to simulate")
+		seed       = flag.Uint64("seed", 1, "RNG seed")
+		workers    = flag.Int("workers", 0, "simulation goroutines (0 = all cores); results are identical for any value")
+		shards     = flag.Int("shards", 0, "run through the sharded engine with this many shards (0 = single-pass simulator)")
+		checkpoint = flag.String("checkpoint", "", "checkpoint directory for the sharded engine (implies -shards 64 if -shards is unset)")
 	)
 	o := &obs.Flags{}
 	o.RegisterFlags(flag.CommandLine)
@@ -44,7 +54,12 @@ func main() {
 		os.Exit(1)
 	}
 	_ = o.StartRoot(context.Background(), "yieldsim.run")
-	err := run(*d0, *area, *alpha, *die, *wafers, *seed, *workers)
+	var err error
+	if *shards > 0 || *checkpoint != "" {
+		err = runSharded(*d0, *area, *alpha, *die, *wafers, *seed, *workers, *shards, *checkpoint)
+	} else {
+		err = run(*d0, *area, *alpha, *die, *wafers, *seed, *workers)
+	}
 	o.Finish(os.Stderr)
 	if perr := prof.Stop(); perr != nil && err == nil {
 		err = perr
@@ -53,6 +68,48 @@ func main() {
 		fmt.Fprintf(os.Stderr, "yieldsim: %v\n", err)
 		os.Exit(1)
 	}
+}
+
+// runSharded evaluates the same experiment through the sharded mcjob
+// engine: die·wafers independent die trials under the chosen yield law,
+// split into shards, optionally checkpointed. Progress goes to stderr,
+// the report to stdout.
+func runSharded(d0, area, alpha float64, die, wafers int, seed uint64, workers, shards int, checkpoint string) error {
+	lambda, err := yield.Lambda(d0, area)
+	if err != nil {
+		return err
+	}
+	if die <= 0 || wafers <= 0 {
+		return fmt.Errorf("die per wafer and wafers must be positive, got %d and %d", die, wafers)
+	}
+	if alpha < 0 {
+		return fmt.Errorf("cluster alpha must be non-negative, got %g", alpha)
+	}
+	k, err := mcjob.NewDefectKernel(mcjob.DefectSpec{Lambda: lambda, Alpha: alpha})
+	if err != nil {
+		return err
+	}
+	res, err := mcjob.Run(context.Background(), k, mcjob.RunConfig{
+		Trials:        int64(die) * int64(wafers),
+		Shards:        shards,
+		Seed:          seed,
+		Workers:       workers,
+		CheckpointDir: checkpoint,
+		OnProgress: func(p mcjob.Progress) {
+			fmt.Fprintf(os.Stderr, "shard %d/%d done (%d/%d trials)\n",
+				p.ShardsDone, p.Shards, p.TrialsDone, p.Trials)
+		},
+	})
+	if err != nil {
+		return err
+	}
+	good, total := res.Counts["good"], res.Trials
+	fmt.Printf("λ = D0·A = %s fatal defects/die\n", report.Num(lambda))
+	fmt.Printf("sharded run: %d shards, seed %d\n", res.Shards, res.Seed)
+	fmt.Printf("measured yield: %s ± %s  (%d/%d good die)\n\n",
+		report.Num(res.Values["yield"]), report.Num(res.Values["stderr"]), good, total)
+	printModelTable(lambda, alpha, res.Values["yield"])
+	return nil
 }
 
 func run(d0, area, alpha float64, die, wafers int, seed uint64, workers int) error {
@@ -74,6 +131,13 @@ func run(d0, area, alpha float64, die, wafers int, seed uint64, workers int) err
 	fmt.Printf("λ = D0·A = %s fatal defects/die\n", report.Num(lambda))
 	fmt.Printf("measured yield: %s ± %s  (%d/%d good die)\n\n",
 		report.Num(res.Yield), report.Num(res.StdErr), res.GoodDie, res.TotalDie)
+	printModelTable(lambda, alpha, res.Yield)
+	return nil
+}
+
+// printModelTable renders the analytic-model comparison shared by both
+// run paths.
+func printModelTable(lambda, alpha, measured float64) {
 	tbl := report.NewTable("analytic models", "model", "yield", "Δ vs measured")
 	models := []yield.Model{yield.Poisson{}, yield.Murphy{}, yield.Seeds{}}
 	if alpha > 0 {
@@ -81,8 +145,7 @@ func run(d0, area, alpha float64, die, wafers int, seed uint64, workers int) err
 	}
 	for _, m := range models {
 		y := m.Yield(lambda)
-		tbl.AddRow(m.Name(), y, y-res.Yield)
+		tbl.AddRow(m.Name(), y, y-measured)
 	}
 	fmt.Println(tbl.String())
-	return nil
 }

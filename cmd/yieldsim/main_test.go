@@ -1,6 +1,9 @@
 package main
 
-import "testing"
+import (
+	"path/filepath"
+	"testing"
+)
 
 func TestRunUnclustered(t *testing.T) {
 	if err := run(0.5, 1.0, 0, 100, 50, 1, 0); err != nil {
@@ -28,6 +31,38 @@ func TestRunRejectsBadInputs(t *testing.T) {
 		t.Fatal("accepted zero wafers")
 	}
 	if err := run(0.5, 1, -1, 100, 50, 1, 0); err == nil {
+		t.Fatal("accepted negative alpha")
+	}
+}
+
+func TestRunSharded(t *testing.T) {
+	if err := runSharded(0.5, 1.0, 0, 100, 50, 1, 0, 4, ""); err != nil {
+		t.Fatal(err)
+	}
+	if err := runSharded(0.5, 1.5, 0.8, 100, 50, 2, 2, 8, ""); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunShardedCheckpointResume(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "ckpt")
+	if err := runSharded(0.5, 1.0, 0, 100, 50, 3, 0, 8, dir); err != nil {
+		t.Fatal(err)
+	}
+	// Second run over the same directory resumes every shard.
+	if err := runSharded(0.5, 1.0, 0, 100, 50, 3, 0, 8, dir); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunShardedRejectsBadInputs(t *testing.T) {
+	if err := runSharded(-1, 1, 0, 100, 50, 1, 0, 4, ""); err == nil {
+		t.Fatal("accepted negative defect density")
+	}
+	if err := runSharded(0.5, 1, 0, 0, 50, 1, 0, 4, ""); err == nil {
+		t.Fatal("accepted zero die per wafer")
+	}
+	if err := runSharded(0.5, 1, -1, 100, 50, 1, 0, 4, ""); err == nil {
 		t.Fatal("accepted negative alpha")
 	}
 }

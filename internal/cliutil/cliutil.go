@@ -1,6 +1,7 @@
 // Package cliutil holds the post-flag.Parse validation shared by every
 // command-line binary in the repository: positional arguments are
-// rejected, an explicit -workers value must be positive, profile output
+// rejected, explicit -workers and -shards values must be positive, a
+// -checkpoint directory must be writable, profile output
 // paths must be writable, and the shared observability flags
 // (-log-level, -log-format) must name known values. Centralizing the
 // checks keeps all the binaries failing the same way — a usage message
@@ -46,18 +47,22 @@ func ValidateSet(fs *flag.FlagSet, prof *profiling.Flags, o *obs.Flags) error {
 	if fs.NArg() > 0 {
 		return fmt.Errorf("unexpected positional argument %q (every input is a flag)", fs.Arg(0))
 	}
-	if fs.Lookup("workers") != nil {
-		explicit := false
-		fs.Visit(func(f *flag.Flag) {
-			if f.Name == "workers" {
-				explicit = true
-			}
-		})
-		if explicit {
-			if g, ok := fs.Lookup("workers").Value.(flag.Getter); ok {
-				if n, ok := g.Get().(int); ok && n <= 0 {
-					return fmt.Errorf("-workers must be positive when given explicitly, got %d (omit the flag to use all cores)", n)
-				}
+	if n, explicit := explicitInt(fs, "workers"); explicit && n <= 0 {
+		return fmt.Errorf("-workers must be positive when given explicitly, got %d (omit the flag to use all cores)", n)
+	}
+	// -shards mirrors -workers: the un-passed default 0 means "let the
+	// engine pick", but explicitly demanding zero or negative shards is a
+	// contradiction.
+	if n, explicit := explicitInt(fs, "shards"); explicit && n <= 0 {
+		return fmt.Errorf("-shards must be positive when given explicitly, got %d (omit the flag for the automatic shard count)", n)
+	}
+	// A checkpoint directory must be creatable and writable before the
+	// simulation starts, not discovered broken when the first shard tries
+	// to persist.
+	if f := fs.Lookup("checkpoint"); f != nil {
+		if dir := f.Value.String(); dir != "" {
+			if err := probeWritableDir(dir); err != nil {
+				return fmt.Errorf("-checkpoint directory %q is not writable: %v", dir, err)
 			}
 		}
 	}
@@ -72,4 +77,42 @@ func ValidateSet(fs *flag.FlagSet, prof *profiling.Flags, o *obs.Flags) error {
 		}
 	}
 	return nil
+}
+
+// explicitInt reports the value of an int flag and whether the user
+// passed it on the command line (fs.Visit walks only set flags).
+func explicitInt(fs *flag.FlagSet, name string) (int, bool) {
+	f := fs.Lookup(name)
+	if f == nil {
+		return 0, false
+	}
+	explicit := false
+	fs.Visit(func(v *flag.Flag) {
+		if v.Name == name {
+			explicit = true
+		}
+	})
+	if !explicit {
+		return 0, false
+	}
+	g, ok := f.Value.(flag.Getter)
+	if !ok {
+		return 0, false
+	}
+	n, ok := g.Get().(int)
+	return n, ok
+}
+
+// probeWritableDir creates dir if needed and verifies a file can be
+// written in it, deleting the probe afterwards.
+func probeWritableDir(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	probe, err := os.CreateTemp(dir, ".probe-*")
+	if err != nil {
+		return err
+	}
+	probe.Close()
+	return os.Remove(probe.Name())
 }

@@ -3,6 +3,7 @@ package cliutil
 import (
 	"flag"
 	"io"
+	"os"
 	"path/filepath"
 	"strings"
 	"testing"
@@ -11,13 +12,16 @@ import (
 	"repro/internal/profiling"
 )
 
-// newSet builds a parsed flag set resembling the binaries': a -workers int
-// flag plus whatever arguments the test passes on the command line.
+// newSet builds a parsed flag set resembling the binaries': -workers,
+// -shards and -checkpoint flags plus whatever arguments the test passes
+// on the command line.
 func newSet(t *testing.T, argv ...string) *flag.FlagSet {
 	t.Helper()
 	fs := flag.NewFlagSet("test", flag.ContinueOnError)
 	fs.SetOutput(io.Discard)
 	fs.Int("workers", 0, "worker goroutines (0 = all cores)")
+	fs.Int("shards", 0, "shard count (0 = automatic)")
+	fs.String("checkpoint", "", "checkpoint directory")
 	if err := fs.Parse(argv); err != nil {
 		t.Fatalf("parse %v: %v", argv, err)
 	}
@@ -35,6 +39,11 @@ func TestValidateSet(t *testing.T) {
 		{"workers positive", []string{"-workers", "4"}, ""},
 		{"workers zero explicit", []string{"-workers", "0"}, "-workers"},
 		{"workers negative", []string{"-workers", "-3"}, "-workers"},
+		{"shards default", []string{}, ""},
+		{"shards positive", []string{"-shards", "64"}, ""},
+		{"shards zero explicit", []string{"-shards", "0"}, "-shards"},
+		{"shards negative", []string{"-shards", "-8"}, "-shards"},
+		{"checkpoint empty", []string{"-checkpoint", ""}, ""},
 		{"positional arg", []string{"stray"}, "positional"},
 		{"positional after flag", []string{"-workers", "2", "stray"}, "positional"},
 	}
@@ -77,6 +86,29 @@ func TestValidateSetProfilePath(t *testing.T) {
 	bad := profFlags(t, filepath.Join(t.TempDir(), "missing-dir", "cpu.out"))
 	if err := ValidateSet(newSet(t), bad, nil); err == nil {
 		t.Fatal("unwritable profile path accepted")
+	}
+}
+
+// TestValidateSetCheckpointDir: a creatable checkpoint directory passes
+// (and is created by the probe), an uncreatable one is a usage error.
+func TestValidateSetCheckpointDir(t *testing.T) {
+	good := filepath.Join(t.TempDir(), "ckpt", "nested")
+	if err := ValidateSet(newSet(t, "-checkpoint", good), nil, nil); err != nil {
+		t.Fatalf("creatable checkpoint dir rejected: %v", err)
+	}
+	if fi, err := os.Stat(good); err != nil || !fi.IsDir() {
+		t.Fatalf("probe did not create %s: %v", good, err)
+	}
+
+	// A path under a regular file can never become a directory.
+	file := filepath.Join(t.TempDir(), "occupied")
+	if err := os.WriteFile(file, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	bad := filepath.Join(file, "sub")
+	err := ValidateSet(newSet(t, "-checkpoint", bad), nil, nil)
+	if err == nil || !strings.Contains(err.Error(), "-checkpoint") {
+		t.Fatalf("unwritable checkpoint dir: err = %v, want -checkpoint usage error", err)
 	}
 }
 

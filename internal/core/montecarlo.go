@@ -275,6 +275,89 @@ func (k *mcKernel) draw(r *stats.RNG, dists *[5]Dist) (float64, bool) {
 // affect the sampled values.
 var mcTuner parallel.ChunkTuner
 
+// MCChunkTally is the outcome of one Monte Carlo chunk evaluated by
+// MCEvaluator.Chunk. Every float accumulator is folded left-to-right in
+// draw order, so two evaluations of the same chunk from the same stream
+// are bit-identical, and a merger that folds chunk tallies in canonical
+// chunk order reproduces a serial run's totals exactly.
+type MCChunkTally struct {
+	Accepted int
+	Redraws  int
+	Sum      float64
+	Sum2     float64
+	Min      float64
+	Max      float64
+}
+
+// MCEvaluator is the prepared chunk-at-a-time form of the Monte Carlo
+// engine: the base scenario validated and hoisted into an mcKernel once,
+// ready to evaluate any number of independent chunks. The sharded job
+// engine (internal/mcjob) uses it to spread one giga-trial cost study
+// over shards without materializing per-sample slices.
+type MCEvaluator struct {
+	k     mcKernel
+	dists [5]Dist
+}
+
+// Evaluator validates u and returns the prepared per-chunk evaluator.
+// The validation is exactly MonteCarloRunCtx's: base scenario first, then
+// each effective input distribution.
+func (u UncertainScenario) Evaluator() (*MCEvaluator, error) {
+	if err := u.Base.Validate(); err != nil {
+		return nil, err
+	}
+	dists := [5]Dist{
+		orFixed(u.Yield, u.Base.Process.Yield),
+		orFixed(u.CmSq, u.Base.Process.CostPerCM2),
+		orFixed(u.Sd, u.Base.Design.Sd),
+		orFixed(u.Wafers, u.Base.Wafers),
+		orFixed(u.MaskCost, u.Base.MaskCost),
+	}
+	for _, d := range dists {
+		if err := d.Validate(); err != nil {
+			return nil, err
+		}
+	}
+	return &MCEvaluator{k: newMCKernel(u.Base), dists: dists}, nil
+}
+
+// Chunk draws n accepted cost samples from r — the identical accept/
+// reject loop MonteCarloRunCtx runs per chunk, consuming the stream in
+// the same order — and returns their running tally. It fails like the
+// run does: a non-finite accepted total or a sample exhausting
+// mcMaxAttempts aborts the chunk.
+func (e *MCEvaluator) Chunk(r *stats.RNG, n int) (MCChunkTally, error) {
+	t := MCChunkTally{Min: math.Inf(1), Max: math.Inf(-1)}
+	for i := 0; i < n; i++ {
+		ok := false
+		for attempt := 0; attempt < mcMaxAttempts; attempt++ {
+			total, accepted := e.k.draw(r, &e.dists)
+			if accepted {
+				if !finite(total) {
+					return MCChunkTally{}, fmt.Errorf("core: MonteCarlo produced non-finite cost %v from an accepted draw", total)
+				}
+				t.Accepted++
+				t.Sum += total
+				t.Sum2 += total * total
+				if total < t.Min {
+					t.Min = total
+				}
+				if total > t.Max {
+					t.Max = total
+				}
+				ok = true
+				break
+			}
+			t.Redraws++
+		}
+		if !ok {
+			return MCChunkTally{}, fmt.Errorf("core: MonteCarlo could not draw a valid sample in %d attempts (distributions mostly outside the model domain; %d rejected draws in this chunk alone)",
+				mcMaxAttempts, t.Redraws)
+		}
+	}
+	return t, nil
+}
+
 // MonteCarloRun is the engine underneath MonteCarlo and
 // MonteCarloSamples: it shards the n samples into fixed chunks of
 // mcChunkSize, drives each chunk from its own guaranteed-disjoint RNG

@@ -300,3 +300,67 @@ func TestMonteCarloSamplesSpanChunkBoundary(t *testing.T) {
 		}
 	}
 }
+
+func TestMCEvaluatorChunkMatchesDrawOnce(t *testing.T) {
+	// The chunk evaluator must consume the stream and fold its tally in
+	// exactly the scalar reference's order: same accept/reject decisions,
+	// same accepted totals, same final stream state. The s_d range
+	// straddles s_d0 so the redraw path is exercised too.
+	s := figure4Scenario(5000, 0.8)
+	u := UncertainScenario{
+		Base:  s,
+		Yield: Uniform(0.3, 0.9),
+		CmSq:  LogNormal(8, 1.4),
+		Sd:    Uniform(50, 400),
+	}
+	e, err := u.Evaluator()
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 700
+	a, b := stats.NewRNG(99), stats.NewRNG(99)
+	got, err := e.Chunk(a, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := MCChunkTally{Min: math.Inf(1), Max: math.Inf(-1)}
+	for i := 0; i < n; i++ {
+		for {
+			total, accepted := u.drawOnce(b, &e.dists)
+			if accepted {
+				want.Accepted++
+				want.Sum += total
+				want.Sum2 += total * total
+				want.Min = math.Min(want.Min, total)
+				want.Max = math.Max(want.Max, total)
+				break
+			}
+			want.Redraws++
+		}
+	}
+	if got.Accepted != n || got.Accepted != want.Accepted || got.Redraws != want.Redraws {
+		t.Fatalf("counts: got %+v, want %+v", got, want)
+	}
+	for _, pair := range [][2]float64{
+		{got.Sum, want.Sum}, {got.Sum2, want.Sum2}, {got.Min, want.Min}, {got.Max, want.Max},
+	} {
+		if math.Float64bits(pair[0]) != math.Float64bits(pair[1]) {
+			t.Fatalf("tally diverged: got %+v, want %+v", got, want)
+		}
+	}
+	if a.Uint64() != b.Uint64() {
+		t.Fatal("chunk evaluator left the stream in a different state than the scalar path")
+	}
+}
+
+func TestMCEvaluatorHopelessDomainErrors(t *testing.T) {
+	s := figure4Scenario(5000, 0.8)
+	u := UncertainScenario{Base: s, Sd: Uniform(10, 50)} // entirely below s_d0
+	e, err := u.Evaluator()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Chunk(stats.NewRNG(1), 10); err == nil {
+		t.Fatal("chunk accepted distributions entirely outside the domain")
+	}
+}

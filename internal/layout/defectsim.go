@@ -52,6 +52,72 @@ type DefectSimResult struct {
 // yield is bit-identical for every worker count.
 const defectSimChunk = 1024
 
+// DefectThrower is the prepared chunk-at-a-time kernel behind
+// SimulateDefects: layout geometry flattened once, exp(-mean) hoisted
+// once, ready to evaluate any number of independent trial chunks. The
+// sharded job engine (internal/mcjob) uses it to spread one giga-trial
+// geometric simulation over shards; SimulateDefects drives it through
+// the in-process worker pool.
+type DefectThrower struct {
+	flat    []float64
+	w, h    float64
+	mean    float64
+	expMean float64
+	sampler func(*stats.RNG) float64
+}
+
+// NewDefectThrower validates the inputs and prepares the kernel. The
+// sampler must be pure: Throw is called concurrently from many chunks.
+func NewDefectThrower(l *Layout, layer Layer, meanDefects float64, sampler func(*stats.RNG) float64) (*DefectThrower, error) {
+	if err := l.Validate(); err != nil {
+		return nil, err
+	}
+	if meanDefects < 0 {
+		return nil, fmt.Errorf("layout: defect rate must be non-negative, got %v", meanDefects)
+	}
+	if sampler == nil {
+		return nil, fmt.Errorf("layout: defect size sampler required")
+	}
+	// Flatten the rect coordinates to float64 once: IsFatal converts four
+	// int fields per rect per defect; the flat buffer pays the conversion
+	// once per run. int→float64 conversion is exact on layout coordinates,
+	// so the flat test is bit-identical to IsFatal.
+	return &DefectThrower{
+		flat: flattenRects(l.LayerRects(layer)),
+		w:    float64(l.Width), h: float64(l.Height),
+		mean: meanDefects,
+		// The Poisson rate is constant across every trial: hoist exp(-mean)
+		// out of the trial loop (PoissonL keeps the draw sequence identical).
+		expMean: math.Exp(-meanDefects),
+		sampler: sampler,
+	}, nil
+}
+
+// Throw evaluates trials die drawn from r: per die a Poisson number of
+// defects land uniformly on the bounding box with sampled diameters, and
+// the die is killed if any defect is fatal per IsFatal. The stream is
+// consumed in exactly SimulateDefects' per-trial order, so a chunk
+// evaluated here is bit-identical to the same chunk inside a full run.
+func (dt *DefectThrower) Throw(r *stats.RNG, trials int) (killed, defects int) {
+	for t := 0; t < trials; t++ {
+		n := r.PoissonL(dt.mean, dt.expMean)
+		defects += n
+		dead := false
+		for d := 0; d < n && !dead; d++ {
+			x := r.Range(0, dt.w)
+			y := r.Range(0, dt.h)
+			size := dt.sampler(r)
+			if isFatalFlat(dt.flat, x, y, size) {
+				dead = true
+			}
+		}
+		if dead {
+			killed++
+		}
+	}
+	return killed, defects
+}
+
 // SimulateDefects runs the geometric Monte Carlo: per trial (die), a
 // Poisson number of defects land uniformly on the bounding box with
 // sampled diameters; the die dies if any defect is fatal per IsFatal.
@@ -66,38 +132,17 @@ func SimulateDefects(l *Layout, c DefectSimConfig) (DefectSimResult, error) {
 	if err := c.Validate(); err != nil {
 		return DefectSimResult{}, err
 	}
-	rects := l.LayerRects(c.Layer)
-	// Flatten the rect coordinates to float64 once: IsFatal converts four
-	// int fields per rect per defect; the flat buffer pays the conversion
-	// once per run. int→float64 conversion is exact on layout coordinates,
-	// so the flat test is bit-identical to IsFatal.
-	flat := flattenRects(rects)
-	// The Poisson rate is constant across every trial: hoist exp(-mean)
-	// out of the trial loop (PoissonL keeps the draw sequence identical).
-	expMean := math.Exp(-c.MeanDefects)
-	w, h := float64(l.Width), float64(l.Height)
+	thrower, err := NewDefectThrower(l, c.Layer, c.MeanDefects, c.SizeSampler)
+	if err != nil {
+		return DefectSimResult{}, err
+	}
 	chunks := parallel.Chunks(c.Trials, defectSimChunk)
 	streams := stats.NewRNG(c.Seed).SplitN(chunks)
 	type tally struct{ killed, defects int }
 	counts := make([]tally, chunks)
-	err := parallel.ForEachChunkTuned(context.Background(), c.Trials, defectSimChunk, c.Workers, &defectSimTuner, func(chunk, lo, hi int) error {
-		r := streams[chunk]
-		for t := lo; t < hi; t++ {
-			n := r.PoissonL(c.MeanDefects, expMean)
-			counts[chunk].defects += n
-			dead := false
-			for d := 0; d < n && !dead; d++ {
-				x := r.Range(0, w)
-				y := r.Range(0, h)
-				size := c.SizeSampler(r)
-				if isFatalFlat(flat, x, y, size) {
-					dead = true
-				}
-			}
-			if dead {
-				counts[chunk].killed++
-			}
-		}
+	err = parallel.ForEachChunkTuned(context.Background(), c.Trials, defectSimChunk, c.Workers, &defectSimTuner, func(chunk, lo, hi int) error {
+		k, d := thrower.Throw(streams[chunk], hi-lo)
+		counts[chunk] = tally{killed: k, defects: d}
 		return nil
 	})
 	if err != nil {

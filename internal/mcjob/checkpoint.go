@@ -1,0 +1,184 @@
+package mcjob
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// checkpointVersion gates the on-disk layout; a bump invalidates old
+// directories instead of misreading them.
+const checkpointVersion = 1
+
+// ErrCheckpointMismatch reports a checkpoint directory written by a
+// different job spec: resuming it would merge tallies drawn from other
+// streams, so the run refuses instead.
+var ErrCheckpointMismatch = errors.New("mcjob: checkpoint belongs to a different job spec")
+
+// manifest pins everything that determines the draw streams and chunk
+// geometry. Two runs may share a checkpoint directory only if all of it
+// matches.
+type manifest struct {
+	Version     int    `json:"version"`
+	Kind        string `json:"kind"`
+	Trials      int64  `json:"trials"`
+	ChunkTrials int64  `json:"chunk_trials"`
+	Shards      int    `json:"shards"`
+	Seed        uint64 `json:"seed"`
+	SpecHash    string `json:"spec_hash,omitempty"`
+}
+
+// shardRecord is one line of the append-only shard log: a completed
+// shard's index and its per-chunk partials in chunk order.
+type shardRecord struct {
+	Shard  int       `json:"shard"`
+	Chunks []Partial `json:"chunks"`
+}
+
+// checkpoint is the on-disk state of a run: MANIFEST.json (written once,
+// atomically via tmp+rename) plus shards.ndjson, an append-only log with
+// one shardRecord per completed shard, fsynced per append so a crash
+// loses at most the shard being written — and a torn final line is
+// skipped on load, never trusted.
+type checkpoint struct {
+	mu  sync.Mutex
+	f   *os.File
+	buf []byte
+}
+
+const (
+	manifestName = "MANIFEST.json"
+	shardLogName = "shards.ndjson"
+)
+
+// openCheckpoint creates or resumes the checkpoint directory: the
+// manifest is verified (or written on first open), the shard log is
+// replayed into a shard→partials map, and the log is reopened for
+// appending. Records that are torn, malformed, out of range or
+// inconsistent with the plan are dropped — those shards simply rerun.
+func openCheckpoint(dir string, m manifest, p plan) (*checkpoint, map[int][]Partial, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, nil, fmt.Errorf("mcjob: checkpoint dir: %w", err)
+	}
+	mPath := filepath.Join(dir, manifestName)
+	existing, err := os.ReadFile(mPath)
+	switch {
+	case err == nil:
+		var got manifest
+		if jsonErr := json.Unmarshal(existing, &got); jsonErr != nil || got != m {
+			return nil, nil, fmt.Errorf("%w: %s holds %s, this run needs %s",
+				ErrCheckpointMismatch, mPath, describeManifest(existing, got), describeManifest(nil, m))
+		}
+	case os.IsNotExist(err):
+		if err := writeFileAtomic(mPath, mustJSON(m)); err != nil {
+			return nil, nil, fmt.Errorf("mcjob: write manifest: %w", err)
+		}
+	default:
+		return nil, nil, fmt.Errorf("mcjob: read manifest: %w", err)
+	}
+
+	restored := map[int][]Partial{}
+	logPath := filepath.Join(dir, shardLogName)
+	if rf, err := os.Open(logPath); err == nil {
+		sc := bufio.NewScanner(rf)
+		sc.Buffer(make([]byte, 0, 1<<20), 64<<20)
+		for sc.Scan() {
+			var rec shardRecord
+			if json.Unmarshal(sc.Bytes(), &rec) != nil {
+				continue // torn or corrupt line: rerun that shard
+			}
+			if rec.Shard < 0 || rec.Shard >= p.shards {
+				continue
+			}
+			lo, hi := p.shardChunks(rec.Shard)
+			if len(rec.Chunks) != hi-lo {
+				continue
+			}
+			restored[rec.Shard] = rec.Chunks
+		}
+		rf.Close()
+		if err := sc.Err(); err != nil && !errors.Is(err, bufio.ErrTooLong) {
+			return nil, nil, fmt.Errorf("mcjob: read shard log: %w", err)
+		}
+	} else if !os.IsNotExist(err) {
+		return nil, nil, fmt.Errorf("mcjob: open shard log: %w", err)
+	}
+
+	f, err := os.OpenFile(logPath, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		return nil, nil, fmt.Errorf("mcjob: append shard log: %w", err)
+	}
+	return &checkpoint{f: f}, restored, nil
+}
+
+// writeShard appends one completed shard and fsyncs, so an acknowledged
+// shard survives a kill -9.
+func (c *checkpoint) writeShard(s int, parts []Partial) error {
+	line, err := json.Marshal(shardRecord{Shard: s, Chunks: parts})
+	if err != nil {
+		return fmt.Errorf("mcjob: encode shard %d: %w", s, err)
+	}
+	line = append(line, '\n')
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, err := c.f.Write(line); err != nil {
+		return fmt.Errorf("mcjob: append shard %d: %w", s, err)
+	}
+	if err := c.f.Sync(); err != nil {
+		return fmt.Errorf("mcjob: sync shard log: %w", err)
+	}
+	return nil
+}
+
+func (c *checkpoint) close() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.f.Close()
+}
+
+// writeFileAtomic writes via a temp file and rename, so a crashed writer
+// never leaves a half-written manifest for the next run to misparse.
+func writeFileAtomic(path string, data []byte) error {
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".tmp-manifest-*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}
+
+func mustJSON(v any) []byte {
+	b, err := json.Marshal(v)
+	if err != nil {
+		panic(err)
+	}
+	return append(b, '\n')
+}
+
+// describeManifest renders a manifest for the mismatch error: the raw
+// bytes if they did not even parse, else the structured summary.
+func describeManifest(raw []byte, m manifest) string {
+	if m == (manifest{}) && len(raw) > 0 {
+		if len(raw) > 120 {
+			raw = raw[:120]
+		}
+		return fmt.Sprintf("unparseable %q", raw)
+	}
+	return fmt.Sprintf("{kind=%s trials=%d chunk=%d shards=%d seed=%d spec=%s}",
+		m.Kind, m.Trials, m.ChunkTrials, m.Shards, m.Seed, m.SpecHash)
+}

@@ -3,6 +3,7 @@ package obs
 import (
 	"fmt"
 	"io"
+	"math"
 	"runtime"
 	"sort"
 	"strconv"
@@ -218,6 +219,34 @@ func (g *Gauge) Value() int64 { return g.v.Load() }
 func (g *Gauge) write(w io.Writer) {
 	writeHeader(w, g.name, g.help, "gauge")
 	fmt.Fprintf(w, "%s %d\n", g.name, g.v.Load())
+}
+
+// FloatGauge is a settable float64 metric, for rate-style instruments
+// (trials/sec of a running simulation job) where the producer pushes a
+// computed value rather than the registry sampling one at scrape time.
+// The value is stored as raw float64 bits in a single atomic word, so
+// Set and Value are wait-free.
+type FloatGauge struct {
+	name, help string
+	bits       atomic.Uint64
+}
+
+// NewFloatGauge registers and returns a scalar float64 gauge.
+func (r *Registry) NewFloatGauge(name, help string) *FloatGauge {
+	g := &FloatGauge{name: name, help: help}
+	r.register(g, name)
+	return g
+}
+
+// Set stores v.
+func (g *FloatGauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Value returns the current value.
+func (g *FloatGauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+func (g *FloatGauge) write(w io.Writer) {
+	writeHeader(w, g.name, g.help, "gauge")
+	fmt.Fprintf(w, "%s %s\n", g.name, formatFloat(g.Value()))
 }
 
 // gaugeFunc samples a float64 at scrape time.

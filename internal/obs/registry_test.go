@@ -55,6 +55,12 @@ func TestRegistryExposition(t *testing.T) {
 	g.Add(5)
 	g.Add(-2)
 	r.NewGaugeFunc("demo_ratio", "Computed at scrape.", func() float64 { return 0.25 })
+	fg := r.NewFloatGauge("demo_rate", "Pushed rate.")
+	fg.Set(12.5)
+	fg.Set(1234567.25)
+	if got := fg.Value(); got != 1234567.25 {
+		t.Fatalf("FloatGauge.Value() = %v", got)
+	}
 	h := r.NewHistogramOn("demo_seconds", "Latency.", []float64{0.01, 0.1, 1})
 	for _, v := range []float64{0.005, 0.05, 0.5, 5} {
 		h.Observe(v)
@@ -75,6 +81,7 @@ func TestRegistryExposition(t *testing.T) {
 		"demo_results_total":           "counter",
 		"demo_in_flight":               "gauge",
 		"demo_ratio":                   "gauge",
+		"demo_rate":                    "gauge",
 		"demo_seconds":                 "histogram",
 		"demo_span_seconds":            "histogram",
 		"go_goroutines":                "gauge",
@@ -92,6 +99,7 @@ func TestRegistryExposition(t *testing.T) {
 		`demo_results_total{route="we\"ird\\npath\n",code="400"} 1`,
 		"demo_in_flight 3",
 		"demo_ratio 0.25",
+		"demo_rate 1.23456725e+06",
 		`demo_seconds_bucket{le="0.01"} 1`,
 		`demo_seconds_bucket{le="0.1"} 2`,
 		`demo_seconds_bucket{le="1"} 3`,

@@ -1,0 +1,576 @@
+package serve
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/mcjob"
+	"repro/internal/yield"
+)
+
+// maxTrackedJobs bounds the in-memory job table. Terminal jobs beyond
+// the cap are evicted oldest-first; running jobs are never evicted.
+const maxTrackedJobs = 64
+
+// maxJobTrials bounds one job's trial count (10¹¹ ≈ a day of sharded
+// compute); anything larger is a typo, not a plan.
+const maxJobTrials int64 = 100_000_000_000
+
+// maxWaferMapTrials bounds wafer-map lots: each trial simulates a whole
+// wafer, and the per-wafer cluster scales are precomputed per lot.
+const maxWaferMapTrials int64 = 10_000_000
+
+// distJSON is the wire form of a core.Dist for job specs: exactly one
+// of the three shapes, selected by kind.
+type distJSON struct {
+	Kind   string  `json:"kind"` // "fixed" | "uniform" | "lognormal"
+	Value  float64 `json:"value,omitempty"`
+	Lo     float64 `json:"lo,omitempty"`
+	Hi     float64 `json:"hi,omitempty"`
+	Median float64 `json:"median,omitempty"`
+	Sigma  float64 `json:"sigma,omitempty"`
+}
+
+func (d *distJSON) toDist() (core.Dist, error) {
+	if d == nil {
+		return core.Dist{}, nil // unset: the scenario's point value
+	}
+	var dist core.Dist
+	switch d.Kind {
+	case "fixed":
+		dist = core.Fixed(d.Value)
+	case "uniform":
+		dist = core.Uniform(d.Lo, d.Hi)
+	case "lognormal":
+		dist = core.LogNormal(d.Median, d.Sigma)
+	default:
+		return core.Dist{}, fmt.Errorf("unknown distribution kind %q (want fixed, uniform or lognormal)", d.Kind)
+	}
+	if err := dist.Validate(); err != nil {
+		return core.Dist{}, err
+	}
+	return dist, nil
+}
+
+// mcJobSpecJSON is the montecarlo job kind's spec: the shared scenario
+// shape plus optional input distributions.
+type mcJobSpecJSON struct {
+	Scenario scenarioJSON `json:"scenario"`
+	Yield    *distJSON    `json:"yield,omitempty"`
+	CmSq     *distJSON    `json:"cm_sq,omitempty"`
+	Sd       *distJSON    `json:"sd,omitempty"`
+	Wafers   *distJSON    `json:"wafers,omitempty"`
+	MaskCost *distJSON    `json:"mask_cost,omitempty"`
+}
+
+// waferMapJobJSON is the wafermap job kind's spec; the lot size is the
+// job's trial count.
+type waferMapJobJSON struct {
+	UsableRadiusMM float64 `json:"usable_radius_mm"`
+	DieWMM         float64 `json:"die_w_mm"`
+	DieHMM         float64 `json:"die_h_mm"`
+	Lambda         float64 `json:"lambda"`
+	EdgeFactor     float64 `json:"edge_factor,omitempty"`
+	ClusterAlpha   float64 `json:"cluster_alpha,omitempty"`
+}
+
+// jobRequest is the POST /v1/jobs body: common run parameters plus
+// exactly one kind-specific spec matching Kind.
+type jobRequest struct {
+	Kind         string                  `json:"kind"`
+	Trials       int64                   `json:"trials"`
+	Shards       int                     `json:"shards,omitempty"`
+	Seed         uint64                  `json:"seed,omitempty"`
+	Checkpoint   bool                    `json:"checkpoint,omitempty"`
+	Defect       *mcjob.DefectSpec       `json:"defect,omitempty"`
+	LayoutDefect *mcjob.LayoutDefectSpec `json:"layout_defect,omitempty"`
+	MonteCarlo   *mcJobSpecJSON          `json:"montecarlo,omitempty"`
+	WaferMap     *waferMapJobJSON        `json:"wafermap,omitempty"`
+}
+
+// buildKernel validates req and constructs its kernel. Every failure is
+// a 400.
+func buildKernel(req jobRequest) (mcjob.Kernel, error) {
+	specs := 0
+	for _, set := range []bool{req.Defect != nil, req.LayoutDefect != nil, req.MonteCarlo != nil, req.WaferMap != nil} {
+		if set {
+			specs++
+		}
+	}
+	if specs != 1 {
+		return nil, badRequest(fmt.Errorf("job must carry exactly one kind spec, got %d", specs))
+	}
+	if req.Trials <= 0 || req.Trials > maxJobTrials {
+		return nil, badRequest(fmt.Errorf("trials must be in [1, %d], got %d", maxJobTrials, req.Trials))
+	}
+	if req.Shards < 0 || req.Shards > 1<<20 {
+		return nil, badRequest(fmt.Errorf("shards must be in [0, %d], got %d", 1<<20, req.Shards))
+	}
+	var (
+		k   mcjob.Kernel
+		err error
+	)
+	switch {
+	case req.Kind == "defect" && req.Defect != nil:
+		k, err = mcjob.NewDefectKernel(*req.Defect)
+	case req.Kind == "layoutdefect" && req.LayoutDefect != nil:
+		k, err = mcjob.NewLayoutDefectKernel(*req.LayoutDefect)
+	case req.Kind == "montecarlo" && req.MonteCarlo != nil:
+		k, err = buildCostKernel(*req.MonteCarlo)
+	case req.Kind == "wafermap" && req.WaferMap != nil:
+		if req.Trials > maxWaferMapTrials {
+			return nil, badRequest(fmt.Errorf("wafermap trials (wafers) must be at most %d, got %d", maxWaferMapTrials, req.Trials))
+		}
+		w := *req.WaferMap
+		k, err = mcjob.NewWaferMapKernel(yield.WaferMapConfig{
+			UsableRadiusMM: w.UsableRadiusMM, DieWMM: w.DieWMM, DieHMM: w.DieHMM,
+			Lambda: w.Lambda, EdgeFactor: w.EdgeFactor, ClusterAlpha: w.ClusterAlpha,
+			Wafers: int(req.Trials), Seed: req.Seed,
+		})
+	default:
+		return nil, badRequest(fmt.Errorf("kind %q does not match the supplied spec (want defect, layoutdefect, montecarlo or wafermap)", req.Kind))
+	}
+	if err != nil {
+		return nil, badRequest(err)
+	}
+	return k, nil
+}
+
+func buildCostKernel(spec mcJobSpecJSON) (mcjob.Kernel, error) {
+	base, err := spec.Scenario.toScenario()
+	if err != nil {
+		return nil, err
+	}
+	u := core.UncertainScenario{Base: base}
+	for _, bind := range []struct {
+		src *distJSON
+		dst *core.Dist
+	}{
+		{spec.Yield, &u.Yield}, {spec.CmSq, &u.CmSq}, {spec.Sd, &u.Sd},
+		{spec.Wafers, &u.Wafers}, {spec.MaskCost, &u.MaskCost},
+	} {
+		d, err := bind.src.toDist()
+		if err != nil {
+			return nil, badRequest(err)
+		}
+		*bind.dst = d
+	}
+	return mcjob.NewCostKernel(u)
+}
+
+// jobID derives the job's identity from the canonical re-marshaled spec:
+// the same spec always maps to the same job, which is what makes submits
+// idempotent and lets a restarted daemon resume a checkpointed job when
+// the client re-submits. Returns (short id, full spec hash).
+func jobID(req jobRequest) (string, string) {
+	canonical, err := json.Marshal(req)
+	if err != nil {
+		// Unreachable: jobRequest is plain data. Fall back to an empty
+		// hash rather than panicking in a handler.
+		canonical = nil
+	}
+	sum := sha256.Sum256(canonical)
+	full := hex.EncodeToString(sum[:])
+	return full[:16], full
+}
+
+// job is one tracked simulation job.
+type job struct {
+	id         string
+	kind       string
+	trials     int64
+	checkpoint bool
+	done       chan struct{}
+	cancel     context.CancelFunc
+
+	mu          sync.Mutex
+	state       string // "running" | "done" | "failed" | "cancelled"
+	prog        mcjob.Progress
+	started     time.Time
+	finished    time.Time
+	resultBytes []byte
+	errMsg      string
+}
+
+// resultEnvelope is the GET /v1/jobs/{id}/result body. It contains no
+// timing, so for a fixed spec the bytes are identical across runs,
+// restarts and resumes.
+type resultEnvelope struct {
+	ID     string       `json:"id"`
+	Kind   string       `json:"kind"`
+	Result mcjob.Result `json:"result"`
+}
+
+// jobStatusJSON is the GET /v1/jobs/{id} body and the NDJSON progress
+// stream's line shape.
+type jobStatusJSON struct {
+	ID            string  `json:"id"`
+	Kind          string  `json:"kind"`
+	State         string  `json:"state"`
+	Trials        int64   `json:"trials"`
+	TrialsDone    int64   `json:"trials_done"`
+	Shards        int     `json:"shards"`
+	ShardsDone    int     `json:"shards_done"`
+	ShardsResumed int     `json:"shards_resumed,omitempty"`
+	Checkpoint    bool    `json:"checkpoint,omitempty"`
+	ElapsedSec    float64 `json:"elapsed_sec"`
+	TrialsPerSec  float64 `json:"trials_per_sec,omitempty"`
+	EtaSec        float64 `json:"eta_sec,omitempty"`
+	Error         string  `json:"error,omitempty"`
+	ResultURL     string  `json:"result_url,omitempty"`
+}
+
+// status renders a point-in-time snapshot. Rates count only trials
+// evaluated by this process — resumed shards were paid for by a
+// previous run and would otherwise inflate trials/sec and collapse the
+// ETA.
+func (j *job) status() jobStatusJSON {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	end := j.finished
+	if end.IsZero() {
+		end = time.Now()
+	}
+	elapsed := end.Sub(j.started).Seconds()
+	st := jobStatusJSON{
+		ID: j.id, Kind: j.kind, State: j.state,
+		Trials: j.trials, TrialsDone: j.prog.TrialsDone,
+		Shards: j.prog.Shards, ShardsDone: j.prog.ShardsDone,
+		ShardsResumed: j.prog.ShardsResumed,
+		Checkpoint:    j.checkpoint,
+		ElapsedSec:    elapsed,
+		Error:         j.errMsg,
+	}
+	if live := j.prog.TrialsDone - j.prog.TrialsResumed; live > 0 && elapsed > 0 {
+		st.TrialsPerSec = float64(live) / elapsed
+		if j.state == "running" {
+			st.EtaSec = float64(j.trials-j.prog.TrialsDone) / st.TrialsPerSec
+		}
+	}
+	if j.state == "done" {
+		st.ResultURL = "/v1/jobs/" + j.id + "/result"
+	}
+	return st
+}
+
+// terminal reports whether the job has finished (in any way).
+func (j *job) terminal() bool {
+	select {
+	case <-j.done:
+		return true
+	default:
+		return false
+	}
+}
+
+// jobManager owns the job table and the background runners. It is
+// created with the server and drained after the HTTP listener.
+type jobManager struct {
+	log        *slog.Logger
+	metrics    *metrics
+	dir        string
+	maxRunning int
+
+	baseCtx   context.Context
+	cancelAll context.CancelFunc
+	wg        sync.WaitGroup
+	stopOnce  sync.Once
+
+	mu      sync.Mutex
+	jobs    map[string]*job
+	order   []string // insertion order, for eviction
+	running int
+}
+
+func newJobManager(dir string, maxRunning int, m *metrics, log *slog.Logger) *jobManager {
+	ctx, cancel := context.WithCancel(context.Background())
+	return &jobManager{
+		log: log, metrics: m, dir: dir, maxRunning: maxRunning,
+		baseCtx: ctx, cancelAll: cancel,
+		jobs: map[string]*job{},
+	}
+}
+
+// startOrAttach returns the job for req, creating and starting it if it
+// is not already tracked. The bool reports whether a new job was
+// created.
+func (m *jobManager) startOrAttach(req jobRequest) (*job, bool, error) {
+	if req.Checkpoint && m.dir == "" {
+		return nil, false, badRequest(fmt.Errorf("checkpointing requires the daemon to run with -job-dir"))
+	}
+	k, err := buildKernel(req)
+	if err != nil {
+		return nil, false, err
+	}
+	id, specHash := jobID(req)
+
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if existing, ok := m.jobs[id]; ok {
+		return existing, false, nil
+	}
+	if m.running >= m.maxRunning {
+		return nil, false, &apiError{status: http.StatusTooManyRequests, code: "jobs_saturated",
+			err: fmt.Errorf("server at its %d-job concurrency limit", m.maxRunning)}
+	}
+	if err := m.baseCtx.Err(); err != nil {
+		return nil, false, fmt.Errorf("job manager shutting down")
+	}
+
+	runCtx, cancel := context.WithCancel(m.baseCtx)
+	j := &job{
+		id: id, kind: k.Kind(), trials: req.Trials,
+		checkpoint: req.Checkpoint,
+		done:       make(chan struct{}),
+		cancel:     cancel,
+		state:      "running",
+		started:    time.Now(),
+	}
+	cfg := mcjob.RunConfig{
+		Trials: req.Trials, Shards: req.Shards, Seed: req.Seed,
+		SpecHash: specHash,
+		OnProgress: func(p mcjob.Progress) {
+			j.mu.Lock()
+			j.prog = p
+			elapsed := time.Since(j.started).Seconds()
+			j.mu.Unlock()
+			if p.LastShard >= 0 {
+				m.metrics.jobShardSeconds.Observe(p.LastShardSeconds)
+			}
+			if live := p.TrialsDone - p.TrialsResumed; live > 0 && elapsed > 0 {
+				m.metrics.jobTrialsPerSec.Set(float64(live) / elapsed)
+			}
+		},
+	}
+	if req.Checkpoint {
+		cfg.CheckpointDir = filepath.Join(m.dir, id)
+	}
+
+	m.jobs[id] = j
+	m.order = append(m.order, id)
+	m.evictLocked()
+	m.running++
+	m.metrics.jobsTotal.With("submitted").Inc()
+	m.wg.Add(1)
+	go m.run(runCtx, j, k, cfg)
+	return j, true, nil
+}
+
+// run executes the job to a terminal state.
+func (m *jobManager) run(ctx context.Context, j *job, k mcjob.Kernel, cfg mcjob.RunConfig) {
+	defer m.wg.Done()
+	defer close(j.done)
+	var (
+		res    mcjob.Result
+		runErr error
+	)
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				runErr = fmt.Errorf("job panicked: %v", r)
+			}
+		}()
+		res, runErr = mcjob.Run(ctx, k, cfg)
+	}()
+
+	j.mu.Lock()
+	j.finished = time.Now()
+	state := "done"
+	switch {
+	case runErr == nil:
+		body, err := json.Marshal(resultEnvelope{ID: j.id, Kind: j.kind, Result: res})
+		if err != nil {
+			state, j.errMsg = "failed", fmt.Sprintf("encode result: %v", err)
+		} else {
+			j.resultBytes = append(body, '\n')
+		}
+	case errors.Is(runErr, context.Canceled):
+		state, j.errMsg = "cancelled", "job cancelled"
+	default:
+		state, j.errMsg = "failed", runErr.Error()
+	}
+	j.state = state
+	elapsed := j.finished.Sub(j.started)
+	j.mu.Unlock()
+
+	m.mu.Lock()
+	m.running--
+	m.mu.Unlock()
+	switch state {
+	case "done":
+		m.metrics.jobsTotal.With("completed").Inc()
+	case "cancelled":
+		m.metrics.jobsTotal.With("cancelled").Inc()
+	default:
+		m.metrics.jobsTotal.With("failed").Inc()
+	}
+	m.log.Info("job finished", "job_id", j.id, "kind", j.kind, "state", state,
+		"trials", j.trials, "elapsed", elapsed)
+}
+
+// get returns the tracked job, or nil.
+func (m *jobManager) get(id string) *job {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.jobs[id]
+}
+
+// evictLocked drops the oldest terminal jobs beyond maxTrackedJobs.
+// Callers hold m.mu.
+func (m *jobManager) evictLocked() {
+	if len(m.order) <= maxTrackedJobs {
+		return
+	}
+	kept := m.order[:0]
+	excess := len(m.order) - maxTrackedJobs
+	for _, id := range m.order {
+		j := m.jobs[id]
+		if excess > 0 && j != nil && j.terminal() {
+			delete(m.jobs, id)
+			excess--
+			continue
+		}
+		kept = append(kept, id)
+	}
+	m.order = kept
+}
+
+// shutdown cancels every running job and waits (bounded) for the
+// runners to exit. Idempotent.
+func (m *jobManager) shutdown(timeout time.Duration) {
+	m.stopOnce.Do(func() {
+		m.cancelAll()
+		done := make(chan struct{})
+		go func() { m.wg.Wait(); close(done) }()
+		select {
+		case <-done:
+		case <-time.After(timeout):
+			m.log.Warn("job manager shutdown timed out with jobs still running")
+		}
+	})
+}
+
+// ---------------------------------------------------------------------------
+// HTTP handlers
+
+// handleJobSubmit accepts a job spec, starts (or attaches to) the job,
+// and answers 202 for a newly created job, 200 for an already-tracked
+// one — both with the job's current status snapshot.
+func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) (any, error) {
+	req, err := decodeJSON[jobRequest](r)
+	if err != nil {
+		return nil, err
+	}
+	j, created, err := s.jobs.startOrAttach(req)
+	if err != nil {
+		return nil, err
+	}
+	status := http.StatusOK
+	if created {
+		status = http.StatusAccepted
+	}
+	writeJSON(w, status, j.status())
+	return wroteResponse{}, nil
+}
+
+// handleJobStatus answers one status snapshot, or — with
+// "Accept: application/x-ndjson" — streams a snapshot per completed
+// shard (coalesced to poll ticks) until the job reaches a terminal
+// state, the request deadline passes, or the client leaves.
+func (s *Server) handleJobStatus(w http.ResponseWriter, r *http.Request) (any, error) {
+	j := s.jobs.get(trimmedPathValue(r, "id"))
+	if j == nil {
+		return nil, jobNotFound(r)
+	}
+	if !wantsNDJSON(r) {
+		return j.status(), nil
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	enc := json.NewEncoder(w)
+	write := func() error {
+		st := j.status()
+		if err := enc.Encode(st); err != nil {
+			return err
+		}
+		flush(w)
+		return nil
+	}
+	if err := write(); err != nil {
+		return wroteResponse{}, nil
+	}
+	ticker := time.NewTicker(200 * time.Millisecond)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-j.done:
+			write()
+			return wroteResponse{}, nil
+		case <-r.Context().Done():
+			return wroteResponse{}, nil
+		case <-ticker.C:
+			if err := write(); err != nil {
+				return wroteResponse{}, nil
+			}
+		}
+	}
+}
+
+// handleJobResult serves the stored result bytes verbatim: for a fixed
+// spec the body is byte-identical across runs and resumes.
+func (s *Server) handleJobResult(w http.ResponseWriter, r *http.Request) (any, error) {
+	j := s.jobs.get(trimmedPathValue(r, "id"))
+	if j == nil {
+		return nil, jobNotFound(r)
+	}
+	j.mu.Lock()
+	state, body := j.state, j.resultBytes
+	errMsg := j.errMsg
+	j.mu.Unlock()
+	switch state {
+	case "done":
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusOK)
+		w.Write(body)
+		return wroteResponse{}, nil
+	case "running":
+		return nil, &apiError{status: http.StatusConflict, code: "result_not_ready",
+			err: fmt.Errorf("job %s is still running", j.id)}
+	default:
+		return nil, &apiError{status: http.StatusConflict, code: "job_" + state,
+			err: fmt.Errorf("job %s %s: %s", j.id, state, errMsg)}
+	}
+}
+
+// handleJobCancel requests cancellation and answers the status after
+// the job settles (bounded wait; a slow shard may still be unwinding).
+func (s *Server) handleJobCancel(w http.ResponseWriter, r *http.Request) (any, error) {
+	j := s.jobs.get(trimmedPathValue(r, "id"))
+	if j == nil {
+		return nil, jobNotFound(r)
+	}
+	j.mu.Lock()
+	cancel := j.cancel
+	j.mu.Unlock()
+	cancel()
+	select {
+	case <-j.done:
+	case <-time.After(2 * time.Second):
+	case <-r.Context().Done():
+	}
+	return j.status(), nil
+}
+
+func jobNotFound(r *http.Request) *apiError {
+	return &apiError{status: http.StatusNotFound, code: "job_not_found",
+		err: fmt.Errorf("no tracked job %q", trimmedPathValue(r, "id"))}
+}

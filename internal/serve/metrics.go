@@ -19,6 +19,12 @@ import (
 // so per-stage and per-request latencies line up bucket for bucket.
 var latencyBuckets = obs.DurationBuckets
 
+// jobShardBuckets cover simulation-job shard durations, which run far
+// longer than HTTP requests: a well-sized shard lands in the 0.1–10 s
+// range, and the top buckets flag shards big enough to make
+// checkpointing pointless.
+var jobShardBuckets = []float64{0.005, 0.02, 0.1, 0.5, 1, 2.5, 5, 10, 30, 60}
+
 // metrics is the service's telemetry, all registered on one obs.Registry
 // per server instance (so tests that build several servers never share
 // counters). Family order in the scrape is registration order: the HTTP
@@ -32,6 +38,10 @@ type metrics struct {
 	batchItems    *obs.CounterVec   // /v1/batch items by outcome
 	streamedBytes *obs.Counter      // bytes written on NDJSON responses
 	spanSeconds   *obs.HistogramVec // trace span durations by stage
+
+	jobsTotal       *obs.CounterVec // simulation jobs by lifecycle state
+	jobShardSeconds *obs.Histogram  // per-shard evaluation wall time
+	jobTrialsPerSec *obs.FloatGauge // most recent job's live trial rate
 }
 
 func newMetrics() *metrics {
@@ -50,6 +60,12 @@ func newMetrics() *metrics {
 			"Bytes written on NDJSON streaming responses."),
 		spanSeconds: reg.NewHistogramVec("nanocostd_span_seconds",
 			"Trace span durations, by stage.", obs.DurationBuckets, "stage"),
+		jobsTotal: reg.NewCounterVec("nanocostd_jobs_total",
+			"Simulation jobs, by lifecycle state (submitted/completed/failed/cancelled).", "state"),
+		jobShardSeconds: reg.NewHistogramOn("nanocostd_job_shard_seconds",
+			"Wall-clock evaluation time of completed simulation-job shards.", jobShardBuckets),
+		jobTrialsPerSec: reg.NewFloatGauge("nanocostd_job_trials_per_sec",
+			"Live trial throughput of the most recently progressing job (resumed shards excluded)."),
 	}
 	// The worker pool's chunk timings are package-level instruments shared
 	// by every pool user; attach them so a scrape correlates queue wait

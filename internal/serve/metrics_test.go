@@ -97,6 +97,13 @@ func TestMetricsExpositionConformance(t *testing.T) {
 	// family has structure to check.
 	s.metrics.spanSeconds.With("core.eval").Observe(0.002)
 	s.metrics.spanSeconds.With("serve.request").Observe(0.01)
+	// Job telemetry: lifecycle counters, a shard duration past the request
+	// histogram's range, and the float throughput gauge.
+	s.metrics.jobsTotal.With("submitted").Add(3)
+	s.metrics.jobsTotal.With("completed").Add(2)
+	s.metrics.jobsTotal.With("failed").Inc()
+	s.metrics.jobShardSeconds.Observe(12.5)
+	s.metrics.jobTrialsPerSec.Set(2_500_000.5)
 
 	code, _, body := rawDo(t, s, "GET", "/metrics", "")
 	if code != http.StatusOK {
@@ -131,6 +138,9 @@ func TestMetricsExpositionConformance(t *testing.T) {
 		"nanocostd_memo_cache_misses_total": "counter",
 		"nanocostd_memo_cache_hit_rate":     "gauge",
 		"nanocostd_span_seconds":            "histogram",
+		"nanocostd_jobs_total":              "counter",
+		"nanocostd_job_shard_seconds":       "histogram",
+		"nanocostd_job_trials_per_sec":      "gauge",
 		"nanocostd_pool_chunk_wait_seconds": "histogram",
 		"nanocostd_pool_chunk_exec_seconds": "histogram",
 		"go_goroutines":                     "gauge",
@@ -185,6 +195,12 @@ func TestMetricsExpositionConformance(t *testing.T) {
 	for _, want := range []string{
 		fmt.Sprintf("nanocostd_batch_items_total{outcome=\"ok\"} %d", 7),
 		"nanocostd_streamed_bytes_total 1234",
+		`nanocostd_jobs_total{state="submitted"} 3`,
+		`nanocostd_jobs_total{state="completed"} 2`,
+		`nanocostd_jobs_total{state="failed"} 1`,
+		`nanocostd_job_shard_seconds_bucket{le="30"} 1`,
+		`nanocostd_job_shard_seconds_bucket{le="10"} 0`,
+		"nanocostd_job_trials_per_sec 2.5000005e+06",
 	} {
 		if !bytes.Contains(body, []byte(want)) {
 			t.Errorf("scrape missing %q", want)

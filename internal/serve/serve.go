@@ -17,6 +17,10 @@
 //	POST /v1/sweep         parameter sweeps over s_d, N_w or Y
 //	POST /v1/batch         heterogeneous batch of cost/designcost/generalized
 //	GET  /v1/figures/{id}  paper-figure data series (1–4), memoized
+//	POST /v1/jobs          submit a sharded Monte Carlo simulation job
+//	GET  /v1/jobs/{id}     job progress snapshot (NDJSON streams it live)
+//	GET  /v1/jobs/{id}/result  final result envelope (byte-stable per spec)
+//	DELETE /v1/jobs/{id}   cancel a running job
 //	GET  /healthz          liveness probe
 //	GET  /metrics          Prometheus text exposition
 //	GET  /debug/trace/{id} span tree of a recently traced request
@@ -80,6 +84,13 @@ type Config struct {
 	// Logger receives structured request and lifecycle logs (default
 	// slog.Default()).
 	Logger *slog.Logger
+	// JobDir is where sharded simulation jobs checkpoint ("" disables
+	// checkpointing; job submissions with "checkpoint": true are then
+	// rejected with 400).
+	JobDir string
+	// MaxJobs caps concurrently running simulation jobs (default 2);
+	// excess submissions receive 429 jobs_saturated.
+	MaxJobs int
 }
 
 // withDefaults resolves the zero-value fallbacks.
@@ -102,6 +113,9 @@ func (c Config) withDefaults() Config {
 	if c.Logger == nil {
 		c.Logger = slog.Default()
 	}
+	if c.MaxJobs <= 0 {
+		c.MaxJobs = 2
+	}
 	return c
 }
 
@@ -115,6 +129,7 @@ type Server struct {
 	handler    http.Handler // mux wrapped in the observe middleware
 	metrics    *metrics
 	tracer     *obs.Tracer
+	jobs       *jobManager
 	sem        chan struct{}
 	retryAfter string       // 429 Retry-After, derived from RequestTimeout
 	addr       atomic.Value // string: bound listen address, set once serving
@@ -137,6 +152,7 @@ func NewServer(cfg Config) *Server {
 		retryAfter: strconv.Itoa(max(1, int(math.Ceil(cfg.RequestTimeout.Seconds())))),
 	}
 	s.tracer = obs.NewTracer(traceRingCapacity, s.metrics.spanSeconds)
+	s.jobs = newJobManager(cfg.JobDir, cfg.MaxJobs, s.metrics, s.log)
 	s.routes()
 	s.handler = s.observe(s.mux)
 	return s
@@ -192,12 +208,22 @@ func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
 	defer cancel()
 	err := srv.Shutdown(drainCtx)
 	<-done // srv.Serve returns http.ErrServerClosed after Shutdown
+	// Stop background simulation jobs only after the HTTP side has
+	// drained, so in-flight status requests see consistent state. A
+	// checkpointing job cancelled here resumes from its shard log on the
+	// next submit.
+	s.jobs.shutdown(s.cfg.ShutdownTimeout)
 	if err != nil {
 		return fmt.Errorf("serve: shutdown: %w", err)
 	}
 	s.log.Info("nanocostd stopped")
 	return nil
 }
+
+// Close cancels any background simulation jobs and waits briefly for
+// them to settle. Serve does this itself after draining; Close exists
+// for Handler-mounted servers (tests) that never call Serve.
+func (s *Server) Close() { s.jobs.shutdown(s.cfg.ShutdownTimeout) }
 
 // routes wires the endpoint table. Model-evaluating routes go through
 // handle (semaphore + timeout + metrics + logging); the observability
@@ -209,6 +235,10 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("POST /v1/sweep", s.handle("/v1/sweep", s.handleSweep))
 	s.mux.HandleFunc("POST /v1/batch", s.handle("/v1/batch", s.handleBatch))
 	s.mux.HandleFunc("GET /v1/figures/{id}", s.handle("/v1/figures/{id}", s.handleFigure))
+	s.mux.HandleFunc("POST /v1/jobs", s.handle("/v1/jobs", s.handleJobSubmit))
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handle("/v1/jobs/{id}", s.handleJobStatus))
+	s.mux.HandleFunc("GET /v1/jobs/{id}/result", s.handle("/v1/jobs/{id}/result", s.handleJobResult))
+	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handle("/v1/jobs/{id}", s.handleJobCancel))
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /debug/trace/{id}", s.handleTrace)

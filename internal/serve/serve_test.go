@@ -25,7 +25,9 @@ func newTestServer(t *testing.T, cfg Config) *Server {
 	if cfg.Logger == nil {
 		cfg.Logger = discardLogger()
 	}
-	return NewServer(cfg)
+	s := NewServer(cfg)
+	t.Cleanup(s.Close)
+	return s
 }
 
 // do runs one request through the handler stack and decodes the JSON body.

@@ -259,13 +259,22 @@ func (r *RNG) Jump() {
 // SplitN returns k generators occupying consecutive 2^128-length blocks
 // of r's cycle, and advances r past all of them. Stream i is the state of
 // r after i jumps, so the layout depends only on r's state and k — the
-// deterministic sub-stream construction the parallel engine uses to make
-// Monte Carlo results bit-identical across worker counts. Unlike Split,
-// the returned streams are guaranteed non-overlapping provided each draws
-// fewer than 2^128 values. It panics if k <= 0.
+// deterministic sub-stream construction the parallel engine and the
+// sharded Monte Carlo job engine use to make results bit-identical across
+// worker and shard counts. Unlike Split, the returned streams are
+// guaranteed non-overlapping provided each draws fewer than 2^128 values.
+//
+// Boundary behavior is explicit for the sharding path: k == 0 returns nil
+// and leaves r untouched (a resumed run with no pending shards needs no
+// streams), k == 1 returns a single stream holding r's pre-call state and
+// advances r one jump past it (so a later SplitN continues on disjoint
+// blocks). It panics if k < 0.
 func (r *RNG) SplitN(k int) []*RNG {
-	if k <= 0 {
-		panic("stats: SplitN requires positive k")
+	if k < 0 {
+		panic("stats: SplitN requires non-negative k")
+	}
+	if k == 0 {
+		return nil
 	}
 	out := make([]*RNG, k)
 	for i := 0; i < k; i++ {

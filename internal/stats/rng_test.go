@@ -273,13 +273,66 @@ func TestSplitNLayout(t *testing.T) {
 	}
 }
 
-func TestSplitNPanicsOnNonPositive(t *testing.T) {
+func TestSplitNPanicsOnNegative(t *testing.T) {
 	defer func() {
 		if recover() == nil {
-			t.Fatal("SplitN(0) did not panic")
+			t.Fatal("SplitN(-1) did not panic")
 		}
 	}()
-	NewRNG(1).SplitN(0)
+	NewRNG(1).SplitN(-1)
+}
+
+func TestSplitNZeroIsNoop(t *testing.T) {
+	// k == 0 returns nil and must not advance the parent: a resumed
+	// sharded run with no pending shards derives no streams and leaves
+	// the walk exactly where it was.
+	r := NewRNG(1)
+	before := *r
+	if got := r.SplitN(0); got != nil {
+		t.Fatalf("SplitN(0) = %v, want nil", got)
+	}
+	if r.s != before.s {
+		t.Fatal("SplitN(0) advanced the parent state")
+	}
+}
+
+func TestSplitNShardCountEdges(t *testing.T) {
+	// The sharding path leans on two structural properties at every shard
+	// count, including the edges (1, 2, and a large prime that cannot
+	// align with any chunk-size power of two): adjacent streams occupy
+	// consecutive jump blocks, and the parent ends exactly k jumps past
+	// its pre-call state so a later SplitN continues on disjoint blocks.
+	for _, k := range []int{1, 2, 1009} {
+		r := NewRNG(909)
+		streams := r.SplitN(k)
+		if len(streams) != k {
+			t.Fatalf("k=%d: got %d streams", k, len(streams))
+		}
+		// Adjacency: stream i+1's state is stream i's state jumped once,
+		// so the 2^128 blocks tile the cycle with no gap and no overlap.
+		for i := 0; i+1 < k; i++ {
+			c := *streams[i]
+			c.Jump()
+			if c.s != streams[i+1].s {
+				t.Fatalf("k=%d: stream %d+1 is not stream %d jumped once", k, i, i)
+			}
+		}
+		// Parent lands one jump past the last stream.
+		c := *streams[k-1]
+		c.Jump()
+		if c.s != r.s {
+			t.Fatalf("k=%d: parent is not %d jumps past the seed state", k, k)
+		}
+		// All k stream states are pairwise distinct (non-overlap at the
+		// block level implies distinct block-start states).
+		seen := make(map[[4]uint64]int, k)
+		for i, s := range streams {
+			if j, dup := seen[s.s]; dup {
+				t.Fatalf("k=%d: streams %d and %d share a state", k, j, i)
+			}
+			seen[s.s] = i
+		}
+	}
 }
 
 // corr computes the Pearson correlation of two equal-length sequences.

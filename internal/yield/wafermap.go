@@ -63,17 +63,24 @@ func (c WaferMapConfig) Validate() error {
 // depend on it.
 var waferMapTuner parallel.ChunkTuner
 
-// SimulateWaferMap runs the spatial Monte Carlo. A die site is inside the
-// wafer when all four corners fall within the usable radius; its defect
-// rate is Lambda scaled linearly in its center's normalized radius toward
-// EdgeFactor at the rim, and by the wafer's gamma cluster draw.
-//
-// The simulation is parallelized across wafer rows: each (wafer, row)
-// pair draws from its own RNG sub-stream keyed by stats.StreamSeed, and
-// per-wafer cluster scales come from a dedicated wafer-level stream, so
-// the map depends only on the config — never the worker count or
-// scheduling order — and every row is owned by exactly one goroutine.
-func SimulateWaferMap(c WaferMapConfig) (*WaferMap, error) {
+// waferGeometry is the wafer-independent precomputation shared by
+// SimulateWaferMap and WaferSimulator: the die grid, the per-site
+// radial rate factors (and hoisted exp(-rate) for unclustered lots),
+// and the per-wafer cluster scales drawn from their dedicated stream.
+// Building it consumes no per-site randomness, so two consumers with the
+// same config see identical per-(wafer, row) draw sequences.
+type waferGeometry struct {
+	cols, rows int
+	inside     []bool    // rows*cols, row-major
+	factor     []float64 // radial rate multiplier per site
+	expRate    []float64 // exp(-Lambda·factor) per site; nil when clustered
+	scales     []float64 // per-wafer cluster scale (1.0 when unclustered)
+	clustered  bool
+	sites      int // inside-site count
+}
+
+// buildWaferGeometry validates c and performs the per-run precompute.
+func buildWaferGeometry(c WaferMapConfig) (*waferGeometry, error) {
 	if err := c.Validate(); err != nil {
 		return nil, err
 	}
@@ -82,19 +89,12 @@ func SimulateWaferMap(c WaferMapConfig) (*WaferMap, error) {
 	if cols < 1 || rows < 1 {
 		return nil, fmt.Errorf("yield: wafer map: no die fits the usable area")
 	}
-	wm := &WaferMap{Cols: cols, Rows: rows, Wafers: c.Wafers}
-	// Row buffers carve one flat backing array each, instead of one
-	// allocation per row: two allocations for the whole map.
-	wm.Good = make([][]int, rows)
-	goodFlat := make([]int, rows*cols)
-	inside := make([][]bool, rows)
-	insideFlat := make([]bool, rows*cols)
+	g := &waferGeometry{cols: cols, rows: rows, clustered: c.ClusterAlpha > 0}
+	g.inside = make([]bool, rows*cols)
 	r2 := c.UsableRadiusMM * c.UsableRadiusMM
 	originX := -float64(cols) / 2 * c.DieWMM
 	originY := -float64(rows) / 2 * c.DieHMM
 	for y := 0; y < rows; y++ {
-		wm.Good[y] = goodFlat[y*cols : (y+1)*cols : (y+1)*cols]
-		inside[y] = insideFlat[y*cols : (y+1)*cols : (y+1)*cols]
 		for x := 0; x < cols; x++ {
 			x0 := originX + float64(x)*c.DieWMM
 			y0 := originY + float64(y)*c.DieHMM
@@ -102,20 +102,20 @@ func SimulateWaferMap(c WaferMapConfig) (*WaferMap, error) {
 			// All four die corners must fall within the usable radius.
 			ok := x0*x0+y0*y0 <= r2 && x1*x1+y0*y0 <= r2 &&
 				x0*x0+y1*y1 <= r2 && x1*x1+y1*y1 <= r2
-			inside[y][x] = ok
-			if !ok {
-				wm.Good[y][x] = -1
+			g.inside[y*cols+x] = ok
+			if ok {
+				g.sites++
 			}
 		}
 	}
 	// Per-wafer cluster scales draw from a dedicated wafer-level stream so
 	// they are independent of the per-row site streams.
-	scales := make([]float64, c.Wafers)
+	g.scales = make([]float64, c.Wafers)
 	wr := stats.NewRNG(stats.StreamSeed(c.Seed))
-	for w := range scales {
-		scales[w] = 1.0
+	for w := range g.scales {
+		g.scales[w] = 1.0
 		if c.ClusterAlpha > 0 {
-			scales[w] = wr.Gamma(c.ClusterAlpha, 1/c.ClusterAlpha)
+			g.scales[w] = wr.Gamma(c.ClusterAlpha, 1/c.ClusterAlpha)
 		}
 	}
 	edge := c.EdgeFactor
@@ -127,70 +127,155 @@ func SimulateWaferMap(c WaferMapConfig) (*WaferMap, error) {
 	// path computed Lambda·scale·factor left-associated, so rate =
 	// (Lambda·scale)·factor reproduces it bit for bit with the per-wafer
 	// product hoisted out of the site loop.
-	factor := make([]float64, rows*cols)
+	g.factor = make([]float64, rows*cols)
 	for y := 0; y < rows; y++ {
 		for x := 0; x < cols; x++ {
-			if !inside[y][x] {
+			if !g.inside[y*cols+x] {
 				continue
 			}
 			cx := originX + (float64(x)+0.5)*c.DieWMM
 			cy := originY + (float64(y)+0.5)*c.DieHMM
 			rho := math.Sqrt(cx*cx+cy*cy) / c.UsableRadiusMM
-			factor[y*cols+x] = 1 + (edge-1)*rho
+			g.factor[y*cols+x] = 1 + (edge-1)*rho
 		}
 	}
 	// Unclustered lots reuse one rate — and one exp(-rate) — per site
 	// across every wafer: the Poisson exp moves out of the wafer loop
 	// entirely (stats.RNG.PoissonL keeps the draw sequence bit-identical).
-	clustered := c.ClusterAlpha > 0
-	var expRate []float64
-	if !clustered {
-		expRate = make([]float64, rows*cols)
-		for i, f := range factor {
+	if !g.clustered {
+		g.expRate = make([]float64, rows*cols)
+		for i, f := range g.factor {
 			rate := c.Lambda * f
 			if rate < 0 {
 				rate = 0
 			}
-			expRate[i] = math.Exp(-rate)
+			g.expRate[i] = math.Exp(-rate)
 		}
 	}
-	err := parallel.ForEachChunkTuned(context.Background(), rows, 1, c.Workers, &waferMapTuner, func(_, yLo, yHi int) error {
+	return g, nil
+}
+
+// simulateWaferRow evaluates one (wafer, row) pair from its keyed stream
+// and returns the row's good-die count; when goodRow is non-nil it also
+// increments the per-site tallies. Both SimulateWaferMap and
+// WaferSimulator.Wafer funnel through this loop, so they consume
+// identical draws per (wafer, row) by construction.
+func (g *waferGeometry) simulateWaferRow(c WaferMapConfig, w, y int, goodRow []int) int {
+	good := 0
+	insideRow := g.inside[y*g.cols : (y+1)*g.cols]
+	factorRow := g.factor[y*g.cols : (y+1)*g.cols]
+	// Value-typed stream: one per (wafer, row), stack-allocated.
+	r := stats.Seeded(stats.StreamSeed(c.Seed, uint64(w), uint64(y)))
+	if !g.clustered {
+		expRow := g.expRate[y*g.cols : (y+1)*g.cols]
+		for x := 0; x < g.cols; x++ {
+			if !insideRow[x] {
+				continue
+			}
+			rate := c.Lambda * factorRow[x]
+			if rate < 0 {
+				rate = 0
+			}
+			if r.PoissonL(rate, expRow[x]) == 0 {
+				good++
+				if goodRow != nil {
+					goodRow[x]++
+				}
+			}
+		}
+		return good
+	}
+	ws := c.Lambda * g.scales[w]
+	for x := 0; x < g.cols; x++ {
+		if !insideRow[x] {
+			continue
+		}
+		rate := ws * factorRow[x]
+		if rate < 0 {
+			rate = 0
+		}
+		if r.Poisson(rate) == 0 {
+			good++
+			if goodRow != nil {
+				goodRow[x]++
+			}
+		}
+	}
+	return good
+}
+
+// WaferSimulator evaluates the spatial Monte Carlo one wafer at a time:
+// the geometry precompute of SimulateWaferMap done once, then Wafer(w)
+// replays exactly the per-(wafer, row) keyed streams the full map
+// simulation uses for wafer w. The sharded job engine (internal/mcjob)
+// uses it to spread a huge lot across shards — the total good count over
+// all wafers is identical to SimulateWaferMap's, whatever the sharding.
+type WaferSimulator struct {
+	c WaferMapConfig
+	g *waferGeometry
+}
+
+// NewWaferSimulator validates c and performs the per-run precompute.
+func NewWaferSimulator(c WaferMapConfig) (*WaferSimulator, error) {
+	g, err := buildWaferGeometry(c)
+	if err != nil {
+		return nil, err
+	}
+	return &WaferSimulator{c: c, g: g}, nil
+}
+
+// Sites returns the number of die sites inside the usable wafer.
+func (s *WaferSimulator) Sites() int { return s.g.sites }
+
+// Wafers returns the configured lot size; Wafer accepts 0 <= w < Wafers().
+func (s *WaferSimulator) Wafers() int { return len(s.g.scales) }
+
+// Wafer simulates wafer w (rows in ascending order) and returns its good
+// die count. Safe for concurrent use: all shared state is read-only.
+func (s *WaferSimulator) Wafer(w int) int {
+	if w < 0 || w >= len(s.g.scales) {
+		panic(fmt.Sprintf("yield: WaferSimulator.Wafer(%d) outside lot of %d", w, len(s.g.scales)))
+	}
+	good := 0
+	for y := 0; y < s.g.rows; y++ {
+		good += s.g.simulateWaferRow(s.c, w, y, nil)
+	}
+	return good
+}
+
+// SimulateWaferMap runs the spatial Monte Carlo. A die site is inside the
+// wafer when all four corners fall within the usable radius; its defect
+// rate is Lambda scaled linearly in its center's normalized radius toward
+// EdgeFactor at the rim, and by the wafer's gamma cluster draw.
+//
+// The simulation is parallelized across wafer rows: each (wafer, row)
+// pair draws from its own RNG sub-stream keyed by stats.StreamSeed, and
+// per-wafer cluster scales come from a dedicated wafer-level stream, so
+// the map depends only on the config — never the worker count or
+// scheduling order — and every row is owned by exactly one goroutine.
+func SimulateWaferMap(c WaferMapConfig) (*WaferMap, error) {
+	g, err := buildWaferGeometry(c)
+	if err != nil {
+		return nil, err
+	}
+	cols, rows := g.cols, g.rows
+	wm := &WaferMap{Cols: cols, Rows: rows, Wafers: c.Wafers}
+	// Row buffers carve one flat backing array, instead of one allocation
+	// per row: two allocations for the whole map.
+	wm.Good = make([][]int, rows)
+	goodFlat := make([]int, rows*cols)
+	for y := 0; y < rows; y++ {
+		wm.Good[y] = goodFlat[y*cols : (y+1)*cols : (y+1)*cols]
+		for x := 0; x < cols; x++ {
+			if !g.inside[y*cols+x] {
+				wm.Good[y][x] = -1
+			}
+		}
+	}
+	err = parallel.ForEachChunkTuned(context.Background(), rows, 1, c.Workers, &waferMapTuner, func(_, yLo, yHi int) error {
 		for y := yLo; y < yHi; y++ {
-			goodRow := wm.Good[y]
-			insideRow := inside[y]
-			factorRow := factor[y*cols : (y+1)*cols]
 			for w := 0; w < c.Wafers; w++ {
-				// Value-typed stream: one per (wafer, row), stack-allocated.
-				r := stats.Seeded(stats.StreamSeed(c.Seed, uint64(w), uint64(y)))
-				if !clustered {
-					expRow := expRate[y*cols : (y+1)*cols]
-					for x := 0; x < cols; x++ {
-						if !insideRow[x] {
-							continue
-						}
-						rate := c.Lambda * factorRow[x]
-						if rate < 0 {
-							rate = 0
-						}
-						if r.PoissonL(rate, expRow[x]) == 0 {
-							goodRow[x]++
-						}
-					}
-					continue
-				}
-				ws := c.Lambda * scales[w]
-				for x := 0; x < cols; x++ {
-					if !insideRow[x] {
-						continue
-					}
-					rate := ws * factorRow[x]
-					if rate < 0 {
-						rate = 0
-					}
-					if r.Poisson(rate) == 0 {
-						goodRow[x]++
-					}
-				}
+				g.simulateWaferRow(c, w, y, wm.Good[y])
 			}
 		}
 		return nil

@@ -218,3 +218,51 @@ func TestSimulateWaferMapAllocBound(t *testing.T) {
 		t.Fatalf("SimulateWaferMap allocates %v per run, want ≤40", allocs)
 	}
 }
+
+func TestWaferSimulatorMatchesMapTotals(t *testing.T) {
+	// The per-wafer evaluator replays the map simulation's keyed streams
+	// wafer by wafer, so the lot's total good count must match exactly —
+	// clustered and not.
+	for _, alpha := range []float64{0, 1.5} {
+		c := WaferMapConfig{
+			UsableRadiusMM: 30, DieWMM: 6, DieHMM: 5,
+			Lambda: 0.8, EdgeFactor: 2.5, ClusterAlpha: alpha,
+			Wafers: 7, Seed: 42,
+		}
+		wm, err := SimulateWaferMap(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sim, err := NewWaferSimulator(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sim.Sites() != wm.Sites() {
+			t.Fatalf("alpha=%v: sites %d != map sites %d", alpha, sim.Sites(), wm.Sites())
+		}
+		if sim.Wafers() != c.Wafers {
+			t.Fatalf("alpha=%v: wafers %d", alpha, sim.Wafers())
+		}
+		mapGood := 0
+		for _, row := range wm.Good {
+			for _, g := range row {
+				if g > 0 {
+					mapGood += g
+				}
+			}
+		}
+		simGood := 0
+		for w := 0; w < c.Wafers; w++ {
+			simGood += sim.Wafer(w)
+		}
+		if simGood != mapGood {
+			t.Fatalf("alpha=%v: per-wafer total %d != map total %d", alpha, simGood, mapGood)
+		}
+	}
+}
+
+func TestWaferSimulatorValidates(t *testing.T) {
+	if _, err := NewWaferSimulator(WaferMapConfig{}); err == nil {
+		t.Fatal("accepted zero config")
+	}
+}

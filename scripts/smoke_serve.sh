@@ -4,8 +4,11 @@
 # to answer 400 out_of_domain, round-trip /v1/batch against the individual
 # endpoint, stream a sweep as NDJSON, revalidate a figure ETag, follow an
 # X-Trace-Id to its /debug/trace span tree, check the X-Request-Id error
-# envelope contract and the opt-in pprof listener, then deliver SIGTERM
-# and verify the process drains and exits cleanly.
+# envelope contract and the opt-in pprof listener, run a sharded
+# simulation job through /v1/jobs (including a kill -9 mid-job and a
+# checkpoint resume whose result must be byte-identical to an
+# uninterrupted run), then deliver SIGTERM and verify the process drains
+# and exits cleanly.
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -16,28 +19,35 @@ bin="$workdir/nanocostd"
 log="$workdir/nanocostd.log"
 cleanup() {
   [ -n "${pid:-}" ] && kill "$pid" 2>/dev/null || true
+  [ -n "${jpid:-}" ] && kill -9 "$jpid" 2>/dev/null || true
   rm -rf "$workdir"
 }
 trap cleanup EXIT
 
+# wait_addr LOGFILE PID: poll LOGFILE for the daemon's bound address.
+wait_addr() {
+  wa_log=$1; wa_pid=$2; wa_addr=""
+  i=0
+  while [ $i -lt 100 ]; do
+    wa_addr=$(sed -n 's/.*nanocostd listening.*addr=\([^ ]*\).*/\1/p' "$wa_log" | head -n 1)
+    [ -n "$wa_addr" ] && break
+    kill -0 "$wa_pid" 2>/dev/null || { echo "smoke_serve: daemon died during startup:" >&2; cat "$wa_log" >&2; exit 1; }
+    i=$((i + 1))
+    sleep 0.1
+  done
+  [ -n "$wa_addr" ] || { echo "smoke_serve: no listen address in log:" >&2; cat "$wa_log" >&2; exit 1; }
+  echo "$wa_addr"
+}
+
 echo "== build nanocostd ==" >&2
 go build -o "$bin" ./cmd/nanocostd
 
-"$bin" -addr 127.0.0.1:0 -debug-addr 127.0.0.1:0 2>"$log" &
+"$bin" -addr 127.0.0.1:0 -debug-addr 127.0.0.1:0 -job-dir "$workdir/jobsA" 2>"$log" &
 pid=$!
 
 # The daemon logs its bound address ("nanocostd listening ... addr=HOST:PORT")
 # once the listener is up; poll for it rather than racing a fixed sleep.
-addr=""
-i=0
-while [ $i -lt 100 ]; do
-  addr=$(sed -n 's/.*nanocostd listening.*addr=\([^ ]*\).*/\1/p' "$log" | head -n 1)
-  [ -n "$addr" ] && break
-  kill -0 "$pid" 2>/dev/null || { echo "smoke_serve: daemon died during startup:" >&2; cat "$log" >&2; exit 1; }
-  i=$((i + 1))
-  sleep 0.1
-done
-[ -n "$addr" ] || { echo "smoke_serve: no listen address in log:" >&2; cat "$log" >&2; exit 1; }
+addr=$(wait_addr "$log" "$pid")
 echo "== daemon up at $addr ==" >&2
 
 echo "== /healthz ==" >&2
@@ -137,6 +147,86 @@ etag=$(curl -sf -D - -o /dev/null "http://$addr/v1/figures/4" | sed -n 's/^[Ee][
 [ -n "$etag" ] || { echo "smoke_serve: figure response carries no ETag" >&2; exit 1; }
 status=$(curl -s -o /dev/null -w '%{http_code}' -H "If-None-Match: $etag" "http://$addr/v1/figures/4")
 [ "$status" = "304" ] || { echo "smoke_serve: If-None-Match revalidation got HTTP $status, want 304" >&2; exit 1; }
+
+echo "== /v1/jobs: 2x10^8-trial sharded defect job with progress ==" >&2
+job_spec='{"kind":"defect","trials":200000000,"shards":64,"seed":77,"checkpoint":true,"defect":{"lambda":1.1,"alpha":2}}'
+submit=$(curl -sf -X POST -d "$job_spec" "http://$addr/v1/jobs")
+job_id=$(echo "$submit" | sed -n 's/.*"id":"\([0-9a-f]\{16\}\)".*/\1/p')
+[ -n "$job_id" ] || { echo "smoke_serve: job submit returned no id: $submit" >&2; exit 1; }
+i=0
+state=""
+while [ $i -lt 600 ]; do
+  st=$(curl -sf "http://$addr/v1/jobs/$job_id")
+  state=$(echo "$st" | sed -n 's/.*"state":"\([a-z]*\)".*/\1/p')
+  [ "$state" != "running" ] && break
+  i=$((i + 1))
+  sleep 0.1
+done
+[ "$state" = "done" ] || { echo "smoke_serve: reference job ended in state '$state': $st" >&2; exit 1; }
+echo "$st" | grep -q '"shards_done":64' || { echo "smoke_serve: reference job progress wrong: $st" >&2; exit 1; }
+echo "$st" | grep -q '"trials_per_sec":' || { echo "smoke_serve: reference job reports no throughput: $st" >&2; exit 1; }
+curl -sf "http://$addr/v1/jobs/$job_id/result" > "$workdir/job_ref.json"
+grep -q '"trials":200000000' "$workdir/job_ref.json" || { echo "smoke_serve: bad job result: $(head -c 200 "$workdir/job_ref.json")" >&2; exit 1; }
+# The job families must have moved in the telemetry.
+metrics_now=$(curl -sf "http://$addr/metrics")
+echo "$metrics_now" | grep -q 'nanocostd_jobs_total{state="completed"} [1-9]' || { echo "smoke_serve: jobs_total{completed} did not move" >&2; exit 1; }
+shard_count=$(echo "$metrics_now" | awk '$1 == "nanocostd_job_shard_seconds_count" { print $2 }')
+[ -n "$shard_count" ] && [ "${shard_count%.*}" -ge 64 ] || { echo "smoke_serve: job shard histogram count = $shard_count, want >= 64" >&2; exit 1; }
+
+echo "== /v1/jobs NDJSON progress stream ==" >&2
+small_spec='{"kind":"defect","trials":1000000,"shards":4,"seed":78,"defect":{"lambda":1.1}}'
+small_id=$(curl -sf -X POST -d "$small_spec" "http://$addr/v1/jobs" | sed -n 's/.*"id":"\([0-9a-f]\{16\}\)".*/\1/p')
+stream=$(curl -sfN -H 'Accept: application/x-ndjson' "http://$addr/v1/jobs/$small_id")
+lines=$(echo "$stream" | wc -l)
+[ "$lines" -ge 1 ] || { echo "smoke_serve: job stream produced no lines" >&2; exit 1; }
+echo "$stream" | tail -n 1 | grep -q '"state":"done"' || { echo "smoke_serve: job stream did not end in done: $(echo "$stream" | tail -n 1)" >&2; exit 1; }
+
+echo "== /v1/jobs kill -9 mid-job, resume must be byte-identical ==" >&2
+jlog="$workdir/jobs_daemon.log"
+"$bin" -addr 127.0.0.1:0 -job-dir "$workdir/jobsB" 2>"$jlog" &
+jpid=$!
+jaddr=$(wait_addr "$jlog" "$jpid")
+curl -sf -X POST -d "$job_spec" "http://$jaddr/v1/jobs" >/dev/null
+# Wait for a few shards to be checkpointed, then pull the plug.
+i=0
+while [ $i -lt 300 ]; do
+  done_shards=$(curl -sf "http://$jaddr/v1/jobs/$job_id" | sed -n 's/.*"shards_done":\([0-9]*\).*/\1/p')
+  [ -n "$done_shards" ] && [ "$done_shards" -ge 3 ] && break
+  i=$((i + 1))
+  sleep 0.05
+done
+[ "${done_shards:-0}" -ge 3 ] || { echo "smoke_serve: job checkpointed only ${done_shards:-0} shards before kill window" >&2; exit 1; }
+[ "$done_shards" -lt 64 ] || { echo "smoke_serve: job finished before the kill; enlarge the spec" >&2; exit 1; }
+kill -9 "$jpid"
+wait "$jpid" 2>/dev/null || true
+
+"$bin" -addr 127.0.0.1:0 -job-dir "$workdir/jobsB" 2>"$jlog.2" &
+jpid=$!
+jaddr=$(wait_addr "$jlog.2" "$jpid")
+resumed_id=$(curl -sf -X POST -d "$job_spec" "http://$jaddr/v1/jobs" | sed -n 's/.*"id":"\([0-9a-f]\{16\}\)".*/\1/p')
+[ "$resumed_id" = "$job_id" ] || { echo "smoke_serve: resumed job id $resumed_id != $job_id (content hash drifted)" >&2; exit 1; }
+i=0
+state=""
+while [ $i -lt 600 ]; do
+  st=$(curl -sf "http://$jaddr/v1/jobs/$job_id")
+  state=$(echo "$st" | sed -n 's/.*"state":"\([a-z]*\)".*/\1/p')
+  [ "$state" != "running" ] && break
+  i=$((i + 1))
+  sleep 0.1
+done
+[ "$state" = "done" ] || { echo "smoke_serve: resumed job ended in state '$state': $st" >&2; exit 1; }
+resumed=$(echo "$st" | sed -n 's/.*"shards_resumed":\([0-9]*\).*/\1/p')
+[ -n "$resumed" ] && [ "$resumed" -ge 3 ] || { echo "smoke_serve: resumed run replayed only '${resumed:-0}' shards from the checkpoint: $st" >&2; exit 1; }
+curl -sf "http://$jaddr/v1/jobs/$job_id/result" > "$workdir/job_resumed.json"
+cmp -s "$workdir/job_ref.json" "$workdir/job_resumed.json" || {
+  echo "smoke_serve: resumed result differs from uninterrupted run:" >&2
+  diff "$workdir/job_ref.json" "$workdir/job_resumed.json" >&2 || true
+  exit 1
+}
+kill -TERM "$jpid"
+wait "$jpid" || { echo "smoke_serve: jobs daemon did not drain cleanly" >&2; exit 1; }
+jpid=""
+echo "smoke_serve: resumed result byte-identical to uninterrupted run ($resumed shards resumed)" >&2
 
 echo "== SIGTERM drain ==" >&2
 kill -TERM "$pid"
