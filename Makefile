@@ -1,7 +1,7 @@
 GO ?= go
 BASE ?= BENCH_PR2.json
 
-.PHONY: all build vet test race bench bench-smoke bench-compare check baseline serve smoke-serve obs-check
+.PHONY: all build vet test race bench bench-smoke bench-compare check baseline serve smoke-serve obs-check slo
 
 all: check
 
@@ -40,6 +40,13 @@ serve:
 # exercise /healthz and /v1/cost, and verify the SIGTERM drain.
 smoke-serve:
 	./scripts/smoke_serve.sh
+
+# Router SLO gate: boot two nanocostd replicas behind nanocostfront,
+# drive loadgen at a pinned rate, and require the p99 budget, zero
+# non-2xx and byte-identical responses — including across a kill -9 of
+# one replica mid-load. Tune with SLO_RPS= and SLO_P99=.
+slo:
+	./scripts/slo_check.sh
 
 # Observability gate: vet the telemetry packages and run the tracing,
 # registry and /metrics text-exposition conformance tests race-enabled.

@@ -1,0 +1,71 @@
+// Command loadgen drives a pinned, deterministic endpoint set against a
+// nanocostd or nanocostfront base URL and reports exact client-side
+// latency percentiles, per-endpoint non-2xx counts and a sha256
+// fingerprint of each endpoint's response body ("hash <endpoint> <sha>"
+// lines, greppable by scripts).
+//
+// Two modes: closed loop (-concurrency N workers back to back) and open
+// loop (-rps R, arrivals independent of completions — the honest way to
+// measure latency at a pinned rate). With -max-p99 and/or -max-non2xx
+// the run becomes an SLO check: violations print to stderr and the exit
+// code is 1, which is how scripts/check.sh gates the router topology.
+//
+// Example:
+//
+//	loadgen -base http://127.0.0.1:8080 -duration 5s -rps 200 -max-p99 250ms -max-non2xx 0
+//	loadgen -base http://127.0.0.1:8087 -duration 3s -concurrency 8
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"repro/internal/loadgen"
+)
+
+func main() {
+	var (
+		base        = flag.String("base", "", "base URL of the server under test, required")
+		duration    = flag.Duration("duration", 5*time.Second, "how long to drive load")
+		concurrency = flag.Int("concurrency", 4, "closed-loop worker count (ignored when -rps > 0)")
+		rps         = flag.Float64("rps", 0, "open-loop arrival rate; 0 selects the closed loop")
+		timeout     = flag.Duration("timeout", 10*time.Second, "per-request timeout")
+		maxP99      = flag.Duration("max-p99", 0, "SLO: fail if client-side p99 exceeds this (0 = no check)")
+		maxNon2xx   = flag.Int("max-non2xx", -1, "SLO: fail if non-2xx responses exceed this (-1 = no check)")
+	)
+	flag.Parse()
+	if err := run(*base, *duration, *concurrency, *rps, *timeout, *maxP99, *maxNon2xx, os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintf(os.Stderr, "loadgen: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// run executes one load run and applies the SLO checks; a violation is
+// an error so main exits nonzero.
+func run(base string, duration time.Duration, concurrency int, rps float64, timeout, maxP99 time.Duration, maxNon2xx int, out, errOut io.Writer) error {
+	if base == "" {
+		return fmt.Errorf("-base is required")
+	}
+	res, err := loadgen.Run(context.Background(), loadgen.Config{
+		BaseURL:     base,
+		Duration:    duration,
+		Concurrency: concurrency,
+		RPS:         rps,
+		Timeout:     timeout,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Fprint(out, res.Report())
+	if violations := res.CheckSLO(maxP99, maxNon2xx); len(violations) > 0 {
+		for _, v := range violations {
+			fmt.Fprintf(errOut, "SLO violation: %s\n", v)
+		}
+		return fmt.Errorf("%d SLO violation(s)", len(violations))
+	}
+	return nil
+}

@@ -1,0 +1,46 @@
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestRunPassesAndFailsSLO drives the whole CLI path against one
+// stable server: a generous SLO passes and prints hash lines; an
+// impossible p99 budget fails with a violation on stderr.
+func TestRunPassesAndFailsSLO(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintf(w, "ok %s %s", r.Method, r.URL.Path)
+	}))
+	defer ts.Close()
+
+	var out, errOut bytes.Buffer
+	if err := run(ts.URL, 100*time.Millisecond, 2, 0, time.Second, time.Minute, 0, &out, &errOut); err != nil {
+		t.Fatalf("generous SLO failed: %v\n%s", err, errOut.String())
+	}
+	if !strings.Contains(out.String(), "hash cost ") {
+		t.Fatalf("report missing hash lines:\n%s", out.String())
+	}
+
+	out.Reset()
+	errOut.Reset()
+	if err := run(ts.URL, 100*time.Millisecond, 2, 0, time.Second, time.Nanosecond, -1, &out, &errOut); err == nil {
+		t.Fatal("1ns p99 budget passed")
+	}
+	if !strings.Contains(errOut.String(), "SLO violation") {
+		t.Fatalf("no violation printed:\n%s", errOut.String())
+	}
+}
+
+// TestRunRequiresBase: a missing -base is a usage error.
+func TestRunRequiresBase(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if err := run("", time.Second, 1, 0, time.Second, 0, -1, &out, &errOut); err == nil {
+		t.Fatal("accepted an empty base URL")
+	}
+}

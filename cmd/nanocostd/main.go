@@ -28,8 +28,10 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
+	"io/fs"
 	"log/slog"
 	"net"
 	"net/http"
@@ -40,6 +42,7 @@ import (
 	"time"
 
 	"repro/internal/cliutil"
+	"repro/internal/memo"
 	"repro/internal/obs"
 	"repro/internal/parallel"
 	"repro/internal/profiling"
@@ -57,6 +60,7 @@ func main() {
 		workers   = flag.Int("workers", 0, "worker goroutines for sweeps (0 = all cores); results are identical for any value")
 		jobDir    = flag.String("job-dir", "", "directory for simulation-job checkpoints (empty = checkpointing disabled)")
 		maxJobs   = flag.Int("max-jobs", 0, "concurrent simulation jobs before 429 (0 = 2)")
+		memoSnap  = flag.String("memo-snapshot", "", "file for memo-cache snapshots: loaded at start, written after a clean drain (empty = disabled)")
 	)
 	o := &obs.Flags{}
 	o.RegisterFlags(flag.CommandLine)
@@ -72,7 +76,7 @@ func main() {
 		os.Exit(1)
 	}
 	ctx := o.StartRoot(context.Background(), "nanocostd.run")
-	err := run(ctx, *addr, *debugAddr, *timeout, *drain, *inflight, *maxBody, *jobDir, *maxJobs, logger)
+	err := run(ctx, *addr, *debugAddr, *timeout, *drain, *inflight, *maxBody, *jobDir, *maxJobs, *memoSnap, logger)
 	o.Finish(os.Stderr)
 	if perr := prof.Stop(); perr != nil && err == nil {
 		err = perr
@@ -85,8 +89,10 @@ func main() {
 
 // run serves until SIGINT/SIGTERM (or ctx cancellation), then lets the
 // server drain. A non-empty debugAddr additionally serves pprof on its
-// own listener for the daemon's lifetime.
-func run(ctx context.Context, addr, debugAddr string, timeout, drain time.Duration, inflight int, maxBody int64, jobDir string, maxJobs int, logger *slog.Logger) error {
+// own listener for the daemon's lifetime. A non-empty memoSnap warms the
+// memo caches from disk before serving and snapshots them back after a
+// clean drain, so a rolling restart of a replica keeps its cache shard.
+func run(ctx context.Context, addr, debugAddr string, timeout, drain time.Duration, inflight int, maxBody int64, jobDir string, maxJobs int, memoSnap string, logger *slog.Logger) error {
 	ctx, stop := signal.NotifyContext(ctx, os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
@@ -96,6 +102,20 @@ func run(ctx context.Context, addr, debugAddr string, timeout, drain time.Durati
 			return err
 		}
 		defer ln.Close()
+	}
+
+	if memoSnap != "" {
+		switch st, err := memo.LoadSnapshot(memoSnap); {
+		case err == nil:
+			logger.Info("memo snapshot loaded", "path", memoSnap,
+				"caches", st.Caches, "entries", st.Entries, "skipped", st.Skipped)
+		case errors.Is(err, fs.ErrNotExist):
+			logger.Info("memo snapshot absent, starting cold", "path", memoSnap)
+		default:
+			// A rotten snapshot must not stop the daemon: serving cold is
+			// strictly better than not serving.
+			logger.Warn("memo snapshot load failed, starting cold", "path", memoSnap, "error", err)
+		}
 	}
 
 	srv := serve.NewServer(serve.Config{
@@ -108,7 +128,16 @@ func run(ctx context.Context, addr, debugAddr string, timeout, drain time.Durati
 		JobDir:          jobDir,
 		MaxJobs:         maxJobs,
 	})
-	return srv.ListenAndServe(ctx)
+	err := srv.ListenAndServe(ctx)
+	if memoSnap != "" && err == nil {
+		if st, serr := memo.SaveSnapshot(memoSnap); serr != nil {
+			logger.Warn("memo snapshot save failed", "path", memoSnap, "error", serr)
+		} else {
+			logger.Info("memo snapshot saved", "path", memoSnap,
+				"caches", st.Caches, "entries", st.Entries)
+		}
+	}
+	return err
 }
 
 // startDebugListener binds addr and serves the net/http/pprof handlers on

@@ -6,6 +6,8 @@ import (
 	"io"
 	"log/slog"
 	"net/http"
+	"os"
+	"path/filepath"
 	"syscall"
 	"testing"
 	"time"
@@ -18,7 +20,7 @@ func TestRunServesAndDrainsOnSIGTERM(t *testing.T) {
 	logger := slog.New(slog.NewTextHandler(io.Discard, nil))
 	done := make(chan error, 1)
 	go func() {
-		done <- run(context.Background(), "127.0.0.1:0", "", time.Second, time.Second, 4, 1<<20, "", 0, logger)
+		done <- run(context.Background(), "127.0.0.1:0", "", time.Second, time.Second, 4, 1<<20, "", 0, "", logger)
 	}()
 
 	// Give the listener a beat to come up, then ask the daemon to stop the
@@ -38,11 +40,39 @@ func TestRunServesAndDrainsOnSIGTERM(t *testing.T) {
 	}
 }
 
+// TestRunWritesMemoSnapshotOnCleanDrain: with -memo-snapshot set, a
+// clean shutdown must leave a loadable snapshot file behind, and a
+// subsequent start must read it without complaint.
+func TestRunWritesMemoSnapshotOnCleanDrain(t *testing.T) {
+	logger := slog.New(slog.NewTextHandler(io.Discard, nil))
+	snap := filepath.Join(t.TempDir(), "memo.snapshot")
+	for i := 0; i < 2; i++ { // second pass exercises the load path
+		ctx, cancel := context.WithCancel(context.Background())
+		done := make(chan error, 1)
+		go func() {
+			done <- run(ctx, "127.0.0.1:0", "", time.Second, time.Second, 4, 1<<20, "", 0, snap, logger)
+		}()
+		time.Sleep(100 * time.Millisecond)
+		cancel()
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Fatalf("pass %d: run returned %v", i, err)
+			}
+		case <-time.After(10 * time.Second):
+			t.Fatalf("pass %d: run did not exit", i)
+		}
+		if _, err := os.Stat(snap); err != nil {
+			t.Fatalf("pass %d: no snapshot after clean drain: %v", i, err)
+		}
+	}
+}
+
 // TestRunRejectsBadAddr: an unbindable address is a startup error, not a
 // hang.
 func TestRunRejectsBadAddr(t *testing.T) {
 	logger := slog.New(slog.NewTextHandler(io.Discard, nil))
-	if err := run(context.Background(), "256.0.0.1:99999", "", time.Second, time.Second, 4, 1<<20, "", 0, logger); err == nil {
+	if err := run(context.Background(), "256.0.0.1:99999", "", time.Second, time.Second, 4, 1<<20, "", 0, "", logger); err == nil {
 		t.Fatal("accepted an unbindable address")
 	}
 }
@@ -51,7 +81,7 @@ func TestRunRejectsBadAddr(t *testing.T) {
 // same way the main address does — never a silently missing profiler.
 func TestRunRejectsBadDebugAddr(t *testing.T) {
 	logger := slog.New(slog.NewTextHandler(io.Discard, nil))
-	if err := run(context.Background(), "127.0.0.1:0", "256.0.0.1:99999", time.Second, time.Second, 4, 1<<20, "", 0, logger); err == nil {
+	if err := run(context.Background(), "127.0.0.1:0", "256.0.0.1:99999", time.Second, time.Second, 4, 1<<20, "", 0, "", logger); err == nil {
 		t.Fatal("accepted an unbindable debug address")
 	}
 }

@@ -1,0 +1,39 @@
+package main
+
+import (
+	"context"
+	"io"
+	"log/slog"
+	"testing"
+	"time"
+)
+
+func testLogger() *slog.Logger { return slog.New(slog.NewTextHandler(io.Discard, nil)) }
+
+// TestRunRequiresReplicas: an empty replica list is a startup error.
+func TestRunRequiresReplicas(t *testing.T) {
+	if err := run(context.Background(), "127.0.0.1:0", " , ", time.Second, time.Second, 1<<20, testLogger()); err == nil {
+		t.Fatal("accepted an empty replica list")
+	}
+}
+
+// TestRunServesAndStopsOnCancel: the router binds, serves and exits
+// cleanly when its context is cancelled. Replicas need not be up — the
+// router only dials them per proxied request.
+func TestRunServesAndStopsOnCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		done <- run(ctx, "127.0.0.1:0", "127.0.0.1:1,127.0.0.1:2", time.Second, time.Second, 1<<20, testLogger())
+	}()
+	time.Sleep(100 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("run returned %v, want nil after cancel", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("run did not exit after cancel")
+	}
+}

@@ -1,0 +1,443 @@
+// Package front is nanocostfront: a content-hash-sharding reverse proxy
+// over a fixed set of nanocostd replicas. Every request is keyed by a
+// hash of its content (method, path, query, body) and routed to the
+// replica that owns the key on a consistent-hash ring, so per-replica
+// memo caches and job checkpoints shard by content: the same figure
+// fetch or job spec always lands on the same warm replica instead of
+// warming every cache everywhere.
+//
+// Health is passive: a replica whose connection fails is benched for a
+// cooldown and requests flow to the next ring member; the first
+// successful proxy un-benches it. There is no active prober — the
+// traffic itself is the health check. Idempotent requests (GET, HEAD,
+// DELETE, and the POST model routes, which are pure functions of their
+// body — jobs included, being content-addressed) retry on the next ring
+// member after a transport failure; a request that has begun streaming
+// a response is never retried, so a client sees either one replica's
+// bytes or a clean 502, never a splice.
+//
+// The router's own endpoints: /healthz (router liveness), /readyz
+// (ready while at least one replica is unbenched), /frontz (topology:
+// replicas and bench state), /metrics (scrape, including the
+// front_replica_up per-replica gauge).
+package front
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"log/slog"
+	"net"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// Config collects the router's knobs. Replicas is required; everything
+// else has a documented default.
+type Config struct {
+	// Replicas are the backend addresses (host:port). At least one.
+	Replicas []string
+	// BenchFor is how long a replica stays benched after a transport
+	// failure (default 1s). Passive: the next attempt after the cooldown
+	// un-benches it on success.
+	BenchFor time.Duration
+	// ProxyTimeout bounds one backend attempt (default 30s); retries get
+	// a fresh budget.
+	ProxyTimeout time.Duration
+	// MaxBodyBytes caps request body size (default 1 MiB); larger bodies
+	// receive 413 without touching a backend.
+	MaxBodyBytes int64
+	// Logger receives structured proxy and lifecycle logs (default
+	// slog.Default()).
+	Logger *slog.Logger
+	// Transport overrides the backend RoundTripper (tests inject
+	// failures); nil uses a dedicated http.Transport.
+	Transport http.RoundTripper
+}
+
+func (c Config) withDefaults() Config {
+	if c.BenchFor <= 0 {
+		c.BenchFor = time.Second
+	}
+	if c.ProxyTimeout <= 0 {
+		c.ProxyTimeout = 30 * time.Second
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 1 << 20
+	}
+	if c.Logger == nil {
+		c.Logger = slog.Default()
+	}
+	if c.Transport == nil {
+		c.Transport = &http.Transport{
+			MaxIdleConnsPerHost: 32,
+			IdleConnTimeout:     90 * time.Second,
+		}
+	}
+	return c
+}
+
+// replicaState is the passive health record of one backend.
+type replicaState struct {
+	addr         string
+	benchedUntil atomic.Int64 // unix nanos; 0 = healthy
+}
+
+// Router is the nanocostfront proxy. Construct with New; drive with
+// ListenAndServe/Serve or mount Handler on a test server.
+type Router struct {
+	cfg      Config
+	log      *slog.Logger
+	ring     *ring
+	replicas map[string]*replicaState
+	mux      *http.ServeMux
+	addr     atomic.Value // string: bound listen address
+
+	reg           *obs.Registry
+	requestsTotal *obs.CounterVec // by replica and status code
+	retriesTotal  *obs.Counter
+	benchedTotal  *obs.CounterVec // by replica
+	replicaUp     *obs.GaugeVec   // 1 = unbenched, sampled on change
+	proxySeconds  *obs.Histogram
+}
+
+// New builds a Router over cfg.Replicas.
+func New(cfg Config) (*Router, error) {
+	cfg = cfg.withDefaults()
+	if len(cfg.Replicas) == 0 {
+		return nil, errors.New("front: at least one replica is required")
+	}
+	rt := &Router{
+		cfg:      cfg,
+		log:      cfg.Logger,
+		ring:     newRing(cfg.Replicas),
+		replicas: map[string]*replicaState{},
+		mux:      http.NewServeMux(),
+		reg:      obs.NewRegistry(),
+	}
+	for _, addr := range rt.ring.replicas {
+		if _, dup := rt.replicas[addr]; dup {
+			return nil, fmt.Errorf("front: duplicate replica %s", addr)
+		}
+		rt.replicas[addr] = &replicaState{addr: addr}
+	}
+	rt.requestsTotal = rt.reg.NewCounterVec("front_requests_total",
+		"Requests proxied, by replica and status code.", "replica", "code")
+	rt.retriesTotal = rt.reg.NewCounter("front_retries_total",
+		"Idempotent requests retried on the next ring member after a transport failure.")
+	rt.benchedTotal = rt.reg.NewCounterVec("front_benched_total",
+		"Times each replica was benched by a transport failure.", "replica")
+	rt.replicaUp = rt.reg.NewGaugeVec("front_replica_up",
+		"Per-replica passive health: 1 unbenched, 0 benched.", "replica")
+	rt.proxySeconds = rt.reg.NewHistogramOn("front_proxy_seconds",
+		"End-to-end proxy latency, successful attempt only.", obs.DurationBuckets)
+	rt.reg.RegisterGoRuntime()
+	for _, addr := range rt.ring.replicas {
+		rt.replicaUp.With(addr).Set(1)
+	}
+
+	rt.mux.HandleFunc("GET /healthz", rt.handleHealthz)
+	rt.mux.HandleFunc("GET /readyz", rt.handleReadyz)
+	rt.mux.HandleFunc("GET /frontz", rt.handleFrontz)
+	rt.mux.HandleFunc("GET /metrics", rt.handleMetrics)
+	rt.mux.HandleFunc("/", rt.proxy)
+	return rt, nil
+}
+
+// Handler returns the router's root handler, for httptest mounting.
+func (rt *Router) Handler() http.Handler { return rt.mux }
+
+// Addr returns the bound listen address once Serve has started, or "".
+func (rt *Router) Addr() string {
+	if v := rt.addr.Load(); v != nil {
+		return v.(string)
+	}
+	return ""
+}
+
+// ListenAndServe listens on addr and serves until ctx is cancelled.
+func (rt *Router) ListenAndServe(ctx context.Context, addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("front: listen %s: %w", addr, err)
+	}
+	return rt.Serve(ctx, ln)
+}
+
+// Serve serves on ln until ctx is cancelled, then drains briefly. The
+// log line carries the bound address the way nanocostd's does, so
+// scripts discover ephemeral ports by parsing it.
+func (rt *Router) Serve(ctx context.Context, ln net.Listener) error {
+	rt.addr.Store(ln.Addr().String())
+	rt.log.Info("nanocostfront listening",
+		"addr", ln.Addr().String(),
+		"replicas", strings.Join(rt.ring.replicas, ","))
+	srv := &http.Server{Handler: rt.mux, ReadHeaderTimeout: 5 * time.Second}
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ln) }()
+	select {
+	case err := <-done:
+		return fmt.Errorf("front: %w", err)
+	case <-ctx.Done():
+	}
+	drainCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	err := srv.Shutdown(drainCtx)
+	<-done
+	if err != nil {
+		return fmt.Errorf("front: shutdown: %w", err)
+	}
+	rt.log.Info("nanocostfront stopped")
+	return nil
+}
+
+// benched reports whether addr is inside its cooldown window.
+func (rt *Router) benched(addr string) bool {
+	until := rt.replicas[addr].benchedUntil.Load()
+	return until != 0 && time.Now().UnixNano() < until
+}
+
+// bench starts addr's cooldown after a transport failure.
+func (rt *Router) bench(addr string) {
+	rt.replicas[addr].benchedUntil.Store(time.Now().Add(rt.cfg.BenchFor).UnixNano())
+	rt.benchedTotal.With(addr).Inc()
+	rt.replicaUp.With(addr).Set(0)
+	rt.log.Warn("replica benched", "replica", addr, "for", rt.cfg.BenchFor.String())
+}
+
+// unbench clears addr's cooldown after a successful proxy.
+func (rt *Router) unbench(addr string) {
+	if rt.replicas[addr].benchedUntil.Swap(0) != 0 {
+		rt.replicaUp.With(addr).Set(1)
+		rt.log.Info("replica recovered", "replica", addr)
+	}
+}
+
+// idempotentPOSTRoutes are the POST routes safe to retry on another
+// replica: each is a pure function of its body. /v1/jobs qualifies
+// because job identity is the canonical content hash of the spec — a
+// duplicate submit attaches to the existing job, it does not fork one.
+var idempotentPOSTRoutes = map[string]bool{
+	"/v1/cost":        true,
+	"/v1/designcost":  true,
+	"/v1/generalized": true,
+	"/v1/sweep":       true,
+	"/v1/batch":       true,
+	"/v1/jobs":        true,
+}
+
+// idempotent reports whether a request may be retried on the next ring
+// member after a transport failure.
+func idempotent(method, path string) bool {
+	switch method {
+	case http.MethodGet, http.MethodHead, http.MethodDelete:
+		return true
+	case http.MethodPost:
+		return idempotentPOSTRoutes[path]
+	}
+	return false
+}
+
+// requestKey is the content hash that shards requests across replicas:
+// same method+path+query+body, same replica (and so the same warm memo
+// cache and the same job checkpoint directory).
+func requestKey(r *http.Request, body []byte) uint64 {
+	var b []byte
+	b = append(b, r.Method...)
+	b = append(b, '\n')
+	b = append(b, r.URL.Path...)
+	b = append(b, '\n')
+	b = append(b, r.URL.RawQuery...)
+	b = append(b, '\n')
+	b = append(b, body...)
+	return hash64(b)
+}
+
+// hopHeaders are the hop-by-hop headers stripped in both directions.
+var hopHeaders = []string{
+	"Connection", "Keep-Alive", "Proxy-Authenticate", "Proxy-Authorization",
+	"Te", "Trailer", "Transfer-Encoding", "Upgrade",
+}
+
+// proxy is the catch-all: pick the preference order for the request's
+// content key, move benched replicas to the back (never drop them — if
+// everything is benched, trying is still better than failing), and
+// attempt in order until a replica answers.
+func (rt *Router) proxy(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, rt.cfg.MaxBodyBytes))
+	if err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			writeJSONError(w, http.StatusRequestEntityTooLarge, "body_too_large",
+				fmt.Sprintf("request body exceeds %d bytes", rt.cfg.MaxBodyBytes))
+			return
+		}
+		writeJSONError(w, http.StatusBadRequest, "body_read_failed", err.Error())
+		return
+	}
+
+	pref := rt.ring.order(requestKey(r, body))
+	healthy := make([]string, 0, len(pref))
+	var cold []string
+	for _, addr := range pref {
+		if rt.benched(addr) {
+			cold = append(cold, addr)
+		} else {
+			healthy = append(healthy, addr)
+		}
+	}
+	order := append(healthy, cold...)
+
+	canRetry := idempotent(r.Method, r.URL.Path)
+	start := time.Now()
+	var lastErr error
+	for i, addr := range order {
+		if i > 0 {
+			rt.retriesTotal.Inc()
+		}
+		resp, err := rt.attempt(r, addr, body)
+		if err != nil {
+			// Transport failure: no response existed, so nothing was
+			// written to the client and retrying cannot splice payloads.
+			rt.bench(addr)
+			lastErr = err
+			rt.log.Warn("proxy attempt failed", "replica", addr,
+				"method", r.Method, "path", r.URL.Path, "error", err.Error())
+			if canRetry {
+				continue
+			}
+			break
+		}
+		rt.unbench(addr)
+		rt.relay(w, resp, addr)
+		rt.proxySeconds.Observe(time.Since(start).Seconds())
+		return
+	}
+	if lastErr == nil {
+		lastErr = errors.New("no replicas configured")
+	}
+	writeJSONError(w, http.StatusBadGateway, "no_replica_available", lastErr.Error())
+}
+
+// attempt proxies the request to one replica and returns its response,
+// or the transport error if no response exists.
+func (rt *Router) attempt(r *http.Request, addr string, body []byte) (*http.Response, error) {
+	ctx, cancel := context.WithTimeout(r.Context(), rt.cfg.ProxyTimeout)
+	url := "http://" + addr + r.URL.Path
+	if r.URL.RawQuery != "" {
+		url += "?" + r.URL.RawQuery
+	}
+	req, err := http.NewRequestWithContext(ctx, r.Method, url, bytes.NewReader(body))
+	if err != nil {
+		cancel()
+		return nil, err
+	}
+	req.Header = r.Header.Clone()
+	for _, h := range hopHeaders {
+		req.Header.Del(h)
+	}
+	resp, err := rt.cfg.Transport.RoundTrip(req)
+	if err != nil {
+		cancel()
+		return nil, err
+	}
+	// The cancel travels with the body: relay closes it when done.
+	resp.Body = &cancelOnClose{ReadCloser: resp.Body, cancel: cancel}
+	return resp, nil
+}
+
+// cancelOnClose releases the attempt's context when the response body
+// is closed, so the timeout does not fire mid-relay nor leak.
+type cancelOnClose struct {
+	io.ReadCloser
+	cancel context.CancelFunc
+}
+
+func (c *cancelOnClose) Close() error {
+	err := c.ReadCloser.Close()
+	c.cancel()
+	return err
+}
+
+// relay copies one backend response to the client verbatim, adding
+// X-Backend so tests and operators can see the routing decision.
+func (rt *Router) relay(w http.ResponseWriter, resp *http.Response, addr string) {
+	defer resp.Body.Close()
+	hdr := w.Header()
+	for k, vs := range resp.Header {
+		for _, v := range vs {
+			hdr.Add(k, v)
+		}
+	}
+	for _, h := range hopHeaders {
+		hdr.Del(h)
+	}
+	hdr.Set("X-Backend", addr)
+	w.WriteHeader(resp.StatusCode)
+	n, err := io.Copy(w, resp.Body)
+	rt.requestsTotal.With(addr, strconv.Itoa(resp.StatusCode)).Inc()
+	if err != nil {
+		// Mid-stream backend failure after bytes flowed: truncation is
+		// the honest outcome; never splice another replica's bytes in.
+		rt.log.Warn("relay truncated", "replica", addr, "bytes", n, "error", err.Error())
+	}
+}
+
+func (rt *Router) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSONBody(w, http.StatusOK, `{"status":"ok"}`)
+}
+
+// handleReadyz: the router is ready while at least one replica is
+// unbenched. With every replica benched it answers 503 — new traffic
+// would only queue behind a dead backend set.
+func (rt *Router) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	for _, addr := range rt.ring.replicas {
+		if !rt.benched(addr) {
+			writeJSONBody(w, http.StatusOK, `{"status":"ready"}`)
+			return
+		}
+	}
+	w.Header().Set("Retry-After", "1")
+	writeJSONBody(w, http.StatusServiceUnavailable, `{"status":"all replicas benched"}`)
+}
+
+// handleFrontz reports the routing topology: every replica with its
+// bench state, plus the ring's vnode count, as one JSON object.
+func (rt *Router) handleFrontz(w http.ResponseWriter, r *http.Request) {
+	var b strings.Builder
+	b.WriteString(`{"vnodes_per_replica":`)
+	b.WriteString(strconv.Itoa(vnodesPerReplica))
+	b.WriteString(`,"replicas":[`)
+	for i, addr := range rt.ring.replicas {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, `{"addr":%q,"benched":%v}`, addr, rt.benched(addr))
+	}
+	b.WriteString("]}")
+	writeJSONBody(w, http.StatusOK, b.String())
+}
+
+func (rt *Router) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	rt.reg.Render(w)
+}
+
+func writeJSONBody(w http.ResponseWriter, status int, body string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	io.WriteString(w, body+"\n")
+}
+
+func writeJSONError(w http.ResponseWriter, status int, code, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	fmt.Fprintf(w, `{"error":{"code":%q,"message":%q}}`+"\n", code, msg)
+}

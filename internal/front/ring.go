@@ -1,0 +1,85 @@
+// Consistent-hash ring. The router keys every request by a content hash
+// (the same content-addressing idea the memo and job layers use) and
+// walks the ring to pick a replica, so each replica's memo caches and
+// job checkpoints shard by content instead of smearing every key across
+// every replica. Virtual nodes smooth the split; the preference walk
+// yields every replica exactly once, giving retry a deterministic
+// second choice when the first is down.
+
+package front
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"sort"
+)
+
+// vnodesPerReplica is how many points each replica contributes to the
+// ring. 64 keeps the worst-case load split within a few percent of even
+// for small replica sets while the ring stays tiny (a two-replica ring
+// is 128 points).
+const vnodesPerReplica = 64
+
+// ringPoint is one virtual node: a hash position owned by a replica.
+type ringPoint struct {
+	hash    uint64
+	replica int // index into ring.replicas
+}
+
+// ring is an immutable consistent-hash ring over a fixed replica set.
+// Build once with newRing; reads need no locking.
+type ring struct {
+	replicas []string
+	points   []ringPoint
+}
+
+// hash64 collapses a byte string to a ring position through sha256 —
+// overkill for speed, exactly right for even spread and zero tuning.
+func hash64(b []byte) uint64 {
+	sum := sha256.Sum256(b)
+	return binary.BigEndian.Uint64(sum[:8])
+}
+
+// newRing builds the ring for the given replica addresses. Order of the
+// input does not matter: points depend only on the address strings, so
+// every router over the same replica set routes identically.
+func newRing(replicas []string) *ring {
+	r := &ring{
+		replicas: append([]string(nil), replicas...),
+		points:   make([]ringPoint, 0, len(replicas)*vnodesPerReplica),
+	}
+	sort.Strings(r.replicas)
+	for i, addr := range r.replicas {
+		for v := 0; v < vnodesPerReplica; v++ {
+			r.points = append(r.points, ringPoint{
+				hash:    hash64(fmt.Appendf(nil, "%s#%d", addr, v)),
+				replica: i,
+			})
+		}
+	}
+	sort.Slice(r.points, func(a, b int) bool { return r.points[a].hash < r.points[b].hash })
+	return r
+}
+
+// order returns every replica exactly once, in preference order for
+// key: the owner of key's successor point first, then each further
+// replica in the order the walk first meets it. The result is a fresh
+// slice the caller may reorder (the router moves benched replicas to
+// the back).
+func (r *ring) order(key uint64) []string {
+	if len(r.points) == 0 {
+		return nil
+	}
+	start := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= key })
+	out := make([]string, 0, len(r.replicas))
+	seen := make([]bool, len(r.replicas))
+	for i := 0; len(out) < len(r.replicas); i++ {
+		p := r.points[(start+i)%len(r.points)]
+		if !seen[p.replica] {
+			seen[p.replica] = true
+			out = append(out, r.replicas[p.replica])
+		}
+	}
+	return out
+}

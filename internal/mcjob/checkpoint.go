@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"sync"
@@ -40,15 +41,27 @@ type shardRecord struct {
 }
 
 // checkpoint is the on-disk state of a run: MANIFEST.json (written once,
-// atomically via tmp+rename) plus shards.ndjson, an append-only log with
-// one shardRecord per completed shard, fsynced per append so a crash
-// loses at most the shard being written — and a torn final line is
-// skipped on load, never trusted.
+// atomically via tmp+rename, with the directory fsynced after the rename
+// so the manifest's directory entry survives a crash) plus shards.ndjson,
+// an append-only log with one shardRecord per completed shard, fsynced
+// per append so a crash loses at most the shard being written — and a
+// torn final line is skipped on load, never trusted.
 type checkpoint struct {
 	mu  sync.Mutex
 	f   *os.File
 	buf []byte
+	// skippedRecords counts shard-log lines dropped during replay
+	// (torn, malformed, oversized, or inconsistent with the plan); the
+	// run reports it so silently rerun shards leave a signal.
+	skippedRecords int
 }
+
+// maxShardRecordBytes bounds one replayed shard-log line. A line past the
+// cap is skipped and counted — the following lines still replay, unlike
+// the bufio.Scanner ErrTooLong behavior this replaced, which silently
+// stopped the scan and dropped every later shard. A var so the oversize
+// path is testable without writing a quarter-gigabyte fixture.
+var maxShardRecordBytes = 256 << 20
 
 const (
 	manifestName = "MANIFEST.json"
@@ -82,27 +95,14 @@ func openCheckpoint(dir string, m manifest, p plan) (*checkpoint, map[int][]Part
 	}
 
 	restored := map[int][]Partial{}
+	skipped := 0
 	logPath := filepath.Join(dir, shardLogName)
 	if rf, err := os.Open(logPath); err == nil {
-		sc := bufio.NewScanner(rf)
-		sc.Buffer(make([]byte, 0, 1<<20), 64<<20)
-		for sc.Scan() {
-			var rec shardRecord
-			if json.Unmarshal(sc.Bytes(), &rec) != nil {
-				continue // torn or corrupt line: rerun that shard
-			}
-			if rec.Shard < 0 || rec.Shard >= p.shards {
-				continue
-			}
-			lo, hi := p.shardChunks(rec.Shard)
-			if len(rec.Chunks) != hi-lo {
-				continue
-			}
-			restored[rec.Shard] = rec.Chunks
-		}
+		var replayErr error
+		restored, skipped, replayErr = replayShardLog(rf, p)
 		rf.Close()
-		if err := sc.Err(); err != nil && !errors.Is(err, bufio.ErrTooLong) {
-			return nil, nil, fmt.Errorf("mcjob: read shard log: %w", err)
+		if replayErr != nil {
+			return nil, nil, fmt.Errorf("mcjob: read shard log: %w", replayErr)
 		}
 	} else if !os.IsNotExist(err) {
 		return nil, nil, fmt.Errorf("mcjob: open shard log: %w", err)
@@ -112,7 +112,83 @@ func openCheckpoint(dir string, m manifest, p plan) (*checkpoint, map[int][]Part
 	if err != nil {
 		return nil, nil, fmt.Errorf("mcjob: append shard log: %w", err)
 	}
-	return &checkpoint{f: f}, restored, nil
+	// The log file may have just been created: without a directory sync
+	// its entry is not durable, and a crash after acknowledged shard
+	// appends could lose the whole file (the appends were fsynced into a
+	// file no directory references). One sync on open covers every later
+	// append.
+	if err := syncDir(dir); err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("mcjob: sync checkpoint dir: %w", err)
+	}
+	return &checkpoint{f: f, skippedRecords: skipped}, restored, nil
+}
+
+// replayShardLog restores completed shards from the append-only log. It
+// reads with a bufio.Reader line loop rather than a bufio.Scanner: a
+// scanner hitting its buffer cap stops with ErrTooLong, and swallowing
+// that dropped every record after the first oversized one with no
+// signal. Here an oversized line is skipped and counted like any other
+// bad record, and the records behind it still replay. Lines that are
+// torn (no trailing newline at EOF), malformed, out of range or
+// inconsistent with the plan are likewise counted and skipped — those
+// shards simply rerun.
+func replayShardLog(rf io.Reader, p plan) (map[int][]Partial, int, error) {
+	restored := map[int][]Partial{}
+	skipped := 0
+	r := bufio.NewReaderSize(rf, 1<<20)
+	var line []byte
+	for {
+		line = line[:0]
+		tooLong := false
+		var readErr error
+		for {
+			frag, err := r.ReadSlice('\n')
+			if len(line)+len(frag) > maxShardRecordBytes {
+				tooLong = true
+				line = line[:0] // discard; keep consuming to the newline
+			} else {
+				line = append(line, frag...)
+			}
+			if err == nil || !errors.Is(err, bufio.ErrBufferFull) {
+				readErr = err
+				break
+			}
+		}
+		if readErr != nil && !errors.Is(readErr, io.EOF) {
+			return nil, 0, readErr
+		}
+		switch {
+		case tooLong:
+			skipped++
+		case len(line) > 0:
+			if rec, ok := parseShardRecord(line, p); ok {
+				restored[rec.Shard] = rec.Chunks
+			} else {
+				skipped++ // torn, corrupt or inconsistent line: rerun that shard
+			}
+		}
+		if errors.Is(readErr, io.EOF) {
+			return restored, skipped, nil
+		}
+	}
+}
+
+// parseShardRecord decodes and validates one shard-log line against the
+// plan's geometry.
+func parseShardRecord(line []byte, p plan) (shardRecord, bool) {
+	var rec shardRecord
+	if json.Unmarshal(line, &rec) != nil {
+		return rec, false
+	}
+	if rec.Shard < 0 || rec.Shard >= p.shards {
+		return rec, false
+	}
+	lo, hi := p.shardChunks(rec.Shard)
+	if len(rec.Chunks) != hi-lo {
+		return rec, false
+	}
+	return rec, true
 }
 
 // writeShard appends one completed shard and fsyncs, so an acknowledged
@@ -140,8 +216,11 @@ func (c *checkpoint) close() {
 	c.f.Close()
 }
 
-// writeFileAtomic writes via a temp file and rename, so a crashed writer
-// never leaves a half-written manifest for the next run to misparse.
+// writeFileAtomic writes via a temp file, fsync, rename and a sync of
+// the parent directory, so a crashed writer never leaves a half-written
+// manifest for the next run to misparse — and a crash right after the
+// rename cannot lose the renamed entry either (the rename itself lives
+// in the directory, which is only durable once the directory is synced).
 func writeFileAtomic(path string, data []byte) error {
 	tmp, err := os.CreateTemp(filepath.Dir(path), ".tmp-manifest-*")
 	if err != nil {
@@ -159,7 +238,25 @@ func writeFileAtomic(path string, data []byte) error {
 	if err := tmp.Close(); err != nil {
 		return err
 	}
-	return os.Rename(tmp.Name(), path)
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return err
+	}
+	return syncDir(filepath.Dir(path))
+}
+
+// syncDir fsyncs a directory, making its entries (files created or
+// renamed into it) durable. File-content fsyncs alone do not cover the
+// directory entry that names the file.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	if err := d.Sync(); err != nil {
+		d.Close()
+		return err
+	}
+	return d.Close()
 }
 
 func mustJSON(v any) []byte {

@@ -1,0 +1,133 @@
+package mcjob
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestCheckpointFirstOpenReopen exercises the durability path end to
+// end: a first open creates the directory, the manifest (atomic write +
+// directory sync) and the shard log (O_CREATE + directory sync); a
+// reopen verifies the manifest and replays the appended shard with
+// nothing skipped.
+func TestCheckpointFirstOpenReopen(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "ckpt")
+	m := manifest{Version: checkpointVersion, Kind: "defect", Trials: 2 * defectChunkTrials,
+		ChunkTrials: defectChunkTrials, Shards: 2, Seed: 9}
+	p := newPlan(m.Trials, m.ChunkTrials, m.Shards)
+
+	cp, restored, err := openCheckpoint(dir, m, p)
+	if err != nil {
+		t.Fatalf("first open: %v", err)
+	}
+	if len(restored) != 0 || cp.skippedRecords != 0 {
+		t.Fatalf("fresh checkpoint restored %d shards, skipped %d", len(restored), cp.skippedRecords)
+	}
+	want := []Partial{{Trials: defectChunkTrials, Good: 41, Sum: 1.5}}
+	if err := cp.writeShard(1, want); err != nil {
+		t.Fatalf("writeShard: %v", err)
+	}
+	cp.close()
+
+	cp2, restored2, err := openCheckpoint(dir, m, p)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer cp2.close()
+	if cp2.skippedRecords != 0 {
+		t.Fatalf("reopen skipped %d records, want 0", cp2.skippedRecords)
+	}
+	got, ok := restored2[1]
+	if !ok || len(got) != 1 || got[0] != want[0] {
+		t.Fatalf("reopen restored %v, want shard 1 = %v", restored2, want)
+	}
+}
+
+// TestCheckpointOversizedRecordSkippedNotFatal is the regression test
+// for the bufio.Scanner ErrTooLong swallow: an oversized line must be
+// skipped and counted, and — critically — every record after it must
+// still replay. The old scanner stopped dead at the oversized line, so
+// all later shards silently reran.
+func TestCheckpointOversizedRecordSkippedNotFatal(t *testing.T) {
+	saved := maxShardRecordBytes
+	maxShardRecordBytes = 4096
+	defer func() { maxShardRecordBytes = saved }()
+
+	k, err := NewDefectKernel(DefectSpec{Lambda: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := RunConfig{Trials: 4 * defectChunkTrials, Shards: 4, Workers: 1, Seed: 17}
+	ref, err := Run(context.Background(), k, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dir := t.TempDir()
+	cfg.CheckpointDir = dir
+	if _, err := Run(context.Background(), k, cfg); err != nil {
+		t.Fatal(err)
+	}
+	logPath := filepath.Join(dir, shardLogName)
+	data, err := os.ReadFile(logPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Prepend a line well past the record cap (and larger than the
+	// reader's internal buffer would hand back in one fragment): with
+	// the scanner-based replay this one line dropped all four real
+	// records behind it.
+	oversized := strings.Repeat("x", maxShardRecordBytes+100) + "\n"
+	if err := os.WriteFile(logPath, append([]byte(oversized), data...), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	var first Progress
+	cfg.OnProgress = func(p Progress) {
+		if first.Shards == 0 {
+			first = p
+		}
+	}
+	got, err := Run(context.Background(), k, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.ShardsResumed != 4 {
+		t.Fatalf("resumed %d shards behind the oversized line, want all 4", first.ShardsResumed)
+	}
+	if first.CheckpointSkipped != 1 {
+		t.Fatalf("CheckpointSkipped = %d, want 1 counted oversized record", first.CheckpointSkipped)
+	}
+	mustEqualResults(t, "oversized-record", ref, got)
+}
+
+// TestReplayShardLogCountsEveryDamageKind pins the skip accounting:
+// oversized, malformed, out-of-range and wrong-chunk-count lines each
+// count once, and a valid record surrounded by them still restores.
+func TestReplayShardLogCountsEveryDamageKind(t *testing.T) {
+	saved := maxShardRecordBytes
+	maxShardRecordBytes = 256
+	defer func() { maxShardRecordBytes = saved }()
+
+	p := newPlan(4*defectChunkTrials, defectChunkTrials, 4)
+	log := strings.Join([]string{
+		strings.Repeat("y", 300),                  // oversized
+		"not json",                                // malformed
+		`{"shard":99,"chunks":[]}`,                // out of range
+		`{"shard":1,"chunks":[]}`,                 // wrong chunk count (want 1)
+		`{"shard":2,"chunks":[{"t":8192,"g":5}]}`, // valid
+	}, "\n") + "\n"
+	restored, skipped, err := replayShardLog(strings.NewReader(log), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if skipped != 4 {
+		t.Fatalf("skipped = %d, want 4", skipped)
+	}
+	if len(restored) != 1 || restored[2][0].Good != 5 {
+		t.Fatalf("restored = %v, want only shard 2", restored)
+	}
+}

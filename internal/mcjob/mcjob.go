@@ -102,9 +102,13 @@ type Progress struct {
 	Shards        int
 	ShardsDone    int
 	ShardsResumed int
-	Trials        int64
-	TrialsDone    int64
-	TrialsResumed int64
+	// CheckpointSkipped counts shard-log records dropped during replay
+	// (torn, malformed, oversized or inconsistent): those shards rerun,
+	// and the count is the signal that they did.
+	CheckpointSkipped int
+	Trials            int64
+	TrialsDone        int64
+	TrialsResumed     int64
 	// LastShard identifies the shard whose completion triggered this
 	// snapshot (-1 for the initial resume snapshot), and
 	// LastShardSeconds its wall-clock evaluation time.
@@ -162,6 +166,19 @@ func newPlan(trials, chunkTrials int64, shards int) plan {
 		p.shards = p.chunks
 	}
 	return p
+}
+
+// NormalizedShards reports the shard count Run actually uses for a
+// kernel with unit chunks of chunkTrials: the caller's choice with the
+// default applied and the chunk-count clamp, exactly as the execution
+// plan resolves it. The serve layer canonicalizes job specs through this
+// before hashing them into job IDs, so an omitted shard count and an
+// explicit one that resolves identically name the same job.
+func NormalizedShards(chunkTrials, trials int64, shards int) int {
+	if chunkTrials <= 0 || trials <= 0 {
+		return 0
+	}
+	return newPlan(trials, chunkTrials, shards).shards
 }
 
 // shardChunks returns shard s's half-open global chunk range.
@@ -303,6 +320,9 @@ func Run(ctx context.Context, k Kernel, cfg RunConfig) (Result, error) {
 		}
 	}
 	prog := Progress{Shards: p.shards, Trials: cfg.Trials, LastShard: -1}
+	if cp != nil {
+		prog.CheckpointSkipped = cp.skippedRecords
+	}
 	pending := make([]int, 0, p.shards)
 	for s := 0; s < p.shards; s++ {
 		if parts, ok := restored[s]; ok {
@@ -319,8 +339,11 @@ func Run(ctx context.Context, k Kernel, cfg RunConfig) (Result, error) {
 	advance()
 	if span != nil {
 		span.SetAttr("resumed", strconv.Itoa(prog.ShardsResumed))
+		if prog.CheckpointSkipped > 0 {
+			span.SetAttr("checkpoint_skipped", strconv.Itoa(prog.CheckpointSkipped))
+		}
 	}
-	if cfg.OnProgress != nil && prog.ShardsResumed > 0 {
+	if cfg.OnProgress != nil && (prog.ShardsResumed > 0 || prog.CheckpointSkipped > 0) {
 		cfg.OnProgress(prog)
 	}
 

@@ -1,0 +1,245 @@
+// Snapshot support: caches whose keys and values survive a JSON round
+// trip can opt in (EnableSnapshot) to disk snapshots, so a restarting
+// replica comes back warm instead of re-deriving every memoized value
+// from scratch. SaveSnapshot serializes every opted-in cache into one
+// atomically written, fsynced file; LoadSnapshot seeds entries back —
+// but only where the slot is still absent, so a live fill always beats
+// stale disk state.
+//
+// Opting in is a per-cache decision precisely because the codec is JSON:
+// a key type with unexported fields would marshal as "{}" and collide
+// every entry into one. Only caches whose K and V round-trip faithfully
+// may be enabled.
+
+package memo
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// snapshotVersion guards the file format. A version bump makes old
+// snapshots load as a clean miss (error), never as garbage entries.
+const snapshotVersion = 1
+
+// snapshotEntry is one cached slot on disk: key and value as raw JSON.
+type snapshotEntry struct {
+	K json.RawMessage `json:"k"`
+	V json.RawMessage `json:"v"`
+}
+
+// snapshotFile is the on-disk layout: entries per cache name, each list
+// ordered most-recently-used first so a restore preserves LRU order.
+type snapshotFile struct {
+	Version int                        `json:"version"`
+	Caches  map[string][]snapshotEntry `json:"caches"`
+}
+
+// snapshotter is the type-erased view of an opted-in cache.
+type snapshotter interface {
+	snapshotName() string
+	exportEntries() []snapshotEntry
+	importEntries([]snapshotEntry) (seeded, skipped int)
+}
+
+var snapshotRegistry struct {
+	mu     sync.Mutex
+	caches []snapshotter
+}
+
+// EnableSnapshot opts c into Save/LoadSnapshot. K and V must survive a
+// JSON round trip (marshal then unmarshal yields an equivalent value);
+// entries that fail to encode are silently dropped from snapshots, and
+// entries that fail to decode are counted as skipped on load.
+func EnableSnapshot[K comparable, V any](c *Cache[K, V]) {
+	snapshotRegistry.mu.Lock()
+	defer snapshotRegistry.mu.Unlock()
+	snapshotRegistry.caches = append(snapshotRegistry.caches, jsonCodec[K, V]{c})
+}
+
+// jsonCodec adapts a concrete Cache to the snapshotter interface.
+type jsonCodec[K comparable, V any] struct{ c *Cache[K, V] }
+
+func (j jsonCodec[K, V]) snapshotName() string { return j.c.name }
+
+// exportEntries walks the LRU list front (MRU) to back, keeping only
+// settled, successful fills. In-flight fills are skipped — their value
+// does not exist yet — as are entries the codec cannot express.
+func (j jsonCodec[K, V]) exportEntries() []snapshotEntry {
+	c := j.c
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]snapshotEntry, 0, len(c.entries))
+	for el := c.lru.Front(); el != nil; el = el.Next() {
+		e := el.Value.(*entry[K, V])
+		select {
+		case <-e.ready:
+		default:
+			continue // fill still running
+		}
+		if e.err != nil {
+			continue
+		}
+		k, err := json.Marshal(e.key)
+		if err != nil {
+			continue
+		}
+		v, err := json.Marshal(e.val)
+		if err != nil {
+			continue
+		}
+		out = append(out, snapshotEntry{K: k, V: v})
+	}
+	return out
+}
+
+// importEntries seeds decoded entries in file order. Because the file is
+// MRU-first and seed appends at the LRU back, the restored cache keeps
+// the snapshot's eviction order behind anything already live.
+func (j jsonCodec[K, V]) importEntries(entries []snapshotEntry) (seeded, skipped int) {
+	for _, se := range entries {
+		var k K
+		var v V
+		if json.Unmarshal(se.K, &k) != nil || json.Unmarshal(se.V, &v) != nil {
+			skipped++
+			continue
+		}
+		if j.c.seed(k, v) {
+			seeded++
+		} else {
+			skipped++
+		}
+	}
+	return seeded, skipped
+}
+
+// seed inserts a completed entry at the LRU back if the key is absent
+// and the cache has room, reporting whether it took. Live state wins:
+// an existing slot (even an in-flight fill) is never replaced, and
+// seeding never evicts. Counters are untouched — a restored entry is
+// neither a hit nor a miss until someone asks for it.
+func (c *Cache[K, V]) seed(key K, val V) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.entries[key]; ok {
+		return false
+	}
+	if len(c.entries) >= c.cap {
+		return false
+	}
+	e := &entry[K, V]{key: key, ready: make(chan struct{}), val: val}
+	close(e.ready)
+	c.entries[key] = c.lru.PushBack(e)
+	return true
+}
+
+// SnapshotStats summarizes one Save or Load.
+type SnapshotStats struct {
+	Caches  int // caches written (save) or matched by name (load)
+	Entries int // entries written (save) or seeded (load)
+	Skipped int // load only: undecodable, duplicate or over-capacity entries
+}
+
+// SaveSnapshot writes every opted-in cache to path. The write is atomic
+// (temp file + rename) and durable (file and parent directory fsynced),
+// so a crash mid-save leaves either the old snapshot or the new one,
+// never a torn file.
+func SaveSnapshot(path string) (SnapshotStats, error) {
+	snapshotRegistry.mu.Lock()
+	caches := make([]snapshotter, len(snapshotRegistry.caches))
+	copy(caches, snapshotRegistry.caches)
+	snapshotRegistry.mu.Unlock()
+
+	file := snapshotFile{Version: snapshotVersion, Caches: map[string][]snapshotEntry{}}
+	var st SnapshotStats
+	for _, c := range caches {
+		entries := c.exportEntries()
+		file.Caches[c.snapshotName()] = entries
+		st.Caches++
+		st.Entries += len(entries)
+	}
+	buf, err := json.Marshal(file)
+	if err != nil {
+		return SnapshotStats{}, fmt.Errorf("memo: encode snapshot: %w", err)
+	}
+	if err := writeFileDurable(path, append(buf, '\n')); err != nil {
+		return SnapshotStats{}, fmt.Errorf("memo: write snapshot %s: %w", path, err)
+	}
+	return st, nil
+}
+
+// LoadSnapshot reads path and seeds every opted-in cache whose name
+// appears in the file. Absent keys only: anything the process already
+// computed (or is computing) is left alone. A missing file is an error
+// the caller can test with errors.Is(err, fs.ErrNotExist).
+func LoadSnapshot(path string) (SnapshotStats, error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return SnapshotStats{}, err
+	}
+	var file snapshotFile
+	if err := json.Unmarshal(buf, &file); err != nil {
+		return SnapshotStats{}, fmt.Errorf("memo: decode snapshot %s: %w", path, err)
+	}
+	if file.Version != snapshotVersion {
+		return SnapshotStats{}, fmt.Errorf("memo: snapshot %s has version %d, want %d",
+			path, file.Version, snapshotVersion)
+	}
+
+	snapshotRegistry.mu.Lock()
+	caches := make([]snapshotter, len(snapshotRegistry.caches))
+	copy(caches, snapshotRegistry.caches)
+	snapshotRegistry.mu.Unlock()
+
+	var st SnapshotStats
+	for _, c := range caches {
+		entries, ok := file.Caches[c.snapshotName()]
+		if !ok {
+			continue
+		}
+		st.Caches++
+		seeded, skipped := c.importEntries(entries)
+		st.Entries += seeded
+		st.Skipped += skipped
+	}
+	return st, nil
+}
+
+// writeFileDurable is write-temp, fsync, rename, fsync-directory: the
+// same discipline the job checkpoint layer uses, so the renamed entry
+// itself survives a crash (an fsynced file behind an unsynced directory
+// entry is still a lost file).
+func writeFileDurable(path string, data []byte) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".memo-snapshot-*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return err
+	}
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	if err := d.Sync(); err != nil {
+		d.Close()
+		return err
+	}
+	return d.Close()
+}

@@ -1,0 +1,155 @@
+package memo
+
+import (
+	"errors"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// fillValue is a snapshot-friendly value type: exported fields only.
+type fillValue struct {
+	N int    `json:"n"`
+	S string `json:"s"`
+}
+
+func mustGet[K comparable, V any](t *testing.T, c *Cache[K, V], k K, v V) {
+	t.Helper()
+	if _, err := c.Get(k, func() (V, error) { return v, nil }); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSnapshotRoundTrip saves a warm cache, purges it and loads the
+// snapshot back: every settled entry returns, nothing recomputes.
+func TestSnapshotRoundTrip(t *testing.T) {
+	c := New[string, fillValue]("test.snapshot.roundtrip", 8)
+	EnableSnapshot(c)
+	mustGet(t, c, "a", fillValue{N: 1, S: "one"})
+	mustGet(t, c, "b", fillValue{N: 2, S: "two"})
+
+	path := filepath.Join(t.TempDir(), "memo.snapshot")
+	saved, err := SaveSnapshot(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if saved.Entries < 2 {
+		t.Fatalf("saved %+v, want at least the 2 entries of this cache", saved)
+	}
+
+	c.Purge()
+	loaded, err := LoadSnapshot(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Skipped != 0 {
+		t.Fatalf("load skipped %d entries, want 0", loaded.Skipped)
+	}
+	if c.Len() != 2 {
+		t.Fatalf("restored cache holds %d entries, want 2", c.Len())
+	}
+	for k, want := range map[string]fillValue{"a": {1, "one"}, "b": {2, "two"}} {
+		got, err := c.Get(k, func() (fillValue, error) {
+			t.Fatalf("restored key %q recomputed", k)
+			return fillValue{}, nil
+		})
+		if err != nil || got != want {
+			t.Fatalf("restored %q = %+v (%v), want %+v", k, got, err, want)
+		}
+	}
+}
+
+// TestSnapshotSeedsOnlyAbsentKeys pins the live-state-wins rule: a key
+// the process already filled keeps its live value through a load.
+func TestSnapshotSeedsOnlyAbsentKeys(t *testing.T) {
+	c := New[string, fillValue]("test.snapshot.absent", 8)
+	EnableSnapshot(c)
+	mustGet(t, c, "k", fillValue{N: 1, S: "snapshotted"})
+	path := filepath.Join(t.TempDir(), "memo.snapshot")
+	if _, err := SaveSnapshot(path); err != nil {
+		t.Fatal(err)
+	}
+
+	c.Purge()
+	mustGet(t, c, "k", fillValue{N: 2, S: "live"})
+	if _, err := LoadSnapshot(path); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := c.Get("k", func() (fillValue, error) { return fillValue{}, nil })
+	if got.S != "live" {
+		t.Fatalf("load overwrote a live entry with %+v", got)
+	}
+}
+
+// TestSnapshotRespectsCapacity: seeding never evicts and never pushes a
+// cache past its cap, so a snapshot from a bigger (or differently
+// configured) cache degrades to "restore what fits".
+func TestSnapshotRespectsCapacity(t *testing.T) {
+	big := New[string, fillValue]("test.snapshot.cap", 8)
+	EnableSnapshot(big)
+	for _, k := range []string{"a", "b", "c", "d"} {
+		mustGet(t, big, k, fillValue{N: 1})
+	}
+	path := filepath.Join(t.TempDir(), "memo.snapshot")
+	if _, err := SaveSnapshot(path); err != nil {
+		t.Fatal(err)
+	}
+
+	big.Purge()
+	mustGet(t, big, "live1", fillValue{N: 9})
+	big.cap = 2 // shrink in place: only one snapshot slot still fits
+	st, err := LoadSnapshot(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if big.Len() != 2 {
+		t.Fatalf("cache over capacity after load: len %d, cap 2", big.Len())
+	}
+	if st.Skipped == 0 {
+		t.Fatal("over-capacity entries were not counted as skipped")
+	}
+}
+
+// TestSnapshotMissingFileIsErrNotExist keeps the cold-start contract
+// testable for the daemon: no snapshot yet is fs.ErrNotExist, not a
+// format error.
+func TestSnapshotMissingFileIsErrNotExist(t *testing.T) {
+	_, err := LoadSnapshot(filepath.Join(t.TempDir(), "absent"))
+	if !errors.Is(err, fs.ErrNotExist) {
+		t.Fatalf("missing snapshot error = %v, want fs.ErrNotExist", err)
+	}
+}
+
+// TestSnapshotRejectsWrongVersion: a future format must read as a clean
+// failure, never as seeded garbage.
+func TestSnapshotRejectsWrongVersion(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "memo.snapshot")
+	if err := os.WriteFile(path, []byte(`{"version":99,"caches":{}}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadSnapshot(path); err == nil {
+		t.Fatal("version 99 snapshot loaded without error")
+	}
+}
+
+// TestSnapshotSkipsUndecodableEntries: one rotten entry is counted and
+// dropped; its neighbors still seed.
+func TestSnapshotSkipsUndecodableEntries(t *testing.T) {
+	c := New[string, fillValue]("test.snapshot.rot", 8)
+	EnableSnapshot(c)
+	path := filepath.Join(t.TempDir(), "memo.snapshot")
+	raw := `{"version":1,"caches":{"test.snapshot.rot":[` +
+		`{"k":"good","v":{"n":3,"s":"x"}},` +
+		`{"k":42,"v":{"n":1,"s":"y"}}]}}`
+	if err := os.WriteFile(path, []byte(raw), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	st, err := LoadSnapshot(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Skipped != 1 || c.Len() != 1 {
+		t.Fatalf("load = %+v with %d entries, want 1 seeded + 1 skipped", st, c.Len())
+	}
+}

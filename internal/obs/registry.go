@@ -221,6 +221,81 @@ func (g *Gauge) write(w io.Writer) {
 	fmt.Fprintf(w, "%s %d\n", g.name, g.v.Load())
 }
 
+// ---------------------------------------------------------------------------
+// GaugeVec
+
+// GaugeVec is a gauge family partitioned by one or more label
+// dimensions — per-replica health of a router's backend set, for
+// example. Children are created on first use and rendered in sorted
+// label order so the scrape is deterministic.
+type GaugeVec struct {
+	name, help string
+	labels     []string
+
+	mu       sync.Mutex
+	children map[string]*Gauge // key: joined escaped label pairs
+}
+
+// NewGaugeVec registers and returns a labelled gauge family.
+func (r *Registry) NewGaugeVec(name, help string, labels ...string) *GaugeVec {
+	if len(labels) == 0 {
+		panic("obs: GaugeVec needs at least one label")
+	}
+	v := &GaugeVec{name: name, help: help, labels: labels, children: map[string]*Gauge{}}
+	r.register(v, name)
+	return v
+}
+
+func (v *GaugeVec) key(values []string) string {
+	if len(values) != len(v.labels) {
+		panic(fmt.Sprintf("obs: %s expects %d label values, got %d", v.name, len(v.labels), len(values)))
+	}
+	pairs := make([]string, len(values))
+	for i, val := range values {
+		pairs[i] = Label(v.labels[i], val)
+	}
+	return strings.Join(pairs, ",")
+}
+
+// With returns the child gauge for the given label values, creating it
+// on first use.
+func (v *GaugeVec) With(values ...string) *Gauge {
+	k := v.key(values)
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	g, ok := v.children[k]
+	if !ok {
+		g = &Gauge{}
+		v.children[k] = g
+	}
+	return g
+}
+
+// Value returns the child's value, zero if the label set was never used.
+func (v *GaugeVec) Value(values ...string) int64 {
+	k := v.key(values)
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if g, ok := v.children[k]; ok {
+		return g.Value()
+	}
+	return 0
+}
+
+func (v *GaugeVec) write(w io.Writer) {
+	writeHeader(w, v.name, v.help, "gauge")
+	v.mu.Lock()
+	keys := make([]string, 0, len(v.children))
+	for k := range v.children {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(w, "%s{%s} %d\n", v.name, k, v.children[k].Value())
+	}
+	v.mu.Unlock()
+}
+
 // FloatGauge is a settable float64 metric, for rate-style instruments
 // (trials/sec of a running simulation job) where the producer pushes a
 // computed value rather than the registry sampling one at scrape time.

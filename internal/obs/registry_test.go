@@ -54,6 +54,16 @@ func TestRegistryExposition(t *testing.T) {
 	g := r.NewGauge("demo_in_flight", "In-flight.")
 	g.Add(5)
 	g.Add(-2)
+	gv := r.NewGaugeVec("demo_replica_up", "Per-replica health.", "replica")
+	gv.With("127.0.0.1:8087").Set(1)
+	gv.With("127.0.0.1:8088").Set(1)
+	gv.With("127.0.0.1:8088").Set(0)
+	if got := gv.Value("127.0.0.1:8088"); got != 0 {
+		t.Fatalf("GaugeVec.Value after re-Set = %d, want 0", got)
+	}
+	if got := gv.Value("127.0.0.1:9999"); got != 0 {
+		t.Fatalf("GaugeVec.Value of unused labels = %d, want 0", got)
+	}
 	r.NewGaugeFunc("demo_ratio", "Computed at scrape.", func() float64 { return 0.25 })
 	fg := r.NewFloatGauge("demo_rate", "Pushed rate.")
 	fg.Set(12.5)
@@ -80,6 +90,7 @@ func TestRegistryExposition(t *testing.T) {
 		"demo_ops_total":               "counter",
 		"demo_results_total":           "counter",
 		"demo_in_flight":               "gauge",
+		"demo_replica_up":              "gauge",
 		"demo_ratio":                   "gauge",
 		"demo_rate":                    "gauge",
 		"demo_seconds":                 "histogram",
@@ -98,6 +109,8 @@ func TestRegistryExposition(t *testing.T) {
 		`demo_results_total{route="/v1/cost",code="200"} 3`,
 		`demo_results_total{route="we\"ird\\npath\n",code="400"} 1`,
 		"demo_in_flight 3",
+		`demo_replica_up{replica="127.0.0.1:8087"} 1`,
+		`demo_replica_up{replica="127.0.0.1:8088"} 0`,
 		"demo_ratio 0.25",
 		"demo_rate 1.23456725e+06",
 		`demo_seconds_bucket{le="0.01"} 1`,

@@ -1,0 +1,62 @@
+package serve
+
+import (
+	"bytes"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/memo"
+)
+
+// TestFigureSnapshotWarmRestart drives the warm-restart path the daemon
+// uses: generate a figure, snapshot the memo state, purge (a "restart"),
+// load the snapshot — the next fetch must serve byte-identical bytes and
+// a working ETag without regenerating anything.
+func TestFigureSnapshotWarmRestart(t *testing.T) {
+	s := newTestServer(t, Config{})
+	code, hdr, body := rawDo(t, s, "GET", "/v1/figures/1", "")
+	if code != http.StatusOK {
+		t.Fatalf("figure fetch = %d %s", code, body)
+	}
+	etag := hdr.Get("ETag")
+	if etag == "" {
+		t.Fatal("figure response carries no ETag")
+	}
+
+	path := filepath.Join(t.TempDir(), "memo.snapshot")
+	if _, err := memo.SaveSnapshot(path); err != nil {
+		t.Fatal(err)
+	}
+	figureCache.Purge()
+	st, err := memo.LoadSnapshot(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Entries == 0 {
+		t.Fatalf("load restored nothing: %+v", st)
+	}
+
+	before := figureCache.Stats()
+	code2, hdr2, body2 := rawDo(t, s, "GET", "/v1/figures/1", "")
+	if code2 != http.StatusOK || !bytes.Equal(body, body2) {
+		t.Fatalf("restored figure differs: %d\n%s\n%s", code2, body, body2)
+	}
+	if hdr2.Get("ETag") != etag {
+		t.Fatalf("restored ETag %q != original %q", hdr2.Get("ETag"), etag)
+	}
+	after := figureCache.Stats()
+	if after.Hits != before.Hits+1 {
+		t.Fatalf("restored fetch was not a cache hit (hits %d → %d)", before.Hits, after.Hits)
+	}
+
+	// The recomputed tag must still revalidate: If-None-Match → 304.
+	req := httptest.NewRequest("GET", "/v1/figures/1", nil)
+	req.Header.Set("If-None-Match", etag)
+	rec := httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, req)
+	if rec.Code != http.StatusNotModified {
+		t.Fatalf("If-None-Match after restore = %d, want 304", rec.Code)
+	}
+}

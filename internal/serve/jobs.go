@@ -168,14 +168,51 @@ func buildCostKernel(spec mcJobSpecJSON) (mcjob.Kernel, error) {
 	return mcjob.NewCostKernel(u)
 }
 
-// jobID derives the job's identity from the canonical re-marshaled spec:
-// the same spec always maps to the same job, which is what makes submits
-// idempotent and lets a restarted daemon resume a checkpointed job when
-// the client re-submits. Returns (short id, full spec hash).
-func jobID(req jobRequest) (string, string) {
-	canonical, err := json.Marshal(req)
+// canonicalJobSpec is the identity-bearing form of a job request:
+// every field that determines the run, with defaults resolved and no
+// omitempty on the run parameters, marshaled in fixed struct-field
+// order. Hashing the raw jobRequest instead used to give semantically
+// identical submits different IDs — `"shards":64` versus an omitted
+// shard count that resolves to 64, or an explicit `"seed":0` versus no
+// seed — so equivalent resubmits missed the dedupe table and, worse, a
+// restarted daemon failed to find the checkpoint directory the
+// equivalent first submit had been writing.
+type canonicalJobSpec struct {
+	Kind       string `json:"kind"`
+	Trials     int64  `json:"trials"`
+	Shards     int    `json:"shards"` // resolved: default applied, clamped to the chunk count
+	Seed       uint64 `json:"seed"`
+	Checkpoint bool   `json:"checkpoint"`
+
+	Defect       *mcjob.DefectSpec       `json:"defect,omitempty"`
+	LayoutDefect *mcjob.LayoutDefectSpec `json:"layout_defect,omitempty"`
+	MonteCarlo   *mcJobSpecJSON          `json:"montecarlo,omitempty"`
+	WaferMap     *waferMapJobJSON        `json:"wafermap,omitempty"`
+}
+
+// jobID derives the job's identity from the canonical spec — defaults
+// applied (the shard count is normalized through the same plan logic
+// Run uses, which needs the kernel's unit-chunk size), stable field
+// order — so the same effective job always maps to the same ID. That is
+// what makes submits idempotent and lets a restarted daemon resume a
+// checkpointed job when the client re-submits any equivalent spelling
+// of the spec. Returns (short id, full spec hash).
+func jobID(req jobRequest, k mcjob.Kernel) (string, string) {
+	spec := canonicalJobSpec{
+		Kind:       req.Kind,
+		Trials:     req.Trials,
+		Shards:     mcjob.NormalizedShards(k.ChunkTrials(), req.Trials, req.Shards),
+		Seed:       req.Seed,
+		Checkpoint: req.Checkpoint,
+
+		Defect:       req.Defect,
+		LayoutDefect: req.LayoutDefect,
+		MonteCarlo:   req.MonteCarlo,
+		WaferMap:     req.WaferMap,
+	}
+	canonical, err := json.Marshal(spec)
 	if err != nil {
-		// Unreachable: jobRequest is plain data. Fall back to an empty
+		// Unreachable: the spec is plain data. Fall back to an empty
 		// hash rather than panicking in a handler.
 		canonical = nil
 	}
@@ -312,7 +349,7 @@ func (m *jobManager) startOrAttach(req jobRequest) (*job, bool, error) {
 	if err != nil {
 		return nil, false, err
 	}
-	id, specHash := jobID(req)
+	id, specHash := jobID(req, k)
 
 	m.mu.Lock()
 	defer m.mu.Unlock()

@@ -1,0 +1,144 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"testing"
+)
+
+// specID decodes a raw job-spec JSON the way the submit handler does and
+// returns its canonical ID.
+func specID(t *testing.T, raw string) string {
+	t.Helper()
+	var req jobRequest
+	if err := json.Unmarshal([]byte(raw), &req); err != nil {
+		t.Fatalf("spec %s: %v", raw, err)
+	}
+	k, err := buildKernel(req)
+	if err != nil {
+		t.Fatalf("spec %s: %v", raw, err)
+	}
+	id, full := jobID(req, k)
+	if len(id) != 16 || len(full) != 64 {
+		t.Fatalf("jobID(%s) = (%q, %q), want 16- and 64-hex", raw, id, full)
+	}
+	return id
+}
+
+// TestJobIDCanonicalizesEquivalentSpecs is the regression test for the
+// raw-request hash: submits that resolve to the same effective run must
+// map to the same job ID whichever defaults the client spelled out.
+// 200000 defect trials make 25 unit chunks, so an omitted shard count,
+// the explicit default (64, clamped to 25) and the explicit resolved
+// value (25) are all the same plan.
+func TestJobIDCanonicalizesEquivalentSpecs(t *testing.T) {
+	equivalent := []struct {
+		name string
+		a, b string
+	}{
+		{"omitted vs resolved shards",
+			`{"kind":"defect","trials":200000,"defect":{"lambda":1.1}}`,
+			`{"kind":"defect","trials":200000,"shards":25,"defect":{"lambda":1.1}}`},
+		{"default vs clamped shards",
+			`{"kind":"defect","trials":200000,"shards":64,"defect":{"lambda":1.1}}`,
+			`{"kind":"defect","trials":200000,"shards":25,"defect":{"lambda":1.1}}`},
+		{"omitted vs explicit zero seed",
+			`{"kind":"defect","trials":200000,"shards":4,"defect":{"lambda":1.1}}`,
+			`{"kind":"defect","trials":200000,"shards":4,"seed":0,"defect":{"lambda":1.1}}`},
+		{"omitted vs explicit false checkpoint",
+			`{"kind":"defect","trials":200000,"defect":{"lambda":1.1}}`,
+			`{"kind":"defect","trials":200000,"checkpoint":false,"defect":{"lambda":1.1}}`},
+		{"field order is irrelevant",
+			`{"kind":"defect","trials":200000,"seed":5,"defect":{"lambda":1.1}}`,
+			`{"defect":{"lambda":1.1},"seed":5,"trials":200000,"kind":"defect"}`},
+	}
+	for _, tc := range equivalent {
+		t.Run(tc.name, func(t *testing.T) {
+			if a, b := specID(t, tc.a), specID(t, tc.b); a != b {
+				t.Fatalf("equivalent specs got distinct IDs %s / %s", a, b)
+			}
+		})
+	}
+
+	distinct := []struct {
+		name string
+		a, b string
+	}{
+		{"different seed",
+			`{"kind":"defect","trials":200000,"defect":{"lambda":1.1}}`,
+			`{"kind":"defect","trials":200000,"seed":1,"defect":{"lambda":1.1}}`},
+		{"different trials",
+			`{"kind":"defect","trials":200000,"defect":{"lambda":1.1}}`,
+			`{"kind":"defect","trials":100000,"defect":{"lambda":1.1}}`},
+		{"shards that resolve differently",
+			`{"kind":"defect","trials":200000,"shards":2,"defect":{"lambda":1.1}}`,
+			`{"kind":"defect","trials":200000,"shards":4,"defect":{"lambda":1.1}}`},
+		{"checkpointing on vs off",
+			`{"kind":"defect","trials":200000,"defect":{"lambda":1.1}}`,
+			`{"kind":"defect","trials":200000,"checkpoint":true,"defect":{"lambda":1.1}}`},
+		{"different kernel spec",
+			`{"kind":"defect","trials":200000,"defect":{"lambda":1.1}}`,
+			`{"kind":"defect","trials":200000,"defect":{"lambda":1.2}}`},
+	}
+	for _, tc := range distinct {
+		t.Run(tc.name, func(t *testing.T) {
+			if a, b := specID(t, tc.a), specID(t, tc.b); a == b {
+				t.Fatalf("distinct specs collided on ID %s", a)
+			}
+		})
+	}
+}
+
+// TestJobSubmitDedupesEquivalentSpellings drives the same guarantee
+// through the HTTP surface: the second, differently spelled submit must
+// attach (200) to the job the first one created (202).
+func TestJobSubmitDedupesEquivalentSpellings(t *testing.T) {
+	s := newTestServer(t, Config{})
+	code, _, body := do(t, s, "POST", "/v1/jobs",
+		`{"kind":"defect","trials":200000,"shards":64,"defect":{"lambda":1.3}}`)
+	if code != http.StatusAccepted {
+		t.Fatalf("first submit = %d %v", code, body)
+	}
+	id := body["id"].(string)
+
+	code2, _, body2 := do(t, s, "POST", "/v1/jobs",
+		`{"kind":"defect","trials":200000,"seed":0,"defect":{"lambda":1.3}}`)
+	if code2 != http.StatusOK || body2["id"] != id {
+		t.Fatalf("equivalent submit = %d %v, want 200 attach to %s", code2, body2, id)
+	}
+	waitForJob(t, s, id)
+}
+
+// TestJobEquivalentSpellingResumesAcrossRestart is the acceptance-level
+// half: a daemon restart must resume the checkpoint of a job submitted
+// under a different (equivalent) spelling, ending with byte-identical
+// result bytes and no redrawn shards.
+func TestJobEquivalentSpellingResumesAcrossRestart(t *testing.T) {
+	dir := t.TempDir()
+	spellingA := `{"kind":"defect","trials":300000,"shards":8,"seed":0,"checkpoint":true,"defect":{"lambda":1.1,"alpha":2}}`
+	spellingB := `{"kind":"defect","trials":300000,"shards":8,"checkpoint":true,"defect":{"lambda":1.1,"alpha":2}}`
+
+	s1 := newTestServer(t, Config{JobDir: dir})
+	_, _, body := do(t, s1, "POST", "/v1/jobs", spellingA)
+	id := body["id"].(string)
+	if st := waitForJob(t, s1, id)["state"]; st != "done" {
+		t.Fatalf("first run state = %v", st)
+	}
+	_, _, raw1 := rawDo(t, s1, "GET", "/v1/jobs/"+id+"/result", "")
+	s1.Close()
+
+	s2 := newTestServer(t, Config{JobDir: dir})
+	code, _, body2 := do(t, s2, "POST", "/v1/jobs", spellingB)
+	if code != http.StatusAccepted || body2["id"] != id {
+		t.Fatalf("equivalent respelled submit = %d %v, want id %s", code, body2, id)
+	}
+	final := waitForJob(t, s2, id)
+	if final["state"] != "done" || final["shards_resumed"] != float64(8) {
+		t.Fatalf("resume = %v, want done with all 8 shards resumed", final)
+	}
+	_, _, raw2 := rawDo(t, s2, "GET", "/v1/jobs/"+id+"/result", "")
+	if !bytes.Equal(raw1, raw2) {
+		t.Fatalf("respelled resume result differs:\n%s\n%s", raw1, raw2)
+	}
+}

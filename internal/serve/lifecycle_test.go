@@ -1,0 +1,96 @@
+package serve
+
+import (
+	"context"
+	"net"
+	"net/http"
+	"testing"
+	"time"
+)
+
+// TestReadyzTracksLifecycle walks the state machine by hand and checks
+// the probe split: /healthz stays 200 in every state (liveness), while
+// /readyz answers 200 only in ready and 503 + Retry-After elsewhere.
+func TestReadyzTracksLifecycle(t *testing.T) {
+	s := newTestServer(t, Config{})
+
+	code, hdr, body := do(t, s, "GET", "/readyz", "")
+	if code != http.StatusServiceUnavailable || body["status"] != "starting" {
+		t.Fatalf("starting readyz = %d %v, want 503 starting", code, body)
+	}
+	if hdr.Get("Retry-After") == "" {
+		t.Fatalf("not-ready readyz carries no Retry-After")
+	}
+	if code, _, body := do(t, s, "GET", "/healthz", ""); code != http.StatusOK || body["status"] != "ok" {
+		t.Fatalf("starting healthz = %d %v, want 200 ok", code, body)
+	}
+
+	s.MarkReady()
+	if code, _, body := do(t, s, "GET", "/readyz", ""); code != http.StatusOK || body["status"] != "ready" {
+		t.Fatalf("ready readyz = %d %v, want 200 ready", code, body)
+	}
+
+	s.advanceState(lifecycleDraining)
+	if code, _, body := do(t, s, "GET", "/readyz", ""); code != http.StatusServiceUnavailable || body["status"] != "draining" {
+		t.Fatalf("draining readyz = %d %v, want 503 draining", code, body)
+	}
+	if code, _, body := do(t, s, "GET", "/healthz", ""); code != http.StatusOK || body["state"] != "draining" {
+		t.Fatalf("draining healthz = %d %v, want 200 with state", code, body)
+	}
+}
+
+// TestLifecycleIsMonotonic pins the forward-only guarantee: once a
+// server drains, a stray MarkReady cannot resurrect it.
+func TestLifecycleIsMonotonic(t *testing.T) {
+	s := newTestServer(t, Config{})
+	if !s.advanceState(lifecycleReady) || !s.advanceState(lifecycleDraining) {
+		t.Fatal("forward transitions refused")
+	}
+	s.MarkReady()
+	if got := s.Lifecycle(); got != "draining" {
+		t.Fatalf("MarkReady moved a draining server to %q", got)
+	}
+	if s.advanceState(lifecycleReady) {
+		t.Fatal("backward transition reported success")
+	}
+	if !s.advanceState(lifecycleStopped) {
+		t.Fatal("draining → stopped refused")
+	}
+}
+
+// TestServeDrivesLifecycle runs a real listener through its whole life:
+// ready once the listener is up, stopped after the drain completes.
+func TestServeDrivesLifecycle(t *testing.T) {
+	s := newTestServer(t, Config{ShutdownTimeout: 2 * time.Second})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- s.Serve(ctx, ln) }()
+
+	deadline := time.Now().Add(5 * time.Second)
+	for s.Lifecycle() != "ready" {
+		if time.Now().After(deadline) {
+			t.Fatalf("server never became ready (state %s)", s.Lifecycle())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	resp, err := http.Get("http://" + s.Addr() + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("live readyz = %d, want 200", resp.StatusCode)
+	}
+
+	cancel()
+	if err := <-done; err != nil {
+		t.Fatalf("Serve: %v", err)
+	}
+	if got := s.Lifecycle(); got != "stopped" {
+		t.Fatalf("post-drain state = %q, want stopped", got)
+	}
+}

@@ -21,7 +21,8 @@
 //	GET  /v1/jobs/{id}     job progress snapshot (NDJSON streams it live)
 //	GET  /v1/jobs/{id}/result  final result envelope (byte-stable per spec)
 //	DELETE /v1/jobs/{id}   cancel a running job
-//	GET  /healthz          liveness probe
+//	GET  /healthz          liveness probe (200 in every lifecycle state)
+//	GET  /readyz           readiness probe (200 only while accepting traffic)
 //	GET  /metrics          Prometheus text exposition
 //	GET  /debug/trace/{id} span tree of a recently traced request
 //
@@ -62,6 +63,34 @@ import (
 // traceRingCapacity bounds how many completed traces the server retains
 // for /debug/trace lookups. FIFO: the oldest trace is evicted first.
 const traceRingCapacity = 128
+
+// lifecycle is the server's drain-aware state machine. Transitions are
+// strictly monotonic — starting → ready → draining → stopped — so a
+// late readiness flip can never resurrect a draining server in a load
+// balancer's eyes. /healthz is liveness (the process is up and can
+// answer) and stays 200 through every state; /readyz is readiness (the
+// process wants new traffic) and answers 200 only in ready.
+type lifecycle int32
+
+const (
+	lifecycleStarting lifecycle = iota
+	lifecycleReady
+	lifecycleDraining
+	lifecycleStopped
+)
+
+func (l lifecycle) String() string {
+	switch l {
+	case lifecycleStarting:
+		return "starting"
+	case lifecycleReady:
+		return "ready"
+	case lifecycleDraining:
+		return "draining"
+	default:
+		return "stopped"
+	}
+}
 
 // Config collects the operational knobs of the service. The zero value is
 // usable: every field falls back to the documented default.
@@ -133,6 +162,7 @@ type Server struct {
 	sem        chan struct{}
 	retryAfter string       // 429 Retry-After, derived from RequestTimeout
 	addr       atomic.Value // string: bound listen address, set once serving
+	state      atomic.Int32 // lifecycle; moves forward only (advanceState)
 }
 
 // NewServer builds a Server from cfg (zero fields take defaults).
@@ -161,6 +191,30 @@ func NewServer(cfg Config) *Server {
 // Handler returns the service's root handler, for httptest mounting.
 func (s *Server) Handler() http.Handler { return s.handler }
 
+// advanceState moves the lifecycle monotonically forward and reports
+// whether the transition happened. Out-of-order calls lose: a server
+// that began draining can never flip back to ready.
+func (s *Server) advanceState(to lifecycle) bool {
+	for {
+		cur := lifecycle(s.state.Load())
+		if to <= cur {
+			return false
+		}
+		if s.state.CompareAndSwap(int32(cur), int32(to)) {
+			return true
+		}
+	}
+}
+
+// Lifecycle returns the server's current drain-aware state.
+func (s *Server) Lifecycle() string { return lifecycle(s.state.Load()).String() }
+
+// MarkReady flips a starting server to ready. Serve does this itself the
+// moment its listener is up; the method exists for Handler-mounted
+// servers (tests, embedding) that never call Serve but still want
+// /readyz to answer 200.
+func (s *Server) MarkReady() { s.advanceState(lifecycleReady) }
+
 // Addr returns the bound listen address once Serve has started listening,
 // or "" before that. It exists so tests and the smoke script can reach a
 // server started on an ephemeral port.
@@ -186,6 +240,7 @@ func (s *Server) ListenAndServe(ctx context.Context) error {
 // drain. The listener is closed when Serve returns.
 func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
 	s.addr.Store(ln.Addr().String())
+	s.advanceState(lifecycleReady)
 	s.log.Info("nanocostd listening",
 		"addr", ln.Addr().String(),
 		"request_timeout", s.cfg.RequestTimeout.String(),
@@ -203,6 +258,10 @@ func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
 		return fmt.Errorf("serve: %w", err)
 	case <-ctx.Done():
 	}
+	// Flip readiness first: from here on /readyz answers 503, so a load
+	// balancer polling it stops routing new work while Shutdown drains the
+	// connections that are already in flight.
+	s.advanceState(lifecycleDraining)
 	s.log.Info("nanocostd draining", "timeout", s.cfg.ShutdownTimeout.String())
 	drainCtx, cancel := context.WithTimeout(context.Background(), s.cfg.ShutdownTimeout)
 	defer cancel()
@@ -213,6 +272,7 @@ func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
 	// checkpointing job cancelled here resumes from its shard log on the
 	// next submit.
 	s.jobs.shutdown(s.cfg.ShutdownTimeout)
+	s.advanceState(lifecycleStopped)
 	if err != nil {
 		return fmt.Errorf("serve: shutdown: %w", err)
 	}
@@ -240,6 +300,7 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("GET /v1/jobs/{id}/result", s.handle("/v1/jobs/{id}/result", s.handleJobResult))
 	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handle("/v1/jobs/{id}", s.handleJobCancel))
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /debug/trace/{id}", s.handleTrace)
 	s.mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
@@ -525,7 +586,8 @@ func (s *Server) observe(next http.Handler) http.Handler {
 // endpoints are exempt: scrapes and trace lookups polling the server must
 // not fill the trace ring with records of themselves.
 func shouldTrace(path string) bool {
-	return path != "/healthz" && path != "/metrics" && !strings.HasPrefix(path, "/debug/")
+	return path != "/healthz" && path != "/readyz" && path != "/metrics" &&
+		!strings.HasPrefix(path, "/debug/")
 }
 
 // fallbackRoute labels requests that never reached handle(): the
@@ -533,7 +595,7 @@ func shouldTrace(path string) bool {
 // anything unknown collapses into one label value.
 func fallbackRoute(path string) string {
 	switch {
-	case path == "/healthz" || path == "/metrics":
+	case path == "/healthz" || path == "/readyz" || path == "/metrics":
 		return path
 	case strings.HasPrefix(path, "/debug/trace/"):
 		return "/debug/trace/{id}"
@@ -542,8 +604,26 @@ func fallbackRoute(path string) string {
 	}
 }
 
+// handleHealthz is liveness: the process is up and the HTTP stack can
+// answer. It stays 200 through every lifecycle state — a draining server
+// is alive; restarting it because readiness went away would turn every
+// deploy into a crash loop. The current state rides along for operators.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok", "state": s.Lifecycle()})
+}
+
+// handleReadyz is readiness: 200 exactly while the server wants new
+// traffic. Load balancers (nanocostfront among them) poll this to decide
+// routing; starting and draining both answer 503 with a short Retry-After
+// so a rolling restart sheds traffic before connections are cut.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	state := lifecycle(s.state.Load())
+	if state == lifecycleReady {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
+		return
+	}
+	w.Header().Set("Retry-After", "1")
+	writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": state.String()})
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {

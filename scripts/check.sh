@@ -46,4 +46,7 @@ else
   echo "== benchmark gate skipped (no baseline recorded yet) ==" >&2
 fi
 
+echo "== router SLO gate (nanocostfront + 2 replicas + loadgen, kill -9 mid-load) ==" >&2
+./scripts/slo_check.sh
+
 echo "check: all gates passed" >&2
