@@ -1,7 +1,7 @@
 GO ?= go
 BASE ?= BENCH_PR2.json
 
-.PHONY: all build vet test race bench bench-smoke bench-compare check baseline serve smoke-serve obs-check slo
+.PHONY: all build vet test race bench bench-smoke bench-compare check baseline serve smoke-serve obs-check slo distjob
 
 all: check
 
@@ -47,6 +47,14 @@ smoke-serve:
 # one replica mid-load. Tune with SLO_RPS= and SLO_P99=.
 slo:
 	./scripts/slo_check.sh
+
+# Distributed-job gate: run a 2×10⁸-trial job on one plain replica for
+# the reference bytes, rerun it across a coordinator + peer worker,
+# kill -9 the worker after its first shard upload, and require the
+# merged result byte-identical. Tune with DISTJOB_TRIALS=,
+# DISTJOB_SHARDS= and DISTJOB_LEASE_TTL=.
+distjob:
+	./scripts/distjob_check.sh
 
 # Observability gate: vet the telemetry packages and run the tracing,
 # registry and /metrics text-exposition conformance tests race-enabled.

@@ -38,6 +38,7 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -61,6 +62,11 @@ func main() {
 		jobDir    = flag.String("job-dir", "", "directory for simulation-job checkpoints (empty = checkpointing disabled)")
 		maxJobs   = flag.Int("max-jobs", 0, "concurrent simulation jobs before 429 (0 = 2)")
 		memoSnap  = flag.String("memo-snapshot", "", "file for memo-cache snapshots: loaded at start, written after a clean drain (empty = disabled)")
+		peers     = flag.String("peers", "", "comma-separated peer replicas (host:port) whose distributed jobs this daemon pulls shards from; implies -distribute")
+		distrib   = flag.Bool("distribute", false, "run jobs through the shard-lease coordinator so peer replicas can pull shards (implied by -peers)")
+		leaseTTL  = flag.Duration("lease-ttl", 10*time.Second, "distributed shard-lease lifetime; a dead worker's shards re-run one TTL after its last renewal")
+		workerID  = flag.String("worker-id", "", "name of this replica in distributed-job lease tables (default host:pid)")
+		jobWrk    = flag.Int("job-workers", 0, "local evaluation goroutines for distributed jobs (0 = all cores, -1 = coordinate only)")
 	)
 	o := &obs.Flags{}
 	o.RegisterFlags(flag.CommandLine)
@@ -76,7 +82,21 @@ func main() {
 		os.Exit(1)
 	}
 	ctx := o.StartRoot(context.Background(), "nanocostd.run")
-	err := run(ctx, *addr, *debugAddr, *timeout, *drain, *inflight, *maxBody, *jobDir, *maxJobs, *memoSnap, logger)
+	err := run(ctx, serve.Config{
+		Addr:            *addr,
+		RequestTimeout:  *timeout,
+		ShutdownTimeout: *drain,
+		MaxInFlight:     *inflight,
+		MaxBodyBytes:    *maxBody,
+		Logger:          logger,
+		JobDir:          *jobDir,
+		MaxJobs:         *maxJobs,
+		Peers:           splitPeers(*peers),
+		DistributeJobs:  *distrib,
+		LeaseTTL:        *leaseTTL,
+		WorkerID:        *workerID,
+		JobWorkers:      *jobWrk,
+	}, *debugAddr, *memoSnap, logger)
 	o.Finish(os.Stderr)
 	if perr := prof.Stop(); perr != nil && err == nil {
 		err = perr
@@ -87,12 +107,25 @@ func main() {
 	}
 }
 
+// splitPeers parses the -peers list: comma-separated host:port entries,
+// empties dropped.
+func splitPeers(s string) []string {
+	var peers []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			peers = append(peers, p)
+		}
+	}
+	return peers
+}
+
 // run serves until SIGINT/SIGTERM (or ctx cancellation), then lets the
 // server drain. A non-empty debugAddr additionally serves pprof on its
 // own listener for the daemon's lifetime. A non-empty memoSnap warms the
 // memo caches from disk before serving and snapshots them back after a
 // clean drain, so a rolling restart of a replica keeps its cache shard.
-func run(ctx context.Context, addr, debugAddr string, timeout, drain time.Duration, inflight int, maxBody int64, jobDir string, maxJobs int, memoSnap string, logger *slog.Logger) error {
+func run(ctx context.Context, cfg serve.Config, debugAddr, memoSnap string, logger *slog.Logger) error {
+	cfg.Logger = logger
 	ctx, stop := signal.NotifyContext(ctx, os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
@@ -118,16 +151,7 @@ func run(ctx context.Context, addr, debugAddr string, timeout, drain time.Durati
 		}
 	}
 
-	srv := serve.NewServer(serve.Config{
-		Addr:            addr,
-		RequestTimeout:  timeout,
-		ShutdownTimeout: drain,
-		MaxInFlight:     inflight,
-		MaxBodyBytes:    maxBody,
-		Logger:          logger,
-		JobDir:          jobDir,
-		MaxJobs:         maxJobs,
-	})
+	srv := serve.NewServer(cfg)
 	err := srv.ListenAndServe(ctx)
 	if memoSnap != "" && err == nil {
 		if st, serr := memo.SaveSnapshot(memoSnap); serr != nil {

@@ -11,7 +11,21 @@ import (
 	"syscall"
 	"testing"
 	"time"
+
+	"repro/internal/serve"
 )
+
+// testConfig is the scalar config the old run signature took, as a
+// serve.Config.
+func testConfig(addr string) serve.Config {
+	return serve.Config{
+		Addr:            addr,
+		RequestTimeout:  time.Second,
+		ShutdownTimeout: time.Second,
+		MaxInFlight:     4,
+		MaxBodyBytes:    1 << 20,
+	}
+}
 
 // TestRunServesAndDrainsOnSIGTERM drives the real entry point: start the
 // daemon on an ephemeral port, deliver SIGTERM to the process, and require
@@ -20,7 +34,7 @@ func TestRunServesAndDrainsOnSIGTERM(t *testing.T) {
 	logger := slog.New(slog.NewTextHandler(io.Discard, nil))
 	done := make(chan error, 1)
 	go func() {
-		done <- run(context.Background(), "127.0.0.1:0", "", time.Second, time.Second, 4, 1<<20, "", 0, "", logger)
+		done <- run(context.Background(), testConfig("127.0.0.1:0"), "", "", logger)
 	}()
 
 	// Give the listener a beat to come up, then ask the daemon to stop the
@@ -50,7 +64,7 @@ func TestRunWritesMemoSnapshotOnCleanDrain(t *testing.T) {
 		ctx, cancel := context.WithCancel(context.Background())
 		done := make(chan error, 1)
 		go func() {
-			done <- run(ctx, "127.0.0.1:0", "", time.Second, time.Second, 4, 1<<20, "", 0, snap, logger)
+			done <- run(ctx, testConfig("127.0.0.1:0"), "", snap, logger)
 		}()
 		time.Sleep(100 * time.Millisecond)
 		cancel()
@@ -72,7 +86,7 @@ func TestRunWritesMemoSnapshotOnCleanDrain(t *testing.T) {
 // hang.
 func TestRunRejectsBadAddr(t *testing.T) {
 	logger := slog.New(slog.NewTextHandler(io.Discard, nil))
-	if err := run(context.Background(), "256.0.0.1:99999", "", time.Second, time.Second, 4, 1<<20, "", 0, "", logger); err == nil {
+	if err := run(context.Background(), testConfig("256.0.0.1:99999"), "", "", logger); err == nil {
 		t.Fatal("accepted an unbindable address")
 	}
 }
@@ -81,7 +95,7 @@ func TestRunRejectsBadAddr(t *testing.T) {
 // same way the main address does — never a silently missing profiler.
 func TestRunRejectsBadDebugAddr(t *testing.T) {
 	logger := slog.New(slog.NewTextHandler(io.Discard, nil))
-	if err := run(context.Background(), "127.0.0.1:0", "256.0.0.1:99999", time.Second, time.Second, 4, 1<<20, "", 0, "", logger); err == nil {
+	if err := run(context.Background(), testConfig("127.0.0.1:0"), "256.0.0.1:99999", "", logger); err == nil {
 		t.Fatal("accepted an unbindable debug address")
 	}
 }

@@ -100,12 +100,13 @@ type Router struct {
 	mux      *http.ServeMux
 	addr     atomic.Value // string: bound listen address
 
-	reg           *obs.Registry
-	requestsTotal *obs.CounterVec // by replica and status code
-	retriesTotal  *obs.Counter
-	benchedTotal  *obs.CounterVec // by replica
-	replicaUp     *obs.GaugeVec   // 1 = unbenched, sampled on change
-	proxySeconds  *obs.Histogram
+	reg            *obs.Registry
+	requestsTotal  *obs.CounterVec // by replica and status code (or "transport_error")
+	retriesTotal   *obs.Counter
+	jobChasesTotal *obs.Counter
+	benchedTotal   *obs.CounterVec // by replica
+	replicaUp      *obs.GaugeVec   // 1 = unbenched, sampled on change
+	proxySeconds   *obs.Histogram
 }
 
 // New builds a Router over cfg.Replicas.
@@ -129,9 +130,11 @@ func New(cfg Config) (*Router, error) {
 		rt.replicas[addr] = &replicaState{addr: addr}
 	}
 	rt.requestsTotal = rt.reg.NewCounterVec("front_requests_total",
-		"Requests proxied, by replica and status code.", "replica", "code")
+		"Requests proxied, by replica and status code; transport failures count under code=\"transport_error\".", "replica", "code")
 	rt.retriesTotal = rt.reg.NewCounter("front_retries_total",
 		"Idempotent requests retried on the next ring member after a transport failure.")
+	rt.jobChasesTotal = rt.reg.NewCounter("front_job_chases_total",
+		"Job sub-resource requests chased to the next ring member after a 404 (submits shard by body, sub-resources by job id).")
 	rt.benchedTotal = rt.reg.NewCounterVec("front_benched_total",
 		"Times each replica was benched by a transport failure.", "replica")
 	rt.replicaUp = rt.reg.NewGaugeVec("front_replica_up",
@@ -233,31 +236,86 @@ var idempotentPOSTRoutes = map[string]bool{
 	"/v1/jobs":        true,
 }
 
+// jobSubResourceID extracts the id segment from /v1/jobs/{id}[/...]
+// paths, in escaped form so an encoded slash in the path can never
+// smuggle extra segments into the id. Returns "" for everything else,
+// including the collection itself and the /v1/jobs/open listing (which
+// is a daemon-local view, not a job).
+func jobSubResourceID(escapedPath string) string {
+	rest, ok := strings.CutPrefix(escapedPath, "/v1/jobs/")
+	if !ok {
+		return ""
+	}
+	id, _, _ := strings.Cut(rest, "/")
+	if id == "open" {
+		return ""
+	}
+	return id
+}
+
 // idempotent reports whether a request may be retried on the next ring
-// member after a transport failure.
-func idempotent(method, path string) bool {
+// member after a transport failure. Takes the escaped path, matching
+// what requestKey hashes and attempt forwards.
+func idempotent(method, escapedPath string) bool {
 	switch method {
 	case http.MethodGet, http.MethodHead, http.MethodDelete:
 		return true
 	case http.MethodPost:
-		return idempotentPOSTRoutes[path]
+		if idempotentPOSTRoutes[escapedPath] {
+			return true
+		}
+		// The distributed-job control routes are retry-safe by protocol
+		// design: leases expire on their own and duplicate partial
+		// uploads are refused idempotently, so a lost response costs at
+		// most one lease TTL.
+		if jobSubResourceID(escapedPath) != "" {
+			return strings.HasSuffix(escapedPath, "/lease") || strings.HasSuffix(escapedPath, "/partials")
+		}
 	}
 	return false
 }
 
 // requestKey is the content hash that shards requests across replicas:
 // same method+path+query+body, same replica (and so the same warm memo
-// cache and the same job checkpoint directory).
+// cache and the same job checkpoint directory). The path is hashed in
+// escaped form — decoding would collapse /v1/figures/1%2F2 and
+// /v1/figures/1/2 onto one key even though backends distinguish them.
+// Job sub-resources key by the job id alone, so every status poll,
+// result fetch, lease, and partial upload for one job prefers the same
+// replica: the one coordinating it.
 func requestKey(r *http.Request, body []byte) uint64 {
+	path := r.URL.EscapedPath()
+	if id := jobSubResourceID(path); id != "" {
+		return hash64(append([]byte("job\n"), id...))
+	}
 	var b []byte
 	b = append(b, r.Method...)
 	b = append(b, '\n')
-	b = append(b, r.URL.Path...)
+	b = append(b, path...)
 	b = append(b, '\n')
 	b = append(b, r.URL.RawQuery...)
 	b = append(b, '\n')
 	b = append(b, body...)
 	return hash64(b)
+}
+
+// attemptOrder is the ring's preference order for key with benched
+// replicas moved to the back — never dropped: if everything is benched,
+// trying is still better than refusing. The ring's own order is a pure
+// function of the key, so benching never reshuffles the healthy
+// replicas' relative preference.
+func (rt *Router) attemptOrder(key uint64) []string {
+	pref := rt.ring.order(key)
+	order := make([]string, 0, len(pref))
+	var cold []string
+	for _, addr := range pref {
+		if rt.benched(addr) {
+			cold = append(cold, addr)
+		} else {
+			order = append(order, addr)
+		}
+	}
+	return append(order, cold...)
 }
 
 // hopHeaders are the hop-by-hop headers stripped in both directions.
@@ -283,39 +341,39 @@ func (rt *Router) proxy(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	pref := rt.ring.order(requestKey(r, body))
-	healthy := make([]string, 0, len(pref))
-	var cold []string
-	for _, addr := range pref {
-		if rt.benched(addr) {
-			cold = append(cold, addr)
-		} else {
-			healthy = append(healthy, addr)
-		}
-	}
-	order := append(healthy, cold...)
-
-	canRetry := idempotent(r.Method, r.URL.Path)
+	order := rt.attemptOrder(requestKey(r, body))
+	escPath := r.URL.EscapedPath()
+	canRetry := idempotent(r.Method, escPath)
+	// Job submits shard by body but sub-resources shard by job id, so
+	// the first ring member may not be the replica tracking the job: a
+	// 404 there is a routing miss, not an answer, and idempotent job
+	// requests chase it along the ring until a replica knows the id.
+	chaseJob := canRetry && jobSubResourceID(escPath) != ""
 	start := time.Now()
 	var lastErr error
 	for i, addr := range order {
-		if i > 0 {
-			rt.retriesTotal.Inc()
-		}
 		resp, err := rt.attempt(r, addr, body)
 		if err != nil {
 			// Transport failure: no response existed, so nothing was
 			// written to the client and retrying cannot splice payloads.
+			rt.requestsTotal.With(addr, "transport_error").Inc()
 			rt.bench(addr)
 			lastErr = err
 			rt.log.Warn("proxy attempt failed", "replica", addr,
-				"method", r.Method, "path", r.URL.Path, "error", err.Error())
+				"method", r.Method, "path", escPath, "error", err.Error())
 			if canRetry {
+				rt.retriesTotal.Inc()
 				continue
 			}
 			break
 		}
 		rt.unbench(addr)
+		if chaseJob && resp.StatusCode == http.StatusNotFound && i < len(order)-1 {
+			rt.requestsTotal.With(addr, strconv.Itoa(resp.StatusCode)).Inc()
+			resp.Body.Close()
+			rt.jobChasesTotal.Inc()
+			continue
+		}
 		rt.relay(w, resp, addr)
 		rt.proxySeconds.Observe(time.Since(start).Seconds())
 		return
@@ -330,7 +388,10 @@ func (rt *Router) proxy(w http.ResponseWriter, r *http.Request) {
 // or the transport error if no response exists.
 func (rt *Router) attempt(r *http.Request, addr string, body []byte) (*http.Response, error) {
 	ctx, cancel := context.WithTimeout(r.Context(), rt.cfg.ProxyTimeout)
-	url := "http://" + addr + r.URL.Path
+	// Forward the escaped path verbatim: rebuilding the URL from the
+	// decoded Path would turn /v1/figures/1%2F2 into /v1/figures/1/2 and
+	// route the backend to a different resource than the client named.
+	url := "http://" + addr + r.URL.EscapedPath()
 	if r.URL.RawQuery != "" {
 		url += "?" + r.URL.RawQuery
 	}

@@ -289,3 +289,183 @@ func TestRouterBodyTooLarge(t *testing.T) {
 		t.Fatalf("oversized body = %d %s, want 413", code, body)
 	}
 }
+
+// TestProxyPreservesEscapedPath is the escaped-path regression test: a
+// path segment carrying an encoded slash must reach the backend in its
+// escaped form, not decoded into extra path segments.
+func TestProxyPreservesEscapedPath(t *testing.T) {
+	a := echoBackend("a")
+	defer a.Close()
+	rt := newTestRouter(t, Config{Replicas: []string{hostPort(a)}})
+
+	code, _, body := via(t, rt, "GET", "/v1/figures/1%2F2", "")
+	if code != http.StatusOK {
+		t.Fatalf("escaped-path request = %d %s", code, body)
+	}
+	if !strings.Contains(string(body), "/v1/figures/1%2F2") {
+		t.Fatalf("backend saw %q, want the escaped path /v1/figures/1%%2F2 intact", body)
+	}
+
+	// The content key must distinguish the escaped from the decoded
+	// path too, or both spellings would share a replica's caches under
+	// one identity while backends treat them as different resources.
+	esc := httptest.NewRequest("GET", "/v1/figures/1%2F2", nil)
+	dec := httptest.NewRequest("GET", "/v1/figures/1/2", nil)
+	if requestKey(esc, nil) == requestKey(dec, nil) {
+		t.Fatal("requestKey collapses the escaped and decoded figure paths")
+	}
+}
+
+// TestTransportErrorCounted: a failed proxy attempt must show up in
+// front_requests_total under code="transport_error" — before this fix
+// such attempts were invisible in the per-replica request counts.
+func TestTransportErrorCounted(t *testing.T) {
+	a := echoBackend("a")
+	addr := hostPort(a)
+	a.Close() // keep the address, kill the listener
+	rt := newTestRouter(t, Config{Replicas: []string{addr}})
+
+	if code, _, _ := via(t, rt, "GET", "/v1/figures/1", ""); code != http.StatusBadGateway {
+		t.Fatalf("dead replica gave %d, want 502", code)
+	}
+	if got := rt.requestsTotal.With(addr, "transport_error").Value(); got != 1 {
+		t.Fatalf("transport_error count = %d, want 1", got)
+	}
+}
+
+// jobIDKeyedTo brute-forces a job id whose ring key makes addr the
+// first choice, so tests can aim job traffic.
+func jobIDKeyedTo(t *testing.T, rt *Router, addr string) string {
+	t.Helper()
+	for i := 0; i < 10000; i++ {
+		id := fmt.Sprintf("%016x", i)
+		req := httptest.NewRequest("GET", "/v1/jobs/"+id, nil)
+		if rt.ring.order(requestKey(req, nil))[0] == addr {
+			return id
+		}
+	}
+	t.Fatalf("no job id found keying to %s", addr)
+	return ""
+}
+
+// TestJobRoutesKeyByID: every sub-resource of one job — status, result,
+// lease, partials — computes the same ring key regardless of method,
+// query, and body, so they all prefer the job's coordinator replica.
+func TestJobRoutesKeyByID(t *testing.T) {
+	id := "00112233aabbccdd"
+	base := httptest.NewRequest("GET", "/v1/jobs/"+id, nil)
+	want := requestKey(base, nil)
+	for _, tc := range []struct{ method, target string }{
+		{"GET", "/v1/jobs/" + id + "/result"},
+		{"GET", "/v1/jobs/" + id + "?verbose=1"},
+		{"POST", "/v1/jobs/" + id + "/lease"},
+		{"POST", "/v1/jobs/" + id + "/partials"},
+	} {
+		req := httptest.NewRequest(tc.method, tc.target, nil)
+		if got := requestKey(req, []byte(`{"owner":"w"}`)); got != want {
+			t.Fatalf("%s %s keys to %d, want the job's key %d", tc.method, tc.target, got, want)
+		}
+	}
+	// The open listing is not a job and must not share the keyspace.
+	open := httptest.NewRequest("GET", "/v1/jobs/open", nil)
+	if requestKey(open, nil) == want {
+		t.Fatal("/v1/jobs/open collides with a job id key")
+	}
+}
+
+// TestJobRouteChasesNotFound: when the id-keyed first choice does not
+// track the job (submits shard by body, so the coordinator can be any
+// replica), a 404 is chased to the next ring member instead of being
+// relayed to the client.
+func TestJobRouteChasesNotFound(t *testing.T) {
+	notFound := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusNotFound)
+		io.WriteString(w, `{"error":{"code":"job_not_found","message":"no tracked job"}}`)
+	}))
+	defer notFound.Close()
+	owner := echoBackend("owner")
+	defer owner.Close()
+
+	rt := newTestRouter(t, Config{Replicas: []string{hostPort(notFound), hostPort(owner)}})
+	id := jobIDKeyedTo(t, rt, hostPort(notFound))
+
+	code, hdr, body := via(t, rt, "GET", "/v1/jobs/"+id+"/result", "")
+	if code != http.StatusOK || hdr.Get("X-Backend") != hostPort(owner) {
+		t.Fatalf("chased request = %d via %s (%s), want 200 from %s",
+			code, hdr.Get("X-Backend"), body, hostPort(owner))
+	}
+	if got := rt.jobChasesTotal.Value(); got != 1 {
+		t.Fatalf("job chases = %d, want 1", got)
+	}
+	// The 404 the chase skipped still counts against the replica that
+	// answered it.
+	if got := rt.requestsTotal.With(hostPort(notFound), "404").Value(); got != 1 {
+		t.Fatalf("chased 404 not counted: %d", got)
+	}
+
+	// The distributed-job control POSTs ride the same chase.
+	code, hdr, _ = via(t, rt, "POST", "/v1/jobs/"+id+"/partials", `{"owner":"w","shard":0,"chunks":[]}`)
+	if code != http.StatusOK || hdr.Get("X-Backend") != hostPort(owner) {
+		t.Fatalf("partials chase = %d via %s, want 200 from %s", code, hdr.Get("X-Backend"), hostPort(owner))
+	}
+}
+
+// TestJobRouteChaseExhausted: when no replica knows the job the last
+// 404 is relayed — the chase changes who answers, never what a missing
+// job looks like.
+func TestJobRouteChaseExhausted(t *testing.T) {
+	mk404 := func() *httptest.Server {
+		return httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			w.WriteHeader(http.StatusNotFound)
+			io.WriteString(w, `{"error":{"code":"job_not_found","message":"no tracked job"}}`)
+		}))
+	}
+	a, b := mk404(), mk404()
+	defer a.Close()
+	defer b.Close()
+	rt := newTestRouter(t, Config{Replicas: []string{hostPort(a), hostPort(b)}})
+
+	code, _, body := via(t, rt, "GET", "/v1/jobs/feedfacefeedface", "")
+	if code != http.StatusNotFound || !strings.Contains(string(body), "job_not_found") {
+		t.Fatalf("exhausted chase = %d %s, want the backend 404 relayed", code, body)
+	}
+}
+
+// TestAttemptOrderStableUnderBench: benching a replica moves it to the
+// back of the attempt order without reshuffling the others, and the
+// ring's own preference order never changes — so a bench during one
+// request cannot re-aim unrelated keys.
+func TestAttemptOrderStableUnderBench(t *testing.T) {
+	rt := newTestRouter(t, Config{
+		Replicas: []string{"10.0.0.1:1", "10.0.0.2:1", "10.0.0.3:1"},
+		BenchFor: time.Minute,
+	})
+	for key := uint64(1); key <= 64; key++ {
+		ringBefore := rt.ring.order(key)
+		rt.bench(ringBefore[0])
+		if got := rt.ring.order(key); !slicesEqual(got, ringBefore) {
+			t.Fatalf("ring.order changed under bench: %v vs %v", got, ringBefore)
+		}
+		want := append(append([]string{}, ringBefore[1:]...), ringBefore[0])
+		if got := rt.attemptOrder(key); !slicesEqual(got, want) {
+			t.Fatalf("attemptOrder with %s benched = %v, want %v", ringBefore[0], got, want)
+		}
+		rt.unbench(ringBefore[0])
+		if got := rt.attemptOrder(key); !slicesEqual(got, ringBefore) {
+			t.Fatalf("attemptOrder after unbench = %v, want %v", got, ringBefore)
+		}
+	}
+}
+
+func slicesEqual(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

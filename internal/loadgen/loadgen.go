@@ -113,6 +113,8 @@ type Result struct {
 	TransportErrs int
 	Elapsed       time.Duration
 	AchievedRPS   float64
+	RequestedRPS  float64 // open loop: the pinned arrival rate asked for
+	ArrivalRPS    float64 // open loop: arrivals actually launched per second of Duration
 	P50, P90, P99 time.Duration
 	Max           time.Duration
 	Endpoints     []EndpointResult
@@ -220,6 +222,7 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 
 	start := time.Now()
 	mode := "closed"
+	arrivals := 0
 	var wg sync.WaitGroup
 	if cfg.RPS > 0 {
 		mode = "open"
@@ -227,20 +230,36 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 		if interval <= 0 {
 			interval = time.Nanosecond
 		}
-		ticker := time.NewTicker(interval)
-		defer ticker.Stop()
-		i := 0
+		// Arrival n fires at start+n·interval, an absolute schedule. A
+		// ticker here coalesces: its channel buffers exactly one tick, so
+		// whenever this loop stalls past one interval (goroutine storms on
+		// a small box, a GC pause) every tick that should have queued in
+		// the stall is dropped and the achieved rate silently undershoots
+		// the pinned one — coordinated omission smuggled back into the
+		// open loop. Falling behind an absolute schedule instead fires
+		// immediately, bursting until the arrival count catches up.
+		timer := time.NewTimer(time.Hour)
+		if !timer.Stop() {
+			<-timer.C
+		}
+		defer timer.Stop()
 	openLoop:
 		for {
-			select {
-			case <-runCtx.Done():
+			next := start.Add(time.Duration(float64(arrivals) * float64(interval)))
+			if d := time.Until(next); d > 0 {
+				timer.Reset(d)
+				select {
+				case <-runCtx.Done():
+					break openLoop
+				case <-timer.C:
+				}
+			} else if runCtx.Err() != nil {
 				break openLoop
-			case <-ticker.C:
-				e := cfg.Endpoints[i%len(cfg.Endpoints)]
-				i++
-				wg.Add(1)
-				go func() { defer wg.Done(); shoot(e) }()
 			}
+			e := cfg.Endpoints[arrivals%len(cfg.Endpoints)]
+			arrivals++
+			wg.Add(1)
+			go func() { defer wg.Done(); shoot(e) }()
 		}
 	} else {
 		for w := 0; w < cfg.Concurrency; w++ {
@@ -270,6 +289,13 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 	if elapsed > 0 {
 		res.AchievedRPS = float64(res.Requests) / elapsed.Seconds()
 	}
+	if mode == "open" {
+		res.RequestedRPS = cfg.RPS
+		// Arrivals are judged against the configured window, not Elapsed:
+		// Elapsed includes the post-deadline drain of in-flight requests,
+		// which would flatter a generator that fell behind.
+		res.ArrivalRPS = float64(arrivals) / cfg.Duration.Seconds()
+	}
 	res.P50 = Percentile(rec.latencies, 0.50)
 	res.P90 = Percentile(rec.latencies, 0.90)
 	res.P99 = Percentile(rec.latencies, 0.99)
@@ -284,9 +310,13 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 // compares across router topologies for byte identity.
 func (r *Result) Report() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "mode=%s requests=%d non2xx=%d transport_errs=%d elapsed=%s rps=%.1f\n",
+	fmt.Fprintf(&b, "mode=%s requests=%d non2xx=%d transport_errs=%d elapsed=%s rps=%.1f",
 		r.Mode, r.Requests, r.Non2xx, r.TransportErrs,
 		r.Elapsed.Round(time.Millisecond), r.AchievedRPS)
+	if r.Mode == "open" {
+		fmt.Fprintf(&b, " requested_rps=%.1f arrival_rps=%.1f", r.RequestedRPS, r.ArrivalRPS)
+	}
+	b.WriteByte('\n')
 	fmt.Fprintf(&b, "latency p50=%s p90=%s p99=%s max=%s\n",
 		r.P50.Round(time.Microsecond), r.P90.Round(time.Microsecond),
 		r.P99.Round(time.Microsecond), r.Max.Round(time.Microsecond))
@@ -320,6 +350,13 @@ func (r *Result) CheckSLO(maxP99 time.Duration, maxNon2xx int) []string {
 		if e.HashMismatches > 0 {
 			v = append(v, fmt.Sprintf("endpoint %s: %d response-hash mismatches", e.Name, e.HashMismatches))
 		}
+	}
+	// An open loop that cannot sustain its own pinned rate measures a
+	// gentler load than requested; the whole run is then untrustworthy,
+	// not just slow.
+	if r.Mode == "open" && r.RequestedRPS > 0 && r.ArrivalRPS < 0.95*r.RequestedRPS {
+		v = append(v, fmt.Sprintf("arrival rate %.1f/s undershoots requested %.1f/s by more than 5%%",
+			r.ArrivalRPS, r.RequestedRPS))
 	}
 	if r.Requests == 0 {
 		v = append(v, "no requests completed")

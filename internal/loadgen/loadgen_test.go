@@ -3,6 +3,7 @@ package loadgen
 import (
 	"context"
 	"fmt"
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -183,6 +184,87 @@ func TestReportCarriesHashLines(t *testing.T) {
 		want := fmt.Sprintf("hash %s %s\n", r1.Endpoints[i].Name, r1.Endpoints[i].BodySHA256)
 		if report := r1.Report(); !strings.Contains(report, want) {
 			t.Fatalf("report missing %q:\n%s", want, report)
+		}
+	}
+}
+
+// stubTransport answers every request in-process with a canned 200, so
+// the pacing test below measures the arrival loop's scheduling — not
+// this box's capacity to serve real HTTP at the requested rate.
+type stubTransport struct{}
+
+func (stubTransport) RoundTrip(r *http.Request) (*http.Response, error) {
+	return &http.Response{
+		StatusCode: http.StatusOK,
+		Body:       io.NopCloser(strings.NewReader("ok")),
+		Header:     http.Header{},
+	}, nil
+}
+
+// TestOpenLoopHoldsRateUnderLoad is the pacing regression test: at
+// 2000 rps on a small box the per-request goroutine launches stall the
+// arrival loop past single intervals, and a ticker-driven loop (whose
+// channel buffers exactly one tick) silently drops every tick the stall
+// swallowed — this box measured ~50% of the requested arrivals even
+// against the in-process stub. The absolute schedule must burst through
+// stalls and deliver the pinned rate.
+func TestOpenLoopHoldsRateUnderLoad(t *testing.T) {
+	res, err := Run(context.Background(), Config{
+		BaseURL:   "http://stub.invalid",
+		Endpoints: []Endpoint{{Name: "ok", Method: "GET", Path: "/ok"}},
+		Duration:  700 * time.Millisecond,
+		RPS:       2000,
+		Client:    &http.Client{Transport: stubTransport{}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const want = 1400 // 2000 rps × 0.7 s
+	if res.Requests < want*85/100 {
+		t.Fatalf("open loop launched %d arrivals at 2000rps/700ms, want ≥ %d (ticker coalescing?)", res.Requests, want*85/100)
+	}
+	if res.Requests > want+want/10 {
+		t.Fatalf("open loop launched %d arrivals, more than the schedule admits (~%d)", res.Requests, want)
+	}
+	if res.RequestedRPS != 2000 {
+		t.Fatalf("RequestedRPS = %v, want 2000", res.RequestedRPS)
+	}
+	if res.ArrivalRPS < 0.95*res.RequestedRPS {
+		t.Fatalf("ArrivalRPS = %.1f, want ≥ 95%% of %.1f", res.ArrivalRPS, res.RequestedRPS)
+	}
+	if v := res.CheckSLO(0, -1); len(v) != 0 {
+		t.Fatalf("unexpected SLO violations: %v", v)
+	}
+	if !strings.Contains(res.Report(), "arrival_rps=") {
+		t.Fatalf("open-loop report misses arrival_rps: %s", res.Report())
+	}
+}
+
+// TestCheckSLOFlagsArrivalUndershoot: an open-loop run that failed to
+// sustain its own requested rate is a violation in itself, even with
+// perfect latencies.
+func TestCheckSLOFlagsArrivalUndershoot(t *testing.T) {
+	r := &Result{Mode: "open", Requests: 700, RequestedRPS: 2000, ArrivalRPS: 1000}
+	v := r.CheckSLO(0, -1)
+	found := false
+	for _, s := range v {
+		if strings.Contains(s, "undershoots") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("50%% arrival undershoot not flagged: %v", v)
+	}
+	ok := &Result{Mode: "open", Requests: 1400, RequestedRPS: 2000, ArrivalRPS: 1960}
+	for _, s := range ok.CheckSLO(0, -1) {
+		if strings.Contains(s, "undershoots") {
+			t.Fatalf("96%% arrival rate wrongly flagged: %v", ok.CheckSLO(0, -1))
+		}
+	}
+	closed := &Result{Mode: "closed", Requests: 100}
+	for _, s := range closed.CheckSLO(0, -1) {
+		if strings.Contains(s, "undershoots") {
+			t.Fatalf("closed loop wrongly checked for arrival rate: %v", s)
 		}
 	}
 }

@@ -23,7 +23,6 @@ package mcjob
 
 import (
 	"context"
-	"fmt"
 	"strconv"
 	"sync"
 	"time"
@@ -242,19 +241,11 @@ type trialBounded interface {
 // Workers, scheduling, and any checkpoint/resume history are all
 // invisible in the output, bit for bit.
 func Run(ctx context.Context, k Kernel, cfg RunConfig) (Result, error) {
-	if k == nil {
-		return Result{}, fmt.Errorf("mcjob: nil kernel")
+	eval, err := NewShardEvaluator(k, cfg)
+	if err != nil {
+		return Result{}, err
 	}
-	if cfg.Trials <= 0 {
-		return Result{}, fmt.Errorf("mcjob: trials must be positive, got %d", cfg.Trials)
-	}
-	if tb, ok := k.(trialBounded); ok && cfg.Trials > tb.MaxTrials() {
-		return Result{}, fmt.Errorf("mcjob: %s kernel covers %d trials, config asks for %d", k.Kind(), tb.MaxTrials(), cfg.Trials)
-	}
-	if k.ChunkTrials() <= 0 {
-		return Result{}, fmt.Errorf("mcjob: kernel %s reports non-positive chunk size", k.Kind())
-	}
-	p := newPlan(cfg.Trials, k.ChunkTrials(), cfg.Shards)
+	p := eval.p
 	cfg.Shards = p.shards // normalized count is what Finalize reports
 
 	ctx, span := obs.StartSpan(ctx, "mcjob.run")
@@ -279,25 +270,6 @@ func Run(ctx context.Context, k Kernel, cfg RunConfig) (Result, error) {
 			return Result{}, err
 		}
 		defer cp.close()
-	}
-
-	// Shard start streams: one incremental jump walk over the chunk
-	// sequence, recording the state at each pending shard's first chunk.
-	// Chunk c's stream is the seed state after c jumps — SplitN's exact
-	// layout without materializing p.chunks generators.
-	var starts []stats.RNG
-	if !k.Keyed() {
-		starts = make([]stats.RNG, p.shards)
-		walker := stats.Seeded(cfg.Seed)
-		chunk := 0
-		for s := 0; s < p.shards; s++ {
-			lo, _ := p.shardChunks(s)
-			for chunk < lo {
-				walker.Jump()
-				chunk++
-			}
-			starts[s] = walker
-		}
 	}
 
 	// Online merger: completed shard partials park in byShard until the
@@ -347,33 +319,12 @@ func Run(ctx context.Context, k Kernel, cfg RunConfig) (Result, error) {
 		cfg.OnProgress(prog)
 	}
 
-	err := parallel.ForEach(ctx, len(pending), cfg.Workers, func(i int) error {
+	err = parallel.ForEach(ctx, len(pending), cfg.Workers, func(i int) error {
 		s := pending[i]
 		start := time.Now()
-		cLo, cHi := p.shardChunks(s)
-		parts := make([]Partial, 0, cHi-cLo)
-		var walker stats.RNG
-		if !k.Keyed() {
-			walker = starts[s]
-		}
-		for c := cLo; c < cHi; c++ {
-			if err := ctx.Err(); err != nil {
-				return err
-			}
-			tLo, tHi := p.chunkTrialRange(c)
-			var pt Partial
-			var err error
-			if k.Keyed() {
-				pt, err = k.Chunk(tLo, tHi, nil)
-			} else {
-				rc := walker // pristine per-chunk copy; kernel consumption never shifts the walk
-				pt, err = k.Chunk(tLo, tHi, &rc)
-				walker.Jump()
-			}
-			if err != nil {
-				return fmt.Errorf("mcjob: shard %d chunk %d: %w", s, c, err)
-			}
-			parts = append(parts, pt)
+		parts, err := eval.EvalShard(ctx, s)
+		if err != nil {
+			return err
 		}
 		if cp != nil {
 			if err := cp.writeShard(s, parts); err != nil {

@@ -1,0 +1,285 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/mcjob"
+)
+
+// distJobSpec is the canonical spec the distributed tests run: 4 shards
+// of one defect chunk each (8192 trials/chunk), small enough to
+// evaluate inline in a unit test.
+const distJobSpec = `{"kind":"defect","trials":32768,"shards":4,"seed":11,"defect":{"lambda":0.9}}`
+
+// distEvaluator rebuilds the shard evaluator a remote worker would
+// derive from distJobSpec, for hand-rolled partial uploads.
+func distEvaluator(t *testing.T) *mcjob.ShardEvaluator {
+	t.Helper()
+	var req jobRequest
+	if err := json.Unmarshal([]byte(distJobSpec), &req); err != nil {
+		t.Fatalf("spec: %v", err)
+	}
+	k, err := buildKernel(req)
+	if err != nil {
+		t.Fatalf("buildKernel: %v", err)
+	}
+	eval, err := mcjob.NewShardEvaluator(k, mcjob.RunConfig{Trials: req.Trials, Shards: req.Shards, Seed: req.Seed})
+	if err != nil {
+		t.Fatalf("NewShardEvaluator: %v", err)
+	}
+	return eval
+}
+
+func postJSON(t *testing.T, s *Server, target string, body any) (int, map[string]any) {
+	t.Helper()
+	buf, err := json.Marshal(body)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	code, _, out := do(t, s, "POST", target, string(buf))
+	return code, out
+}
+
+// TestDistributedJobEndpoints drives the coordinator's wire protocol by
+// hand: open-job listing, lease grant/renewal, shard upload, duplicate
+// refusal, and geometry rejection, finishing the job purely through
+// remote uploads (JobWorkers -1 disables local evaluation).
+func TestDistributedJobEndpoints(t *testing.T) {
+	s := newTestServer(t, Config{
+		DistributeJobs: true,
+		JobDir:         t.TempDir(),
+		LeaseTTL:       time.Minute,
+		JobWorkers:     -1,
+		WorkerID:       "coord",
+	})
+
+	code, _, body := do(t, s, "POST", "/v1/jobs", distJobSpec)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit = %d %v", code, body)
+	}
+	id, _ := body["id"].(string)
+
+	// Status advertises distribution.
+	code, _, st := do(t, s, "GET", "/v1/jobs/"+id, "")
+	if code != http.StatusOK || st["distributed"] != true {
+		t.Fatalf("status = %d %v, want distributed=true", code, st)
+	}
+
+	// The open listing carries the job with all shards leasable and the
+	// original spec, byte-for-byte decodable by a worker.
+	code, _, open := do(t, s, "GET", "/v1/jobs/open", "")
+	if code != http.StatusOK {
+		t.Fatalf("open = %d %v", code, open)
+	}
+	jobs, _ := open["jobs"].([]any)
+	if len(jobs) != 1 {
+		t.Fatalf("open jobs = %v, want exactly the submitted job", open)
+	}
+	oj, _ := jobs[0].(map[string]any)
+	if oj["id"] != id || oj["kind"] != "defect" || oj["leasable_shards"] != float64(4) {
+		t.Fatalf("open entry = %v", oj)
+	}
+	if _, ok := oj["spec"].(map[string]any); !ok {
+		t.Fatalf("open entry spec = %T, want the job request object", oj["spec"])
+	}
+
+	// Failure modes before doing real work.
+	code, errBody := postJSON(t, s, "/v1/jobs/"+id+"/lease", leaseRequest{})
+	if code != http.StatusBadRequest || errCode(t, errBody) != "invalid_request" {
+		t.Fatalf("ownerless lease = %d %v", code, errBody)
+	}
+	code, errBody = postJSON(t, s, "/v1/jobs/0123456789abcdef/lease", leaseRequest{Owner: "w1", Max: 1})
+	if code != http.StatusNotFound || errCode(t, errBody) != "job_not_found" {
+		t.Fatalf("lease on unknown job = %d %v", code, errBody)
+	}
+
+	// Lease two shards, then finish the job by uploading all four.
+	code, lr := postJSON(t, s, "/v1/jobs/"+id+"/lease", leaseRequest{Owner: "w1", Max: 2})
+	if code != http.StatusOK {
+		t.Fatalf("lease = %d %v", code, lr)
+	}
+	leases, _ := lr["leases"].([]any)
+	if len(leases) != 2 {
+		t.Fatalf("leases = %v, want 2", lr)
+	}
+
+	eval := distEvaluator(t)
+	upload := func(shard int, mutate func([]mcjob.Partial)) (int, map[string]any) {
+		parts, err := eval.EvalShard(context.Background(), shard)
+		if err != nil {
+			t.Fatalf("EvalShard(%d): %v", shard, err)
+		}
+		if mutate != nil {
+			mutate(parts)
+		}
+		return postJSON(t, s, "/v1/jobs/"+id+"/partials",
+			partialsRequest{Owner: "w1", Shard: shard, Seconds: 0.01, Chunks: parts})
+	}
+
+	// Geometry the coordinator's plan contradicts is the worker's fault: 400.
+	code, errBody = upload(0, func(parts []mcjob.Partial) { parts[0].Trials++ })
+	if code != http.StatusBadRequest || errCode(t, errBody) != "invalid_request" {
+		t.Fatalf("bad-geometry upload = %d %v", code, errBody)
+	}
+	if got := s.metrics.jobPartialsTotal.With("rejected").Value(); got != 1 {
+		t.Fatalf("rejected partials counter = %d, want 1", got)
+	}
+
+	code, pr := upload(0, nil)
+	if code != http.StatusOK || pr["accepted"] != true || pr["duplicate"] != false {
+		t.Fatalf("first upload = %d %v", code, pr)
+	}
+	code, pr = upload(0, nil)
+	if code != http.StatusOK || pr["accepted"] != false || pr["duplicate"] != true {
+		t.Fatalf("duplicate upload = %d %v", code, pr)
+	}
+	for shard := 1; shard < 4; shard++ {
+		if code, pr = upload(shard, nil); code != http.StatusOK || pr["accepted"] != true {
+			t.Fatalf("upload shard %d = %d %v", shard, code, pr)
+		}
+	}
+	if got := s.metrics.jobPartialsTotal.With("accepted").Value(); got != 4 {
+		t.Fatalf("accepted partials counter = %d, want 4", got)
+	}
+	if got := s.metrics.jobPartialsTotal.With("duplicate").Value(); got != 1 {
+		t.Fatalf("duplicate partials counter = %d, want 1", got)
+	}
+	if got := s.metrics.jobLeasesTotal.With("granted").Value(); got != 2 {
+		t.Fatalf("granted leases counter = %d, want 2", got)
+	}
+
+	final := waitForJob(t, s, id)
+	if final["state"] != "done" {
+		t.Fatalf("final state = %v (%v)", final["state"], final["error"])
+	}
+
+	// The merged result matches a plain single-host run bit for bit.
+	_, _, gotBody := rawDo(t, s, "GET", "/v1/jobs/"+id+"/result", "")
+	ref := newTestServer(t, Config{})
+	code, _, refSub := do(t, ref, "POST", "/v1/jobs", distJobSpec)
+	if code != http.StatusAccepted {
+		t.Fatalf("reference submit = %d %v", code, refSub)
+	}
+	waitForJob(t, ref, id)
+	_, _, refBody := rawDo(t, ref, "GET", "/v1/jobs/"+id+"/result", "")
+	if string(gotBody) != string(refBody) {
+		t.Fatalf("distributed result differs from single-host run:\n%s\nvs\n%s", gotBody, refBody)
+	}
+
+	// A finished job is no longer open, and further lease calls answer
+	// with the terminal state and zero leases instead of an error.
+	_, _, open = do(t, s, "GET", "/v1/jobs/open", "")
+	if jobs, _ := open["jobs"].([]any); len(jobs) != 0 {
+		t.Fatalf("open after completion = %v, want none", open)
+	}
+	code, lr = postJSON(t, s, "/v1/jobs/"+id+"/lease", leaseRequest{Owner: "w2", Max: 4})
+	if code != http.StatusOK || lr["state"] != "done" || lr["leases"] != nil {
+		t.Fatalf("lease on finished job = %d %v", code, lr)
+	}
+}
+
+// TestDistributedEndpointsRequireCoordinator pins the 409 for jobs that
+// run without a coordinator: the endpoints exist, but the job cannot
+// serve leases.
+func TestDistributedEndpointsRequireCoordinator(t *testing.T) {
+	s := newTestServer(t, Config{})
+	code, _, body := do(t, s, "POST", "/v1/jobs", distJobSpec)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit = %d %v", code, body)
+	}
+	id, _ := body["id"].(string)
+	waitForJob(t, s, id)
+
+	code, errBody := postJSON(t, s, "/v1/jobs/"+id+"/lease", leaseRequest{Owner: "w1", Max: 1})
+	if code != http.StatusConflict || errCode(t, errBody) != "job_not_distributed" {
+		t.Fatalf("lease on local job = %d %v", code, errBody)
+	}
+	code, errBody = postJSON(t, s, "/v1/jobs/"+id+"/partials", partialsRequest{Owner: "w1", Chunks: []mcjob.Partial{}})
+	if code != http.StatusConflict || errCode(t, errBody) != "job_not_distributed" {
+		t.Fatalf("partials on local job = %d %v", code, errBody)
+	}
+}
+
+// TestDistributedJobTwoServers is the end-to-end round: server A runs a
+// pure coordinator (no local evaluation), server B's worker loop
+// discovers the job over HTTP, computes every shard, and uploads the
+// partials. The merged result must be byte-identical to the same spec
+// run on a plain non-distributed server.
+func TestDistributedJobTwoServers(t *testing.T) {
+	oldPoll := workerPollInterval
+	workerPollInterval = 10 * time.Millisecond
+	t.Cleanup(func() { workerPollInterval = oldPoll })
+
+	a := newTestServer(t, Config{
+		DistributeJobs: true,
+		JobDir:         t.TempDir(),
+		LeaseTTL:       2 * time.Second,
+		JobWorkers:     -1,
+		WorkerID:       "coord-a",
+	})
+	tsA := httptest.NewServer(a.Handler())
+	t.Cleanup(tsA.Close)
+	addrA := strings.TrimPrefix(tsA.URL, "http://")
+
+	b := newTestServer(t, Config{Peers: []string{addrA}, WorkerID: "worker-b"})
+
+	spec := `{"kind":"defect","trials":100000,"shards":5,"seed":23,"defect":{"lambda":1.1}}`
+	code, _, body := do(t, a, "POST", "/v1/jobs", spec)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit = %d %v", code, body)
+	}
+	id, _ := body["id"].(string)
+
+	final := waitForJob(t, a, id)
+	if final["state"] != "done" {
+		t.Fatalf("final state = %v (%v)", final["state"], final["error"])
+	}
+	if final["distributed"] != true {
+		t.Fatalf("final status = %v, want distributed=true", final)
+	}
+
+	// Every shard arrived over the wire: the coordinator evaluated none.
+	if got := a.metrics.jobPartialsTotal.With("accepted").Value(); got != 5 {
+		t.Fatalf("accepted partials on A = %d, want 5", got)
+	}
+	if got := b.metrics.workerShards.With("uploaded").Value(); got == 0 {
+		t.Fatalf("worker B uploaded no shards")
+	}
+
+	rcode, _, gotBody := rawDo(t, a, "GET", "/v1/jobs/"+id+"/result", "")
+	if rcode != http.StatusOK {
+		t.Fatalf("result = %d: %s", rcode, gotBody)
+	}
+
+	ref := newTestServer(t, Config{})
+	code, _, refSub := do(t, ref, "POST", "/v1/jobs", spec)
+	if code != http.StatusAccepted {
+		t.Fatalf("reference submit = %d %v", code, refSub)
+	}
+	if fin := waitForJob(t, ref, id); fin["state"] != "done" {
+		t.Fatalf("reference final state = %v (%v)", fin["state"], fin["error"])
+	}
+	_, _, refBody := rawDo(t, ref, "GET", "/v1/jobs/"+id+"/result", "")
+	if string(gotBody) != string(refBody) {
+		t.Fatalf("distributed result differs from single-host run:\n%s\nvs\n%s", gotBody, refBody)
+	}
+}
+
+// TestWorkerRejectsUnknownSpec pins the worker's defensive decode: a
+// coordinator advertising a spec with fields this replica does not know
+// is skipped, not half-evaluated.
+func TestWorkerRejectsUnknownSpec(t *testing.T) {
+	w := newWorker(Config{WorkerID: "w", Peers: []string{"127.0.0.1:1"}}, newMetrics(), discardLogger())
+	t.Cleanup(w.stop)
+	_, err := w.evaluator(openJobJSON{ID: "deadbeefdeadbeef", Kind: "defect",
+		Spec: json.RawMessage(`{"kind":"defect","trials":100,"defect":{"lambda":1},"mystery":true}`)})
+	if err == nil || !strings.Contains(err.Error(), "decode spec") {
+		t.Fatalf("evaluator on unknown field = %v, want decode error", err)
+	}
+}

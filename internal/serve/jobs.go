@@ -229,6 +229,12 @@ type job struct {
 	checkpoint bool
 	done       chan struct{}
 	cancel     context.CancelFunc
+	// coord is non-nil for distributed jobs: the lease/partials handlers
+	// feed remote shard uploads into it. specJSON is the submitted
+	// jobRequest, re-served at /v1/jobs/open so workers can rebuild the
+	// kernel and evaluator from the spec alone.
+	coord    *mcjob.Coordinator
+	specJSON json.RawMessage
 
 	mu          sync.Mutex
 	state       string // "running" | "done" | "failed" | "cancelled"
@@ -260,6 +266,7 @@ type jobStatusJSON struct {
 	ShardsDone    int     `json:"shards_done"`
 	ShardsResumed int     `json:"shards_resumed,omitempty"`
 	Checkpoint    bool    `json:"checkpoint,omitempty"`
+	Distributed   bool    `json:"distributed,omitempty"`
 	ElapsedSec    float64 `json:"elapsed_sec"`
 	TrialsPerSec  float64 `json:"trials_per_sec,omitempty"`
 	EtaSec        float64 `json:"eta_sec,omitempty"`
@@ -285,6 +292,7 @@ func (j *job) status() jobStatusJSON {
 		Shards: j.prog.Shards, ShardsDone: j.prog.ShardsDone,
 		ShardsResumed: j.prog.ShardsResumed,
 		Checkpoint:    j.checkpoint,
+		Distributed:   j.coord != nil,
 		ElapsedSec:    elapsed,
 		Error:         j.errMsg,
 	}
@@ -317,6 +325,15 @@ type jobManager struct {
 	metrics    *metrics
 	dir        string
 	maxRunning int
+	// distribute runs every job through a lease-granting Coordinator so
+	// peer replicas can pull shards; owner names this replica's local
+	// worker in the lease table, leaseTTL is the shard-lease lifetime and
+	// localWorkers sizes the in-process worker loop (-1 disables local
+	// evaluation entirely — a pure coordinator).
+	distribute   bool
+	owner        string
+	leaseTTL     time.Duration
+	localWorkers int
 
 	baseCtx   context.Context
 	cancelAll context.CancelFunc
@@ -329,11 +346,15 @@ type jobManager struct {
 	running int
 }
 
-func newJobManager(dir string, maxRunning int, m *metrics, log *slog.Logger) *jobManager {
+func newJobManager(cfg Config, m *metrics, log *slog.Logger) *jobManager {
 	ctx, cancel := context.WithCancel(context.Background())
 	return &jobManager{
-		log: log, metrics: m, dir: dir, maxRunning: maxRunning,
-		baseCtx: ctx, cancelAll: cancel,
+		log: log, metrics: m, dir: cfg.JobDir, maxRunning: cfg.MaxJobs,
+		distribute:   cfg.DistributeJobs,
+		owner:        cfg.WorkerID,
+		leaseTTL:     cfg.LeaseTTL,
+		localWorkers: cfg.JobWorkers,
+		baseCtx:      ctx, cancelAll: cancel,
 		jobs: map[string]*job{},
 	}
 }
@@ -393,13 +414,32 @@ func (m *jobManager) startOrAttach(req jobRequest) (*job, bool, error) {
 		cfg.CheckpointDir = filepath.Join(m.dir, id)
 	}
 
+	if m.distribute {
+		coord, err := mcjob.NewCoordinator(k, cfg, mcjob.CoordinatorConfig{LeaseTTL: m.leaseTTL})
+		if err != nil {
+			cancel()
+			if errors.Is(err, mcjob.ErrCheckpointMismatch) {
+				return nil, false, &apiError{status: http.StatusConflict, code: "checkpoint_mismatch", err: err}
+			}
+			return nil, false, err
+		}
+		j.coord = coord
+		if spec, err := json.Marshal(req); err == nil {
+			j.specJSON = spec
+		}
+	}
+
 	m.jobs[id] = j
 	m.order = append(m.order, id)
 	m.evictLocked()
 	m.running++
 	m.metrics.jobsTotal.With("submitted").Inc()
 	m.wg.Add(1)
-	go m.run(runCtx, j, k, cfg)
+	if j.coord != nil {
+		go m.runDistributed(runCtx, j)
+	} else {
+		go m.run(runCtx, j, k, cfg)
+	}
 	return j, true, nil
 }
 
@@ -419,7 +459,52 @@ func (m *jobManager) run(ctx context.Context, j *job, k mcjob.Kernel, cfg mcjob.
 		}()
 		res, runErr = mcjob.Run(ctx, k, cfg)
 	}()
+	m.finishJob(j, res, runErr)
+}
 
+// runDistributed drives a coordinator-owned job: this replica's local
+// workers participate through the same lease protocol remote replicas
+// use over HTTP, so the job finishes when the canonical fold covers
+// every shard no matter who computed what. A local evaluation error
+// fails the job (shard errors are deterministic — every replica would
+// hit the same one).
+func (m *jobManager) runDistributed(ctx context.Context, j *job) {
+	defer m.wg.Done()
+	defer close(j.done)
+	defer j.coord.Close()
+	var (
+		res    mcjob.Result
+		runErr error
+	)
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				runErr = fmt.Errorf("job panicked: %v", r)
+			}
+		}()
+		if m.localWorkers < 0 {
+			// Pure coordinator: merge remote uploads only.
+			select {
+			case <-j.coord.Done():
+			case <-ctx.Done():
+				runErr = ctx.Err()
+			}
+		} else {
+			runErr = j.coord.RunLocal(ctx, m.owner, m.localWorkers)
+		}
+		if runErr == nil {
+			var ok bool
+			res, ok = j.coord.Result()
+			if !ok {
+				runErr = fmt.Errorf("coordinator stopped before the fold completed")
+			}
+		}
+	}()
+	m.finishJob(j, res, runErr)
+}
+
+// finishJob records a run's terminal state, result bytes and metrics.
+func (m *jobManager) finishJob(j *job, res mcjob.Result, runErr error) {
 	j.mu.Lock()
 	j.finished = time.Now()
 	state := "done"

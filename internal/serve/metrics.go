@@ -42,6 +42,10 @@ type metrics struct {
 	jobsTotal       *obs.CounterVec // simulation jobs by lifecycle state
 	jobShardSeconds *obs.Histogram  // per-shard evaluation wall time
 	jobTrialsPerSec *obs.FloatGauge // most recent job's live trial rate
+
+	jobLeasesTotal   *obs.CounterVec // shard leases handed to remote workers
+	jobPartialsTotal *obs.CounterVec // remote shard uploads by outcome
+	workerShards     *obs.CounterVec // shards this replica computed for peers
 }
 
 func newMetrics() *metrics {
@@ -66,6 +70,12 @@ func newMetrics() *metrics {
 			"Wall-clock evaluation time of completed simulation-job shards.", jobShardBuckets),
 		jobTrialsPerSec: reg.NewFloatGauge("nanocostd_job_trials_per_sec",
 			"Live trial throughput of the most recently progressing job (resumed shards excluded)."),
+		jobLeasesTotal: reg.NewCounterVec("nanocostd_job_leases_total",
+			"Distributed shard leases served over HTTP, by outcome (granted/renewed).", "outcome"),
+		jobPartialsTotal: reg.NewCounterVec("nanocostd_job_partials_total",
+			"Shard-partial uploads received over HTTP, by outcome (accepted/duplicate/rejected). Locally evaluated shards are not counted, so 'accepted' is exactly the remote contribution.", "outcome"),
+		workerShards: reg.NewCounterVec("nanocostd_worker_shards_total",
+			"Shards this replica's worker loop computed for peer coordinators, by outcome (uploaded/duplicate/failed).", "outcome"),
 	}
 	// The worker pool's chunk timings are package-level instruments shared
 	// by every pool user; attach them so a scrape correlates queue wait

@@ -50,6 +50,7 @@ import (
 	"math"
 	"net"
 	"net/http"
+	"os"
 	"runtime"
 	"strconv"
 	"strings"
@@ -120,6 +121,27 @@ type Config struct {
 	// MaxJobs caps concurrently running simulation jobs (default 2);
 	// excess submissions receive 429 jobs_saturated.
 	MaxJobs int
+	// Peers lists other nanocostd replicas (host:port) whose distributed
+	// jobs this daemon's worker loop pulls shards from. Setting any peer
+	// also enables DistributeJobs, so a mesh of replicas pointed at each
+	// other shares every job.
+	Peers []string
+	// DistributeJobs runs this daemon's jobs through the shard-lease
+	// coordinator, exposing them at /v1/jobs/open for peer workers.
+	// Implied by a non-empty Peers; set it alone for a coordinator whose
+	// workers live elsewhere.
+	DistributeJobs bool
+	// LeaseTTL is the distributed shard-lease lifetime (default 10s): a
+	// worker renews at TTL/3, and a dead worker's shards are re-granted
+	// one TTL after its last renewal.
+	LeaseTTL time.Duration
+	// WorkerID names this replica in lease tables (default "host:pid").
+	WorkerID string
+	// JobWorkers sizes the local evaluation loop of distributed jobs:
+	// 0 = parallel.DefaultWorkers, -1 = no local evaluation (a pure
+	// coordinator that only merges remote uploads). Ignored for
+	// non-distributed jobs, which always use the worker pool default.
+	JobWorkers int
 }
 
 // withDefaults resolves the zero-value fallbacks.
@@ -145,6 +167,19 @@ func (c Config) withDefaults() Config {
 	if c.MaxJobs <= 0 {
 		c.MaxJobs = 2
 	}
+	if len(c.Peers) > 0 {
+		c.DistributeJobs = true
+	}
+	if c.LeaseTTL <= 0 {
+		c.LeaseTTL = 10 * time.Second
+	}
+	if c.WorkerID == "" {
+		host, err := os.Hostname()
+		if err != nil || host == "" {
+			host = "nanocostd"
+		}
+		c.WorkerID = fmt.Sprintf("%s:%d", host, os.Getpid())
+	}
 	return c
 }
 
@@ -159,6 +194,7 @@ type Server struct {
 	metrics    *metrics
 	tracer     *obs.Tracer
 	jobs       *jobManager
+	worker     *worker
 	sem        chan struct{}
 	retryAfter string       // 429 Retry-After, derived from RequestTimeout
 	addr       atomic.Value // string: bound listen address, set once serving
@@ -182,7 +218,11 @@ func NewServer(cfg Config) *Server {
 		retryAfter: strconv.Itoa(max(1, int(math.Ceil(cfg.RequestTimeout.Seconds())))),
 	}
 	s.tracer = obs.NewTracer(traceRingCapacity, s.metrics.spanSeconds)
-	s.jobs = newJobManager(cfg.JobDir, cfg.MaxJobs, s.metrics, s.log)
+	s.jobs = newJobManager(cfg, s.metrics, s.log)
+	if len(cfg.Peers) > 0 {
+		s.worker = newWorker(cfg, s.metrics, s.log)
+		s.worker.start()
+	}
 	s.routes()
 	s.handler = s.observe(s.mux)
 	return s
@@ -267,11 +307,11 @@ func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
 	defer cancel()
 	err := srv.Shutdown(drainCtx)
 	<-done // srv.Serve returns http.ErrServerClosed after Shutdown
-	// Stop background simulation jobs only after the HTTP side has
-	// drained, so in-flight status requests see consistent state. A
-	// checkpointing job cancelled here resumes from its shard log on the
-	// next submit.
-	s.jobs.shutdown(s.cfg.ShutdownTimeout)
+	// Stop background simulation jobs and the peer worker loop only
+	// after the HTTP side has drained, so in-flight status requests see
+	// consistent state. A checkpointing job cancelled here resumes from
+	// its shard log on the next submit.
+	s.stopBackground()
 	s.advanceState(lifecycleStopped)
 	if err != nil {
 		return fmt.Errorf("serve: shutdown: %w", err)
@@ -280,10 +320,20 @@ func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
 	return nil
 }
 
-// Close cancels any background simulation jobs and waits briefly for
-// them to settle. Serve does this itself after draining; Close exists
-// for Handler-mounted servers (tests) that never call Serve.
-func (s *Server) Close() { s.jobs.shutdown(s.cfg.ShutdownTimeout) }
+// Close cancels any background simulation jobs and the peer worker
+// loop and waits briefly for them to settle. Serve does this itself
+// after draining; Close exists for Handler-mounted servers (tests) that
+// never call Serve.
+func (s *Server) Close() { s.stopBackground() }
+
+// stopBackground stops the peer worker loop, then drains the job
+// manager. Idempotent.
+func (s *Server) stopBackground() {
+	if s.worker != nil {
+		s.worker.stop()
+	}
+	s.jobs.shutdown(s.cfg.ShutdownTimeout)
+}
 
 // routes wires the endpoint table. Model-evaluating routes go through
 // handle (semaphore + timeout + metrics + logging); the observability
@@ -296,6 +346,9 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("POST /v1/batch", s.handle("/v1/batch", s.handleBatch))
 	s.mux.HandleFunc("GET /v1/figures/{id}", s.handle("/v1/figures/{id}", s.handleFigure))
 	s.mux.HandleFunc("POST /v1/jobs", s.handle("/v1/jobs", s.handleJobSubmit))
+	s.mux.HandleFunc("GET /v1/jobs/open", s.handle("/v1/jobs/open", s.handleJobsOpen))
+	s.mux.HandleFunc("POST /v1/jobs/{id}/lease", s.handle("/v1/jobs/{id}/lease", s.handleJobLease))
+	s.mux.HandleFunc("POST /v1/jobs/{id}/partials", s.handleCap("/v1/jobs/{id}/partials", maxPartialsBodyBytes, s.handleJobPartials))
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handle("/v1/jobs/{id}", s.handleJobStatus))
 	s.mux.HandleFunc("GET /v1/jobs/{id}/result", s.handle("/v1/jobs/{id}/result", s.handleJobResult))
 	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handle("/v1/jobs/{id}", s.handleJobCancel))
@@ -449,6 +502,17 @@ type handlerFunc func(w http.ResponseWriter, r *http.Request) (any, error)
 // access log; handle annotates the recorder with the route pattern and
 // any handler error.
 func (s *Server) handle(route string, h handlerFunc) http.HandlerFunc {
+	return s.handleCap(route, 0, h)
+}
+
+// handleCap is handle with a route-specific request body cap (<= 0
+// falls back to cfg.MaxBodyBytes). Shard-partial uploads need it: one
+// shard of a giga-trial job carries far more chunk tallies than any
+// model request body.
+func (s *Server) handleCap(route string, bodyCap int64, h handlerFunc) http.HandlerFunc {
+	if bodyCap <= 0 {
+		bodyCap = s.cfg.MaxBodyBytes
+	}
 	return func(w http.ResponseWriter, r *http.Request) {
 		rec, ok := w.(*statusRecorder)
 		if !ok {
@@ -474,7 +538,7 @@ func (s *Server) handle(route string, h handlerFunc) http.HandlerFunc {
 		ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
 		defer cancel()
 		r = r.WithContext(ctx)
-		r.Body = http.MaxBytesReader(rec, r.Body, s.cfg.MaxBodyBytes)
+		r.Body = http.MaxBytesReader(rec, r.Body, bodyCap)
 
 		v, err := h(rec, r)
 		if err == nil && ctx.Err() != nil && !rec.wroteHeader {

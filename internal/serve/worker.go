@@ -1,0 +1,291 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"sync"
+	"time"
+
+	"repro/internal/mcjob"
+	"repro/internal/parallel"
+)
+
+// worker is the pull side of the distributed-job tier: one background
+// loop per configured peer polls GET /v1/jobs/open, rebuilds each open
+// job's kernel and shard evaluator from the advertised spec, leases
+// shards, evaluates them locally, and uploads the chunk partials. The
+// determinism contract does the heavy lifting — a rebuilt evaluator
+// produces byte-identical partials, so the coordinator can fold uploads
+// from any mix of replicas (or duplicates from reclaimed leases)
+// without coordination beyond the lease table.
+type worker struct {
+	log     *slog.Logger
+	metrics *metrics
+	owner   string
+	peers   []string
+	client  *http.Client
+	poll    time.Duration
+	slots   int
+
+	ctx      context.Context
+	cancel   context.CancelFunc
+	wg       sync.WaitGroup
+	stopOnce sync.Once
+
+	mu    sync.Mutex
+	evals map[string]*mcjob.ShardEvaluator // by job id
+}
+
+// workerPollInterval is how often an idle worker re-polls each peer for
+// open jobs. A var so tests can tighten the loop.
+var workerPollInterval = 500 * time.Millisecond
+
+// maxWorkerEvaluators bounds the per-job evaluator cache (wafer-map
+// evaluators hold precomputed per-wafer state worth caching, but not
+// without bound).
+const maxWorkerEvaluators = 8
+
+func newWorker(cfg Config, m *metrics, log *slog.Logger) *worker {
+	ctx, cancel := context.WithCancel(context.Background())
+	return &worker{
+		log:     log.With("worker", cfg.WorkerID),
+		metrics: m,
+		owner:   cfg.WorkerID,
+		peers:   cfg.Peers,
+		client:  &http.Client{Timeout: 30 * time.Second},
+		poll:    workerPollInterval,
+		slots:   max(1, parallel.DefaultWorkers()),
+		ctx:     ctx, cancel: cancel,
+		evals: map[string]*mcjob.ShardEvaluator{},
+	}
+}
+
+// start launches one poll loop per peer.
+func (w *worker) start() {
+	for _, peer := range w.peers {
+		w.wg.Add(1)
+		go w.pollPeer(peer)
+	}
+}
+
+// stop cancels the loops and waits for in-flight shard work to unwind.
+func (w *worker) stop() {
+	w.stopOnce.Do(func() {
+		w.cancel()
+		w.wg.Wait()
+	})
+}
+
+func (w *worker) pollPeer(peer string) {
+	defer w.wg.Done()
+	for {
+		select {
+		case <-w.ctx.Done():
+			return
+		case <-time.After(w.poll):
+		}
+		jobs, err := w.fetchOpen(peer)
+		if err != nil {
+			// The peer may be restarting or simply have no jobs; keep
+			// polling quietly.
+			w.log.Debug("peer poll failed", "peer", peer, "error", err)
+			continue
+		}
+		for _, oj := range jobs {
+			w.workJob(peer, oj)
+			if w.ctx.Err() != nil {
+				return
+			}
+		}
+	}
+}
+
+// workJob drains one open job: lease up to a slot's worth of shards,
+// evaluate them concurrently while a heartbeat renews the leases, and
+// upload each shard's partials as it completes. Returns when the
+// coordinator stops granting leases (job finished, everything leased
+// elsewhere, or the job vanished).
+func (w *worker) workJob(peer string, oj openJobJSON) {
+	eval, err := w.evaluator(oj)
+	if err != nil {
+		w.log.Warn("open job spec rejected", "peer", peer, "job", oj.ID, "error", err)
+		return
+	}
+	for {
+		if w.ctx.Err() != nil {
+			return
+		}
+		lr, err := w.lease(peer, oj.ID, w.slots)
+		if err != nil {
+			w.dropEvaluator(oj.ID)
+			w.log.Debug("lease request failed", "peer", peer, "job", oj.ID, "error", err)
+			return
+		}
+		if len(lr.Leases) == 0 {
+			if lr.State != "running" {
+				w.dropEvaluator(oj.ID)
+			}
+			return
+		}
+		ttl := time.Duration(lr.TTLMS) * time.Millisecond
+		if ttl <= 0 {
+			ttl = 10 * time.Second
+		}
+		stopRenew := make(chan struct{})
+		var renewWG sync.WaitGroup
+		renewWG.Add(1)
+		go func() {
+			defer renewWG.Done()
+			t := time.NewTicker(ttl / 3)
+			defer t.Stop()
+			for {
+				select {
+				case <-stopRenew:
+					return
+				case <-w.ctx.Done():
+					return
+				case <-t.C:
+					if _, err := w.lease(peer, oj.ID, 0); err != nil {
+						w.log.Debug("lease renewal failed", "peer", peer, "job", oj.ID, "error", err)
+					}
+				}
+			}
+		}()
+		_ = parallel.ForEach(w.ctx, len(lr.Leases), w.slots, func(i int) error {
+			s := lr.Leases[i].Shard
+			start := time.Now()
+			parts, err := eval.EvalShard(w.ctx, s)
+			if err != nil {
+				if w.ctx.Err() == nil {
+					w.metrics.workerShards.With("failed").Inc()
+					w.log.Warn("shard evaluation failed", "peer", peer, "job", oj.ID, "shard", s, "error", err)
+				}
+				return nil // keep the rest of the batch going
+			}
+			w.upload(peer, oj.ID, s, parts, time.Since(start).Seconds())
+			return nil
+		})
+		close(stopRenew)
+		renewWG.Wait()
+	}
+}
+
+// evaluator returns the cached shard evaluator for an open job,
+// rebuilding kernel and plan from the advertised spec on first sight.
+func (w *worker) evaluator(oj openJobJSON) (*mcjob.ShardEvaluator, error) {
+	w.mu.Lock()
+	if e, ok := w.evals[oj.ID]; ok {
+		w.mu.Unlock()
+		return e, nil
+	}
+	w.mu.Unlock()
+
+	var req jobRequest
+	dec := json.NewDecoder(bytes.NewReader(oj.Spec))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		return nil, fmt.Errorf("decode spec: %w", err)
+	}
+	k, err := buildKernel(req)
+	if err != nil {
+		return nil, err
+	}
+	e, err := mcjob.NewShardEvaluator(k, mcjob.RunConfig{
+		Trials: req.Trials, Shards: req.Shards, Seed: req.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	w.mu.Lock()
+	if len(w.evals) >= maxWorkerEvaluators {
+		for id := range w.evals {
+			delete(w.evals, id)
+			break
+		}
+	}
+	w.evals[oj.ID] = e
+	w.mu.Unlock()
+	return e, nil
+}
+
+func (w *worker) dropEvaluator(id string) {
+	w.mu.Lock()
+	delete(w.evals, id)
+	w.mu.Unlock()
+}
+
+func (w *worker) fetchOpen(peer string) ([]openJobJSON, error) {
+	var resp openJobsResponse
+	if err := w.doJSON(http.MethodGet, "http://"+peer+"/v1/jobs/open", nil, &resp); err != nil {
+		return nil, err
+	}
+	return resp.Jobs, nil
+}
+
+// lease renews this worker's leases on the job and asks for up to max
+// more shards (max 0 = heartbeat only).
+func (w *worker) lease(peer, id string, max int) (leaseResponse, error) {
+	var resp leaseResponse
+	err := w.doJSON(http.MethodPost, "http://"+peer+"/v1/jobs/"+id+"/lease",
+		leaseRequest{Owner: w.owner, Max: max}, &resp)
+	return resp, err
+}
+
+// upload posts one computed shard. Both accepted and duplicate answers
+// are success — a duplicate just means a reclaimed lease beat us to it.
+func (w *worker) upload(peer, id string, shard int, parts []mcjob.Partial, seconds float64) {
+	var resp partialsResponse
+	err := w.doJSON(http.MethodPost, "http://"+peer+"/v1/jobs/"+id+"/partials",
+		partialsRequest{Owner: w.owner, Shard: shard, Seconds: seconds, Chunks: parts}, &resp)
+	switch {
+	case err != nil:
+		w.metrics.workerShards.With("failed").Inc()
+		w.log.Warn("shard upload failed", "peer", peer, "job", id, "shard", shard, "error", err)
+	case resp.Accepted:
+		w.metrics.workerShards.With("uploaded").Inc()
+	default:
+		w.metrics.workerShards.With("duplicate").Inc()
+	}
+}
+
+// doJSON is the worker's one HTTP shape: optional JSON body out, JSON
+// body back, any non-2xx status an error carrying a body snippet.
+func (w *worker) doJSON(method, url string, body, out any) error {
+	var rd io.Reader
+	if body != nil {
+		buf, err := json.Marshal(body)
+		if err != nil {
+			return err
+		}
+		rd = bytes.NewReader(buf)
+	}
+	req, err := http.NewRequestWithContext(w.ctx, method, url, rd)
+	if err != nil {
+		return err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := w.client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		snippet := data
+		if len(snippet) > 200 {
+			snippet = snippet[:200]
+		}
+		return fmt.Errorf("%s %s: status %d: %s", method, url, resp.StatusCode, bytes.TrimSpace(snippet))
+	}
+	return json.Unmarshal(data, out)
+}

@@ -49,4 +49,7 @@ fi
 echo "== router SLO gate (nanocostfront + 2 replicas + loadgen, kill -9 mid-load) ==" >&2
 ./scripts/slo_check.sh
 
+echo "== distributed-job gate (2 replicas, kill -9 worker mid-job, byte-identical merge) ==" >&2
+./scripts/distjob_check.sh
+
 echo "check: all gates passed" >&2

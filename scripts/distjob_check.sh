@@ -1,0 +1,131 @@
+#!/bin/sh
+# distjob_check.sh — the distributed-job gate: build nanocostd, run a
+# 2×10⁸-trial defect job on a single plain replica to record the
+# reference result bytes, then run the identical spec on a two-replica
+# tier — coordinator A (shard-lease coordinator + local worker) and
+# peer worker B pulling shards over HTTP — kill -9 worker B after its
+# first shard upload lands, and require the merged distributed result
+# byte-identical to the single-replica reference. The determinism
+# contract (fixed chunks on jump-ahead streams, canonical-order fold)
+# is what makes byte equality the correct bar; the kill proves expired
+# leases are reclaimed and re-run without disturbing it.
+set -eu
+cd "$(dirname "$0")/.."
+
+command -v curl >/dev/null 2>&1 || { echo "distjob_check: curl not found" >&2; exit 1; }
+
+TRIALS=${DISTJOB_TRIALS:-200000000}
+SHARDS=${DISTJOB_SHARDS:-16}
+LEASE_TTL=${DISTJOB_LEASE_TTL:-2s}
+spec='{"kind":"defect","trials":'$TRIALS',"shards":'$SHARDS',"seed":42,"defect":{"lambda":0.9}}'
+
+workdir=$(mktemp -d)
+cleanup() {
+  for p in "${refpid:-}" "${apid:-}" "${bpid:-}"; do
+    [ -n "$p" ] && kill -9 "$p" 2>/dev/null || true
+  done
+  rm -rf "$workdir"
+}
+trap cleanup EXIT
+
+# wait_addr PATTERN LOGFILE PID: poll LOGFILE for a bound address logged
+# as "...PATTERN...addr=HOST:PORT".
+wait_addr() {
+  wa_pat=$1; wa_log=$2; wa_pid=$3; wa_addr=""
+  i=0
+  while [ $i -lt 100 ]; do
+    wa_addr=$(sed -n "s/.*$wa_pat.*addr=\([^ ]*\).*/\1/p" "$wa_log" | head -n 1)
+    [ -n "$wa_addr" ] && break
+    kill -0 "$wa_pid" 2>/dev/null || { echo "distjob_check: process died during startup:" >&2; cat "$wa_log" >&2; exit 1; }
+    i=$((i + 1))
+    sleep 0.1
+  done
+  [ -n "$wa_addr" ] || { echo "distjob_check: no listen address in log:" >&2; cat "$wa_log" >&2; exit 1; }
+  echo "$wa_addr"
+}
+
+# submit ADDR: POST the spec, print the job id.
+submit() {
+  sj_id=$(curl -sf -X POST -d "$spec" "http://$1/v1/jobs" | sed -n 's/.*"id":"\([0-9a-f]\{16\}\)".*/\1/p')
+  [ -n "$sj_id" ] || { echo "distjob_check: job submit to $1 returned no id" >&2; exit 1; }
+  echo "$sj_id"
+}
+
+# wait_done ADDR ID SECONDS: poll job status until it leaves "running".
+wait_done() {
+  wd_addr=$1; wd_id=$2; wd_limit=$3
+  i=0
+  while [ $i -lt $((wd_limit * 10)) ]; do
+    wd_state=$(curl -sf "http://$wd_addr/v1/jobs/$wd_id" | sed -n 's/.*"state":"\([a-z]*\)".*/\1/p')
+    [ "$wd_state" = "running" ] || { echo "$wd_state"; return 0; }
+    i=$((i + 1))
+    sleep 0.1
+  done
+  echo "distjob_check: job $wd_id still running after ${wd_limit}s" >&2
+  exit 1
+}
+
+echo "== build nanocostd ==" >&2
+go build -o "$workdir/nanocostd" ./cmd/nanocostd
+
+echo "== single-replica reference run ($TRIALS trials, $SHARDS shards) ==" >&2
+"$workdir/nanocostd" -addr 127.0.0.1:0 2>"$workdir/ref.log" &
+refpid=$!
+refaddr=$(wait_addr "nanocostd listening" "$workdir/ref.log" "$refpid")
+refid=$(submit "$refaddr")
+state=$(wait_done "$refaddr" "$refid" 120)
+[ "$state" = "done" ] || { echo "distjob_check: reference job ended '$state'" >&2; cat "$workdir/ref.log" >&2; exit 1; }
+curl -sf "http://$refaddr/v1/jobs/$refid/result" > "$workdir/ref.json"
+kill -TERM "$refpid" && wait "$refpid" || true
+refpid=""
+echo "distjob_check: reference result recorded ($(wc -c < "$workdir/ref.json") bytes)" >&2
+
+echo "== two-replica distributed run (coordinator A + peer worker B, lease TTL $LEASE_TTL) ==" >&2
+"$workdir/nanocostd" -addr 127.0.0.1:0 -distribute -job-dir "$workdir/jobs" \
+  -lease-ttl "$LEASE_TTL" -worker-id coord-a 2>"$workdir/a.log" &
+apid=$!
+aaddr=$(wait_addr "nanocostd listening" "$workdir/a.log" "$apid")
+"$workdir/nanocostd" -addr 127.0.0.1:0 -peers "$aaddr" -worker-id worker-b 2>"$workdir/b.log" &
+bpid=$!
+wait_addr "nanocostd listening" "$workdir/b.log" "$bpid" >/dev/null
+distid=$(submit "$aaddr")
+[ "$distid" = "$refid" ] || { echo "distjob_check: job id differs across replicas: $refid vs $distid" >&2; exit 1; }
+
+# The accepted-partials counter counts exactly the remote uploads, so
+# waiting for it to move proves worker B contributed real shards before
+# we kill it.
+echo "== wait for worker B's first shard upload, then kill -9 it mid-job ==" >&2
+i=0
+accepted=0
+while [ $i -lt 600 ]; do
+  accepted=$(curl -sf "http://$aaddr/metrics" | sed -n 's/^nanocostd_job_partials_total{outcome="accepted"} //p')
+  [ "${accepted:-0}" -ge 1 ] 2>/dev/null && break
+  state=$(curl -sf "http://$aaddr/v1/jobs/$distid" | sed -n 's/.*"state":"\([a-z]*\)".*/\1/p')
+  [ "$state" = "running" ] || { echo "distjob_check: job finished ($state) before any remote upload — worker B never contributed" >&2; exit 1; }
+  i=$((i + 1))
+  sleep 0.1
+done
+[ "${accepted:-0}" -ge 1 ] || { echo "distjob_check: no remote shard upload within 60s" >&2; cat "$workdir/b.log" >&2; exit 1; }
+state=$(curl -sf "http://$aaddr/v1/jobs/$distid" | sed -n 's/.*"state":"\([a-z]*\)".*/\1/p')
+echo "distjob_check: worker B uploaded $accepted shard(s), job state=$state — killing B" >&2
+kill -9 "$bpid"
+bpid=""
+
+state=$(wait_done "$aaddr" "$distid" 180)
+[ "$state" = "done" ] || { echo "distjob_check: distributed job ended '$state'" >&2; cat "$workdir/a.log" >&2; exit 1; }
+curl -sf "http://$aaddr/v1/jobs/$distid/result" > "$workdir/dist.json"
+
+echo "== distributed result must be byte-identical to the reference ==" >&2
+cmp -s "$workdir/ref.json" "$workdir/dist.json" || {
+  echo "distjob_check: distributed result differs from single-replica reference:" >&2
+  diff "$workdir/ref.json" "$workdir/dist.json" >&2 || true
+  exit 1
+}
+
+kill -TERM "$apid"
+rc=0
+wait "$apid" || rc=$?
+apid=""
+[ "$rc" -eq 0 ] || { echo "distjob_check: coordinator exited with status $rc" >&2; exit 1; }
+
+echo "distjob_check: all gates passed ($TRIALS trials across 2 replicas, kill -9 mid-job, byte-identical result)" >&2
