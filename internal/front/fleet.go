@@ -1,0 +1,385 @@
+package front
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// This file is fleet aggregation: GET /fleetz scrapes every replica's
+// /metrics, re-exposes every sample with a replica label injected, and
+// prepends computed fleet rollups — total requests and request rate,
+// p99 latency from the merged per-replica histograms, jobs in flight,
+// benched replicas — so operators and scripts/slo_check.sh get one pane
+// for the whole fleet instead of N scrapes to join by hand. A replica
+// that cannot be scraped is reported via front_fleet_scrape_ok rather
+// than failing the pull.
+
+// fleetState remembers the previous /fleetz pull so successive pulls
+// can report a fleet-wide request rate from the counter delta.
+type fleetState struct {
+	mu        sync.Mutex
+	lastTime  time.Time
+	lastTotal float64
+	valid     bool
+}
+
+// scrapedSample is one sample line of a replica's exposition: the full
+// sample name (histogram suffixes included), the raw label text between
+// the braces, and the value both parsed and as written.
+type scrapedSample struct {
+	name   string
+	labels string
+	value  float64
+	raw    string
+}
+
+// scrapedFamily is one contiguous family block of a replica's scrape.
+type scrapedFamily struct {
+	name    string
+	typ     string
+	help    string
+	samples []scrapedSample
+}
+
+// parseExposition parses one replica's text exposition into its family
+// blocks. It relies on the format's contiguity guarantee (which the
+// replica's own conformance test enforces): HELP/TYPE lines open a
+// family and the samples that follow belong to it, with histogram
+// _bucket/_sum/_count suffixes folded into their base family.
+func parseExposition(text string) []scrapedFamily {
+	var fams []scrapedFamily
+	cur := -1
+	startFam := func(name string) int {
+		if cur >= 0 && fams[cur].name == name {
+			return cur
+		}
+		fams = append(fams, scrapedFamily{name: name, typ: "untyped"})
+		return len(fams) - 1
+	}
+	for _, line := range strings.Split(text, "\n") {
+		line = strings.TrimRight(line, "\r")
+		if line == "" {
+			continue
+		}
+		if rest, ok := strings.CutPrefix(line, "# HELP "); ok {
+			name, help, _ := strings.Cut(rest, " ")
+			cur = startFam(name)
+			fams[cur].help = help
+			continue
+		}
+		if rest, ok := strings.CutPrefix(line, "# TYPE "); ok {
+			name, typ, _ := strings.Cut(rest, " ")
+			cur = startFam(name)
+			fams[cur].typ = typ
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		s, ok := parseSample(line)
+		if !ok {
+			continue
+		}
+		base := s.name
+		if cur >= 0 && fams[cur].typ == "histogram" {
+			for _, suf := range []string{"_bucket", "_sum", "_count"} {
+				if t, found := strings.CutSuffix(s.name, suf); found && t == fams[cur].name {
+					base = t
+					break
+				}
+			}
+		}
+		if cur < 0 || fams[cur].name != base {
+			cur = startFam(base)
+		}
+		fams[cur].samples = append(fams[cur].samples, s)
+	}
+	return fams
+}
+
+// parseSample splits one sample line into name, raw label text and
+// value. The label scanner is quote-aware: a '}' inside a quoted label
+// value (route="/v1/jobs/{id}") does not end the label set.
+func parseSample(line string) (scrapedSample, bool) {
+	var s scrapedSample
+	brace := strings.IndexByte(line, '{')
+	space := strings.IndexByte(line, ' ')
+	if brace >= 0 && (space < 0 || brace < space) {
+		s.name = line[:brace]
+		rest := line[brace+1:]
+		end := labelsEnd(rest)
+		if end < 0 {
+			return s, false
+		}
+		s.labels = rest[:end]
+		fields := strings.Fields(rest[end+1:])
+		if len(fields) == 0 {
+			return s, false
+		}
+		s.raw = fields[0]
+	} else {
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			return s, false
+		}
+		s.name = fields[0]
+		s.raw = fields[1]
+	}
+	v, err := strconv.ParseFloat(s.raw, 64)
+	if err != nil {
+		return s, false
+	}
+	s.value = v
+	return s, true
+}
+
+// labelsEnd returns the index of the first unquoted '}' in s, or -1.
+func labelsEnd(s string) int {
+	inq, esc := false, false
+	for i := 0; i < len(s); i++ {
+		switch c := s[i]; {
+		case esc:
+			esc = false
+		case c == '\\':
+			esc = inq
+		case c == '"':
+			inq = !inq
+		case c == '}' && !inq:
+			return i
+		}
+	}
+	return -1
+}
+
+// labelValue extracts the unescaped value of one label from raw label
+// text, reporting whether the label is present.
+func labelValue(labels, key string) (string, bool) {
+	rest := labels
+	for rest != "" {
+		rest = strings.TrimLeft(rest, ", ")
+		eq := strings.IndexByte(rest, '=')
+		if eq < 0 {
+			return "", false
+		}
+		name := rest[:eq]
+		rest = rest[eq+1:]
+		if len(rest) == 0 || rest[0] != '"' {
+			return "", false
+		}
+		rest = rest[1:]
+		var b strings.Builder
+		i := 0
+		for ; i < len(rest); i++ {
+			c := rest[i]
+			if c == '\\' && i+1 < len(rest) {
+				i++
+				if rest[i] == 'n' {
+					b.WriteByte('\n')
+				} else {
+					b.WriteByte(rest[i])
+				}
+				continue
+			}
+			if c == '"' {
+				break
+			}
+			b.WriteByte(c)
+		}
+		if i >= len(rest) {
+			return "", false
+		}
+		if name == key {
+			return b.String(), true
+		}
+		rest = rest[i+1:]
+	}
+	return "", false
+}
+
+// scrapeReplica pulls one replica's /metrics text.
+func (rt *Router) scrapeReplica(ctx context.Context, addr string) (string, error) {
+	ctx, cancel := context.WithTimeout(ctx, rt.cfg.ProxyTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, "http://"+addr+"/metrics", nil)
+	if err != nil {
+		return "", err
+	}
+	resp, err := rt.cfg.Transport.RoundTrip(req)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, resp.Body)
+		return "", fmt.Errorf("status %d", resp.StatusCode)
+	}
+	b, err := io.ReadAll(io.LimitReader(resp.Body, 8<<20))
+	if err != nil {
+		return "", err
+	}
+	return string(b), nil
+}
+
+// handleFleetz serves the fleet-wide scrape: rollup families first,
+// then every replica's families merged by name with a replica label
+// injected into each sample.
+func (rt *Router) handleFleetz(w http.ResponseWriter, r *http.Request) {
+	type scrape struct {
+		addr string
+		fams []scrapedFamily
+		err  error
+	}
+	scrapes := make([]scrape, len(rt.ring.replicas))
+	var wg sync.WaitGroup
+	for i, addr := range rt.ring.replicas {
+		wg.Add(1)
+		go func(i int, addr string) {
+			defer wg.Done()
+			text, err := rt.scrapeReplica(r.Context(), addr)
+			sc := scrape{addr: addr, err: err}
+			if err == nil {
+				sc.fams = parseExposition(text)
+			} else {
+				rt.log.Warn("fleet scrape failed", "replica", addr, "error", err.Error())
+			}
+			scrapes[i] = sc
+		}(i, addr)
+	}
+	wg.Wait()
+
+	// Merge family blocks across replicas in ring order (first-seen
+	// family order), computing the rollups in the same pass.
+	type mergedSample struct {
+		replica string
+		s       scrapedSample
+	}
+	type mergedFamily struct {
+		name, typ, help string
+		samples         []mergedSample
+	}
+	var order []string
+	merged := map[string]*mergedFamily{}
+	var totalRequests, jobsSubmitted, jobsDone float64
+	buckets := map[float64]float64{}
+	for _, sc := range scrapes {
+		for _, fam := range sc.fams {
+			mf := merged[fam.name]
+			if mf == nil {
+				mf = &mergedFamily{name: fam.name, typ: fam.typ, help: fam.help}
+				merged[fam.name] = mf
+				order = append(order, fam.name)
+			}
+			for _, s := range fam.samples {
+				mf.samples = append(mf.samples, mergedSample{sc.addr, s})
+				switch {
+				case fam.name == "nanocostd_requests_total":
+					totalRequests += s.value
+				case fam.name == "nanocostd_jobs_total":
+					if state, ok := labelValue(s.labels, "state"); ok {
+						if state == "submitted" {
+							jobsSubmitted += s.value
+						} else {
+							jobsDone += s.value
+						}
+					}
+				case s.name == "nanocostd_request_seconds_bucket":
+					if le, ok := labelValue(s.labels, "le"); ok {
+						if bound, err := strconv.ParseFloat(le, 64); err == nil {
+							buckets[bound] += s.value
+						}
+					}
+				}
+			}
+		}
+	}
+
+	// Fleet p99: merge the per-replica cumulative buckets and take the
+	// upper bound of the first bucket covering the 99th percentile.
+	var p99 float64
+	bounds := make([]float64, 0, len(buckets))
+	for b := range buckets {
+		bounds = append(bounds, b)
+	}
+	sort.Float64s(bounds)
+	if n := len(bounds); n > 0 {
+		if total := buckets[bounds[n-1]]; total > 0 {
+			target := 0.99 * total
+			for _, b := range bounds {
+				if buckets[b] >= target {
+					p99 = b
+					break
+				}
+			}
+		}
+	}
+
+	now := time.Now()
+	rt.fleet.mu.Lock()
+	var rps float64
+	if rt.fleet.valid && totalRequests >= rt.fleet.lastTotal {
+		if dt := now.Sub(rt.fleet.lastTime).Seconds(); dt > 0 {
+			rps = (totalRequests - rt.fleet.lastTotal) / dt
+		}
+	}
+	rt.fleet.lastTime, rt.fleet.lastTotal, rt.fleet.valid = now, totalRequests, true
+	rt.fleet.mu.Unlock()
+
+	benched := 0
+	for _, addr := range rt.ring.replicas {
+		if rt.benched(addr) {
+			benched++
+		}
+	}
+	jobsInFlight := jobsSubmitted - jobsDone
+	if jobsInFlight < 0 {
+		jobsInFlight = 0
+	}
+
+	num := func(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+	var b strings.Builder
+	b.WriteString("# HELP front_fleet_scrape_ok Whether the replica's /metrics scrape succeeded on this pull.\n# TYPE front_fleet_scrape_ok gauge\n")
+	for _, sc := range scrapes {
+		up := 1
+		if sc.err != nil {
+			up = 0
+		}
+		fmt.Fprintf(&b, "front_fleet_scrape_ok{%s} %d\n", obs.Label("replica", sc.addr), up)
+	}
+	b.WriteString("# HELP front_fleet_requests_total Requests served fleet-wide: sum of nanocostd_requests_total over every scraped replica.\n# TYPE front_fleet_requests_total counter\n")
+	fmt.Fprintf(&b, "front_fleet_requests_total %s\n", num(totalRequests))
+	b.WriteString("# HELP front_fleet_rps Fleet-wide request rate, from the requests-total delta since the previous /fleetz pull (0 on the first).\n# TYPE front_fleet_rps gauge\n")
+	fmt.Fprintf(&b, "front_fleet_rps %s\n", num(rps))
+	b.WriteString("# HELP front_fleet_request_seconds_p99 Fleet-wide 99th-percentile request latency: upper bound of the first merged histogram bucket covering p99.\n# TYPE front_fleet_request_seconds_p99 gauge\n")
+	fmt.Fprintf(&b, "front_fleet_request_seconds_p99 %s\n", num(p99))
+	b.WriteString("# HELP front_fleet_jobs_in_flight Jobs submitted but not yet terminal, fleet-wide.\n# TYPE front_fleet_jobs_in_flight gauge\n")
+	fmt.Fprintf(&b, "front_fleet_jobs_in_flight %s\n", num(jobsInFlight))
+	b.WriteString("# HELP front_fleet_replicas_benched Replicas currently benched by passive health.\n# TYPE front_fleet_replicas_benched gauge\n")
+	fmt.Fprintf(&b, "front_fleet_replicas_benched %d\n", benched)
+
+	for _, name := range order {
+		mf := merged[name]
+		if mf.help != "" {
+			fmt.Fprintf(&b, "# HELP %s %s\n", name, mf.help)
+		}
+		fmt.Fprintf(&b, "# TYPE %s %s\n", name, mf.typ)
+		for _, ms := range mf.samples {
+			if ms.s.labels != "" {
+				fmt.Fprintf(&b, "%s{%s,%s} %s\n", ms.s.name, obs.Label("replica", ms.replica), ms.s.labels, ms.s.raw)
+			} else {
+				fmt.Fprintf(&b, "%s{%s} %s\n", ms.s.name, obs.Label("replica", ms.replica), ms.s.raw)
+			}
+		}
+	}
+
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	io.WriteString(w, b.String())
+}

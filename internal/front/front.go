@@ -98,6 +98,8 @@ type Router struct {
 	ring     *ring
 	replicas map[string]*replicaState
 	mux      *http.ServeMux
+	handler  http.Handler // mux wrapped in the observe middleware
+	tracer   *obs.Tracer
 	addr     atomic.Value // string: bound listen address
 
 	reg            *obs.Registry
@@ -107,6 +109,11 @@ type Router struct {
 	benchedTotal   *obs.CounterVec // by replica
 	replicaUp      *obs.GaugeVec   // 1 = unbenched, sampled on change
 	proxySeconds   *obs.Histogram
+	spanSeconds    *obs.HistogramVec
+
+	// fleet is the /fleetz scrape state: previous totals so successive
+	// pulls can report a fleet-wide request rate.
+	fleet fleetState
 }
 
 // New builds a Router over cfg.Replicas.
@@ -141,6 +148,10 @@ func New(cfg Config) (*Router, error) {
 		"Per-replica passive health: 1 unbenched, 0 benched.", "replica")
 	rt.proxySeconds = rt.reg.NewHistogramOn("front_proxy_seconds",
 		"End-to-end proxy latency, successful attempt only.", obs.DurationBuckets)
+	rt.spanSeconds = rt.reg.NewHistogramVec("front_span_seconds",
+		"Trace span durations by stage.", obs.DurationBuckets, "stage")
+	rt.tracer = obs.NewTracer(traceRingCapacity, rt.spanSeconds)
+	rt.tracer.RegisterMetrics(rt.reg)
 	rt.reg.RegisterGoRuntime()
 	for _, addr := range rt.ring.replicas {
 		rt.replicaUp.With(addr).Set(1)
@@ -149,13 +160,17 @@ func New(cfg Config) (*Router, error) {
 	rt.mux.HandleFunc("GET /healthz", rt.handleHealthz)
 	rt.mux.HandleFunc("GET /readyz", rt.handleReadyz)
 	rt.mux.HandleFunc("GET /frontz", rt.handleFrontz)
+	rt.mux.HandleFunc("GET /fleetz", rt.handleFleetz)
 	rt.mux.HandleFunc("GET /metrics", rt.handleMetrics)
+	rt.mux.HandleFunc("GET /debug/trace/{id}", rt.handleTraceFederated)
 	rt.mux.HandleFunc("/", rt.proxy)
+	rt.handler = rt.observe(rt.mux)
 	return rt, nil
 }
 
-// Handler returns the router's root handler, for httptest mounting.
-func (rt *Router) Handler() http.Handler { return rt.mux }
+// Handler returns the router's root handler (the mux wrapped in the
+// observe middleware), for httptest mounting.
+func (rt *Router) Handler() http.Handler { return rt.handler }
 
 // Addr returns the bound listen address once Serve has started, or "".
 func (rt *Router) Addr() string {
@@ -182,7 +197,7 @@ func (rt *Router) Serve(ctx context.Context, ln net.Listener) error {
 	rt.log.Info("nanocostfront listening",
 		"addr", ln.Addr().String(),
 		"replicas", strings.Join(rt.ring.replicas, ","))
-	srv := &http.Server{Handler: rt.mux, ReadHeaderTimeout: 5 * time.Second}
+	srv := &http.Server{Handler: rt.handler, ReadHeaderTimeout: 5 * time.Second}
 	done := make(chan error, 1)
 	go func() { done <- srv.Serve(ln) }()
 	select {
@@ -352,10 +367,19 @@ func (rt *Router) proxy(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	var lastErr error
 	for i, addr := range order {
-		resp, err := rt.attempt(r, addr, body)
+		// Each attempt gets its own child span under the request's root,
+		// so retries and 404-chases appear as sibling hops. The attempt
+		// span's ID travels in X-Parent-Span-Id, parenting the replica's
+		// serve.request root under this exact hop in the federated tree.
+		actx, aspan := obs.StartSpan(r.Context(), "front.attempt")
+		aspan.SetAttr("replica", addr)
+		aspan.SetAttr("attempt", strconv.Itoa(i+1))
+		resp, err := rt.attempt(actx, r, addr, body)
 		if err != nil {
 			// Transport failure: no response existed, so nothing was
 			// written to the client and retrying cannot splice payloads.
+			aspan.SetAttr("error", err.Error())
+			aspan.End()
 			rt.requestsTotal.With(addr, "transport_error").Inc()
 			rt.bench(addr)
 			lastErr = err
@@ -368,12 +392,16 @@ func (rt *Router) proxy(w http.ResponseWriter, r *http.Request) {
 			break
 		}
 		rt.unbench(addr)
+		aspan.SetAttr("status", strconv.Itoa(resp.StatusCode))
 		if chaseJob && resp.StatusCode == http.StatusNotFound && i < len(order)-1 {
+			aspan.SetAttr("chase", "routing_miss")
+			aspan.End()
 			rt.requestsTotal.With(addr, strconv.Itoa(resp.StatusCode)).Inc()
 			resp.Body.Close()
 			rt.jobChasesTotal.Inc()
 			continue
 		}
+		aspan.End()
 		rt.relay(w, resp, addr)
 		rt.proxySeconds.Observe(time.Since(start).Seconds())
 		return
@@ -385,9 +413,11 @@ func (rt *Router) proxy(w http.ResponseWriter, r *http.Request) {
 }
 
 // attempt proxies the request to one replica and returns its response,
-// or the transport error if no response exists.
-func (rt *Router) attempt(r *http.Request, addr string, body []byte) (*http.Response, error) {
-	ctx, cancel := context.WithTimeout(r.Context(), rt.cfg.ProxyTimeout)
+// or the transport error if no response exists. ctx carries the attempt
+// span (when the request is traced), whose IDs are forwarded so the
+// replica records its spans under the same trace.
+func (rt *Router) attempt(ctx context.Context, r *http.Request, addr string, body []byte) (*http.Response, error) {
+	ctx, cancel := context.WithTimeout(ctx, rt.cfg.ProxyTimeout)
 	// Forward the escaped path verbatim: rebuilding the URL from the
 	// decoded Path would turn /v1/figures/1%2F2 into /v1/figures/1/2 and
 	// route the backend to a different resource than the client named.
@@ -403,6 +433,10 @@ func (rt *Router) attempt(r *http.Request, addr string, body []byte) (*http.Resp
 	req.Header = r.Header.Clone()
 	for _, h := range hopHeaders {
 		req.Header.Del(h)
+	}
+	if sp := obs.SpanFromContext(ctx); sp != nil {
+		req.Header.Set("X-Trace-Id", sp.TraceID())
+		req.Header.Set("X-Parent-Span-Id", sp.SpanID())
 	}
 	resp, err := rt.cfg.Transport.RoundTrip(req)
 	if err != nil {
@@ -433,6 +467,14 @@ func (rt *Router) relay(w http.ResponseWriter, resp *http.Response, addr string)
 	defer resp.Body.Close()
 	hdr := w.Header()
 	for k, vs := range resp.Header {
+		// The identity headers were already set by the observe middleware;
+		// the replica echoes the forwarded values back, so replace rather
+		// than append — a doubled X-Request-Id would un-join the two
+		// processes' log lines.
+		if k == "X-Request-Id" || k == "X-Trace-Id" {
+			hdr.Set(k, vs[len(vs)-1])
+			continue
+		}
 		for _, v := range vs {
 			hdr.Add(k, v)
 		}

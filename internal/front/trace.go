@@ -1,0 +1,144 @@
+package front
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+
+	"repro/internal/obs"
+)
+
+// This file is trace federation: GET /debug/trace/{id} on the router
+// merges the router's own span set for a trace with every replica's,
+// rebuilding one cross-process tree. The router's per-attempt spans
+// carry their IDs to the replicas in X-Parent-Span-Id, so a replica's
+// serve.request root names a front.attempt span as its parent and the
+// merged BuildTree attaches the replica subtree under the exact hop
+// that produced it. A replica that cannot be reached degrades the
+// answer to a partial tree with its failure annotated — never an error:
+// a half tree during an incident is exactly when tracing matters most.
+
+// replicaTraceInfo summarizes one replica's contribution to a federated
+// trace: how many spans it supplied, or why it supplied none.
+type replicaTraceInfo struct {
+	Spans int    `json:"spans"`
+	Error string `json:"error,omitempty"`
+}
+
+// federatedTraceResponse is the GET /debug/trace/{id} payload: the
+// merged cross-process span tree plus the per-replica fetch accounting.
+// Partial is set when at least one replica could not be scraped.
+type federatedTraceResponse struct {
+	TraceID      string                      `json:"trace_id"`
+	DroppedSpans int                         `json:"dropped_spans,omitempty"`
+	Partial      bool                        `json:"partial,omitempty"`
+	FrontSpans   int                         `json:"front_spans"`
+	Replicas     map[string]replicaTraceInfo `json:"replicas"`
+	Spans        []*obs.SpanTree             `json:"spans"`
+}
+
+// remoteTrace mirrors nanocostd's /debug/trace/{id} response shape.
+type remoteTrace struct {
+	TraceID      string          `json:"trace_id"`
+	DroppedSpans int             `json:"dropped_spans"`
+	Spans        []*obs.SpanTree `json:"spans"`
+}
+
+// fetchReplicaTrace pulls one replica's span set for id. A 404 means
+// the replica simply has no record of the trace — zero spans, no error.
+func (rt *Router) fetchReplicaTrace(ctx context.Context, addr, id string) ([]obs.SpanRecord, int, error) {
+	ctx, cancel := context.WithTimeout(ctx, rt.cfg.ProxyTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		"http://"+addr+"/debug/trace/"+id, nil)
+	if err != nil {
+		return nil, 0, err
+	}
+	resp, err := rt.cfg.Transport.RoundTrip(req)
+	if err != nil {
+		return nil, 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusNotFound {
+		io.Copy(io.Discard, resp.Body)
+		return nil, 0, nil
+	}
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, resp.Body)
+		return nil, 0, fmt.Errorf("status %d", resp.StatusCode)
+	}
+	var remote remoteTrace
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 8<<20)).Decode(&remote); err != nil {
+		return nil, 0, fmt.Errorf("decode: %v", err)
+	}
+	return obs.FlattenTrees(remote.Spans), remote.DroppedSpans, nil
+}
+
+// handleTraceFederated merges the router's local record of a trace with
+// every replica's and answers with one cross-process span tree. Remote
+// failures never fail the request: the affected replica is annotated
+// and the tree is served partial.
+func (rt *Router) handleTraceFederated(w http.ResponseWriter, r *http.Request) {
+	raw := r.PathValue("id")
+	id := obs.SanitizeID(raw)
+	if id == "" {
+		writeJSONError(w, http.StatusNotFound, "trace_not_found",
+			fmt.Sprintf("invalid trace id %q", raw))
+		return
+	}
+
+	resp := federatedTraceResponse{
+		TraceID:  id,
+		Replicas: make(map[string]replicaTraceInfo, len(rt.ring.replicas)),
+	}
+	var spans []obs.SpanRecord
+	if local, ok := rt.tracer.Lookup(id); ok {
+		spans = append(spans, local.Spans...)
+		resp.DroppedSpans += local.DroppedSpans
+		resp.FrontSpans = len(local.Spans)
+	}
+
+	type fetched struct {
+		addr    string
+		spans   []obs.SpanRecord
+		dropped int
+		err     error
+	}
+	results := make([]fetched, len(rt.ring.replicas))
+	var wg sync.WaitGroup
+	for i, addr := range rt.ring.replicas {
+		wg.Add(1)
+		go func(i int, addr string) {
+			defer wg.Done()
+			rs, dropped, err := rt.fetchReplicaTrace(r.Context(), addr, id)
+			results[i] = fetched{addr: addr, spans: rs, dropped: dropped, err: err}
+		}(i, addr)
+	}
+	wg.Wait()
+
+	for _, res := range results {
+		info := replicaTraceInfo{Spans: len(res.spans)}
+		if res.err != nil {
+			info.Error = res.err.Error()
+			resp.Partial = true
+		}
+		resp.Replicas[res.addr] = info
+		spans = append(spans, res.spans...)
+		resp.DroppedSpans += res.dropped
+	}
+
+	if len(spans) == 0 && !resp.Partial {
+		writeJSONError(w, http.StatusNotFound, "trace_not_found",
+			fmt.Sprintf("no process in the fleet has a record of trace %q", id))
+		return
+	}
+	resp.Spans = obs.BuildTree(spans)
+
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	enc := json.NewEncoder(w)
+	enc.Encode(resp)
+}

@@ -52,6 +52,11 @@ type CoordinatorConfig struct {
 	// 10s).
 	LeaseTTL time.Duration
 
+	// Events, when non-nil, receives the run's lifecycle timeline: lease
+	// churn, partial uploads, shard merges, checkpoint flushes. A nil log
+	// is inert.
+	Events *EventLog
+
 	// now is the test seam for lease-expiry clocks; nil uses time.Now.
 	now func() time.Time
 }
@@ -70,6 +75,7 @@ type Coordinator struct {
 	cfg       RunConfig
 	ttl       time.Duration
 	now       func() time.Time
+	events    *EventLog // nil-safe lifecycle timeline
 	cp        *checkpoint
 	leasePath string
 
@@ -100,6 +106,7 @@ func NewCoordinator(k Kernel, cfg RunConfig, opt CoordinatorConfig) (*Coordinato
 		eval: eval, k: k, cfg: cfg,
 		ttl:     opt.LeaseTTL,
 		now:     opt.now,
+		events:  opt.Events,
 		byShard: make([][]Partial, p.shards),
 		present: make([]bool, p.shards),
 		leases:  map[int]Lease{},
@@ -133,6 +140,10 @@ func NewCoordinator(k Kernel, cfg RunConfig, opt CoordinatorConfig) (*Coordinato
 			c.prog.TrialsDone += p.shardTrials(s)
 		}
 		c.prog.TrialsResumed = c.prog.TrialsDone
+		if c.prog.ShardsResumed > 0 {
+			c.events.Append(EventCheckpointResume, -1, "",
+				fmt.Sprintf("%d shards restored from checkpoint", c.prog.ShardsResumed))
+		}
 		c.advanceLocked()
 		c.loadLeases()
 	}
@@ -165,6 +176,7 @@ func (c *Coordinator) advanceLocked() {
 			c.tally.fold(pt)
 		}
 		c.byShard[c.cursor] = nil
+		c.events.Append(EventShardMerged, c.cursor, "", "")
 		c.cursor++
 	}
 }
@@ -187,8 +199,18 @@ func (c *Coordinator) finishLocked() {
 func (c *Coordinator) reclaimLocked() {
 	nowMS := c.now().UnixMilli()
 	for s, l := range c.leases {
-		if l.Expires <= nowMS || c.present[s] {
+		switch {
+		case c.present[s]:
+			// The shard arrived anyway (a duplicate beat the lease holder);
+			// the lease is merely obsolete.
 			delete(c.leases, s)
+			c.events.Append(EventLeaseReclaimed, s, l.Owner, "shard already merged")
+		case l.Expires <= nowMS:
+			// The holder went silent past the TTL — kill -9, partition, or
+			// stall. The shard becomes grantable again.
+			delete(c.leases, s)
+			c.events.Append(EventLeaseExpired, s, l.Owner, "")
+			c.events.Append(EventLeaseReclaimed, s, l.Owner, "lease expired")
 		}
 	}
 }
@@ -219,6 +241,7 @@ func (c *Coordinator) Acquire(owner string, max int) []Lease {
 		}
 		l := Lease{Shard: s, Owner: owner, Expires: exp}
 		c.leases[s] = l
+		c.events.Append(EventLeaseAcquired, s, owner, "")
 		granted = append(granted, l)
 	}
 	if len(granted) > 0 {
@@ -247,29 +270,34 @@ func (c *Coordinator) Renew(owner string) int {
 	}
 	if n > 0 {
 		c.persistLeasesLocked()
+		c.events.Append(EventLeaseRenewed, -1, owner, fmt.Sprintf("%d leases", n))
 	}
 	return n
 }
 
-// Submit folds one completed shard's per-chunk partials into the run.
-// It is idempotent: a duplicate of an already-merged shard (a zombie
-// whose lease expired, a retried upload) returns (false, nil) and
+// Submit folds one completed shard's per-chunk partials into the run on
+// behalf of owner (the submitting worker's id, recorded in the event
+// timeline). It is idempotent: a duplicate of an already-merged shard (a
+// zombie whose lease expired, a retried upload) returns (false, nil) and
 // changes nothing. The partials are validated against the plan's
 // geometry first — a submission from a mis-built evaluator is an error,
 // never silently folded. seconds is the reported wall-clock evaluation
 // time, forwarded to OnProgress.
-func (c *Coordinator) Submit(shard int, parts []Partial, seconds float64) (accepted bool, err error) {
+func (c *Coordinator) Submit(owner string, shard int, parts []Partial, seconds float64) (accepted bool, err error) {
 	p := c.eval.p
 	if shard < 0 || shard >= p.shards {
+		c.events.Append(EventPartialRejected, shard, owner, "shard out of range")
 		return false, fmt.Errorf("%w: shard %d out of range [0,%d)", ErrBadSubmission, shard, p.shards)
 	}
 	cLo, cHi := p.shardChunks(shard)
 	if len(parts) != cHi-cLo {
+		c.events.Append(EventPartialRejected, shard, owner, "wrong chunk count")
 		return false, fmt.Errorf("%w: shard %d carries %d chunk partials, plan needs %d", ErrBadSubmission, shard, len(parts), cHi-cLo)
 	}
 	for i, pt := range parts {
 		tLo, tHi := p.chunkTrialRange(cLo + i)
 		if pt.Trials != tHi-tLo {
+			c.events.Append(EventPartialRejected, shard, owner, "wrong trial geometry")
 			return false, fmt.Errorf("%w: shard %d chunk %d tallies %d trials, plan needs %d", ErrBadSubmission, shard, cLo+i, pt.Trials, tHi-tLo)
 		}
 	}
@@ -277,6 +305,7 @@ func (c *Coordinator) Submit(shard int, parts []Partial, seconds float64) (accep
 	c.mu.Lock()
 	if c.finished || c.present[shard] {
 		c.mu.Unlock()
+		c.events.Append(EventPartialDuplicate, shard, owner, "")
 		return false, nil
 	}
 	c.mu.Unlock()
@@ -288,13 +317,16 @@ func (c *Coordinator) Submit(shard int, parts []Partial, seconds float64) (accep
 		if err := c.cp.writeShard(shard, parts); err != nil {
 			return false, err
 		}
+		c.events.Append(EventCheckpointFlush, shard, owner, "")
 	}
 
 	c.mu.Lock()
 	if c.finished || c.present[shard] {
 		c.mu.Unlock()
+		c.events.Append(EventPartialDuplicate, shard, owner, "")
 		return false, nil
 	}
+	c.events.Append(EventPartialAccepted, shard, owner, fmt.Sprintf("%.3fs", seconds))
 	c.byShard[shard] = parts
 	c.present[shard] = true
 	delete(c.leases, shard)
@@ -457,7 +489,7 @@ func (c *Coordinator) RunLocal(ctx context.Context, owner string, workers int) e
 					}
 					return
 				}
-				if _, err := c.Submit(s, parts, time.Since(start).Seconds()); err != nil {
+				if _, err := c.Submit(owner, s, parts, time.Since(start).Seconds()); err != nil {
 					fail(err)
 					return
 				}

@@ -89,7 +89,7 @@ func TestCoordinatorMatchesRunBitIdentical(t *testing.T) {
 				t.Fatalf("decode shard %d: %v", s, err)
 			}
 		}
-		accepted, err := c.Submit(s, parts, 0.1)
+		accepted, err := c.Submit("tester", s, parts, 0.1)
 		if err != nil || !accepted {
 			t.Fatalf("submit shard %d: accepted=%v err=%v", s, accepted, err)
 		}
@@ -159,11 +159,11 @@ func TestLeaseExpiryReclaimExactlyOnce(t *testing.T) {
 	if err != nil {
 		t.Fatalf("eval: %v", err)
 	}
-	if accepted, err := c.Submit(s, parts, 0.1); err != nil || !accepted {
+	if accepted, err := c.Submit("tester", s, parts, 0.1); err != nil || !accepted {
 		t.Fatalf("b's submit: accepted=%v err=%v", accepted, err)
 	}
 	// Worker A's zombie upload of the same shard: idempotent no-op.
-	if accepted, err := c.Submit(s, parts, 0.1); err != nil || accepted {
+	if accepted, err := c.Submit("tester", s, parts, 0.1); err != nil || accepted {
 		t.Fatalf("duplicate submit: accepted=%v err=%v (want false, nil)", accepted, err)
 	}
 
@@ -194,21 +194,21 @@ func TestSubmitRejectsWrongGeometry(t *testing.T) {
 	if err != nil {
 		t.Fatalf("eval: %v", err)
 	}
-	if _, err := c.Submit(-1, parts, 0); err == nil {
+	if _, err := c.Submit("tester", -1, parts, 0); err == nil {
 		t.Fatalf("negative shard accepted")
 	}
-	if _, err := c.Submit(c.Shards(), parts, 0); err == nil {
+	if _, err := c.Submit("tester", c.Shards(), parts, 0); err == nil {
 		t.Fatalf("out-of-range shard accepted")
 	}
-	if _, err := c.Submit(0, parts[:0], 0); err == nil {
+	if _, err := c.Submit("tester", 0, parts[:0], 0); err == nil {
 		t.Fatalf("empty chunk list accepted")
 	}
 	bad := append([]Partial(nil), parts...)
 	bad[0].Trials++
-	if _, err := c.Submit(0, bad, 0); err == nil {
+	if _, err := c.Submit("tester", 0, bad, 0); err == nil {
 		t.Fatalf("wrong per-chunk trial count accepted")
 	}
-	if accepted, err := c.Submit(0, parts, 0); err != nil || !accepted {
+	if accepted, err := c.Submit("tester", 0, parts, 0); err != nil || !accepted {
 		t.Fatalf("valid submit after rejections: accepted=%v err=%v", accepted, err)
 	}
 }
@@ -228,7 +228,7 @@ func TestCoordinatorCheckpointResume(t *testing.T) {
 		if err != nil {
 			t.Fatalf("eval %d: %v", s, err)
 		}
-		if accepted, err := c1.Submit(s, parts, 0); err != nil || !accepted {
+		if accepted, err := c1.Submit("tester", s, parts, 0); err != nil || !accepted {
 			t.Fatalf("submit %d: accepted=%v err=%v", s, accepted, err)
 		}
 	}

@@ -1,0 +1,169 @@
+package mcjob
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+)
+
+// Event is one structured entry in a job's lifecycle timeline: what
+// happened, to which shard (-1 when the event is not shard-scoped), on
+// whose behalf. The timeline is what makes a kill -9/resume run
+// explainable event by event — which worker held which lease, when it
+// expired, who re-ran the shard.
+type Event struct {
+	Seq    int64     `json:"seq"`
+	Time   time.Time `json:"time"`
+	Type   string    `json:"type"`
+	Shard  int       `json:"shard"`
+	Owner  string    `json:"owner,omitempty"`
+	Detail string    `json:"detail,omitempty"`
+}
+
+// Event types appended by the coordinator and the serving layer.
+const (
+	EventSubmitted        = "submitted"
+	EventLeaseAcquired    = "lease_acquired"
+	EventLeaseRenewed     = "lease_renewed"
+	EventLeaseExpired     = "lease_expired"
+	EventLeaseReclaimed   = "lease_reclaimed"
+	EventPartialAccepted  = "partial_accepted"
+	EventPartialDuplicate = "partial_duplicate"
+	EventPartialRejected  = "partial_rejected"
+	EventShardMerged      = "shard_merged"
+	EventCheckpointFlush  = "checkpoint_flushed"
+	EventCheckpointResume = "checkpoint_resumed"
+	EventCompleted        = "completed"
+	EventCancelled        = "cancelled"
+	EventFailed           = "failed"
+)
+
+// defaultEventCapacity bounds a job's in-memory timeline. Old events
+// beyond the cap are dropped oldest-first and counted, never silently.
+const defaultEventCapacity = 1024
+
+// eventJournalName is the NDJSON journal written beside the shard log
+// when the job checkpoints. It is an operator aid, not a durability
+// primitive: writes are append-only but unfsynced, nothing replays it,
+// and losing it loses nothing but explanation — the shard log remains
+// the sole source of resumable truth.
+const eventJournalName = "events.ndjson"
+
+// EventLog is a bounded, concurrency-safe ring of lifecycle events with
+// an optional NDJSON journal. The nil *EventLog is valid and inert, so
+// instrumented code (the Coordinator in library use) never branches on
+// whether a timeline was attached.
+type EventLog struct {
+	mu      sync.Mutex
+	cap     int
+	seq     int64
+	events  []Event
+	dropped int64
+	changed chan struct{}
+	journal *os.File
+	now     func() time.Time // test seam
+}
+
+// NewEventLog returns an event ring retaining up to capacity events
+// (capacity < 1 uses the default).
+func NewEventLog(capacity int) *EventLog {
+	if capacity < 1 {
+		capacity = defaultEventCapacity
+	}
+	return &EventLog{cap: capacity, changed: make(chan struct{}), now: time.Now}
+}
+
+// Journal mirrors every subsequent append to an NDJSON file at path,
+// creating parent directories as needed. Best-effort by design: write
+// errors are ignored (the in-memory ring stays authoritative for the
+// events endpoint).
+func (e *EventLog) Journal(path string) error {
+	if e == nil {
+		return nil
+	}
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return err
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	e.mu.Lock()
+	old := e.journal
+	e.journal = f
+	e.mu.Unlock()
+	if old != nil {
+		old.Close()
+	}
+	return nil
+}
+
+// Append records one event. Shard is -1 for events that are not about a
+// specific shard. Safe on nil.
+func (e *EventLog) Append(typ string, shard int, owner, detail string) {
+	if e == nil {
+		return
+	}
+	e.mu.Lock()
+	e.seq++
+	ev := Event{Seq: e.seq, Time: e.now().UTC(), Type: typ, Shard: shard, Owner: owner, Detail: detail}
+	if len(e.events) >= e.cap {
+		n := copy(e.events, e.events[1:])
+		e.events = e.events[:n]
+		e.dropped++
+	}
+	e.events = append(e.events, ev)
+	if e.journal != nil {
+		if line, err := json.Marshal(ev); err == nil {
+			e.journal.Write(append(line, '\n'))
+		}
+	}
+	close(e.changed)
+	e.changed = make(chan struct{})
+	e.mu.Unlock()
+}
+
+// Snapshot returns the retained events with Seq > after (0 returns
+// everything retained) plus how many older events the ring has dropped.
+func (e *EventLog) Snapshot(after int64) ([]Event, int64) {
+	if e == nil {
+		return nil, 0
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	i := 0
+	for i < len(e.events) && e.events[i].Seq <= after {
+		i++
+	}
+	out := make([]Event, len(e.events)-i)
+	copy(out, e.events[i:])
+	return out, e.dropped
+}
+
+// Changed returns a channel closed on the next append, for live
+// streamers. On a nil log it returns nil, which blocks forever in a
+// select.
+func (e *EventLog) Changed() <-chan struct{} {
+	if e == nil {
+		return nil
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.changed
+}
+
+// Close releases the journal file, if any. The ring stays readable.
+func (e *EventLog) Close() {
+	if e == nil {
+		return
+	}
+	e.mu.Lock()
+	j := e.journal
+	e.journal = nil
+	e.mu.Unlock()
+	if j != nil {
+		j.Close()
+	}
+}

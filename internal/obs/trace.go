@@ -5,6 +5,7 @@ import (
 	"crypto/rand"
 	"encoding/hex"
 	"fmt"
+	"io"
 	"sort"
 	"strings"
 	"sync"
@@ -47,7 +48,12 @@ type TraceRecord struct {
 // every field is guarded by mu.
 type activeTrace struct {
 	traceID string
-	tracer  *Tracer
+	// spanPrefix makes span IDs unique across processes sharing one trace
+	// ID: every process (and every root started within one) mints its own
+	// random prefix, so a federated merge of two replicas' span sets never
+	// sees the same "0001" twice.
+	spanPrefix string
+	tracer     *Tracer
 
 	mu        sync.Mutex
 	seq       uint64
@@ -60,7 +66,7 @@ func (at *activeTrace) nextSpanID() string {
 	at.seq++
 	id := at.seq
 	at.mu.Unlock()
-	return fmt.Sprintf("%04x", id)
+	return fmt.Sprintf("%s%04x", at.spanPrefix, id)
 }
 
 // Span is one timed stage of a trace. The nil *Span is a valid receiver
@@ -94,6 +100,16 @@ func (s *Span) Name() string {
 		return ""
 	}
 	return s.name
+}
+
+// SpanID returns the span's ID, or "" for a nil span. Callers making
+// outbound hops put this in X-Parent-Span-Id so the remote process can
+// parent its root span under this one.
+func (s *Span) SpanID() string {
+	if s == nil {
+		return ""
+	}
+	return s.spanID
 }
 
 // SetAttr attaches a key=value attribute to the span. No-op on nil.
@@ -190,9 +206,11 @@ type Tracer struct {
 	capacity    int
 	spanSeconds *HistogramVec
 
-	mu    sync.Mutex
-	byID  map[string]*TraceRecord
-	order []string
+	mu           sync.Mutex
+	byID         map[string]*TraceRecord
+	order        []string
+	spansDropped uint64
+	evicted      uint64
 }
 
 // NewTracer returns a tracer retaining up to capacity completed traces.
@@ -209,33 +227,93 @@ func NewTracer(capacity int, spanSeconds *HistogramVec) *Tracer {
 // fresh random one; callers propagating an external ID must sanitize it
 // first (SanitizeID).
 func (t *Tracer) StartRoot(ctx context.Context, traceID, name string) (context.Context, *Span) {
+	return t.StartRootWithParent(ctx, traceID, "", name)
+}
+
+// StartRootWithParent opens the root span of a trace whose parent lives
+// in another process: parentID is the caller's X-Parent-Span-Id, so the
+// federated tree can attach this process's subtree under the remote
+// span. An empty parentID makes a plain root; an empty traceID gets a
+// fresh random one. Both IDs must already be sanitized (SanitizeID).
+func (t *Tracer) StartRootWithParent(ctx context.Context, traceID, parentID, name string) (context.Context, *Span) {
 	if traceID == "" {
 		traceID = NewTraceID()
 	}
-	at := &activeTrace{traceID: traceID, tracer: t}
+	at := &activeTrace{traceID: traceID, spanPrefix: randHex(3), tracer: t}
 	sp := &Span{
-		at:     at,
-		name:   name,
-		spanID: at.nextSpanID(),
-		start:  time.Now(),
-		root:   true,
+		at:       at,
+		name:     name,
+		spanID:   at.nextSpanID(),
+		parentID: parentID,
+		start:    time.Now(),
+		root:     true,
 	}
 	return context.WithValue(ctx, spanKey{}, sp), sp
 }
 
-// commit stores a completed trace, evicting the oldest when full.
+// commit stores a completed trace, evicting the oldest when full. A
+// commit under an ID already in the ring merges into the stored record
+// rather than overwriting it: background job work (worker lease cycles,
+// coordinator merges) commits many times under one deterministic trace
+// ID, and each commit must accumulate. The merged record stays capped at
+// maxSpansPerTrace, with overflow counted as dropped.
 func (t *Tracer) commit(trace *TraceRecord) {
 	t.mu.Lock()
-	if _, exists := t.byID[trace.TraceID]; !exists {
+	defer t.mu.Unlock()
+	t.spansDropped += uint64(trace.DroppedSpans)
+	prev, exists := t.byID[trace.TraceID]
+	if !exists {
 		t.order = append(t.order, trace.TraceID)
 		for len(t.order) > t.capacity {
 			oldest := t.order[0]
 			t.order = t.order[1:]
 			delete(t.byID, oldest)
+			t.evicted++
 		}
+		t.byID[trace.TraceID] = trace
+		return
 	}
-	t.byID[trace.TraceID] = trace
-	t.mu.Unlock()
+	merged := &TraceRecord{
+		TraceID:      trace.TraceID,
+		DroppedSpans: prev.DroppedSpans + trace.DroppedSpans,
+		Spans:        append(append([]SpanRecord{}, prev.Spans...), trace.Spans...),
+	}
+	if overflow := len(merged.Spans) - maxSpansPerTrace; overflow > 0 {
+		merged.Spans = merged.Spans[:maxSpansPerTrace]
+		merged.DroppedSpans += overflow
+		t.spansDropped += uint64(overflow)
+	}
+	t.byID[trace.TraceID] = merged
+}
+
+// SpansDropped returns the cumulative count of spans dropped by
+// per-trace caps across every trace this tracer has committed.
+func (t *Tracer) SpansDropped() uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.spansDropped
+}
+
+// TracesEvicted returns how many completed traces the ring has evicted
+// to stay within capacity.
+func (t *Tracer) TracesEvicted() uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.evicted
+}
+
+// RegisterMetrics exports the tracer's loss counters on reg as
+// obs_trace_spans_dropped_total and obs_traces_evicted_total, so silent
+// span loss is visible on /metrics.
+func (t *Tracer) RegisterMetrics(reg *Registry) {
+	reg.RegisterRaw([]string{"obs_trace_spans_dropped_total", "obs_traces_evicted_total"}, func(w io.Writer) {
+		fmt.Fprintf(w, "# HELP obs_trace_spans_dropped_total Spans dropped by per-trace span caps.\n")
+		fmt.Fprintf(w, "# TYPE obs_trace_spans_dropped_total counter\n")
+		fmt.Fprintf(w, "obs_trace_spans_dropped_total %d\n", t.SpansDropped())
+		fmt.Fprintf(w, "# HELP obs_traces_evicted_total Completed traces evicted from the trace ring.\n")
+		fmt.Fprintf(w, "# TYPE obs_traces_evicted_total counter\n")
+		fmt.Fprintf(w, "obs_traces_evicted_total %d\n", t.TracesEvicted())
+	})
 }
 
 // Lookup returns the completed trace with the given ID, if still in the
@@ -265,15 +343,32 @@ type SpanTree struct {
 // Roots (spans whose parent is absent) come first by start time, and
 // every child list is ordered by start time.
 func (tr *TraceRecord) Tree() []*SpanTree {
-	nodes := make(map[string]*SpanTree, len(tr.Spans))
-	for i := range tr.Spans {
-		rec := tr.Spans[i]
+	return BuildTree(tr.Spans)
+}
+
+// BuildTree assembles a flat span set — possibly merged from several
+// processes — into its parent/child structure. Spans whose parent ID is
+// empty or absent from the set become roots; this is what lets a
+// replica's subtree (root parented under a front span by
+// X-Parent-Span-Id) attach correctly once both processes' spans are in
+// one list, and degrade to a sibling root when the front's spans are
+// missing.
+func BuildTree(spans []SpanRecord) []*SpanTree {
+	nodes := make(map[string]*SpanTree, len(spans))
+	for i := range spans {
+		rec := spans[i]
 		nodes[rec.SpanID] = &SpanTree{SpanRecord: rec}
 	}
 	var roots []*SpanTree
-	for i := range tr.Spans {
-		node := nodes[tr.Spans[i].SpanID]
-		if parent, ok := nodes[node.ParentID]; ok && node.ParentID != "" {
+	placed := make(map[string]bool, len(spans))
+	for i := range spans {
+		id := spans[i].SpanID
+		if placed[id] {
+			continue // duplicate span id (e.g. a replica scraped twice)
+		}
+		placed[id] = true
+		node := nodes[id]
+		if parent, ok := nodes[node.ParentID]; ok && node.ParentID != "" && parent != node {
 			parent.Children = append(parent.Children, node)
 		} else {
 			roots = append(roots, node)
@@ -284,6 +379,25 @@ func (tr *TraceRecord) Tree() []*SpanTree {
 		sortTrees(n.Children)
 	}
 	return roots
+}
+
+// FlattenTrees is the inverse of BuildTree: it returns every span in the
+// forest as a flat list, parent IDs intact. Trace federation uses it to
+// pool span sets fetched from several replicas before rebuilding one
+// cross-process tree.
+func FlattenTrees(trees []*SpanTree) []SpanRecord {
+	var out []SpanRecord
+	var walk func(n *SpanTree)
+	walk = func(n *SpanTree) {
+		out = append(out, n.SpanRecord)
+		for _, c := range n.Children {
+			walk(c)
+		}
+	}
+	for _, n := range trees {
+		walk(n)
+	}
+	return out
 }
 
 func sortTrees(ts []*SpanTree) {

@@ -174,7 +174,7 @@ func (s *Server) handleJobPartials(w http.ResponseWriter, r *http.Request) (any,
 	if err != nil {
 		return nil, err
 	}
-	accepted, err := j.coord.Submit(req.Shard, req.Chunks, req.Seconds)
+	accepted, err := j.coord.Submit(req.Owner, req.Shard, req.Chunks, req.Seconds)
 	if err != nil {
 		s.metrics.jobPartialsTotal.With("rejected").Inc()
 		if errors.Is(err, mcjob.ErrBadSubmission) {

@@ -1,0 +1,152 @@
+package serve
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/mcjob"
+	"repro/internal/obs"
+)
+
+// TestDistributedJobTraceAndEvents is the observability side of the
+// two-server round: the worker's lease/renew/shard spans parent under
+// its worker.job root, the coordinator's serve.request spans parent
+// under the exact worker spans that made the calls (joined by the
+// deterministic job-<id> trace), the worker's poll histogram fills, and
+// the coordinator's event timeline tells the whole story with the
+// worker attributed by owner.
+func TestDistributedJobTraceAndEvents(t *testing.T) {
+	oldPoll := workerPollInterval
+	workerPollInterval = 10 * time.Millisecond
+	t.Cleanup(func() { workerPollInterval = oldPoll })
+
+	a := newTestServer(t, Config{
+		DistributeJobs: true,
+		JobDir:         t.TempDir(),
+		LeaseTTL:       2 * time.Second,
+		JobWorkers:     -1,
+		WorkerID:       "coord-a",
+	})
+	tsA := httptest.NewServer(a.Handler())
+	t.Cleanup(tsA.Close)
+	addrA := strings.TrimPrefix(tsA.URL, "http://")
+
+	b := newTestServer(t, Config{Peers: []string{addrA}, WorkerID: "worker-b"})
+
+	spec := `{"kind":"defect","trials":32768,"shards":4,"seed":11,"defect":{"lambda":0.9},"checkpoint":true}`
+	code, _, body := do(t, a, "POST", "/v1/jobs", spec)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit = %d %v", code, body)
+	}
+	id := body["id"].(string)
+	if fin := waitForJob(t, a, id); fin["state"] != "done" {
+		t.Fatalf("final state = %v (%v)", fin["state"], fin["error"])
+	}
+
+	// Span commits race the job's terminal state by a poll interval or
+	// two (the worker's root ends on its next empty lease round), so
+	// wait for both tracers to have the full trace.
+	tid := "job-" + id
+	var workerTrace, coordTrace *obs.TraceRecord
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		wt, wok := b.tracer.Lookup(tid)
+		ct, cok := a.tracer.Lookup(tid)
+		if wok && cok && countSpans(wt, "worker.job") > 0 &&
+			countSpans(wt, "worker.shard") > 0 && countSpans(ct, "serve.request") > 0 {
+			workerTrace, coordTrace = wt, ct
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if workerTrace == nil || coordTrace == nil {
+		t.Fatalf("traces for %s never completed on both processes", tid)
+	}
+
+	// Worker side: every lease/renew/shard span hangs off a worker.job
+	// root of the same cycle.
+	roots := map[string]bool{}
+	workerSpanIDs := map[string]bool{}
+	for _, sp := range workerTrace.Spans {
+		workerSpanIDs[sp.SpanID] = true
+		if sp.Name == "worker.job" {
+			roots[sp.SpanID] = true
+			if sp.Attrs["owner"] != "worker-b" {
+				t.Fatalf("worker.job owner attr = %q", sp.Attrs["owner"])
+			}
+		}
+	}
+	if countSpans(workerTrace, "worker.lease") == 0 {
+		t.Fatal("no worker.lease spans recorded")
+	}
+	for _, sp := range workerTrace.Spans {
+		switch sp.Name {
+		case "worker.lease", "worker.renew", "worker.shard":
+			if !roots[sp.ParentID] {
+				t.Fatalf("%s span %s parents to %q, not a worker.job root", sp.Name, sp.SpanID, sp.ParentID)
+			}
+		}
+	}
+
+	// Coordinator side: the job.run span exists, and every serve.request
+	// span (a lease, renew or partials call) names a worker span as its
+	// cross-process parent.
+	if countSpans(coordTrace, "job.run") == 0 {
+		t.Fatal("coordinator recorded no job.run span")
+	}
+	for _, sp := range coordTrace.Spans {
+		if sp.Name != "serve.request" {
+			continue
+		}
+		if sp.ParentID == "" || !workerSpanIDs[sp.ParentID] {
+			t.Fatalf("serve.request span %s parents to %q, not a span of the worker's trace",
+				sp.SpanID, sp.ParentID)
+		}
+	}
+
+	// The poll-interval histogram filled while the worker polled.
+	if got := b.metrics.workerPollSeconds.Count(); got == 0 {
+		t.Fatal("nanocostd_worker_poll_seconds recorded no observations")
+	}
+
+	// The coordinator's event timeline: submission through completion,
+	// with the worker attributed on lease grants and accepted partials.
+	ecode, _, raw := rawDo(t, a, "GET", "/v1/jobs/"+id+"/events", "")
+	if ecode != http.StatusOK {
+		t.Fatalf("events = %d: %s", ecode, raw)
+	}
+	ev := decodeEvents(t, raw)
+	byType := map[string][]mcjob.Event{}
+	for _, e := range ev.Events {
+		byType[e.Type] = append(byType[e.Type], e)
+	}
+	for _, want := range []string{
+		mcjob.EventSubmitted, mcjob.EventLeaseAcquired, mcjob.EventPartialAccepted,
+		mcjob.EventCheckpointFlush, mcjob.EventShardMerged, mcjob.EventCompleted,
+	} {
+		if len(byType[want]) == 0 {
+			t.Fatalf("timeline has no %q event: %+v", want, ev.Events)
+		}
+	}
+	for _, e := range byType[mcjob.EventPartialAccepted] {
+		if e.Owner != "worker-b" {
+			t.Fatalf("partial_accepted owner = %q, want worker-b", e.Owner)
+		}
+	}
+	if len(byType[mcjob.EventShardMerged]) != 4 {
+		t.Fatalf("shard_merged events = %d, want 4", len(byType[mcjob.EventShardMerged]))
+	}
+}
+
+func countSpans(tr *obs.TraceRecord, name string) int {
+	n := 0
+	for _, sp := range tr.Spans {
+		if sp.Name == name {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,116 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+
+	"repro/internal/mcjob"
+)
+
+// decodeEvents parses a /v1/jobs/{id}/events JSON snapshot.
+func decodeEvents(t *testing.T, raw []byte) jobEventsJSON {
+	t.Helper()
+	var out jobEventsJSON
+	if err := json.Unmarshal(raw, &out); err != nil {
+		t.Fatalf("decode events payload: %v\n%s", err, raw)
+	}
+	return out
+}
+
+// TestJobEventsTimeline: a completed local job's timeline starts with
+// submitted, records one shard_merged per shard, and ends terminal, with
+// strictly increasing sequence numbers throughout.
+func TestJobEventsTimeline(t *testing.T) {
+	s := newTestServer(t, Config{})
+	spec := `{"kind":"defect","trials":200000,"shards":4,"seed":7,"defect":{"lambda":1.3}}`
+	code, _, body := do(t, s, "POST", "/v1/jobs", spec)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit = %d %v", code, body)
+	}
+	id := body["id"].(string)
+	if fin := waitForJob(t, s, id); fin["state"] != "done" {
+		t.Fatalf("final state = %v", fin["state"])
+	}
+
+	ecode, _, raw := rawDo(t, s, "GET", "/v1/jobs/"+id+"/events", "")
+	if ecode != http.StatusOK {
+		t.Fatalf("events = %d: %s", ecode, raw)
+	}
+	ev := decodeEvents(t, raw)
+	if ev.ID != id || ev.State != "done" {
+		t.Fatalf("events envelope = %+v", ev)
+	}
+	if len(ev.Events) == 0 {
+		t.Fatal("no events recorded")
+	}
+	if ev.Events[0].Type != mcjob.EventSubmitted {
+		t.Fatalf("first event = %q, want submitted", ev.Events[0].Type)
+	}
+	if last := ev.Events[len(ev.Events)-1]; last.Type != mcjob.EventCompleted {
+		t.Fatalf("last event = %q, want completed", last.Type)
+	}
+	merged := 0
+	lastSeq := int64(0)
+	for i, e := range ev.Events {
+		if e.Type == mcjob.EventShardMerged {
+			merged++
+		}
+		if i > 0 && e.Seq <= lastSeq {
+			t.Fatalf("event %d seq %d not increasing past %d", i, e.Seq, lastSeq)
+		}
+		lastSeq = e.Seq
+	}
+	if merged != 4 {
+		t.Fatalf("shard_merged events = %d, want 4", merged)
+	}
+
+	// Unknown job: 404 with the job error code.
+	ecode, _, errBody := do(t, s, "GET", "/v1/jobs/0123456789abcdef/events", "")
+	if ecode != http.StatusNotFound || errCode(t, errBody) != "job_not_found" {
+		t.Fatalf("events on unknown job = %d %v", ecode, errBody)
+	}
+}
+
+// TestJobEventsStreamEndsCancelled: the NDJSON event stream of a
+// cancelled job terminates, and its final line is the cancelled event.
+func TestJobEventsStreamEndsCancelled(t *testing.T) {
+	s := newTestServer(t, Config{})
+	spec := `{"kind":"defect","trials":4000000000,"seed":3,"defect":{"lambda":0.9}}`
+	code, _, body := do(t, s, "POST", "/v1/jobs", spec)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit = %d %v", code, body)
+	}
+	id := body["id"].(string)
+	if dcode, _, dbody := do(t, s, "DELETE", "/v1/jobs/"+id, ""); dcode != http.StatusOK {
+		t.Fatalf("cancel = %d %v", dcode, dbody)
+	}
+	if fin := waitForJob(t, s, id); fin["state"] != "cancelled" {
+		t.Fatalf("state after cancel = %v", fin["state"])
+	}
+
+	scode, hdr, raw := doWithHeaders(t, s, "GET", "/v1/jobs/"+id+"/events", "",
+		map[string]string{"Accept": "application/x-ndjson"})
+	if scode != http.StatusOK {
+		t.Fatalf("event stream = %d: %s", scode, raw)
+	}
+	if ct := hdr.Get("Content-Type"); !strings.Contains(ct, "ndjson") {
+		t.Fatalf("stream content type = %q", ct)
+	}
+	lines := strings.Split(strings.TrimSpace(string(raw)), "\n")
+	if len(lines) == 0 || lines[0] == "" {
+		t.Fatalf("empty event stream: %q", raw)
+	}
+	var last mcjob.Event
+	for _, ln := range lines {
+		var e mcjob.Event
+		if err := json.Unmarshal([]byte(ln), &e); err != nil {
+			t.Fatalf("stream line %q: %v", ln, err)
+		}
+		last = e
+	}
+	if last.Type != mcjob.EventCancelled {
+		t.Fatalf("stream ends with %q, want cancelled", last.Type)
+	}
+}

@@ -15,6 +15,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/mcjob"
+	"repro/internal/obs"
 	"repro/internal/yield"
 )
 
@@ -235,6 +236,10 @@ type job struct {
 	// kernel and evaluator from the spec alone.
 	coord    *mcjob.Coordinator
 	specJSON json.RawMessage
+	// events is the job's lifecycle timeline, served at
+	// /v1/jobs/{id}/events and journaled beside the shard log when the
+	// job checkpoints.
+	events *mcjob.EventLog
 
 	mu          sync.Mutex
 	state       string // "running" | "done" | "failed" | "cancelled"
@@ -323,6 +328,7 @@ func (j *job) terminal() bool {
 type jobManager struct {
 	log        *slog.Logger
 	metrics    *metrics
+	tracer     *obs.Tracer // optional; set by the server after construction
 	dir        string
 	maxRunning int
 	// distribute runs every job through a lease-granting Coordinator so
@@ -393,7 +399,9 @@ func (m *jobManager) startOrAttach(req jobRequest) (*job, bool, error) {
 		cancel:     cancel,
 		state:      "running",
 		started:    time.Now(),
+		events:     mcjob.NewEventLog(0),
 	}
+	distributed := m.distribute
 	cfg := mcjob.RunConfig{
 		Trials: req.Trials, Shards: req.Shards, Seed: req.Seed,
 		SpecHash: specHash,
@@ -404,6 +412,11 @@ func (m *jobManager) startOrAttach(req jobRequest) (*job, bool, error) {
 			j.mu.Unlock()
 			if p.LastShard >= 0 {
 				m.metrics.jobShardSeconds.Observe(p.LastShardSeconds)
+				if !distributed {
+					// Distributed runs get per-shard events from the
+					// coordinator itself; local runs record merges here.
+					j.events.Append(mcjob.EventShardMerged, p.LastShard, m.owner, "")
+				}
 			}
 			if live := p.TrialsDone - p.TrialsResumed; live > 0 && elapsed > 0 {
 				m.metrics.jobTrialsPerSec.Set(float64(live) / elapsed)
@@ -412,12 +425,20 @@ func (m *jobManager) startOrAttach(req jobRequest) (*job, bool, error) {
 	}
 	if req.Checkpoint {
 		cfg.CheckpointDir = filepath.Join(m.dir, id)
+		// The journal rides beside the shard log. Best-effort: a journal
+		// that cannot open costs explanation, not correctness.
+		if err := j.events.Journal(filepath.Join(cfg.CheckpointDir, "events.ndjson")); err != nil {
+			m.log.Warn("event journal unavailable", "job_id", id, "error", err)
+		}
 	}
+	j.events.Append(mcjob.EventSubmitted, -1, "",
+		fmt.Sprintf("kind=%s trials=%d", k.Kind(), req.Trials))
 
 	if m.distribute {
-		coord, err := mcjob.NewCoordinator(k, cfg, mcjob.CoordinatorConfig{LeaseTTL: m.leaseTTL})
+		coord, err := mcjob.NewCoordinator(k, cfg, mcjob.CoordinatorConfig{LeaseTTL: m.leaseTTL, Events: j.events})
 		if err != nil {
 			cancel()
+			j.events.Close()
 			if errors.Is(err, mcjob.ErrCheckpointMismatch) {
 				return nil, false, &apiError{status: http.StatusConflict, code: "checkpoint_mismatch", err: err}
 			}
@@ -443,10 +464,28 @@ func (m *jobManager) startOrAttach(req jobRequest) (*job, bool, error) {
 	return j, true, nil
 }
 
+// traceJob opens the job's root span in the replica's tracer under the
+// deterministic "job-<id>" trace, so background job work is retrievable
+// at /debug/trace/job-<id> (and federates with worker-side spans
+// recorded under the same trace id). Returns ctx unchanged when tracing
+// is unavailable.
+func (m *jobManager) traceJob(ctx context.Context, j *job) (context.Context, *obs.Span) {
+	tid := obs.SanitizeID("job-" + j.id)
+	if m.tracer == nil || tid == "" {
+		return ctx, nil
+	}
+	ctx, sp := m.tracer.StartRoot(ctx, tid, "job.run")
+	sp.SetAttr("job", j.id)
+	sp.SetAttr("kind", j.kind)
+	return ctx, sp
+}
+
 // run executes the job to a terminal state.
 func (m *jobManager) run(ctx context.Context, j *job, k mcjob.Kernel, cfg mcjob.RunConfig) {
 	defer m.wg.Done()
 	defer close(j.done)
+	ctx, span := m.traceJob(ctx, j)
+	defer span.End()
 	var (
 		res    mcjob.Result
 		runErr error
@@ -472,6 +511,8 @@ func (m *jobManager) runDistributed(ctx context.Context, j *job) {
 	defer m.wg.Done()
 	defer close(j.done)
 	defer j.coord.Close()
+	ctx, span := m.traceJob(ctx, j)
+	defer span.End()
 	var (
 		res    mcjob.Result
 		runErr error
@@ -522,8 +563,19 @@ func (m *jobManager) finishJob(j *job, res mcjob.Result, runErr error) {
 		state, j.errMsg = "failed", runErr.Error()
 	}
 	j.state = state
+	errMsg := j.errMsg
 	elapsed := j.finished.Sub(j.started)
 	j.mu.Unlock()
+
+	switch state {
+	case "done":
+		j.events.Append(mcjob.EventCompleted, -1, "", "")
+	case "cancelled":
+		j.events.Append(mcjob.EventCancelled, -1, "", "")
+	default:
+		j.events.Append(mcjob.EventFailed, -1, "", errMsg)
+	}
+	j.events.Close()
 
 	m.mu.Lock()
 	m.running--
@@ -690,6 +742,72 @@ func (s *Server) handleJobCancel(w http.ResponseWriter, r *http.Request) (any, e
 	case <-r.Context().Done():
 	}
 	return j.status(), nil
+}
+
+// jobEventsJSON is the GET /v1/jobs/{id}/events body: the retained
+// lifecycle timeline, oldest first.
+type jobEventsJSON struct {
+	ID            string        `json:"id"`
+	State         string        `json:"state"`
+	DroppedEvents int64         `json:"dropped_events,omitempty"`
+	Events        []mcjob.Event `json:"events"`
+}
+
+// handleJobEvents serves a job's lifecycle timeline: a JSON snapshot, or
+// — with "Accept: application/x-ndjson" — a live stream that replays the
+// retained ring and then follows new events until the job reaches a
+// terminal state (the stream's last line is the terminal event), the
+// request deadline passes, or the client leaves.
+func (s *Server) handleJobEvents(w http.ResponseWriter, r *http.Request) (any, error) {
+	j := s.jobs.get(trimmedPathValue(r, "id"))
+	if j == nil {
+		return nil, jobNotFound(r)
+	}
+	if !wantsNDJSON(r) {
+		evs, dropped := j.events.Snapshot(0)
+		if evs == nil {
+			evs = []mcjob.Event{}
+		}
+		j.mu.Lock()
+		state := j.state
+		j.mu.Unlock()
+		return jobEventsJSON{ID: j.id, State: state, DroppedEvents: dropped, Events: evs}, nil
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	enc := json.NewEncoder(w)
+	var last int64
+	emit := func() error {
+		evs, _ := j.events.Snapshot(last)
+		for _, ev := range evs {
+			if err := enc.Encode(ev); err != nil {
+				return err
+			}
+			last = ev.Seq
+		}
+		if len(evs) > 0 {
+			flush(w)
+		}
+		return nil
+	}
+	if err := emit(); err != nil {
+		return wroteResponse{}, nil
+	}
+	for {
+		// Grab the change channel before re-checking terminality so an
+		// append between emit and select cannot be missed.
+		ch := j.events.Changed()
+		select {
+		case <-j.done:
+			emit()
+			return wroteResponse{}, nil
+		case <-r.Context().Done():
+			return wroteResponse{}, nil
+		case <-ch:
+			if err := emit(); err != nil {
+				return wroteResponse{}, nil
+			}
+		}
+	}
 }
 
 func jobNotFound(r *http.Request) *apiError {

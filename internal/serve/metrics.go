@@ -25,6 +25,10 @@ var latencyBuckets = obs.DurationBuckets
 // checkpointing pointless.
 var jobShardBuckets = []float64{0.005, 0.02, 0.1, 0.5, 1, 2.5, 5, 10, 30, 60}
 
+// workerPollBuckets cover the lease-poll backoff range: the base poll
+// interval (0.5 s) through the TTL/2 cap an idle worker settles at.
+var workerPollBuckets = []float64{0.1, 0.25, 0.5, 1, 2, 5, 10, 30}
+
 // metrics is the service's telemetry, all registered on one obs.Registry
 // per server instance (so tests that build several servers never share
 // counters). Family order in the scrape is registration order: the HTTP
@@ -43,9 +47,10 @@ type metrics struct {
 	jobShardSeconds *obs.Histogram  // per-shard evaluation wall time
 	jobTrialsPerSec *obs.FloatGauge // most recent job's live trial rate
 
-	jobLeasesTotal   *obs.CounterVec // shard leases handed to remote workers
-	jobPartialsTotal *obs.CounterVec // remote shard uploads by outcome
-	workerShards     *obs.CounterVec // shards this replica computed for peers
+	jobLeasesTotal    *obs.CounterVec // shard leases handed to remote workers
+	jobPartialsTotal  *obs.CounterVec // remote shard uploads by outcome
+	workerShards      *obs.CounterVec // shards this replica computed for peers
+	workerPollSeconds *obs.Histogram  // per-peer lease-poll sleeps (backoff visible)
 }
 
 func newMetrics() *metrics {
@@ -76,6 +81,8 @@ func newMetrics() *metrics {
 			"Shard-partial uploads received over HTTP, by outcome (accepted/duplicate/rejected). Locally evaluated shards are not counted, so 'accepted' is exactly the remote contribution.", "outcome"),
 		workerShards: reg.NewCounterVec("nanocostd_worker_shards_total",
 			"Shards this replica's worker loop computed for peer coordinators, by outcome (uploaded/duplicate/failed).", "outcome"),
+		workerPollSeconds: reg.NewHistogramOn("nanocostd_worker_poll_seconds",
+			"Sleep chosen before each per-peer lease poll; exponential backoff with jitter, so the distribution shows how hard an idle fleet polls its coordinators.", workerPollBuckets),
 	}
 	// The worker pool's chunk timings are package-level instruments shared
 	// by every pool user; attach them so a scrape correlates queue wait

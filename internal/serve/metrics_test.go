@@ -143,6 +143,9 @@ func TestMetricsExpositionConformance(t *testing.T) {
 		"nanocostd_job_trials_per_sec":      "gauge",
 		"nanocostd_pool_chunk_wait_seconds": "histogram",
 		"nanocostd_pool_chunk_exec_seconds": "histogram",
+		"nanocostd_worker_poll_seconds":     "histogram",
+		"obs_trace_spans_dropped_total":     "counter",
+		"obs_traces_evicted_total":          "counter",
 		"go_goroutines":                     "gauge",
 		"go_memstats_heap_alloc_bytes":      "gauge",
 		"go_gc_cycles_total":                "counter",

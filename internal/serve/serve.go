@@ -218,9 +218,12 @@ func NewServer(cfg Config) *Server {
 		retryAfter: strconv.Itoa(max(1, int(math.Ceil(cfg.RequestTimeout.Seconds())))),
 	}
 	s.tracer = obs.NewTracer(traceRingCapacity, s.metrics.spanSeconds)
+	s.tracer.RegisterMetrics(s.metrics.reg)
 	s.jobs = newJobManager(cfg, s.metrics, s.log)
+	s.jobs.tracer = s.tracer
 	if len(cfg.Peers) > 0 {
 		s.worker = newWorker(cfg, s.metrics, s.log)
+		s.worker.tracer = s.tracer
 		s.worker.start()
 	}
 	s.routes()
@@ -351,6 +354,7 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("POST /v1/jobs/{id}/partials", s.handleCap("/v1/jobs/{id}/partials", maxPartialsBodyBytes, s.handleJobPartials))
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handle("/v1/jobs/{id}", s.handleJobStatus))
 	s.mux.HandleFunc("GET /v1/jobs/{id}/result", s.handle("/v1/jobs/{id}/result", s.handleJobResult))
+	s.mux.HandleFunc("GET /v1/jobs/{id}/events", s.handle("/v1/jobs/{id}/events", s.handleJobEvents))
 	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handle("/v1/jobs/{id}", s.handleJobCancel))
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
@@ -591,8 +595,9 @@ func (s *Server) observe(next http.Handler) http.Handler {
 		var span *obs.Span
 		if shouldTrace(r.URL.Path) {
 			var ctx context.Context
-			ctx, span = s.tracer.StartRoot(r.Context(),
-				obs.SanitizeID(r.Header.Get("X-Trace-Id")), "serve.request")
+			ctx, span = s.tracer.StartRootWithParent(r.Context(),
+				obs.SanitizeID(r.Header.Get("X-Trace-Id")),
+				obs.SanitizeID(r.Header.Get("X-Parent-Span-Id")), "serve.request")
 			span.SetAttr("method", r.Method)
 			span.SetAttr("path", r.URL.Path)
 			rec.Header().Set("X-Trace-Id", span.TraceID())

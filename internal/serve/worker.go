@@ -7,11 +7,13 @@ import (
 	"fmt"
 	"io"
 	"log/slog"
+	"math/rand"
 	"net/http"
 	"sync"
 	"time"
 
 	"repro/internal/mcjob"
+	"repro/internal/obs"
 	"repro/internal/parallel"
 )
 
@@ -26,10 +28,13 @@ import (
 type worker struct {
 	log     *slog.Logger
 	metrics *metrics
+	tracer  *obs.Tracer // optional; set by the server after construction
 	owner   string
 	peers   []string
 	client  *http.Client
-	poll    time.Duration
+	poll    time.Duration  // base (minimum) per-peer poll sleep
+	maxPoll time.Duration  // backoff cap: half the lease TTL
+	jitter  func() float64 // uniform [0,1); a seam for deterministic tests
 	slots   int
 
 	ctx      context.Context
@@ -41,8 +46,9 @@ type worker struct {
 	evals map[string]*mcjob.ShardEvaluator // by job id
 }
 
-// workerPollInterval is how often an idle worker re-polls each peer for
-// open jobs. A var so tests can tighten the loop.
+// workerPollInterval is the base interval at which a worker re-polls
+// each peer for open jobs; idle polls back off exponentially from here
+// up to half the lease TTL. A var so tests can tighten the loop.
 var workerPollInterval = 500 * time.Millisecond
 
 // maxWorkerEvaluators bounds the per-job evaluator cache (wafer-map
@@ -52,13 +58,22 @@ const maxWorkerEvaluators = 8
 
 func newWorker(cfg Config, m *metrics, log *slog.Logger) *worker {
 	ctx, cancel := context.WithCancel(context.Background())
+	// The cap is TTL/2 so even a fully backed-off worker polls at least
+	// twice per lease lifetime — an expired shard is re-leased before it
+	// can expire a second time.
+	maxPoll := cfg.LeaseTTL / 2
+	if maxPoll <= 0 {
+		maxPoll = workerPollInterval
+	}
 	return &worker{
 		log:     log.With("worker", cfg.WorkerID),
 		metrics: m,
 		owner:   cfg.WorkerID,
 		peers:   cfg.Peers,
 		client:  &http.Client{Timeout: 30 * time.Second},
-		poll:    workerPollInterval,
+		poll:    min(workerPollInterval, maxPoll),
+		maxPoll: maxPoll,
+		jitter:  rand.Float64,
 		slots:   max(1, parallel.DefaultWorkers()),
 		ctx:     ctx, cancel: cancel,
 		evals: map[string]*mcjob.ShardEvaluator{},
@@ -83,55 +98,118 @@ func (w *worker) stop() {
 
 func (w *worker) pollPeer(peer string) {
 	defer w.wg.Done()
+	sleep := w.poll
 	for {
+		d := w.jittered(sleep)
+		w.metrics.workerPollSeconds.Observe(d.Seconds())
 		select {
 		case <-w.ctx.Done():
 			return
-		case <-time.After(w.poll):
+		case <-time.After(d):
 		}
 		jobs, err := w.fetchOpen(peer)
 		if err != nil {
 			// The peer may be restarting or simply have no jobs; keep
-			// polling quietly.
+			// polling quietly, but back off.
 			w.log.Debug("peer poll failed", "peer", peer, "error", err)
+			sleep = w.backoff(sleep)
 			continue
 		}
+		acquired := false
 		for _, oj := range jobs {
-			w.workJob(peer, oj)
+			if w.workJob(peer, oj) {
+				acquired = true
+			}
 			if w.ctx.Err() != nil {
 				return
 			}
 		}
+		if acquired {
+			// The peer had real work: reset to the base rate so follow-on
+			// shards (and reclaimed leases) are picked up promptly.
+			sleep = w.poll
+		} else {
+			sleep = w.backoff(sleep)
+		}
 	}
+}
+
+// backoff doubles an idle poll sleep up to half the lease TTL: a large
+// idle fleet must not hammer its coordinators at the base rate, but
+// every worker still polls at least twice per lease lifetime.
+func (w *worker) backoff(cur time.Duration) time.Duration {
+	next := cur * 2
+	if next > w.maxPoll {
+		next = w.maxPoll
+	}
+	if next < w.poll {
+		next = w.poll
+	}
+	return next
+}
+
+// jittered spreads a sleep uniformly over [d/2, d) so fleet peers
+// started together do not poll their coordinators in lockstep.
+func (w *worker) jittered(d time.Duration) time.Duration {
+	if d <= 0 {
+		return 0
+	}
+	return d/2 + time.Duration(w.jitter()*float64(d/2))
+}
+
+// jobTraceID is the deterministic trace id shared by every process that
+// touches a job: the worker records its spans under it locally, and
+// forwards it on lease/renew/partial calls so the coordinator's request
+// spans land in the same trace. Returns "" when the job id cannot form a
+// valid trace id.
+func jobTraceID(jobID string) string {
+	return obs.SanitizeID("job-" + jobID)
 }
 
 // workJob drains one open job: lease up to a slot's worth of shards,
 // evaluate them concurrently while a heartbeat renews the leases, and
 // upload each shard's partials as it completes. Returns when the
 // coordinator stops granting leases (job finished, everything leased
-// elsewhere, or the job vanished).
-func (w *worker) workJob(peer string, oj openJobJSON) {
+// elsewhere, or the job vanished); the return value reports whether any
+// lease was granted, which resets the peer's poll backoff.
+func (w *worker) workJob(peer string, oj openJobJSON) (acquired bool) {
 	eval, err := w.evaluator(oj)
 	if err != nil {
 		w.log.Warn("open job spec rejected", "peer", peer, "job", oj.ID, "error", err)
-		return
+		return false
+	}
+	// All spans for this cycle live under one root in the job's
+	// deterministic trace; outbound calls carry the trace id plus the
+	// calling span's id, so the coordinator's serve.request spans parent
+	// under the exact worker call that caused them.
+	ctx := w.ctx
+	var root *obs.Span
+	if tid := jobTraceID(oj.ID); w.tracer != nil && tid != "" {
+		ctx, root = w.tracer.StartRoot(w.ctx, tid, "worker.job")
+		root.SetAttr("peer", peer)
+		root.SetAttr("owner", w.owner)
+		root.SetAttr("job", oj.ID)
+		defer root.End()
 	}
 	for {
 		if w.ctx.Err() != nil {
-			return
+			return acquired
 		}
-		lr, err := w.lease(peer, oj.ID, w.slots)
+		lctx, lspan := obs.StartSpan(ctx, "worker.lease")
+		lr, err := w.lease(lctx, peer, oj.ID, w.slots)
+		lspan.End()
 		if err != nil {
 			w.dropEvaluator(oj.ID)
 			w.log.Debug("lease request failed", "peer", peer, "job", oj.ID, "error", err)
-			return
+			return acquired
 		}
 		if len(lr.Leases) == 0 {
 			if lr.State != "running" {
 				w.dropEvaluator(oj.ID)
 			}
-			return
+			return acquired
 		}
+		acquired = true
 		ttl := time.Duration(lr.TTLMS) * time.Millisecond
 		if ttl <= 0 {
 			ttl = 10 * time.Second
@@ -150,16 +228,21 @@ func (w *worker) workJob(peer string, oj openJobJSON) {
 				case <-w.ctx.Done():
 					return
 				case <-t.C:
-					if _, err := w.lease(peer, oj.ID, 0); err != nil {
+					rctx, rspan := obs.StartSpan(ctx, "worker.renew")
+					if _, err := w.lease(rctx, peer, oj.ID, 0); err != nil {
 						w.log.Debug("lease renewal failed", "peer", peer, "job", oj.ID, "error", err)
 					}
+					rspan.End()
 				}
 			}
 		}()
 		_ = parallel.ForEach(w.ctx, len(lr.Leases), w.slots, func(i int) error {
 			s := lr.Leases[i].Shard
+			sctx, sspan := obs.StartSpan(ctx, "worker.shard")
+			sspan.SetAttr("shard", fmt.Sprintf("%d", s))
+			defer sspan.End()
 			start := time.Now()
-			parts, err := eval.EvalShard(w.ctx, s)
+			parts, err := eval.EvalShard(sctx, s)
 			if err != nil {
 				if w.ctx.Err() == nil {
 					w.metrics.workerShards.With("failed").Inc()
@@ -167,7 +250,7 @@ func (w *worker) workJob(peer string, oj openJobJSON) {
 				}
 				return nil // keep the rest of the batch going
 			}
-			w.upload(peer, oj.ID, s, parts, time.Since(start).Seconds())
+			w.upload(sctx, peer, oj.ID, s, parts, time.Since(start).Seconds())
 			return nil
 		})
 		close(stopRenew)
@@ -221,7 +304,7 @@ func (w *worker) dropEvaluator(id string) {
 
 func (w *worker) fetchOpen(peer string) ([]openJobJSON, error) {
 	var resp openJobsResponse
-	if err := w.doJSON(http.MethodGet, "http://"+peer+"/v1/jobs/open", nil, &resp); err != nil {
+	if err := w.doJSON(w.ctx, http.MethodGet, "http://"+peer+"/v1/jobs/open", nil, &resp); err != nil {
 		return nil, err
 	}
 	return resp.Jobs, nil
@@ -229,18 +312,18 @@ func (w *worker) fetchOpen(peer string) ([]openJobJSON, error) {
 
 // lease renews this worker's leases on the job and asks for up to max
 // more shards (max 0 = heartbeat only).
-func (w *worker) lease(peer, id string, max int) (leaseResponse, error) {
+func (w *worker) lease(ctx context.Context, peer, id string, max int) (leaseResponse, error) {
 	var resp leaseResponse
-	err := w.doJSON(http.MethodPost, "http://"+peer+"/v1/jobs/"+id+"/lease",
+	err := w.doJSON(ctx, http.MethodPost, "http://"+peer+"/v1/jobs/"+id+"/lease",
 		leaseRequest{Owner: w.owner, Max: max}, &resp)
 	return resp, err
 }
 
 // upload posts one computed shard. Both accepted and duplicate answers
 // are success — a duplicate just means a reclaimed lease beat us to it.
-func (w *worker) upload(peer, id string, shard int, parts []mcjob.Partial, seconds float64) {
+func (w *worker) upload(ctx context.Context, peer, id string, shard int, parts []mcjob.Partial, seconds float64) {
 	var resp partialsResponse
-	err := w.doJSON(http.MethodPost, "http://"+peer+"/v1/jobs/"+id+"/partials",
+	err := w.doJSON(ctx, http.MethodPost, "http://"+peer+"/v1/jobs/"+id+"/partials",
 		partialsRequest{Owner: w.owner, Shard: shard, Seconds: seconds, Chunks: parts}, &resp)
 	switch {
 	case err != nil:
@@ -254,8 +337,11 @@ func (w *worker) upload(peer, id string, shard int, parts []mcjob.Partial, secon
 }
 
 // doJSON is the worker's one HTTP shape: optional JSON body out, JSON
-// body back, any non-2xx status an error carrying a body snippet.
-func (w *worker) doJSON(method, url string, body, out any) error {
+// body back, any non-2xx status an error carrying a body snippet. When
+// ctx carries an active span, the trace id and the span's id are
+// forwarded as X-Trace-Id / X-Parent-Span-Id so the peer's spans join
+// this trace.
+func (w *worker) doJSON(ctx context.Context, method, url string, body, out any) error {
 	var rd io.Reader
 	if body != nil {
 		buf, err := json.Marshal(body)
@@ -264,12 +350,16 @@ func (w *worker) doJSON(method, url string, body, out any) error {
 		}
 		rd = bytes.NewReader(buf)
 	}
-	req, err := http.NewRequestWithContext(w.ctx, method, url, rd)
+	req, err := http.NewRequestWithContext(ctx, method, url, rd)
 	if err != nil {
 		return err
 	}
 	if body != nil {
 		req.Header.Set("Content-Type", "application/json")
+	}
+	if sp := obs.SpanFromContext(ctx); sp != nil {
+		req.Header.Set("X-Trace-Id", sp.TraceID())
+		req.Header.Set("X-Parent-Span-Id", sp.SpanID())
 	}
 	resp, err := w.client.Do(req)
 	if err != nil {

@@ -1,0 +1,65 @@
+package serve
+
+import (
+	"testing"
+	"time"
+)
+
+// TestWorkerBackoffDoublesAndCaps: idle polls double from the base
+// interval up to half the lease TTL and never past it, and a successful
+// acquire resets to the base (pinned by pollPeer, exercised here at the
+// arithmetic level).
+func TestWorkerBackoffDoublesAndCaps(t *testing.T) {
+	w := newWorker(Config{WorkerID: "w", LeaseTTL: 8 * time.Second}, newMetrics(), discardLogger())
+	t.Cleanup(w.stop)
+	if w.poll != workerPollInterval {
+		t.Fatalf("base poll = %v, want %v", w.poll, workerPollInterval)
+	}
+	if w.maxPoll != 4*time.Second {
+		t.Fatalf("maxPoll = %v, want half the lease TTL", w.maxPoll)
+	}
+	cur := w.poll
+	want := []time.Duration{time.Second, 2 * time.Second, 4 * time.Second, 4 * time.Second, 4 * time.Second}
+	for i, expect := range want {
+		cur = w.backoff(cur)
+		if cur != expect {
+			t.Fatalf("backoff step %d = %v, want %v", i, cur, expect)
+		}
+	}
+	// A sleep below the base never comes back shorter than the base.
+	if got := w.backoff(0); got != w.poll {
+		t.Fatalf("backoff(0) = %v, want base %v", got, w.poll)
+	}
+}
+
+// TestWorkerBackoffCapNeverBelowBase: a lease TTL shorter than twice the
+// base poll interval must not produce a cap below the base itself.
+func TestWorkerBackoffCapNeverBelowBase(t *testing.T) {
+	w := newWorker(Config{WorkerID: "w", LeaseTTL: 100 * time.Millisecond}, newMetrics(), discardLogger())
+	t.Cleanup(w.stop)
+	if w.poll > w.maxPoll {
+		t.Fatalf("poll %v exceeds cap %v", w.poll, w.maxPoll)
+	}
+	if got := w.backoff(w.poll); got != w.maxPoll {
+		t.Fatalf("backoff at tight TTL = %v, want cap %v", got, w.maxPoll)
+	}
+}
+
+// TestWorkerJitterRange: the jittered sleep is uniform over [d/2, d) —
+// pinned at both edges through the deterministic jitter seam.
+func TestWorkerJitterRange(t *testing.T) {
+	w := newWorker(Config{WorkerID: "w", LeaseTTL: time.Minute}, newMetrics(), discardLogger())
+	t.Cleanup(w.stop)
+
+	w.jitter = func() float64 { return 0 }
+	if got := w.jittered(time.Second); got != 500*time.Millisecond {
+		t.Fatalf("jittered at jitter=0: %v, want 500ms", got)
+	}
+	w.jitter = func() float64 { return 0.999999 }
+	if got := w.jittered(time.Second); got < 500*time.Millisecond || got >= time.Second {
+		t.Fatalf("jittered at jitter→1: %v, want in [500ms, 1s)", got)
+	}
+	if got := w.jittered(0); got != 0 {
+		t.Fatalf("jittered(0) = %v, want 0", got)
+	}
+}

@@ -8,7 +8,10 @@
 # byte-identical to the single-replica reference. The determinism
 # contract (fixed chunks on jump-ahead streams, canonical-order fold)
 # is what makes byte equality the correct bar; the kill proves expired
-# leases are reclaimed and re-run without disturbing it.
+# leases are reclaimed and re-run without disturbing it. The
+# coordinator's event timeline must then tell the same story: leases
+# granted to worker B, its partial accepted, its orphaned leases expired
+# and reclaimed after the kill, and the job completed.
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -121,6 +124,24 @@ cmp -s "$workdir/ref.json" "$workdir/dist.json" || {
   diff "$workdir/ref.json" "$workdir/dist.json" >&2 || true
   exit 1
 }
+
+echo "== events timeline must explain the kill ==" >&2
+events=$(curl -sf "http://$aaddr/v1/jobs/$distid/events")
+for typ in submitted lease_acquired partial_accepted shard_merged completed; do
+  echo "$events" | grep -q "\"type\":\"$typ\"" || { echo "distjob_check: timeline lacks $typ: $events" >&2; exit 1; }
+done
+# Worker B must appear as a lease holder and partial uploader, and its
+# orphaned leases must show up as expired then reclaimed under its name
+# — that is the kill, narrated.
+echo "$events" | grep -Eq '"type":"lease_acquired","shard":[0-9]+,"owner":"worker-b"' \
+  || { echo "distjob_check: timeline shows no lease granted to worker-b: $events" >&2; exit 1; }
+echo "$events" | grep -Eq '"type":"partial_accepted","shard":[0-9]+,"owner":"worker-b"' \
+  || { echo "distjob_check: timeline shows no partial accepted from worker-b: $events" >&2; exit 1; }
+echo "$events" | grep -Eq '"type":"lease_expired","shard":[0-9]+,"owner":"worker-b"' \
+  || { echo "distjob_check: timeline shows no expired worker-b lease after the kill: $events" >&2; exit 1; }
+echo "$events" | grep -Eq '"type":"lease_reclaimed","shard":[0-9]+,"owner":"worker-b"' \
+  || { echo "distjob_check: timeline shows no reclaimed worker-b lease after the kill: $events" >&2; exit 1; }
+echo "distjob_check: timeline narrates the kill (worker-b leases expired and reclaimed, job completed)" >&2
 
 kill -TERM "$apid"
 rc=0

@@ -6,7 +6,10 @@
 # p99 budget with zero non-2xx and byte-identical responses, and (b) a
 # kill -9 of the replica that owns the cost endpoint, delivered
 # mid-load, leaves the SLO green — the survivors' responses must still
-# match the reference hashes byte for byte. Finishes by checking the
+# match the reference hashes byte for byte. While the kill-phase load is
+# running, one /fleetz pull must show both replicas scraped and a fleet
+# request-count rollup exactly equal to the sum of the per-replica
+# counters it re-exposes. Finishes by checking the
 # router benched the killed replica, that /readyz stayed ready, and
 # that the surviving replica drains cleanly and writes its memo
 # snapshot.
@@ -102,7 +105,28 @@ esac
 echo "slo_check: cost endpoint owned by $victim_addr, killing it mid-run" >&2
 "$workdir/loadgen" -base "http://$faddr" -duration 4s -rps "$RPS" -max-p99 "$P99_BUDGET" -max-non2xx 0 > "$workdir/kill.out" &
 lgpid=$!
-sleep 1.5
+sleep 0.7
+
+echo "== /fleetz under load: rollup equals the sum of replica counters ==" >&2
+fleet="$workdir/fleet.txt"
+curl -sf "http://$faddr/fleetz" > "$fleet" || { echo "slo_check: /fleetz pull failed under load" >&2; exit 1; }
+grep -q "front_fleet_scrape_ok{replica=\"$aaddr\"} 1" "$fleet" || { echo "slo_check: /fleetz did not scrape replica A" >&2; exit 1; }
+grep -q "front_fleet_scrape_ok{replica=\"$baddr\"} 1" "$fleet" || { echo "slo_check: /fleetz did not scrape replica B" >&2; exit 1; }
+for family in front_fleet_requests_total front_fleet_rps front_fleet_request_seconds_p99 front_fleet_jobs_in_flight front_fleet_replicas_benched; do
+  grep -q "^# TYPE $family " "$fleet" || { echo "slo_check: /fleetz lacks rollup family $family" >&2; exit 1; }
+done
+# The rollup and the re-exposed per-replica samples come from the same
+# scrape pass, so exact equality holds even mid-load.
+rollup=$(awk '$1 == "front_fleet_requests_total" { print $2 }' "$fleet")
+[ -n "$rollup" ] || { echo "slo_check: /fleetz has no front_fleet_requests_total sample" >&2; exit 1; }
+replica_sum=$(awk '/^nanocostd_requests_total\{/ { s += $NF } END { printf "%.10g", s }' "$fleet")
+awk -v a="$rollup" -v b="$replica_sum" 'BEGIN { exit (a + 0 == b + 0) ? 0 : 1 }' || {
+  echo "slo_check: fleet rollup $rollup != per-replica sum $replica_sum" >&2
+  exit 1
+}
+echo "slo_check: fleet rollup $rollup requests matches the per-replica sum" >&2
+
+sleep 0.8
 kill -9 "$victim"
 rc=0
 wait "$lgpid" || rc=$?

@@ -7,8 +7,11 @@
 # envelope contract and the opt-in pprof listener, run a sharded
 # simulation job through /v1/jobs (including a kill -9 mid-job and a
 # checkpoint resume whose result must be byte-identical to an
-# uninterrupted run), then deliver SIGTERM and verify the process drains
-# and exits cleanly.
+# uninterrupted run), follow a job's event timeline and require a
+# cancelled job's NDJSON event stream to end with the cancelled event,
+# route one traced request through nanocostfront and require the
+# router's federated /debug/trace view to hold both processes' spans,
+# then deliver SIGTERM and verify the process drains and exits cleanly.
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -20,6 +23,7 @@ log="$workdir/nanocostd.log"
 cleanup() {
   [ -n "${pid:-}" ] && kill "$pid" 2>/dev/null || true
   [ -n "${jpid:-}" ] && kill -9 "$jpid" 2>/dev/null || true
+  [ -n "${fpid:-}" ] && kill -9 "$fpid" 2>/dev/null || true
   rm -rf "$workdir"
 }
 trap cleanup EXIT
@@ -120,6 +124,36 @@ trace=$(curl -sf "http://$addr/debug/trace/$trace_id")
 echo "$trace" | grep -q '"serve.request"' || { echo "smoke_serve: trace lacks serve.request root: $trace" >&2; exit 1; }
 echo "$trace" | grep -q '"core.eval"' || { echo "smoke_serve: trace lacks core.eval child: $trace" >&2; exit 1; }
 
+echo "== federated trace across nanocostfront ==" >&2
+go build -o "$workdir/nanocostfront" ./cmd/nanocostfront
+flog="$workdir/front.log"
+"$workdir/nanocostfront" -addr 127.0.0.1:0 -replicas "$addr" 2>"$flog" &
+fpid=$!
+faddr=""
+i=0
+while [ $i -lt 100 ]; do
+  faddr=$(sed -n 's/.*nanocostfront listening.*addr=\([^ ]*\).*/\1/p' "$flog" | head -n 1)
+  [ -n "$faddr" ] && break
+  kill -0 "$fpid" 2>/dev/null || { echo "smoke_serve: router died during startup:" >&2; cat "$flog" >&2; exit 1; }
+  i=$((i + 1))
+  sleep 0.1
+done
+[ -n "$faddr" ] || { echo "smoke_serve: no router listen address in log:" >&2; cat "$flog" >&2; exit 1; }
+fed_id="feedface0123456789abcdef01234567"
+curl -sf -H "X-Trace-Id: $fed_id" -X POST -d "$body" "http://$faddr/v1/cost" >/dev/null
+fed=$(curl -sf "http://$faddr/debug/trace/$fed_id")
+# One tree, spans from both processes: the router's root and hop span
+# plus the replica's serve.request subtree fetched over federation.
+for name in front.request front.attempt serve.request; do
+  echo "$fed" | grep -q "\"$name\"" || { echo "smoke_serve: federated trace lacks $name span: $fed" >&2; exit 1; }
+done
+echo "$fed" | grep -q '"partial":true' && { echo "smoke_serve: federated trace flagged partial with the replica alive: $fed" >&2; exit 1; }
+kill -TERM "$fpid"
+rc=0
+wait "$fpid" || rc=$?
+fpid=""
+[ "$rc" -eq 0 ] || { echo "smoke_serve: router exited with status $rc after SIGTERM:" >&2; cat "$flog" >&2; exit 1; }
+
 echo "== X-Request-Id header/body match on a 400 ==" >&2
 hdrs="$workdir/err_headers.txt"
 status=$(curl -s -D "$hdrs" -o "$workdir/err.json" -w '%{http_code}' -X POST -d '{"bogus":true}' "http://$addr/v1/cost")
@@ -180,6 +214,33 @@ stream=$(curl -sfN -H 'Accept: application/x-ndjson' "http://$addr/v1/jobs/$smal
 lines=$(echo "$stream" | wc -l)
 [ "$lines" -ge 1 ] || { echo "smoke_serve: job stream produced no lines" >&2; exit 1; }
 echo "$stream" | tail -n 1 | grep -q '"state":"done"' || { echo "smoke_serve: job stream did not end in done: $(echo "$stream" | tail -n 1)" >&2; exit 1; }
+
+echo "== /v1/jobs/{id}/events timeline ==" >&2
+events=$(curl -sf "http://$addr/v1/jobs/$small_id/events")
+for typ in submitted shard_merged completed; do
+  echo "$events" | grep -q "\"type\":\"$typ\"" || { echo "smoke_serve: events timeline lacks $typ: $events" >&2; exit 1; }
+done
+
+echo "== cancelled job's NDJSON event stream ends with cancelled ==" >&2
+huge_spec='{"kind":"defect","trials":4000000000,"seed":9,"defect":{"lambda":0.9}}'
+cancel_id=$(curl -sf -X POST -d "$huge_spec" "http://$addr/v1/jobs" | sed -n 's/.*"id":"\([0-9a-f]\{16\}\)".*/\1/p')
+[ -n "$cancel_id" ] || { echo "smoke_serve: cancel-round submit returned no id" >&2; exit 1; }
+curl -sf -X DELETE "http://$addr/v1/jobs/$cancel_id" >/dev/null
+i=0
+state=""
+while [ $i -lt 100 ]; do
+  state=$(curl -sf "http://$addr/v1/jobs/$cancel_id" | sed -n 's/.*"state":"\([a-z]*\)".*/\1/p')
+  [ "$state" = "cancelled" ] && break
+  i=$((i + 1))
+  sleep 0.1
+done
+[ "$state" = "cancelled" ] || { echo "smoke_serve: job never reached cancelled (state=$state)" >&2; exit 1; }
+ev_stream=$(curl -sfN -H 'Accept: application/x-ndjson' "http://$addr/v1/jobs/$cancel_id/events")
+[ -n "$ev_stream" ] || { echo "smoke_serve: cancelled job produced an empty event stream" >&2; exit 1; }
+echo "$ev_stream" | tail -n 1 | grep -q '"type":"cancelled"' || {
+  echo "smoke_serve: event stream does not end with cancelled: $(echo "$ev_stream" | tail -n 1)" >&2
+  exit 1
+}
 
 echo "== /v1/jobs kill -9 mid-job, resume must be byte-identical ==" >&2
 jlog="$workdir/jobs_daemon.log"
